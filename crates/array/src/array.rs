@@ -1,0 +1,215 @@
+//! A dense, row-major `d`-dimensional array — the paper's array `A`.
+
+use crate::group::AbelianGroup;
+use crate::region::Region;
+use crate::shape::Shape;
+
+/// Dense `d`-dimensional array over an Abelian group.
+///
+/// This is the ground-truth representation (the paper's array `A`, Figure 2)
+/// as well as the backing store for the prefix-sum array `P` (Figure 3),
+/// relative-prefix blocks, and overlay faces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdArray<G> {
+    shape: Shape,
+    data: Box<[G]>,
+}
+
+impl<G: AbelianGroup> NdArray<G> {
+    /// An array of the given shape filled with the group identity.
+    pub fn zeroed(shape: Shape) -> Self {
+        let data = vec![G::ZERO; shape.cells()].into_boxed_slice();
+        Self { shape, data }
+    }
+
+    /// Builds an array by evaluating `f` at every cell in row-major order.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> G) -> Self {
+        let mut data = Vec::with_capacity(shape.cells());
+        let mut iter = shape.iter_points();
+        let mut buf = vec![0usize; shape.ndim()];
+        while iter.next_into(&mut buf) {
+            data.push(f(&buf));
+        }
+        Self { shape, data: data.into_boxed_slice() }
+    }
+
+    /// Wraps a row-major cell vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.cells()`.
+    pub fn from_vec(shape: Shape, data: Vec<G>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.cells(),
+            "data length {} does not match shape {shape} ({} cells)",
+            data.len(),
+            shape.cells()
+        );
+        Self { shape, data: data.into_boxed_slice() }
+    }
+
+    /// Convenience constructor for the 2-D examples that pervade the paper:
+    /// `rows` are the rows of the matrix (`A[i][j]`, `i` vertical, `j`
+    /// horizontal, matching the paper's `A[i, j]` notation).
+    pub fn from_rows(rows: &[Vec<G>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        let shape = Shape::new(&[rows.len(), cols]);
+        let data: Vec<G> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Self::from_vec(shape, data)
+    }
+
+    /// The array's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Reads one cell.
+    #[inline]
+    pub fn get(&self, point: &[usize]) -> G {
+        self.shape.check_point(point);
+        self.data[self.shape.linear(point)]
+    }
+
+    /// Writes one cell, returning the previous value.
+    #[inline]
+    pub fn set(&mut self, point: &[usize], value: G) -> G {
+        self.shape.check_point(point);
+        let idx = self.shape.linear(point);
+        std::mem::replace(&mut self.data[idx], value)
+    }
+
+    /// Adds `delta` to one cell.
+    #[inline]
+    pub fn add_assign(&mut self, point: &[usize], delta: G) {
+        self.shape.check_point(point);
+        let idx = self.shape.linear(point);
+        self.data[idx] = self.data[idx].add(delta);
+    }
+
+    /// Reads by linear (row-major) offset.
+    #[inline]
+    pub fn get_linear(&self, idx: usize) -> G {
+        self.data[idx]
+    }
+
+    /// Writes by linear (row-major) offset.
+    #[inline]
+    pub fn set_linear(&mut self, idx: usize, value: G) {
+        self.data[idx] = value;
+    }
+
+    /// The raw row-major cell slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[G] {
+        &self.data
+    }
+
+    /// Sums every cell in `region` by brute-force scan. This is the naive
+    /// method of §2 and the ground truth for every test in the workspace.
+    pub fn region_sum(&self, region: &Region) -> G {
+        region.check_within(&self.shape);
+        let mut acc = G::ZERO;
+        let mut iter = region.iter_points();
+        let mut buf = vec![0usize; self.shape.ndim()];
+        while iter.next_into(&mut buf) {
+            acc = acc.add(self.data[self.shape.linear(&buf)]);
+        }
+        acc
+    }
+
+    /// Sum of the prefix region `A[0,…,0] : A[p_1,…,p_d]` by brute force.
+    pub fn prefix_sum(&self, point: &[usize]) -> G {
+        self.region_sum(&Region::prefix(point))
+    }
+
+    /// Total of all cells.
+    pub fn total(&self) -> G {
+        self.data.iter().fold(G::ZERO, |acc, &v| acc.add(v))
+    }
+
+    /// Number of cells holding a non-identity value. Used by the sparse /
+    /// clustered storage experiments (§5).
+    pub fn populated_cells(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Heap bytes used by the cell storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<G>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NdArray<i64> {
+        // The 2-D layout mirrors the paper's A[i, j] convention.
+        NdArray::from_rows(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]])
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = sample();
+        assert_eq!(a.get(&[1, 2]), 6);
+        let old = a.set(&[1, 2], 60);
+        assert_eq!(old, 6);
+        assert_eq!(a.get(&[1, 2]), 60);
+        a.add_assign(&[1, 2], -10);
+        assert_eq!(a.get(&[1, 2]), 50);
+    }
+
+    #[test]
+    fn from_fn_matches_layout() {
+        let a = NdArray::from_fn(Shape::new(&[2, 2]), |p| (p[0] * 10 + p[1]) as i64);
+        assert_eq!(a.as_slice(), &[0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn region_sum_brute_force() {
+        let a = sample();
+        assert_eq!(a.region_sum(&Region::new(&[0, 0], &[2, 2])), 45);
+        assert_eq!(a.region_sum(&Region::new(&[1, 1], &[2, 2])), 5 + 6 + 8 + 9);
+        assert_eq!(a.region_sum(&Region::new(&[0, 2], &[0, 2])), 3);
+    }
+
+    #[test]
+    fn prefix_sum_brute_force() {
+        let a = sample();
+        assert_eq!(a.prefix_sum(&[0, 0]), 1);
+        assert_eq!(a.prefix_sum(&[1, 1]), 1 + 2 + 4 + 5);
+        assert_eq!(a.prefix_sum(&[2, 2]), 45);
+    }
+
+    #[test]
+    fn totals_and_population() {
+        let mut a = NdArray::<i64>::zeroed(Shape::new(&[4, 4]));
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.populated_cells(), 0);
+        a.set(&[0, 0], 5);
+        a.set(&[3, 3], -5);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.populated_cells(), 2);
+        assert_eq!(a.heap_bytes(), 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch() {
+        NdArray::from_vec(Shape::new(&[2, 2]), vec![1i64, 2, 3]);
+    }
+
+    #[test]
+    fn float_array() {
+        let a = NdArray::from_rows(&[vec![0.5f64, 1.5], vec![2.0, 4.0]]);
+        assert_eq!(a.total(), 8.0);
+        assert_eq!(a.prefix_sum(&[0, 1]), 2.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The algebraic foundation of every range-sum structure in this workspace.
+//!
+//! The Dynamic Data Cube paper (§2) notes that its techniques apply to SUM,
+//! COUNT, AVERAGE, ROLLING SUM and, in general, to "any binary operator `⊕`
+//! for which there exists an inverse binary operator `⊖` such that
+//! `a ⊕ b ⊖ b = a`". That contract is an Abelian group, captured here by
+//! [`AbelianGroup`].
+//!
+//! All engines in the workspace are generic over the group so the same tree
+//! code serves integer SUM cubes, floating-point cubes, and the paired
+//! (sum, count) values used to answer AVERAGE queries.
+
+use std::fmt::Debug;
+
+/// A commutative group: the value domain of a measure attribute.
+///
+/// Laws (checked by property tests in the `ddc-tests` crate):
+///
+/// * associativity: `a.add(b.add(c)) == a.add(b).add(c)`
+/// * commutativity: `a.add(b) == b.add(a)`
+/// * identity: `a.add(G::ZERO) == a`
+/// * inverse: `a.add(b).sub(b) == a`
+///
+/// Implementations must be cheap to `Copy`; every tree node stores values
+/// inline.
+pub trait AbelianGroup: Copy + Clone + Debug + PartialEq + Send + Sync + 'static {
+    /// The identity element (`0` for SUM, `(0, 0)` for (sum, count) pairs).
+    const ZERO: Self;
+
+    /// The group operation (`+` for SUM).
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// The inverse operation (`-` for SUM); `a.add(b).sub(b) == a`.
+    #[must_use]
+    fn sub(self, rhs: Self) -> Self;
+
+    /// The inverse element; default is `ZERO.sub(self)`.
+    #[must_use]
+    fn neg(self) -> Self {
+        Self::ZERO.sub(self)
+    }
+
+    /// True if this is the identity element. Lazily materialized trees use
+    /// this to avoid allocating nodes for empty regions (paper §5).
+    fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+}
+
+macro_rules! impl_group_for_int {
+    ($($t:ty),*) => {$(
+        impl AbelianGroup for $t {
+            const ZERO: Self = 0;
+
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
+            }
+
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                self.wrapping_sub(rhs)
+            }
+
+            #[inline]
+            fn neg(self) -> Self {
+                self.wrapping_neg()
+            }
+        }
+    )*};
+}
+
+impl_group_for_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128);
+
+impl AbelianGroup for f64 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+}
+
+impl AbelianGroup for f32 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+}
+
+/// The product group of two groups.
+///
+/// `Pair<i64, i64>` is how the OLAP layer answers AVERAGE queries: the first
+/// component accumulates SUM, the second COUNT, and `sum / count` is computed
+/// at the edge. A single cube maintenance pass keeps both aggregates exact
+/// under updates — exactly the construction the paper alludes to in §2.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Pair<A, B> {
+    /// First component (e.g. the running SUM).
+    pub a: A,
+    /// Second component (e.g. the running COUNT).
+    pub b: B,
+}
+
+impl<A, B> Pair<A, B> {
+    /// Bundles two group values into a product-group value.
+    pub const fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: AbelianGroup, B: AbelianGroup> AbelianGroup for Pair<A, B> {
+    const ZERO: Self = Pair { a: A::ZERO, b: B::ZERO };
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Pair { a: self.a.add(rhs.a), b: self.b.add(rhs.b) }
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Pair { a: self.a.sub(rhs.a), b: self.b.sub(rhs.b) }
+    }
+}
+
+/// An overflow-*panicking* integer measure for debugging pipelines.
+///
+/// The stock integer instances wrap (modular arithmetic is a perfectly
+/// good Abelian group, and production range-sum structures should not
+/// branch per addition). When ingesting untrusted data, wrap the measure
+/// in `Checked` to turn silent wraparound into a loud panic at the exact
+/// offending operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Checked(pub i64);
+
+impl AbelianGroup for Checked {
+    const ZERO: Self = Checked(0);
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Checked(self.0.checked_add(rhs.0).expect("measure overflow in Checked::add"))
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Checked(self.0.checked_sub(rhs.0).expect("measure overflow in Checked::sub"))
+    }
+
+    #[inline]
+    fn neg(self) -> Self {
+        Checked(self.0.checked_neg().expect("measure overflow in Checked::neg"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_group_laws() {
+        let a = 17i64;
+        let b = -4i64;
+        let c = 1000i64;
+        assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.add(i64::ZERO), a);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.add(a.neg()), 0);
+    }
+
+    #[test]
+    fn integer_group_wraps_instead_of_panicking() {
+        let max = i64::MAX;
+        assert_eq!(max.add(1), i64::MIN);
+        assert_eq!(i64::MIN.sub(1), i64::MAX);
+        assert_eq!(i64::MIN.neg(), i64::MIN);
+    }
+
+    #[test]
+    fn float_group_laws() {
+        let a = 2.5f64;
+        let b = -0.75f64;
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.add(f64::ZERO), a);
+        assert_eq!(a.neg(), -2.5);
+    }
+
+    #[test]
+    fn pair_group_componentwise() {
+        let x = Pair::new(3i64, 1i64);
+        let y = Pair::new(-2i64, 1i64);
+        assert_eq!(x.add(y), Pair::new(1, 2));
+        assert_eq!(x.add(y).sub(y), x);
+        assert_eq!(Pair::<i64, i64>::ZERO, Pair::new(0, 0));
+        assert!(Pair::<i64, i64>::ZERO.is_zero());
+        assert!(!x.is_zero());
+    }
+
+    #[test]
+    fn unsigned_groups_wrap() {
+        assert_eq!(0u32.sub(1), u32::MAX);
+        assert_eq!(u64::MAX.add(1), 0);
+    }
+
+    #[test]
+    fn checked_group_behaves_normally_in_range() {
+        let a = Checked(40);
+        let b = Checked(2);
+        assert_eq!(a.add(b), Checked(42));
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(Checked::ZERO.neg(), Checked(0));
+        assert!(!a.is_zero());
+        assert!(Checked::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "measure overflow")]
+    fn checked_group_panics_on_overflow() {
+        let _ = Checked(i64::MAX).add(Checked(1));
+    }
+}

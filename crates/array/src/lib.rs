@@ -1,0 +1,33 @@
+//! # ddc-array
+//!
+//! Foundational substrate for the Dynamic Data Cube workspace: dense
+//! `d`-dimensional arrays, regions and the Figure-4 prefix decomposition,
+//! the Abelian-group measure abstraction, signed coordinates for dynamic
+//! growth, the [`RangeSumEngine`] trait implemented by every method in the
+//! paper, and the operation counters behind the Table-1 experiments.
+//!
+//! This crate has no dependencies; everything above it (`ddc-btree`,
+//! `ddc-baselines`, `ddc-core`, `ddc-olap`) builds on these types.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod array;
+mod coords;
+mod counter;
+mod engine;
+mod group;
+mod region;
+mod shadow;
+mod shape;
+mod slice;
+
+pub use array::NdArray;
+pub use coords::{CoordMap, GrowthDirection};
+pub use counter::{OpCounter, OpSnapshot};
+pub use engine::RangeSumEngine;
+pub use group::{AbelianGroup, Checked, Pair};
+pub use region::{PrefixTerm, Region, RegionPointIter};
+pub use shadow::ShadowEngine;
+pub use shape::{PointIter, Shape};
+pub use slice::SliceView;

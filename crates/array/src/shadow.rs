@@ -1,0 +1,201 @@
+//! Differential testing: run two engines in lockstep and assert they
+//! agree on every observable result.
+//!
+//! [`ShadowEngine`] wraps a primary engine and a shadow (typically the
+//! naive ground truth) and cross-checks every query and every `set`
+//! return value. Used by the workspace's failure-injection tests and
+//! available to downstream users validating custom configurations.
+
+use crate::counter::OpCounter;
+use crate::engine::RangeSumEngine;
+use crate::group::AbelianGroup;
+use crate::region::Region;
+use crate::shape::Shape;
+
+/// A pair of engines executed in lockstep; any observable divergence
+/// panics with both values.
+#[derive(Debug)]
+pub struct ShadowEngine<G, P, S> {
+    primary: P,
+    shadow: S,
+    _group: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G, P, S> ShadowEngine<G, P, S>
+where
+    G: AbelianGroup,
+    P: RangeSumEngine<G>,
+    S: RangeSumEngine<G>,
+{
+    /// Pairs a primary engine with its shadow. Both must cover the same
+    /// logical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn new(primary: P, shadow: S) -> Self {
+        assert_eq!(
+            primary.shape(),
+            shadow.shape(),
+            "primary and shadow shapes must match"
+        );
+        Self { primary, shadow, _group: std::marker::PhantomData }
+    }
+
+    /// The primary engine.
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+
+    /// The shadow engine.
+    pub fn shadow(&self) -> &S {
+        &self.shadow
+    }
+
+    /// Consumes the pair, returning the primary.
+    pub fn into_primary(self) -> P {
+        self.primary
+    }
+}
+
+impl<G, P, S> RangeSumEngine<G> for ShadowEngine<G, P, S>
+where
+    G: AbelianGroup,
+    P: RangeSumEngine<G>,
+    S: RangeSumEngine<G>,
+{
+    fn name(&self) -> &'static str {
+        "shadow"
+    }
+
+    fn shape(&self) -> &Shape {
+        self.primary.shape()
+    }
+
+    fn prefix_sum(&self, point: &[usize]) -> G {
+        let a = self.primary.prefix_sum(point);
+        let b = self.shadow.prefix_sum(point);
+        assert_eq!(
+            a,
+            b,
+            "prefix_sum({point:?}) diverged: {} says {a:?}, {} says {b:?}",
+            self.primary.name(),
+            self.shadow.name()
+        );
+        a
+    }
+
+    fn range_sum(&self, region: &Region) -> G {
+        let a = self.primary.range_sum(region);
+        let b = self.shadow.range_sum(region);
+        assert_eq!(
+            a,
+            b,
+            "range_sum({region:?}) diverged: {} says {a:?}, {} says {b:?}",
+            self.primary.name(),
+            self.shadow.name()
+        );
+        a
+    }
+
+    fn apply_delta(&mut self, point: &[usize], delta: G) {
+        self.primary.apply_delta(point, delta);
+        self.shadow.apply_delta(point, delta);
+    }
+
+    fn cell(&self, point: &[usize]) -> G {
+        let a = self.primary.cell(point);
+        let b = self.shadow.cell(point);
+        assert_eq!(a, b, "cell({point:?}) diverged");
+        a
+    }
+
+    fn set(&mut self, point: &[usize], value: G) -> G {
+        let a = self.primary.set(point, value);
+        let b = self.shadow.set(point, value);
+        assert_eq!(a, b, "set({point:?}) returned diverging old values");
+        a
+    }
+
+    fn counter(&self) -> &OpCounter {
+        self.primary.counter()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.primary.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::NdArray;
+
+    /// Minimal correct engine for the tests.
+    struct Brute {
+        a: NdArray<i64>,
+        counter: OpCounter,
+        // Fault injection: report this extra amount on prefix sums.
+        skew: i64,
+    }
+
+    impl Brute {
+        fn new(shape: Shape) -> Self {
+            Self { a: NdArray::zeroed(shape), counter: OpCounter::new(), skew: 0 }
+        }
+    }
+
+    impl RangeSumEngine<i64> for Brute {
+        fn name(&self) -> &'static str {
+            "brute"
+        }
+
+        fn shape(&self) -> &Shape {
+            self.a.shape()
+        }
+
+        fn prefix_sum(&self, point: &[usize]) -> i64 {
+            self.a.prefix_sum(point) + self.skew
+        }
+
+        fn apply_delta(&mut self, point: &[usize], delta: i64) {
+            self.a.add_assign(point, delta);
+        }
+
+        fn counter(&self) -> &OpCounter {
+            &self.counter
+        }
+
+        fn heap_bytes(&self) -> usize {
+            self.a.heap_bytes()
+        }
+    }
+
+    #[test]
+    fn agreeing_engines_pass_through() {
+        let shape = Shape::new(&[4, 4]);
+        let mut s = ShadowEngine::new(Brute::new(shape.clone()), Brute::new(shape));
+        s.apply_delta(&[1, 1], 5);
+        s.apply_delta(&[3, 2], -2);
+        assert_eq!(s.prefix_sum(&[3, 3]), 3);
+        assert_eq!(s.range_sum(&Region::new(&[1, 1], &[2, 2])), 5);
+        assert_eq!(s.set(&[1, 1], 9), 5);
+        assert_eq!(s.cell(&[1, 1]), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn divergence_is_detected() {
+        let shape = Shape::new(&[4, 4]);
+        let mut faulty = Brute::new(shape.clone());
+        faulty.skew = 1; // injected fault
+        let s = ShadowEngine::new(faulty, Brute::new(shape));
+        let _ = s.prefix_sum(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn shape_mismatch_rejected() {
+        ShadowEngine::new(Brute::new(Shape::new(&[4])), Brute::new(Shape::new(&[5])));
+    }
+}

@@ -1,0 +1,227 @@
+//! Slicing: a `(d−1)`-dimensional view of a cube with one coordinate
+//! pinned — the OLAP *slice* operation, with *dice* falling out of
+//! ordinary range queries on the view.
+//!
+//! A [`SliceView`] borrows any [`RangeSumEngine`] and answers queries in
+//! the remaining dimensions by inserting the pinned coordinate, so it
+//! costs nothing to create and stays live as the underlying cube updates.
+
+use crate::counter::OpCounter;
+use crate::engine::RangeSumEngine;
+use crate::group::AbelianGroup;
+use crate::shape::Shape;
+
+/// A read-only lower-rank view of an engine with one axis fixed.
+pub struct SliceView<'a, G: AbelianGroup> {
+    inner: &'a dyn RangeSumEngine<G>,
+    axis: usize,
+    index: usize,
+    shape: Shape,
+}
+
+impl<G: AbelianGroup> std::fmt::Debug for SliceView<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SliceView")
+            .field("engine", &self.inner.name())
+            .field("axis", &self.axis)
+            .field("index", &self.index)
+            .field("shape", &self.shape)
+            .finish()
+    }
+}
+
+impl<'a, G: AbelianGroup> SliceView<'a, G> {
+    /// Pins `axis` of `inner` to `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is one-dimensional (a slice would have rank
+    /// zero), `axis` is out of range, or `index` exceeds the axis.
+    pub fn new(inner: &'a dyn RangeSumEngine<G>, axis: usize, index: usize) -> Self {
+        let full = inner.shape();
+        assert!(full.ndim() >= 2, "cannot slice a 1-D cube");
+        assert!(axis < full.ndim(), "axis {axis} out of range");
+        assert!(
+            index < full.dim(axis),
+            "index {index} beyond axis {axis} of size {}",
+            full.dim(axis)
+        );
+        let shape = full.drop_axis(axis);
+        Self { inner, axis, index, shape }
+    }
+
+    /// The pinned axis.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// The pinned coordinate.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Expands a view point into full-rank coordinates.
+    fn expand(&self, point: &[usize]) -> Vec<usize> {
+        let mut full = Vec::with_capacity(point.len() + 1);
+        full.extend_from_slice(&point[..self.axis]);
+        full.push(self.index);
+        full.extend_from_slice(&point[self.axis..]);
+        full
+    }
+}
+
+impl<G: AbelianGroup> RangeSumEngine<G> for SliceView<'_, G> {
+    fn name(&self) -> &'static str {
+        "slice"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Prefix over the remaining dimensions, *within* the pinned slab:
+    /// the slab `[index, index]` on the pinned axis, prefixes elsewhere.
+    fn prefix_sum(&self, point: &[usize]) -> G {
+        self.shape.check_point(point);
+        let hi = self.expand(point);
+        let mut lo = vec![0; hi.len()];
+        lo[self.axis] = self.index;
+        self.inner.range_sum(&crate::region::Region::new(&lo, &hi))
+    }
+
+    fn apply_delta(&mut self, _point: &[usize], _delta: G) {
+        unreachable!("SliceView is read-only; update the underlying cube");
+    }
+
+    fn cell(&self, point: &[usize]) -> G {
+        self.shape.check_point(point);
+        self.inner.cell(&self.expand(point))
+    }
+
+    fn counter(&self) -> &OpCounter {
+        self.inner.counter()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::NdArray;
+    use crate::region::Region;
+
+    struct Brute {
+        a: NdArray<i64>,
+        counter: OpCounter,
+    }
+
+    impl RangeSumEngine<i64> for Brute {
+        fn name(&self) -> &'static str {
+            "brute"
+        }
+        fn shape(&self) -> &Shape {
+            self.a.shape()
+        }
+        fn prefix_sum(&self, p: &[usize]) -> i64 {
+            self.a.prefix_sum(p)
+        }
+        fn range_sum(&self, r: &Region) -> i64 {
+            self.a.region_sum(r)
+        }
+        fn apply_delta(&mut self, p: &[usize], delta: i64) {
+            self.a.add_assign(p, delta);
+        }
+        fn counter(&self) -> &OpCounter {
+            &self.counter
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn cube3() -> Brute {
+        Brute {
+            a: NdArray::from_fn(Shape::cube(3, 4), |p| {
+                (p[0] * 16 + p[1] * 4 + p[2]) as i64
+            }),
+            counter: OpCounter::new(),
+        }
+    }
+
+    #[test]
+    fn slice_matches_manual_plane_sums() {
+        let c = cube3();
+        // Pin axis 1 to 2: the view is the (x, z) plane at y = 2.
+        let v = SliceView::new(&c, 1, 2);
+        assert_eq!(v.shape().dims(), &[4, 4]);
+        for x in 0..4 {
+            for z in 0..4 {
+                let mut manual = 0i64;
+                for xi in 0..=x {
+                    for zi in 0..=z {
+                        manual += c.a.get(&[xi, 2, zi]);
+                    }
+                }
+                assert_eq!(v.prefix_sum(&[x, z]), manual, "({x},{z})");
+            }
+        }
+    }
+
+    #[test]
+    fn dice_is_a_range_query_on_the_view() {
+        let c = cube3();
+        let v = SliceView::new(&c, 0, 1);
+        let q = Region::new(&[1, 1], &[2, 3]);
+        let mut manual = 0i64;
+        for y in 1..=2 {
+            for z in 1..=3 {
+                manual += c.a.get(&[1, y, z]);
+            }
+        }
+        assert_eq!(v.range_sum(&q), manual);
+        assert_eq!(v.cell(&[3, 3]), c.a.get(&[1, 3, 3]));
+    }
+
+    #[test]
+    fn slice_of_slice_reduces_to_a_line() {
+        let c = cube3();
+        let plane = SliceView::new(&c, 0, 2);
+        let line = SliceView::new(&plane, 0, 1); // x = 2, y = 1
+        assert_eq!(line.shape().dims(), &[4]);
+        let expect: i64 = (0..=3).map(|z| c.a.get(&[2, 1, z])).sum();
+        assert_eq!(line.prefix_sum(&[3]), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot slice a 1-D cube")]
+    fn slicing_a_line_is_rejected() {
+        let c = cube3();
+        let plane = SliceView::new(&c, 0, 0);
+        let line = SliceView::new(&plane, 0, 0);
+        let _ = SliceView::new(&line, 0, 0);
+    }
+
+    #[test]
+    fn view_tracks_underlying_updates() {
+        let mut c = cube3();
+        let before = {
+            let v = SliceView::new(&c, 2, 0);
+            v.prefix_sum(&[3, 3])
+        };
+        c.apply_delta(&[1, 1, 0], 100);
+        let v = SliceView::new(&c, 2, 0);
+        assert_eq!(v.prefix_sum(&[3, 3]), before + 100);
+        // A slice not containing the updated cell is unchanged.
+        let other = SliceView::new(&c, 2, 1);
+        let mut manual = 0i64;
+        for x in 0..4 {
+            for y in 0..4 {
+                manual += c.a.get(&[x, y, 1]);
+            }
+        }
+        assert_eq!(other.prefix_sum(&[3, 3]), manual);
+    }
+}

@@ -1,0 +1,221 @@
+//! The §5 counterfactual: a prefix-sum cube that grows by rebuilding.
+//!
+//! "Since empty regions are not allowed with these methods, the creation
+//! of cell * forces the further creation of all cells in the shaded
+//! region" (§5, Figure 16). [`GrowablePrefixSum`] is that behaviour made
+//! concrete: it keeps a dense prefix-sum array over the bounding box of
+//! everything seen so far, and whenever a cell lands outside, it
+//! materializes the enlarged box and recomputes every cell — the cost the
+//! Dynamic Data Cube's re-rooting growth avoids. Used as the measured
+//! baseline in the `growth` experiment.
+
+use ddc_array::{AbelianGroup, NdArray, OpCounter, Region, Shape};
+
+use crate::prefix_sum::build_prefix_array;
+
+/// A dense, bounding-box prefix-sum cube over signed coordinates.
+#[derive(Debug)]
+pub struct GrowablePrefixSum<G: AbelianGroup> {
+    /// Logical coordinate of cell (0,…,0) of the dense box.
+    origin: Vec<i64>,
+    /// Raw cells (kept so rebuilds are possible).
+    a: NdArray<G>,
+    /// The prefix-sum array over `a`.
+    p: NdArray<G>,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> GrowablePrefixSum<G> {
+    /// An empty 1-cell cube anchored at `origin`.
+    pub fn new(origin: &[i64]) -> Self {
+        let shape = Shape::new(&vec![1; origin.len()]);
+        Self {
+            origin: origin.to_vec(),
+            a: NdArray::zeroed(shape.clone()),
+            p: NdArray::zeroed(shape),
+            counter: OpCounter::new(),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Current dense extent per dimension.
+    pub fn extent(&self) -> &[usize] {
+        self.a.shape().dims()
+    }
+
+    /// Logical low corner of the dense box.
+    pub fn origin(&self) -> &[i64] {
+        &self.origin
+    }
+
+    /// Cells currently materialized (the §5 storage cost).
+    pub fn materialized_cells(&self) -> usize {
+        // Raw + prefix array.
+        2 * self.a.shape().cells()
+    }
+
+    /// Heap bytes of both arrays.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.a.heap_bytes() + self.p.heap_bytes()
+    }
+
+    fn to_internal(&self, logical: &[i64]) -> Option<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.ndim());
+        for ((&c, &o), &e) in
+            logical.iter().zip(self.origin.iter()).zip(self.extent().iter())
+        {
+            let rel = c - o;
+            if rel < 0 || rel as usize >= e {
+                return None;
+            }
+            out.push(rel as usize);
+        }
+        Some(out)
+    }
+
+    /// Adds `delta` at signed `logical`, enlarging (and rebuilding) the
+    /// dense box if the cell falls outside it.
+    pub fn add(&mut self, logical: &[i64], delta: G) {
+        assert_eq!(logical.len(), self.ndim());
+        if delta.is_zero() {
+            return;
+        }
+        if self.to_internal(logical).is_none() {
+            self.grow_to_cover(logical);
+        }
+        let p = self.to_internal(logical).expect("covered after growth");
+        self.a.add_assign(&p, delta);
+        // Cascade into the prefix array (Figure 5).
+        let hi: Vec<usize> = self.extent().iter().map(|&n| n - 1).collect();
+        let dominated = Region::new(&p, &hi);
+        let mut written = 0u64;
+        let mut buf = vec![0usize; self.ndim()];
+        let mut iter = dominated.iter_points();
+        while iter.next_into(&mut buf) {
+            self.p.add_assign(&buf, delta);
+            written += 1;
+        }
+        self.counter.write(written + 1);
+    }
+
+    /// Enlarges the box to cover `logical`: every cell of the new box is
+    /// created and the prefix array fully recomputed — the Figure 16
+    /// forced materialization.
+    fn grow_to_cover(&mut self, logical: &[i64]) {
+        let d = self.ndim();
+        let mut new_origin = Vec::with_capacity(d);
+        let mut new_dims = Vec::with_capacity(d);
+        for ((&c, &o), &e) in
+            logical.iter().zip(self.origin.iter()).zip(self.extent().iter())
+        {
+            let lo = o.min(c);
+            let hi_excl = (o + e as i64).max(c + 1);
+            new_origin.push(lo);
+            new_dims.push((hi_excl - lo) as usize);
+        }
+        let new_shape = Shape::new(&new_dims);
+        let mut new_a = NdArray::<G>::zeroed(new_shape);
+        // Copy existing raw cells at their shifted positions.
+        let shift: Vec<usize> = (0..d)
+            .map(|axis| (self.origin[axis] - new_origin[axis]) as usize)
+            .collect();
+        let mut buf = vec![0usize; d];
+        let mut dst = vec![0usize; d];
+        let mut iter = self.a.shape().iter_points();
+        while iter.next_into(&mut buf) {
+            let v = self.a.get(&buf);
+            if !v.is_zero() {
+                for (o, (&c, &s)) in dst.iter_mut().zip(buf.iter().zip(shift.iter())) {
+                    *o = c + s;
+                }
+                new_a.set(&dst, v);
+            }
+        }
+        // Full rebuild of the prefix array: every cell of the enlarged
+        // box is written at least once.
+        self.counter.write(new_a.shape().cells() as u64);
+        self.p = build_prefix_array(&new_a);
+        self.a = new_a;
+        self.origin = new_origin;
+    }
+
+    /// Range sum over the closed logical box `[lo, hi]` (zero outside).
+    pub fn range_sum(&self, lo: &[i64], hi: &[i64]) -> G {
+        let d = self.ndim();
+        let mut clo = Vec::with_capacity(d);
+        let mut chi = Vec::with_capacity(d);
+        for axis in 0..d {
+            let o = self.origin[axis];
+            let e = self.extent()[axis] as i64;
+            let l = lo[axis].max(o);
+            let h = hi[axis].min(o + e - 1);
+            if l > h {
+                return G::ZERO;
+            }
+            clo.push((l - o) as usize);
+            chi.push((h - o) as usize);
+        }
+        let region = Region::new(&clo, &chi);
+        let mut acc = G::ZERO;
+        for term in region.prefix_decomposition() {
+            self.counter.read(1);
+            let v = self.p.get(&term.corner);
+            acc = if term.sign > 0 { acc.add(v) } else { acc.sub(v) };
+        }
+        acc
+    }
+
+    /// Sum of everything.
+    pub fn total(&self) -> G {
+        let corner: Vec<usize> = self.extent().iter().map(|&n| n - 1).collect();
+        self.p.get(&corner)
+    }
+
+    /// The operation counter (growth rebuilds bill every created cell).
+    pub fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_answers_like_a_reference() {
+        let mut g = GrowablePrefixSum::<i64>::new(&[0, 0]);
+        g.add(&[0, 0], 5);
+        g.add(&[-3, 2], 7);
+        g.add(&[10, -10], 1);
+        assert_eq!(g.total(), 13);
+        assert_eq!(g.range_sum(&[-5, 0], &[0, 5]), 12);
+        assert_eq!(g.range_sum(&[10, -10], &[10, -10]), 1);
+        assert_eq!(g.origin(), &[-3, -10]);
+        assert_eq!(g.extent(), &[14, 13]);
+    }
+
+    #[test]
+    fn growth_bills_the_whole_bounding_box() {
+        let mut g = GrowablePrefixSum::<i64>::new(&[0]);
+        g.add(&[0], 1);
+        g.counter().reset();
+        g.add(&[999], 1); // forces a 1000-cell box
+        let w = g.counter().snapshot().writes;
+        assert!(w >= 1000, "growth wrote only {w} cells");
+        assert_eq!(g.materialized_cells(), 2000);
+    }
+
+    #[test]
+    fn repeated_updates_after_growth_stay_correct() {
+        let mut g = GrowablePrefixSum::<i64>::new(&[5, 5]);
+        g.add(&[5, 5], 1);
+        g.add(&[0, 9], 2);
+        g.add(&[5, 5], 3);
+        assert_eq!(g.range_sum(&[5, 5], &[5, 5]), 4);
+        assert_eq!(g.total(), 6);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ddc-baselines
+//!
+//! The comparison methods of the Dynamic Data Cube paper (§2): the naive
+//! array scan, the Prefix Sum method of Ho et al. \[HAMS97\], and the
+//! Relative Prefix Sum method of Geffner et al. \[GAES99\]. All three
+//! implement [`ddc_array::RangeSumEngine`], so the benchmark harness can
+//! drive every method of Table 1 through one interface.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod growable_dense;
+mod multi_fenwick;
+mod naive;
+mod prefix_sum;
+mod relative_prefix;
+
+pub use growable_dense::GrowablePrefixSum;
+pub use multi_fenwick::MultiFenwick;
+pub use naive::NaiveEngine;
+pub use prefix_sum::{build_prefix_array, PrefixSumEngine};
+pub use relative_prefix::RelativePrefixEngine;

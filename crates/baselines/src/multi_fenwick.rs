@@ -1,0 +1,187 @@
+//! The `d`-dimensional Fenwick (binary indexed) tree — the modern
+//! comparator the Dynamic Data Cube is measured against.
+//!
+//! A Fenwick tree generalizes to `d` dimensions by nesting its index
+//! arithmetic per axis, giving `O(log^d n)` prefix queries *and* point
+//! updates over one flat array — the same asymptotics as the paper's
+//! structure with far smaller constants on dense, fixed-size cubes. What
+//! it cannot do is exactly what §5 motivates the DDC's tree shape for:
+//! grow in any direction, skip storage for empty regions, or insert new
+//! positions. The `fenwick_nd` benchmark quantifies this trade
+//! (constants vs flexibility), directly addressing the observation that
+//! Fenwick/segment trees cover the static range-sum+update problem.
+
+use ddc_array::{AbelianGroup, NdArray, OpCounter, RangeSumEngine, Shape};
+
+/// Dense `d`-dimensional binary indexed tree.
+#[derive(Debug)]
+pub struct MultiFenwick<G: AbelianGroup> {
+    /// Flat tree cells; index arithmetic is 1-based per axis, so each
+    /// dimension stores `n + 1` slots (slot 0 unused).
+    tree: NdArray<G>,
+    /// Logical shape (without the +1 padding).
+    shape: Shape,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> Clone for MultiFenwick<G> {
+    fn clone(&self) -> Self {
+        Self {
+            tree: self.tree.clone(),
+            shape: self.shape.clone(),
+            counter: OpCounter::new(),
+        }
+    }
+}
+
+impl<G: AbelianGroup> MultiFenwick<G> {
+    /// An all-zero cube of `shape`.
+    pub fn zeroed(shape: Shape) -> Self {
+        let padded: Vec<usize> = shape.dims().iter().map(|&n| n + 1).collect();
+        Self {
+            tree: NdArray::zeroed(Shape::new(&padded)),
+            shape,
+            counter: OpCounter::new(),
+        }
+    }
+
+    /// Builds from an array by point insertion (`O(N log^d n)`).
+    pub fn from_array(a: &NdArray<G>) -> Self {
+        let mut f = Self::zeroed(a.shape().clone());
+        let mut iter = a.shape().iter_points();
+        let mut buf = vec![0usize; a.shape().ndim()];
+        while iter.next_into(&mut buf) {
+            let v = a.get(&buf);
+            if !v.is_zero() {
+                f.apply_delta(&buf, v);
+            }
+        }
+        f
+    }
+
+    /// Recursive axis-nested prefix accumulation.
+    fn prefix_rec(&self, axis: usize, idx: &mut Vec<usize>, point: &[usize]) -> G {
+        if axis == point.len() {
+            self.counter.read(1);
+            return self.tree.get(idx);
+        }
+        let mut acc = G::ZERO;
+        let mut i = point[axis] + 1;
+        while i > 0 {
+            idx[axis] = i;
+            acc = acc.add(self.prefix_rec(axis + 1, idx, point));
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    fn update_rec(&mut self, axis: usize, idx: &mut Vec<usize>, point: &[usize], delta: G) {
+        if axis == point.len() {
+            let lin = self.tree.shape().linear(idx);
+            let v = self.tree.get_linear(lin).add(delta);
+            self.tree.set_linear(lin, v);
+            self.counter.write(1);
+            return;
+        }
+        let n = self.shape.dim(axis);
+        let mut i = point[axis] + 1;
+        while i <= n {
+            idx[axis] = i;
+            self.update_rec(axis + 1, idx, point, delta);
+            i += i & i.wrapping_neg();
+        }
+    }
+}
+
+impl<G: AbelianGroup> RangeSumEngine<G> for MultiFenwick<G> {
+    fn name(&self) -> &'static str {
+        "fenwick-nd"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn prefix_sum(&self, point: &[usize]) -> G {
+        self.shape.check_point(point);
+        let mut idx = vec![0usize; point.len()];
+        self.prefix_rec(0, &mut idx, point)
+    }
+
+    fn apply_delta(&mut self, point: &[usize], delta: G) {
+        self.shape.check_point(point);
+        if delta.is_zero() {
+            return;
+        }
+        let mut idx = vec![0usize; point.len()];
+        self.update_rec(0, &mut idx, point, delta);
+    }
+
+    fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.tree.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_array::Region;
+
+    #[test]
+    fn matches_reference_2d() {
+        let a = NdArray::from_fn(Shape::new(&[13, 9]), |p| (p[0] * 9 + p[1]) as i64 % 11 - 5);
+        let f = MultiFenwick::from_array(&a);
+        for p in a.shape().iter_points() {
+            assert_eq!(f.prefix_sum(&p), a.prefix_sum(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_3d_after_updates() {
+        let mut reference = NdArray::<i64>::zeroed(Shape::cube(3, 6));
+        let mut f = MultiFenwick::<i64>::zeroed(Shape::cube(3, 6));
+        for step in 0..200usize {
+            let p = vec![step % 6, (step * 5) % 6, (step * 11) % 6];
+            let delta = step as i64 % 13 - 6;
+            reference.add_assign(&p, delta);
+            f.apply_delta(&p, delta);
+        }
+        for p in reference.shape().iter_points() {
+            assert_eq!(f.prefix_sum(&p), reference.prefix_sum(&p));
+        }
+        let q = Region::new(&[1, 2, 0], &[4, 5, 3]);
+        assert_eq!(f.range_sum(&q), reference.region_sum(&q));
+    }
+
+    #[test]
+    fn costs_are_polylogarithmic() {
+        let mut f = MultiFenwick::<i64>::zeroed(Shape::cube(2, 1024));
+        f.reset_ops();
+        f.apply_delta(&[0, 0], 1);
+        // (log2 1024 + 1)² = 121 worst-case writes for the origin.
+        assert!(f.ops().writes <= 121, "{}", f.ops().writes);
+        f.reset_ops();
+        let _ = f.prefix_sum(&[1023, 1023]);
+        assert!(f.ops().reads <= 121, "{}", f.ops().reads);
+    }
+
+    #[test]
+    fn memory_is_one_dense_array() {
+        let f = MultiFenwick::<i64>::zeroed(Shape::cube(2, 256));
+        // (256+1)² cells of i64 plus the struct — no pointer forest.
+        assert!(f.heap_bytes() <= 257 * 257 * 8 + 128);
+    }
+
+    #[test]
+    fn one_dimensional_degenerates_to_fenwick() {
+        let a = NdArray::from_vec(Shape::new(&[37]), (0..37).map(|i| i * i % 19).collect());
+        let f = MultiFenwick::from_array(&a);
+        for i in 0..37 {
+            assert_eq!(f.prefix_sum(&[i]), a.prefix_sum(&[i]));
+        }
+    }
+}

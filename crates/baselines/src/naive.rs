@@ -1,0 +1,120 @@
+//! The naive method (paper §2): the array `A` itself.
+//!
+//! "Array A can be used by itself to solve range sum queries … Arbitrary
+//! range queries on array A can cost `O(n^d)` … Updates to array A take
+//! `O(1)`." This engine is both the paper's first baseline and the ground
+//! truth every other engine is property-tested against.
+
+use ddc_array::{AbelianGroup, NdArray, OpCounter, RangeSumEngine, Region, Shape};
+
+/// Range-sum engine that stores `A` directly and scans on every query.
+#[derive(Debug)]
+pub struct NaiveEngine<G: AbelianGroup> {
+    a: NdArray<G>,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> Clone for NaiveEngine<G> {
+    fn clone(&self) -> Self {
+        Self { a: self.a.clone(), counter: OpCounter::new() }
+    }
+}
+
+impl<G: AbelianGroup> NaiveEngine<G> {
+    /// An all-zero cube of the given shape.
+    pub fn zeroed(shape: Shape) -> Self {
+        Self { a: NdArray::zeroed(shape), counter: OpCounter::new() }
+    }
+
+    /// Wraps an existing array.
+    pub fn from_array(a: &NdArray<G>) -> Self {
+        Self { a: a.clone(), counter: OpCounter::new() }
+    }
+
+    /// Read-only view of the underlying array.
+    pub fn array(&self) -> &NdArray<G> {
+        &self.a
+    }
+}
+
+impl<G: AbelianGroup> RangeSumEngine<G> for NaiveEngine<G> {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    fn prefix_sum(&self, point: &[usize]) -> G {
+        self.range_sum(&Region::prefix(point))
+    }
+
+    // Scanning the region directly beats combining 2^d scanned prefixes.
+    fn range_sum(&self, region: &Region) -> G {
+        region.check_within(self.shape());
+        self.counter.read(region.cells() as u64);
+        self.a.region_sum(region)
+    }
+
+    fn apply_delta(&mut self, point: &[usize], delta: G) {
+        self.counter.write(1);
+        self.a.add_assign(point, delta);
+    }
+
+    fn cell(&self, point: &[usize]) -> G {
+        self.counter.read(1);
+        self.a.get(point)
+    }
+
+    fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.a.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like_array() -> NdArray<i64> {
+        NdArray::from_fn(Shape::new(&[8, 8]), |p| ((p[0] * 8 + p[1]) % 7) as i64)
+    }
+
+    #[test]
+    fn range_and_prefix_agree_with_array() {
+        let a = paper_like_array();
+        let e = NaiveEngine::from_array(&a);
+        let r = Region::new(&[2, 3], &[5, 6]);
+        assert_eq!(e.range_sum(&r), a.region_sum(&r));
+        assert_eq!(e.prefix_sum(&[4, 4]), a.prefix_sum(&[4, 4]));
+    }
+
+    #[test]
+    fn constant_time_update() {
+        let mut e = NaiveEngine::<i64>::zeroed(Shape::cube(3, 4));
+        e.reset_ops();
+        e.apply_delta(&[1, 2, 3], 9);
+        assert_eq!(e.ops().writes, 1);
+        assert_eq!(e.cell(&[1, 2, 3]), 9);
+    }
+
+    #[test]
+    fn full_scan_cost_is_region_size() {
+        let e = NaiveEngine::<i64>::zeroed(Shape::cube(2, 10));
+        e.reset_ops();
+        let _ = e.range_sum(&Region::full(e.shape()));
+        assert_eq!(e.ops().reads, 100);
+    }
+
+    #[test]
+    fn set_returns_old_value() {
+        let mut e = NaiveEngine::<i64>::zeroed(Shape::new(&[4]));
+        assert_eq!(e.set(&[2], 7), 0);
+        assert_eq!(e.set(&[2], 3), 7);
+        assert_eq!(e.prefix_sum(&[3]), 3);
+    }
+}

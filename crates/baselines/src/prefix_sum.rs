@@ -1,0 +1,262 @@
+//! The Prefix Sum method of Ho, Agrawal, Megiddo and Srikant \[HAMS97\]
+//! (paper §2, Figure 3).
+//!
+//! An array `P` of the same shape as `A` stores
+//! `P[x] = SUM(A[0,…,0] : A[x])`; any prefix query is a single read and any
+//! range query at most `2^d` reads (Figure 4). The price is the cascading
+//! update of Figure 5: adding `δ` to `A[x]` must add `δ` to *every* `P`
+//! cell that dominates `x`, which is the entire array when `x = A[0,…,0]`
+//! — `O(n^d)` and the motivating pathology for the Dynamic Data Cube.
+
+use ddc_array::{AbelianGroup, NdArray, OpCounter, RangeSumEngine, Region, Shape};
+
+/// Range-sum engine storing the cumulative array `P` of \[HAMS97\].
+///
+/// # Examples
+///
+/// ```
+/// use ddc_array::{NdArray, RangeSumEngine, Region};
+/// use ddc_baselines::PrefixSumEngine;
+///
+/// let a = NdArray::from_rows(&[vec![1i64, 2], vec![3, 4]]);
+/// let mut e = PrefixSumEngine::from_array(&a);
+/// assert_eq!(e.prefix_sum(&[1, 1]), 10);          // one array read
+/// e.apply_delta(&[0, 0], 5);                      // O(n^d) cascade
+/// assert_eq!(e.range_sum(&Region::cell(&[0, 0])), 6);
+/// ```
+#[derive(Debug)]
+pub struct PrefixSumEngine<G: AbelianGroup> {
+    p: NdArray<G>,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> Clone for PrefixSumEngine<G> {
+    fn clone(&self) -> Self {
+        Self { p: self.p.clone(), counter: OpCounter::new() }
+    }
+}
+
+/// Computes the full prefix-sum array of `a` in `O(d · n^d)` by one
+/// running-sum sweep per axis — the standard construction of `P`.
+pub fn build_prefix_array<G: AbelianGroup>(a: &NdArray<G>) -> NdArray<G> {
+    let shape = a.shape().clone();
+    let mut p = a.clone();
+    let d = shape.ndim();
+    let mut point = vec![0usize; d];
+    for axis in 0..d {
+        // Add the predecessor along `axis` to every cell, in row-major
+        // order (predecessors are always visited first).
+        let mut iter = shape.iter_points();
+        while iter.next_into(&mut point) {
+            if point[axis] == 0 {
+                continue;
+            }
+            point[axis] -= 1;
+            let prev = p.get_linear(shape.linear(&point));
+            point[axis] += 1;
+            let idx = shape.linear(&point);
+            p.set_linear(idx, p.get_linear(idx).add(prev));
+        }
+    }
+    p
+}
+
+impl<G: AbelianGroup> PrefixSumEngine<G> {
+    /// An all-zero cube of the given shape.
+    pub fn zeroed(shape: Shape) -> Self {
+        Self { p: NdArray::zeroed(shape), counter: OpCounter::new() }
+    }
+
+    /// Precomputes `P` from the source array `A`.
+    pub fn from_array(a: &NdArray<G>) -> Self {
+        Self { p: build_prefix_array(a), counter: OpCounter::new() }
+    }
+
+    /// Read-only view of the cumulative array `P` (Figure 3).
+    pub fn prefix_array(&self) -> &NdArray<G> {
+        &self.p
+    }
+}
+
+impl<G: AbelianGroup> RangeSumEngine<G> for PrefixSumEngine<G> {
+    fn name(&self) -> &'static str {
+        "prefix-sum"
+    }
+
+    fn shape(&self) -> &Shape {
+        self.p.shape()
+    }
+
+    fn prefix_sum(&self, point: &[usize]) -> G {
+        self.counter.read(1);
+        self.p.get(point)
+    }
+
+    fn apply_delta(&mut self, point: &[usize], delta: G) {
+        self.shape().check_point(point);
+        if delta.is_zero() {
+            return;
+        }
+        // The Figure 5 cascade: every dominating cell absorbs the delta.
+        let hi: Vec<usize> = self.shape().dims().iter().map(|&n| n - 1).collect();
+        let dominated = Region::new(point, &hi);
+        let mut iter = dominated.iter_points();
+        let mut buf = vec![0usize; self.shape().ndim()];
+        let mut written = 0u64;
+        while iter.next_into(&mut buf) {
+            self.p.add_assign(&buf, delta);
+            written += 1;
+        }
+        self.counter.write(written);
+    }
+
+    /// The batch path the method was designed for: accumulate the deltas
+    /// into a scratch array, prefix-sum it once, and add it to `P` —
+    /// `O((d+1)·n^d)` for the whole batch instead of `O(B·n^d)`.
+    fn apply_batch(&mut self, updates: &[(Vec<usize>, G)]) {
+        // Small batches: the per-update cascade touches fewer cells.
+        if updates.len() <= 2 {
+            for (p, delta) in updates {
+                self.apply_delta(p, *delta);
+            }
+            return;
+        }
+        let shape = self.p.shape().clone();
+        let mut deltas = NdArray::<G>::zeroed(shape.clone());
+        for (p, delta) in updates {
+            shape.check_point(p);
+            deltas.add_assign(p, *delta);
+        }
+        let dp = build_prefix_array(&deltas);
+        for i in 0..shape.cells() {
+            let v = self.p.get_linear(i).add(dp.get_linear(i));
+            self.p.set_linear(i, v);
+        }
+        self.counter.write(shape.cells() as u64);
+    }
+
+    fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.p.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NdArray<i64> {
+        NdArray::from_fn(Shape::new(&[6, 7]), |p| (p[0] * 7 + p[1]) as i64 % 5 - 2)
+    }
+
+    #[test]
+    fn build_matches_brute_force() {
+        let a = sample();
+        let p = build_prefix_array(&a);
+        for point in a.shape().iter_points() {
+            assert_eq!(p.get(&point), a.prefix_sum(&point), "P{point:?}");
+        }
+    }
+
+    #[test]
+    fn three_dimensional_build() {
+        let a = NdArray::from_fn(Shape::cube(3, 4), |p| (p[0] + 2 * p[1] + 3 * p[2]) as i64);
+        let p = build_prefix_array(&a);
+        for point in a.shape().iter_points() {
+            assert_eq!(p.get(&point), a.prefix_sum(&point));
+        }
+    }
+
+    #[test]
+    fn constant_time_query() {
+        let e = PrefixSumEngine::from_array(&sample());
+        e.reset_ops();
+        let _ = e.prefix_sum(&[5, 6]);
+        assert_eq!(e.ops().reads, 1);
+        e.reset_ops();
+        let _ = e.range_sum(&Region::new(&[1, 1], &[4, 5]));
+        assert_eq!(e.ops().reads, 4); // 2^d corners
+    }
+
+    #[test]
+    fn update_cascade_touches_dominated_cells() {
+        // Figure 5: updating A[1,1] rewrites the shaded dominated region.
+        let mut e = PrefixSumEngine::from_array(&sample());
+        e.reset_ops();
+        e.apply_delta(&[1, 1], 3);
+        // Dominated region of [1,1] in 6×7: 5 × 6 = 30 cells.
+        assert_eq!(e.ops().writes, 30);
+        // Worst case: updating A[0,0] rewrites the whole array.
+        e.reset_ops();
+        e.apply_delta(&[0, 0], 1);
+        assert_eq!(e.ops().writes, 42);
+    }
+
+    #[test]
+    fn queries_stay_correct_after_updates() {
+        let a = sample();
+        let mut e = PrefixSumEngine::from_array(&a);
+        let mut reference = a.clone();
+        e.apply_delta(&[0, 0], 10);
+        reference.add_assign(&[0, 0], 10);
+        e.apply_delta(&[5, 6], -4);
+        reference.add_assign(&[5, 6], -4);
+        e.apply_delta(&[2, 3], 7);
+        reference.add_assign(&[2, 3], 7);
+        for point in reference.shape().iter_points() {
+            assert_eq!(e.prefix_sum(&point), reference.prefix_sum(&point));
+        }
+        let r = Region::new(&[1, 2], &[4, 4]);
+        assert_eq!(e.range_sum(&r), reference.region_sum(&r));
+    }
+
+    #[test]
+    fn cell_recovered_from_p_alone() {
+        let a = sample();
+        let e = PrefixSumEngine::from_array(&a);
+        for point in a.shape().iter_points() {
+            assert_eq!(e.cell(&point), a.get(&point));
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential() {
+        let a = sample();
+        let mut batched = PrefixSumEngine::from_array(&a);
+        let mut sequential = batched.clone();
+        let updates: Vec<(Vec<usize>, i64)> = (0..20)
+            .map(|i| (vec![i % 6, (i * 3) % 7], (i as i64) - 10))
+            .collect();
+        batched.apply_batch(&updates);
+        for (p, delta) in &updates {
+            sequential.apply_delta(p, *delta);
+        }
+        for point in a.shape().iter_points() {
+            assert_eq!(batched.prefix_sum(&point), sequential.prefix_sum(&point));
+        }
+    }
+
+    #[test]
+    fn batch_cost_is_one_rebuild() {
+        let mut e = PrefixSumEngine::<i64>::zeroed(Shape::cube(2, 32));
+        let updates: Vec<(Vec<usize>, i64)> =
+            (0..100).map(|i| (vec![0, i % 32], 1i64)).collect();
+        e.reset_ops();
+        e.apply_batch(&updates);
+        let batched = e.ops().writes;
+        // Sequential worst-ish case: each update near the origin cascades
+        // through ~the whole array: ≥ 100 × 1024/2 ≫ one rebuild of 1024.
+        assert_eq!(batched, 1024);
+    }
+
+    #[test]
+    fn set_on_zeroed_cube() {
+        let mut e = PrefixSumEngine::<i64>::zeroed(Shape::cube(2, 4));
+        assert_eq!(e.set(&[1, 1], 5), 0);
+        assert_eq!(e.set(&[1, 1], 2), 5);
+        assert_eq!(e.prefix_sum(&[3, 3]), 2);
+    }
+}

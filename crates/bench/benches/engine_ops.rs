@@ -1,0 +1,78 @@
+//! Wall-clock complement to Table 1: per-operation latency of every
+//! range-sum method on identical cubes and workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddc_array::{RangeSumEngine, Shape};
+use ddc_olap::EngineKind;
+use ddc_workload::{rng, uniform_array, uniform_regions, uniform_updates};
+use std::time::Duration;
+
+fn build(kind: EngineKind, shape: &Shape) -> Box<dyn RangeSumEngine<i64>> {
+    let mut r = rng(11);
+    let base = uniform_array(shape, -50, 50, &mut r);
+    let mut e = kind.build(shape.clone());
+    for p in shape.iter_points() {
+        let v = base.get(&p);
+        if v != 0 {
+            e.apply_delta(&p, v);
+        }
+    }
+    e
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for n in [64usize, 256] {
+        let shape = Shape::cube(2, n);
+        let mut r = rng(5);
+        let stream = uniform_updates(&shape, 512, &mut r);
+        for kind in EngineKind::ALL {
+            // PS updates on 256² rewrite ~16k cells each; keep it but it
+            // is the point of the comparison.
+            let mut engine = build(kind, &shape);
+            let mut i = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let (p, delta) = &stream.updates[i % stream.updates.len()];
+                        engine.apply_delta(p, *delta);
+                        i += 1;
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for n in [64usize, 256] {
+        let shape = Shape::cube(2, n);
+        let mut r = rng(6);
+        let regions = uniform_regions(&shape, 256, &mut r);
+        for kind in EngineKind::ALL {
+            let engine = build(kind, &shape);
+            let mut i = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let q = &regions[i % regions.len()];
+                        i += 1;
+                        std::hint::black_box(engine.range_sum(q))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **§3.3 reproduction**: the Basic Dynamic Data Cube's update cost is
+//! `O(n^{d-1})` — measured worst-case update cost versus the paper's
+//! closed form `d · (n^{d-1} − 1) / (2^{d-1} − 1)`, alongside the §4
+//! Dynamic tree on identical workloads.
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin basic_vs_dynamic
+//! ```
+
+use ddc_bench::{measure_worst_case_update, print_row};
+use ddc_costmodel::complexity;
+use ddc_olap::EngineKind;
+
+fn main() {
+    for (d, sizes) in [(2usize, vec![16usize, 32, 64, 128, 256]), (3, vec![8, 16, 32])] {
+        println!("\n== d = {d}: worst-case update, Basic vs Dynamic ==\n");
+        let widths = [6usize, 14, 16, 12, 14];
+        print_row(
+            &[
+                "n".into(),
+                "basic meas.".into(),
+                "§3.3 formula".into(),
+                "dyn meas.".into(),
+                "basic/dyn".into(),
+            ],
+            &widths,
+        );
+        for &n in &sizes {
+            let basic = measure_worst_case_update(EngineKind::BasicDdc, d, n);
+            let dynamic = measure_worst_case_update(EngineKind::DynamicDdc, d, n);
+            let formula = complexity::basic_update_cost(n as f64, d as u32);
+            print_row(
+                &[
+                    format!("{n}"),
+                    format!("{basic}"),
+                    format!("{formula:.0}"),
+                    format!("{dynamic}"),
+                    format!("{:.1}x", basic as f64 / dynamic as f64),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nThe measured Basic cost tracks the §3.3 series (row-sum cascades\n\
+         dominate); the Dynamic tree's secondary structures flatten it to\n\
+         polylog, and the advantage grows with n — §4's motivation."
+    );
+}

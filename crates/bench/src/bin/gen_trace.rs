@@ -1,0 +1,39 @@
+//! Trace generator: writes a replayable workload file for `replay`.
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin gen_trace -- \
+//!     --out trace.txt [--n 256] [--d 2] [--ops 5000] [--updates 0.5] [--seed 1]
+//! ```
+
+use ddc_array::Shape;
+use ddc_workload::{rng, Trace};
+
+fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out: String = arg(&args, "--out", "target/workload.trace".to_string());
+    let n: usize = arg(&args, "--n", 256);
+    let d: usize = arg(&args, "--d", 2);
+    let ops: usize = arg(&args, "--ops", 5_000);
+    let updates: f64 = arg(&args, "--updates", 0.5);
+    let seed: u64 = arg(&args, "--seed", 1);
+
+    let trace = Trace::generate(&Shape::cube(d, n), ops, updates, &mut rng(seed));
+    match std::fs::write(&out, trace.to_text()) {
+        Ok(()) => println!(
+            "wrote {} ops over a {d}-dim side-{n} cube (updates {updates}) → {out}",
+            trace.ops.len()
+        ),
+        Err(e) => {
+            eprintln!("gen_trace: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! **§5a reproduction**: dynamic growth of the data cube in any direction.
+//! A star-catalog-style stream discovers points in all quadrants; the cube
+//! re-roots on demand. We report per-phase growth cost (values written),
+//! final coverage, and memory — all proportional to the data, never to the
+//! bounding box.
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin growth
+//! ```
+
+use ddc_baselines::GrowablePrefixSum;
+use ddc_bench::print_row;
+use ddc_core::{DdcConfig, GrowableCube};
+use ddc_workload::{clustered_points, random_clusters, rng};
+
+/// Head-to-head: DDC re-rooting growth vs the prefix-sum method's forced
+/// materialization (§5, Figure 16) on the same outward point stream.
+fn head_to_head() {
+    println!("\n== forced materialization vs re-rooting (same stream) ==\n");
+    let widths = [10usize, 16, 16, 16, 16];
+    print_row(
+        &[
+            "reach".into(),
+            "PS writes/pt".into(),
+            "PS KiB".into(),
+            "DDC writes/pt".into(),
+            "DDC KiB".into(),
+        ],
+        &widths,
+    );
+    let mut ps = GrowablePrefixSum::<i64>::new(&[0, 0]);
+    let mut ddc = GrowableCube::<i64>::new(2, DdcConfig::sparse());
+    let mut r = rng(99);
+    for wave in 0..4u32 {
+        let reach = 16i64 << (2 * wave);
+        let clusters = random_clusters(2, 3, reach, 3.0, &mut r);
+        let pts = clustered_points(&clusters, 100, 50, &mut r);
+        ps.counter().reset();
+        ddc.counter().reset();
+        for (p, v) in &pts {
+            ps.add(p, *v);
+            ddc.add(p, *v);
+        }
+        print_row(
+            &[
+                format!("±{reach}"),
+                format!("{:.0}", ps.counter().snapshot().writes as f64 / pts.len() as f64),
+                format!("{}", ps.heap_bytes() / 1024),
+                format!("{:.0}", ddc.counter().snapshot().writes as f64 / pts.len() as f64),
+                format!("{}", ddc.heap_bytes() / 1024),
+            ],
+            &widths,
+        );
+        // Answers agree the whole way.
+        assert_eq!(
+            ps.range_sum(&[-reach, -reach], &[reach, reach]),
+            ddc.range_sum(&[-reach, -reach], &[reach, reach])
+        );
+    }
+    println!(
+        "\nEvery directional growth forces the prefix sum method to rebuild\n\
+         its bounding box (cells written ∝ box); the DDC re-roots in\n\
+         data-proportional work — §5's central claim, measured."
+    );
+}
+
+fn main() {
+    let d = 2usize;
+    let mut cube = GrowableCube::<i64>::new(d, DdcConfig::sparse());
+    let mut r = rng(2024);
+
+    println!("§5 growth experiment: star catalog discovered outward in waves\n");
+    let widths = [8usize, 12, 12, 14, 14, 12];
+    print_row(
+        &[
+            "wave".into(),
+            "extent".into(),
+            "points".into(),
+            "writes/pt".into(),
+            "heap KiB".into(),
+            "KiB/pt".into(),
+        ],
+        &widths,
+    );
+
+    let mut total_points = 0usize;
+    for wave in 0..6u32 {
+        // Each wave discovers clusters twice as far out, in all directions.
+        let reach = 8i64 << (2 * wave);
+        let clusters = random_clusters(d, 4, reach, (reach as f64 / 20.0).max(2.0), &mut r);
+        let pts = clustered_points(&clusters, 250, 100, &mut r);
+        cube.counter().reset();
+        for (p, v) in &pts {
+            cube.add(p, *v);
+        }
+        total_points += pts.len();
+        let writes = cube.counter().snapshot().writes as f64 / pts.len() as f64;
+        let kib = cube.heap_bytes() as f64 / 1024.0;
+        print_row(
+            &[
+                format!("{wave}"),
+                format!("{}", cube.extent()[0]),
+                format!("{total_points}"),
+                format!("{writes:.1}"),
+                format!("{kib:.1}"),
+                format!("{:.2}", kib / total_points as f64),
+            ],
+            &widths,
+        );
+    }
+
+    let bbox: f64 = cube.extent().iter().map(|&e| e as f64).product();
+    println!(
+        "\nFinal coverage {}×{} = {bbox:.2e} cells; populated {}; heap {} KiB.",
+        cube.extent()[0],
+        cube.extent()[1],
+        cube.populated_cells(),
+        cube.heap_bytes() / 1024
+    );
+    println!(
+        "A prefix-sum array over the same bounding box would need {:.2e} \
+         cells\n({:.1} GiB of i64) and rebuild on every directional growth — \
+         the §5 contrast.",
+        bbox,
+        bbox * 8.0 / (1024.0 * 1024.0 * 1024.0)
+    );
+    cube.check_invariants();
+    println!("Invariants verified: total = {}.", cube.total());
+
+    head_to_head();
+}

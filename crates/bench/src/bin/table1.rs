@@ -1,0 +1,72 @@
+//! Regenerates **Table 1** and the series behind **Figure 1**: update cost
+//! functions by method at `d = 8`, `n = 10^1 … 10^9`.
+//!
+//! ```text
+//! cargo run -p ddc-bench --bin table1 [--csv] [--d <dims>]
+//! ```
+//!
+//! Default output is the paper's table (values rounded to the nearest
+//! power of 10); `--csv` emits the exact values as the log/log series
+//! plotted in Figure 1.
+
+use ddc_bench::{pow10, print_row};
+use ddc_costmodel::table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let d: u32 = args
+        .iter()
+        .position(|a| a == "--d")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    let rows = table1::rows(d, 9);
+    if csv {
+        println!("n,full_cube,prefix_sum,relative_prefix,ddc");
+        for r in &rows {
+            println!(
+                "{:.0},{:e},{:e},{:e},{:e}",
+                r.n, r.full_cube, r.prefix_sum, r.relative_prefix, r.ddc
+            );
+        }
+        return;
+    }
+
+    println!("Table 1. Update cost functions by method, d={d}.");
+    println!("Values are rounded to the nearest power of 10.\n");
+    let widths = [8, 20, 14, 14, 18];
+    print_row(
+        &[
+            "n".into(),
+            "Full Data Cube=n^d".into(),
+            "PrefixSum=n^d".into(),
+            "RelPS=n^(d/2)".into(),
+            "DDC=(log2 n)^d".into(),
+        ],
+        &widths,
+    );
+    for r in &rows {
+        print_row(
+            &[
+                pow10(r.n),
+                pow10(r.full_cube),
+                pow10(r.prefix_sum),
+                pow10(r.relative_prefix),
+                pow10(r.ddc),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nHeadline claims (§1, hypothetical 500 MIPS processor):");
+    let ps_100 = table1::seconds_at_mips(table1::prefix_sum_update(1e2, 8), 500.0);
+    let ddc_100 = table1::seconds_at_mips(table1::ddc_update(1e2, 8), 500.0);
+    let rps_1e4 = table1::seconds_at_mips(table1::relative_prefix_update(1e4, 8), 500.0);
+    let ddc_1e4 = table1::seconds_at_mips(table1::ddc_update(1e4, 8), 500.0);
+    println!("  n=10^2: prefix sum  {:>12.1} days/update", ps_100 / 86_400.0);
+    println!("  n=10^2: DDC         {:>12.6} seconds/update", ddc_100);
+    println!("  n=10^4: relative PS {:>12.1} days/update", rps_1e4 / 86_400.0);
+    println!("  n=10^4: DDC         {:>12.3} seconds/update", ddc_1e4);
+}

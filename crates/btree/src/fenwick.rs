@@ -1,0 +1,212 @@
+//! Fenwick (binary indexed) tree — the ablation comparator for the B^c tree.
+//!
+//! Fenwick trees solve the same one-dimensional problem as the paper's B^c
+//! tree — prefix sums with point updates in `O(log k)` — in a flat array
+//! with implicit structure. The paper predates widespread use of Fenwick
+//! trees in the OLAP literature and proposes the B^c tree instead; the
+//! `bc_vs_fenwick` benchmark quantifies the constant-factor difference so
+//! EXPERIMENTS.md can discuss the novelty band's observation that
+//! Fenwick/segment trees cover static range-sum+update.
+//!
+//! Unlike the B^c tree, a Fenwick tree cannot insert positions in the
+//! middle; growth requires a rebuild. This is precisely the flexibility
+//! argument §5 of the paper makes for tree-structured storage.
+
+use crate::store::CumulativeStore;
+use ddc_array::{AbelianGroup, OpCounter};
+
+/// A Fenwick tree over group values, 0-based external indices.
+///
+/// # Examples
+///
+/// ```
+/// use ddc_btree::{CumulativeStore, Fenwick};
+///
+/// let mut f = Fenwick::from_values(&[3i64, 1, 4, 1, 5]);
+/// assert_eq!(f.prefix(2), 8);
+/// f.add(1, 10);
+/// assert_eq!(f.range(1, 3), 16);
+/// f.push(9); // amortized O(log k) append
+/// assert_eq!(f.total(), 33);
+/// ```
+#[derive(Debug)]
+pub struct Fenwick<G: AbelianGroup> {
+    /// 1-based implicit tree; `tree[0]` is unused padding.
+    tree: Vec<G>,
+    len: usize,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> Clone for Fenwick<G> {
+    fn clone(&self) -> Self {
+        Self { tree: self.tree.clone(), len: self.len, counter: OpCounter::new() }
+    }
+}
+
+impl<G: AbelianGroup> Fenwick<G> {
+    /// A tree of `len` zero values.
+    pub fn zeroed(len: usize) -> Self {
+        Self { tree: vec![G::ZERO; len + 1], len, counter: OpCounter::new() }
+    }
+
+    /// Builds from raw values in `O(k)` using the parent-propagation trick.
+    pub fn from_values(values: &[G]) -> Self {
+        let len = values.len();
+        let mut tree = vec![G::ZERO; len + 1];
+        for (i, &v) in values.iter().enumerate() {
+            let pos = i + 1;
+            tree[pos] = tree[pos].add(v);
+            let parent = pos + (pos & pos.wrapping_neg());
+            if parent <= len {
+                let t = tree[pos];
+                tree[parent] = tree[parent].add(t);
+            }
+        }
+        Self { tree, len, counter: OpCounter::new() }
+    }
+
+    /// Appends one value at the end in amortized `O(log k)`.
+    pub fn push(&mut self, value: G) {
+        // New node at 1-based position p covers the range
+        // (p - lowbit(p), p]; seed it with the sums of its covered
+        // children plus the new value.
+        self.len += 1;
+        let p = self.len;
+        let mut node = value;
+        let lsb = p & p.wrapping_neg();
+        let mut child = p - 1;
+        let stop = p - lsb;
+        while child > stop {
+            node = node.add(self.tree[child]);
+            child -= child & child.wrapping_neg();
+        }
+        self.tree.push(node);
+    }
+}
+
+impl<G: AbelianGroup> CumulativeStore<G> for Fenwick<G> {
+    fn name(&self) -> &'static str {
+        "fenwick"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn prefix(&self, index: usize) -> G {
+        assert!(index < self.len, "prefix index {index} beyond length {}", self.len);
+        let mut acc = G::ZERO;
+        let mut i = index + 1;
+        while i > 0 {
+            acc = acc.add(self.tree[i]);
+            self.counter.read(1);
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    fn value(&self, index: usize) -> G {
+        if index == 0 {
+            self.prefix(0)
+        } else {
+            self.prefix(index).sub(self.prefix(index - 1))
+        }
+    }
+
+    fn add(&mut self, index: usize, delta: G) {
+        assert!(index < self.len, "index {index} beyond length {}", self.len);
+        if delta.is_zero() {
+            return;
+        }
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] = self.tree[i].add(delta);
+            self.counter.write(1);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.tree.capacity() * std::mem::size_of::<G>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_scan() {
+        let values: Vec<i64> = (0..300).map(|i| (i * 31 % 97) - 48).collect();
+        let f = Fenwick::from_values(&values);
+        let mut acc = 0;
+        for (i, &v) in values.iter().enumerate() {
+            acc += v;
+            assert_eq!(f.prefix(i), acc, "prefix({i})");
+            assert_eq!(f.value(i), v, "value({i})");
+        }
+    }
+
+    #[test]
+    fn updates_match_scan() {
+        let mut values = vec![0i64; 50];
+        let mut f = Fenwick::<i64>::zeroed(50);
+        for step in 0..300 {
+            let idx = (step * 7) % 50;
+            let delta = (step as i64 % 11) - 5;
+            values[idx] += delta;
+            f.add(idx, delta);
+        }
+        for i in 0..50 {
+            let expect: i64 = values[..=i].iter().sum();
+            assert_eq!(f.prefix(i), expect);
+        }
+    }
+
+    #[test]
+    fn push_extends_consistently() {
+        let mut f = Fenwick::<i64>::from_values(&[1, 2, 3]);
+        let mut reference = vec![1i64, 2, 3];
+        for i in 0..100 {
+            let v = (i as i64 * 13) % 29 - 14;
+            f.push(v);
+            reference.push(v);
+        }
+        let mut acc = 0;
+        for (i, &v) in reference.iter().enumerate() {
+            acc += v;
+            assert_eq!(f.prefix(i), acc, "prefix({i}) after pushes");
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn push_into_empty() {
+        let mut f = Fenwick::<i64>::zeroed(0);
+        assert!(f.is_empty());
+        f.push(5);
+        f.push(-2);
+        assert_eq!(f.total(), 3);
+        assert_eq!(f.prefix(0), 5);
+    }
+
+    #[test]
+    fn set_and_range() {
+        let mut f = Fenwick::from_values(&[10i64, 20, 30]);
+        assert_eq!(f.set(1, 25), 20);
+        assert_eq!(f.range(0, 2), 65);
+        assert_eq!(f.range(1, 1), 25);
+    }
+
+    #[test]
+    fn log_cost() {
+        let f = Fenwick::<i64>::zeroed(1 << 20);
+        f.reset_ops();
+        let _ = f.prefix((1 << 20) - 1);
+        assert!(f.ops().reads <= 21);
+    }
+}

@@ -1,0 +1,20 @@
+//! # ddc-btree
+//!
+//! One-dimensional cumulative stores: the paper's Cumulative B-Tree
+//! ([`BcTree`], §4.1) — the base case of the Dynamic Data Cube's recursion
+//! — and a Fenwick tree ([`Fenwick`]) ablation. Both implement
+//! [`CumulativeStore`], the contract the two-dimensional DDC base case is
+//! generic over.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bc_tree;
+mod fenwick;
+mod segtree;
+mod store;
+
+pub use bc_tree::{BcTree, DEFAULT_FANOUT, MIN_FANOUT};
+pub use fenwick::Fenwick;
+pub use segtree::SparseSegTree;
+pub use store::CumulativeStore;

@@ -1,0 +1,14 @@
+//! # ddc-cli
+//!
+//! The `ddc` shell: an interactive / scriptable front end over the
+//! workspace's data cubes. See [`Session`] for the interpreter and the
+//! `command` module for the line language.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod command;
+mod session;
+
+pub use command::{Aggregate, Command, DimSpec, ParseError, RangeToken};
+pub use session::{Output, Session};

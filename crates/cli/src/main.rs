@@ -1,0 +1,62 @@
+//! `ddc` — an interactive shell / batch runner for Dynamic Data Cubes.
+//!
+//! ```text
+//! ddc                 # interactive REPL on stdin
+//! ddc script.ddc …    # execute one or more scripts, then exit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ddc_cli::{Output, Session};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = Session::new();
+
+    if !args.is_empty() {
+        for path in &args {
+            let script = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ddc: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            for (no, line) in script.lines().enumerate() {
+                match session.execute_line(line) {
+                    Ok(Output::Text(t)) => println!("{t}"),
+                    Ok(Output::Quit) => return,
+                    Ok(Output::Silent) => {}
+                    Err(e) => {
+                        eprintln!("ddc: {path}:{}: {e}", no + 1);
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        return;
+    }
+
+    println!("ddc — Dynamic Data Cube shell (type 'help')");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("ddc> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("ddc: {e}");
+                break;
+            }
+        }
+        match session.execute_line(&line) {
+            Ok(Output::Text(t)) => println!("{t}"),
+            Ok(Output::Quit) => break,
+            Ok(Output::Silent) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Construction-time configuration of a Dynamic Data Cube.
+
+use ddc_btree::DEFAULT_FANOUT;
+
+/// How overlay row-sum groups are stored (paper §3 vs §4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The Basic Dynamic Data Cube (§3): row sums are kept *directly* as
+    /// cumulative values in flat arrays. Queries read one value per group
+    /// (`O(log n)` total) but updates cascade through the group —
+    /// `O(n^{d-1})` worst case (§3.3).
+    Basic,
+    /// The Dynamic Data Cube (§4): row-sum groups are stored in secondary
+    /// structures — a one-dimensional [`BaseStore`] when the group is
+    /// one-dimensional, recursively a `(d-1)`-dimensional Dynamic Data
+    /// Cube otherwise — giving `O(log^d n)` queries *and* updates
+    /// (Theorem 2).
+    Dynamic,
+}
+
+/// The structure used for one-dimensional row-sum groups (the recursion
+/// base case of §4.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BaseStore {
+    /// The paper's Cumulative B-Tree (§4.1) with the given fanout `f`.
+    Bc {
+        /// Maximum children per interior node / values per leaf.
+        fanout: usize,
+    },
+    /// Fenwick tree ablation: same asymptotics, flat-array constants, but
+    /// no positional insertion and eager `O(k)` allocation.
+    Fenwick,
+    /// Lazily materialized segment tree: allocates only along update
+    /// paths, which is what makes sparse cubes (§5) occupy memory
+    /// proportional to the populated region.
+    SparseSeg,
+}
+
+/// Full configuration of a [`crate::DdcEngine`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DdcConfig {
+    /// Basic (§3) or Dynamic (§4) row-sum storage.
+    pub mode: Mode,
+    /// Base store for one-dimensional row-sum groups (Dynamic mode only).
+    pub base: BaseStore,
+    /// The space optimization of §4.4: the number `h` of tree levels
+    /// elided immediately above the leaves. `0` keeps the full tree
+    /// (leaf overlay boxes of size `k = 1`); `h ≥ 1` replaces the lowest
+    /// `h` levels with dense leaf blocks of side `2^h`, trading up to
+    /// `2^{(h+1)·d}` leaf-cell additions per query for storage within `ε`
+    /// of `|A|`.
+    pub elide_levels: usize,
+}
+
+impl Default for DdcConfig {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Dynamic,
+            base: BaseStore::Bc { fanout: DEFAULT_FANOUT },
+            elide_levels: 0,
+        }
+    }
+}
+
+impl DdcConfig {
+    /// The paper's §4 structure with defaults (B^c base, no elision).
+    pub fn dynamic() -> Self {
+        Self::default()
+    }
+
+    /// The Basic Dynamic Data Cube of §3.
+    pub fn basic() -> Self {
+        Self { mode: Mode::Basic, ..Self::default() }
+    }
+
+    /// A sparse-friendly dynamic configuration (lazy base stores).
+    pub fn sparse() -> Self {
+        Self { base: BaseStore::SparseSeg, ..Self::default() }
+    }
+
+    /// Sets the §4.4 level-elision parameter `h`.
+    pub fn with_elision(mut self, h: usize) -> Self {
+        self.elide_levels = h;
+        self
+    }
+
+    /// Sets the base store.
+    pub fn with_base(mut self, base: BaseStore) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Side of the dense leaf blocks implied by `elide_levels`: `2^{h+1}`.
+    ///
+    /// With `h = 0` the blocks have side 2 and hold exactly the cells the
+    /// paper's leaf-level (`k = 1`, subtotal-only) overlay boxes would —
+    /// the same data stored flat. Each additional elided level doubles
+    /// the block side, replacing the `k = 2 … 2^h` box levels (§4.4).
+    pub fn leaf_block_side(&self) -> usize {
+        1usize << (self.elide_levels + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_structure() {
+        let c = DdcConfig::default();
+        assert_eq!(c.mode, Mode::Dynamic);
+        assert_eq!(c.base, BaseStore::Bc { fanout: DEFAULT_FANOUT });
+        assert_eq!(c.elide_levels, 0);
+        assert_eq!(c.leaf_block_side(), 2);
+    }
+
+    #[test]
+    fn builders() {
+        let c = DdcConfig::basic().with_elision(2);
+        assert_eq!(c.mode, Mode::Basic);
+        assert_eq!(c.leaf_block_side(), 8);
+        let s = DdcConfig::sparse().with_base(BaseStore::Fenwick);
+        assert_eq!(s.base, BaseStore::Fenwick);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ddc-core
+//!
+//! The Dynamic Data Cube (Geffner, Agrawal, El Abbadi — EDBT 2000): a tree
+//! of overlay boxes whose row-sum groups are stored recursively, giving
+//! sublinear (`O(log^d n)`) range-sum queries *and* point updates, lazy
+//! storage for sparse data, the §4.4 space optimization, and growth of the
+//! cube in any direction (§5).
+//!
+//! Entry points:
+//!
+//! * [`DdcEngine`] — the cube as a [`ddc_array::RangeSumEngine`]
+//!   (fixed logical shape; Basic §3 or Dynamic §4 per [`DdcConfig`]).
+//! * [`GrowableCube`] — signed logical coordinates with on-demand growth.
+//! * [`DdcTree`] — the underlying primary tree, exposed for experiments.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod concurrent;
+mod config;
+mod engine;
+mod flat_face;
+mod growth;
+mod persist;
+mod secondary;
+mod tree;
+
+pub use concurrent::SharedCube;
+pub use config::{BaseStore, DdcConfig, Mode};
+pub use engine::DdcEngine;
+pub use growth::GrowableCube;
+pub use persist::ValueCodec;
+pub use tree::{Contribution, DdcTree, LevelStats, TraceStep, TreeStats};

@@ -1,0 +1,310 @@
+//! Binary persistence for data cubes.
+//!
+//! Cubes snapshot to a compact sparse format — only populated cells are
+//! written — so a mostly-empty star catalog (§5) serializes in space
+//! proportional to its data, matching the in-memory story. The format is
+//! deliberately simple and versioned:
+//!
+//! ```text
+//! magic "DDC1" | u8 kind (0 = fixed-shape, 1 = growable)
+//! u32 d | d × u64 shape (kind 0)  or  d × i64 origin (kind 1)
+//! u64 entry count | entries: d × (u64 | i64) coords + value bytes
+//! ```
+//!
+//! Measure values serialize through [`ValueCodec`], implemented for the
+//! stock groups (`i64`, `f64`, pairs).
+
+use std::io::{self, Read, Write};
+
+use ddc_array::{AbelianGroup, Pair, RangeSumEngine, Shape};
+
+use crate::config::DdcConfig;
+use crate::engine::DdcEngine;
+use crate::growth::GrowableCube;
+
+const MAGIC: &[u8; 4] = b"DDC1";
+
+/// Fixed-width binary encoding of a measure value.
+pub trait ValueCodec: Sized {
+    /// Encoded size in bytes.
+    const WIDTH: usize;
+
+    /// Writes the value.
+    fn encode(&self, out: &mut impl Write) -> io::Result<()>;
+
+    /// Reads one value.
+    fn decode(input: &mut impl Read) -> io::Result<Self>;
+}
+
+impl ValueCodec for i64 {
+    const WIDTH: usize = 8;
+
+    fn encode(&self, out: &mut impl Write) -> io::Result<()> {
+        out.write_all(&self.to_le_bytes())
+    }
+
+    fn decode(input: &mut impl Read) -> io::Result<Self> {
+        let mut b = [0u8; 8];
+        input.read_exact(&mut b)?;
+        Ok(i64::from_le_bytes(b))
+    }
+}
+
+impl ValueCodec for f64 {
+    const WIDTH: usize = 8;
+
+    fn encode(&self, out: &mut impl Write) -> io::Result<()> {
+        out.write_all(&self.to_le_bytes())
+    }
+
+    fn decode(input: &mut impl Read) -> io::Result<Self> {
+        let mut b = [0u8; 8];
+        input.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+impl<A: ValueCodec, B: ValueCodec> ValueCodec for Pair<A, B> {
+    const WIDTH: usize = A::WIDTH + B::WIDTH;
+
+    fn encode(&self, out: &mut impl Write) -> io::Result<()> {
+        self.a.encode(out)?;
+        self.b.encode(out)
+    }
+
+    fn decode(input: &mut impl Read) -> io::Result<Self> {
+        Ok(Pair { a: A::decode(input)?, b: B::decode(input)? })
+    }
+}
+
+fn write_u32(out: &mut impl Write, v: u32) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(out: &mut impl Write, v: u64) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn write_i64(out: &mut impl Write, v: i64) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(input: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    input.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(input: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    input.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_i64(input: &mut impl Read) -> io::Result<i64> {
+    let mut b = [0u8; 8];
+    input.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_header(input: &mut impl Read, expect_kind: u8) -> io::Result<usize> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a DDC snapshot (bad magic)"));
+    }
+    let mut kind = [0u8; 1];
+    input.read_exact(&mut kind)?;
+    if kind[0] != expect_kind {
+        return Err(bad("snapshot kind mismatch (fixed vs growable)"));
+    }
+    let d = read_u32(input)? as usize;
+    if d == 0 || d > 64 {
+        return Err(bad("implausible dimensionality"));
+    }
+    Ok(d)
+}
+
+impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
+    /// Writes a sparse snapshot of the cube.
+    pub fn save(&self, out: &mut impl Write) -> io::Result<()> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[0u8])?;
+        let d = self.shape().ndim();
+        write_u32(out, d as u32)?;
+        for &n in self.shape().dims() {
+            write_u64(out, n as u64)?;
+        }
+        let entries = self.entries();
+        write_u64(out, entries.len() as u64)?;
+        for (p, v) in &entries {
+            for &c in p {
+                write_u64(out, c as u64)?;
+            }
+            v.encode(out)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a snapshot written by [`DdcEngine::save`], rebuilding under
+    /// `config` (snapshots are structure-agnostic).
+    pub fn load(input: &mut impl Read, config: DdcConfig) -> io::Result<Self> {
+        let d = read_header(input, 0)?;
+        let mut dims = Vec::with_capacity(d);
+        for _ in 0..d {
+            dims.push(read_u64(input)? as usize);
+        }
+        if dims.contains(&0) {
+            return Err(bad("zero-sized dimension"));
+        }
+        let shape = Shape::new(&dims);
+        let count = read_u64(input)? as usize;
+        let mut engine = Self::with_config(shape.clone(), config);
+        let mut p = vec![0usize; d];
+        for _ in 0..count {
+            for c in p.iter_mut() {
+                *c = read_u64(input)? as usize;
+            }
+            if !shape.contains(&p) {
+                return Err(bad("entry outside declared shape"));
+            }
+            let v = G::decode(input)?;
+            if !v.is_zero() {
+                engine.apply_delta(&p, v);
+            }
+        }
+        Ok(engine)
+    }
+}
+
+impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
+    /// Writes a sparse snapshot with signed logical coordinates.
+    pub fn save(&self, out: &mut impl Write) -> io::Result<()> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[1u8])?;
+        let d = self.ndim();
+        write_u32(out, d as u32)?;
+        for &o in self.origin() {
+            write_i64(out, o)?;
+        }
+        let entries = self.entries();
+        write_u64(out, entries.len() as u64)?;
+        for (p, v) in &entries {
+            for &c in p {
+                write_i64(out, c)?;
+            }
+            v.encode(out)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a snapshot written by [`GrowableCube::save`].
+    pub fn load(input: &mut impl Read, config: DdcConfig) -> io::Result<Self> {
+        let d = read_header(input, 1)?;
+        let mut origin = Vec::with_capacity(d);
+        for _ in 0..d {
+            origin.push(read_i64(input)?);
+        }
+        let count = read_u64(input)? as usize;
+        let mut cube = Self::with_origin(&origin, config);
+        let mut p = vec![0i64; d];
+        for _ in 0..count {
+            for c in p.iter_mut() {
+                *c = read_i64(input)?;
+            }
+            let v = G::decode(input)?;
+            if !v.is_zero() {
+                cube.add(&p, v);
+            }
+        }
+        Ok(cube)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_array::RangeSumEngine;
+
+    #[test]
+    fn engine_save_load_roundtrip() {
+        let mut e = DdcEngine::<i64>::dynamic(Shape::new(&[9, 13]));
+        e.apply_delta(&[0, 0], 4);
+        e.apply_delta(&[8, 12], -7);
+        e.apply_delta(&[4, 6], 100);
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        let restored = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::sparse()).unwrap();
+        assert_eq!(restored.shape().dims(), &[9, 13]);
+        for p in e.shape().iter_points() {
+            assert_eq!(restored.cell(&p), e.cell(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn growable_save_load_roundtrip() {
+        let mut cube = GrowableCube::<i64>::new(2, DdcConfig::sparse());
+        cube.add(&[-100, 40], 6);
+        cube.add(&[3_000, -2], 9);
+        let mut buf = Vec::new();
+        cube.save(&mut buf).unwrap();
+        let restored =
+            GrowableCube::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap();
+        assert_eq!(restored.cell(&[-100, 40]), 6);
+        assert_eq!(restored.cell(&[3_000, -2]), 9);
+        assert_eq!(restored.total(), 15);
+    }
+
+    #[test]
+    fn pair_values_roundtrip() {
+        let mut e = DdcEngine::<Pair<i64, i64>>::dynamic(Shape::new(&[4]));
+        e.apply_delta(&[2], Pair::new(10, 1));
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        let restored =
+            DdcEngine::<Pair<i64, i64>>::load(&mut buf.as_slice(), DdcConfig::dynamic())
+                .unwrap();
+        assert_eq!(restored.cell(&[2]), Pair::new(10, 1));
+    }
+
+    #[test]
+    fn snapshot_size_tracks_population() {
+        let mut e = DdcEngine::<i64>::dynamic(Shape::cube(2, 1024));
+        e.apply_delta(&[5, 5], 1);
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        // Header + one entry, not a megacell dump.
+        assert!(buf.len() < 100, "snapshot is {} bytes", buf.len());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        let garbage = b"NOPE\x00\x00\x00\x00";
+        assert!(DdcEngine::<i64>::load(&mut garbage.as_slice(), DdcConfig::dynamic()).is_err());
+        // Right magic, wrong kind byte.
+        let mut buf = Vec::new();
+        let e = DdcEngine::<i64>::dynamic(Shape::new(&[2, 2]));
+        e.save(&mut buf).unwrap();
+        assert!(GrowableCube::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).is_err());
+        // Truncated stream.
+        let cut = &buf[..buf.len().saturating_sub(1).min(10)];
+        assert!(DdcEngine::<i64>::load(&mut &cut[..], DdcConfig::dynamic()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_shape_entry() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&1u32.to_le_bytes()); // d = 1
+        buf.extend_from_slice(&4u64.to_le_bytes()); // shape [4]
+        buf.extend_from_slice(&1u64.to_le_bytes()); // one entry
+        buf.extend_from_slice(&9u64.to_le_bytes()); // coord 9 ≥ 4
+        buf.extend_from_slice(&1i64.to_le_bytes());
+        assert!(DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).is_err());
+    }
+}

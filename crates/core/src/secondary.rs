@@ -1,0 +1,229 @@
+//! Secondary structures: how one overlay row-sum group is stored.
+//!
+//! Section 4.2: "the overlay box values of a d-dimensional data cube can
+//! be stored as (d−1)-dimensional data cubes using Dynamic Data Cubes,
+//! recursively; when d = 2, we use the B^c tree to store the row sum
+//! values." [`Secondary`] is that recursion, with three extra arms:
+//!
+//! * `Flat` — the Basic DDC's direct arrays (§3), kept so the §3.3 cost
+//!   analysis can be measured against §4 on identical trees;
+//! * `Fen` / `Seg` — alternative one-dimensional base stores (Fenwick
+//!   ablation; lazy sparse store for §5 workloads);
+//! * `Empty` — nothing materialized yet: an all-zero group occupies no
+//!   memory, which is how empty regions of a sparse cube stay free (§5).
+
+use ddc_array::{AbelianGroup, OpCounter};
+use ddc_btree::{BcTree, CumulativeStore, Fenwick, SparseSegTree};
+
+use crate::config::{BaseStore, DdcConfig, Mode};
+use crate::flat_face::FlatFace;
+use crate::tree::DdcTree;
+
+/// Storage for one `(d−1)`-dimensional row-sum group of an overlay box of
+/// side `k`.
+#[derive(Debug)]
+pub(crate) enum Secondary<G: AbelianGroup> {
+    /// All-zero group; materialized on first update.
+    Empty,
+    /// Basic mode (§3): cumulative values stored directly.
+    Flat(FlatFace<G>),
+    /// Dynamic mode base case (§4.1): one-dimensional group in a B^c tree.
+    Bc(BcTree<G>),
+    /// One-dimensional group in a Fenwick tree (ablation).
+    Fen(Fenwick<G>),
+    /// One-dimensional group in a lazy segment tree (sparse workloads).
+    Seg(SparseSegTree<G>),
+    /// Dynamic mode, `d − 1 ≥ 2`: the group is itself a Dynamic Data Cube
+    /// (§4.2's secondary trees).
+    Tree(Box<DdcTree<G>>),
+}
+
+impl<G: AbelianGroup> Secondary<G> {
+    /// Materializes the appropriate structure for a group with `face_dims`
+    /// dimensions of extent `k` each.
+    fn materialize(face_dims: usize, k: usize, config: &DdcConfig) -> Self {
+        debug_assert!(face_dims >= 1);
+        match config.mode {
+            Mode::Basic => {
+                Secondary::Flat(FlatFace::zeroed(ddc_array::Shape::cube(face_dims, k)))
+            }
+            Mode::Dynamic => {
+                if face_dims == 1 {
+                    match config.base {
+                        BaseStore::Bc { fanout } => Secondary::Bc(BcTree::zeroed(fanout, k)),
+                        BaseStore::Fenwick => Secondary::Fen(Fenwick::zeroed(k)),
+                        BaseStore::SparseSeg => Secondary::Seg(SparseSegTree::zeroed(k)),
+                    }
+                } else {
+                    Secondary::Tree(Box::new(DdcTree::new(face_dims, k, *config)))
+                }
+            }
+        }
+    }
+
+    /// Bulk-builds a group from its raw slab-sum array (`raw[c]` is the
+    /// sum of the full row along the group axis at cross-position `c`).
+    /// Used by the bottom-up constructor; equivalent to applying
+    /// [`Secondary::add`] per populated slab but without per-value
+    /// structure descents.
+    pub(crate) fn build_from_raw(raw: &ddc_array::NdArray<G>, config: &DdcConfig) -> Self {
+        let k = raw.shape().dim(0);
+        match config.mode {
+            Mode::Basic => {
+                let mut flat = FlatFace::zeroed(raw.shape().clone());
+                flat.fill_cumulative(raw);
+                Secondary::Flat(flat)
+            }
+            Mode::Dynamic => {
+                if raw.shape().ndim() == 1 {
+                    match config.base {
+                        BaseStore::Bc { fanout } => {
+                            Secondary::Bc(BcTree::from_values(fanout, raw.as_slice()))
+                        }
+                        BaseStore::Fenwick => {
+                            Secondary::Fen(Fenwick::from_values(raw.as_slice()))
+                        }
+                        BaseStore::SparseSeg => {
+                            Secondary::Seg(SparseSegTree::from_values(raw.as_slice()))
+                        }
+                    }
+                } else {
+                    Secondary::Tree(Box::new(DdcTree::from_array_sized(raw, k, *config)))
+                }
+            }
+        }
+    }
+
+    /// Cumulative group value at `idx` (each coordinate `< k`); `Empty`
+    /// groups are implicit zeros.
+    pub(crate) fn prefix(&self, idx: &[usize], counter: &OpCounter) -> G {
+        match self {
+            Secondary::Empty => G::ZERO,
+            Secondary::Flat(f) => f.prefix(idx, counter),
+            Secondary::Bc(t) => absorb_read(t, idx[0], counter),
+            Secondary::Fen(t) => absorb_read(t, idx[0], counter),
+            Secondary::Seg(t) => absorb_read(t, idx[0], counter),
+            Secondary::Tree(t) => {
+                let before = t.ops();
+                let v = t.prefix_sum(idx);
+                counter.absorb(t.ops() - before);
+                v
+            }
+        }
+    }
+
+    /// Adds `delta` to the raw slab at `idx`, materializing first if
+    /// needed. `k` and `config` describe the owning overlay box.
+    pub(crate) fn add(
+        &mut self,
+        idx: &[usize],
+        delta: G,
+        k: usize,
+        config: &DdcConfig,
+        counter: &OpCounter,
+    ) {
+        if matches!(self, Secondary::Empty) {
+            *self = Self::materialize(idx.len(), k, config);
+        }
+        match self {
+            Secondary::Empty => unreachable!("materialized above"),
+            Secondary::Flat(f) => f.add(idx, delta, counter),
+            Secondary::Bc(t) => absorb_write(t, idx[0], delta, counter),
+            Secondary::Fen(t) => absorb_write(t, idx[0], delta, counter),
+            Secondary::Seg(t) => absorb_write(t, idx[0], delta, counter),
+            Secondary::Tree(t) => {
+                let before = t.ops();
+                t.apply_delta(idx, delta);
+                counter.absorb(t.ops() - before);
+            }
+        }
+    }
+
+    /// Heap bytes attributable to this group.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Secondary::Empty => 0,
+            Secondary::Flat(f) => f.heap_bytes(),
+            Secondary::Bc(t) => t.heap_bytes(),
+            Secondary::Fen(t) => t.heap_bytes(),
+            Secondary::Seg(t) => t.heap_bytes(),
+            Secondary::Tree(t) => t.heap_bytes(),
+        }
+    }
+}
+
+fn absorb_read<G: AbelianGroup, S: CumulativeStore<G>>(
+    store: &S,
+    idx: usize,
+    counter: &OpCounter,
+) -> G {
+    let before = store.ops();
+    let v = store.prefix(idx);
+    counter.absorb(store.ops() - before);
+    v
+}
+
+fn absorb_write<G: AbelianGroup, S: CumulativeStore<G>>(
+    store: &mut S,
+    idx: usize,
+    delta: G,
+    counter: &OpCounter,
+) {
+    let before = store.ops();
+    store.add(idx, delta);
+    counter.absorb(store.ops() - before);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reads_zero_and_costs_nothing() {
+        let c = OpCounter::new();
+        let s = Secondary::<i64>::Empty;
+        assert_eq!(s.prefix(&[3], &c), 0);
+        assert_eq!(c.snapshot().reads, 0);
+        assert_eq!(s.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn one_dimensional_base_stores_agree() {
+        for base in [BaseStore::Bc { fanout: 3 }, BaseStore::Fenwick, BaseStore::SparseSeg] {
+            let config = DdcConfig::dynamic().with_base(base);
+            let c = OpCounter::new();
+            let mut s = Secondary::<i64>::Empty;
+            s.add(&[2], 10, 8, &config, &c);
+            s.add(&[0], 4, 8, &config, &c);
+            s.add(&[7], -1, 8, &config, &c);
+            assert_eq!(s.prefix(&[0], &c), 4, "{base:?}");
+            assert_eq!(s.prefix(&[1], &c), 4, "{base:?}");
+            assert_eq!(s.prefix(&[2], &c), 14, "{base:?}");
+            assert_eq!(s.prefix(&[7], &c), 13, "{base:?}");
+            assert!(s.heap_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn basic_mode_materializes_flat() {
+        let config = DdcConfig::basic();
+        let c = OpCounter::new();
+        let mut s = Secondary::<i64>::Empty;
+        s.add(&[1, 1], 5, 4, &config, &c);
+        assert!(matches!(s, Secondary::Flat(_)));
+        assert_eq!(s.prefix(&[0, 0], &c), 0);
+        assert_eq!(s.prefix(&[3, 3], &c), 5);
+    }
+
+    #[test]
+    fn counter_absorbs_substore_costs() {
+        let config = DdcConfig::dynamic();
+        let c = OpCounter::new();
+        let mut s = Secondary::<i64>::Empty;
+        s.add(&[5], 1, 16, &config, &c);
+        assert!(c.snapshot().writes > 0);
+        let before = c.snapshot();
+        let _ = s.prefix(&[10], &c);
+        assert!(c.snapshot().reads > before.reads);
+    }
+}

@@ -1,0 +1,1415 @@
+//! The primary tree of the Dynamic Data Cube (§3.2, §4.2).
+//!
+//! A [`DdcTree`] recursively bisects the (power-of-two) data space. Each
+//! node holds `2^d` **overlay boxes** of side `k` (half the node's side);
+//! a box stores the **subtotal** of its region and `d` row-sum groups,
+//! each `(d−1)`-dimensional (§3.1), held in a [`Secondary`] structure.
+//!
+//! Queries ([`DdcTree::prefix_sum`]) implement Figure 10: at each node,
+//! every overlay box contributes at most one value —
+//!
+//! * nothing, if the target cell precedes the box in some dimension;
+//! * its subtotal, if the target region covers the box entirely;
+//! * one row-sum group value, if the target region cuts the box; or
+//! * a recursive descent, for the single box that covers the target cell.
+//!
+//! Updates ([`DdcTree::apply_delta`]) implement Figure 12 bottom-up with
+//! the difference value: one box per level absorbs the delta into its
+//! subtotal and its `d` row-sum groups.
+//!
+//! Additional paper features carried by this type:
+//!
+//! * **Level elision (§4.4)** — the `h` lowest levels are replaced by
+//!   dense [`LeafBlock`]s of side `2^{h+1}`, shrinking storage toward
+//!   `|A|` at the cost of summing at most `2^{(h+1)d}` leaf cells per
+//!   query.
+//! * **Sparsity (§5)** — nodes, boxes, and secondary structures
+//!   materialize lazily; an all-zero region costs nothing.
+//! * **Growth (§5)** — [`DdcTree::grow`] doubles the space in one step by
+//!   re-rooting: the old root becomes one child of a fresh root, and only
+//!   the new root-level overlay box is rebuilt (cost proportional to the
+//!   populated cells, not the space).
+
+use ddc_array::{AbelianGroup, NdArray, OpCounter, OpSnapshot, Region, Shape};
+
+use crate::config::DdcConfig;
+use crate::secondary::Secondary;
+
+/// One overlay box: subtotal plus `d` row-sum groups (§3.1).
+#[derive(Debug)]
+pub(crate) struct OverlayBox<G: AbelianGroup> {
+    /// Sum of every cell of `A` covered by the box.
+    subtotal: G,
+    /// Row-sum group per dimension; group `j` is indexed by the box-local
+    /// coordinates of the other `d − 1` dimensions and accumulates whole
+    /// rows along dimension `j`.
+    faces: Box<[Secondary<G>]>,
+}
+
+impl<G: AbelianGroup> OverlayBox<G> {
+    fn new(d: usize) -> Self {
+        let faces: Vec<Secondary<G>> = (0..d).map(|_| Secondary::Empty).collect();
+        Self { subtotal: G::ZERO, faces: faces.into_boxed_slice() }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.faces.len() * std::mem::size_of::<Secondary<G>>()
+            + self.faces.iter().map(Secondary::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Dense block of raw `A` cells standing in for the elided subtree
+/// (§4.4); with `h = 0` blocks have side 2 and hold exactly the cells the
+/// paper's leaf-level (`k = 1`) overlay boxes would.
+#[derive(Debug)]
+pub(crate) struct LeafBlock<G: AbelianGroup> {
+    cells: NdArray<G>,
+}
+
+impl<G: AbelianGroup> LeafBlock<G> {
+    fn zeroed(d: usize, side: usize) -> Self {
+        Self { cells: NdArray::zeroed(Shape::cube(d, side)) }
+    }
+
+    /// Sum of the block-local prefix region ending at `rel` — the "sum the
+    /// appropriate leaf cells" step of §4.4.
+    fn prefix(&self, rel: &[usize], counter: &OpCounter) -> G {
+        let region = Region::prefix(rel);
+        counter.read(region.cells() as u64);
+        self.cells.region_sum(&region)
+    }
+
+    fn total(&self) -> G {
+        self.cells.total()
+    }
+}
+
+/// A child slot of an overlay box.
+#[derive(Debug, Default)]
+pub(crate) enum Child<G: AbelianGroup> {
+    /// Empty region — no storage (§5 sparsity).
+    #[default]
+    Empty,
+    /// Interior subtree (box side > leaf-block side).
+    Node(Box<Node<G>>),
+    /// Dense raw cells (box side == leaf-block side).
+    Leaf(LeafBlock<G>),
+}
+
+/// An interior tree node: `2^d` overlay boxes and their children.
+#[derive(Debug)]
+pub(crate) struct Node<G: AbelianGroup> {
+    boxes: Box<[Option<OverlayBox<G>>]>,
+    children: Box<[Child<G>]>,
+}
+
+impl<G: AbelianGroup> Node<G> {
+    fn new(d: usize) -> Self {
+        let n = 1usize << d;
+        let boxes: Vec<Option<OverlayBox<G>>> = (0..n).map(|_| None).collect();
+        let children: Vec<Child<G>> = (0..n).map(|_| Child::Empty).collect();
+        Self { boxes: boxes.into_boxed_slice(), children: children.into_boxed_slice() }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>()
+            + self.boxes.len()
+                * (std::mem::size_of::<Option<OverlayBox<G>>>()
+                    + std::mem::size_of::<Child<G>>());
+        for b in self.boxes.iter().flatten() {
+            bytes += b.heap_bytes();
+        }
+        for c in self.children.iter() {
+            match c {
+                Child::Empty => {}
+                Child::Node(n) => bytes += n.heap_bytes(),
+                Child::Leaf(l) => {
+                    bytes += std::mem::size_of::<LeafBlock<G>>() + l.cells.heap_bytes();
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// Per-dimension relation of the target prefix cell to an overlay box.
+/// (A third case — the cell *preceding* the box — short-circuits the whole
+/// box before any status is recorded.)
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum DimStatus {
+    /// Target coordinate falls inside the box's extent.
+    Partial,
+    /// Target region spans the box's whole extent in this dimension.
+    Full,
+}
+
+/// How one overlay box contributed to a traced query (Figure 11's
+/// per-box walkthrough, machine-readable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Contribution {
+    /// Target region covers the box entirely: its subtotal was added.
+    Subtotal,
+    /// Target region cuts the box: a row-sum group value was added
+    /// (the group's axis is recorded).
+    RowSum {
+        /// The dimension whose group answered.
+        axis: usize,
+    },
+    /// The box covers the target cell: the query descended into it.
+    Descend,
+    /// Cells summed directly from a leaf block (§4.4 elided levels).
+    LeafCells {
+        /// Number of raw cells added.
+        cells: usize,
+    },
+}
+
+/// One step of a traced prefix query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep<G> {
+    /// Tree depth (0 = root node).
+    pub level: usize,
+    /// Anchor of the overlay box (or leaf block) that contributed.
+    pub box_anchor: Vec<usize>,
+    /// Side `k` of the box.
+    pub box_side: usize,
+    /// What the box contributed.
+    pub kind: Contribution,
+    /// The value added to the running total (zero for `Descend`).
+    pub value: G,
+}
+
+/// Structural statistics of one tree (see [`DdcTree::stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Materialized interior nodes.
+    pub nodes: usize,
+    /// Materialized overlay boxes.
+    pub boxes: usize,
+    /// Materialized dense leaf blocks.
+    pub leaf_blocks: usize,
+    /// Raw cells held by leaf blocks.
+    pub leaf_cells: usize,
+    /// Heap bytes attributable to secondary (row-sum) structures.
+    pub secondary_bytes: usize,
+    /// Total heap bytes of the tree.
+    pub total_bytes: usize,
+    /// Deepest materialized level (root node = 0).
+    pub depth: usize,
+    /// Per-level breakdown, index = level.
+    pub per_level: Vec<LevelStats>,
+}
+
+/// One level's slice of [`TreeStats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Region side covered by children at this level.
+    pub side: usize,
+    /// Interior nodes at this level.
+    pub nodes: usize,
+    /// Overlay boxes at this level.
+    pub boxes: usize,
+    /// Dense leaf blocks at this level.
+    pub leaf_blocks: usize,
+}
+
+/// The Dynamic Data Cube's primary tree over a `d`-dimensional space of
+/// power-of-two side.
+#[derive(Debug)]
+pub struct DdcTree<G: AbelianGroup> {
+    d: usize,
+    side: usize,
+    config: DdcConfig,
+    root: Child<G>,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> DdcTree<G> {
+    /// An empty (all-zero) tree covering `[0, side)^d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is not a power of two or `d == 0`.
+    pub fn new(d: usize, side: usize, config: DdcConfig) -> Self {
+        assert!(d >= 1, "dimensionality must be at least 1");
+        assert!(side.is_power_of_two(), "side {side} must be a power of two");
+        Self { d, side, config, root: Child::Empty, counter: OpCounter::new() }
+    }
+
+    /// Bulk-builds a tree over `a` (padded with zeros up to `side`) in one
+    /// bottom-up pass: each overlay box's subtotal and raw row-sum groups
+    /// are accumulated by a single scan of its region and handed to the
+    /// secondary structures' `from_values` constructors — `O(d · N log n)`
+    /// cell visits in total, with none of the per-cell structure descents
+    /// the incremental path pays.
+    pub fn from_array_sized(a: &NdArray<G>, side: usize, config: DdcConfig) -> Self {
+        let d = a.shape().ndim();
+        assert!(side.is_power_of_two());
+        assert!(
+            a.shape().dims().iter().all(|&n| n <= side),
+            "array {} exceeds side {side}",
+            a.shape()
+        );
+        let mut tree = Self::new(d, side, config);
+        let leaf_side = tree.leaf_side();
+        let lo = vec![0usize; d];
+        tree.root = Self::build_child(a, side, &lo, leaf_side, &config, d);
+        tree
+    }
+
+    /// Builds the subtree covering `[lo, lo + side)`; `Child::Empty` when
+    /// the region holds no non-zero cells.
+    fn build_child(
+        a: &NdArray<G>,
+        side: usize,
+        lo: &[usize],
+        leaf_side: usize,
+        config: &DdcConfig,
+        d: usize,
+    ) -> Child<G> {
+        // Intersection of the covered region with the array's extent.
+        let mut hi = Vec::with_capacity(d);
+        for (&l, &n) in lo.iter().zip(a.shape().dims()) {
+            if l >= n {
+                return Child::Empty; // fully in the zero padding
+            }
+            hi.push((l + side - 1).min(n - 1));
+        }
+        let region = Region::new(lo, &hi);
+
+        if side <= leaf_side {
+            let mut block = LeafBlock::zeroed(d, side);
+            let mut any = false;
+            let mut buf = vec![0usize; d];
+            let mut rel = vec![0usize; d];
+            let mut iter = region.iter_points();
+            while iter.next_into(&mut buf) {
+                let v = a.get(&buf);
+                if !v.is_zero() {
+                    any = true;
+                    for (r, (&c, &l)) in rel.iter_mut().zip(buf.iter().zip(lo.iter())) {
+                        *r = c - l;
+                    }
+                    block.cells.add_assign(&rel, v);
+                }
+            }
+            return if any { Child::Leaf(block) } else { Child::Empty };
+        }
+
+        let k = side / 2;
+        let mut node = Node::<G>::new(d);
+        let mut any_box = false;
+        let mut box_lo = vec![0usize; d];
+        for bi in 0..(1usize << d) {
+            for i in 0..d {
+                box_lo[i] = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
+            }
+            if let Some((obox, child)) = Self::build_box(a, k, &box_lo, leaf_side, config, d)
+            {
+                any_box = true;
+                node.boxes[bi] = Some(obox);
+                node.children[bi] = child;
+            }
+        }
+        if any_box {
+            Child::Node(Box::new(node))
+        } else {
+            Child::Empty
+        }
+    }
+
+    /// Builds one overlay box (subtotal + row-sum groups) and its child
+    /// subtree over region `[box_lo, box_lo + k)`; `None` when the region
+    /// holds no non-zero cells. One scan accumulates the subtotal and all
+    /// `d` raw row-sum groups.
+    fn build_box(
+        a: &NdArray<G>,
+        k: usize,
+        box_lo: &[usize],
+        leaf_side: usize,
+        config: &DdcConfig,
+        d: usize,
+    ) -> Option<(OverlayBox<G>, Child<G>)> {
+        let mut hi = Vec::with_capacity(d);
+        for (&l, &n) in box_lo.iter().zip(a.shape().dims()) {
+            if l >= n {
+                return None;
+            }
+            hi.push((l + k - 1).min(n - 1));
+        }
+        let box_region = Region::new(box_lo, &hi);
+        let mut subtotal = G::ZERO;
+        let mut any = false;
+        let mut raws: Vec<NdArray<G>> = if d >= 2 {
+            (0..d).map(|_| NdArray::zeroed(Shape::cube(d - 1, k))).collect()
+        } else {
+            Vec::new()
+        };
+        let mut buf = vec![0usize; d];
+        let mut cross = vec![0usize; d.saturating_sub(1)];
+        let mut iter = box_region.iter_points();
+        while iter.next_into(&mut buf) {
+            let v = a.get(&buf);
+            if v.is_zero() {
+                continue;
+            }
+            any = true;
+            subtotal = subtotal.add(v);
+            for (j, raw) in raws.iter_mut().enumerate() {
+                let mut w = 0;
+                for i in 0..d {
+                    if i != j {
+                        cross[w] = buf[i] - box_lo[i];
+                        w += 1;
+                    }
+                }
+                raw.add_assign(&cross, v);
+            }
+        }
+        if !any {
+            return None;
+        }
+        let faces: Vec<Secondary<G>> =
+            raws.iter().map(|raw| Secondary::build_from_raw(raw, config)).collect();
+        let obox = OverlayBox { subtotal, faces: faces.into_boxed_slice() };
+        let child = Self::build_child(a, k, box_lo, leaf_side, config, d);
+        Some((obox, child))
+    }
+
+    /// Like [`DdcTree::from_array_sized`], but builds the `2^d` root
+    /// subtrees on separate threads. The subtrees are disjoint, so this
+    /// is a straightforward fork-join; speedup approaches the number of
+    /// *populated* root quadrants.
+    pub fn from_array_parallel(a: &NdArray<G>, side: usize, config: DdcConfig) -> Self {
+        let d = a.shape().ndim();
+        assert!(side.is_power_of_two());
+        assert!(
+            a.shape().dims().iter().all(|&n| n <= side),
+            "array {} exceeds side {side}",
+            a.shape()
+        );
+        let mut tree = Self::new(d, side, config);
+        let leaf_side = tree.leaf_side();
+        if side <= leaf_side {
+            let lo = vec![0usize; d];
+            tree.root = Self::build_child(a, side, &lo, leaf_side, &config, d);
+            return tree;
+        }
+        let k = side / 2;
+        let results: Vec<Option<(OverlayBox<G>, Child<G>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..(1usize << d))
+                .map(|bi| {
+                    let config = &config;
+                    scope.spawn(move || {
+                        let box_lo: Vec<usize> =
+                            (0..d).map(|i| if bi & (1 << i) != 0 { k } else { 0 }).collect();
+                        Self::build_box(a, k, &box_lo, leaf_side, config, d)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("builder thread panicked")).collect()
+        });
+        let mut node = Node::<G>::new(d);
+        let mut any = false;
+        for (bi, r) in results.into_iter().enumerate() {
+            if let Some((obox, child)) = r {
+                any = true;
+                node.boxes[bi] = Some(obox);
+                node.children[bi] = child;
+            }
+        }
+        if any {
+            tree.root = Child::Node(Box::new(node));
+        }
+        tree
+    }
+
+    /// Dimensionality `d`.
+    pub fn ndim(&self) -> usize {
+        self.d
+    }
+
+    /// Covered side length (power of two).
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &DdcConfig {
+        &self.config
+    }
+
+    /// The tree's operation counter.
+    pub fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    /// Snapshot of the operation counter.
+    pub fn ops(&self) -> OpSnapshot {
+        self.counter.snapshot()
+    }
+
+    fn leaf_side(&self) -> usize {
+        // Boxes of this side hold dense leaf blocks instead of child
+        // nodes; see §4.4 and the module docs.
+        self.config.leaf_block_side().min(self.side)
+    }
+
+    /// `SUM(A[0,…,0] : A[x])` — Figure 10's `CalculateRegionSum`.
+    pub fn prefix_sum(&self, x: &[usize]) -> G {
+        assert_eq!(x.len(), self.d);
+        debug_assert!(x.iter().all(|&c| c < self.side));
+        match &self.root {
+            Child::Empty => G::ZERO,
+            Child::Leaf(block) => block.prefix(x, &self.counter),
+            Child::Node(node) => {
+                let lo = vec![0usize; self.d];
+                self.query_node(node, self.side, &lo, x)
+            }
+        }
+    }
+
+    fn query_node(&self, node: &Node<G>, side: usize, lo: &[usize], x: &[usize]) -> G {
+        let d = self.d;
+        let k = side / 2;
+        let mut acc = G::ZERO;
+        let mut box_lo = vec![0usize; d];
+        let mut status = vec![DimStatus::Partial; d];
+        let mut cross = vec![0usize; d.saturating_sub(1)];
+        'boxes: for bi in 0..(1usize << d) {
+            // Geometry and classification of box `bi`.
+            let mut all_full = true;
+            let mut all_partial = true;
+            for i in 0..d {
+                let bl = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
+                box_lo[i] = bl;
+                status[i] = if x[i] < bl {
+                    continue 'boxes; // Before: contributes nothing
+                } else if x[i] >= bl + k {
+                    all_partial = false;
+                    DimStatus::Full
+                } else {
+                    all_full = false;
+                    DimStatus::Partial
+                };
+            }
+            if all_full {
+                // Target region includes the whole box: subtotal.
+                if let Some(b) = &node.boxes[bi] {
+                    self.counter.read(1);
+                    acc = acc.add(b.subtotal);
+                }
+            } else if all_partial {
+                // This is the box covering the target cell: descend.
+                acc = acc.add(self.query_child(&node.children[bi], k, &box_lo, x));
+            } else {
+                // Mixed full/partial: one row-sum group value. Pick any
+                // dimension the region fully spans as the group axis.
+                let Some(b) = &node.boxes[bi] else { continue };
+                let j = status
+                    .iter()
+                    .position(|&s| s == DimStatus::Full)
+                    .expect("mixed status implies a full dimension");
+                let mut w = 0;
+                for i in 0..d {
+                    if i == j {
+                        continue;
+                    }
+                    cross[w] = match status[i] {
+                        DimStatus::Full => k - 1,
+                        DimStatus::Partial => x[i] - box_lo[i],
+                    };
+                    w += 1;
+                }
+                acc = acc.add(b.faces[j].prefix(&cross[..w], &self.counter));
+            }
+        }
+        acc
+    }
+
+    /// Like [`DdcTree::prefix_sum`], additionally recording which overlay
+    /// box contributed what — the paper's Figure 11 walkthrough as data.
+    /// Returns the steps in visit order; the sum of their values is the
+    /// prefix sum.
+    pub fn trace_prefix(&self, x: &[usize]) -> Vec<TraceStep<G>> {
+        assert_eq!(x.len(), self.d);
+        let mut steps = Vec::new();
+        match &self.root {
+            Child::Empty => {}
+            Child::Leaf(block) => {
+                let cells = Region::prefix(x).cells();
+                steps.push(TraceStep {
+                    level: 0,
+                    box_anchor: vec![0; self.d],
+                    box_side: self.side,
+                    kind: Contribution::LeafCells { cells },
+                    value: block.prefix(x, &self.counter),
+                });
+            }
+            Child::Node(node) => {
+                let lo = vec![0usize; self.d];
+                self.trace_node(node, self.side, &lo, x, 0, &mut steps);
+            }
+        }
+        steps
+    }
+
+    fn trace_node(
+        &self,
+        node: &Node<G>,
+        side: usize,
+        lo: &[usize],
+        x: &[usize],
+        level: usize,
+        steps: &mut Vec<TraceStep<G>>,
+    ) {
+        let d = self.d;
+        let k = side / 2;
+        let mut box_lo = vec![0usize; d];
+        let mut status = vec![DimStatus::Partial; d];
+        let mut cross = vec![0usize; d.saturating_sub(1)];
+        'boxes: for bi in 0..(1usize << d) {
+            let mut all_full = true;
+            let mut all_partial = true;
+            for i in 0..d {
+                let bl = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
+                box_lo[i] = bl;
+                status[i] = if x[i] < bl {
+                    continue 'boxes;
+                } else if x[i] >= bl + k {
+                    all_partial = false;
+                    DimStatus::Full
+                } else {
+                    all_full = false;
+                    DimStatus::Partial
+                };
+            }
+            if all_full {
+                if let Some(b) = &node.boxes[bi] {
+                    steps.push(TraceStep {
+                        level,
+                        box_anchor: box_lo.clone(),
+                        box_side: k,
+                        kind: Contribution::Subtotal,
+                        value: b.subtotal,
+                    });
+                }
+            } else if all_partial {
+                steps.push(TraceStep {
+                    level,
+                    box_anchor: box_lo.clone(),
+                    box_side: k,
+                    kind: Contribution::Descend,
+                    value: G::ZERO,
+                });
+                match &node.children[bi] {
+                    Child::Empty => {}
+                    Child::Leaf(block) => {
+                        let rel: Vec<usize> =
+                            x.iter().zip(box_lo.iter()).map(|(&c, &l)| c - l).collect();
+                        let cells = Region::prefix(&rel).cells();
+                        steps.push(TraceStep {
+                            level: level + 1,
+                            box_anchor: box_lo.clone(),
+                            box_side: k,
+                            kind: Contribution::LeafCells { cells },
+                            value: block.prefix(&rel, &self.counter),
+                        });
+                    }
+                    Child::Node(child) => {
+                        self.trace_node(child, k, &box_lo, x, level + 1, steps);
+                    }
+                }
+            } else {
+                let Some(b) = &node.boxes[bi] else { continue };
+                let j = status
+                    .iter()
+                    .position(|&s| s == DimStatus::Full)
+                    .expect("mixed status implies a full dimension");
+                let mut w = 0;
+                for i in 0..d {
+                    if i == j {
+                        continue;
+                    }
+                    cross[w] = match status[i] {
+                        DimStatus::Full => k - 1,
+                        DimStatus::Partial => x[i] - box_lo[i],
+                    };
+                    w += 1;
+                }
+                steps.push(TraceStep {
+                    level,
+                    box_anchor: box_lo.clone(),
+                    box_side: k,
+                    kind: Contribution::RowSum { axis: j },
+                    value: b.faces[j].prefix(&cross[..w], &self.counter),
+                });
+            }
+        }
+    }
+
+    fn query_child(&self, child: &Child<G>, side: usize, lo: &[usize], x: &[usize]) -> G {
+        match child {
+            Child::Empty => G::ZERO,
+            Child::Leaf(block) => {
+                let rel: Vec<usize> = x.iter().zip(lo.iter()).map(|(&c, &l)| c - l).collect();
+                block.prefix(&rel, &self.counter)
+            }
+            Child::Node(n) => self.query_node(n, side, lo, x),
+        }
+    }
+
+    /// Adds `delta` to cell `x` — Figure 12's `UpdateCell`, expressed with
+    /// the difference value directly.
+    pub fn apply_delta(&mut self, x: &[usize], delta: G) {
+        assert_eq!(x.len(), self.d);
+        assert!(x.iter().all(|&c| c < self.side), "{x:?} outside side {}", self.side);
+        if delta.is_zero() {
+            return;
+        }
+        let leaf_side = self.leaf_side();
+        if self.side <= leaf_side {
+            // Degenerate: the whole space is one leaf block.
+            if matches!(self.root, Child::Empty) {
+                self.root = Child::Leaf(LeafBlock::zeroed(self.d, self.side));
+            }
+            if let Child::Leaf(block) = &mut self.root {
+                block.cells.add_assign(x, delta);
+                self.counter.write(1);
+            }
+            return;
+        }
+        if matches!(self.root, Child::Empty) {
+            self.root = Child::Node(Box::new(Node::new(self.d)));
+        }
+        let Child::Node(root) = &mut self.root else { unreachable!() };
+        Self::update_node(
+            root,
+            self.d,
+            self.side,
+            leaf_side,
+            &vec![0usize; self.d],
+            x,
+            delta,
+            &self.config,
+            &self.counter,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update_node(
+        node: &mut Node<G>,
+        d: usize,
+        side: usize,
+        leaf_side: usize,
+        lo: &[usize],
+        x: &[usize],
+        delta: G,
+        config: &DdcConfig,
+        counter: &OpCounter,
+    ) {
+        let k = side / 2;
+        // Exactly one box covers the cell (§3.2): derive its index and
+        // anchor from the coordinate bits.
+        let mut bi = 0usize;
+        let mut box_lo = vec![0usize; d];
+        for i in 0..d {
+            let high = x[i] >= lo[i] + k;
+            if high {
+                bi |= 1 << i;
+            }
+            box_lo[i] = lo[i] + if high { k } else { 0 };
+        }
+        let obox = node.boxes[bi].get_or_insert_with(|| OverlayBox::new(d));
+        obox.subtotal = obox.subtotal.add(delta);
+        counter.write(1);
+        // "for each set of row sum values (d sets): add difference" —
+        // group j is indexed by the box-local offsets of the other dims.
+        if d >= 2 {
+            let mut cross = vec![0usize; d - 1];
+            for j in 0..d {
+                let mut w = 0;
+                for i in 0..d {
+                    if i != j {
+                        cross[w] = x[i] - box_lo[i];
+                        w += 1;
+                    }
+                }
+                obox.faces[j].add(&cross, delta, k, config, counter);
+            }
+        }
+        // Descend to the leaf holding the raw cell.
+        debug_assert!(k >= leaf_side, "box side {k} below leaf side {leaf_side}");
+        if k == leaf_side {
+            if matches!(node.children[bi], Child::Empty) {
+                node.children[bi] = Child::Leaf(LeafBlock::zeroed(d, k));
+            }
+            if let Child::Leaf(block) = &mut node.children[bi] {
+                let rel: Vec<usize> = x.iter().zip(box_lo.iter()).map(|(&c, &l)| c - l).collect();
+                block.cells.add_assign(&rel, delta);
+                counter.write(1);
+            }
+        } else {
+            if matches!(node.children[bi], Child::Empty) {
+                node.children[bi] = Child::Node(Box::new(Node::new(d)));
+            }
+            if let Child::Node(child) = &mut node.children[bi] {
+                Self::update_node(child, d, k, leaf_side, &box_lo, x, delta, config, counter);
+            }
+        }
+    }
+
+    /// Reads one raw cell by direct descent (`O(log n)`).
+    pub fn cell(&self, x: &[usize]) -> G {
+        assert_eq!(x.len(), self.d);
+        assert!(x.iter().all(|&c| c < self.side));
+        let mut child = &self.root;
+        let mut side = self.side;
+        let mut lo = vec![0usize; self.d];
+        loop {
+            match child {
+                Child::Empty => return G::ZERO,
+                Child::Leaf(block) => {
+                    let rel: Vec<usize> =
+                        x.iter().zip(lo.iter()).map(|(&c, &l)| c - l).collect();
+                    self.counter.read(1);
+                    return block.cells.get(&rel);
+                }
+                Child::Node(node) => {
+                    let k = side / 2;
+                    let mut bi = 0usize;
+                    for i in 0..self.d {
+                        if x[i] >= lo[i] + k {
+                            bi |= 1 << i;
+                            lo[i] += k;
+                        }
+                    }
+                    child = &node.children[bi];
+                    side = k;
+                }
+            }
+        }
+    }
+
+    /// Sum of the whole space.
+    pub fn total(&self) -> G {
+        match &self.root {
+            Child::Empty => G::ZERO,
+            Child::Leaf(block) => block.total(),
+            Child::Node(node) => node
+                .boxes
+                .iter()
+                .flatten()
+                .fold(G::ZERO, |acc, b| acc.add(b.subtotal)),
+        }
+    }
+
+    /// Invokes `f` for every non-zero raw cell with its coordinates.
+    pub fn for_each_nonzero(&self, f: &mut impl FnMut(&[usize], G)) {
+        let lo = vec![0usize; self.d];
+        Self::walk_nonzero(&self.root, self.side, &lo, f);
+    }
+
+    fn walk_nonzero(
+        child: &Child<G>,
+        side: usize,
+        lo: &[usize],
+        f: &mut impl FnMut(&[usize], G),
+    ) {
+        match child {
+            Child::Empty => {}
+            Child::Leaf(block) => {
+                let mut abs = lo.to_vec();
+                for rel in block.cells.shape().iter_points() {
+                    let v = block.cells.get(&rel);
+                    if !v.is_zero() {
+                        for (a, (&l, &r)) in abs.iter_mut().zip(lo.iter().zip(rel.iter())) {
+                            *a = l + r;
+                        }
+                        f(&abs, v);
+                    }
+                }
+            }
+            Child::Node(node) => {
+                let d = lo.len();
+                let k = side / 2;
+                let mut box_lo = vec![0usize; d];
+                for bi in 0..(1usize << d) {
+                    for i in 0..d {
+                        box_lo[i] = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
+                    }
+                    Self::walk_nonzero(&node.children[bi], k, &box_lo, f);
+                }
+            }
+        }
+    }
+
+    /// Number of non-zero raw cells.
+    pub fn populated_cells(&self) -> usize {
+        let mut n = 0;
+        self.for_each_nonzero(&mut |_, _| n += 1);
+        n
+    }
+
+    /// Doubles the covered side. Dimensions flagged `true` in `low` grow
+    /// toward smaller coordinates: existing content shifts up by the old
+    /// side in those dimensions (callers track the logical origin with
+    /// [`ddc_array::CoordMap`]). Other dimensions grow append-style.
+    ///
+    /// The old root becomes one child of the new root; only the new
+    /// root-level overlay box is rebuilt, by replaying the populated cells
+    /// into its subtotal and row-sum groups.
+    pub fn grow(&mut self, low: &[bool]) {
+        assert_eq!(low.len(), self.d);
+        let old_side = self.side;
+        self.side = old_side.checked_mul(2).expect("side overflow");
+        let old_root = std::mem::take(&mut self.root);
+        if matches!(old_root, Child::Empty) {
+            return;
+        }
+        if self.side <= self.config.leaf_block_side() {
+            // The grown space still fits in one dense leaf block: rebuild
+            // it with the content shifted in the lowered dimensions.
+            let mut block = LeafBlock::zeroed(self.d, self.side);
+            let shift: Vec<usize> =
+                low.iter().map(|&l| if l { old_side } else { 0 }).collect();
+            let mut q = vec![0usize; self.d];
+            Self::walk_nonzero(&old_root, old_side, &vec![0usize; self.d], &mut |p, v| {
+                for (qi, (&pi, &s)) in q.iter_mut().zip(p.iter().zip(shift.iter())) {
+                    *qi = pi + s;
+                }
+                block.cells.add_assign(&q, v);
+            });
+            self.root = Child::Leaf(block);
+            return;
+        }
+        // The old region lands in the high half of every lowered dim.
+        let mut bi = 0usize;
+        for (i, &l) in low.iter().enumerate() {
+            if l {
+                bi |= 1 << i;
+            }
+        }
+        let mut node = Node::<G>::new(self.d);
+        let mut obox = OverlayBox::<G>::new(self.d);
+        // Rebuild this box's values from the populated cells of the old
+        // space (coordinates are already box-local).
+        let d = self.d;
+        let k = old_side;
+        let config = self.config;
+        let counter = &self.counter;
+        let mut cross = vec![0usize; d.saturating_sub(1)];
+        Self::walk_nonzero(&old_root, old_side, &vec![0usize; d], &mut |p, v| {
+            obox.subtotal = obox.subtotal.add(v);
+            counter.write(1);
+            if d >= 2 {
+                for j in 0..d {
+                    let mut w = 0;
+                    for (i, &c) in p.iter().enumerate() {
+                        if i != j {
+                            cross[w] = c;
+                            w += 1;
+                        }
+                    }
+                    obox.faces[j].add(&cross[..w], v, k, &config, counter);
+                }
+            }
+        });
+        node.boxes[bi] = Some(obox);
+        node.children[bi] = old_root;
+        self.root = Child::Node(Box::new(node));
+    }
+
+    /// Reclaims storage left behind by cancelling updates: all-zero leaf
+    /// blocks and subtrees whose every cell returned to zero are dropped
+    /// back to the unmaterialized state (with their overlay boxes and
+    /// secondary structures). Returns the number of heap bytes released.
+    ///
+    /// Lazily materialized structures never free themselves on the update
+    /// path (a cell may go through zero transiently); churn-heavy
+    /// workloads call this at their own cadence.
+    pub fn prune(&mut self) -> usize {
+        let before = self.heap_bytes();
+        if !Self::prune_child(&mut self.root) {
+            self.root = Child::Empty;
+        }
+        before.saturating_sub(self.heap_bytes())
+    }
+
+    /// Returns whether the child still holds any non-zero content.
+    fn prune_child(child: &mut Child<G>) -> bool {
+        match child {
+            Child::Empty => false,
+            Child::Leaf(block) => block.cells.populated_cells() > 0,
+            Child::Node(node) => {
+                let mut any = false;
+                for bi in 0..node.children.len() {
+                    let live = Self::prune_child(&mut node.children[bi]);
+                    if !live {
+                        node.children[bi] = Child::Empty;
+                        // A box over an empty region contributes only
+                        // zeros; drop it with its secondary structures.
+                        if let Some(b) = &node.boxes[bi] {
+                            debug_assert!(b.subtotal.is_zero());
+                        }
+                        node.boxes[bi] = None;
+                    } else {
+                        any = true;
+                    }
+                }
+                any
+            }
+        }
+    }
+
+    /// Collects structural statistics by one traversal — the storage
+    /// profile behind Table 2 and §4.4 ("most of the additional storage
+    /// … is found in the lowest levels of the tree").
+    pub fn stats(&self) -> TreeStats {
+        let mut stats = TreeStats::default();
+        Self::collect_stats(&self.root, self.side, 0, &mut stats);
+        stats.total_bytes = self.heap_bytes();
+        stats
+    }
+
+    fn collect_stats(child: &Child<G>, side: usize, level: usize, stats: &mut TreeStats) {
+        while stats.per_level.len() <= level {
+            stats.per_level.push(LevelStats::default());
+        }
+        stats.per_level[level].side = side;
+        match child {
+            Child::Empty => {}
+            Child::Leaf(block) => {
+                stats.leaf_blocks += 1;
+                stats.leaf_cells += block.cells.shape().cells();
+                stats.depth = stats.depth.max(level);
+                stats.per_level[level].leaf_blocks += 1;
+            }
+            Child::Node(node) => {
+                stats.nodes += 1;
+                stats.depth = stats.depth.max(level);
+                stats.per_level[level].nodes += 1;
+                let k = side / 2;
+                for b in node.boxes.iter().flatten() {
+                    stats.boxes += 1;
+                    stats.per_level[level].boxes += 1;
+                    stats.secondary_bytes +=
+                        b.faces.iter().map(Secondary::heap_bytes).sum::<usize>();
+                }
+                for c in node.children.iter() {
+                    Self::collect_stats(c, k, level + 1, stats);
+                }
+            }
+        }
+    }
+
+    /// Approximate heap bytes held by the whole structure.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.root {
+                Child::Empty => 0,
+                Child::Leaf(block) => block.cells.heap_bytes(),
+                Child::Node(node) => node.heap_bytes(),
+            }
+    }
+
+    /// Validates structural invariants, returning the tree total:
+    /// every overlay box's subtotal equals its child's content sum, and
+    /// every row-sum group's full-prefix equals the subtotal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation (test/diagnostic use).
+    pub fn check_invariants(&self) -> G {
+        Self::check_child(&self.root, self.d, self.side, &self.counter)
+    }
+
+    fn check_child(child: &Child<G>, d: usize, side: usize, counter: &OpCounter) -> G {
+        match child {
+            Child::Empty => G::ZERO,
+            Child::Leaf(block) => {
+                assert_eq!(
+                    block.cells.shape().dims(),
+                    &vec![side; d][..],
+                    "leaf block shape mismatch"
+                );
+                block.total()
+            }
+            Child::Node(node) => {
+                let k = side / 2;
+                let mut total = G::ZERO;
+                for bi in 0..(1usize << d) {
+                    let child_total = Self::check_child(&node.children[bi], d, k, counter);
+                    match &node.boxes[bi] {
+                        None => assert!(
+                            child_total.is_zero(),
+                            "missing box over non-empty child (sum {child_total:?})"
+                        ),
+                        Some(b) => {
+                            assert_eq!(
+                                b.subtotal, child_total,
+                                "subtotal does not match child content"
+                            );
+                            if d >= 2 {
+                                let full = vec![k - 1; d - 1];
+                                for (j, face) in b.faces.iter().enumerate() {
+                                    if matches!(face, Secondary::Empty) {
+                                        assert!(
+                                            b.subtotal.is_zero(),
+                                            "empty face under non-zero subtotal"
+                                        );
+                                        continue;
+                                    }
+                                    let fp = face.prefix(&full, counter);
+                                    assert_eq!(
+                                        fp, b.subtotal,
+                                        "face {j} full prefix disagrees with subtotal"
+                                    );
+                                }
+                            }
+                            total = total.add(b.subtotal);
+                        }
+                    }
+                }
+                total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BaseStore, DdcConfig};
+
+    fn reference_and_tree(
+        side: usize,
+        d: usize,
+        config: DdcConfig,
+        updates: &[(Vec<usize>, i64)],
+    ) -> (NdArray<i64>, DdcTree<i64>) {
+        let mut a = NdArray::<i64>::zeroed(Shape::cube(d, side));
+        let mut t = DdcTree::<i64>::new(d, side, config);
+        for (p, delta) in updates {
+            a.add_assign(p, *delta);
+            t.apply_delta(p, *delta);
+        }
+        (a, t)
+    }
+
+    fn assert_all_prefixes(a: &NdArray<i64>, t: &DdcTree<i64>) {
+        for p in a.shape().iter_points() {
+            assert_eq!(t.prefix_sum(&p), a.prefix_sum(&p), "prefix {p:?}");
+        }
+    }
+
+    fn dense_updates(side: usize, d: usize) -> Vec<(Vec<usize>, i64)> {
+        Shape::cube(d, side)
+            .iter_points()
+            .enumerate()
+            .map(|(i, p)| (p, (i as i64 * 31 % 17) - 8))
+            .collect()
+    }
+
+    #[test]
+    fn dense_2d_dynamic_matches_reference() {
+        let (a, t) = reference_and_tree(8, 2, DdcConfig::dynamic(), &dense_updates(8, 2));
+        assert_all_prefixes(&a, &t);
+        assert_eq!(t.check_invariants(), a.total());
+    }
+
+    #[test]
+    fn dense_2d_basic_matches_reference() {
+        let (a, t) = reference_and_tree(8, 2, DdcConfig::basic(), &dense_updates(8, 2));
+        assert_all_prefixes(&a, &t);
+    }
+
+    #[test]
+    fn dense_3d_matches_reference() {
+        for config in [DdcConfig::dynamic(), DdcConfig::basic(), DdcConfig::sparse()] {
+            let (a, t) = reference_and_tree(8, 3, config, &dense_updates(8, 3));
+            assert_all_prefixes(&a, &t);
+            assert_eq!(t.check_invariants(), a.total());
+        }
+    }
+
+    #[test]
+    fn dense_4d_matches_reference() {
+        let (a, t) = reference_and_tree(4, 4, DdcConfig::dynamic(), &dense_updates(4, 4));
+        assert_all_prefixes(&a, &t);
+    }
+
+    #[test]
+    fn prune_reclaims_cancelled_subtrees() {
+        let mut t = DdcTree::<i64>::new(2, 256, DdcConfig::dynamic());
+        // Populate a diagonal, then cancel it all.
+        for i in 0..256usize {
+            t.apply_delta(&[i, i], 7);
+        }
+        let populated_bytes = t.heap_bytes();
+        for i in 0..256usize {
+            t.apply_delta(&[i, i], -7);
+        }
+        assert_eq!(t.total(), 0);
+        // Structures linger until pruned…
+        assert!(t.heap_bytes() > populated_bytes / 2);
+        let released = t.prune();
+        assert!(released > 0);
+        assert!(t.heap_bytes() < populated_bytes / 10, "{} bytes left", t.heap_bytes());
+        assert_eq!(t.prefix_sum(&[255, 255]), 0);
+        // The tree stays fully usable afterwards.
+        t.apply_delta(&[100, 100], 3);
+        assert_eq!(t.prefix_sum(&[255, 255]), 3);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn prune_keeps_live_content_intact() {
+        let mut t = DdcTree::<i64>::new(2, 64, DdcConfig::sparse());
+        for (p, v) in dense_updates(8, 2) {
+            t.apply_delta(&[p[0] * 8, p[1] * 8], v);
+        }
+        t.apply_delta(&[5, 5], 9);
+        t.apply_delta(&[5, 5], -9); // one cancelled cell
+        let reference_total = t.total();
+        t.prune();
+        assert_eq!(t.total(), reference_total);
+        assert_eq!(t.cell(&[5, 5]), 0);
+        assert_eq!(t.cell(&[8, 8]), t.cell(&[8, 8]));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stats_profile_matches_structure() {
+        let (a, t) = reference_and_tree(16, 2, DdcConfig::dynamic(), &dense_updates(16, 2));
+        let s = t.stats();
+        // Dense 16² tree, h = 0: nodes at sides 16, 8, 4; leaf blocks of
+        // side 2 under the side-4 nodes.
+        assert_eq!(s.per_level[0].nodes, 1);
+        assert_eq!(s.per_level[0].side, 16);
+        assert_eq!(s.per_level[1].nodes, 4);
+        assert_eq!(s.per_level[2].nodes, 16);
+        assert_eq!(s.per_level[3].leaf_blocks, 64);
+        assert_eq!(s.leaf_cells, 256);
+        assert_eq!(s.nodes, 21);
+        assert_eq!(s.boxes, 21 * 4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.total_bytes, t.heap_bytes());
+        assert!(s.secondary_bytes > 0 && s.secondary_bytes < s.total_bytes);
+        let _ = a;
+        // Sparse tree: statistics shrink to the populated paths.
+        let mut sparse = DdcTree::<i64>::new(2, 16, DdcConfig::sparse());
+        sparse.apply_delta(&[0, 0], 1);
+        let ss = sparse.stats();
+        assert_eq!(ss.nodes, 3);
+        assert_eq!(ss.boxes, 3);
+        assert_eq!(ss.leaf_blocks, 1);
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let shape = Shape::cube(2, 64);
+        let a = NdArray::from_fn(shape, |p| ((p[0] * 31 + p[1] * 7) % 23) as i64 - 11);
+        let seq = DdcTree::from_array_sized(&a, 64, DdcConfig::dynamic());
+        let par = DdcTree::from_array_parallel(&a, 64, DdcConfig::dynamic());
+        for p in a.shape().iter_points() {
+            assert_eq!(par.prefix_sum(&p), seq.prefix_sum(&p), "{p:?}");
+        }
+        assert_eq!(par.check_invariants(), a.total());
+        // Degenerate: tiny array below the leaf-block side.
+        let tiny = NdArray::from_rows(&[vec![1i64, 2], vec![3, 4]]);
+        let par_tiny = DdcTree::from_array_parallel(&tiny, 2, DdcConfig::dynamic());
+        assert_eq!(par_tiny.prefix_sum(&[1, 1]), 10);
+    }
+
+    #[test]
+    fn five_dimensional_recursion() {
+        // d = 5 exercises four levels of secondary-tree recursion
+        // (4-D → 3-D → 2-D → 1-D B^c trees).
+        let (a, t) = reference_and_tree(4, 5, DdcConfig::dynamic(), &dense_updates(4, 5));
+        for p in [[0usize; 5], [3; 5], [1, 2, 3, 0, 2], [3, 0, 3, 0, 3]] {
+            assert_eq!(t.prefix_sum(&p), a.prefix_sum(&p), "{p:?}");
+        }
+        assert_eq!(t.check_invariants(), a.total());
+    }
+
+    #[test]
+    fn one_dimensional_tree() {
+        let (a, t) = reference_and_tree(16, 1, DdcConfig::dynamic(), &dense_updates(16, 1));
+        assert_all_prefixes(&a, &t);
+        assert_eq!(t.total(), a.total());
+    }
+
+    #[test]
+    fn elided_levels_match_reference() {
+        for h in 0..=3 {
+            let config = DdcConfig::dynamic().with_elision(h);
+            let (a, t) = reference_and_tree(16, 2, config, &dense_updates(16, 2));
+            assert_all_prefixes(&a, &t);
+            assert_eq!(t.check_invariants(), a.total());
+        }
+    }
+
+    #[test]
+    fn elision_shrinks_storage() {
+        let updates = dense_updates(32, 2);
+        let sizes: Vec<usize> = (0..=3)
+            .map(|h| {
+                let config = DdcConfig::dynamic().with_elision(h);
+                let (_, t) = reference_and_tree(32, 2, config, &updates);
+                t.heap_bytes()
+            })
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[1] < w[0]),
+            "heap bytes should fall as h grows: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn fenwick_and_seg_bases_match() {
+        for base in [BaseStore::Fenwick, BaseStore::SparseSeg, BaseStore::Bc { fanout: 4 }] {
+            let config = DdcConfig::dynamic().with_base(base);
+            let (a, t) = reference_and_tree(16, 2, config, &dense_updates(16, 2));
+            assert_all_prefixes(&a, &t);
+        }
+    }
+
+    #[test]
+    fn empty_tree_reads_zero_everywhere() {
+        let t = DdcTree::<i64>::new(3, 16, DdcConfig::dynamic());
+        assert_eq!(t.prefix_sum(&[15, 15, 15]), 0);
+        assert_eq!(t.cell(&[3, 4, 5]), 0);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.populated_cells(), 0);
+    }
+
+    #[test]
+    fn cell_reads_match_updates() {
+        let updates = dense_updates(8, 2);
+        let (a, t) = reference_and_tree(8, 2, DdcConfig::dynamic(), &updates);
+        for p in a.shape().iter_points() {
+            assert_eq!(t.cell(&p), a.get(&p), "cell {p:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_population_costs_little_memory() {
+        let mut dense = DdcTree::<i64>::new(2, 1024, DdcConfig::sparse());
+        dense.apply_delta(&[3, 900], 5);
+        dense.apply_delta(&[800, 2], -9);
+        let sparse_bytes = dense.heap_bytes();
+        // The dense space would be 1024² cells = 8 MiB of i64 alone.
+        assert!(
+            sparse_bytes < 200_000,
+            "sparse cube used {sparse_bytes} bytes"
+        );
+        assert_eq!(dense.prefix_sum(&[1023, 1023]), -4);
+        assert_eq!(dense.populated_cells(), 2);
+    }
+
+    #[test]
+    fn growth_high_preserves_content() {
+        let mut t = DdcTree::<i64>::new(2, 8, DdcConfig::dynamic());
+        let updates = dense_updates(8, 2);
+        let mut a = NdArray::<i64>::zeroed(Shape::cube(2, 16));
+        for (p, delta) in &updates {
+            t.apply_delta(p, *delta);
+            a.add_assign(p, *delta);
+        }
+        t.grow(&[false, false]);
+        assert_eq!(t.side(), 16);
+        t.apply_delta(&[12, 15], 100);
+        a.add_assign(&[12, 15], 100);
+        assert_all_prefixes(&a, &t);
+        assert_eq!(t.check_invariants(), a.total());
+    }
+
+    #[test]
+    fn growth_low_shifts_content() {
+        let mut t = DdcTree::<i64>::new(2, 4, DdcConfig::dynamic());
+        t.apply_delta(&[0, 0], 7);
+        t.apply_delta(&[3, 3], 2);
+        t.grow(&[true, false]); // dim 0 grows low: content shifts up by 4
+        assert_eq!(t.cell(&[4, 0]), 7);
+        assert_eq!(t.cell(&[7, 3]), 2);
+        assert_eq!(t.cell(&[0, 0]), 0);
+        assert_eq!(t.prefix_sum(&[7, 7]), 9);
+        assert_eq!(t.check_invariants(), 9);
+    }
+
+    #[test]
+    fn growth_of_empty_tree_is_free() {
+        let mut t = DdcTree::<i64>::new(3, 4, DdcConfig::dynamic());
+        t.grow(&[true, true, true]);
+        assert_eq!(t.side(), 8);
+        assert_eq!(t.total(), 0);
+        t.apply_delta(&[7, 7, 7], 1);
+        assert_eq!(t.prefix_sum(&[7, 7, 7]), 1);
+    }
+
+    #[test]
+    fn repeated_growth_stays_consistent() {
+        let mut t = DdcTree::<i64>::new(2, 4, DdcConfig::sparse());
+        t.apply_delta(&[1, 1], 10);
+        for step in 0..4 {
+            t.grow(&[step % 2 == 0, step % 2 == 1]);
+        }
+        assert_eq!(t.side(), 64);
+        // Shifts: dim0 grew low at steps 0,2 (+4, +16); dim1 at 1,3 (+8, +32).
+        assert_eq!(t.cell(&[1 + 4 + 16, 1 + 8 + 32]), 10);
+        assert_eq!(t.total(), 10);
+        assert_eq!(t.check_invariants(), 10);
+    }
+
+    #[test]
+    fn for_each_nonzero_reports_cells() {
+        let mut t = DdcTree::<i64>::new(2, 16, DdcConfig::dynamic());
+        t.apply_delta(&[2, 3], 5);
+        t.apply_delta(&[10, 0], -1);
+        let mut seen = Vec::new();
+        t.for_each_nonzero(&mut |p, v| seen.push((p.to_vec(), v)));
+        seen.sort();
+        assert_eq!(seen, vec![(vec![2, 3], 5), (vec![10, 0], -1)]);
+    }
+
+    #[test]
+    fn cancelling_update_keeps_queries_correct() {
+        let mut t = DdcTree::<i64>::new(2, 8, DdcConfig::dynamic());
+        t.apply_delta(&[4, 4], 5);
+        t.apply_delta(&[4, 4], -5);
+        assert_eq!(t.prefix_sum(&[7, 7]), 0);
+        assert_eq!(t.cell(&[4, 4]), 0);
+    }
+
+    #[test]
+    fn update_cost_is_polylogarithmic() {
+        let mut t = DdcTree::<i64>::new(2, 256, DdcConfig::dynamic());
+        // Warm the path so materialization costs are excluded.
+        t.apply_delta(&[0, 0], 1);
+        t.counter().reset();
+        t.apply_delta(&[0, 0], 1);
+        let w = t.ops().writes;
+        // log2(256) = 8 levels × (1 subtotal + 2 B^c paths of ≤ ~2·log k).
+        assert!(w <= 8 * 40, "update wrote {w} values");
+        // …versus the Basic tree, which cascades O(n) at the root.
+        let mut b = DdcTree::<i64>::new(2, 256, DdcConfig::basic());
+        b.apply_delta(&[0, 0], 1);
+        b.counter().reset();
+        b.apply_delta(&[0, 0], 1);
+        assert!(b.ops().writes > w, "basic ({}) should exceed dynamic ({w})", b.ops().writes);
+    }
+
+    #[test]
+    fn query_cost_is_polylogarithmic() {
+        let mut t = DdcTree::<i64>::new(2, 256, DdcConfig::dynamic());
+        for (p, v) in dense_updates(16, 2) {
+            t.apply_delta(&[p[0] * 16, p[1] * 16], v);
+        }
+        t.counter().reset();
+        let _ = t.prefix_sum(&[255, 255]);
+        let r = t.ops().reads;
+        assert!(r <= 8 * 3 * 20, "query read {r} values");
+    }
+}

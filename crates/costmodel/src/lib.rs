@@ -1,0 +1,274 @@
+//! # ddc-costmodel
+//!
+//! The analytic cost formulas of the paper, used to regenerate Table 1,
+//! Figure 1, and Table 2 exactly, and to compare measured operation counts
+//! against the published asymptotics (§3.3, §4.3).
+//!
+//! All formulas work in `f64` (Table 1 reaches `10^72`, far beyond `u128`)
+//! and report log10 magnitudes the way the paper rounds them.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// Update-cost functions of Table 1 (values are cells touched per update).
+pub mod table1 {
+    /// Full data cube size `n^d` (also the prefix-sum update cost).
+    pub fn full_cube_size(n: f64, d: u32) -> f64 {
+        n.powi(d as i32)
+    }
+
+    /// Prefix sum method \[HAMS97\]: `n^d`.
+    pub fn prefix_sum_update(n: f64, d: u32) -> f64 {
+        n.powi(d as i32)
+    }
+
+    /// Relative prefix sum \[GAES99\]: `n^{d/2}`.
+    pub fn relative_prefix_update(n: f64, d: u32) -> f64 {
+        n.powf(d as f64 / 2.0)
+    }
+
+    /// Dynamic Data Cube: `(log2 n)^d`.
+    pub fn ddc_update(n: f64, d: u32) -> f64 {
+        n.log2().powi(d as i32)
+    }
+
+    /// Rounded to the nearest power of ten, as printed in Table 1
+    /// ("values are rounded to the nearest power of 10").
+    pub fn nearest_power_of_ten(v: f64) -> i32 {
+        v.log10().round() as i32
+    }
+
+    /// Seconds to apply one update at the given instruction rate — the
+    /// paper's "hypothetical 500 MIPS processor" conversion (§1).
+    pub fn seconds_at_mips(ops: f64, mips: f64) -> f64 {
+        ops / (mips * 1e6)
+    }
+
+    /// One Table 1 row: `n` and the four cost columns.
+    #[derive(Copy, Clone, Debug, PartialEq)]
+    pub struct Row {
+        /// Dimension size `n`.
+        pub n: f64,
+        /// `n^d` — full cube size.
+        pub full_cube: f64,
+        /// `n^d` — prefix sum update cost.
+        pub prefix_sum: f64,
+        /// `n^{d/2}` — relative prefix sum update cost.
+        pub relative_prefix: f64,
+        /// `(log2 n)^d` — Dynamic Data Cube update cost.
+        pub ddc: f64,
+    }
+
+    /// The full table for dimension count `d` over `n = 10^1 … 10^max_exp`.
+    pub fn rows(d: u32, max_exp: u32) -> Vec<Row> {
+        (1..=max_exp)
+            .map(|e| {
+                let n = 10f64.powi(e as i32);
+                Row {
+                    n,
+                    full_cube: full_cube_size(n, d),
+                    prefix_sum: prefix_sum_update(n, d),
+                    relative_prefix: relative_prefix_update(n, d),
+                    ddc: ddc_update(n, d),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Storage formulas of Table 2 and §4.4.
+pub mod table2 {
+    /// Cells stored by one overlay box: `k^d − (k−1)^d` (§3.1).
+    pub fn overlay_cells(k: f64, d: u32) -> f64 {
+        k.powi(d as i32) - (k - 1.0).powi(d as i32)
+    }
+
+    /// Cells of array `A` covered by the box: `k^d`.
+    pub fn covered_cells(k: f64, d: u32) -> f64 {
+        k.powi(d as i32)
+    }
+
+    /// Overlay storage as a percentage of the covered region ("O.B. / A").
+    pub fn percentage(k: f64, d: u32) -> f64 {
+        100.0 * overlay_cells(k, d) / covered_cells(k, d)
+    }
+
+    /// Our implementation's layout: `d` separate groups of `k^{d-1}` plus
+    /// the subtotal (see DESIGN.md §5.2), reported alongside the paper's
+    /// deduplicated count.
+    pub fn implementation_cells(k: f64, d: u32) -> f64 {
+        d as f64 * k.powi(d as i32 - 1) + 1.0
+    }
+
+    /// Overlay value count of the whole tree relative to `|A| = n^d`, as
+    /// a function of the §4.4 elision parameter `h`: the level with box
+    /// side `k` stores ≈ `d·n^d/k` values, and eliding levels up to side
+    /// `2^{h+1}` leaves `Σ_{k=2^{h+1}}^{n/2} d/k ≤ d·2^{-h}` per cell.
+    pub fn tree_overhead_bound(d: u32, h: u32) -> f64 {
+        d as f64 / 2f64.powi(h as i32)
+    }
+
+    /// Smallest `h` whose §4.4 storage bound meets `epsilon` — "reduce the
+    /// storage required by the Dynamic Data Cube to within ε of the size
+    /// of array A".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon > 0`.
+    pub fn elision_for_overhead(d: u32, epsilon: f64) -> u32 {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let mut h = 0u32;
+        while tree_overhead_bound(d, h) > epsilon && h < 62 {
+            h += 1;
+        }
+        h
+    }
+}
+
+/// The §3.3 Basic-DDC update-cost series and the §4.3 Theorem 2 bounds.
+pub mod complexity {
+    /// §3.3: total overlay values touched by one Basic-DDC update —
+    /// `d · (n^{d-1} − 1) / (2^{d-1} − 1)` for `d ≥ 2`.
+    pub fn basic_update_cost(n: f64, d: u32) -> f64 {
+        assert!(d >= 2);
+        let p = (d - 1) as i32;
+        d as f64 * (n.powi(p) - 1.0) / (2f64.powi(p) - 1.0)
+    }
+
+    /// §4.3 base case: two-dimensional DDC cost series
+    /// `3 · ½ · log(n/2) · (log(n/2) + 1)` ≈ `O(log² n)`.
+    pub fn ddc_2d_cost(n: f64) -> f64 {
+        let l = (n / 2.0).log2();
+        3.0 * 0.5 * l * (l + 1.0)
+    }
+
+    /// Theorem 2: `O(log^d n)` with the `(2^{d+1} − 1)` per-level factor
+    /// made explicit — an upper-envelope, not a tight count.
+    pub fn ddc_cost_bound(n: f64, d: u32) -> f64 {
+        let per_level = (2f64.powi(d as i32 + 1)) - 1.0;
+        per_level * n.log2().powi(d as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_paper_anchor_points() {
+        // Paper §1: at n = 10², d = 8 the full cube is 10^16 cells…
+        let r = &table1::rows(8, 9)[1];
+        assert_eq!(r.n, 100.0);
+        assert_eq!(table1::nearest_power_of_ten(r.full_cube), 16);
+        assert_eq!(table1::nearest_power_of_ten(r.prefix_sum), 16);
+        assert_eq!(table1::nearest_power_of_ten(r.relative_prefix), 8);
+        // …and the DDC cost is (log2 100)^8 ≈ 4.3 × 10^6.
+        assert_eq!(table1::nearest_power_of_ten(r.ddc), 7);
+    }
+
+    #[test]
+    fn paper_processing_time_claims() {
+        // "the prefix sum method may require more than 6 months of
+        // processing" at n = 10², d = 8 on 500 MIPS: 10^16 / 5·10^8 = 2·10^7
+        // seconds ≈ 231 days > 6 months.
+        let secs =
+            table1::seconds_at_mips(table1::prefix_sum_update(100.0, 8), 500.0);
+        assert!(secs > 180.0 * 86_400.0, "{secs}");
+        // "The Dynamic Data Cube can update that same cell in under X
+        // seconds" — a tiny fraction of a second of pure instruction time.
+        let ddc = table1::seconds_at_mips(table1::ddc_update(100.0, 8), 500.0);
+        assert!(ddc < 1.0, "{ddc}");
+        // "When n = 10⁴, the relative prefix sum method requires 231 days"
+        // (2 × 10^7 s): n^{d/2} = 10^16 ops at 500 MIPS.
+        let rps =
+            table1::seconds_at_mips(table1::relative_prefix_update(1e4, 8), 500.0);
+        let days = rps / 86_400.0;
+        assert!((200.0..260.0).contains(&days), "{days} days");
+        // …whereas the DDC needs under 2 seconds.
+        let ddc4 = table1::seconds_at_mips(table1::ddc_update(1e4, 8), 500.0);
+        assert!(ddc4 < 2.0, "{ddc4}");
+    }
+
+    #[test]
+    fn table1_ordering_and_crossover() {
+        let rows = table1::rows(8, 9);
+        // At n = 10 the DDC's polylog cost still exceeds n^{d/2} — the
+        // crossover visible at the left edge of Figure 1.
+        assert!(rows[0].ddc > rows[0].relative_prefix);
+        // From n = 100 on, DDC < RPS < PS, and the gap only widens.
+        for r in &rows[1..] {
+            assert!(r.ddc < r.relative_prefix, "n={}", r.n);
+            assert!(r.relative_prefix <= r.prefix_sum, "n={}", r.n);
+            assert_eq!(r.prefix_sum, r.full_cube);
+        }
+    }
+
+    #[test]
+    fn table2_two_dimensional_percentages() {
+        // d = 2: (k² − (k−1)²)/k² = (2k − 1)/k².
+        assert_eq!(table2::overlay_cells(2.0, 2), 3.0);
+        assert_eq!(table2::percentage(2.0, 2), 75.0);
+        assert_eq!(table2::percentage(4.0, 2), 43.75);
+        assert!((table2::percentage(8.0, 2) - 23.4375).abs() < 1e-12);
+        // Storage fraction decreases as k grows (§4.4 Table 2 trend).
+        let mut prev = 101.0;
+        for k in [2.0, 4.0, 8.0, 16.0, 32.0, 1024.0] {
+            let p = table2::percentage(k, 2);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn implementation_layout_is_constant_factor() {
+        for k in [2.0, 8.0, 64.0] {
+            for d in [2u32, 3, 4] {
+                let ours = table2::implementation_cells(k, d);
+                let paper = table2::overlay_cells(k, d);
+                assert!(ours >= paper);
+                assert!(ours <= d as f64 * paper + 1.0, "k={k} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn elision_selection_meets_budget() {
+        for d in [2u32, 3, 8] {
+            for eps in [1.0, 0.25, 0.01] {
+                let h = table2::elision_for_overhead(d, eps);
+                assert!(table2::tree_overhead_bound(d, h) <= eps, "d={d} eps={eps}");
+                if h > 0 {
+                    assert!(
+                        table2::tree_overhead_bound(d, h - 1) > eps,
+                        "h not minimal for d={d} eps={eps}"
+                    );
+                }
+            }
+        }
+        // d = 2, ε = 0.25 ⇒ need 2/2^h ≤ ¼ ⇒ h = 3.
+        assert_eq!(table2::elision_for_overhead(2, 0.25), 3);
+    }
+
+    #[test]
+    fn basic_cost_series_matches_closed_form() {
+        // §3.3 d=2: check the closed form against the direct series
+        // d[(n/2)^{d-1} + (n/4)^{d-1} + … + 1^{d-1}].
+        for n in [8.0, 64.0, 1024.0] {
+            let closed = complexity::basic_update_cost(n, 2);
+            let mut series = 0.0;
+            let mut k = n / 2.0;
+            while k >= 1.0 {
+                series += 2.0 * k;
+                k /= 2.0;
+            }
+            assert!((closed - series).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ddc_2d_cost_anchor() {
+        // log(n/2) = 3 at n = 16: 3 · ½ · 3 · 4 = 18.
+        assert_eq!(complexity::ddc_2d_cost(16.0), 18.0);
+        assert!(complexity::ddc_cost_bound(16.0, 2) >= complexity::ddc_2d_cost(16.0));
+    }
+}

@@ -1,0 +1,1 @@
+//! Examples shim crate; see /examples.

@@ -1,0 +1,379 @@
+//! Dimensions (functional attributes) of an OLAP data cube.
+//!
+//! The paper's running example builds a cube with measure attribute
+//! `SALES` and dimensions `CUSTOMER_AGE` and `DATE_AND_TIME` (§1). A
+//! [`Dimension`] names one functional attribute and owns an [`Encoder`]
+//! that maps attribute values onto the dense zero-based indices the
+//! range-sum engines operate on.
+
+use std::collections::HashMap;
+
+/// A value of a functional attribute, as supplied in records and queries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DimValue<'a> {
+    /// A numeric attribute value (age, day number, unix time, …).
+    Int(i64),
+    /// A categorical attribute value (region name, product, …).
+    Str(&'a str),
+}
+
+impl From<i64> for DimValue<'_> {
+    fn from(v: i64) -> Self {
+        DimValue::Int(v)
+    }
+}
+
+impl<'a> From<&'a str> for DimValue<'a> {
+    fn from(v: &'a str) -> Self {
+        DimValue::Str(v)
+    }
+}
+
+/// Errors raised when encoding record or query values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A numeric value fell outside the dimension's declared domain.
+    OutOfDomain {
+        /// The dimension's name.
+        dimension: String,
+        /// Display form of the offending value.
+        value: String,
+    },
+    /// A categorical label was not declared for the dimension.
+    UnknownLabel {
+        /// The dimension's name.
+        dimension: String,
+        /// The offending label.
+        label: String,
+    },
+    /// A string value was supplied for a numeric dimension or vice versa.
+    TypeMismatch {
+        /// The dimension's name.
+        dimension: String,
+    },
+    /// The number of coordinates does not match the cube's dimensionality.
+    ArityMismatch {
+        /// Expected coordinate count.
+        expected: usize,
+        /// Supplied coordinate count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::OutOfDomain { dimension, value } => {
+                write!(f, "value {value} outside the domain of dimension '{dimension}'")
+            }
+            EncodeError::UnknownLabel { dimension, label } => {
+                write!(f, "unknown label '{label}' for dimension '{dimension}'")
+            }
+            EncodeError::TypeMismatch { dimension } => {
+                write!(f, "value type does not match dimension '{dimension}'")
+            }
+            EncodeError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} coordinates, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// How a dimension's attribute values map onto dense indices.
+#[derive(Clone, Debug)]
+pub enum Encoder {
+    /// An inclusive integer range `min..=max`; index = `value − min`.
+    IntRange {
+        /// Smallest admissible value.
+        min: i64,
+        /// Largest admissible value.
+        max: i64,
+    },
+    /// Integers bucketed into fixed-width intervals starting at `min`:
+    /// index = `(value − min) / width`. Useful for time dimensions
+    /// (e.g. seconds bucketed into days).
+    Bucketed {
+        /// Smallest admissible value.
+        min: i64,
+        /// Bucket width (> 0).
+        width: i64,
+        /// Number of buckets.
+        buckets: usize,
+    },
+    /// Named categories in declaration order.
+    Categorical {
+        /// Labels, index = position.
+        labels: Vec<String>,
+        /// Reverse lookup.
+        index: HashMap<String, usize>,
+    },
+}
+
+impl Encoder {
+    /// Number of distinct indices (`n_i` in the paper).
+    pub fn size(&self) -> usize {
+        match self {
+            Encoder::IntRange { min, max } => (max - min + 1) as usize,
+            Encoder::Bucketed { buckets, .. } => *buckets,
+            Encoder::Categorical { labels, .. } => labels.len(),
+        }
+    }
+}
+
+/// One functional attribute of the cube.
+#[derive(Clone, Debug)]
+pub struct Dimension {
+    name: String,
+    encoder: Encoder,
+}
+
+impl Dimension {
+    /// An integer dimension over the inclusive range `min..=max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn int_range(name: &str, min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty domain {min}..={max} for '{name}'");
+        Self { name: name.to_string(), encoder: Encoder::IntRange { min, max } }
+    }
+
+    /// An integer dimension bucketed into `buckets` intervals of `width`,
+    /// starting at `min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `buckets == 0`.
+    pub fn bucketed(name: &str, min: i64, width: i64, buckets: usize) -> Self {
+        assert!(width > 0, "bucket width must be positive for '{name}'");
+        assert!(buckets > 0, "need at least one bucket for '{name}'");
+        Self { name: name.to_string(), encoder: Encoder::Bucketed { min, width, buckets } }
+    }
+
+    /// A categorical dimension with the given labels (index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate labels or an empty label set.
+    pub fn categorical(name: &str, labels: &[&str]) -> Self {
+        assert!(!labels.is_empty(), "need at least one label for '{name}'");
+        let mut index = HashMap::with_capacity(labels.len());
+        for (i, l) in labels.iter().enumerate() {
+            let prev = index.insert(l.to_string(), i);
+            assert!(prev.is_none(), "duplicate label '{l}' in dimension '{name}'");
+        }
+        Self {
+            name: name.to_string(),
+            encoder: Encoder::Categorical {
+                labels: labels.iter().map(|l| l.to_string()).collect(),
+                index,
+            },
+        }
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimension's encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Number of distinct indices.
+    pub fn size(&self) -> usize {
+        self.encoder.size()
+    }
+
+    /// Renders the human-readable label of one dense index (the inverse
+    /// of [`Dimension::encode`] up to bucketing).
+    pub fn label(&self, index: usize) -> String {
+        assert!(index < self.size(), "index {index} beyond dimension '{}'", self.name);
+        match &self.encoder {
+            Encoder::IntRange { min, .. } => (min + index as i64).to_string(),
+            Encoder::Bucketed { min, width, .. } => {
+                let lo = min + index as i64 * width;
+                format!("[{lo}..{})", lo + width)
+            }
+            Encoder::Categorical { labels, .. } => labels[index].clone(),
+        }
+    }
+
+    /// Encodes a single attribute value to its index.
+    pub fn encode(&self, value: &DimValue<'_>) -> Result<usize, EncodeError> {
+        match (&self.encoder, value) {
+            (Encoder::IntRange { min, max }, DimValue::Int(v)) => {
+                if v < min || v > max {
+                    Err(self.out_of_domain(v))
+                } else {
+                    Ok((v - min) as usize)
+                }
+            }
+            (Encoder::Bucketed { min, width, buckets }, DimValue::Int(v)) => {
+                if v < min {
+                    return Err(self.out_of_domain(v));
+                }
+                let idx = ((v - min) / width) as usize;
+                if idx >= *buckets {
+                    Err(self.out_of_domain(v))
+                } else {
+                    Ok(idx)
+                }
+            }
+            (Encoder::Categorical { index, .. }, DimValue::Str(s)) => {
+                index.get(*s).copied().ok_or_else(|| EncodeError::UnknownLabel {
+                    dimension: self.name.clone(),
+                    label: (*s).to_string(),
+                })
+            }
+            _ => Err(EncodeError::TypeMismatch { dimension: self.name.clone() }),
+        }
+    }
+
+    /// Encodes an inclusive value range to an inclusive index range.
+    pub fn encode_range(
+        &self,
+        lo: &DimValue<'_>,
+        hi: &DimValue<'_>,
+    ) -> Result<(usize, usize), EncodeError> {
+        let l = self.encode(lo)?;
+        let h = self.encode(hi)?;
+        if l > h {
+            return Err(EncodeError::OutOfDomain {
+                dimension: self.name.clone(),
+                value: format!("inverted range ({lo:?} .. {hi:?})"),
+            });
+        }
+        Ok((l, h))
+    }
+
+    fn out_of_domain(&self, v: &i64) -> EncodeError {
+        EncodeError::OutOfDomain { dimension: self.name.clone(), value: v.to_string() }
+    }
+}
+
+/// One dimension's constraint in a range query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RangeSpec<'a> {
+    /// No constraint: the full extent of the dimension.
+    All,
+    /// Exactly one value.
+    Eq(DimValue<'a>),
+    /// An inclusive value range.
+    Between(DimValue<'a>, DimValue<'a>),
+    /// Exactly one *dense index* (used by rollup machinery that already
+    /// enumerates encoded buckets).
+    Index(usize),
+    /// An inclusive dense-index range.
+    IndexRange(usize, usize),
+}
+
+impl RangeSpec<'_> {
+    /// Resolves the spec to an inclusive index interval for `dim`.
+    pub fn resolve(&self, dim: &Dimension) -> Result<(usize, usize), EncodeError> {
+        let check = |i: usize| {
+            if i < dim.size() {
+                Ok(i)
+            } else {
+                Err(EncodeError::OutOfDomain {
+                    dimension: dim.name().to_string(),
+                    value: format!("index {i}"),
+                })
+            }
+        };
+        match self {
+            RangeSpec::All => Ok((0, dim.size() - 1)),
+            RangeSpec::Eq(v) => {
+                let i = dim.encode(v)?;
+                Ok((i, i))
+            }
+            RangeSpec::Between(lo, hi) => dim.encode_range(lo, hi),
+            RangeSpec::Index(i) => {
+                let i = check(*i)?;
+                Ok((i, i))
+            }
+            RangeSpec::IndexRange(lo, hi) => {
+                let lo = check(*lo)?;
+                let hi = check(*hi)?;
+                if lo > hi {
+                    return Err(EncodeError::OutOfDomain {
+                        dimension: dim.name().to_string(),
+                        value: format!("inverted index range {lo}..{hi}"),
+                    });
+                }
+                Ok((lo, hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_encoding() {
+        let age = Dimension::int_range("customer_age", 18, 99);
+        assert_eq!(age.size(), 82);
+        assert_eq!(age.encode(&DimValue::Int(18)).unwrap(), 0);
+        assert_eq!(age.encode(&DimValue::Int(45)).unwrap(), 27);
+        assert!(matches!(
+            age.encode(&DimValue::Int(17)),
+            Err(EncodeError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            age.encode(&DimValue::Str("x")),
+            Err(EncodeError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bucketed_encoding() {
+        // Seconds bucketed into days over one year.
+        let day = Dimension::bucketed("date", 0, 86_400, 365);
+        assert_eq!(day.size(), 365);
+        assert_eq!(day.encode(&DimValue::Int(0)).unwrap(), 0);
+        assert_eq!(day.encode(&DimValue::Int(86_399)).unwrap(), 0);
+        assert_eq!(day.encode(&DimValue::Int(86_400)).unwrap(), 1);
+        assert!(day.encode(&DimValue::Int(365 * 86_400)).is_err());
+        assert!(day.encode(&DimValue::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn categorical_encoding() {
+        let region = Dimension::categorical("region", &["north", "south", "east", "west"]);
+        assert_eq!(region.size(), 4);
+        assert_eq!(region.encode(&DimValue::Str("east")).unwrap(), 2);
+        assert!(matches!(
+            region.encode(&DimValue::Str("up")),
+            Err(EncodeError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn range_specs_resolve() {
+        let age = Dimension::int_range("age", 0, 99);
+        assert_eq!(RangeSpec::All.resolve(&age).unwrap(), (0, 99));
+        assert_eq!(RangeSpec::Eq(45.into()).resolve(&age).unwrap(), (45, 45));
+        assert_eq!(
+            RangeSpec::Between(27.into(), 45.into()).resolve(&age).unwrap(),
+            (27, 45)
+        );
+        assert!(RangeSpec::Between(45.into(), 27.into()).resolve(&age).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_rejected() {
+        Dimension::categorical("r", &["a", "a"]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EncodeError::ArityMismatch { expected: 2, got: 3 };
+        assert_eq!(e.to_string(), "expected 2 coordinates, got 3");
+    }
+}

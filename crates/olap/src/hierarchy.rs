@@ -1,0 +1,319 @@
+//! Dimension hierarchies: roll-up and drill-down.
+//!
+//! OLAP dimensions are usually hierarchical — days roll up to months and
+//! quarters, cities to regions. Because every aggregate here is a range
+//! sum, a hierarchy needs no extra storage: a *level* is just a partition
+//! of the base indices into consecutive buckets, and rolling up is one
+//! range query per bucket (`O(buckets · log^d n)` on the Dynamic Data
+//! Cube). Drill-down restricts the next finer level to one bucket's
+//! interval.
+
+use ddc_array::AbelianGroup;
+
+use crate::cube::DataCube;
+use crate::dimension::{EncodeError, RangeSpec};
+use crate::rollup::GroupRow;
+
+/// One level of a hierarchy: named buckets over consecutive base-index
+/// intervals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Level {
+    name: String,
+    /// `starts[b]` is the first base index of bucket `b`; buckets end
+    /// where the next begins, the last at `size`.
+    starts: Vec<usize>,
+    labels: Vec<String>,
+    size: usize,
+}
+
+impl Level {
+    /// A level from explicit bucket start indices (must begin at 0 and
+    /// increase strictly) over a base dimension of `size` indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed boundaries or label-count mismatch.
+    pub fn from_starts(name: &str, size: usize, starts: &[usize], labels: &[&str]) -> Self {
+        assert!(!starts.is_empty(), "level '{name}' needs at least one bucket");
+        assert_eq!(starts[0], 0, "first bucket of '{name}' must start at index 0");
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "bucket starts of '{name}' must increase strictly"
+        );
+        assert!(
+            *starts.last().expect("non-empty") < size,
+            "last bucket of '{name}' starts beyond the dimension"
+        );
+        assert_eq!(starts.len(), labels.len(), "one label per bucket in '{name}'");
+        Self {
+            name: name.to_string(),
+            starts: starts.to_vec(),
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+            size,
+        }
+    }
+
+    /// Equal-width buckets (the last may be short).
+    pub fn fixed_width(name: &str, size: usize, width: usize) -> Self {
+        assert!(width >= 1);
+        let starts: Vec<usize> = (0..size).step_by(width).collect();
+        let labels: Vec<String> =
+            (0..starts.len()).map(|b| format!("{name}{}", b + 1)).collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        Self::from_starts(name, size, &starts, &refs)
+    }
+
+    /// Calendar months over a day-of-year dimension (non-leap year,
+    /// `size` must be 365).
+    pub fn calendar_months(size: usize) -> Self {
+        assert_eq!(size, 365, "calendar_months expects a 365-day dimension");
+        const DAYS: [usize; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        const NAMES: [&str; 12] = [
+            "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+        ];
+        let mut starts = Vec::with_capacity(12);
+        let mut acc = 0;
+        for d in DAYS {
+            starts.push(acc);
+            acc += d;
+        }
+        Self::from_starts("month", size, &starts, &NAMES)
+    }
+
+    /// The level's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The base-index interval `[lo, hi]` of bucket `b`.
+    pub fn interval(&self, b: usize) -> (usize, usize) {
+        assert!(b < self.buckets(), "bucket {b} beyond level '{}'", self.name);
+        let lo = self.starts[b];
+        let hi = if b + 1 < self.starts.len() { self.starts[b + 1] - 1 } else { self.size - 1 };
+        (lo, hi)
+    }
+
+    /// The label of bucket `b`.
+    pub fn label(&self, b: usize) -> &str {
+        &self.labels[b]
+    }
+
+    /// The bucket containing base index `i`.
+    pub fn bucket_of(&self, i: usize) -> usize {
+        assert!(i < self.size);
+        match self.starts.binary_search(&i) {
+            Ok(b) => b,
+            Err(ins) => ins - 1,
+        }
+    }
+}
+
+/// An ordered stack of levels, coarsest first, all over the same base
+/// dimension.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy, validating that every coarser bucket is a
+    /// union of finer buckets (each coarser start is also a finer start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels cover different sizes or do not nest.
+    pub fn new(levels: Vec<Level>) -> Self {
+        assert!(!levels.is_empty(), "a hierarchy needs at least one level");
+        for w in levels.windows(2) {
+            let (coarse, fine) = (&w[0], &w[1]);
+            assert_eq!(
+                coarse.size, fine.size,
+                "levels '{}' and '{}' cover different dimensions",
+                coarse.name, fine.name
+            );
+            assert!(
+                coarse.buckets() <= fine.buckets(),
+                "'{}' must be coarser than '{}'",
+                coarse.name,
+                fine.name
+            );
+            for &s in &coarse.starts {
+                assert!(
+                    fine.starts.binary_search(&s).is_ok(),
+                    "bucket boundary {s} of '{}' does not align with '{}'",
+                    coarse.name,
+                    fine.name
+                );
+            }
+        }
+        Self { levels }
+    }
+
+    /// The levels, coarsest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+}
+
+impl<G: AbelianGroup> DataCube<G> {
+    /// Rolls dimension `axis` up to `level`: one aggregate per bucket
+    /// (other dimensions constrained by `filter`; the filter entry at
+    /// `axis` is ignored — roll-ups cover the whole dimension).
+    pub fn rollup_level(
+        &self,
+        axis: usize,
+        level: &Level,
+        filter: &[RangeSpec<'_>],
+    ) -> Result<Vec<GroupRow<G>>, EncodeError> {
+        self.rollup_buckets(axis, level, 0..level.buckets(), filter)
+    }
+
+    /// Drill-down: the rows of `fine` restricted to bucket `bucket` of
+    /// `coarse` — "open" one quarter into its months.
+    pub fn drill_down(
+        &self,
+        axis: usize,
+        coarse: &Level,
+        bucket: usize,
+        fine: &Level,
+        filter: &[RangeSpec<'_>],
+    ) -> Result<Vec<GroupRow<G>>, EncodeError> {
+        let (lo, hi) = coarse.interval(bucket);
+        let first = fine.bucket_of(lo);
+        let last = fine.bucket_of(hi);
+        self.rollup_buckets(axis, fine, first..last + 1, filter)
+    }
+
+    fn rollup_buckets(
+        &self,
+        axis: usize,
+        level: &Level,
+        buckets: std::ops::Range<usize>,
+        filter: &[RangeSpec<'_>],
+    ) -> Result<Vec<GroupRow<G>>, EncodeError> {
+        assert!(axis < self.dimensions().len(), "axis {axis} out of range");
+        assert_eq!(
+            level.size,
+            self.dimensions()[axis].size(),
+            "level '{}' does not cover dimension '{}'",
+            level.name,
+            self.dimensions()[axis].name()
+        );
+        let mut rows = Vec::with_capacity(buckets.len());
+        for b in buckets {
+            let (lo, hi) = level.interval(b);
+            let mut q: Vec<RangeSpec<'_>> = filter.to_vec();
+            q[axis] = RangeSpec::IndexRange(lo, hi);
+            rows.push(GroupRow {
+                index: b,
+                label: level.label(b).to_string(),
+                value: self.range_sum(&q)?,
+            });
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{CubeBuilder, SumCountCube};
+    use crate::dimension::Dimension;
+    use crate::engines::EngineKind;
+
+    fn year_cube() -> SumCountCube {
+        let mut c: SumCountCube = CubeBuilder::new()
+            .dimension(Dimension::int_range("day", 1, 365))
+            .engine(EngineKind::DynamicDdc)
+            .build();
+        // One sale of 10 every day.
+        for day in 1..=365i64 {
+            c.add_observation(&[day.into()], 10).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn month_rollup_matches_calendar() {
+        let c = year_cube();
+        let months = Level::calendar_months(365);
+        let rows = c.rollup_level(0, &months, &[RangeSpec::All]).unwrap();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0].label, "jan");
+        assert_eq!(rows[0].value.a, 310); // 31 days × 10
+        assert_eq!(rows[1].value.a, 280); // february
+        let total: i64 = rows.iter().map(|r| r.value.a).sum();
+        assert_eq!(total, 3650);
+    }
+
+    #[test]
+    fn quarter_to_month_drilldown() {
+        let c = year_cube();
+        let months = Level::calendar_months(365);
+        let quarters = Level::from_starts(
+            "quarter",
+            365,
+            &[0, 90, 181, 273],
+            &["q1", "q2", "q3", "q4"],
+        );
+        let h = Hierarchy::new(vec![quarters.clone(), months.clone()]);
+        assert_eq!(h.levels().len(), 2);
+
+        let q = c.rollup_level(0, &quarters, &[RangeSpec::All]).unwrap();
+        assert_eq!(q[0].value.a, 900); // 90 days
+        let q2_months = c.drill_down(0, &quarters, 1, &months, &[RangeSpec::All]).unwrap();
+        assert_eq!(
+            q2_months.iter().map(|r| r.label.as_str()).collect::<Vec<_>>(),
+            vec!["apr", "may", "jun"]
+        );
+        let q2_total: i64 = q2_months.iter().map(|r| r.value.a).sum();
+        assert_eq!(q2_total, q[1].value.a);
+    }
+
+    #[test]
+    fn fixed_width_levels() {
+        let weeks = Level::fixed_width("w", 365, 7);
+        assert_eq!(weeks.buckets(), 53);
+        assert_eq!(weeks.interval(0), (0, 6));
+        assert_eq!(weeks.interval(52), (364, 364)); // short last bucket
+        assert_eq!(weeks.bucket_of(364), 52);
+        assert_eq!(weeks.bucket_of(0), 0);
+        assert_eq!(weeks.bucket_of(13), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not align")]
+    fn misaligned_hierarchy_rejected() {
+        let months = Level::calendar_months(365);
+        let bad = Level::from_starts("bad", 365, &[0, 100], &["a", "b"]);
+        Hierarchy::new(vec![bad, months]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase strictly")]
+    fn bad_level_rejected() {
+        Level::from_starts("x", 10, &[0, 5, 5], &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn rollup_respects_other_filters() {
+        let mut c: SumCountCube = CubeBuilder::new()
+            .dimension(Dimension::categorical("region", &["n", "s"]))
+            .dimension(Dimension::int_range("day", 1, 365))
+            .engine(EngineKind::DynamicDdc)
+            .build();
+        c.add_observation(&["n".into(), 15.into()], 100).unwrap();
+        c.add_observation(&["s".into(), 15.into()], 7).unwrap();
+        let months = Level::calendar_months(365);
+        let rows = c
+            .rollup_level(1, &months, &[RangeSpec::Eq("n".into()), RangeSpec::All])
+            .unwrap();
+        assert_eq!(rows[0].value.a, 100);
+        assert_eq!(rows[1].value.a, 0);
+    }
+}

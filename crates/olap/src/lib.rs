@@ -1,0 +1,30 @@
+//! # ddc-olap
+//!
+//! The OLAP-facing layer of the Dynamic Data Cube workspace: named
+//! dimensions with value encoders, measure aggregation (SUM / COUNT /
+//! AVERAGE via invertible operators, §2), record ingestion, and range
+//! queries — over any of the paper's range-sum methods selected through
+//! [`EngineKind`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod cube;
+mod dimension;
+mod dynamic_cube;
+mod engines;
+mod explain;
+mod hierarchy;
+mod ingest;
+mod rollup;
+mod sql;
+
+pub use cube::{CubeBuilder, DataCube, SumCountCube};
+pub use dimension::{DimValue, Dimension, EncodeError, Encoder, RangeSpec};
+pub use engines::EngineKind;
+pub use explain::QueryPlan;
+pub use hierarchy::{Hierarchy, Level};
+pub use ingest::{load_records, split_record, IngestError, IngestOptions};
+pub use dynamic_cube::{DynamicDataCube, DynamicDimension, DynamicRange};
+pub use rollup::GroupRow;
+pub use sql::{parse_query, SqlAggregate, SqlQuery, SqlResult};

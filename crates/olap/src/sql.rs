@@ -1,0 +1,486 @@
+//! A small SQL-style query language over data cubes.
+//!
+//! Range-sum queries have a natural SQL reading — the paper's §1 example
+//! *is* a SQL aggregate — so the OLAP layer accepts a restricted SELECT
+//! form and compiles it onto range sums:
+//!
+//! ```text
+//! SELECT AVG
+//!   WHERE customer_age BETWEEN 27 AND 45
+//!     AND day BETWEEN 341 AND 365
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query  := SELECT agg [where] [group]
+//! agg    := SUM | COUNT | AVG
+//! where  := WHERE pred (AND pred)*
+//! pred   := dim '=' value | dim BETWEEN value AND value
+//!         | dim IN ( value [, value]* )
+//! group  := GROUP BY dim
+//! value  := integer | 'single-quoted label'
+//! ```
+//!
+//! Unconstrained dimensions default to their full extent. Only
+//! conjunctive rectangular predicates are expressible — exactly the
+//! queries the paper's structures answer in `O(log^d n)`.
+
+use ddc_array::{AbelianGroup, Pair};
+
+use crate::cube::DataCube;
+use crate::dimension::{DimValue, RangeSpec};
+use crate::rollup::GroupRow;
+
+/// The aggregate of a parsed query.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SqlAggregate {
+    /// SUM of the measure.
+    Sum,
+    /// COUNT of observations.
+    Count,
+    /// AVERAGE of the measure.
+    Avg,
+}
+
+/// A parsed predicate value.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Int(i64),
+    Str(String),
+}
+
+impl Value {
+    fn as_dim_value(&self) -> DimValue<'_> {
+        match self {
+            Value::Int(v) => DimValue::Int(*v),
+            Value::Str(s) => DimValue::Str(s),
+        }
+    }
+}
+
+/// One dimension constraint.
+#[derive(Clone, Debug, PartialEq)]
+enum Pred {
+    Eq(Value),
+    Between(Value, Value),
+    In(Vec<Value>),
+}
+
+/// A parsed query, ready to run against any cube whose schema has the
+/// referenced dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SqlQuery {
+    agg: SqlAggregate,
+    predicates: Vec<(String, Pred)>,
+    group_by: Option<String>,
+}
+
+/// Result of running a [`SqlQuery`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlResult {
+    /// SUM or COUNT over one rectangle.
+    Scalar(i64),
+    /// AVG over one rectangle (`None` when no observations match).
+    Average(Option<f64>),
+    /// One row per bucket of the GROUP BY dimension:
+    /// `(label, sum, count)`.
+    Rows(Vec<(String, i64, i64)>),
+}
+
+/// Tokenizes: identifiers/numbers, quoted strings, `=` punctuation.
+fn tokenize(text: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut s = String::from("'");
+            loop {
+                match chars.next() {
+                    Some('\'') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err("unterminated string literal".to_string()),
+                }
+            }
+            tokens.push(s);
+        } else if c == '=' || c == '(' || c == ')' || c == ',' {
+            chars.next();
+            tokens.push(c.to_string());
+        } else if c.is_alphanumeric() || c == '_' || c == '-' {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_alphanumeric() || ch == '_' || ch == '-' {
+                    s.push(ch);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(s);
+        } else {
+            return Err(format!("unexpected character '{c}'"));
+        }
+    }
+    Ok(tokens)
+}
+
+fn keyword(tok: Option<&String>, want: &str) -> bool {
+    tok.is_some_and(|t| t.eq_ignore_ascii_case(want))
+}
+
+fn parse_value(tok: &str) -> Value {
+    if let Some(stripped) = tok.strip_prefix('\'') {
+        Value::Str(stripped.to_string())
+    } else if let Ok(v) = tok.parse::<i64>() {
+        Value::Int(v)
+    } else {
+        // Bare identifiers in value position read as labels, which keeps
+        // common queries free of quoting.
+        Value::Str(tok.to_string())
+    }
+}
+
+/// Parses the restricted SELECT form.
+pub fn parse_query(text: &str) -> Result<SqlQuery, String> {
+    let tokens = tokenize(text)?;
+    let mut i = 0usize;
+    let next = |i: &mut usize, tokens: &[String]| -> Option<String> {
+        let t = tokens.get(*i).cloned();
+        if t.is_some() {
+            *i += 1;
+        }
+        t
+    };
+
+    if !keyword(tokens.get(i), "select") {
+        return Err("query must start with SELECT".to_string());
+    }
+    i += 1;
+    let agg = match next(&mut i, &tokens) {
+        Some(t) if t.eq_ignore_ascii_case("sum") => SqlAggregate::Sum,
+        Some(t) if t.eq_ignore_ascii_case("count") => SqlAggregate::Count,
+        Some(t) if t.eq_ignore_ascii_case("avg") => SqlAggregate::Avg,
+        other => return Err(format!("expected SUM/COUNT/AVG, got {other:?}")),
+    };
+
+    let mut predicates = Vec::new();
+    if keyword(tokens.get(i), "where") {
+        i += 1;
+        loop {
+            let dim = next(&mut i, &tokens).ok_or("expected dimension after WHERE/AND")?;
+            if dim.starts_with('\'') {
+                return Err("dimension names are bare identifiers".to_string());
+            }
+            match tokens.get(i) {
+                Some(t) if t == "=" => {
+                    i += 1;
+                    let v = next(&mut i, &tokens).ok_or("expected value after '='")?;
+                    predicates.push((dim, Pred::Eq(parse_value(&v))));
+                }
+                Some(t) if t.eq_ignore_ascii_case("between") => {
+                    i += 1;
+                    let a = next(&mut i, &tokens).ok_or("expected value after BETWEEN")?;
+                    if !keyword(tokens.get(i), "and") {
+                        return Err("expected AND between the bounds".to_string());
+                    }
+                    i += 1;
+                    let b = next(&mut i, &tokens).ok_or("expected second bound")?;
+                    predicates
+                        .push((dim, Pred::Between(parse_value(&a), parse_value(&b))));
+                }
+                Some(t) if t.eq_ignore_ascii_case("in") => {
+                    i += 1;
+                    if tokens.get(i).map(String::as_str) != Some("(") {
+                        return Err("expected '(' after IN".to_string());
+                    }
+                    i += 1;
+                    let mut values = Vec::new();
+                    loop {
+                        let v = next(&mut i, &tokens).ok_or("expected value in IN list")?;
+                        if v == ")" || v == "," {
+                            return Err("expected value in IN list".to_string());
+                        }
+                        values.push(parse_value(&v));
+                        match tokens.get(i).map(String::as_str) {
+                            Some(",") => i += 1,
+                            Some(")") => {
+                                i += 1;
+                                break;
+                            }
+                            other => {
+                                return Err(format!("expected ',' or ')', got {other:?}"))
+                            }
+                        }
+                    }
+                    predicates.push((dim, Pred::In(values)));
+                }
+                other => return Err(format!("expected '=' or BETWEEN, got {other:?}")),
+            }
+            if keyword(tokens.get(i), "and") {
+                i += 1;
+                continue;
+            }
+            break;
+        }
+    }
+
+    let mut group_by = None;
+    if keyword(tokens.get(i), "group") {
+        i += 1;
+        if !keyword(tokens.get(i), "by") {
+            return Err("expected BY after GROUP".to_string());
+        }
+        i += 1;
+        group_by =
+            Some(next(&mut i, &tokens).ok_or("expected dimension after GROUP BY")?);
+    }
+
+    if i != tokens.len() {
+        return Err(format!("trailing tokens: {:?}", &tokens[i..]));
+    }
+    Ok(SqlQuery { agg, predicates, group_by })
+}
+
+impl DataCube<Pair<i64, i64>> {
+    /// Parses and runs one query; see the module docs for the grammar.
+    ///
+    /// `IN` lists produce a union of disjoint rectangles (duplicate list
+    /// entries are deduplicated by encoded index, so nothing double
+    /// counts); the engine answers one range sum per combination.
+    pub fn query(&self, sql: &str) -> Result<SqlResult, String> {
+        let q = parse_query(sql)?;
+        // Per-dimension alternative specs (IN produces several).
+        let d = self.dimensions().len();
+        let mut alternatives: Vec<Vec<RangeSpec<'_>>> = vec![vec![RangeSpec::All]; d];
+        for (dim, pred) in &q.predicates {
+            let axis = self
+                .dimensions()
+                .iter()
+                .position(|dm| dm.name() == dim)
+                .ok_or_else(|| format!("no dimension named '{dim}'"))?;
+            alternatives[axis] = match pred {
+                Pred::Eq(v) => vec![RangeSpec::Eq(v.as_dim_value())],
+                Pred::Between(a, b) => {
+                    vec![RangeSpec::Between(a.as_dim_value(), b.as_dim_value())]
+                }
+                Pred::In(values) => {
+                    let dimension = &self.dimensions()[axis];
+                    let mut seen = std::collections::HashSet::new();
+                    let mut specs = Vec::new();
+                    for v in values {
+                        let idx = dimension
+                            .encode(&v.as_dim_value())
+                            .map_err(|e| e.to_string())?;
+                        if seen.insert(idx) {
+                            specs.push(RangeSpec::Index(idx));
+                        }
+                    }
+                    specs
+                }
+            };
+        }
+
+        // Enumerate the Cartesian product of alternatives.
+        let mut combos: Vec<Vec<RangeSpec<'_>>> = vec![Vec::with_capacity(d)];
+        for alts in &alternatives {
+            let mut grown = Vec::with_capacity(combos.len() * alts.len());
+            for c in &combos {
+                for a in alts {
+                    let mut c2 = c.clone();
+                    c2.push(a.clone());
+                    grown.push(c2);
+                }
+            }
+            combos = grown;
+        }
+
+        if let Some(gdim) = &q.group_by {
+            let axis = self
+                .dimensions()
+                .iter()
+                .position(|dm| dm.name() == gdim)
+                .ok_or_else(|| format!("no dimension named '{gdim}'"))?;
+            let mut merged: Vec<(String, Pair<i64, i64>)> = Vec::new();
+            for specs in &combos {
+                let rows: Vec<GroupRow<Pair<i64, i64>>> =
+                    self.group_by(axis, specs).map_err(|e| e.to_string())?;
+                if merged.is_empty() {
+                    merged =
+                        rows.into_iter().map(|r| (r.label, r.value)).collect();
+                } else {
+                    for (slot, row) in merged.iter_mut().zip(rows) {
+                        debug_assert_eq!(slot.0, row.label);
+                        slot.1 = slot.1.add(row.value);
+                    }
+                }
+            }
+            return Ok(SqlResult::Rows(
+                merged.into_iter().map(|(l, v)| (l, v.a, v.b)).collect(),
+            ));
+        }
+
+        let mut agg = Pair::<i64, i64>::ZERO;
+        for specs in &combos {
+            agg = agg.add(self.range_sum(specs).map_err(|e| e.to_string())?);
+        }
+        Ok(match q.agg {
+            SqlAggregate::Sum => SqlResult::Scalar(agg.a),
+            SqlAggregate::Count => SqlResult::Scalar(agg.b),
+            SqlAggregate::Avg => {
+                SqlResult::Average((agg.b != 0).then(|| agg.a as f64 / agg.b as f64))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{CubeBuilder, SumCountCube};
+    use crate::dimension::Dimension;
+    use crate::engines::EngineKind;
+
+    fn cube() -> SumCountCube {
+        let mut c: SumCountCube = CubeBuilder::new()
+            .dimension(Dimension::int_range("customer_age", 0, 99))
+            .dimension(Dimension::int_range("day", 1, 365))
+            .dimension(Dimension::categorical("region", &["north", "south"]))
+            .engine(EngineKind::DynamicDdc)
+            .build();
+        c.add_observation(&[30.into(), 341.into(), "north".into()], 100).unwrap();
+        c.add_observation(&[45.into(), 350.into(), "south".into()], 250).unwrap();
+        c.add_observation(&[27.into(), 365.into(), "north".into()], 130).unwrap();
+        c.add_observation(&[60.into(), 100.into(), "south".into()], 999).unwrap();
+        c
+    }
+
+    #[test]
+    fn paper_intro_query_in_sql() {
+        let c = cube();
+        let r = c
+            .query(
+                "SELECT AVG WHERE customer_age BETWEEN 27 AND 45 \
+                 AND day BETWEEN 341 AND 365",
+            )
+            .unwrap();
+        assert_eq!(r, SqlResult::Average(Some(160.0)));
+    }
+
+    #[test]
+    fn sum_count_and_equality_predicates() {
+        let c = cube();
+        assert_eq!(c.query("SELECT SUM").unwrap(), SqlResult::Scalar(1479));
+        assert_eq!(c.query("select count").unwrap(), SqlResult::Scalar(4));
+        assert_eq!(
+            c.query("SELECT SUM WHERE region = north").unwrap(),
+            SqlResult::Scalar(230)
+        );
+        assert_eq!(
+            c.query("SELECT SUM WHERE region = 'south' AND day BETWEEN 1 AND 200")
+                .unwrap(),
+            SqlResult::Scalar(999)
+        );
+        assert_eq!(
+            c.query("SELECT COUNT WHERE customer_age = 45").unwrap(),
+            SqlResult::Scalar(1)
+        );
+    }
+
+    #[test]
+    fn group_by_rows() {
+        let c = cube();
+        let r = c.query("SELECT SUM GROUP BY region").unwrap();
+        assert_eq!(
+            r,
+            SqlResult::Rows(vec![
+                ("north".to_string(), 230, 2),
+                ("south".to_string(), 1249, 2),
+            ])
+        );
+        let r = c
+            .query("SELECT SUM WHERE day BETWEEN 300 AND 365 GROUP BY region")
+            .unwrap();
+        assert_eq!(
+            r,
+            SqlResult::Rows(vec![
+                ("north".to_string(), 230, 2),
+                ("south".to_string(), 250, 1),
+            ])
+        );
+    }
+
+    #[test]
+    fn average_of_empty_selection_is_none() {
+        let c = cube();
+        assert_eq!(
+            c.query("SELECT AVG WHERE day = 2").unwrap(),
+            SqlResult::Average(None)
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        let c = cube();
+        assert!(c.query("FETCH SUM").unwrap_err().contains("SELECT"));
+        assert!(c.query("SELECT MEDIAN").unwrap_err().contains("SUM/COUNT/AVG"));
+        assert!(c.query("SELECT SUM WHERE").unwrap_err().contains("dimension"));
+        assert!(c
+            .query("SELECT SUM WHERE day BETWEEN 1")
+            .unwrap_err()
+            .contains("AND"));
+        assert!(c.query("SELECT SUM GROUP day").unwrap_err().contains("BY"));
+        assert!(c.query("SELECT SUM WHERE planet = mars").unwrap_err().contains("planet"));
+        assert!(c.query("SELECT SUM extra").unwrap_err().contains("trailing"));
+        assert!(c.query("SELECT SUM WHERE day = 'oops").unwrap_err().contains("unterminated"));
+    }
+
+    #[test]
+    fn in_lists_union_disjoint_rectangles() {
+        let c = cube();
+        assert_eq!(
+            c.query("SELECT SUM WHERE customer_age IN (30, 45)").unwrap(),
+            SqlResult::Scalar(350)
+        );
+        // Duplicates do not double count.
+        assert_eq!(
+            c.query("SELECT COUNT WHERE customer_age IN (30, 30, 45)").unwrap(),
+            SqlResult::Scalar(2)
+        );
+        // IN composes with other predicates and GROUP BY.
+        assert_eq!(
+            c.query(
+                "SELECT SUM WHERE customer_age IN (27, 45) AND region = 'north'"
+            )
+            .unwrap(),
+            SqlResult::Scalar(130)
+        );
+        assert_eq!(
+            c.query("SELECT SUM WHERE customer_age IN (27, 45) GROUP BY region")
+                .unwrap(),
+            SqlResult::Rows(vec![
+                ("north".to_string(), 130, 1),
+                ("south".to_string(), 250, 1),
+            ])
+        );
+        // Empty IN list selects nothing.
+        assert_eq!(
+            c.query("SELECT SUM WHERE region IN (north) AND day = 100").unwrap(),
+            SqlResult::Scalar(0)
+        );
+        // Syntax errors.
+        assert!(c.query("SELECT SUM WHERE day IN 3").is_err());
+        assert!(c.query("SELECT SUM WHERE day IN (3").is_err());
+        assert!(c.query("SELECT SUM WHERE day IN (3,)").is_err());
+    }
+
+    #[test]
+    fn out_of_domain_values_error_cleanly() {
+        let c = cube();
+        assert!(c.query("SELECT SUM WHERE day = 999").is_err());
+        assert!(c.query("SELECT SUM WHERE region = mars").is_err());
+        assert!(c.query("SELECT SUM WHERE day BETWEEN 50 AND 10").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Synthetic data generators for the paper's workload families.
+//!
+//! Section 5 motivates three data shapes: dense business cubes (the §1
+//! SALES examples), *clustered* data ("methane gas production is largely
+//! concentrated around agricultural and industrial centers"), and
+//! *sparse, unbounded* data (star catalogs growing in every direction).
+//! This module produces all three deterministically from a seed.
+
+use ddc_array::{NdArray, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A dense cube with every cell drawn uniformly from `lo..=hi`.
+pub fn uniform_array(shape: &Shape, lo: i64, hi: i64, rng: &mut StdRng) -> NdArray<i64> {
+    NdArray::from_fn(shape.clone(), |_| rng.gen_range(lo..=hi))
+}
+
+/// A cube where each cell is populated with probability `density` (drawn
+/// from `1..=max_value`), zero otherwise — the §5 sparse regime.
+pub fn sparse_array(
+    shape: &Shape,
+    density: f64,
+    max_value: i64,
+    rng: &mut StdRng,
+) -> NdArray<i64> {
+    assert!((0.0..=1.0).contains(&density));
+    NdArray::from_fn(shape.clone(), |_| {
+        if rng.gen_bool(density) {
+            rng.gen_range(1..=max_value)
+        } else {
+            0
+        }
+    })
+}
+
+/// One Gaussian cluster center with its spread.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Center coordinates (signed: clusters may sit anywhere).
+    pub center: Vec<i64>,
+    /// Standard deviation of point offsets per dimension.
+    pub spread: f64,
+}
+
+/// Generates `n_clusters` random cluster centers inside `[-extent, extent]^d`.
+pub fn random_clusters(
+    d: usize,
+    n_clusters: usize,
+    extent: i64,
+    spread: f64,
+    rng: &mut StdRng,
+) -> Vec<Cluster> {
+    (0..n_clusters)
+        .map(|_| Cluster {
+            center: (0..d).map(|_| rng.gen_range(-extent..=extent)).collect(),
+            spread,
+        })
+        .collect()
+}
+
+/// Draws `n_points` measurements around the given clusters — the §5
+/// EOSDIS-style geographically clustered workload. Returns signed
+/// coordinates (suitable for `GrowableCube`) with values in `1..=max_value`.
+pub fn clustered_points(
+    clusters: &[Cluster],
+    n_points: usize,
+    max_value: i64,
+    rng: &mut StdRng,
+) -> Vec<(Vec<i64>, i64)> {
+    assert!(!clusters.is_empty());
+    (0..n_points)
+        .map(|_| {
+            let c = &clusters[rng.gen_range(0..clusters.len())];
+            let p: Vec<i64> = c
+                .center
+                .iter()
+                .map(|&m| m + gaussian(rng, c.spread).round() as i64)
+                .collect();
+            (p, rng.gen_range(1..=max_value))
+        })
+        .collect()
+}
+
+/// Standard normal sample scaled by `sigma` (Box–Muller; avoids external
+/// distribution crates).
+fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Append-style time-series points: each record lands at the next time
+/// coordinate (dimension 0 strictly increasing) with the other
+/// coordinates drawn uniformly from `[-extent, extent]`. This is the
+/// append-only growth pattern the paper contrasts with any-direction
+/// growth (§5: "rather than in a single dimension as with append-only
+/// databases").
+pub fn append_series(
+    d: usize,
+    n_points: usize,
+    extent: i64,
+    max_value: i64,
+    rng: &mut StdRng,
+) -> Vec<(Vec<i64>, i64)> {
+    assert!(d >= 1);
+    (0..n_points)
+        .map(|t| {
+            let mut p = Vec::with_capacity(d);
+            p.push(t as i64);
+            for _ in 1..d {
+                p.push(rng.gen_range(-extent..=extent));
+            }
+            (p, rng.gen_range(1..=max_value))
+        })
+        .collect()
+}
+
+/// Point sources coming on-line over time (§5: "new cattle ranches or
+/// factories"): starts from `initial` clusters and adds a new cluster
+/// every `every` points, each in a previously untouched direction
+/// (alternating quadrant signs, doubling distance).
+pub fn emerging_sources(
+    d: usize,
+    n_points: usize,
+    initial: usize,
+    every: usize,
+    spread: f64,
+    rng: &mut StdRng,
+) -> Vec<(Vec<i64>, i64)> {
+    assert!(initial >= 1 && every >= 1);
+    let mut clusters = random_clusters(d, initial, 100, spread, rng);
+    let mut out = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        if i > 0 && i % every == 0 {
+            // A new source appears farther out, in a rotating direction.
+            let wave = i / every;
+            let dist = 200i64 << wave.min(20);
+            let center: Vec<i64> = (0..d)
+                .map(|axis| if (wave >> axis) & 1 == 1 { -dist } else { dist })
+                .collect();
+            clusters.push(Cluster { center, spread });
+        }
+        let c = &clusters[rng.gen_range(0..clusters.len())];
+        let p: Vec<i64> = c
+            .center
+            .iter()
+            .map(|&m| m + gaussian(rng, c.spread).round() as i64)
+            .collect();
+        out.push((p, rng.gen_range(1..=100)));
+    }
+    out
+}
+
+/// Zipf-distributed index in `0..n` with exponent `theta` — hot-spot
+/// update targets (a small set of cells receives most updates).
+pub fn zipf_index(n: usize, theta: f64, rng: &mut StdRng) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF by rejection-free approximation (Gray et al. 1994 style
+    // would precompute; n here is small enough for direct power draw).
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let x = (n as f64).powf(1.0 - u.powf(1.0 / (1.0 + theta)));
+    (x as usize).min(n - 1)
+}
+
+/// A stream of point updates: `(cell, delta)` pairs.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    /// The updates in application order.
+    pub updates: Vec<(Vec<usize>, i64)>,
+}
+
+/// Uniformly random updates over `shape`.
+pub fn uniform_updates(shape: &Shape, count: usize, rng: &mut StdRng) -> UpdateStream {
+    let updates = (0..count)
+        .map(|_| {
+            let p: Vec<usize> =
+                shape.dims().iter().map(|&n| rng.gen_range(0..n)).collect();
+            (p, rng.gen_range(-100..=100))
+        })
+        .collect();
+    UpdateStream { updates }
+}
+
+/// Zipf-skewed updates: coordinates concentrate near the origin, the
+/// worst-case corner for the prefix-sum cascade (Figure 5).
+pub fn skewed_updates(
+    shape: &Shape,
+    count: usize,
+    theta: f64,
+    rng: &mut StdRng,
+) -> UpdateStream {
+    let updates = (0..count)
+        .map(|_| {
+            let p: Vec<usize> = shape
+                .dims()
+                .iter()
+                .map(|&n| zipf_index(n, theta, rng))
+                .collect();
+            (p, rng.gen_range(-100..=100))
+        })
+        .collect();
+    UpdateStream { updates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let s = Shape::new(&[8, 8]);
+        let a = uniform_array(&s, -5, 5, &mut rng(42));
+        let b = uniform_array(&s, -5, 5, &mut rng(42));
+        assert_eq!(a, b);
+        let c = uniform_array(&s, -5, 5, &mut rng(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let a = uniform_array(&Shape::new(&[16, 16]), 1, 3, &mut rng(1));
+        assert!(a.as_slice().iter().all(|&v| (1..=3).contains(&v)));
+    }
+
+    #[test]
+    fn sparse_density_is_respected() {
+        let a = sparse_array(&Shape::new(&[64, 64]), 0.1, 100, &mut rng(7));
+        let pop = a.populated_cells();
+        // 4096 cells at 10% → expect ~410; allow generous tolerance.
+        assert!((200..650).contains(&pop), "populated {pop}");
+    }
+
+    #[test]
+    fn clustered_points_concentrate() {
+        let clusters = random_clusters(2, 3, 1000, 10.0, &mut rng(5));
+        let pts = clustered_points(&clusters, 500, 50, &mut rng(6));
+        assert_eq!(pts.len(), 500);
+        // Every point lies within 8σ of some center.
+        for (p, v) in &pts {
+            assert!(*v >= 1 && *v <= 50);
+            let near = clusters.iter().any(|c| {
+                c.center
+                    .iter()
+                    .zip(p.iter())
+                    .all(|(&m, &x)| (x - m).abs() as f64 <= 8.0 * c.spread)
+            });
+            assert!(near, "{p:?} not near any cluster");
+        }
+    }
+
+    #[test]
+    fn append_series_is_monotone_in_time() {
+        let pts = append_series(3, 100, 50, 10, &mut rng(8));
+        assert_eq!(pts.len(), 100);
+        for (t, (p, v)) in pts.iter().enumerate() {
+            assert_eq!(p[0], t as i64);
+            assert!(p[1].abs() <= 50 && p[2].abs() <= 50);
+            assert!((1..=10).contains(v));
+        }
+    }
+
+    #[test]
+    fn emerging_sources_spread_outward() {
+        let pts = emerging_sources(2, 400, 2, 100, 5.0, &mut rng(9));
+        assert_eq!(pts.len(), 400);
+        // Later points reach strictly farther from the origin than the
+        // initial clusters can.
+        let early_max = pts[..100].iter().map(|(p, _)| p[0].abs().max(p[1].abs())).max().unwrap();
+        let late_max = pts[300..].iter().map(|(p, _)| p[0].abs().max(p[1].abs())).max().unwrap();
+        assert!(late_max > early_max, "{late_max} !> {early_max}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut r = rng(11);
+        let n = 1000;
+        let draws: Vec<usize> = (0..5000).map(|_| zipf_index(n, 1.0, &mut r)).collect();
+        assert!(draws.iter().all(|&i| i < n));
+        let low = draws.iter().filter(|&&i| i < 10).count();
+        let high = draws.iter().filter(|&&i| i >= 500).count();
+        assert!(low > high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn update_streams_are_in_bounds() {
+        let s = Shape::new(&[10, 20, 30]);
+        for stream in [
+            uniform_updates(&s, 200, &mut rng(3)),
+            skewed_updates(&s, 200, 0.8, &mut rng(4)),
+        ] {
+            assert_eq!(stream.updates.len(), 200);
+            for (p, _) in &stream.updates {
+                assert!(s.contains(p), "{p:?}");
+            }
+        }
+    }
+}

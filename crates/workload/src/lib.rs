@@ -1,0 +1,19 @@
+//! # ddc-workload
+//!
+//! Deterministic synthetic workloads for the paper's experiments: dense /
+//! sparse / clustered data (§5's EOSDIS and star-catalog narratives),
+//! uniform and Zipf-skewed update streams, and range-query generators.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod data;
+mod queries;
+mod trace;
+
+pub use data::{
+    append_series, clustered_points, emerging_sources, random_clusters, rng, skewed_updates,
+    sparse_array, uniform_array, uniform_updates, zipf_index, Cluster, UpdateStream,
+};
+pub use queries::{prefix_regions, uniform_regions, window_regions};
+pub use trace::{ReplayResult, Trace, TraceOp};

@@ -1,0 +1,88 @@
+//! Range-query workload generators.
+
+use ddc_array::{Region, Shape};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniformly random hyper-rectangles within `shape`.
+pub fn uniform_regions(shape: &Shape, count: usize, rng: &mut StdRng) -> Vec<Region> {
+    (0..count)
+        .map(|_| {
+            let mut lo = Vec::with_capacity(shape.ndim());
+            let mut hi = Vec::with_capacity(shape.ndim());
+            for &n in shape.dims() {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+            Region::new(&lo, &hi)
+        })
+        .collect()
+}
+
+/// Fixed-size sliding windows (`extent` cells per dimension) at random
+/// anchors — the "sales between ages 27 and 45 over 25 days" query shape.
+pub fn window_regions(
+    shape: &Shape,
+    extent: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<Region> {
+    assert!(shape.dims().iter().all(|&n| n >= extent && extent >= 1));
+    (0..count)
+        .map(|_| {
+            let lo: Vec<usize> = shape
+                .dims()
+                .iter()
+                .map(|&n| rng.gen_range(0..=(n - extent)))
+                .collect();
+            let hi: Vec<usize> = lo.iter().map(|&l| l + extent - 1).collect();
+            Region::new(&lo, &hi)
+        })
+        .collect()
+}
+
+/// Random prefix regions (anchored at the origin) — the primitive every
+/// engine answers natively.
+pub fn prefix_regions(shape: &Shape, count: usize, rng: &mut StdRng) -> Vec<Region> {
+    (0..count)
+        .map(|_| {
+            let hi: Vec<usize> = shape.dims().iter().map(|&n| rng.gen_range(0..n)).collect();
+            Region::prefix(&hi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::rng;
+
+    #[test]
+    fn uniform_regions_in_bounds() {
+        let s = Shape::new(&[17, 9]);
+        for r in uniform_regions(&s, 100, &mut rng(1)) {
+            r.check_within(&s);
+        }
+    }
+
+    #[test]
+    fn windows_have_exact_extent() {
+        let s = Shape::new(&[32, 32]);
+        for r in window_regions(&s, 5, 50, &mut rng(2)) {
+            r.check_within(&s);
+            assert_eq!(r.extent(0), 5);
+            assert_eq!(r.extent(1), 5);
+        }
+    }
+
+    #[test]
+    fn prefixes_start_at_origin() {
+        let s = Shape::new(&[8, 8, 8]);
+        for r in prefix_regions(&s, 30, &mut rng(3)) {
+            assert_eq!(r.lo(), &[0, 0, 0]);
+            r.check_within(&s);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Operation traces: record, serialize, and replay update/query streams.
+//!
+//! A trace pins an exact workload to a file so experiments are replayable
+//! across engines and machines — the harness equivalent of the paper's
+//! "think Internet commerce" update streams (§1). The format is
+//! line-oriented text:
+//!
+//! ```text
+//! # comment
+//! shape 64 64
+//! U 3 4 10          # add 10 to cell (3, 4)
+//! Q 0 0 5 5         # range sum over [0..=5] × [0..=5]
+//! ```
+
+use ddc_array::{RangeSumEngine, Region, Shape};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One traced operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Point update: add `delta` at `point`.
+    Update {
+        /// Target cell.
+        point: Vec<usize>,
+        /// Added value.
+        delta: i64,
+    },
+    /// Range-sum query over `[lo, hi]`.
+    Query {
+        /// Inclusive lower corner.
+        lo: Vec<usize>,
+        /// Inclusive upper corner.
+        hi: Vec<usize>,
+    },
+}
+
+/// A replayable workload over a fixed cube shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Cube shape the operations target.
+    pub dims: Vec<usize>,
+    /// Operations in order.
+    pub ops: Vec<TraceOp>,
+}
+
+/// Result of replaying a trace against one engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayResult {
+    /// Wrapping sum of every query answer — an engine-order-independent
+    /// checksum; all correct engines produce the same value.
+    pub checksum: i64,
+    /// Number of updates applied.
+    pub updates: usize,
+    /// Number of queries answered.
+    pub queries: usize,
+}
+
+impl Trace {
+    /// Generates a mixed workload: `ops` operations, a `update_fraction`
+    /// of which are uniform point updates, the rest uniform range queries.
+    pub fn generate(shape: &Shape, ops: usize, update_fraction: f64, rng: &mut StdRng) -> Self {
+        assert!((0.0..=1.0).contains(&update_fraction));
+        let dims = shape.dims().to_vec();
+        let ops = (0..ops)
+            .map(|_| {
+                if rng.gen_bool(update_fraction) {
+                    TraceOp::Update {
+                        point: dims.iter().map(|&n| rng.gen_range(0..n)).collect(),
+                        delta: rng.gen_range(-100..=100),
+                    }
+                } else {
+                    let (lo, hi): (Vec<usize>, Vec<usize>) = dims
+                        .iter()
+                        .map(|&n| {
+                            let a = rng.gen_range(0..n);
+                            let b = rng.gen_range(0..n);
+                            (a.min(b), a.max(b))
+                        })
+                        .unzip();
+                    TraceOp::Query { lo, hi }
+                }
+            })
+            .collect();
+        Self { dims, ops }
+    }
+
+    /// Serializes to the line format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# ddc trace\n");
+        out.push_str("shape");
+        for &n in &self.dims {
+            out.push_str(&format!(" {n}"));
+        }
+        out.push('\n');
+        for op in &self.ops {
+            match op {
+                TraceOp::Update { point, delta } => {
+                    out.push('U');
+                    for &c in point {
+                        out.push_str(&format!(" {c}"));
+                    }
+                    out.push_str(&format!(" {delta}\n"));
+                }
+                TraceOp::Query { lo, hi } => {
+                    out.push('Q');
+                    for &c in lo.iter().chain(hi.iter()) {
+                        out.push_str(&format!(" {c}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the line format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut dims: Option<Vec<usize>> = None;
+        let mut ops = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let tag = it.next().expect("non-empty");
+            let nums: Result<Vec<i64>, _> = it.map(str::parse::<i64>).collect();
+            let nums = nums.map_err(|e| format!("line {}: {e}", no + 1))?;
+            match tag {
+                "shape" => {
+                    if nums.is_empty() || nums.iter().any(|&n| n <= 0) {
+                        return Err(format!("line {}: bad shape", no + 1));
+                    }
+                    dims = Some(nums.iter().map(|&n| n as usize).collect());
+                }
+                "U" => {
+                    let d = dims.as_ref().ok_or("U before shape")?.len();
+                    if nums.len() != d + 1 {
+                        return Err(format!("line {}: U wants {d} coords + delta", no + 1));
+                    }
+                    let point = nums[..d].iter().map(|&c| c as usize).collect();
+                    ops.push(TraceOp::Update { point, delta: nums[d] });
+                }
+                "Q" => {
+                    let d = dims.as_ref().ok_or("Q before shape")?.len();
+                    if nums.len() != 2 * d {
+                        return Err(format!("line {}: Q wants 2·{d} coords", no + 1));
+                    }
+                    let lo: Vec<usize> = nums[..d].iter().map(|&c| c as usize).collect();
+                    let hi: Vec<usize> = nums[d..].iter().map(|&c| c as usize).collect();
+                    if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+                        return Err(format!("line {}: inverted query bounds", no + 1));
+                    }
+                    ops.push(TraceOp::Query { lo, hi });
+                }
+                other => return Err(format!("line {}: unknown tag '{other}'", no + 1)),
+            }
+        }
+        Ok(Self { dims: dims.ok_or("missing shape line")?, ops })
+    }
+
+    /// The cube shape.
+    pub fn shape(&self) -> Shape {
+        Shape::new(&self.dims)
+    }
+
+    /// Replays against an engine, returning the query checksum.
+    pub fn replay(&self, engine: &mut dyn RangeSumEngine<i64>) -> ReplayResult {
+        assert_eq!(engine.shape().dims(), &self.dims[..], "engine shape mismatch");
+        let mut checksum = 0i64;
+        let mut updates = 0;
+        let mut queries = 0;
+        for op in &self.ops {
+            match op {
+                TraceOp::Update { point, delta } => {
+                    engine.apply_delta(point, *delta);
+                    updates += 1;
+                }
+                TraceOp::Query { lo, hi } => {
+                    checksum =
+                        checksum.wrapping_add(engine.range_sum(&Region::new(lo, hi)));
+                    queries += 1;
+                }
+            }
+        }
+        ReplayResult { checksum, updates, queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::rng;
+
+    #[test]
+    fn text_roundtrip() {
+        let t = Trace::generate(&Shape::new(&[16, 8]), 50, 0.6, &mut rng(4));
+        let text = t.to_text();
+        let parsed = Trace::parse(&text).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert!(Trace::parse("U 1 2 3").unwrap_err().contains("before shape"));
+        assert!(Trace::parse("shape 4\nU 1").unwrap_err().contains("wants"));
+        assert!(Trace::parse("shape 4\nQ 3 1").unwrap_err().contains("inverted"));
+        assert!(Trace::parse("shape 0").unwrap_err().contains("bad shape"));
+        assert!(Trace::parse("shape 4\nX 1").unwrap_err().contains("unknown tag"));
+        assert!(Trace::parse("# only comments").unwrap_err().contains("missing shape"));
+    }
+
+    #[test]
+    fn handwritten_trace() {
+        let t = Trace::parse("shape 4 4\nU 1 1 5\nU 0 3 2\nQ 0 0 3 3\nQ 1 1 1 1\n").unwrap();
+        assert_eq!(t.ops.len(), 4);
+        assert_eq!(
+            t.ops[0],
+            TraceOp::Update { point: vec![1, 1], delta: 5 }
+        );
+    }
+
+    #[test]
+    fn replay_checksum_is_engine_independent() {
+        use ddc_array::NdArray;
+        let t = Trace::parse("shape 4 4\nU 1 1 5\nQ 0 0 3 3\nU 1 1 -2\nQ 1 1 2 2\n").unwrap();
+        // Hand-computed: query1 sees 5; query2 sees 3 → checksum 8.
+        struct Brute {
+            a: NdArray<i64>,
+            counter: ddc_array::OpCounter,
+        }
+        impl RangeSumEngine<i64> for Brute {
+            fn name(&self) -> &'static str {
+                "brute"
+            }
+            fn shape(&self) -> &Shape {
+                self.a.shape()
+            }
+            fn prefix_sum(&self, p: &[usize]) -> i64 {
+                self.a.prefix_sum(p)
+            }
+            fn apply_delta(&mut self, p: &[usize], delta: i64) {
+                self.a.add_assign(p, delta);
+            }
+            fn counter(&self) -> &ddc_array::OpCounter {
+                &self.counter
+            }
+            fn heap_bytes(&self) -> usize {
+                0
+            }
+        }
+        let mut e = Brute {
+            a: NdArray::zeroed(Shape::new(&[4, 4])),
+            counter: ddc_array::OpCounter::new(),
+        };
+        let r = t.replay(&mut e);
+        assert_eq!(r, ReplayResult { checksum: 8, updates: 2, queries: 2 });
+    }
+}

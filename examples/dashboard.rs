@@ -1,0 +1,67 @@
+//! Dashboard: GROUP BY and rolling-window analytics over a live cube —
+//! the aggregate operators the paper lists in §2 (SUM, COUNT, AVERAGE,
+//! ROLLING SUM, ROLLING AVERAGE), refreshed after every update instead of
+//! after a nightly batch load.
+//!
+//! ```text
+//! cargo run -p ddc-examples --example dashboard
+//! ```
+
+use ddc_olap::{CubeBuilder, Dimension, EngineKind, RangeSpec, SumCountCube};
+use ddc_workload::rng;
+use rand::Rng;
+
+fn print_report(cube: &SumCountCube, title: &str) {
+    println!("── {title} ──");
+    // Revenue by region (GROUP BY dimension 0).
+    let rows = cube.group_by(0, &[RangeSpec::All, RangeSpec::All]).unwrap();
+    for row in &rows {
+        let avg = if row.value.b == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", row.value.a as f64 / row.value.b as f64)
+        };
+        println!(
+            "  {:<8} revenue {:>8}  orders {:>5}  avg {avg:>8}",
+            row.label, row.value.a, row.value.b
+        );
+    }
+    // 7-day rolling revenue for the last week of the quarter.
+    let rolling = cube
+        .rolling_sum(1, 7, &[RangeSpec::All, RangeSpec::Between(84.into(), 90.into())])
+        .unwrap();
+    for row in &rolling {
+        println!("  7-day window ending day {:<3}     : {:>8}", row.label, row.value.a);
+    }
+    println!();
+}
+
+fn main() {
+    let mut cube: SumCountCube = CubeBuilder::new()
+        .dimension(Dimension::categorical("region", &["amer", "emea", "apac"]))
+        .dimension(Dimension::int_range("day", 1, 90)) // one quarter
+        .engine(EngineKind::DynamicDdc)
+        .build();
+
+    let regions = ["amer", "emea", "apac"];
+    let mut r = rng(2026);
+    for _ in 0..5_000 {
+        let region = regions[r.gen_range(0..3)];
+        let day = r.gen_range(1..=90i64);
+        let amount = r.gen_range(10..400i64);
+        cube.add_observation(&[region.into(), day.into()], amount).unwrap();
+    }
+    print_report(&cube, "quarter to date");
+
+    // A correction lands: a large EMEA order on day 88 was double-keyed.
+    cube.retract_observation(&[("emea").into(), 88.into()], 399).unwrap();
+    cube.add_observation(&[("emea").into(), 88.into()], 399).unwrap(); // and re-added
+    // …and a new bulk order arrives while the dashboard is open.
+    cube.add_observation(&[("apac").into(), 90.into()], 25_000).unwrap();
+    print_report(&cube, "after live corrections");
+
+    println!(
+        "every panel above is recomputed from range sums in O(log² n) per\n\
+         bucket — no batch rebuild, which is the paper's §1 thesis."
+    );
+}

@@ -1,0 +1,65 @@
+//! Interactive "what-if" analysis: the paper's §1 vision of business
+//! leaders constructing what-if scenarios on data cubes "in much the same
+//! way that they construct what-if scenarios using spreadsheets now" —
+//! possible only because DDC updates are sublinear.
+//!
+//! The example measures the update+requery round-trip on the Dynamic Data
+//! Cube versus the prefix-sum method to show why batch-update systems
+//! cannot offer this interaction model.
+//!
+//! ```text
+//! cargo run --release -p ddc-examples --example whatif
+//! ```
+
+use ddc_array::{RangeSumEngine, Region, Shape};
+use ddc_olap::EngineKind;
+use ddc_workload::{rng, uniform_array};
+use std::time::Instant;
+
+fn main() {
+    // Revenue by (region-index, product-index, week): a 64×64×64 cube.
+    let shape = Shape::cube(3, 64);
+    let mut r = rng(99);
+    let base = uniform_array(&shape, 0, 1000, &mut r);
+
+    let mut scenario: Vec<(EngineKind, Box<dyn RangeSumEngine<i64>>)> = Vec::new();
+    for kind in [EngineKind::DynamicDdc, EngineKind::PrefixSum] {
+        let mut e = kind.build(shape.clone());
+        for p in shape.iter_points() {
+            let v = base.get(&p);
+            if v != 0 {
+                e.apply_delta(&p, v);
+            }
+        }
+        scenario.push((kind, e));
+    }
+
+    // The analyst's question: revenue for regions 0..16, all products,
+    // weeks 20..40.
+    let question = Region::new(&[0, 0, 20], &[15, 63, 39]);
+
+    // What-if loop: tweak one cell (e.g. "what if we had sold 500 more of
+    // product 7 in region 3 in week 25?"), re-ask the question, repeat.
+    for (kind, engine) in scenario.iter_mut() {
+        let start = Instant::now();
+        let mut answer = 0i64;
+        const ROUNDS: usize = 200;
+        for i in 0..ROUNDS {
+            let cell = [3 + i % 4, 7, 25];
+            engine.apply_delta(&cell, 500);
+            answer = engine.range_sum(&question);
+            engine.apply_delta(&cell, -500); // roll the hypothesis back
+        }
+        let per_round = start.elapsed() / ROUNDS as u32;
+        println!(
+            "{:<14} {ROUNDS} what-if rounds, {:>10.1?} per update+query+rollback (answer {answer})",
+            kind.label(),
+            per_round
+        );
+    }
+
+    println!(
+        "\nThe Dynamic Data Cube sustains interactive what-if rates; the \
+         prefix\nsum method pays its O(n^d) cascade on every hypothesis."
+    );
+}

@@ -1,0 +1,120 @@
+//! Statistical verification of the paper's complexity claims: measure
+//! worst-case update cost over doubling `n` and fit the log–log slope.
+//! A method with cost `Θ(n^p · polylog)` must show slope ≈ `p`; the
+//! Dynamic Data Cube must show slope ≈ 0 (polylog only). This turns the
+//! Table 1 asymptotics into CI-checked assertions.
+
+use ddc_array::Shape;
+use ddc_olap::EngineKind;
+
+/// Worst-case update cost (values touched) at the origin cell.
+fn worst_update(kind: EngineKind, d: usize, n: usize) -> f64 {
+    let shape = Shape::cube(d, n);
+    let mut e = kind.build::<i64>(shape);
+    let origin = vec![0usize; d];
+    e.apply_delta(&origin, 1); // materialize
+    e.reset_ops();
+    e.apply_delta(&origin, 1);
+    e.ops().touched() as f64
+}
+
+/// Least-squares slope of `log2(cost)` against `log2(n)`.
+fn loglog_slope(kind: EngineKind, d: usize, sizes: &[usize]) -> f64 {
+    let points: Vec<(f64, f64)> = sizes
+        .iter()
+        .map(|&n| ((n as f64).log2(), worst_update(kind, d, n).log2()))
+        .collect();
+    let k = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
+}
+
+const SIZES_2D: [usize; 4] = [32, 64, 128, 256];
+const SIZES_3D: [usize; 3] = [8, 16, 32];
+
+#[test]
+fn prefix_sum_update_slope_is_d() {
+    let s2 = loglog_slope(EngineKind::PrefixSum, 2, &SIZES_2D);
+    assert!((1.9..=2.1).contains(&s2), "d=2 slope {s2}");
+    let s3 = loglog_slope(EngineKind::PrefixSum, 3, &SIZES_3D);
+    assert!((2.9..=3.1).contains(&s3), "d=3 slope {s3}");
+}
+
+#[test]
+fn relative_prefix_update_slope_is_half_d() {
+    let s2 = loglog_slope(EngineKind::RelativePrefix, 2, &SIZES_2D);
+    assert!((0.8..=1.2).contains(&s2), "d=2 slope {s2}");
+    let s3 = loglog_slope(EngineKind::RelativePrefix, 3, &SIZES_3D);
+    assert!((1.2..=1.8).contains(&s3), "d=3 slope {s3}");
+}
+
+#[test]
+fn basic_ddc_update_slope_is_d_minus_one() {
+    let s2 = loglog_slope(EngineKind::BasicDdc, 2, &SIZES_2D);
+    assert!((0.9..=1.1).contains(&s2), "d=2 slope {s2}");
+    let s3 = loglog_slope(EngineKind::BasicDdc, 3, &SIZES_3D);
+    assert!((1.8..=2.2).contains(&s3), "d=3 slope {s3}");
+}
+
+#[test]
+fn dynamic_ddc_update_slope_is_sublinear_in_every_dimension() {
+    // Polylog cost: the log–log slope must sit well below 1 and shrink
+    // relative to every polynomial competitor.
+    let s2 = loglog_slope(EngineKind::DynamicDdc, 2, &SIZES_2D);
+    assert!(s2 < 0.65, "d=2 slope {s2} not sublinear");
+    let s3 = loglog_slope(EngineKind::DynamicDdc, 3, &SIZES_3D);
+    assert!(s3 < 1.0, "d=3 slope {s3} not sublinear");
+    // And the absolute costs stay tiny where PS has exploded.
+    assert!(worst_update(EngineKind::DynamicDdc, 2, 256) < 64.0);
+    assert!(worst_update(EngineKind::PrefixSum, 2, 256) == 65_536.0);
+}
+
+#[test]
+fn ordering_holds_at_every_measured_size() {
+    for d in [2usize, 3] {
+        let sizes: &[usize] = if d == 2 { &SIZES_2D } else { &SIZES_3D };
+        for &n in sizes {
+            let ps = worst_update(EngineKind::PrefixSum, d, n);
+            let rps = worst_update(EngineKind::RelativePrefix, d, n);
+            let basic = worst_update(EngineKind::BasicDdc, d, n);
+            let ddc = worst_update(EngineKind::DynamicDdc, d, n);
+            assert!(ddc < basic, "d={d} n={n}: ddc {ddc} !< basic {basic}");
+            assert!(basic <= ps, "d={d} n={n}: basic {basic} !<= ps {ps}");
+            assert!(rps < ps, "d={d} n={n}: rps {rps} !< ps {ps}");
+        }
+    }
+}
+
+#[test]
+fn query_cost_is_polylog_for_ddc() {
+    // Full-corner prefix query read counts across doublings.
+    for d in [2usize, 3] {
+        let sizes: &[usize] = if d == 2 { &SIZES_2D } else { &SIZES_3D };
+        let mut prev = 0.0f64;
+        for &n in sizes {
+            let shape = Shape::cube(d, n);
+            let mut e = EngineKind::DynamicDdc.build::<i64>(shape.clone());
+            for p in shape.iter_points() {
+                e.apply_delta(&p, 1);
+            }
+            let corner: Vec<usize> = shape.dims().iter().map(|&m| m - 1).collect();
+            e.reset_ops();
+            let _ = e.prefix_sum(&corner);
+            let reads = e.ops().reads as f64;
+            if prev > 0.0 {
+                // Doubling n multiplies log^d n by ((log 2n)/(log n))^d;
+                // a linear-or-worse method would multiply by ≥ 2·that.
+                let l = (n as f64 / 2.0).log2();
+                let polylog_step = ((l + 1.0) / l).powi(d as i32);
+                assert!(
+                    reads / prev < polylog_step * 1.3,
+                    "d={d} n={n}: {prev} → {reads} exceeds polylog step {polylog_step}"
+                );
+            }
+            prev = reads;
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: every range-sum method in the paper answers every
+//! query identically to the naive ground truth, under arbitrary
+//! interleavings of updates and queries, for d ∈ 1..=4.
+
+use ddc_array::{NdArray, RangeSumEngine, Region, Shape};
+use ddc_core::{BaseStore, DdcConfig};
+use ddc_olap::EngineKind;
+use proptest::prelude::*;
+
+/// A random cube shape with at most ~4k cells to keep PS updates fast.
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        proptest::collection::vec(1usize..=48, 1),
+        proptest::collection::vec(1usize..=16, 2),
+        proptest::collection::vec(1usize..=8, 3),
+        proptest::collection::vec(1usize..=5, 4),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Fractional coordinates scaled into the shape at runtime.
+    Update(Vec<f64>, i64),
+    Set(Vec<f64>, i64),
+    Query(Vec<f64>, Vec<f64>),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    let coord = proptest::collection::vec(0.0f64..1.0, 1..=4);
+    let op = prop_oneof![
+        (coord.clone(), -1000i64..1000).prop_map(|(c, v)| Op::Update(c, v)),
+        (coord.clone(), -1000i64..1000).prop_map(|(c, v)| Op::Set(c, v)),
+        (coord.clone(), coord).prop_map(|(a, b)| Op::Query(a, b)),
+    ];
+    proptest::collection::vec(op, 1..24)
+}
+
+fn scale(frac: &[f64], dims: &[usize]) -> Vec<usize> {
+    dims.iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let f = frac.get(i).copied().unwrap_or(0.0);
+            ((f * n as f64) as usize).min(n - 1)
+        })
+        .collect()
+}
+
+fn all_kinds() -> Vec<EngineKind> {
+    let mut v = EngineKind::ALL.to_vec();
+    v.push(EngineKind::CustomDdc(DdcConfig::sparse()));
+    v.push(EngineKind::CustomDdc(DdcConfig::dynamic().with_elision(2)));
+    v.push(EngineKind::CustomDdc(
+        DdcConfig::dynamic().with_base(BaseStore::Fenwick),
+    ));
+    v.push(EngineKind::CustomDdc(
+        DdcConfig::basic().with_elision(1),
+    ));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_match_ground_truth(dims in shape_strategy(), ops in ops_strategy()) {
+        let shape = Shape::new(&dims);
+        let mut truth = NdArray::<i64>::zeroed(shape.clone());
+        let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> =
+            all_kinds().iter().map(|k| k.build(shape.clone())).collect();
+
+        for op in &ops {
+            match op {
+                Op::Update(c, v) => {
+                    let p = scale(c, &dims);
+                    truth.add_assign(&p, *v);
+                    for e in engines.iter_mut() {
+                        e.apply_delta(&p, *v);
+                    }
+                }
+                Op::Set(c, v) => {
+                    let p = scale(c, &dims);
+                    truth.set(&p, *v);
+                    for e in engines.iter_mut() {
+                        let old = e.set(&p, *v);
+                        // All engines must agree on the previous value too.
+                        prop_assert_eq!(old + *v - *v, old);
+                    }
+                }
+                Op::Query(a, b) => {
+                    let pa = scale(a, &dims);
+                    let pb = scale(b, &dims);
+                    let lo: Vec<usize> =
+                        pa.iter().zip(pb.iter()).map(|(&x, &y)| x.min(y)).collect();
+                    let hi: Vec<usize> =
+                        pa.iter().zip(pb.iter()).map(|(&x, &y)| x.max(y)).collect();
+                    let q = Region::new(&lo, &hi);
+                    let expect = truth.region_sum(&q);
+                    for e in engines.iter() {
+                        prop_assert_eq!(
+                            e.range_sum(&q), expect,
+                            "{} on {:?}", e.name(), q
+                        );
+                    }
+                }
+            }
+        }
+
+        // Terminal check: every prefix and every cell agrees.
+        let corner: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        let expect = truth.prefix_sum(&corner);
+        for e in engines.iter() {
+            prop_assert_eq!(e.prefix_sum(&corner), expect, "{}", e.name());
+            let p = scale(&[0.5, 0.5, 0.5, 0.5], &dims);
+            prop_assert_eq!(e.cell(&p), truth.get(&p), "{} cell", e.name());
+        }
+    }
+
+    #[test]
+    fn from_array_equals_incremental(dims in shape_strategy(), seed in 0u64..1000) {
+        let shape = Shape::new(&dims);
+        let base = ddc_workload::uniform_array(&shape, -20, 20, &mut ddc_workload::rng(seed));
+        let built = ddc_core::DdcEngine::from_array(&base);
+        let mut incremental = ddc_core::DdcEngine::dynamic(shape.clone());
+        for p in shape.iter_points() {
+            let v = base.get(&p);
+            if v != 0 {
+                incremental.apply_delta(&p, v);
+            }
+        }
+        let corner: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        prop_assert_eq!(built.prefix_sum(&corner), incremental.prefix_sum(&corner));
+        built.check_invariants();
+        incremental.check_invariants();
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the algebraic substrate: group laws (the paper's
+//! §2 invertible-operator requirement) and the Figure-4 prefix
+//! decomposition identity on arbitrary regions.
+
+use ddc_array::{AbelianGroup, NdArray, Pair, Region, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn i64_group_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.add(b.add(c)), a.add(b).add(c));
+        prop_assert_eq!(a.add(i64::ZERO), a);
+        prop_assert_eq!(a.add(b).sub(b), a);
+        prop_assert_eq!(a.add(a.neg()), 0);
+    }
+
+    #[test]
+    fn pair_group_laws(a in any::<(i32, i32)>(), b in any::<(i32, i32)>()) {
+        let x = Pair::new(a.0 as i64, a.1 as i64);
+        let y = Pair::new(b.0 as i64, b.1 as i64);
+        prop_assert_eq!(x.add(y), y.add(x));
+        prop_assert_eq!(x.add(y).sub(y), x);
+        prop_assert_eq!(x.add(Pair::ZERO), x);
+    }
+
+    /// Figure 4: for any region R and any array A,
+    /// Sum(R) = Σ ± prefix-sums of the decomposition corners.
+    #[test]
+    fn prefix_decomposition_identity(
+        dims in proptest::collection::vec(1usize..8, 1..4),
+        seed in 0u64..500,
+        fracs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 4),
+    ) {
+        let shape = Shape::new(&dims);
+        let a = ddc_workload::uniform_array(&shape, -50, 50, &mut ddc_workload::rng(seed));
+        let lo: Vec<usize> = dims.iter().enumerate()
+            .map(|(i, &n)| ((fracs[i % 4].0 * n as f64) as usize).min(n - 1)).collect();
+        let hi: Vec<usize> = dims.iter().enumerate()
+            .map(|(i, &n)| ((fracs[i % 4].1 * n as f64) as usize).min(n - 1)).collect();
+        let (lo, hi): (Vec<usize>, Vec<usize>) = lo.iter().zip(hi.iter())
+            .map(|(&l, &h)| (l.min(h), l.max(h))).unzip();
+        let region = Region::new(&lo, &hi);
+
+        let direct = a.region_sum(&region);
+        let mut via_prefix = 0i64;
+        for term in region.prefix_decomposition() {
+            let p = a.prefix_sum(&term.corner);
+            via_prefix = if term.sign > 0 { via_prefix + p } else { via_prefix - p };
+        }
+        prop_assert_eq!(direct, via_prefix);
+    }
+
+    /// Decomposition terms are unique corners with correct sign parity.
+    #[test]
+    fn decomposition_structure(
+        lo in proptest::collection::vec(0usize..6, 1..4),
+        extent in proptest::collection::vec(1usize..5, 1..4),
+    ) {
+        let d = lo.len().min(extent.len());
+        let lo = &lo[..d];
+        let hi: Vec<usize> = lo.iter().zip(&extent[..d]).map(|(&l, &e)| l + e).collect();
+        let region = Region::new(lo, &hi);
+        let terms = region.prefix_decomposition();
+        prop_assert!(terms.len() <= 1 << d);
+        prop_assert!(!terms.is_empty());
+        // Corners are pairwise distinct.
+        let mut corners: Vec<&Vec<usize>> = terms.iter().map(|t| &t.corner).collect();
+        corners.sort();
+        corners.dedup();
+        prop_assert_eq!(corners.len(), terms.len());
+        // Signs sum to the inclusion–exclusion invariant: exactly one net
+        // positive region (the query region itself) for an indicator test
+        // array of all-ones restricted to the region's upper corner.
+        let shape = Shape::new(&hi.iter().map(|&h| h + 1).collect::<Vec<_>>());
+        let mut ones = NdArray::<i64>::zeroed(shape);
+        ones.set(&hi, 1); // only the region's top corner is populated
+        let mut total = 0i64;
+        for t in &terms {
+            let p = ones.prefix_sum(&t.corner);
+            total = if t.sign > 0 { total + p } else { total - p };
+        }
+        prop_assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn linearize_roundtrip(dims in proptest::collection::vec(1usize..9, 1..5), frac in 0.0f64..1.0) {
+        let shape = Shape::new(&dims);
+        let idx = ((frac * shape.cells() as f64) as usize).min(shape.cells() - 1);
+        let p = shape.delinearize(idx);
+        prop_assert_eq!(shape.linear(&p), idx);
+        prop_assert!(shape.contains(&p));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for §5 dynamic growth: a [`GrowableCube`] fed arbitrary
+//! signed points agrees with a hash-map reference on every range query,
+//! across every configuration, and its invariants hold after any growth
+//! sequence.
+
+use ddc_core::{BaseStore, DdcConfig, GrowableCube};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn configs() -> Vec<DdcConfig> {
+    vec![
+        DdcConfig::dynamic(),
+        DdcConfig::sparse(),
+        DdcConfig::basic(),
+        DdcConfig::dynamic().with_elision(2),
+        DdcConfig::dynamic().with_base(BaseStore::Fenwick),
+    ]
+}
+
+fn reference_sum(cells: &HashMap<Vec<i64>, i64>, lo: &[i64], hi: &[i64]) -> i64 {
+    cells
+        .iter()
+        .filter(|(p, _)| {
+            p.iter()
+                .zip(lo.iter().zip(hi.iter()))
+                .all(|(&c, (&l, &h))| l <= c && c <= h)
+        })
+        .map(|(_, &v)| v)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn growable_cube_matches_reference(
+        d in 1usize..=3,
+        points in proptest::collection::vec(
+            (proptest::collection::vec(-200i64..200, 3), -100i64..100), 1..30),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(-250i64..250, 3),
+             proptest::collection::vec(-250i64..250, 3)), 1..8),
+    ) {
+        for config in configs() {
+            let mut cube = GrowableCube::<i64>::new(d, config);
+            let mut reference: HashMap<Vec<i64>, i64> = HashMap::new();
+            for (p, v) in &points {
+                let p = p[..d].to_vec();
+                cube.add(&p, *v);
+                *reference.entry(p).or_insert(0) += *v;
+            }
+            reference.retain(|_, v| *v != 0);
+
+            prop_assert_eq!(cube.total(), reference.values().sum::<i64>());
+            prop_assert_eq!(cube.populated_cells(), reference.len());
+
+            for (a, b) in &queries {
+                let lo: Vec<i64> =
+                    a[..d].iter().zip(b[..d].iter()).map(|(&x, &y)| x.min(y)).collect();
+                let hi: Vec<i64> =
+                    a[..d].iter().zip(b[..d].iter()).map(|(&x, &y)| x.max(y)).collect();
+                prop_assert_eq!(
+                    cube.range_sum(&lo, &hi),
+                    reference_sum(&reference, &lo, &hi),
+                    "config {:?} query {:?}..{:?}", config, lo, hi
+                );
+            }
+            cube.check_invariants();
+        }
+    }
+
+    #[test]
+    fn growth_then_update_is_consistent(
+        first in proptest::collection::vec(-50i64..50, 2),
+        far in proptest::collection::vec(-5000i64..5000, 2),
+        v1 in 1i64..100,
+        v2 in 1i64..100,
+    ) {
+        let mut cube = GrowableCube::<i64>::new(2, DdcConfig::sparse());
+        cube.add(&first, v1);
+        cube.add(&far, v2); // may trigger several doublings
+        // Re-touch the first point after growth.
+        cube.add(&first, v1);
+        let expect_first = if first == far { 2 * v1 + v2 } else { 2 * v1 };
+        prop_assert_eq!(cube.cell(&first), if first == far { expect_first } else { 2 * v1 });
+        prop_assert_eq!(cube.total(), 2 * v1 + v2);
+        prop_assert_eq!(
+            cube.range_sum(&[-10_000, -10_000], &[10_000, 10_000]),
+            2 * v1 + v2
+        );
+        let _ = expect_first;
+        cube.check_invariants();
+    }
+
+    #[test]
+    fn set_is_idempotent_across_growth(
+        points in proptest::collection::vec(
+            (proptest::collection::vec(-300i64..300, 2), -50i64..50), 1..15),
+    ) {
+        let mut cube = GrowableCube::<i64>::new(2, DdcConfig::dynamic());
+        let mut reference: HashMap<Vec<i64>, i64> = HashMap::new();
+        for (p, v) in &points {
+            let old = cube.set(p, *v);
+            let expect_old = reference.insert(p.clone(), *v).unwrap_or(0);
+            prop_assert_eq!(old, expect_old, "{:?}", p);
+        }
+        reference.retain(|_, v| *v != 0);
+        prop_assert_eq!(cube.total(), reference.values().sum::<i64>());
+    }
+}

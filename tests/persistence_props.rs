@@ -1,0 +1,112 @@
+//! Property tests for the binary snapshot format and float-measure cubes.
+
+use ddc_array::{RangeSumEngine, Shape};
+use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_snapshots_roundtrip(
+        dims in proptest::collection::vec(1usize..12, 1..=3),
+        cells in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..1.0, 3), -1000i64..1000), 0..25),
+    ) {
+        let shape = Shape::new(&dims);
+        let mut e = DdcEngine::<i64>::dynamic(shape.clone());
+        for (frac, v) in &cells {
+            let p: Vec<usize> = dims.iter().enumerate()
+                .map(|(i, &n)| ((frac[i % 3] * n as f64) as usize).min(n - 1)).collect();
+            e.apply_delta(&p, *v);
+        }
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        let restored = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::sparse()).unwrap();
+        for p in shape.iter_points() {
+            prop_assert_eq!(restored.cell(&p), e.cell(&p));
+        }
+        // Snapshot size is header + entries only.
+        let entries = e.entries().len();
+        prop_assert!(buf.len() <= 17 + dims.len() * 8 + entries * (dims.len() + 1) * 8 + 8);
+    }
+
+    #[test]
+    fn growable_snapshots_roundtrip(
+        points in proptest::collection::vec(
+            (proptest::collection::vec(-500i64..500, 2), -100i64..100), 0..20),
+    ) {
+        let mut cube = GrowableCube::<i64>::new(2, DdcConfig::sparse());
+        for (p, v) in &points {
+            cube.add(p, *v);
+        }
+        let mut buf = Vec::new();
+        cube.save(&mut buf).unwrap();
+        let restored =
+            GrowableCube::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap();
+        prop_assert_eq!(restored.total(), cube.total());
+        prop_assert_eq!(restored.populated_cells(), cube.populated_cells());
+        for (p, _) in &points {
+            prop_assert_eq!(restored.cell(p), cube.cell(p), "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn truncated_snapshots_error_not_panic(
+        cut in 0usize..64,
+    ) {
+        let mut e = DdcEngine::<i64>::dynamic(Shape::new(&[4, 4]));
+        e.apply_delta(&[1, 2], 7);
+        e.apply_delta(&[3, 3], -2);
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        if cut < buf.len() {
+            let r = DdcEngine::<i64>::load(&mut &buf[..cut], DdcConfig::dynamic());
+            prop_assert!(r.is_err(), "truncation at {} accepted", cut);
+        }
+    }
+}
+
+/// Float cubes: tree summation reorders additions, so engines may differ
+/// from the naive scan by rounding. Verify agreement within an epsilon
+/// scaled to the magnitudes involved.
+#[test]
+fn float_cube_engines_agree_within_epsilon() {
+    use ddc_baselines::NaiveEngine;
+    use ddc_workload::{rng, uniform_regions};
+    use rand::Rng;
+
+    let shape = Shape::cube(2, 32);
+    let mut r = rng(91);
+    let mut ddc = DdcEngine::<f64>::dynamic(shape.clone());
+    let mut naive = NaiveEngine::<f64>::zeroed(shape.clone());
+    for p in shape.iter_points() {
+        let v: f64 = r.gen_range(-1.0..1.0);
+        ddc.apply_delta(&p, v);
+        naive.apply_delta(&p, v);
+    }
+    for q in uniform_regions(&shape, 64, &mut r) {
+        let a = ddc.range_sum(&q);
+        let b = naive.range_sum(&q);
+        assert!(
+            (a - b).abs() < 1e-9 * (1.0 + q.cells() as f64),
+            "{q:?}: {a} vs {b}"
+        );
+    }
+}
+
+/// Pair snapshots preserve both components.
+#[test]
+fn pair_snapshot_components_survive() {
+    use ddc_array::Pair;
+    let mut e = DdcEngine::<Pair<i64, i64>>::dynamic(Shape::new(&[6, 6]));
+    e.apply_delta(&[2, 2], Pair::new(100, 1));
+    e.apply_delta(&[2, 2], Pair::new(50, 1));
+    e.apply_delta(&[5, 0], Pair::new(-10, 1));
+    let mut buf = Vec::new();
+    e.save(&mut buf).unwrap();
+    let restored =
+        DdcEngine::<Pair<i64, i64>>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap();
+    assert_eq!(restored.cell(&[2, 2]), Pair::new(150, 2));
+    assert_eq!(restored.cell(&[5, 0]), Pair::new(-10, 1));
+}

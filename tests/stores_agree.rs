@@ -1,0 +1,144 @@
+//! Property tests: the three one-dimensional cumulative stores (B^c tree,
+//! Fenwick tree, sparse segment tree) agree with a scanned `Vec` reference
+//! under arbitrary update sequences, fanouts, and insertions.
+
+use ddc_btree::{BcTree, CumulativeStore, Fenwick, SparseSegTree};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Add(usize, i64),
+    Set(usize, i64),
+    Prefix(usize),
+    Range(usize, usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0usize..64, -500i64..500).prop_map(|(i, v)| Op::Add(i, v)),
+        (0usize..64, -500i64..500).prop_map(|(i, v)| Op::Set(i, v)),
+        (0usize..64).prop_map(Op::Prefix),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ];
+    proptest::collection::vec(op, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stores_match_vec_reference(len in 1usize..64, fanout in 3usize..12, ops in ops()) {
+        let mut reference = vec![0i64; len];
+        let mut stores: Vec<Box<dyn CumulativeStore<i64>>> = vec![
+            Box::new(BcTree::zeroed(fanout, len)),
+            Box::new(Fenwick::zeroed(len)),
+            Box::new(SparseSegTree::zeroed(len)),
+        ];
+        for op in &ops {
+            match op {
+                Op::Add(i, v) => {
+                    let i = i % len;
+                    reference[i] += v;
+                    for s in stores.iter_mut() {
+                        s.add(i, *v);
+                    }
+                }
+                Op::Set(i, v) => {
+                    let i = i % len;
+                    reference[i] = *v;
+                    for s in stores.iter_mut() {
+                        s.set(i, *v);
+                    }
+                }
+                Op::Prefix(i) => {
+                    let i = i % len;
+                    let expect: i64 = reference[..=i].iter().sum();
+                    for s in stores.iter() {
+                        prop_assert_eq!(s.prefix(i), expect, "{}", s.name());
+                    }
+                }
+                Op::Range(a, b) => {
+                    let (a, b) = (a % len, b % len);
+                    let (a, b) = (a.min(b), a.max(b));
+                    let expect: i64 = reference[a..=b].iter().sum();
+                    for s in stores.iter() {
+                        prop_assert_eq!(s.range(a, b), expect, "{}", s.name());
+                    }
+                }
+            }
+        }
+        // Terminal: totals and every value agree.
+        for s in stores.iter() {
+            prop_assert_eq!(s.total(), reference.iter().sum::<i64>(), "{}", s.name());
+            for (i, &v) in reference.iter().enumerate() {
+                prop_assert_eq!(s.value(i), v, "{} value({})", s.name(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn bc_insertion_matches_vec(fanout in 3usize..8,
+                                inserts in proptest::collection::vec((0usize..100, -100i64..100), 1..80)) {
+        let mut reference: Vec<i64> = Vec::new();
+        let mut tree = BcTree::<i64>::new(fanout);
+        for (pos, v) in &inserts {
+            let pos = pos % (reference.len() + 1);
+            reference.insert(pos, *v);
+            tree.insert(pos, *v);
+        }
+        prop_assert_eq!(tree.len(), reference.len());
+        let mut acc = 0i64;
+        for (i, &v) in reference.iter().enumerate() {
+            acc += v;
+            prop_assert_eq!(tree.prefix(i), acc, "prefix({})", i);
+        }
+    }
+
+    #[test]
+    fn bc_insert_remove_matches_vec(
+        fanout in 3usize..8,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..100, -100i64..100), 1..120),
+    ) {
+        let mut reference: Vec<i64> = Vec::new();
+        let mut tree = BcTree::<i64>::new(fanout);
+        for (is_insert, pos, v) in &ops {
+            if *is_insert || reference.is_empty() {
+                let pos = pos % (reference.len() + 1);
+                reference.insert(pos, *v);
+                tree.insert(pos, *v);
+            } else {
+                let pos = pos % reference.len();
+                prop_assert_eq!(tree.remove(pos), reference.remove(pos));
+            }
+        }
+        prop_assert_eq!(tree.len(), reference.len());
+        let mut acc = 0i64;
+        for (i, &v) in reference.iter().enumerate() {
+            acc += v;
+            prop_assert_eq!(tree.prefix(i), acc, "prefix({})", i);
+            prop_assert_eq!(tree.value(i), v, "value({})", i);
+        }
+    }
+
+    #[test]
+    fn fenwick_push_matches_from_values(values in proptest::collection::vec(-100i64..100, 1..120)) {
+        let bulk = Fenwick::from_values(&values);
+        let mut grown = Fenwick::<i64>::zeroed(0);
+        for &v in &values {
+            grown.push(v);
+        }
+        for i in 0..values.len() {
+            prop_assert_eq!(bulk.prefix(i), grown.prefix(i), "prefix({})", i);
+        }
+    }
+
+    #[test]
+    fn sparse_seg_memory_tracks_population(indices in proptest::collection::vec(0usize..10_000, 1..20)) {
+        let mut t = SparseSegTree::<i64>::zeroed(10_000);
+        for &i in &indices {
+            t.add(i, 1);
+        }
+        // Path length is ⌈log2 10000⌉ + 1 = 15 nodes max per insert.
+        prop_assert!(t.node_count() <= indices.len() * 15);
+    }
+}

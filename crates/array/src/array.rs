@@ -30,7 +30,10 @@ impl<G: AbelianGroup> NdArray<G> {
         while iter.next_into(&mut buf) {
             data.push(f(&buf));
         }
-        Self { shape, data: data.into_boxed_slice() }
+        Self {
+            shape,
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Wraps a row-major cell vector.
@@ -46,7 +49,10 @@ impl<G: AbelianGroup> NdArray<G> {
             data.len(),
             shape.cells()
         );
-        Self { shape, data: data.into_boxed_slice() }
+        Self {
+            shape,
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Convenience constructor for the 2-D examples that pervade the paper:

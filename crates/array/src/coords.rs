@@ -65,7 +65,11 @@ impl CoordMap {
     pub fn to_internal(&self, logical: &[i64]) -> Option<Vec<usize>> {
         assert_eq!(logical.len(), self.ndim(), "coordinate rank mismatch");
         let mut out = Vec::with_capacity(self.ndim());
-        for ((&c, &o), &e) in logical.iter().zip(self.origin.iter()).zip(self.extent.iter()) {
+        for ((&c, &o), &e) in logical
+            .iter()
+            .zip(self.origin.iter())
+            .zip(self.extent.iter())
+        {
             let rel = c.checked_sub(o)?;
             if rel < 0 || rel as usize >= e {
                 return None;
@@ -171,8 +175,14 @@ mod tests {
     #[test]
     fn growth_needed_reports_direction() {
         let m = CoordMap::new(vec![-2, 0], vec![4, 4]);
-        assert_eq!(m.growth_needed(&[-3, 0]), vec![Some(GrowthDirection::Low), None]);
-        assert_eq!(m.growth_needed(&[1, 4]), vec![None, Some(GrowthDirection::High)]);
+        assert_eq!(
+            m.growth_needed(&[-3, 0]),
+            vec![Some(GrowthDirection::Low), None]
+        );
+        assert_eq!(
+            m.growth_needed(&[1, 4]),
+            vec![None, Some(GrowthDirection::High)]
+        );
         assert_eq!(m.growth_needed(&[1, 3]), vec![None, None]);
     }
 

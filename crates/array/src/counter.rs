@@ -40,7 +40,10 @@ impl std::ops::Sub for OpSnapshot {
     type Output = OpSnapshot;
 
     fn sub(self, rhs: OpSnapshot) -> OpSnapshot {
-        OpSnapshot { reads: self.reads - rhs.reads, writes: self.writes - rhs.writes }
+        OpSnapshot {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+        }
     }
 }
 
@@ -94,7 +97,13 @@ mod tests {
         c.read(3);
         c.write(2);
         c.read(1);
-        assert_eq!(c.snapshot(), OpSnapshot { reads: 4, writes: 2 });
+        assert_eq!(
+            c.snapshot(),
+            OpSnapshot {
+                reads: 4,
+                writes: 2
+            }
+        );
         assert_eq!(c.snapshot().touched(), 6);
         c.reset();
         assert_eq!(c.snapshot(), OpSnapshot::default());
@@ -108,7 +117,13 @@ mod tests {
         c.read(5);
         c.write(7);
         let delta = c.snapshot() - before;
-        assert_eq!(delta, OpSnapshot { reads: 5, writes: 7 });
+        assert_eq!(
+            delta,
+            OpSnapshot {
+                reads: 5,
+                writes: 7
+            }
+        );
     }
 
     #[test]
@@ -118,7 +133,13 @@ mod tests {
         let b = OpCounter::new();
         b.write(4);
         a.absorb(b.snapshot());
-        assert_eq!(a.snapshot(), OpSnapshot { reads: 1, writes: 4 });
+        assert_eq!(
+            a.snapshot(),
+            OpSnapshot {
+                reads: 1,
+                writes: 4
+            }
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub trait RangeSumEngine<G: AbelianGroup> {
         let mut acc = G::ZERO;
         for term in region.prefix_decomposition() {
             let p = self.prefix_sum(&term.corner);
-            acc = if term.sign > 0 { acc.add(p) } else { acc.sub(p) };
+            acc = if term.sign > 0 {
+                acc.add(p)
+            } else {
+                acc.sub(p)
+            };
         }
         acc
     }
@@ -98,6 +102,13 @@ pub trait RangeSumEngine<G: AbelianGroup> {
     /// Approximate heap bytes consumed by the structure (Table 2 and the
     /// §5 clustered-storage experiments).
     fn heap_bytes(&self) -> usize;
+
+    /// Human-readable internal metrics, if the engine keeps any beyond
+    /// the [`OpCounter`] (e.g. per-shard queue statistics). `None` — the
+    /// default — means the engine has nothing extra to report.
+    fn metrics_text(&self) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

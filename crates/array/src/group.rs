@@ -133,16 +133,25 @@ impl<A, B> Pair<A, B> {
 }
 
 impl<A: AbelianGroup, B: AbelianGroup> AbelianGroup for Pair<A, B> {
-    const ZERO: Self = Pair { a: A::ZERO, b: B::ZERO };
+    const ZERO: Self = Pair {
+        a: A::ZERO,
+        b: B::ZERO,
+    };
 
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Pair { a: self.a.add(rhs.a), b: self.b.add(rhs.b) }
+        Pair {
+            a: self.a.add(rhs.a),
+            b: self.b.add(rhs.b),
+        }
     }
 
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Pair { a: self.a.sub(rhs.a), b: self.b.sub(rhs.b) }
+        Pair {
+            a: self.a.sub(rhs.a),
+            b: self.b.sub(rhs.b),
+        }
     }
 }
 
@@ -161,17 +170,29 @@ impl AbelianGroup for Checked {
 
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Checked(self.0.checked_add(rhs.0).expect("measure overflow in Checked::add"))
+        Checked(
+            self.0
+                .checked_add(rhs.0)
+                .expect("measure overflow in Checked::add"),
+        )
     }
 
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Checked(self.0.checked_sub(rhs.0).expect("measure overflow in Checked::sub"))
+        Checked(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("measure overflow in Checked::sub"),
+        )
     }
 
     #[inline]
     fn neg(self) -> Self {
-        Checked(self.0.checked_neg().expect("measure overflow in Checked::neg"))
+        Checked(
+            self.0
+                .checked_neg()
+                .expect("measure overflow in Checked::neg"),
+        )
     }
 }
 

@@ -44,7 +44,10 @@ impl Region {
         for (axis, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
             assert!(l <= h, "inverted bounds {l}..={h} in dimension {axis}");
         }
-        Self { lo: lo.into(), hi: hi.into() }
+        Self {
+            lo: lo.into(),
+            hi: hi.into(),
+        }
     }
 
     /// The prefix region `A[0,…,0] : A[p_1,…,p_d]`.
@@ -103,9 +106,7 @@ impl Region {
 
     /// True if `other` is entirely inside `self`.
     pub fn contains_region(&self, other: &Region) -> bool {
-        other.ndim() == self.ndim()
-            && self.contains(other.lo())
-            && self.contains(other.hi())
+        other.ndim() == self.ndim() && self.contains(other.lo()) && self.contains(other.hi())
     }
 
     /// The intersection of two regions, if non-empty.
@@ -146,7 +147,10 @@ impl Region {
     /// Iterates over all points in the region in row-major order.
     pub fn iter_points(&self) -> RegionPointIter {
         let extents: Vec<usize> = (0..self.ndim()).map(|a| self.extent(a)).collect();
-        RegionPointIter { offsets: PointIter::new_for_extents(extents), lo: self.lo.clone() }
+        RegionPointIter {
+            offsets: PointIter::new_for_extents(extents),
+            lo: self.lo.clone(),
+        }
     }
 
     /// The inclusion–exclusion decomposition of this region into signed
@@ -267,10 +271,22 @@ mod tests {
         assert_eq!(
             terms,
             vec![
-                PrefixTerm { sign: 1, corner: vec![1, 2] },
-                PrefixTerm { sign: -1, corner: vec![1, 5] },
-                PrefixTerm { sign: -1, corner: vec![4, 2] },
-                PrefixTerm { sign: 1, corner: vec![4, 5] },
+                PrefixTerm {
+                    sign: 1,
+                    corner: vec![1, 2]
+                },
+                PrefixTerm {
+                    sign: -1,
+                    corner: vec![1, 5]
+                },
+                PrefixTerm {
+                    sign: -1,
+                    corner: vec![4, 2]
+                },
+                PrefixTerm {
+                    sign: 1,
+                    corner: vec![4, 5]
+                },
             ]
         );
     }
@@ -293,8 +309,14 @@ mod tests {
         assert_eq!(
             terms,
             vec![
-                PrefixTerm { sign: -1, corner: vec![3, 1] },
-                PrefixTerm { sign: 1, corner: vec![3, 4] },
+                PrefixTerm {
+                    sign: -1,
+                    corner: vec![3, 1]
+                },
+                PrefixTerm {
+                    sign: 1,
+                    corner: vec![3, 4]
+                },
             ]
         );
     }

@@ -39,7 +39,11 @@ where
             shadow.shape(),
             "primary and shadow shapes must match"
         );
-        Self { primary, shadow, _group: std::marker::PhantomData }
+        Self {
+            primary,
+            shadow,
+            _group: std::marker::PhantomData,
+        }
     }
 
     /// The primary engine.
@@ -141,7 +145,11 @@ mod tests {
 
     impl Brute {
         fn new(shape: Shape) -> Self {
-            Self { a: NdArray::zeroed(shape), counter: OpCounter::new(), skew: 0 }
+            Self {
+                a: NdArray::zeroed(shape),
+                counter: OpCounter::new(),
+                skew: 0,
+            }
         }
     }
 

@@ -105,7 +105,10 @@ impl Shape {
             point.len()
         );
         for (axis, (&p, &n)) in point.iter().zip(self.dims.iter()).enumerate() {
-            assert!(p < n, "index {p} out of bounds for dimension {axis} of size {n}");
+            assert!(
+                p < n,
+                "index {p} out of bounds for dimension {axis} of size {n}"
+            );
         }
     }
 
@@ -176,7 +179,11 @@ impl PointIter {
     fn new(dims: Vec<usize>) -> Self {
         let done = dims.contains(&0);
         let current = vec![0; dims.len()];
-        Self { dims, current, done }
+        Self {
+            dims,
+            current,
+            done,
+        }
     }
 
     /// Advances in place; returns `false` when exhausted. The buffer holds

@@ -47,7 +47,12 @@ impl<'a, G: AbelianGroup> SliceView<'a, G> {
             full.dim(axis)
         );
         let shape = full.drop_axis(axis);
-        Self { inner, axis, index, shape }
+        Self {
+            inner,
+            axis,
+            index,
+            shape,
+        }
     }
 
     /// The pinned axis.
@@ -144,9 +149,7 @@ mod tests {
 
     fn cube3() -> Brute {
         Brute {
-            a: NdArray::from_fn(Shape::cube(3, 4), |p| {
-                (p[0] * 16 + p[1] * 4 + p[2]) as i64
-            }),
+            a: NdArray::from_fn(Shape::cube(3, 4), |p| (p[0] * 16 + p[1] * 4 + p[2]) as i64),
             counter: OpCounter::new(),
         }
     }

@@ -65,8 +65,10 @@ impl<G: AbelianGroup> GrowablePrefixSum<G> {
 
     fn to_internal(&self, logical: &[i64]) -> Option<Vec<usize>> {
         let mut out = Vec::with_capacity(self.ndim());
-        for ((&c, &o), &e) in
-            logical.iter().zip(self.origin.iter()).zip(self.extent().iter())
+        for ((&c, &o), &e) in logical
+            .iter()
+            .zip(self.origin.iter())
+            .zip(self.extent().iter())
         {
             let rel = c - o;
             if rel < 0 || rel as usize >= e {
@@ -109,8 +111,10 @@ impl<G: AbelianGroup> GrowablePrefixSum<G> {
         let d = self.ndim();
         let mut new_origin = Vec::with_capacity(d);
         let mut new_dims = Vec::with_capacity(d);
-        for ((&c, &o), &e) in
-            logical.iter().zip(self.origin.iter()).zip(self.extent().iter())
+        for ((&c, &o), &e) in logical
+            .iter()
+            .zip(self.origin.iter())
+            .zip(self.extent().iter())
         {
             let lo = o.min(c);
             let hi_excl = (o + e as i64).max(c + 1);
@@ -164,7 +168,11 @@ impl<G: AbelianGroup> GrowablePrefixSum<G> {
         for term in region.prefix_decomposition() {
             self.counter.read(1);
             let v = self.p.get(&term.corner);
-            acc = if term.sign > 0 { acc.add(v) } else { acc.sub(v) };
+            acc = if term.sign > 0 {
+                acc.add(v)
+            } else {
+                acc.sub(v)
+            };
         }
         acc
     }

@@ -16,19 +16,28 @@ pub struct NaiveEngine<G: AbelianGroup> {
 
 impl<G: AbelianGroup> Clone for NaiveEngine<G> {
     fn clone(&self) -> Self {
-        Self { a: self.a.clone(), counter: OpCounter::new() }
+        Self {
+            a: self.a.clone(),
+            counter: OpCounter::new(),
+        }
     }
 }
 
 impl<G: AbelianGroup> NaiveEngine<G> {
     /// An all-zero cube of the given shape.
     pub fn zeroed(shape: Shape) -> Self {
-        Self { a: NdArray::zeroed(shape), counter: OpCounter::new() }
+        Self {
+            a: NdArray::zeroed(shape),
+            counter: OpCounter::new(),
+        }
     }
 
     /// Wraps an existing array.
     pub fn from_array(a: &NdArray<G>) -> Self {
-        Self { a: a.clone(), counter: OpCounter::new() }
+        Self {
+            a: a.clone(),
+            counter: OpCounter::new(),
+        }
     }
 
     /// Read-only view of the underlying array.

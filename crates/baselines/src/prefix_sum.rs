@@ -32,7 +32,10 @@ pub struct PrefixSumEngine<G: AbelianGroup> {
 
 impl<G: AbelianGroup> Clone for PrefixSumEngine<G> {
     fn clone(&self) -> Self {
-        Self { p: self.p.clone(), counter: OpCounter::new() }
+        Self {
+            p: self.p.clone(),
+            counter: OpCounter::new(),
+        }
     }
 }
 
@@ -64,12 +67,18 @@ pub fn build_prefix_array<G: AbelianGroup>(a: &NdArray<G>) -> NdArray<G> {
 impl<G: AbelianGroup> PrefixSumEngine<G> {
     /// An all-zero cube of the given shape.
     pub fn zeroed(shape: Shape) -> Self {
-        Self { p: NdArray::zeroed(shape), counter: OpCounter::new() }
+        Self {
+            p: NdArray::zeroed(shape),
+            counter: OpCounter::new(),
+        }
     }
 
     /// Precomputes `P` from the source array `A`.
     pub fn from_array(a: &NdArray<G>) -> Self {
-        Self { p: build_prefix_array(a), counter: OpCounter::new() }
+        Self {
+            p: build_prefix_array(a),
+            counter: OpCounter::new(),
+        }
     }
 
     /// Read-only view of the cumulative array `P` (Figure 3).
@@ -242,8 +251,7 @@ mod tests {
     #[test]
     fn batch_cost_is_one_rebuild() {
         let mut e = PrefixSumEngine::<i64>::zeroed(Shape::cube(2, 32));
-        let updates: Vec<(Vec<usize>, i64)> =
-            (0..100).map(|i| (vec![0, i % 32], 1i64)).collect();
+        let updates: Vec<(Vec<usize>, i64)> = (0..100).map(|i| (vec![0, i % 32], 1i64)).collect();
         e.reset_ops();
         e.apply_batch(&updates);
         let batched = e.ops().writes;

@@ -97,8 +97,12 @@ impl<G: AbelianGroup> RelativePrefixEngine<G> {
         let d = shape.ndim();
         assert_eq!(block.len(), d);
         assert!(block.iter().all(|&k| k >= 1));
-        let nblocks: Vec<usize> =
-            shape.dims().iter().zip(block.iter()).map(|(&n, &k)| n.div_ceil(k)).collect();
+        let nblocks: Vec<usize> = shape
+            .dims()
+            .iter()
+            .zip(block.iter())
+            .map(|(&n, &k)| n.div_ceil(k))
+            .collect();
 
         // Relative prefixes: one sweep per axis that does not cross block
         // boundaries, so each block independently accumulates its local
@@ -125,7 +129,13 @@ impl<G: AbelianGroup> RelativePrefixEngine<G> {
         let mut overlays = Vec::with_capacity((1usize << d) - 1);
         for mask in 1u32..(1u32 << d) {
             let fam_dims: Vec<usize> = (0..d)
-                .map(|i| if mask & (1 << i) != 0 { nblocks[i] } else { shape.dim(i) })
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        nblocks[i]
+                    } else {
+                        shape.dim(i)
+                    }
+                })
                 .collect();
             let fam_shape = Shape::new(&fam_dims);
             let values = NdArray::from_fn(fam_shape, |idx| {
@@ -136,7 +146,14 @@ impl<G: AbelianGroup> RelativePrefixEngine<G> {
             overlays.push(OverlayFamily { mask, values });
         }
 
-        Self { shape, block: block.to_vec(), nblocks, rp, overlays, counter: OpCounter::new() }
+        Self {
+            shape,
+            block: block.to_vec(),
+            nblocks,
+            rp,
+            overlays,
+            counter: OpCounter::new(),
+        }
     }
 
     /// Block side per dimension.
@@ -146,18 +163,17 @@ impl<G: AbelianGroup> RelativePrefixEngine<G> {
 
     #[inline]
     fn block_of(&self, point: &[usize]) -> Vec<usize> {
-        point.iter().zip(self.block.iter()).map(|(&x, &k)| x / k).collect()
+        point
+            .iter()
+            .zip(self.block.iter())
+            .map(|(&x, &k)| x / k)
+            .collect()
     }
 }
 
 /// The stored region of overlay entry `idx` in family `mask`, or `None`
 /// when the region is empty (block 0 in some `S` dimension).
-fn overlay_region(
-    shape: &Shape,
-    block: &[usize],
-    mask: u32,
-    idx: &[usize],
-) -> Option<Region> {
+fn overlay_region(shape: &Shape, block: &[usize], mask: u32, idx: &[usize]) -> Option<Region> {
     let d = shape.ndim();
     let mut lo = Vec::with_capacity(d);
     let mut hi = Vec::with_capacity(d);
@@ -185,7 +201,11 @@ fn region_sum_from_p<G: AbelianGroup>(p: &NdArray<G>, region: &Region) -> G {
     let mut acc = G::ZERO;
     for term in region.prefix_decomposition() {
         let v = p.get(&term.corner);
-        acc = if term.sign > 0 { acc.add(v) } else { acc.sub(v) };
+        acc = if term.sign > 0 {
+            acc.add(v)
+        } else {
+            acc.sub(v)
+        };
     }
     acc
 }
@@ -208,7 +228,11 @@ impl<G: AbelianGroup> RangeSumEngine<G> for RelativePrefixEngine<G> {
         let mut idx = vec![0usize; d];
         for fam in &self.overlays {
             for i in 0..d {
-                idx[i] = if fam.mask & (1 << i) != 0 { blocks[i] } else { point[i] };
+                idx[i] = if fam.mask & (1 << i) != 0 {
+                    blocks[i]
+                } else {
+                    point[i]
+                };
             }
             acc = acc.add(fam.values.get(&idx));
             self.counter.read(1);
@@ -279,7 +303,11 @@ impl<G: AbelianGroup> RangeSumEngine<G> for RelativePrefixEngine<G> {
     fn heap_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.rp.heap_bytes()
-            + self.overlays.iter().map(|f| f.values.heap_bytes()).sum::<usize>()
+            + self
+                .overlays
+                .iter()
+                .map(|f| f.values.heap_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -290,7 +318,11 @@ mod tests {
     fn check_against_naive(a: &NdArray<i64>) {
         let e = RelativePrefixEngine::from_array(a);
         for point in a.shape().iter_points() {
-            assert_eq!(e.prefix_sum(&point), a.prefix_sum(&point), "prefix {point:?}");
+            assert_eq!(
+                e.prefix_sum(&point),
+                a.prefix_sum(&point),
+                "prefix {point:?}"
+            );
         }
     }
 
@@ -302,22 +334,30 @@ mod tests {
 
     #[test]
     fn matches_naive_2d() {
-        let a = NdArray::from_fn(Shape::new(&[9, 12]), |p| (p[0] * 5 + p[1] * 3) as i64 % 11 - 5);
+        let a = NdArray::from_fn(Shape::new(&[9, 12]), |p| {
+            (p[0] * 5 + p[1] * 3) as i64 % 11 - 5
+        });
         check_against_naive(&a);
     }
 
     #[test]
     fn matches_naive_3d() {
-        let a = NdArray::from_fn(Shape::cube(3, 5), |p| (p[0] + p[1] * 2 + p[2] * 4) as i64 % 7);
+        let a = NdArray::from_fn(Shape::cube(3, 5), |p| {
+            (p[0] + p[1] * 2 + p[2] * 4) as i64 % 7
+        });
         check_against_naive(&a);
     }
 
     #[test]
     fn updates_preserve_correctness() {
-        let mut reference =
-            NdArray::from_fn(Shape::new(&[8, 8]), |p| (p[0] * 8 + p[1]) as i64 % 9);
+        let mut reference = NdArray::from_fn(Shape::new(&[8, 8]), |p| (p[0] * 8 + p[1]) as i64 % 9);
         let mut e = RelativePrefixEngine::from_array(&reference);
-        let updates = [([0usize, 0usize], 5i64), ([7, 7], -3), ([3, 4], 10), ([4, 0], 1)];
+        let updates = [
+            ([0usize, 0usize], 5i64),
+            ([7, 7], -3),
+            ([3, 4], 10),
+            ([4, 0], 1),
+        ];
         for (p, delta) in updates {
             reference.add_assign(&p, delta);
             e.apply_delta(&p, delta);
@@ -370,7 +410,11 @@ mod tests {
         for k in [1usize, 2, 5, 8, 16] {
             let e = RelativePrefixEngine::with_block_sides(&a, &[k, k]);
             for point in [[0usize, 0], [15, 15], [7, 9], [8, 8]] {
-                assert_eq!(e.prefix_sum(&point), a.prefix_sum(&point), "k={k} {point:?}");
+                assert_eq!(
+                    e.prefix_sum(&point),
+                    a.prefix_sum(&point),
+                    "k={k} {point:?}"
+                );
             }
         }
     }

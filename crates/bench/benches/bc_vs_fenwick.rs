@@ -1,68 +1,55 @@
 //! Base-store ablation (§4.1 / novelty note): the paper's B^c tree versus
 //! a Fenwick tree and a lazy segment tree on the one-dimensional
 //! cumulative workload that forms the DDC's recursion base case.
+//!
+//! ```text
+//! cargo bench -p ddc-bench --features bench-ext --bench bc_vs_fenwick
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddc_bench::timer::{report, time_quick};
 use ddc_btree::{BcTree, CumulativeStore, Fenwick, SparseSegTree};
 use ddc_workload::rng;
-use rand::Rng;
-use std::time::Duration;
 
 const SIZES: [usize; 2] = [1 << 10, 1 << 16];
 
-fn bench_stores(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_prefix");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
+fn stores(values: &[i64]) -> Vec<(&'static str, Box<dyn CumulativeStore<i64>>)> {
+    vec![
+        ("bc-f4", Box::new(BcTree::from_values(4, values))),
+        ("bc-f16", Box::new(BcTree::from_values(16, values))),
+        ("bc-f64", Box::new(BcTree::from_values(64, values))),
+        ("fenwick", Box::new(Fenwick::from_values(values))),
+        ("sparse-seg", Box::new(SparseSegTree::from_values(values))),
+    ]
+}
+
+fn main() {
     for k in SIZES {
         let values: Vec<i64> = (0..k as i64).map(|i| i % 101 - 50).collect();
-        let stores: Vec<(&str, Box<dyn CumulativeStore<i64>>)> = vec![
-            ("bc-f4", Box::new(BcTree::from_values(4, &values))),
-            ("bc-f16", Box::new(BcTree::from_values(16, &values))),
-            ("bc-f64", Box::new(BcTree::from_values(64, &values))),
-            ("fenwick", Box::new(Fenwick::from_values(&values))),
-            ("sparse-seg", Box::new(SparseSegTree::from_values(&values))),
-        ];
         let mut r = rng(17);
         let probes: Vec<usize> = (0..256).map(|_| r.gen_range(0..k)).collect();
-        for (label, store) in &stores {
+        for (label, store) in &stores(&values) {
             let mut i = 0usize;
-            group.bench_with_input(BenchmarkId::new(*label, k), &k, |b, _| {
-                b.iter(|| {
-                    let idx = probes[i % probes.len()];
-                    i += 1;
-                    std::hint::black_box(store.prefix(idx))
-                })
+            let t = time_quick(|| {
+                let idx = probes[i % probes.len()];
+                i += 1;
+                std::hint::black_box(store.prefix(idx));
             });
+            report("store_prefix", label, k, &t);
         }
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("store_update");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
     for k in SIZES {
         let values: Vec<i64> = (0..k as i64).map(|i| i % 101 - 50).collect();
         let mut r = rng(18);
         let probes: Vec<usize> = (0..256).map(|_| r.gen_range(0..k)).collect();
-        let mut stores: Vec<(&str, Box<dyn CumulativeStore<i64>>)> = vec![
-            ("bc-f4", Box::new(BcTree::from_values(4, &values))),
-            ("bc-f16", Box::new(BcTree::from_values(16, &values))),
-            ("bc-f64", Box::new(BcTree::from_values(64, &values))),
-            ("fenwick", Box::new(Fenwick::from_values(&values))),
-            ("sparse-seg", Box::new(SparseSegTree::from_values(&values))),
-        ];
-        for (label, store) in stores.iter_mut() {
+        for (label, store) in stores(&values).iter_mut() {
             let mut i = 0usize;
-            group.bench_with_input(BenchmarkId::new(*label, k), &k, |b, _| {
-                b.iter(|| {
-                    let idx = probes[i % probes.len()];
-                    i += 1;
-                    store.add(idx, 1);
-                })
+            let t = time_quick(|| {
+                let idx = probes[i % probes.len()];
+                i += 1;
+                store.add(idx, 1);
             });
+            report("store_update", label, k, &t);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_stores);
-criterion_main!(benches);

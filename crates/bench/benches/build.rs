@@ -2,46 +2,49 @@
 //! insertion vs the parallel fork-join builder, against the baselines'
 //! build paths. Batch-load time is the paper's §1 "first batch load data"
 //! phase — the one cost the prefix-sum family optimizes for.
+//!
+//! ```text
+//! cargo bench -p ddc-bench --features bench-ext --bench build
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddc_baselines::{PrefixSumEngine, RelativePrefixEngine};
+use ddc_bench::timer::{report, time_quick};
 use ddc_core::{DdcConfig, DdcEngine, DdcTree};
 use ddc_workload::{rng, uniform_array};
-use std::time::Duration;
 
-fn bench_builds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_millis(1500))
-        .warm_up_time(Duration::from_millis(300));
+fn main() {
     for n in [64usize, 256] {
         let shape = ddc_array::Shape::cube(2, n);
         let base = uniform_array(&shape, -50, 50, &mut rng(21));
-        group.bench_with_input(BenchmarkId::new("ddc-bulk", n), &n, |b, _| {
-            b.iter(|| DdcEngine::from_array_with(&base, DdcConfig::dynamic()))
+        let t = time_quick(|| {
+            std::hint::black_box(DdcEngine::<i64>::from_array_with(
+                &base,
+                DdcConfig::dynamic(),
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("ddc-parallel", n), &n, |b, _| {
-            b.iter(|| {
-                DdcTree::from_array_parallel(
-                    &base,
-                    n.next_power_of_two(),
-                    DdcConfig::dynamic(),
-                )
-            })
+        report("build", "ddc-bulk", n, &t);
+        let t = time_quick(|| {
+            std::hint::black_box(DdcTree::from_array_parallel(
+                &base,
+                n.next_power_of_two(),
+                DdcConfig::dynamic(),
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("ddc-incremental", n), &n, |b, _| {
-            b.iter(|| DdcEngine::from_array_incremental(&base, DdcConfig::dynamic()))
+        report("build", "ddc-parallel", n, &t);
+        let t = time_quick(|| {
+            std::hint::black_box(DdcEngine::<i64>::from_array_incremental(
+                &base,
+                DdcConfig::dynamic(),
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("prefix-sum", n), &n, |b, _| {
-            b.iter(|| PrefixSumEngine::from_array(&base))
+        report("build", "ddc-incremental", n, &t);
+        let t = time_quick(|| {
+            std::hint::black_box(PrefixSumEngine::from_array(&base));
         });
-        group.bench_with_input(BenchmarkId::new("relative-prefix", n), &n, |b, _| {
-            b.iter(|| RelativePrefixEngine::from_array(&base))
+        report("build", "prefix-sum", n, &t);
+        let t = time_quick(|| {
+            std::hint::black_box(RelativePrefixEngine::from_array(&base));
         });
+        report("build", "relative-prefix", n, &t);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_builds);
-criterion_main!(benches);

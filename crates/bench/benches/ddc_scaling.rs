@@ -1,11 +1,14 @@
 //! Theorem 2 in wall-clock form: Dynamic Data Cube update/query latency
 //! as `n` doubles and `d` grows, plus the §4.4 elision ablation.
+//!
+//! ```text
+//! cargo bench -p ddc-bench --features bench-ext --bench ddc_scaling
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddc_array::{RangeSumEngine, Shape};
+use ddc_bench::timer::{report, time_quick};
 use ddc_core::{DdcConfig, DdcEngine};
 use ddc_workload::{rng, uniform_array, uniform_regions, uniform_updates};
-use std::time::Duration;
 
 fn engine(shape: &Shape, config: DdcConfig) -> DdcEngine<i64> {
     let mut r = rng(3);
@@ -13,73 +16,47 @@ fn engine(shape: &Shape, config: DdcConfig) -> DdcEngine<i64> {
     DdcEngine::from_array_with(&base, config)
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddc_update_scaling");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
+fn main() {
     for (d, ns) in [(2usize, vec![64usize, 256, 1024]), (3, vec![16, 64])] {
         for n in ns {
             let shape = Shape::cube(d, n);
             let mut e = engine(&shape, DdcConfig::dynamic());
-            let mut r = rng(4);
-            let stream = uniform_updates(&shape, 256, &mut r);
+            let stream = uniform_updates(&shape, 256, &mut rng(4));
             let mut i = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(format!("d{d}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let (p, delta) = &stream.updates[i % stream.updates.len()];
-                        e.apply_delta(p, *delta);
-                        i += 1;
-                    })
-                },
-            );
+            let t = time_quick(|| {
+                let (p, delta) = &stream.updates[i % stream.updates.len()];
+                e.apply_delta(p, *delta);
+                i += 1;
+            });
+            report("ddc_update_scaling", &format!("d{d}"), n, &t);
         }
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("ddc_query_scaling");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
     for (d, ns) in [(2usize, vec![64usize, 256, 1024]), (3, vec![16, 64])] {
         for n in ns {
             let shape = Shape::cube(d, n);
             let e = engine(&shape, DdcConfig::dynamic());
-            let mut r = rng(5);
-            let regions = uniform_regions(&shape, 128, &mut r);
+            let regions = uniform_regions(&shape, 128, &mut rng(5));
             let mut i = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(format!("d{d}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let q = &regions[i % regions.len()];
-                        i += 1;
-                        std::hint::black_box(e.range_sum(q))
-                    })
-                },
-            );
+            let t = time_quick(|| {
+                let q = &regions[i % regions.len()];
+                i += 1;
+                std::hint::black_box(e.range_sum(q));
+            });
+            report("ddc_query_scaling", &format!("d{d}"), n, &t);
         }
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("ddc_elision");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
     let shape = Shape::cube(2, 256);
-    let mut r = rng(6);
-    let regions = uniform_regions(&shape, 128, &mut r);
+    let regions = uniform_regions(&shape, 128, &mut rng(6));
     for h in [0usize, 1, 2, 3] {
         let e = engine(&shape, DdcConfig::dynamic().with_elision(h));
         let mut i = 0usize;
-        group.bench_with_input(BenchmarkId::new("query_h", h), &h, |b, _| {
-            b.iter(|| {
-                let q = &regions[i % regions.len()];
-                i += 1;
-                std::hint::black_box(e.range_sum(q))
-            })
+        let t = time_quick(|| {
+            let q = &regions[i % regions.len()];
+            i += 1;
+            std::hint::black_box(e.range_sum(q));
         });
+        report("ddc_elision", "query_h", h, &t);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Wall-clock complement to Table 1: per-operation latency of every
 //! range-sum method on identical cubes and workloads.
+//!
+//! ```text
+//! cargo bench -p ddc-bench --features bench-ext --bench engine_ops
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddc_array::{RangeSumEngine, Shape};
+use ddc_bench::timer::{report, time_quick};
 use ddc_olap::EngineKind;
 use ddc_workload::{rng, uniform_array, uniform_regions, uniform_updates};
-use std::time::Duration;
 
 fn build(kind: EngineKind, shape: &Shape) -> Box<dyn RangeSumEngine<i64>> {
     let mut r = rng(11);
@@ -20,59 +23,43 @@ fn build(kind: EngineKind, shape: &Shape) -> Box<dyn RangeSumEngine<i64>> {
     e
 }
 
-fn bench_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("update");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+fn bench_updates() {
     for n in [64usize, 256] {
         let shape = Shape::cube(2, n);
-        let mut r = rng(5);
-        let stream = uniform_updates(&shape, 512, &mut r);
+        let stream = uniform_updates(&shape, 512, &mut rng(5));
         for kind in EngineKind::ALL {
-            // PS updates on 256² rewrite ~16k cells each; keep it but it
-            // is the point of the comparison.
+            // PS updates on 256² rewrite ~16k cells each; keep it — that
+            // contrast is the point of the comparison.
             let mut engine = build(kind, &shape);
             let mut i = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let (p, delta) = &stream.updates[i % stream.updates.len()];
-                        engine.apply_delta(p, *delta);
-                        i += 1;
-                    })
-                },
-            );
+            let t = time_quick(|| {
+                let (p, delta) = &stream.updates[i % stream.updates.len()];
+                engine.apply_delta(p, *delta);
+                i += 1;
+            });
+            report("update", kind.label(), n, &t);
         }
     }
-    group.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("range_query");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+fn bench_queries() {
     for n in [64usize, 256] {
         let shape = Shape::cube(2, n);
-        let mut r = rng(6);
-        let regions = uniform_regions(&shape, 256, &mut r);
+        let regions = uniform_regions(&shape, 256, &mut rng(6));
         for kind in EngineKind::ALL {
             let engine = build(kind, &shape);
             let mut i = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let q = &regions[i % regions.len()];
-                        i += 1;
-                        std::hint::black_box(engine.range_sum(q))
-                    })
-                },
-            );
+            let t = time_quick(|| {
+                let q = &regions[i % regions.len()];
+                i += 1;
+                std::hint::black_box(engine.range_sum(q));
+            });
+            report("range_query", kind.label(), n, &t);
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_queries);
-criterion_main!(benches);
+fn main() {
+    bench_updates();
+    bench_queries();
+}

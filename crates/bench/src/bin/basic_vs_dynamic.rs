@@ -12,7 +12,10 @@ use ddc_costmodel::complexity;
 use ddc_olap::EngineKind;
 
 fn main() {
-    for (d, sizes) in [(2usize, vec![16usize, 32, 64, 128, 256]), (3, vec![8, 16, 32])] {
+    for (d, sizes) in [
+        (2usize, vec![16usize, 32, 64, 128, 256]),
+        (3, vec![8, 16, 32]),
+    ] {
         println!("\n== d = {d}: worst-case update, Basic vs Dynamic ==\n");
         let widths = [6usize, 14, 16, 12, 14];
         print_row(

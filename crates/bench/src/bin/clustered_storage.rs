@@ -8,8 +8,8 @@
 //! ```
 
 use ddc_array::{RangeSumEngine, Shape};
-use ddc_bench::print_row;
 use ddc_baselines::{PrefixSumEngine, RelativePrefixEngine};
+use ddc_bench::print_row;
 use ddc_core::{DdcConfig, DdcEngine};
 use ddc_workload::{clustered_points, random_clusters, rng, sparse_array};
 
@@ -50,9 +50,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\n== Clustered data (EOSDIS-style): 4 clusters in a 4096² space ==\n"
-    );
+    println!("\n== Clustered data (EOSDIS-style): 4 clusters in a 4096² space ==\n");
     let mut r = rng(777);
     let clusters = random_clusters(2, 4, 1800, 25.0, &mut r);
     let pts = clustered_points(&clusters, 4000, 100, &mut r);

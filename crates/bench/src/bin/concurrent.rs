@@ -9,14 +9,13 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use ddc_array::{RangeSumEngine, Shape};
 use ddc_baselines::PrefixSumEngine;
 use ddc_core::{DdcConfig, DdcEngine};
 use ddc_workload::{rng, uniform_array, uniform_regions, uniform_updates};
-use parking_lot::RwLock;
 
 const N: usize = 256;
 const READERS: usize = 4;
@@ -31,7 +30,10 @@ fn drive<E: RangeSumEngine<i64> + Send + Sync>(label: &str, engine: E) {
     let shape = Shape::cube(2, N);
     let lock = Arc::new(RwLock::new(engine));
     let stop = Arc::new(AtomicBool::new(false));
-    let score = Arc::new(Scorecard { queries: AtomicU64::new(0), updates: AtomicU64::new(0) });
+    let score = Arc::new(Scorecard {
+        queries: AtomicU64::new(0),
+        updates: AtomicU64::new(0),
+    });
     let regions = Arc::new(uniform_regions(&shape, 256, &mut rng(5)));
     let stream = Arc::new(uniform_updates(&shape, 4_096, &mut rng(6)));
 
@@ -47,7 +49,7 @@ fn drive<E: RangeSumEngine<i64> + Send + Sync>(label: &str, engine: E) {
                 while !stop.load(Ordering::Relaxed) {
                     let q = &regions[i % regions.len()];
                     i += 1;
-                    sink = sink.wrapping_add(lock.read().range_sum(q));
+                    sink = sink.wrapping_add(lock.read().expect("poisoned").range_sum(q));
                     score.queries.fetch_add(1, Ordering::Relaxed);
                 }
                 std::hint::black_box(sink);
@@ -64,7 +66,7 @@ fn drive<E: RangeSumEngine<i64> + Send + Sync>(label: &str, engine: E) {
                 while !stop.load(Ordering::Relaxed) {
                     let (p, delta) = &stream.updates[i % stream.updates.len()];
                     i += 1;
-                    lock.write().apply_delta(p, *delta);
+                    lock.write().expect("poisoned").apply_delta(p, *delta);
                     score.updates.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -87,10 +89,11 @@ fn drive<E: RangeSumEngine<i64> + Send + Sync>(label: &str, engine: E) {
 fn main() {
     let shape = Shape::cube(2, N);
     let base = uniform_array(&shape, -20, 20, &mut rng(4));
-    println!(
-        "{READERS} readers + 1 writer over a {N}×{N} cube for {RUN:?} each:\n"
+    println!("{READERS} readers + 1 writer over a {N}×{N} cube for {RUN:?} each:\n");
+    drive(
+        "dynamic-ddc",
+        DdcEngine::from_array_with(&base, DdcConfig::dynamic()),
     );
-    drive("dynamic-ddc", DdcEngine::from_array_with(&base, DdcConfig::dynamic()));
     drive("prefix-sum", PrefixSumEngine::from_array(&base));
     println!(
         "\nSame lock, same workload: prefix-sum readers stream O(1) lookups,\n\

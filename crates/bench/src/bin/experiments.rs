@@ -13,7 +13,10 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "Table 1 / Figure 1 — update cost functions, d = 8"),
+    (
+        "table1",
+        "Table 1 / Figure 1 — update cost functions, d = 8",
+    ),
     ("table2", "Table 2 — overlay storage vs covered region"),
     ("update_cost", "Table 1 empirical — measured update costs"),
     ("basic_vs_dynamic", "§3.3 — Basic O(n^{d-1}) vs Dynamic"),
@@ -21,10 +24,16 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("space_opt", "§4.4 — level elision sweep"),
     ("rps_blocks", "[GAES99] — RPS block-size ablation"),
     ("selectivity", "§2/Figure 4 — query cost vs selectivity"),
-    ("growth", "§5 — growth in any direction + forced materialization"),
+    (
+        "growth",
+        "§5 — growth in any direction + forced materialization",
+    ),
     ("clustered_storage", "§5 — sparse and clustered storage"),
     ("replay", "mixed-workload trace replay"),
-    ("fenwick_nd", "novelty ablation — DDC vs d-dimensional Fenwick tree"),
+    (
+        "fenwick_nd",
+        "novelty ablation — DDC vs d-dimensional Fenwick tree",
+    ),
     ("concurrent", "readers + writer throughput under one lock"),
 ];
 

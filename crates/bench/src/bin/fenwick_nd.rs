@@ -54,7 +54,10 @@ fn main() {
                 sink = sink.wrapping_add(e.range_sum(q));
             }
             std::hint::black_box(sink);
-            cells.push(format!("{:.0}", e.ops().reads as f64 / regions.len() as f64));
+            cells.push(format!(
+                "{:.0}",
+                e.ops().reads as f64 / regions.len() as f64
+            ));
         }
         // Order the columns DDC-upd, BIT-upd, DDC-qry, BIT-qry.
         print_row(&cells, &widths);
@@ -62,7 +65,15 @@ fn main() {
 
     println!("\n== where the tree shape pays: sparse storage (KiB) ==\n");
     let widths = [10usize, 12, 14, 14];
-    print_row(&["density".into(), "cells".into(), "DDC(seg,h1)".into(), "BIT".into()], &widths);
+    print_row(
+        &[
+            "density".into(),
+            "cells".into(),
+            "DDC(seg,h1)".into(),
+            "BIT".into(),
+        ],
+        &widths,
+    );
     let shape = Shape::cube(2, 1024);
     for density in [0.0005f64, 0.005, 0.05] {
         let a = sparse_array(&shape, density, 100, &mut rng((density * 1e6) as u64));
@@ -105,8 +116,9 @@ fn main() {
     for (p, v) in &points {
         let needs_rebuild = match &bounds {
             None => true,
-            Some((lo, hi)) => p.iter().zip(lo).any(|(c, l)| c < l)
-                || p.iter().zip(hi).any(|(c, h)| c > h),
+            Some((lo, hi)) => {
+                p.iter().zip(lo).any(|(c, l)| c < l) || p.iter().zip(hi).any(|(c, h)| c > h)
+            }
         };
         if needs_rebuild {
             let (mut lo, mut hi) = bounds.take().unwrap_or((p.clone(), p.clone()));
@@ -114,12 +126,14 @@ fn main() {
                 *l = (*l).min(*c);
                 *h = (*h).max(*c);
             }
-            let dims: Vec<usize> =
-                lo.iter().zip(&hi).map(|(l, h)| (h - l + 1) as usize).collect();
+            let dims: Vec<usize> = lo
+                .iter()
+                .zip(&hi)
+                .map(|(l, h)| (h - l + 1) as usize)
+                .collect();
             let mut fresh = MultiFenwick::<i64>::zeroed(Shape::new(&dims));
             for (q, w) in points.iter().take_while(|(q, _)| !std::ptr::eq(q, p)) {
-                let rel: Vec<usize> =
-                    q.iter().zip(&lo).map(|(c, l)| (c - l) as usize).collect();
+                let rel: Vec<usize> = q.iter().zip(&lo).map(|(c, l)| (c - l) as usize).collect();
                 fresh.apply_delta(&rel, *w);
             }
             bit = Some(fresh);

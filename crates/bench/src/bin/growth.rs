@@ -44,9 +44,15 @@ fn head_to_head() {
         print_row(
             &[
                 format!("±{reach}"),
-                format!("{:.0}", ps.counter().snapshot().writes as f64 / pts.len() as f64),
+                format!(
+                    "{:.0}",
+                    ps.counter().snapshot().writes as f64 / pts.len() as f64
+                ),
                 format!("{}", ps.heap_bytes() / 1024),
-                format!("{:.0}", ddc.counter().snapshot().writes as f64 / pts.len() as f64),
+                format!(
+                    "{:.0}",
+                    ddc.counter().snapshot().writes as f64 / pts.len() as f64
+                ),
                 format!("{}", ddc.heap_bytes() / 1024),
             ],
             &widths,

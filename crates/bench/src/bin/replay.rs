@@ -31,12 +31,7 @@ fn main() {
             })
         }
         None => {
-            let t = Trace::generate(
-                &ddc_array::Shape::cube(2, 256),
-                5_000,
-                0.5,
-                &mut rng(0xDDC),
-            );
+            let t = Trace::generate(&ddc_array::Shape::cube(2, 256), 5_000, 0.5, &mut rng(0xDDC));
             let path = "target/replay-default.trace";
             if std::fs::write(path, t.to_text()).is_ok() {
                 println!("generated default trace → {path}\n");
@@ -45,11 +40,7 @@ fn main() {
         }
     };
 
-    println!(
-        "trace: shape {:?}, {} ops\n",
-        trace.dims,
-        trace.ops.len()
-    );
+    println!("trace: shape {:?}, {} ops\n", trace.dims, trace.ops.len());
     let widths = [14usize, 12, 12, 14, 20];
     print_row(
         &[

@@ -21,10 +21,18 @@ fn main() {
     let base = uniform_array(&shape, -20, 20, &mut r);
     let stream = uniform_updates(&shape, 128, &mut r);
 
-    println!("RPS block-size sweep: d={d}, n={n} (√n = {})\n", (n as f64).sqrt() as usize);
+    println!(
+        "RPS block-size sweep: d={d}, n={n} (√n = {})\n",
+        (n as f64).sqrt() as usize
+    );
     let widths = [6usize, 16, 16, 12];
     print_row(
-        &["k".into(), "mean upd cost".into(), "worst upd cost".into(), "heap KiB".into()],
+        &[
+            "k".into(),
+            "mean upd cost".into(),
+            "worst upd cost".into(),
+            "heap KiB".into(),
+        ],
         &widths,
     );
     for k in [2usize, 4, 8, 16, 32, 64, 128] {

@@ -1,0 +1,265 @@
+//! Shard-scaling sweep: aggregate read throughput of the [`ShardedCube`]
+//! against the single-lock [`SharedCube`] baseline under §1's deployment
+//! mix — analysts issuing drill-down slice queries while a live feed
+//! applies point updates.
+//!
+//! The feed is **open loop**: a paced stream of single records at a fixed
+//! target rate that both engines must sustain, skewed toward a small hot
+//! set (best-seller cells). The engines differ only in protocol:
+//!
+//! * `SharedCube` applies each record under the global write lock as it
+//!   arrives (the S32 per-op protocol);
+//! * `ShardedCube` enqueues each record on the owning shard and group
+//!   commits at `batch_capacity`, so the hot-set records coalesce before
+//!   ever touching a shard engine, and readers read through the queues.
+//!
+//! The feed has priority (a lagging feed backs up without bound), so the
+//! readers run under admission control: while the writer is behind its
+//! schedule they shed queries and yield the CPU. Whatever the commits do
+//! not burn is what the four reader threads keep — cheaper commits buy
+//! aggregate read throughput directly.
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin shard_scaling
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ddc_array::{Region, Shape};
+use ddc_core::{DdcConfig, ShardConfig, ShardedCube, SharedCube};
+use ddc_workload::{rng, uniform_updates, DdcRng};
+
+const N: usize = 1024;
+const READERS: usize = 4;
+const RUN: Duration = Duration::from_millis(300);
+/// Records per pacing tick of the open-loop feed.
+const TICK: usize = 256;
+/// Hot-set size and skew of the feed (most records hit a few cells).
+const HOT_CELLS: usize = 32;
+const HOT_PERCENT: usize = 95;
+/// Feed rates swept per engine, records/s (0 = read-only).
+const RATES: [u64; 3] = [0, 100_000, 250_000];
+/// How long a shed reader sleeps before re-checking the lag flag.
+const SHED: Duration = Duration::from_micros(200);
+
+struct Score {
+    queries_per_s: f64,
+    updates_per_s: f64,
+}
+
+/// Runs [`drive_once`] twice and keeps the pass with the higher read
+/// throughput — scheduling noise only ever subtracts.
+fn drive(
+    query: impl Fn(usize) + Sync,
+    writer: impl Fn(&AtomicBool, &AtomicBool) -> u64 + Sync,
+) -> Score {
+    let a = drive_once(&query, &writer);
+    let b = drive_once(&query, &writer);
+    if a.queries_per_s >= b.queries_per_s {
+        a
+    } else {
+        b
+    }
+}
+
+/// Drives [`READERS`] closed-loop query threads plus one writer thread
+/// (which runs `writer` to completion, returning records applied).
+fn drive_once(
+    query: impl Fn(usize) + Sync,
+    writer: impl Fn(&AtomicBool, &AtomicBool) -> u64 + Sync,
+) -> Score {
+    let stop = AtomicBool::new(false);
+    let lagging = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let updates = AtomicU64::new(0);
+    let (stop_r, lag_r, q_r, u_r) = (&stop, &lagging, &queries, &updates);
+    let (query, writer) = (&query, &writer);
+
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop_r.load(Ordering::Relaxed) {
+                    // Admission control: the feed must not back up, so
+                    // queries are shed while the writer lags its schedule.
+                    if lag_r.load(Ordering::Relaxed) {
+                        std::thread::sleep(SHED);
+                        continue;
+                    }
+                    query(i);
+                    i += 1;
+                    q_r.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        s.spawn(move || {
+            u_r.store(writer(stop_r, lag_r), Ordering::Relaxed);
+        });
+        // Sleep, don't spin: on small machines a spinning coordinator
+        // steals a whole core-share from the measured threads.
+        std::thread::sleep(RUN);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let secs = RUN.as_secs_f64();
+    Score {
+        queries_per_s: queries.load(Ordering::Relaxed) as f64 / secs,
+        updates_per_s: updates.load(Ordering::Relaxed) as f64 / secs,
+    }
+}
+
+/// Paces `apply` at `rate` records/s in [`TICK`]-record bursts on an
+/// absolute schedule (no drift); returns the records actually applied.
+/// Raises `lagging` whenever the feed is behind schedule so the readers
+/// shed load until it catches up.
+fn paced_feed(
+    stop: &AtomicBool,
+    lagging: &AtomicBool,
+    rate: u64,
+    mut apply: impl FnMut(usize),
+) -> u64 {
+    if rate == 0 {
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        return 0;
+    }
+    let period = Duration::from_secs_f64(TICK as f64 / rate as f64);
+    let mut next = Instant::now() + period;
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        for _ in 0..TICK {
+            apply(i);
+            i += 1;
+        }
+        let now = Instant::now();
+        if now < next {
+            lagging.store(false, Ordering::Relaxed);
+            std::thread::sleep(next - now);
+        } else {
+            lagging.store(true, Ordering::Relaxed);
+        }
+        next += period;
+    }
+    lagging.store(false, Ordering::Relaxed);
+    i as u64
+}
+
+/// A feed skewed toward a small hot set: [`HOT_PERCENT`]% of records hit
+/// one of [`HOT_CELLS`] cells, the rest are uniform.
+fn hot_feed(shape: &Shape, len: usize, r: &mut DdcRng) -> Vec<(Vec<usize>, i64)> {
+    let dims = shape.dims().to_vec();
+    let hot: Vec<Vec<usize>> = (0..HOT_CELLS)
+        .map(|_| dims.iter().map(|&n| r.gen_range(0..n)).collect())
+        .collect();
+    (0..len)
+        .map(|_| {
+            let p = if r.gen_range(0usize..100) < HOT_PERCENT {
+                hot[r.gen_range(0..HOT_CELLS)].clone()
+            } else {
+                dims.iter().map(|&n| r.gen_range(0..n)).collect()
+            };
+            (p, r.gen_range(-100i64..=100))
+        })
+        .collect()
+}
+
+/// Drill-down slices: a narrow dimension-0 range (≤ `max_span` rows) over
+/// the full extent of dimension 1.
+fn slice_regions(max_span: usize, count: usize, r: &mut DdcRng) -> Vec<Region> {
+    (0..count)
+        .map(|_| {
+            let span = r.gen_range(1..=max_span);
+            let lo = r.gen_range(0..N - span);
+            Region::new(&[lo, 0], &[lo + span - 1, N - 1])
+        })
+        .collect()
+}
+
+fn print_row(label: &str, rate: u64, score: &Score) {
+    let feed = if rate == 0 {
+        "read-only ".to_string()
+    } else {
+        format!("{:>6}/s  ", rate)
+    };
+    println!(
+        "{label:<16} feed {feed} {:>9.0} queries/s  {:>9.0} applied/s",
+        score.queries_per_s, score.updates_per_s
+    );
+}
+
+fn main() {
+    let shape = Shape::cube(2, N);
+    let regions = slice_regions(16, 256, &mut rng(5));
+    let feed = hot_feed(&shape, 1 << 16, &mut rng(6));
+    let seed: Vec<(Vec<usize>, i64)> = uniform_updates(&shape, 8_192, &mut rng(7)).updates;
+
+    println!(
+        "{READERS} readers + 1 paced writer over a {N}×{N} dynamic cube, {RUN:?} per cell.\n\
+         Feed: single records, {HOT_PERCENT}% on {HOT_CELLS} hot cells; the feed\n\
+         has priority — readers shed queries while it lags its schedule.\n\
+         Reads: ≤16-row dimension-0 slices.\n"
+    );
+
+    let mut shared_q = 0.0f64;
+    let mut sharded4_q = 0.0f64;
+
+    for &rate in &RATES {
+        let cube = SharedCube::<i64>::new(shape.clone(), DdcConfig::dynamic());
+        cube.apply_batch(&seed);
+        let score = drive(
+            |i| {
+                std::hint::black_box(cube.range_sum(&regions[i % regions.len()]));
+            },
+            |stop, lagging| {
+                paced_feed(stop, lagging, rate, |i| {
+                    let (p, delta) = &feed[i % feed.len()];
+                    cube.apply_delta(p, *delta);
+                })
+            },
+        );
+        print_row("shared (1 lock)", rate, &score);
+        if rate == RATES[2] {
+            shared_q = score.queries_per_s;
+        }
+    }
+    println!();
+
+    for shards in [1usize, 2, 4, 8] {
+        for &rate in &RATES {
+            let cube = ShardedCube::<i64>::new(
+                shape.clone(),
+                DdcConfig::dynamic(),
+                ShardConfig::with_shards(shards),
+            );
+            cube.update_batch(&seed);
+            cube.flush();
+            let score = drive(
+                |i| {
+                    std::hint::black_box(cube.query(&regions[i % regions.len()]));
+                },
+                |stop, lagging| {
+                    paced_feed(stop, lagging, rate, |i| {
+                        let (p, delta) = &feed[i % feed.len()];
+                        cube.update(p, *delta);
+                    })
+                },
+            );
+            print_row(&format!("sharded ×{shards}"), rate, &score);
+            if shards == 4 && rate == RATES[2] {
+                sharded4_q = score.queries_per_s;
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "headline: under the {READERS}-reader/1-writer mix at {} records/s,\n\
+         sharded ×4 sustains {:.2}× the single-lock cube's aggregate read\n\
+         throughput (group commit coalesces the hot set before it touches a\n\
+         shard engine; the CPU the writer saves goes to the readers).",
+        RATES[2],
+        sharded4_q / shared_q,
+    );
+}

@@ -72,7 +72,12 @@ fn main() {
     println!("\nBase-store memory ablation (same cube):\n");
     let widths = [6usize, 14, 14, 14];
     print_row(
-        &["h".into(), "bc(f=16)".into(), "fenwick".into(), "sparse-seg".into()],
+        &[
+            "h".into(),
+            "bc(f=16)".into(),
+            "fenwick".into(),
+            "sparse-seg".into(),
+        ],
         &widths,
     );
     for h in [0usize, 2] {

@@ -65,8 +65,14 @@ fn main() {
     let ddc_100 = table1::seconds_at_mips(table1::ddc_update(1e2, 8), 500.0);
     let rps_1e4 = table1::seconds_at_mips(table1::relative_prefix_update(1e4, 8), 500.0);
     let ddc_1e4 = table1::seconds_at_mips(table1::ddc_update(1e4, 8), 500.0);
-    println!("  n=10^2: prefix sum  {:>12.1} days/update", ps_100 / 86_400.0);
+    println!(
+        "  n=10^2: prefix sum  {:>12.1} days/update",
+        ps_100 / 86_400.0
+    );
     println!("  n=10^2: DDC         {:>12.6} seconds/update", ddc_100);
-    println!("  n=10^4: relative PS {:>12.1} days/update", rps_1e4 / 86_400.0);
+    println!(
+        "  n=10^4: relative PS {:>12.1} days/update",
+        rps_1e4 / 86_400.0
+    );
     println!("  n=10^4: DDC         {:>12.3} seconds/update", ddc_1e4);
 }

@@ -1,10 +1,14 @@
 //! # ddc-bench
 //!
 //! Shared measurement harness for the paper-reproduction binaries (one per
-//! table/figure, see DESIGN.md §3) and the criterion wall-clock benches.
+//! table/figure, see DESIGN.md §3) and the wall-clock micro-benches
+//! (`cargo bench -p ddc-bench --features bench-ext`, timed by the in-repo
+//! [`timer`] so no external harness is needed).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod timer;
 
 use ddc_array::{RangeSumEngine, Region, Shape};
 use ddc_olap::EngineKind;
@@ -63,7 +67,11 @@ pub fn measure_engine(
     let qr = engine.ops();
     let query_reads = qr.reads as f64 / queries.max(1) as f64;
 
-    Measured { update_touched, query_reads, heap_bytes: engine.heap_bytes() }
+    Measured {
+        update_touched,
+        query_reads,
+        heap_bytes: engine.heap_bytes(),
+    }
 }
 
 /// Worst-case single-update cost (cell `A[0,…,0]`, the Figure 5 corner).
@@ -117,10 +125,7 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Ground-truth check helper used by several binaries: engine vs naive on
 /// a handful of random regions. Returns the number of regions checked.
-pub fn sanity_check(
-    engine: &dyn RangeSumEngine<i64>,
-    truth: &ddc_array::NdArray<i64>,
-) -> usize {
+pub fn sanity_check(engine: &dyn RangeSumEngine<i64>, truth: &ddc_array::NdArray<i64>) -> usize {
     let mut r = rng(7);
     let regions = ddc_workload::uniform_regions(truth.shape(), 16, &mut r);
     for q in &regions {

@@ -1,0 +1,117 @@
+//! A minimal wall-clock micro-benchmark timer (the workspace vendors no
+//! external benchmark harness so the tier-1 build stays hermetic).
+//!
+//! The protocol is the classic batched-sampling loop: calibrate a batch
+//! size that runs for roughly a millisecond, warm up, then time whole
+//! batches and report the **median** per-iteration latency — medians are
+//! robust against scheduler hiccups that skew means.
+
+use std::time::{Duration, Instant};
+
+/// Result of timing one closure.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest observed batch, per iteration.
+    pub min_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+impl Timing {
+    /// `"123.4 ns"` / `"12.3 µs"` / `"4.5 ms"` — criterion-style units.
+    pub fn human(&self) -> String {
+        format_ns(self.median_ns)
+    }
+}
+
+/// Formats a nanosecond latency with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Times `f`, warming up for `warmup` and sampling for `measure`.
+pub fn time(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> Timing {
+    // Calibrate: grow the batch until one batch costs ≥ ~1 ms (or a
+    // single call already exceeds it).
+    let mut batch: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 2;
+    }
+
+    let t0 = Instant::now();
+    while t0.elapsed() < warmup {
+        f();
+    }
+
+    let mut samples: Vec<f64> = Vec::new();
+    let mut iters = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < measure || samples.len() < 3 {
+        let s = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(s.elapsed().as_nanos() as f64 / batch as f64);
+        iters += batch;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    Timing {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        iters,
+    }
+}
+
+/// Times `f` with the default budget (300 ms warm-up, 600 ms measure).
+pub fn time_quick(f: impl FnMut()) -> Timing {
+    time(Duration::from_millis(300), Duration::from_millis(600), f)
+}
+
+/// Prints one aligned result row: `group/label/param   123.4 ns/iter`.
+pub fn report(group: &str, label: &str, param: impl std::fmt::Display, t: &Timing) {
+    println!(
+        "{:<40} {:>12}/iter",
+        format!("{group}/{label}/{param}"),
+        t.human()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_reports_positive_latency() {
+        let mut x = 0u64;
+        let t = time(Duration::ZERO, Duration::from_millis(5), || {
+            x = x.wrapping_add(std::hint::black_box(17));
+        });
+        assert!(t.median_ns > 0.0);
+        assert!(t.min_ns <= t.median_ns);
+        assert!(t.iters > 0);
+        std::hint::black_box(x);
+    }
+
+    #[test]
+    fn units_scale() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+    }
+}

@@ -77,7 +77,11 @@ impl<G: AbelianGroup> Node<G> {
     fn heap_bytes(&self) -> usize {
         match self {
             Node::Leaf(values) => values.capacity() * std::mem::size_of::<G>(),
-            Node::Internal { children, counts, sums } => {
+            Node::Internal {
+                children,
+                counts,
+                sums,
+            } => {
                 children.capacity() * std::mem::size_of::<Node<G>>()
                     + counts.capacity() * std::mem::size_of::<usize>()
                     + sums.capacity() * std::mem::size_of::<G>()
@@ -136,7 +140,12 @@ impl<G: AbelianGroup> BcTree<G> {
     /// Panics if `fanout < MIN_FANOUT`.
     pub fn new(fanout: usize) -> Self {
         assert!(fanout >= MIN_FANOUT, "fanout must be at least {MIN_FANOUT}");
-        Self { root: Node::Leaf(Vec::new()), fanout, len: 0, counter: OpCounter::new() }
+        Self {
+            root: Node::Leaf(Vec::new()),
+            fanout,
+            len: 0,
+            counter: OpCounter::new(),
+        }
     }
 
     /// Bulk-builds a balanced tree over `values` (row sums in positional
@@ -162,12 +171,21 @@ impl<G: AbelianGroup> BcTree<G> {
                     let children: Vec<Node<G>> = group.to_vec();
                     let counts: Vec<usize> = children.iter().map(Node::count).collect();
                     let sums: Vec<G> = children.iter().map(Node::sum).collect();
-                    Node::Internal { children, counts, sums }
+                    Node::Internal {
+                        children,
+                        counts,
+                        sums,
+                    }
                 })
                 .collect();
         }
         let root = level.pop().expect("non-empty level");
-        Self { root, fanout, len, counter: OpCounter::new() }
+        Self {
+            root,
+            fanout,
+            len,
+            counter: OpCounter::new(),
+        }
     }
 
     /// A tree of `len` zero values.
@@ -206,15 +224,24 @@ impl<G: AbelianGroup> BcTree<G> {
     ///
     /// Panics if `pos > len`.
     pub fn insert(&mut self, pos: usize, value: G) {
-        assert!(pos <= self.len, "insert position {pos} beyond length {}", self.len);
-        if let Some(right) = Self::insert_rec(&mut self.root, pos, value, self.fanout, &self.counter)
+        assert!(
+            pos <= self.len,
+            "insert position {pos} beyond length {}",
+            self.len
+        );
+        if let Some(right) =
+            Self::insert_rec(&mut self.root, pos, value, self.fanout, &self.counter)
         {
             // Root split: grow the tree by one level.
             let old_root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
             let counts = vec![old_root.count(), right.count()];
             let sums = vec![old_root.sum(), right.sum()];
             self.counter.write(2);
-            self.root = Node::Internal { children: vec![old_root, right], counts, sums };
+            self.root = Node::Internal {
+                children: vec![old_root, right],
+                counts,
+                sums,
+            };
         }
         self.len += 1;
     }
@@ -237,7 +264,11 @@ impl<G: AbelianGroup> BcTree<G> {
                 let right = values.split_off(values.len() / 2);
                 Some(Node::Leaf(right))
             }
-            Node::Internal { children, counts, sums } => {
+            Node::Internal {
+                children,
+                counts,
+                sums,
+            } => {
                 // Locate the child containing `pos` (appends go to the
                 // last child).
                 let mut child_idx = 0;
@@ -288,7 +319,11 @@ impl<G: AbelianGroup> BcTree<G> {
     ///
     /// Panics if `pos >= len`.
     pub fn remove(&mut self, pos: usize) -> G {
-        assert!(pos < self.len, "remove position {pos} beyond length {}", self.len);
+        assert!(
+            pos < self.len,
+            "remove position {pos} beyond length {}",
+            self.len
+        );
         let removed = Self::remove_rec(&mut self.root, pos, self.fanout, &self.counter);
         self.len -= 1;
         // Collapse chains of single-child roots left by merges.
@@ -313,7 +348,11 @@ impl<G: AbelianGroup> BcTree<G> {
                 counter.write(1);
                 values.remove(pos)
             }
-            Node::Internal { children, counts, sums } => {
+            Node::Internal {
+                children,
+                counts,
+                sums,
+            } => {
                 let mut child_idx = 0;
                 let mut rel = pos;
                 while rel >= counts[child_idx] {
@@ -348,7 +387,11 @@ impl<G: AbelianGroup> BcTree<G> {
         if children.len() == 1 {
             return; // root child chain; handled by root collapse
         }
-        let (left, right) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (left, right) = if idx > 0 {
+            (idx - 1, idx)
+        } else {
+            (idx, idx + 1)
+        };
         let can_borrow_from_left = idx > 0 && children[left].entry_count() > min;
         let can_borrow_from_right = idx == 0 && children[right].entry_count() > min;
 
@@ -383,8 +426,16 @@ impl<G: AbelianGroup> BcTree<G> {
                 b.insert(0, v);
             }
             (
-                Node::Internal { children: ac, counts: an, sums: asum },
-                Node::Internal { children: bc, counts: bn, sums: bsum },
+                Node::Internal {
+                    children: ac,
+                    counts: an,
+                    sums: asum,
+                },
+                Node::Internal {
+                    children: bc,
+                    counts: bn,
+                    sums: bsum,
+                },
             ) => {
                 bc.insert(0, ac.pop().expect("donor non-empty"));
                 bn.insert(0, an.pop().expect("donor non-empty"));
@@ -398,8 +449,16 @@ impl<G: AbelianGroup> BcTree<G> {
         match (from, to) {
             (Node::Leaf(a), Node::Leaf(b)) => b.push(a.remove(0)),
             (
-                Node::Internal { children: ac, counts: an, sums: asum },
-                Node::Internal { children: bc, counts: bn, sums: bsum },
+                Node::Internal {
+                    children: ac,
+                    counts: an,
+                    sums: asum,
+                },
+                Node::Internal {
+                    children: bc,
+                    counts: bn,
+                    sums: bsum,
+                },
             ) => {
                 bc.push(ac.remove(0));
                 bn.push(an.remove(0));
@@ -413,8 +472,16 @@ impl<G: AbelianGroup> BcTree<G> {
         match (into, from) {
             (Node::Leaf(a), Node::Leaf(mut b)) => a.append(&mut b),
             (
-                Node::Internal { children: ac, counts: an, sums: asum },
-                Node::Internal { children: mut bc, counts: mut bn, sums: mut bsum },
+                Node::Internal {
+                    children: ac,
+                    counts: an,
+                    sums: asum,
+                },
+                Node::Internal {
+                    children: mut bc,
+                    counts: mut bn,
+                    sums: mut bsum,
+                },
             ) => {
                 ac.append(&mut bc);
                 an.append(&mut bn);
@@ -430,7 +497,11 @@ impl<G: AbelianGroup> BcTree<G> {
                 self.counter.read(index as u64 + 1);
                 values[..=index].iter().fold(G::ZERO, |acc, &v| acc.add(v))
             }
-            Node::Internal { children, counts, sums } => {
+            Node::Internal {
+                children,
+                counts,
+                sums,
+            } => {
                 let mut acc = G::ZERO;
                 let mut rel = index;
                 let mut child_idx = 0;
@@ -451,7 +522,9 @@ impl<G: AbelianGroup> BcTree<G> {
                 self.counter.read(1);
                 values[index]
             }
-            Node::Internal { children, counts, .. } => {
+            Node::Internal {
+                children, counts, ..
+            } => {
                 let mut rel = index;
                 let mut child_idx = 0;
                 while rel >= counts[child_idx] {
@@ -469,7 +542,11 @@ impl<G: AbelianGroup> BcTree<G> {
                 values[index] = values[index].add(delta);
                 counter.write(1);
             }
-            Node::Internal { children, counts, sums } => {
+            Node::Internal {
+                children,
+                counts,
+                sums,
+            } => {
                 let mut rel = index;
                 let mut child_idx = 0;
                 while rel >= counts[child_idx] {
@@ -495,7 +572,11 @@ impl<G: AbelianGroup> CumulativeStore<G> for BcTree<G> {
     }
 
     fn prefix(&self, index: usize) -> G {
-        assert!(index < self.len, "prefix index {index} beyond length {}", self.len);
+        assert!(
+            index < self.len,
+            "prefix index {index} beyond length {}",
+            self.len
+        );
         self.prefix_rec(&self.root, index)
     }
 

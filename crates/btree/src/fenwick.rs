@@ -39,14 +39,22 @@ pub struct Fenwick<G: AbelianGroup> {
 
 impl<G: AbelianGroup> Clone for Fenwick<G> {
     fn clone(&self) -> Self {
-        Self { tree: self.tree.clone(), len: self.len, counter: OpCounter::new() }
+        Self {
+            tree: self.tree.clone(),
+            len: self.len,
+            counter: OpCounter::new(),
+        }
     }
 }
 
 impl<G: AbelianGroup> Fenwick<G> {
     /// A tree of `len` zero values.
     pub fn zeroed(len: usize) -> Self {
-        Self { tree: vec![G::ZERO; len + 1], len, counter: OpCounter::new() }
+        Self {
+            tree: vec![G::ZERO; len + 1],
+            len,
+            counter: OpCounter::new(),
+        }
     }
 
     /// Builds from raw values in `O(k)` using the parent-propagation trick.
@@ -62,7 +70,11 @@ impl<G: AbelianGroup> Fenwick<G> {
                 tree[parent] = tree[parent].add(t);
             }
         }
-        Self { tree, len, counter: OpCounter::new() }
+        Self {
+            tree,
+            len,
+            counter: OpCounter::new(),
+        }
     }
 
     /// Appends one value at the end in amortized `O(log k)`.
@@ -94,7 +106,11 @@ impl<G: AbelianGroup> CumulativeStore<G> for Fenwick<G> {
     }
 
     fn prefix(&self, index: usize) -> G {
-        assert!(index < self.len, "prefix index {index} beyond length {}", self.len);
+        assert!(
+            index < self.len,
+            "prefix index {index} beyond length {}",
+            self.len
+        );
         let mut acc = G::ZERO;
         let mut i = index + 1;
         while i > 0 {

@@ -23,7 +23,11 @@ struct SegNode<G> {
 
 impl<G: AbelianGroup> SegNode<G> {
     fn new() -> Self {
-        Self { sum: G::ZERO, left: None, right: None }
+        Self {
+            sum: G::ZERO,
+            left: None,
+            right: None,
+        }
     }
 
     fn heap_bytes(&self) -> usize {
@@ -82,7 +86,12 @@ impl<G: AbelianGroup> SparseSegTree<G> {
     /// A store of `len` implicit zeros occupying `O(1)` memory.
     pub fn zeroed(len: usize) -> Self {
         let span = len.next_power_of_two().max(1);
-        Self { root: None, span, len, counter: OpCounter::new() }
+        Self {
+            root: None,
+            span,
+            len,
+            counter: OpCounter::new(),
+        }
     }
 
     /// Builds from raw values; zero values allocate nothing.
@@ -101,13 +110,7 @@ impl<G: AbelianGroup> SparseSegTree<G> {
         self.root.as_ref().map_or(0, |n| n.node_count())
     }
 
-    fn add_rec(
-        node: &mut SegNode<G>,
-        span: usize,
-        index: usize,
-        delta: G,
-        counter: &OpCounter,
-    ) {
+    fn add_rec(node: &mut SegNode<G>, span: usize, index: usize, delta: G, counter: &OpCounter) {
         node.sum = node.sum.add(delta);
         counter.write(1);
         if span == 1 {
@@ -138,10 +141,9 @@ impl<G: AbelianGroup> SparseSegTree<G> {
                 counter.read(1);
                 l.sum
             });
-            let right = node
-                .right
-                .as_ref()
-                .map_or(G::ZERO, |r| Self::prefix_rec(r, half, index - half, counter));
+            let right = node.right.as_ref().map_or(G::ZERO, |r| {
+                Self::prefix_rec(r, half, index - half, counter)
+            });
             left.add(right)
         }
     }
@@ -157,10 +159,14 @@ impl<G: AbelianGroup> CumulativeStore<G> for SparseSegTree<G> {
     }
 
     fn prefix(&self, index: usize) -> G {
-        assert!(index < self.len, "prefix index {index} beyond length {}", self.len);
-        self.root
-            .as_ref()
-            .map_or(G::ZERO, |r| Self::prefix_rec(r, self.span, index, &self.counter))
+        assert!(
+            index < self.len,
+            "prefix index {index} beyond length {}",
+            self.len
+        );
+        self.root.as_ref().map_or(G::ZERO, |r| {
+            Self::prefix_rec(r, self.span, index, &self.counter)
+        })
     }
 
     fn value(&self, index: usize) -> G {
@@ -186,9 +192,10 @@ impl<G: AbelianGroup> CumulativeStore<G> for SparseSegTree<G> {
 
     fn heap_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.root.as_ref().map_or(0, |r| {
-                std::mem::size_of::<SegNode<G>>() + r.heap_bytes()
-            })
+            + self
+                .root
+                .as_ref()
+                .map_or(0, |r| std::mem::size_of::<SegNode<G>>() + r.heap_bytes())
     }
 }
 

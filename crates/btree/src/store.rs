@@ -76,7 +76,10 @@ pub trait CumulativeStore<G: AbelianGroup> {
 
     /// Sum of positions `lo..=hi`.
     fn range(&self, lo: usize, hi: usize) -> G {
-        assert!(lo <= hi && hi < self.len(), "range {lo}..={hi} out of bounds");
+        assert!(
+            lo <= hi && hi < self.len(),
+            "range {lo}..={hi} out of bounds"
+        );
         let high = self.prefix(hi);
         if lo == 0 {
             high

@@ -25,7 +25,8 @@ pub enum Command {
     Create {
         /// Cube name.
         name: String,
-        /// Engine keyword (`naive`, `prefix`, `relative`, `basic`, `dynamic`, `sparse`).
+        /// Engine keyword (`naive`, `prefix`, `relative`, `basic`, `dynamic`,
+        /// `sparse`, or `sharded[N]` for an `N`-way sharded dynamic cube).
         engine: String,
         /// Dimension specs.
         dims: Vec<DimSpec>,
@@ -66,6 +67,11 @@ pub enum Command {
     },
     /// `stats <cube>` — engine, shape, memory.
     Stats {
+        /// Cube name.
+        cube: String,
+    },
+    /// `metrics <cube>` — per-shard queue statistics (sharded engines).
+    Metrics {
         /// Cube name.
         cube: String,
     },
@@ -216,11 +222,22 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
             let amount: i64 = rest[rest.len() - 1]
                 .parse()
                 .map_err(|_| ParseError(format!("bad amount '{}'", rest[rest.len() - 1])))?;
-            let coords = rest[1..rest.len() - 1].iter().map(|s| s.to_string()).collect();
+            let coords = rest[1..rest.len() - 1]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             if verb == "add" {
-                Ok(Command::Add { cube, coords, amount })
+                Ok(Command::Add {
+                    cube,
+                    coords,
+                    amount,
+                })
             } else {
-                Ok(Command::Set { cube, coords, amount })
+                Ok(Command::Set {
+                    cube,
+                    coords,
+                    amount,
+                })
             }
         }
         "cell" => {
@@ -241,27 +258,53 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
                 "count" => Aggregate::Count,
                 _ => Aggregate::Avg,
             };
-            let ranges = rest[1..].iter().map(|t| parse_range(t)).collect::<Result<_, _>>()?;
-            Ok(Command::Query { agg, cube: rest[0].to_string(), ranges })
+            let ranges = rest[1..]
+                .iter()
+                .map(|t| parse_range(t))
+                .collect::<Result<_, _>>()?;
+            Ok(Command::Query {
+                agg,
+                cube: rest[0].to_string(),
+                ranges,
+            })
         }
         "stats" => {
             if rest.len() != 1 {
                 return err("stats needs: <cube>");
             }
-            Ok(Command::Stats { cube: rest[0].to_string() })
+            Ok(Command::Stats {
+                cube: rest[0].to_string(),
+            })
+        }
+        "metrics" => {
+            if rest.len() != 1 {
+                return err("metrics needs: <cube>");
+            }
+            Ok(Command::Metrics {
+                cube: rest[0].to_string(),
+            })
         }
         "explain" => {
             if rest.is_empty() {
                 return err("explain needs: <cube> <range…>");
             }
-            let ranges = rest[1..].iter().map(|t| parse_range(t)).collect::<Result<_, _>>()?;
-            Ok(Command::Explain { cube: rest[0].to_string(), ranges })
+            let ranges = rest[1..]
+                .iter()
+                .map(|t| parse_range(t))
+                .collect::<Result<_, _>>()?;
+            Ok(Command::Explain {
+                cube: rest[0].to_string(),
+                ranges,
+            })
         }
         "sql" => {
             if rest.len() < 2 {
                 return err("sql needs: <cube> SELECT …");
             }
-            Ok(Command::Sql { cube: rest[0].to_string(), query: rest[1..].join(" ") })
+            Ok(Command::Sql {
+                cube: rest[0].to_string(),
+                query: rest[1..].join(" "),
+            })
         }
         "ingest" => {
             if rest.len() < 2 {
@@ -297,7 +340,10 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
             if rest.len() < 2 {
                 return err("groupby needs: <cube> <dim-name> <range…>");
             }
-            let ranges = rest[2..].iter().map(|t| parse_range(t)).collect::<Result<_, _>>()?;
+            let ranges = rest[2..]
+                .iter()
+                .map(|t| parse_range(t))
+                .collect::<Result<_, _>>()?;
             Ok(Command::GroupBy {
                 cube: rest[0].to_string(),
                 dim: rest[1].to_string(),
@@ -314,7 +360,10 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
             if window == 0 {
                 return err("window must be at least 1");
             }
-            let ranges = rest[3..].iter().map(|t| parse_range(t)).collect::<Result<_, _>>()?;
+            let ranges = rest[3..]
+                .iter()
+                .map(|t| parse_range(t))
+                .collect::<Result<_, _>>()?;
             Ok(Command::Rolling {
                 cube: rest[0].to_string(),
                 dim: rest[1].to_string(),
@@ -379,21 +428,34 @@ fn parse_dim(spec: &str) -> Result<DimSpec, ParseError> {
     let parts: Vec<&str> = spec.split(':').collect();
     match parts.as_slice() {
         [name, "int", lo, hi] => {
-            let lo: i64 = lo.parse().map_err(|_| ParseError(format!("bad bound '{lo}'")))?;
-            let hi: i64 = hi.parse().map_err(|_| ParseError(format!("bad bound '{hi}'")))?;
+            let lo: i64 = lo
+                .parse()
+                .map_err(|_| ParseError(format!("bad bound '{lo}'")))?;
+            let hi: i64 = hi
+                .parse()
+                .map_err(|_| ParseError(format!("bad bound '{hi}'")))?;
             if lo > hi {
                 return err(format!("empty domain {lo}..{hi} for '{name}'"));
             }
-            Ok(DimSpec::Int { name: name.to_string(), lo, hi })
+            Ok(DimSpec::Int {
+                name: name.to_string(),
+                lo,
+                hi,
+            })
         }
         [name, "cat", labels] => {
             let labels: Vec<String> = labels.split('|').map(|l| l.to_string()).collect();
             if labels.iter().any(|l| l.is_empty()) {
                 return err(format!("empty label in '{spec}'"));
             }
-            Ok(DimSpec::Cat { name: name.to_string(), labels })
+            Ok(DimSpec::Cat {
+                name: name.to_string(),
+                labels,
+            })
         }
-        _ => err(format!("bad dimension spec '{spec}' (want name:int:lo:hi or name:cat:a|b)")),
+        _ => err(format!(
+            "bad dimension spec '{spec}' (want name:int:lo:hi or name:cat:a|b)"
+        )),
     }
 }
 
@@ -410,7 +472,11 @@ mod tests {
                 name: "sales".into(),
                 engine: "dynamic".into(),
                 dims: vec![
-                    DimSpec::Int { name: "age".into(), lo: 0, hi: 99 },
+                    DimSpec::Int {
+                        name: "age".into(),
+                        lo: 0,
+                        hi: 99
+                    },
                     DimSpec::Cat {
                         name: "region".into(),
                         labels: vec!["n".into(), "s".into()]
@@ -471,9 +537,15 @@ mod tests {
 
     #[test]
     fn error_messages_are_specific() {
-        assert!(parse("frobnicate").unwrap_err().0.contains("unknown command"));
+        assert!(parse("frobnicate")
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
         assert!(parse("add sales 3").unwrap_err().0.contains("needs"));
-        assert!(parse("create c dims=x:int:9:1").unwrap_err().0.contains("empty domain"));
+        assert!(parse("create c dims=x:int:9:1")
+            .unwrap_err()
+            .0
+            .contains("empty domain"));
         assert!(parse("sum s 5..").unwrap_err().0.contains("bad range"));
     }
 
@@ -481,13 +553,27 @@ mod tests {
     fn save_load_stats() {
         assert_eq!(
             parse("save c /tmp/x").unwrap(),
-            Command::Save { cube: "c".into(), path: "/tmp/x".into() }
+            Command::Save {
+                cube: "c".into(),
+                path: "/tmp/x".into()
+            }
         );
         assert_eq!(
             parse("load c2 /tmp/x").unwrap(),
-            Command::Load { cube: "c2".into(), path: "/tmp/x".into() }
+            Command::Load {
+                cube: "c2".into(),
+                path: "/tmp/x".into()
+            }
         );
-        assert_eq!(parse("stats c").unwrap(), Command::Stats { cube: "c".into() });
+        assert_eq!(
+            parse("stats c").unwrap(),
+            Command::Stats { cube: "c".into() }
+        );
+        assert_eq!(
+            parse("metrics c").unwrap(),
+            Command::Metrics { cube: "c".into() }
+        );
+        assert!(parse("metrics").unwrap_err().0.contains("needs"));
         assert_eq!(parse("quit").unwrap(), Command::Quit);
     }
 }

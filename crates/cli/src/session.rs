@@ -39,7 +39,7 @@ struct Slot {
 
 const HELP: &str = "\
 commands:
-  create <cube> engine=<naive|prefix|relative|basic|dynamic|sparse> \\
+  create <cube> engine=<naive|prefix|relative|basic|dynamic|sparse|sharded[N]> \\
          dims=<name:int:lo:hi | name:cat:a|b|c>,…
   add    <cube> <coord…> <amount>      record one observation
   set    <cube> <coord…> <amount>      overwrite a cell's sum
@@ -52,6 +52,7 @@ commands:
   groupby <cube> <dim-name> <range…>   one aggregate row per bucket
   rolling <cube> <dim-name> <w> <range…>  trailing windows of width w
   stats  <cube>                        engine, shape, memory
+  metrics <cube>                       per-shard queue statistics (sharded engines)
   save   <cube> <path>   /  load <cube> <path>
   help   /  quit";
 
@@ -98,17 +99,28 @@ impl Session {
                 self.cubes.insert(name.clone(), Slot { create_line, cube });
                 Ok(Output::Text(format!("created cube '{name}'")))
             }
-            Command::Add { cube, coords, amount } => {
+            Command::Add {
+                cube,
+                coords,
+                amount,
+            } => {
                 let slot = self.slot_mut(&cube)?;
                 let vals = to_values(&slot.cube, &coords)?;
-                slot.cube.add_observation(&vals, amount).map_err(|e| e.to_string())?;
+                slot.cube
+                    .add_observation(&vals, amount)
+                    .map_err(|e| e.to_string())?;
                 Ok(Output::Silent)
             }
-            Command::Set { cube, coords, amount } => {
+            Command::Set {
+                cube,
+                coords,
+                amount,
+            } => {
                 let slot = self.slot_mut(&cube)?;
                 let vals = to_values(&slot.cube, &coords)?;
-                let old =
-                    slot.cube.set(&vals, ddc_array::Pair::new(amount, i64::from(amount != 0)));
+                let old = slot
+                    .cube
+                    .set(&vals, ddc_array::Pair::new(amount, i64::from(amount != 0)));
                 let old = old.map_err(|e| e.to_string())?;
                 Ok(Output::Text(format!("was sum={} count={}", old.a, old.b)))
             }
@@ -128,11 +140,7 @@ impl Session {
                     Aggregate::Count => {
                         format!("{}", slot.cube.count(&specs).map_err(|e| e.to_string())?)
                     }
-                    Aggregate::Avg => match slot
-                        .cube
-                        .average(&specs)
-                        .map_err(|e| e.to_string())?
-                    {
+                    Aggregate::Avg => match slot.cube.average(&specs).map_err(|e| e.to_string())? {
                         Some(a) => format!("{a:.4}"),
                         None => "no observations".to_string(),
                     },
@@ -154,6 +162,16 @@ impl Session {
                     slot.cube.heap_bytes() / 1024
                 )))
             }
+            Command::Metrics { cube } => {
+                let slot = self.slot(&cube)?;
+                match slot.cube.metrics_text() {
+                    Some(text) => Ok(Output::Text(text.trim_end().to_string())),
+                    None => Ok(Output::Text(format!(
+                        "engine {} keeps no extra metrics (try a sharded engine)",
+                        slot.cube.engine_name()
+                    ))),
+                }
+            }
             Command::Explain { cube, ranges } => {
                 let slot = self.slot(&cube)?;
                 let specs = to_specs(&slot.cube, &ranges)?;
@@ -164,29 +182,33 @@ impl Session {
                 let slot = self.slot(&cube)?;
                 match slot.cube.query(&query)? {
                     ddc_olap::SqlResult::Scalar(v) => Ok(Output::Text(format!("{v}"))),
-                    ddc_olap::SqlResult::Average(Some(a)) => {
-                        Ok(Output::Text(format!("{a:.4}")))
-                    }
+                    ddc_olap::SqlResult::Average(Some(a)) => Ok(Output::Text(format!("{a:.4}"))),
                     ddc_olap::SqlResult::Average(None) => {
                         Ok(Output::Text("no observations".to_string()))
                     }
                     ddc_olap::SqlResult::Rows(rows) => {
                         let mut out = String::new();
                         for (label, sum, count) in rows {
-                            out.push_str(&format!(
-                                "{label:<12} sum {sum:>10}  count {count:>7}\n"
-                            ));
+                            out.push_str(&format!("{label:<12} sum {sum:>10}  count {count:>7}\n"));
                         }
                         out.pop();
                         Ok(Output::Text(out))
                     }
                 }
             }
-            Command::Ingest { cube, path, delimiter, has_header } => {
+            Command::Ingest {
+                cube,
+                path,
+                delimiter,
+                has_header,
+            } => {
                 let data =
                     std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
                 let slot = self.slot_mut(&cube)?;
-                let opts = ddc_olap::IngestOptions { delimiter, has_header };
+                let opts = ddc_olap::IngestOptions {
+                    delimiter,
+                    has_header,
+                };
                 let n = ddc_olap::load_records(&mut slot.cube, &data, &opts)
                     .map_err(|e| e.to_string())?;
                 Ok(Output::Text(format!("ingested {n} records into '{cube}'")))
@@ -195,15 +217,25 @@ impl Session {
                 let slot = self.slot(&cube)?;
                 let axis = axis_of(&slot.cube, &dim)?;
                 let specs = to_specs(&slot.cube, &ranges)?;
-                let rows = slot.cube.group_by(axis, &specs).map_err(|e| e.to_string())?;
+                let rows = slot
+                    .cube
+                    .group_by(axis, &specs)
+                    .map_err(|e| e.to_string())?;
                 Ok(Output::Text(render_rows(&rows)))
             }
-            Command::Rolling { cube, dim, window, ranges } => {
+            Command::Rolling {
+                cube,
+                dim,
+                window,
+                ranges,
+            } => {
                 let slot = self.slot(&cube)?;
                 let axis = axis_of(&slot.cube, &dim)?;
                 let specs = to_specs(&slot.cube, &ranges)?;
-                let rows =
-                    slot.cube.rolling_sum(axis, window, &specs).map_err(|e| e.to_string())?;
+                let rows = slot
+                    .cube
+                    .rolling_sum(axis, window, &specs)
+                    .map_err(|e| e.to_string())?;
                 Ok(Output::Text(render_rows(&rows)))
             }
             Command::Save { cube, path } => {
@@ -232,8 +264,10 @@ impl Session {
         let count: i64 = tokens[tokens.len() - 1]
             .parse()
             .map_err(|_| format!("bad count '{}'", tokens[tokens.len() - 1]))?;
-        let coords: Vec<String> =
-            tokens[1..tokens.len() - 2].iter().map(|s| s.to_string()).collect();
+        let coords: Vec<String> = tokens[1..tokens.len() - 2]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let slot = self.slot_mut(cube)?;
         let vals = to_values(&slot.cube, &coords)?;
         slot.cube
@@ -314,11 +348,15 @@ impl Session {
     }
 
     fn slot(&self, name: &str) -> Result<&Slot, String> {
-        self.cubes.get(name).ok_or_else(|| format!("no cube named '{name}'"))
+        self.cubes
+            .get(name)
+            .ok_or_else(|| format!("no cube named '{name}'"))
     }
 
     fn slot_mut(&mut self, name: &str) -> Result<&mut Slot, String> {
-        self.cubes.get_mut(name).ok_or_else(|| format!("no cube named '{name}'"))
+        self.cubes
+            .get_mut(name)
+            .ok_or_else(|| format!("no cube named '{name}'"))
     }
 }
 
@@ -354,17 +392,29 @@ fn engine_kind(word: &str) -> Result<EngineKind, String> {
         "basic" => EngineKind::BasicDdc,
         "dynamic" => EngineKind::DynamicDdc,
         "sparse" => EngineKind::CustomDdc(ddc_core::DdcConfig::sparse()),
-        other => return Err(format!("unknown engine '{other}'")),
+        other => match other.strip_prefix("sharded") {
+            // `sharded` (default shard count) or `shardedN` (explicit).
+            Some("") => EngineKind::Sharded {
+                shards: ddc_core::ShardConfig::default().shards,
+            },
+            Some(n) => {
+                let shards: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad shard count '{n}' in '{other}'"))?;
+                if shards == 0 {
+                    return Err("shard count must be at least 1".to_string());
+                }
+                EngineKind::Sharded { shards }
+            }
+            None => return Err(format!("unknown engine '{other}'")),
+        },
     })
 }
 
 /// Interprets coordinate tokens by the cube's dimension types: numeric
 /// dimensions parse integers, categorical dimensions take the token as a
 /// label.
-fn to_values<'a>(
-    cube: &SumCountCube,
-    coords: &'a [String],
-) -> Result<Vec<DimValue<'a>>, String> {
+fn to_values<'a>(cube: &SumCountCube, coords: &'a [String]) -> Result<Vec<DimValue<'a>>, String> {
     if coords.len() != cube.dimensions().len() {
         return Err(format!(
             "expected {} coordinates, got {}",
@@ -421,13 +471,18 @@ mod tests {
     use super::*;
 
     fn run(session: &mut Session, line: &str) -> Output {
-        session.execute_line(line).unwrap_or_else(|e| panic!("{line}: {e}"))
+        session
+            .execute_line(line)
+            .unwrap_or_else(|e| panic!("{line}: {e}"))
     }
 
     #[test]
     fn end_to_end_paper_scenario() {
         let mut s = Session::new();
-        run(&mut s, "create sales engine=dynamic dims=age:int:0:99,day:int:1:365");
+        run(
+            &mut s,
+            "create sales engine=dynamic dims=age:int:0:99,day:int:1:365",
+        );
         run(&mut s, "add sales 37 220 120");
         run(&mut s, "add sales 37 220 80");
         run(&mut s, "add sales 45 350 300");
@@ -448,11 +503,20 @@ mod tests {
     #[test]
     fn categorical_coordinates() {
         let mut s = Session::new();
-        run(&mut s, "create m engine=sparse dims=region:cat:north|south,week:int:1:52");
+        run(
+            &mut s,
+            "create m engine=sparse dims=region:cat:north|south,week:int:1:52",
+        );
         run(&mut s, "add m north 10 500");
         run(&mut s, "add m south 10 100");
-        assert_eq!(run(&mut s, "sum m north *"), Output::Text("500".to_string()));
-        assert_eq!(run(&mut s, "sum m * 1..26"), Output::Text("600".to_string()));
+        assert_eq!(
+            run(&mut s, "sum m north *"),
+            Output::Text("500".to_string())
+        );
+        assert_eq!(
+            run(&mut s, "sum m * 1..26"),
+            Output::Text("600".to_string())
+        );
     }
 
     #[test]
@@ -462,14 +526,21 @@ mod tests {
         run(&mut s, "create c engine=naive dims=x:int:0:9");
         assert!(s.execute_line("add c 99 5").is_err());
         assert!(s.execute_line("add c 1").is_err());
-        assert!(s.execute_line("create c engine=naive dims=x:int:0:9").is_err());
-        assert!(s.execute_line("create d engine=warp dims=x:int:0:9").is_err());
+        assert!(s
+            .execute_line("create c engine=naive dims=x:int:0:9")
+            .is_err());
+        assert!(s
+            .execute_line("create d engine=warp dims=x:int:0:9")
+            .is_err());
     }
 
     #[test]
     fn snapshot_script_roundtrip() {
         let mut s = Session::new();
-        run(&mut s, "create src engine=dynamic dims=r:cat:a|b,x:int:0:15");
+        run(
+            &mut s,
+            "create src engine=dynamic dims=r:cat:a|b,x:int:0:15",
+        );
         run(&mut s, "add src a 3 10");
         run(&mut s, "add src a 3 20");
         run(&mut s, "add src b 15 7");
@@ -479,7 +550,10 @@ mod tests {
 
         s.replay_script("dst", &script).unwrap();
         assert_eq!(run(&mut s, "sum dst * *"), Output::Text("37".to_string()));
-        assert_eq!(run(&mut s, "cell dst a 3"), Output::Text("sum=30 count=2".to_string()));
+        assert_eq!(
+            run(&mut s, "cell dst a 3"),
+            Output::Text("sum=30 count=2".to_string())
+        );
     }
 
     #[test]
@@ -522,9 +596,15 @@ mod tests {
         .unwrap();
 
         let mut s = Session::new();
-        run(&mut s, "create sales engine=dynamic dims=region:cat:north|south,day:int:1:31");
+        run(
+            &mut s,
+            "create sales engine=dynamic dims=region:cat:north|south,day:int:1:31",
+        );
         let out = run(&mut s, &format!("ingest sales {}", csv.display()));
-        assert_eq!(out, Output::Text("ingested 4 records into 'sales'".to_string()));
+        assert_eq!(
+            out,
+            Output::Text("ingested 4 records into 'sales'".to_string())
+        );
 
         let Output::Text(g) = run(&mut s, "groupby sales region * *") else {
             panic!("expected text");
@@ -544,7 +624,10 @@ mod tests {
     #[test]
     fn explain_prints_a_plan() {
         let mut s = Session::new();
-        run(&mut s, "create c engine=dynamic dims=age:int:0:99,day:int:1:365");
+        run(
+            &mut s,
+            "create c engine=dynamic dims=age:int:0:99,day:int:1:365",
+        );
         let Output::Text(plan) = run(&mut s, "explain c 27..45 341..365") else {
             panic!("expected plan text");
         };
@@ -556,7 +639,10 @@ mod tests {
     #[test]
     fn sql_queries_through_the_shell() {
         let mut s = Session::new();
-        run(&mut s, "create sales engine=dynamic dims=age:int:0:99,region:cat:north|south");
+        run(
+            &mut s,
+            "create sales engine=dynamic dims=age:int:0:99,region:cat:north|south",
+        );
         run(&mut s, "add sales 30 north 100");
         run(&mut s, "add sales 45 south 250");
         run(&mut s, "add sales 27 north 130");
@@ -584,6 +670,54 @@ mod tests {
         run(&mut s, "create c engine=naive dims=x:int:0:9");
         assert!(s.execute_line("groupby c nope *").is_err());
         assert!(s.execute_line("rolling c x 0 *").is_err());
+    }
+
+    #[test]
+    fn sharded_engine_in_the_shell() {
+        let mut s = Session::new();
+        run(
+            &mut s,
+            "create sales engine=sharded4 dims=age:int:0:99,day:int:1:365",
+        );
+        run(&mut s, "add sales 37 220 120");
+        run(&mut s, "add sales 37 220 80");
+        run(&mut s, "add sales 45 350 300");
+        assert_eq!(
+            run(&mut s, "sum sales 37 220"),
+            Output::Text("200".to_string())
+        );
+        assert_eq!(
+            run(&mut s, "count sales * *"),
+            Output::Text("3".to_string())
+        );
+
+        let Output::Text(stats) = run(&mut s, "stats sales") else {
+            panic!("expected stats text");
+        };
+        assert!(stats.contains("sharded-ddc"), "{stats}");
+
+        let Output::Text(m) = run(&mut s, "metrics sales") else {
+            panic!("expected metrics text");
+        };
+        assert!(m.contains("shard"), "{m}");
+        assert!(
+            m.lines().count() >= 5,
+            "one header plus four shard rows: {m}"
+        );
+
+        // Default shard count and the non-sharded fallback message.
+        run(&mut s, "create plain engine=sharded dims=x:int:0:9");
+        run(&mut s, "create d engine=dynamic dims=x:int:0:9");
+        let Output::Text(none) = run(&mut s, "metrics d") else {
+            panic!("expected fallback text");
+        };
+        assert!(none.contains("no extra metrics"), "{none}");
+        assert!(s
+            .execute_line("create bad engine=sharded0 dims=x:int:0:9")
+            .is_err());
+        assert!(s
+            .execute_line("create bad engine=shardedx dims=x:int:0:9")
+            .is_err());
     }
 
     #[test]

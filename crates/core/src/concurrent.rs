@@ -13,10 +13,9 @@
 //! the write lock in the microsecond range (see the
 //! `shared_cube_throughput` test).
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use ddc_array::{AbelianGroup, Region, Shape};
-use parking_lot::RwLock;
 
 use crate::config::DdcConfig;
 use crate::engine::DdcEngine;
@@ -31,66 +30,84 @@ pub struct SharedCube<G: AbelianGroup> {
 
 impl<G: AbelianGroup> Clone for SharedCube<G> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<G: AbelianGroup> SharedCube<G> {
     /// An all-zero shared cube.
     pub fn new(shape: Shape, config: DdcConfig) -> Self {
-        Self { inner: Arc::new(RwLock::new(DdcEngine::with_config(shape, config))) }
+        Self {
+            inner: Arc::new(RwLock::new(DdcEngine::with_config(shape, config))),
+        }
     }
 
     /// Wraps an existing engine.
     pub fn from_engine(engine: DdcEngine<G>) -> Self {
-        Self { inner: Arc::new(RwLock::new(engine)) }
+        Self {
+            inner: Arc::new(RwLock::new(engine)),
+        }
     }
 
     /// Range sum under the shared (read) lock.
     pub fn range_sum(&self, region: &Region) -> G {
-        self.inner.read().range_sum(region)
+        self.inner
+            .read()
+            .expect("cube lock poisoned")
+            .range_sum(region)
     }
 
     /// Prefix sum under the shared (read) lock.
     pub fn prefix_sum(&self, point: &[usize]) -> G {
-        self.inner.read().prefix_sum(point)
+        self.inner
+            .read()
+            .expect("cube lock poisoned")
+            .prefix_sum(point)
     }
 
     /// One cell under the shared (read) lock.
     pub fn cell(&self, point: &[usize]) -> G {
-        self.inner.read().cell(point)
+        self.inner.read().expect("cube lock poisoned").cell(point)
     }
 
     /// Applies one delta under the exclusive (write) lock.
     pub fn apply_delta(&self, point: &[usize], delta: G) {
-        self.inner.write().apply_delta(point, delta);
+        self.inner
+            .write()
+            .expect("cube lock poisoned")
+            .apply_delta(point, delta);
     }
 
     /// Applies a batch under one exclusive lock acquisition.
     pub fn apply_batch(&self, updates: &[(Vec<usize>, G)]) {
-        self.inner.write().apply_batch(updates);
+        self.inner
+            .write()
+            .expect("cube lock poisoned")
+            .apply_batch(updates);
     }
 
     /// Snapshot of populated cells (read lock held for the walk).
     pub fn entries(&self) -> Vec<(Vec<usize>, G)> {
-        self.inner.read().entries()
+        self.inner.read().expect("cube lock poisoned").entries()
     }
 
     /// Heap bytes of the underlying structure.
     pub fn heap_bytes(&self) -> usize {
-        self.inner.read().heap_bytes()
+        self.inner.read().expect("cube lock poisoned").heap_bytes()
     }
 
     /// Runs `f` with the engine under the read lock (compound queries
     /// against one consistent version).
     pub fn with_read<R>(&self, f: impl FnOnce(&DdcEngine<G>) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner.read().expect("cube lock poisoned"))
     }
 
     /// Runs `f` with the engine under the write lock (compound updates
     /// applied atomically with respect to readers).
     pub fn with_write<R>(&self, f: impl FnOnce(&mut DdcEngine<G>) -> R) -> R {
-        f(&mut self.inner.write())
+        f(&mut self.inner.write().expect("cube lock poisoned"))
     }
 }
 
@@ -159,8 +176,7 @@ mod tests {
     #[test]
     fn batch_takes_one_lock() {
         let cube = SharedCube::<i64>::new(Shape::cube(2, 8), DdcConfig::dynamic());
-        let updates: Vec<(Vec<usize>, i64)> =
-            (0..8).map(|i| (vec![i, i], i as i64)).collect();
+        let updates: Vec<(Vec<usize>, i64)> = (0..8).map(|i| (vec![i, i], i as i64)).collect();
         cube.apply_batch(&updates);
         assert_eq!(cube.prefix_sum(&[7, 7]), (0..8).sum::<i64>());
         assert_eq!(cube.entries().len(), 7); // cell (0,0) holds 0

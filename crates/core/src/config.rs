@@ -56,7 +56,9 @@ impl Default for DdcConfig {
     fn default() -> Self {
         Self {
             mode: Mode::Dynamic,
-            base: BaseStore::Bc { fanout: DEFAULT_FANOUT },
+            base: BaseStore::Bc {
+                fanout: DEFAULT_FANOUT,
+            },
             elide_levels: 0,
         }
     }
@@ -70,12 +72,18 @@ impl DdcConfig {
 
     /// The Basic Dynamic Data Cube of §3.
     pub fn basic() -> Self {
-        Self { mode: Mode::Basic, ..Self::default() }
+        Self {
+            mode: Mode::Basic,
+            ..Self::default()
+        }
     }
 
     /// A sparse-friendly dynamic configuration (lazy base stores).
     pub fn sparse() -> Self {
-        Self { base: BaseStore::SparseSeg, ..Self::default() }
+        Self {
+            base: BaseStore::SparseSeg,
+            ..Self::default()
+        }
     }
 
     /// Sets the §4.4 level-elision parameter `h`.
@@ -109,7 +117,12 @@ mod tests {
     fn defaults_are_the_paper_structure() {
         let c = DdcConfig::default();
         assert_eq!(c.mode, Mode::Dynamic);
-        assert_eq!(c.base, BaseStore::Bc { fanout: DEFAULT_FANOUT });
+        assert_eq!(
+            c.base,
+            BaseStore::Bc {
+                fanout: DEFAULT_FANOUT
+            }
+        );
         assert_eq!(c.elide_levels, 0);
         assert_eq!(c.leaf_block_side(), 2);
     }

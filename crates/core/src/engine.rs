@@ -76,7 +76,10 @@ impl<G: AbelianGroup> DdcEngine<G> {
             .expect("non-empty shape")
             .next_power_of_two();
         let tree = DdcTree::from_array_sized(a, side, config);
-        Self { shape: a.shape().clone(), tree }
+        Self {
+            shape: a.shape().clone(),
+            tree,
+        }
     }
 
     /// Builds from an array by per-cell incremental updates — the same
@@ -125,17 +128,14 @@ impl<G: AbelianGroup> DdcEngine<G> {
     /// with [`DdcEngine::from_entries`].
     pub fn entries(&self) -> Vec<(Vec<usize>, G)> {
         let mut out = Vec::new();
-        self.tree.for_each_nonzero(&mut |p, v| out.push((p.to_vec(), v)));
+        self.tree
+            .for_each_nonzero(&mut |p, v| out.push((p.to_vec(), v)));
         out
     }
 
     /// Rebuilds a cube from a sparse snapshot produced by
     /// [`DdcEngine::entries`] (or any coordinate/value list).
-    pub fn from_entries(
-        shape: Shape,
-        config: DdcConfig,
-        entries: &[(Vec<usize>, G)],
-    ) -> Self {
+    pub fn from_entries(shape: Shape, config: DdcConfig, entries: &[(Vec<usize>, G)]) -> Self {
         let mut e = Self::with_config(shape, config);
         for (p, v) in entries {
             if !v.is_zero() {
@@ -206,7 +206,7 @@ mod tests {
         a.set(&[4, 4], 16); // U = [4,6)²: subtotal 16
         a.set(&[6, 6], 7); //  L leaf box, fully covered: 7
         a.set(&[7, 6], 5); //  N leaf box covering the target cell: 5
-        // Decoys outside the target region must not count.
+                           // Decoys outside the target region must not count.
         a.set(&[3, 7], 8); //  R's excluded column
         a.set(&[6, 7], 2); //  M leaf box
         a.set(&[7, 7], 9); //  O leaf box
@@ -259,8 +259,11 @@ mod tests {
 
         // Boxes are visited in index order (dimension-0 high bit first),
         // so S appears before R; the component multiset is the figure's.
-        let values: Vec<i64> =
-            steps.iter().filter(|s| s.value != 0).map(|s| s.value).collect();
+        let values: Vec<i64> = steps
+            .iter()
+            .filter(|s| s.value != 0)
+            .map(|s| s.value)
+            .collect();
         assert_eq!(values, vec![51, 24, 48, 16, 12]);
         let total: i64 = steps.iter().map(|s| s.value).sum();
         assert_eq!(total, 151);

@@ -19,7 +19,9 @@ pub(crate) struct FlatFace<G: AbelianGroup> {
 impl<G: AbelianGroup> FlatFace<G> {
     /// An all-zero face of the given shape.
     pub(crate) fn zeroed(shape: Shape) -> Self {
-        Self { cum: NdArray::zeroed(shape) }
+        Self {
+            cum: NdArray::zeroed(shape),
+        }
     }
 
     /// Cumulative row-sum value at `idx` — one read (§3 query path).
@@ -96,7 +98,12 @@ mod tests {
         let c = OpCounter::new();
         let mut f = FlatFace::<i64>::zeroed(Shape::new(&[4, 4]));
         let mut raw = NdArray::<i64>::zeroed(Shape::new(&[4, 4]));
-        let updates = [([0usize, 0usize], 5i64), ([3, 3], 2), ([1, 2], -7), ([0, 3], 4)];
+        let updates = [
+            ([0usize, 0usize], 5i64),
+            ([3, 3], 2),
+            ([1, 2], -7),
+            ([0, 3], 4),
+        ];
         for (p, v) in updates {
             f.add(&p, v, &c);
             raw.add_assign(&p, v);

@@ -89,11 +89,20 @@ impl<G: AbelianGroup> GrowableCube<G> {
             // One doubling step: dimensions that need to reach below the
             // origin grow low; everything else grows high.
             let needs = self.map.growth_needed(logical);
-            let low: Vec<bool> =
-                needs.iter().map(|n| matches!(n, Some(GrowthDirection::Low))).collect();
+            let low: Vec<bool> = needs
+                .iter()
+                .map(|n| matches!(n, Some(GrowthDirection::Low)))
+                .collect();
             self.tree.grow(&low);
             for (axis, &l) in low.iter().enumerate() {
-                self.map.grow(axis, if l { GrowthDirection::Low } else { GrowthDirection::High });
+                self.map.grow(
+                    axis,
+                    if l {
+                        GrowthDirection::Low
+                    } else {
+                        GrowthDirection::High
+                    },
+                );
             }
         }
     }
@@ -154,7 +163,11 @@ impl<G: AbelianGroup> GrowableCube<G> {
         let mut acc = G::ZERO;
         for term in region.prefix_decomposition() {
             let v = self.tree.prefix_sum(&term.corner);
-            acc = if term.sign > 0 { acc.add(v) } else { acc.sub(v) };
+            acc = if term.sign > 0 {
+                acc.add(v)
+            } else {
+                acc.sub(v)
+            };
         }
         acc
     }
@@ -226,7 +239,9 @@ mod tests {
         cells
             .iter()
             .filter(|(p, _)| {
-                p.iter().zip(lo.iter().zip(hi.iter())).all(|(&c, (&l, &h))| l <= c && c <= h)
+                p.iter()
+                    .zip(lo.iter().zip(hi.iter()))
+                    .all(|(&c, (&l, &h))| l <= c && c <= h)
             })
             .map(|(_, &v)| v)
             .sum()
@@ -267,7 +282,7 @@ mod tests {
         assert_eq!(cube.set(&[-100], 9), 0);
         assert_eq!(cube.set(&[0], 6), 4);
         assert_eq!(cube.total(), 15);
-        assert_eq!(cube.range_sum(&[-100, ], &[-100]), 9);
+        assert_eq!(cube.range_sum(&[-100,], &[-100]), 9);
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod flat_face;
 mod growth;
 mod persist;
 mod secondary;
+mod shard;
 mod tree;
 
 pub use concurrent::SharedCube;
@@ -30,4 +31,5 @@ pub use config::{BaseStore, DdcConfig, Mode};
 pub use engine::DdcEngine;
 pub use growth::GrowableCube;
 pub use persist::ValueCodec;
+pub use shard::{MetricsSnapshot, ShardConfig, ShardedCube};
 pub use tree::{Contribution, DdcTree, LevelStats, TraceStep, TreeStats};

@@ -73,7 +73,10 @@ impl<A: ValueCodec, B: ValueCodec> ValueCodec for Pair<A, B> {
     }
 
     fn decode(input: &mut impl Read) -> io::Result<Self> {
-        Ok(Pair { a: A::decode(input)?, b: B::decode(input)? })
+        Ok(Pair {
+            a: A::decode(input)?,
+            b: B::decode(input)?,
+        })
     }
 }
 
@@ -266,8 +269,7 @@ mod tests {
         let mut buf = Vec::new();
         e.save(&mut buf).unwrap();
         let restored =
-            DdcEngine::<Pair<i64, i64>>::load(&mut buf.as_slice(), DdcConfig::dynamic())
-                .unwrap();
+            DdcEngine::<Pair<i64, i64>>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap();
         assert_eq!(restored.cell(&[2]), Pair::new(10, 1));
     }
 

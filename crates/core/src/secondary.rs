@@ -44,9 +44,7 @@ impl<G: AbelianGroup> Secondary<G> {
     fn materialize(face_dims: usize, k: usize, config: &DdcConfig) -> Self {
         debug_assert!(face_dims >= 1);
         match config.mode {
-            Mode::Basic => {
-                Secondary::Flat(FlatFace::zeroed(ddc_array::Shape::cube(face_dims, k)))
-            }
+            Mode::Basic => Secondary::Flat(FlatFace::zeroed(ddc_array::Shape::cube(face_dims, k))),
             Mode::Dynamic => {
                 if face_dims == 1 {
                     match config.base {
@@ -80,9 +78,7 @@ impl<G: AbelianGroup> Secondary<G> {
                         BaseStore::Bc { fanout } => {
                             Secondary::Bc(BcTree::from_values(fanout, raw.as_slice()))
                         }
-                        BaseStore::Fenwick => {
-                            Secondary::Fen(Fenwick::from_values(raw.as_slice()))
-                        }
+                        BaseStore::Fenwick => Secondary::Fen(Fenwick::from_values(raw.as_slice())),
                         BaseStore::SparseSeg => {
                             Secondary::Seg(SparseSegTree::from_values(raw.as_slice()))
                         }
@@ -189,7 +185,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_base_stores_agree() {
-        for base in [BaseStore::Bc { fanout: 3 }, BaseStore::Fenwick, BaseStore::SparseSeg] {
+        for base in [
+            BaseStore::Bc { fanout: 3 },
+            BaseStore::Fenwick,
+            BaseStore::SparseSeg,
+        ] {
             let config = DdcConfig::dynamic().with_base(base);
             let c = OpCounter::new();
             let mut s = Secondary::<i64>::Empty;

@@ -1,0 +1,781 @@
+//! A sharded concurrent cube: dimension-0 partitioning with write batching.
+//!
+//! [`SharedCube`](crate::SharedCube) serializes every operation behind one
+//! `RwLock`, so aggregate read throughput stops scaling as soon as a
+//! writer stalls the lock. [`ShardedCube`] removes that single choke
+//! point:
+//!
+//! * The cube is split along **dimension 0** into `S` contiguous slabs,
+//!   each backed by its own independently locked [`DdcEngine`].
+//! * Point updates route to the owning shard's **write-batch queue**.
+//!   Queued deltas are coalesced per cell (sound because
+//!   [`AbelianGroup`] addition commutes) and applied under a *single*
+//!   exclusive acquisition — group commit.
+//! * Prefix/range queries decompose into the ≤ `2^d` Figure-4 prefix
+//!   terms and fan out across the shards whose slab intersects the
+//!   query, optionally on [`std::thread::scope`], combining the partial
+//!   sums with the group operation.
+//!
+//! ## Consistency
+//!
+//! Each shard is linearizable: a query reads *through* the shard's queue
+//! — engine value plus the contribution of the still-queued deltas — so
+//! a thread always reads its own writes and a single-threaded caller
+//! observes exactly the semantics of an unsharded engine (the
+//! `sharded_cube` differential test replays a trace and demands
+//! bit-identical answers). Readers never take the exclusive engine lock;
+//! only group commits do. Across shards there is no global snapshot —
+//! concurrent multi-shard queries may observe one shard before and
+//! another after a concurrent update, the usual trade of sharded stores.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+use ddc_array::{AbelianGroup, OpCounter, OpSnapshot, RangeSumEngine, Region, Shape};
+
+use crate::config::DdcConfig;
+use crate::engine::DdcEngine;
+
+/// Tuning knobs for a [`ShardedCube`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Requested shard count. Clamped to `1..=n_0` (a slab needs at
+    /// least one row of dimension 0).
+    pub shards: usize,
+    /// Queue length that triggers a group commit. `1` degenerates to
+    /// write-through locking.
+    pub batch_capacity: usize,
+    /// Fan queries out on `std::thread::scope` instead of visiting
+    /// shards sequentially. Worth it for expensive per-shard work
+    /// (large `d`, cold caches); for microsecond queries the spawn cost
+    /// dominates, so this defaults to off.
+    pub parallel_queries: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            batch_capacity: 128,
+            parallel_queries: false,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// `shards` shards with default batching.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// Point-in-time metrics for one shard (the S3 relaxed-atomic op
+/// counters, extended per shard).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Shard index in `0..S`.
+    pub shard: usize,
+    /// First dimension-0 row owned by the shard.
+    pub rows_lo: usize,
+    /// One past the last dimension-0 row owned by the shard.
+    pub rows_hi: usize,
+    /// Deltas pushed onto the write queue.
+    pub ops_enqueued: u64,
+    /// Deltas applied to the engine (equals enqueued after a flush).
+    pub ops_applied: u64,
+    /// Group commits performed.
+    pub batches_flushed: u64,
+    /// Queries answered (partial prefix sums served by this shard).
+    pub queries: u64,
+    /// Estimated nanoseconds the exclusive engine lock was held for
+    /// flushes — the contention budget readers compete against.
+    pub lock_hold_nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardMetrics {
+    ops_enqueued: AtomicU64,
+    ops_applied: AtomicU64,
+    batches_flushed: AtomicU64,
+    queries: AtomicU64,
+    lock_hold_nanos: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shard<G: AbelianGroup> {
+    /// Owned dimension-0 rows: `rows_lo..rows_hi` of the logical cube.
+    rows_lo: usize,
+    rows_hi: usize,
+    engine: RwLock<DdcEngine<G>>,
+    /// Pending deltas in *local* coordinates. Lock order: `queue` before
+    /// `engine` — flushes hold the queue while applying so a concurrent
+    /// reader that drains the queue cannot miss deltas enqueued behind it.
+    queue: Mutex<Vec<(Vec<usize>, G)>>,
+    /// Fast-path mirror of the queue length so readers skip the mutex
+    /// when nothing is pending.
+    pending: AtomicUsize,
+    metrics: ShardMetrics,
+    /// Engine-counter totals already absorbed into the facade counter.
+    seen_reads: AtomicU64,
+    seen_writes: AtomicU64,
+}
+
+/// A concurrent cube sharded along dimension 0 with per-shard write
+/// batching. See the [module docs](self) for the protocol.
+///
+/// # Examples
+///
+/// ```
+/// use ddc_array::{RangeSumEngine, Region, Shape};
+/// use ddc_core::{DdcConfig, ShardConfig, ShardedCube};
+///
+/// let cube = ShardedCube::<i64>::new(
+///     Shape::new(&[64, 64]),
+///     DdcConfig::dynamic(),
+///     ShardConfig::with_shards(4),
+/// );
+/// cube.update(&[3, 5], 7);
+/// cube.update(&[60, 9], 2);
+/// assert_eq!(cube.query(&Region::new(&[0, 0], &[63, 63])), 9);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCube<G: AbelianGroup> {
+    shape: Shape,
+    shard_config: ShardConfig,
+    shards: Vec<Shard<G>>,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> ShardedCube<G> {
+    /// An all-zero sharded cube. The shard count is clamped to the
+    /// number of dimension-0 rows.
+    pub fn new(shape: Shape, config: DdcConfig, shard_config: ShardConfig) -> Self {
+        let n0 = shape.dim(0);
+        let s = shard_config.shards.clamp(1, n0);
+        let shards = (0..s)
+            .map(|i| {
+                let rows_lo = i * n0 / s;
+                let rows_hi = (i + 1) * n0 / s;
+                let mut dims = shape.dims().to_vec();
+                dims[0] = rows_hi - rows_lo;
+                Shard {
+                    rows_lo,
+                    rows_hi,
+                    engine: RwLock::new(DdcEngine::with_config(Shape::new(&dims), config)),
+                    queue: Mutex::new(Vec::new()),
+                    pending: AtomicUsize::new(0),
+                    metrics: ShardMetrics::default(),
+                    seen_reads: AtomicU64::new(0),
+                    seen_writes: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Self {
+            shape,
+            shard_config,
+            shards,
+            counter: OpCounter::new(),
+        }
+    }
+
+    /// Number of shards actually in use (after clamping).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard configuration in effect.
+    pub fn shard_config(&self) -> ShardConfig {
+        self.shard_config
+    }
+
+    /// The shard owning dimension-0 row `row`.
+    fn owner(&self, row: usize) -> &Shard<G> {
+        debug_assert!(row < self.shape.dim(0), "row {row} out of bounds");
+        // Slab cuts are i·n0/S, so the inverse is (row·S)/n0 — possibly
+        // one off under integer division; fix up locally.
+        let n0 = self.shape.dim(0);
+        let s = self.shards.len();
+        let mut i = (row * s / n0).min(s - 1);
+        while row < self.shards[i].rows_lo {
+            i -= 1;
+        }
+        while row >= self.shards[i].rows_hi {
+            i += 1;
+        }
+        &self.shards[i]
+    }
+
+    /// Adds `delta` at `point`: routed to the owning shard's queue, with
+    /// a group commit once the queue reaches `batch_capacity`.
+    pub fn update(&self, point: &[usize], delta: G) {
+        self.shape.check_point(point);
+        let shard = self.owner(point[0]);
+        let mut local = point.to_vec();
+        local[0] -= shard.rows_lo;
+        let mut queue = shard.queue.lock().expect("queue poisoned");
+        queue.push((local, delta));
+        shard.metrics.ops_enqueued.fetch_add(1, Ordering::Relaxed);
+        if queue.len() >= self.shard_config.batch_capacity.max(1) {
+            Self::flush_queue(shard, queue);
+        } else {
+            shard.pending.store(queue.len(), Ordering::Release);
+        }
+    }
+
+    /// Applies a batch of updates, locking each touched shard's queue
+    /// once.
+    pub fn update_batch(&self, updates: &[(Vec<usize>, G)]) {
+        let mut by_shard: HashMap<usize, Vec<(Vec<usize>, G)>> = HashMap::new();
+        for (point, delta) in updates {
+            self.shape.check_point(point);
+            let shard = self.owner(point[0]);
+            let idx = shard.rows_lo; // unique per shard; used as key
+            let mut local = point.clone();
+            local[0] -= shard.rows_lo;
+            by_shard.entry(idx).or_default().push((local, *delta));
+        }
+        for shard in &self.shards {
+            if let Some(mut batch) = by_shard.remove(&shard.rows_lo) {
+                let mut queue = shard.queue.lock().expect("queue poisoned");
+                shard
+                    .metrics
+                    .ops_enqueued
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                queue.append(&mut batch);
+                if queue.len() >= self.shard_config.batch_capacity.max(1) {
+                    Self::flush_queue(shard, queue);
+                } else {
+                    shard.pending.store(queue.len(), Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Group commit: coalesce the queued deltas per cell and apply them
+    /// under one exclusive engine acquisition. Called with the queue
+    /// lock held so no concurrent enqueue can slip between drain and
+    /// apply.
+    fn flush_queue(shard: &Shard<G>, mut queue: MutexGuard<'_, Vec<(Vec<usize>, G)>>) {
+        if queue.is_empty() {
+            return;
+        }
+        let raw = queue.len();
+        let mut coalesced: HashMap<Vec<usize>, G> = HashMap::with_capacity(raw);
+        for (point, delta) in queue.drain(..) {
+            let slot = coalesced.entry(point).or_insert(G::ZERO);
+            *slot = slot.add(delta);
+        }
+        let batch: Vec<(Vec<usize>, G)> = coalesced
+            .into_iter()
+            .filter(|(_, d)| !d.is_zero())
+            .collect();
+        let held = Instant::now();
+        if !batch.is_empty() {
+            let mut engine = shard.engine.write().expect("engine poisoned");
+            engine.apply_batch(&batch);
+        }
+        // Cleared only after the apply: a reader that saw `pending == 0`
+        // on its fast path must find every drained delta already in the
+        // engine.
+        shard.pending.store(0, Ordering::Release);
+        shard
+            .metrics
+            .lock_hold_nanos
+            .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shard
+            .metrics
+            .ops_applied
+            .fetch_add(raw as u64, Ordering::Relaxed);
+        shard
+            .metrics
+            .batches_flushed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains a shard's queue if anything is pending (reader-side
+    /// visibility barrier).
+    fn flush_shard(&self, shard: &Shard<G>) {
+        if shard.pending.load(Ordering::Acquire) > 0 {
+            Self::flush_queue(shard, shard.queue.lock().expect("queue poisoned"));
+        }
+    }
+
+    /// Forces a group commit on every shard (e.g. before `entries`, or
+    /// to bound queue staleness from a maintenance thread).
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Sum of queued deltas whose local point is dominated by `corner`
+    /// (their contribution to the local prefix sum at `corner`).
+    fn queued_prefix(queue: &[(Vec<usize>, G)], corner: &[usize]) -> G {
+        let mut acc = G::ZERO;
+        for (p, d) in queue {
+            if p.iter().zip(corner).all(|(a, b)| a <= b) {
+                acc = acc.add(*d);
+            }
+        }
+        acc
+    }
+
+    /// Runs `read` against the shard's engine, reading *through* the
+    /// write queue: the result of `read` plus `queued(queue)` for the
+    /// still-unapplied deltas. The queue mutex is held only until the
+    /// engine read lock is acquired — the same queue→engine order a
+    /// group commit uses — so a concurrent flush can neither apply a
+    /// delta we already counted nor sneak one past us.
+    fn read_through(
+        shard: &Shard<G>,
+        queued: impl FnOnce(&[(Vec<usize>, G)]) -> G,
+        read: impl FnOnce(&DdcEngine<G>) -> G,
+    ) -> G {
+        if shard.pending.load(Ordering::Acquire) > 0 {
+            let queue = shard.queue.lock().expect("queue poisoned");
+            let pending = queued(&queue);
+            let engine = shard.engine.read().expect("engine poisoned");
+            drop(queue);
+            read(&engine).add(pending)
+        } else {
+            read(&shard.engine.read().expect("engine poisoned"))
+        }
+    }
+
+    /// The shard's partial prefix sum for the global corner `point`,
+    /// or `None` when the slab lies entirely above `point`.
+    fn shard_prefix(&self, shard: &Shard<G>, point: &[usize]) -> Option<G> {
+        if point[0] < shard.rows_lo {
+            return None;
+        }
+        let mut local = point.to_vec();
+        local[0] = point[0].min(shard.rows_hi - 1) - shard.rows_lo;
+        shard.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        Some(Self::read_through(
+            shard,
+            |queue| Self::queued_prefix(queue, &local),
+            |engine| engine.prefix_sum(&local),
+        ))
+    }
+
+    /// The shard's signed contribution to all Figure-4 terms of one
+    /// range query, under a single read acquisition.
+    fn shard_terms(&self, shard: &Shard<G>, terms: &[(i8, Vec<usize>)]) -> G {
+        // Clamp each contributing term into the slab first: terms that
+        // clamp to the same local corner with opposite signs cancel, so
+        // a slab entirely below the query's dimension-0 range nets to
+        // zero and is skipped without touching a single lock.
+        let mut mine: Vec<(i32, Vec<usize>)> = Vec::with_capacity(terms.len());
+        for (sign, corner) in terms {
+            if corner[0] < shard.rows_lo {
+                continue;
+            }
+            let mut local = corner.clone();
+            local[0] = corner[0].min(shard.rows_hi - 1) - shard.rows_lo;
+            match mine.iter_mut().find(|(_, c)| *c == local) {
+                Some((s, _)) => *s += i32::from(*sign),
+                None => mine.push((i32::from(*sign), local)),
+            }
+        }
+        mine.retain(|(s, _)| *s != 0);
+        if mine.is_empty() {
+            return G::ZERO;
+        }
+        // Only a +/- pair can collapse (the pair differs solely in its
+        // dimension-0 coordinate), so surviving signs are unit.
+        debug_assert!(mine.iter().all(|(s, _)| s.abs() == 1));
+        shard
+            .metrics
+            .queries
+            .fetch_add(mine.len() as u64, Ordering::Relaxed);
+        Self::read_through(
+            shard,
+            |queue| {
+                mine.iter().fold(G::ZERO, |acc, (sign, local)| {
+                    let p = Self::queued_prefix(queue, local);
+                    if *sign > 0 {
+                        acc.add(p)
+                    } else {
+                        acc.sub(p)
+                    }
+                })
+            },
+            |engine| {
+                mine.iter().fold(G::ZERO, |acc, (sign, local)| {
+                    let p = engine.prefix_sum(local);
+                    if *sign > 0 {
+                        acc.add(p)
+                    } else {
+                        acc.sub(p)
+                    }
+                })
+            },
+        )
+    }
+
+    /// `SUM(A[0,…,0] : A[point])`, fanned across the contributing shards.
+    pub fn query_prefix(&self, point: &[usize]) -> G {
+        self.shape.check_point(point);
+        if self.shard_config.parallel_queries && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || self.shard_prefix(shard, point)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().expect("shard reader panicked"))
+                    .fold(G::ZERO, |acc, p| acc.add(p))
+            })
+        } else {
+            self.shards
+                .iter()
+                .filter_map(|shard| self.shard_prefix(shard, point))
+                .fold(G::ZERO, |acc, p| acc.add(p))
+        }
+    }
+
+    /// Sum over `region`: the ≤ `2^d` Figure-4 prefix terms, each term
+    /// split across the shards it intersects.
+    pub fn query(&self, region: &Region) -> G {
+        region.check_within(&self.shape);
+        let terms: Vec<(i8, Vec<usize>)> = region
+            .prefix_decomposition()
+            .into_iter()
+            .map(|t| (t.sign, t.corner))
+            .collect();
+        if self.shard_config.parallel_queries && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(|| self.shard_terms(shard, &terms)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard reader panicked"))
+                    .fold(G::ZERO, |acc, p| acc.add(p))
+            })
+        } else {
+            self.shards
+                .iter()
+                .map(|shard| self.shard_terms(shard, &terms))
+                .fold(G::ZERO, |acc, p| acc.add(p))
+        }
+    }
+
+    /// One cell's value: served entirely by the owning shard.
+    pub fn cell_value(&self, point: &[usize]) -> G {
+        self.shape.check_point(point);
+        let shard = self.owner(point[0]);
+        let mut local = point.to_vec();
+        local[0] -= shard.rows_lo;
+        shard.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        Self::read_through(
+            shard,
+            |queue| {
+                queue
+                    .iter()
+                    .filter(|(p, _)| *p == local)
+                    .fold(G::ZERO, |acc, (_, d)| acc.add(*d))
+            },
+            |engine| engine.cell(&local),
+        )
+    }
+
+    /// Populated cells in global coordinates (flushes first).
+    pub fn entries(&self) -> Vec<(Vec<usize>, G)> {
+        self.flush();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let engine = shard.engine.read().expect("engine poisoned");
+            for (mut p, v) in engine.entries() {
+                p[0] += shard.rows_lo;
+                out.push((p, v));
+            }
+        }
+        out
+    }
+
+    /// Per-shard metrics, in shard order.
+    pub fn metrics(&self) -> Vec<MetricsSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| MetricsSnapshot {
+                shard: i,
+                rows_lo: shard.rows_lo,
+                rows_hi: shard.rows_hi,
+                ops_enqueued: shard.metrics.ops_enqueued.load(Ordering::Relaxed),
+                ops_applied: shard.metrics.ops_applied.load(Ordering::Relaxed),
+                batches_flushed: shard.metrics.batches_flushed.load(Ordering::Relaxed),
+                queries: shard.metrics.queries.load(Ordering::Relaxed),
+                lock_hold_nanos: shard.metrics.lock_hold_nanos.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Folds the shard engines' op counters into the facade counter,
+    /// tracking what was already absorbed so deltas are counted once.
+    fn sync_counter(&self) {
+        for shard in &self.shards {
+            let snap = shard.engine.read().expect("engine poisoned").ops();
+            let prev_r = shard.seen_reads.swap(snap.reads, Ordering::Relaxed);
+            let prev_w = shard.seen_writes.swap(snap.writes, Ordering::Relaxed);
+            self.counter.read(snap.reads.saturating_sub(prev_r));
+            self.counter.write(snap.writes.saturating_sub(prev_w));
+        }
+    }
+}
+
+impl<G: AbelianGroup> RangeSumEngine<G> for ShardedCube<G> {
+    fn name(&self) -> &'static str {
+        "sharded-ddc"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn prefix_sum(&self, point: &[usize]) -> G {
+        self.query_prefix(point)
+    }
+
+    fn apply_delta(&mut self, point: &[usize], delta: G) {
+        self.update(point, delta);
+    }
+
+    fn apply_batch(&mut self, updates: &[(Vec<usize>, G)]) {
+        self.update_batch(updates);
+    }
+
+    fn range_sum(&self, region: &Region) -> G {
+        self.query(region)
+    }
+
+    fn cell(&self, point: &[usize]) -> G {
+        self.cell_value(point)
+    }
+
+    fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    fn ops(&self) -> OpSnapshot {
+        self.sync_counter();
+        self.counter.snapshot()
+    }
+
+    fn reset_ops(&self) {
+        for shard in &self.shards {
+            shard.engine.read().expect("engine poisoned").reset_ops();
+            shard.seen_reads.store(0, Ordering::Relaxed);
+            shard.seen_writes.store(0, Ordering::Relaxed);
+        }
+        self.counter.reset();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard.engine.read().expect("engine poisoned").heap_bytes()
+                    + shard.queue.lock().expect("queue poisoned").capacity()
+                        * (std::mem::size_of::<(Vec<usize>, G)>()
+                            + self.shape.ndim() * std::mem::size_of::<usize>())
+            })
+            .sum()
+    }
+
+    fn metrics_text(&self) -> Option<String> {
+        let mut out =
+            String::from("shard  rows          enqueued   applied  batches   queries  lock-held\n");
+        for m in self.metrics() {
+            out.push_str(&format!(
+                "{:>5}  [{:>4},{:>4})  {:>8}  {:>8}  {:>7}  {:>8}  {:>7.3}ms\n",
+                m.shard,
+                m.rows_lo,
+                m.rows_hi,
+                m.ops_enqueued,
+                m.ops_applied,
+                m.batches_flushed,
+                m.queries,
+                m.lock_hold_nanos as f64 / 1e6,
+            ));
+        }
+        out.pop();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(shards: usize, batch: usize) -> ShardedCube<i64> {
+        ShardedCube::new(
+            Shape::new(&[32, 16]),
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards,
+                batch_capacity: batch,
+                parallel_queries: false,
+            },
+        )
+    }
+
+    #[test]
+    fn slabs_cover_dimension_zero_exactly() {
+        for (n0, s) in [(32usize, 4usize), (31, 4), (5, 8), (1, 3), (7, 7)] {
+            let c = ShardedCube::<i64>::new(
+                Shape::new(&[n0, 4]),
+                DdcConfig::dynamic(),
+                ShardConfig::with_shards(s),
+            );
+            assert_eq!(c.shard_count(), s.min(n0));
+            let mut next = 0;
+            for shard in &c.shards {
+                assert_eq!(shard.rows_lo, next);
+                assert!(shard.rows_hi > shard.rows_lo);
+                next = shard.rows_hi;
+            }
+            assert_eq!(next, n0);
+            for row in 0..n0 {
+                let o = c.owner(row);
+                assert!(o.rows_lo <= row && row < o.rows_hi);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_unsharded_engine_on_every_prefix() {
+        let mut plain = DdcEngine::<i64>::dynamic(Shape::new(&[32, 16]));
+        let c = cube(4, 8);
+        let pts: [([usize; 2], i64); 6] = [
+            ([0, 0], 3),
+            ([31, 15], 4),
+            ([7, 7], -2),
+            ([8, 0], 9),
+            ([16, 3], 1),
+            ([7, 7], 5),
+        ];
+        for (p, v) in pts {
+            plain.apply_delta(&p, v);
+            c.update(&p, v);
+        }
+        for p in Shape::new(&[32, 16]).iter_points() {
+            assert_eq!(c.query_prefix(&p), plain.prefix_sum(&p), "{p:?}");
+        }
+        let q = Region::new(&[5, 2], &[20, 11]);
+        assert_eq!(c.query(&q), plain.range_sum(&q));
+        assert_eq!(c.cell_value(&[7, 7]), 3);
+    }
+
+    #[test]
+    fn queue_batches_and_flushes_on_capacity() {
+        let c = cube(2, 4);
+        for i in 0..3 {
+            c.update(&[i, 0], 1);
+        }
+        // Below capacity: nothing applied yet.
+        let m = c.metrics();
+        assert_eq!(m.iter().map(|s| s.ops_enqueued).sum::<u64>(), 3);
+        assert_eq!(m.iter().map(|s| s.ops_applied).sum::<u64>(), 0);
+        c.update(&[3, 0], 1); // fourth hits capacity on shard 0
+        let m = c.metrics();
+        assert_eq!(m[0].ops_applied, 4);
+        assert_eq!(m[0].batches_flushed, 1);
+        // Queries read through the queues without forcing extra commits.
+        assert_eq!(c.query_prefix(&[31, 15]), 4);
+        let m = c.metrics();
+        assert_eq!(m.iter().map(|s| s.ops_applied).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn queries_see_queued_writes_immediately() {
+        let c = cube(4, 1_000_000); // capacity never reached
+        c.update(&[10, 10], 7);
+        assert_eq!(c.query_prefix(&[31, 15]), 7);
+        c.update(&[10, 10], -7);
+        assert_eq!(c.query(&Region::full(&Shape::new(&[32, 16]))), 0);
+    }
+
+    #[test]
+    fn coalescing_cancels_opposing_deltas() {
+        let c = cube(1, 1_000_000);
+        c.update(&[4, 4], 10);
+        c.update(&[4, 4], -10);
+        c.flush();
+        // Both raw ops count as applied, but the engine saw a no-op batch.
+        let m = c.metrics();
+        assert_eq!(m[0].ops_applied, 2);
+        assert_eq!(c.entries().len(), 0);
+    }
+
+    #[test]
+    fn parallel_queries_agree_with_sequential() {
+        let seq = cube(4, 4);
+        let par = ShardedCube::<i64>::new(
+            Shape::new(&[32, 16]),
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards: 4,
+                batch_capacity: 4,
+                parallel_queries: true,
+            },
+        );
+        for i in 0..32 {
+            seq.update(&[i, i % 16], i as i64);
+            par.update(&[i, i % 16], i as i64);
+        }
+        for p in [[0usize, 0usize], [31, 15], [15, 8], [16, 0]] {
+            assert_eq!(seq.query_prefix(&p), par.query_prefix(&p));
+        }
+        let q = Region::new(&[3, 1], &[29, 14]);
+        assert_eq!(seq.query(&q), par.query(&q));
+    }
+
+    #[test]
+    fn facade_counter_absorbs_shard_ops() {
+        let c = cube(4, 1);
+        assert_eq!(c.ops(), OpSnapshot::default());
+        for i in 0..16 {
+            c.update(&[i, 0], 1);
+        }
+        let after_writes = c.ops();
+        assert!(after_writes.writes > 0, "{after_writes:?}");
+        let _ = c.query_prefix(&[31, 15]);
+        let after_reads = c.ops();
+        assert!(after_reads.reads > after_writes.reads, "{after_reads:?}");
+        // Absorbing twice must not double-count.
+        let again = c.ops();
+        assert_eq!(again, after_reads);
+        c.reset_ops();
+        assert_eq!(c.ops(), OpSnapshot::default());
+    }
+
+    #[test]
+    fn metrics_text_is_one_row_per_shard() {
+        let c = cube(3, 2);
+        c.update(&[0, 0], 1);
+        let text = RangeSumEngine::metrics_text(&c).expect("sharded cube reports metrics");
+        assert_eq!(text.lines().count(), 1 + 3, "{text}");
+        assert!(text.contains("enqueued"), "{text}");
+    }
+
+    #[test]
+    fn trait_object_round_trip() {
+        let mut c: Box<dyn RangeSumEngine<i64>> = Box::new(cube(4, 8));
+        c.apply_delta(&[1, 2], 5);
+        assert_eq!(c.set(&[1, 2], 9), 5);
+        assert_eq!(c.cell(&[1, 2]), 9);
+        assert_eq!(c.range_sum(&Region::full(&Shape::new(&[32, 16]))), 9);
+        assert_eq!(c.name(), "sharded-ddc");
+    }
+}

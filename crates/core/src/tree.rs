@@ -49,7 +49,10 @@ pub(crate) struct OverlayBox<G: AbelianGroup> {
 impl<G: AbelianGroup> OverlayBox<G> {
     fn new(d: usize) -> Self {
         let faces: Vec<Secondary<G>> = (0..d).map(|_| Secondary::Empty).collect();
-        Self { subtotal: G::ZERO, faces: faces.into_boxed_slice() }
+        Self {
+            subtotal: G::ZERO,
+            faces: faces.into_boxed_slice(),
+        }
     }
 
     fn heap_bytes(&self) -> usize {
@@ -69,7 +72,9 @@ pub(crate) struct LeafBlock<G: AbelianGroup> {
 
 impl<G: AbelianGroup> LeafBlock<G> {
     fn zeroed(d: usize, side: usize) -> Self {
-        Self { cells: NdArray::zeroed(Shape::cube(d, side)) }
+        Self {
+            cells: NdArray::zeroed(Shape::cube(d, side)),
+        }
     }
 
     /// Sum of the block-local prefix region ending at `rel` — the "sum the
@@ -109,14 +114,16 @@ impl<G: AbelianGroup> Node<G> {
         let n = 1usize << d;
         let boxes: Vec<Option<OverlayBox<G>>> = (0..n).map(|_| None).collect();
         let children: Vec<Child<G>> = (0..n).map(|_| Child::Empty).collect();
-        Self { boxes: boxes.into_boxed_slice(), children: children.into_boxed_slice() }
+        Self {
+            boxes: boxes.into_boxed_slice(),
+            children: children.into_boxed_slice(),
+        }
     }
 
     fn heap_bytes(&self) -> usize {
         let mut bytes = std::mem::size_of::<Self>()
             + self.boxes.len()
-                * (std::mem::size_of::<Option<OverlayBox<G>>>()
-                    + std::mem::size_of::<Child<G>>());
+                * (std::mem::size_of::<Option<OverlayBox<G>>>() + std::mem::size_of::<Child<G>>());
         for b in self.boxes.iter().flatten() {
             bytes += b.heap_bytes();
         }
@@ -234,7 +241,13 @@ impl<G: AbelianGroup> DdcTree<G> {
     pub fn new(d: usize, side: usize, config: DdcConfig) -> Self {
         assert!(d >= 1, "dimensionality must be at least 1");
         assert!(side.is_power_of_two(), "side {side} must be a power of two");
-        Self { d, side, config, root: Child::Empty, counter: OpCounter::new() }
+        Self {
+            d,
+            side,
+            config,
+            root: Child::Empty,
+            counter: OpCounter::new(),
+        }
     }
 
     /// Bulk-builds a tree over `a` (padded with zeros up to `side`) in one
@@ -294,7 +307,11 @@ impl<G: AbelianGroup> DdcTree<G> {
                     block.cells.add_assign(&rel, v);
                 }
             }
-            return if any { Child::Leaf(block) } else { Child::Empty };
+            return if any {
+                Child::Leaf(block)
+            } else {
+                Child::Empty
+            };
         }
 
         let k = side / 2;
@@ -305,8 +322,7 @@ impl<G: AbelianGroup> DdcTree<G> {
             for i in 0..d {
                 box_lo[i] = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
             }
-            if let Some((obox, child)) = Self::build_box(a, k, &box_lo, leaf_side, config, d)
-            {
+            if let Some((obox, child)) = Self::build_box(a, k, &box_lo, leaf_side, config, d) {
                 any_box = true;
                 node.boxes[bi] = Some(obox);
                 node.children[bi] = child;
@@ -342,7 +358,9 @@ impl<G: AbelianGroup> DdcTree<G> {
         let mut subtotal = G::ZERO;
         let mut any = false;
         let mut raws: Vec<NdArray<G>> = if d >= 2 {
-            (0..d).map(|_| NdArray::zeroed(Shape::cube(d - 1, k))).collect()
+            (0..d)
+                .map(|_| NdArray::zeroed(Shape::cube(d - 1, k)))
+                .collect()
         } else {
             Vec::new()
         };
@@ -370,9 +388,14 @@ impl<G: AbelianGroup> DdcTree<G> {
         if !any {
             return None;
         }
-        let faces: Vec<Secondary<G>> =
-            raws.iter().map(|raw| Secondary::build_from_raw(raw, config)).collect();
-        let obox = OverlayBox { subtotal, faces: faces.into_boxed_slice() };
+        let faces: Vec<Secondary<G>> = raws
+            .iter()
+            .map(|raw| Secondary::build_from_raw(raw, config))
+            .collect();
+        let obox = OverlayBox {
+            subtotal,
+            faces: faces.into_boxed_slice(),
+        };
         let child = Self::build_child(a, k, box_lo, leaf_side, config, d);
         Some((obox, child))
     }
@@ -402,13 +425,17 @@ impl<G: AbelianGroup> DdcTree<G> {
                 .map(|bi| {
                     let config = &config;
                     scope.spawn(move || {
-                        let box_lo: Vec<usize> =
-                            (0..d).map(|i| if bi & (1 << i) != 0 { k } else { 0 }).collect();
+                        let box_lo: Vec<usize> = (0..d)
+                            .map(|i| if bi & (1 << i) != 0 { k } else { 0 })
+                            .collect();
                         Self::build_box(a, k, &box_lo, leaf_side, config, d)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("builder thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("builder thread panicked"))
+                .collect()
         });
         let mut node = Node::<G>::new(d);
         let mut any = false;
@@ -664,7 +691,11 @@ impl<G: AbelianGroup> DdcTree<G> {
     /// the difference value directly.
     pub fn apply_delta(&mut self, x: &[usize], delta: G) {
         assert_eq!(x.len(), self.d);
-        assert!(x.iter().all(|&c| c < self.side), "{x:?} outside side {}", self.side);
+        assert!(
+            x.iter().all(|&c| c < self.side),
+            "{x:?} outside side {}",
+            self.side
+        );
         if delta.is_zero() {
             return;
         }
@@ -683,7 +714,9 @@ impl<G: AbelianGroup> DdcTree<G> {
         if matches!(self.root, Child::Empty) {
             self.root = Child::Node(Box::new(Node::new(self.d)));
         }
-        let Child::Node(root) = &mut self.root else { unreachable!() };
+        let Child::Node(root) = &mut self.root else {
+            unreachable!()
+        };
         Self::update_node(
             root,
             self.d,
@@ -771,8 +804,7 @@ impl<G: AbelianGroup> DdcTree<G> {
             match child {
                 Child::Empty => return G::ZERO,
                 Child::Leaf(block) => {
-                    let rel: Vec<usize> =
-                        x.iter().zip(lo.iter()).map(|(&c, &l)| c - l).collect();
+                    let rel: Vec<usize> = x.iter().zip(lo.iter()).map(|(&c, &l)| c - l).collect();
                     self.counter.read(1);
                     return block.cells.get(&rel);
                 }
@@ -811,12 +843,7 @@ impl<G: AbelianGroup> DdcTree<G> {
         Self::walk_nonzero(&self.root, self.side, &lo, f);
     }
 
-    fn walk_nonzero(
-        child: &Child<G>,
-        side: usize,
-        lo: &[usize],
-        f: &mut impl FnMut(&[usize], G),
-    ) {
+    fn walk_nonzero(child: &Child<G>, side: usize, lo: &[usize], f: &mut impl FnMut(&[usize], G)) {
         match child {
             Child::Empty => {}
             Child::Leaf(block) => {
@@ -872,8 +899,7 @@ impl<G: AbelianGroup> DdcTree<G> {
             // The grown space still fits in one dense leaf block: rebuild
             // it with the content shifted in the lowered dimensions.
             let mut block = LeafBlock::zeroed(self.d, self.side);
-            let shift: Vec<usize> =
-                low.iter().map(|&l| if l { old_side } else { 0 }).collect();
+            let shift: Vec<usize> = low.iter().map(|&l| if l { old_side } else { 0 }).collect();
             let mut q = vec![0usize; self.d];
             Self::walk_nonzero(&old_root, old_side, &vec![0usize; self.d], &mut |p, v| {
                 for (qi, (&pi, &s)) in q.iter_mut().zip(p.iter().zip(shift.iter())) {
@@ -1127,7 +1153,11 @@ mod tests {
 
     #[test]
     fn dense_3d_matches_reference() {
-        for config in [DdcConfig::dynamic(), DdcConfig::basic(), DdcConfig::sparse()] {
+        for config in [
+            DdcConfig::dynamic(),
+            DdcConfig::basic(),
+            DdcConfig::sparse(),
+        ] {
             let (a, t) = reference_and_tree(8, 3, config, &dense_updates(8, 3));
             assert_all_prefixes(&a, &t);
             assert_eq!(t.check_invariants(), a.total());
@@ -1156,7 +1186,11 @@ mod tests {
         assert!(t.heap_bytes() > populated_bytes / 2);
         let released = t.prune();
         assert!(released > 0);
-        assert!(t.heap_bytes() < populated_bytes / 10, "{} bytes left", t.heap_bytes());
+        assert!(
+            t.heap_bytes() < populated_bytes / 10,
+            "{} bytes left",
+            t.heap_bytes()
+        );
         assert_eq!(t.prefix_sum(&[255, 255]), 0);
         // The tree stays fully usable afterwards.
         t.apply_delta(&[100, 100], 3);
@@ -1269,7 +1303,11 @@ mod tests {
 
     #[test]
     fn fenwick_and_seg_bases_match() {
-        for base in [BaseStore::Fenwick, BaseStore::SparseSeg, BaseStore::Bc { fanout: 4 }] {
+        for base in [
+            BaseStore::Fenwick,
+            BaseStore::SparseSeg,
+            BaseStore::Bc { fanout: 4 },
+        ] {
             let config = DdcConfig::dynamic().with_base(base);
             let (a, t) = reference_and_tree(16, 2, config, &dense_updates(16, 2));
             assert_all_prefixes(&a, &t);
@@ -1398,7 +1436,11 @@ mod tests {
         b.apply_delta(&[0, 0], 1);
         b.counter().reset();
         b.apply_delta(&[0, 0], 1);
-        assert!(b.ops().writes > w, "basic ({}) should exceed dynamic ({w})", b.ops().writes);
+        assert!(
+            b.ops().writes > w,
+            "basic ({}) should exceed dynamic ({w})",
+            b.ops().writes
+        );
     }
 
     #[test]

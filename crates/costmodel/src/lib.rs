@@ -171,8 +171,7 @@ mod tests {
         // "the prefix sum method may require more than 6 months of
         // processing" at n = 10², d = 8 on 500 MIPS: 10^16 / 5·10^8 = 2·10^7
         // seconds ≈ 231 days > 6 months.
-        let secs =
-            table1::seconds_at_mips(table1::prefix_sum_update(100.0, 8), 500.0);
+        let secs = table1::seconds_at_mips(table1::prefix_sum_update(100.0, 8), 500.0);
         assert!(secs > 180.0 * 86_400.0, "{secs}");
         // "The Dynamic Data Cube can update that same cell in under X
         // seconds" — a tiny fraction of a second of pure instruction time.
@@ -180,8 +179,7 @@ mod tests {
         assert!(ddc < 1.0, "{ddc}");
         // "When n = 10⁴, the relative prefix sum method requires 231 days"
         // (2 × 10^7 s): n^{d/2} = 10^16 ops at 500 MIPS.
-        let rps =
-            table1::seconds_at_mips(table1::relative_prefix_update(1e4, 8), 500.0);
+        let rps = table1::seconds_at_mips(table1::relative_prefix_update(1e4, 8), 500.0);
         let days = rps / 86_400.0;
         assert!((200.0..260.0).contains(&days), "{days} days");
         // …whereas the DDC needs under 2 seconds.

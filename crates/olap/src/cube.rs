@@ -44,7 +44,10 @@ pub struct DataCube<G: AbelianGroup> {
 impl<G: AbelianGroup> std::fmt::Debug for DataCube<G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DataCube")
-            .field("dims", &self.dims.iter().map(Dimension::name).collect::<Vec<_>>())
+            .field(
+                "dims",
+                &self.dims.iter().map(Dimension::name).collect::<Vec<_>>(),
+            )
             .field("engine", &self.engine.name())
             .finish()
     }
@@ -81,10 +84,16 @@ impl CubeBuilder {
     ///
     /// Panics if no dimensions were declared.
     pub fn build<G: AbelianGroup>(self) -> DataCube<G> {
-        assert!(!self.dims.is_empty(), "a data cube needs at least one dimension");
+        assert!(
+            !self.dims.is_empty(),
+            "a data cube needs at least one dimension"
+        );
         let shape = Shape::new(&self.dims.iter().map(Dimension::size).collect::<Vec<_>>());
         let kind = self.engine.unwrap_or(EngineKind::DynamicDdc);
-        DataCube { dims: self.dims, engine: kind.build(shape) }
+        DataCube {
+            dims: self.dims,
+            engine: kind.build(shape),
+        }
     }
 }
 
@@ -107,6 +116,12 @@ impl<G: AbelianGroup> DataCube<G> {
     /// Approximate heap bytes held by the backing structure.
     pub fn heap_bytes(&self) -> usize {
         self.engine.heap_bytes()
+    }
+
+    /// The backing engine's extra metrics report, if it keeps one (the
+    /// sharded engine reports per-shard queue and lock statistics).
+    pub fn metrics_text(&self) -> Option<String> {
+        self.engine.metrics_text()
     }
 
     fn encode_point(&self, coords: &[DimValue<'_>]) -> Result<Vec<usize>, EncodeError> {
@@ -260,22 +275,30 @@ mod tests {
     fn retraction_inverts_ingestion() {
         let mut cube = sales_cube();
         cube.add_observation(&[50.into(), 100.into()], 10).unwrap();
-        cube.retract_observation(&[50.into(), 100.into()], 10).unwrap();
+        cube.retract_observation(&[50.into(), 100.into()], 10)
+            .unwrap();
         assert_eq!(cube.total(), Pair::new(0, 0));
-        assert_eq!(cube.average(&[RangeSpec::All, RangeSpec::All]).unwrap(), None);
+        assert_eq!(
+            cube.average(&[RangeSpec::All, RangeSpec::All]).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn categorical_dimension_queries() {
         let mut cube: DataCube<i64> = CubeBuilder::new()
-            .dimension(Dimension::categorical("region", &["north", "south", "east", "west"]))
+            .dimension(Dimension::categorical(
+                "region",
+                &["north", "south", "east", "west"],
+            ))
             .dimension(Dimension::int_range("month", 1, 12))
             .build();
         cube.add(&["north".into(), 1.into()], 10).unwrap();
         cube.add(&["south".into(), 6.into()], 20).unwrap();
         cube.add(&["west".into(), 12.into()], 40).unwrap();
         assert_eq!(
-            cube.range_sum(&[RangeSpec::Eq("south".into()), RangeSpec::All]).unwrap(),
+            cube.range_sum(&[RangeSpec::Eq("south".into()), RangeSpec::All])
+                .unwrap(),
             20
         );
         assert_eq!(
@@ -319,11 +342,16 @@ mod tests {
             .build();
         assert!(matches!(
             cube.add(&[], 1),
-            Err(EncodeError::ArityMismatch { expected: 1, got: 0 })
+            Err(EncodeError::ArityMismatch {
+                expected: 1,
+                got: 0
+            })
         ));
         assert!(cube.add(&[100.into()], 1).is_err());
         assert!(cube.range_sum(&[RangeSpec::Eq("nope".into())]).is_err());
-        assert!(cube.range_sum(&[RangeSpec::Between(5.into(), 2.into())]).is_err());
+        assert!(cube
+            .range_sum(&[RangeSpec::Between(5.into(), 2.into())])
+            .is_err());
     }
 
     #[test]

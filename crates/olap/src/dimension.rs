@@ -64,7 +64,10 @@ impl std::fmt::Display for EncodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EncodeError::OutOfDomain { dimension, value } => {
-                write!(f, "value {value} outside the domain of dimension '{dimension}'")
+                write!(
+                    f,
+                    "value {value} outside the domain of dimension '{dimension}'"
+                )
             }
             EncodeError::UnknownLabel { dimension, label } => {
                 write!(f, "unknown label '{label}' for dimension '{dimension}'")
@@ -137,7 +140,10 @@ impl Dimension {
     /// Panics if `min > max`.
     pub fn int_range(name: &str, min: i64, max: i64) -> Self {
         assert!(min <= max, "empty domain {min}..={max} for '{name}'");
-        Self { name: name.to_string(), encoder: Encoder::IntRange { min, max } }
+        Self {
+            name: name.to_string(),
+            encoder: Encoder::IntRange { min, max },
+        }
     }
 
     /// An integer dimension bucketed into `buckets` intervals of `width`,
@@ -149,7 +155,14 @@ impl Dimension {
     pub fn bucketed(name: &str, min: i64, width: i64, buckets: usize) -> Self {
         assert!(width > 0, "bucket width must be positive for '{name}'");
         assert!(buckets > 0, "need at least one bucket for '{name}'");
-        Self { name: name.to_string(), encoder: Encoder::Bucketed { min, width, buckets } }
+        Self {
+            name: name.to_string(),
+            encoder: Encoder::Bucketed {
+                min,
+                width,
+                buckets,
+            },
+        }
     }
 
     /// A categorical dimension with the given labels (index order).
@@ -162,7 +175,10 @@ impl Dimension {
         let mut index = HashMap::with_capacity(labels.len());
         for (i, l) in labels.iter().enumerate() {
             let prev = index.insert(l.to_string(), i);
-            assert!(prev.is_none(), "duplicate label '{l}' in dimension '{name}'");
+            assert!(
+                prev.is_none(),
+                "duplicate label '{l}' in dimension '{name}'"
+            );
         }
         Self {
             name: name.to_string(),
@@ -191,7 +207,11 @@ impl Dimension {
     /// Renders the human-readable label of one dense index (the inverse
     /// of [`Dimension::encode`] up to bucketing).
     pub fn label(&self, index: usize) -> String {
-        assert!(index < self.size(), "index {index} beyond dimension '{}'", self.name);
+        assert!(
+            index < self.size(),
+            "index {index} beyond dimension '{}'",
+            self.name
+        );
         match &self.encoder {
             Encoder::IntRange { min, .. } => (min + index as i64).to_string(),
             Encoder::Bucketed { min, width, .. } => {
@@ -212,7 +232,14 @@ impl Dimension {
                     Ok((v - min) as usize)
                 }
             }
-            (Encoder::Bucketed { min, width, buckets }, DimValue::Int(v)) => {
+            (
+                Encoder::Bucketed {
+                    min,
+                    width,
+                    buckets,
+                },
+                DimValue::Int(v),
+            ) => {
                 if v < min {
                     return Err(self.out_of_domain(v));
                 }
@@ -223,13 +250,16 @@ impl Dimension {
                     Ok(idx)
                 }
             }
-            (Encoder::Categorical { index, .. }, DimValue::Str(s)) => {
-                index.get(*s).copied().ok_or_else(|| EncodeError::UnknownLabel {
+            (Encoder::Categorical { index, .. }, DimValue::Str(s)) => index
+                .get(*s)
+                .copied()
+                .ok_or_else(|| EncodeError::UnknownLabel {
                     dimension: self.name.clone(),
                     label: (*s).to_string(),
-                })
-            }
-            _ => Err(EncodeError::TypeMismatch { dimension: self.name.clone() }),
+                }),
+            _ => Err(EncodeError::TypeMismatch {
+                dimension: self.name.clone(),
+            }),
         }
     }
 
@@ -251,7 +281,10 @@ impl Dimension {
     }
 
     fn out_of_domain(&self, v: &i64) -> EncodeError {
-        EncodeError::OutOfDomain { dimension: self.name.clone(), value: v.to_string() }
+        EncodeError::OutOfDomain {
+            dimension: self.name.clone(),
+            value: v.to_string(),
+        }
     }
 }
 
@@ -359,10 +392,14 @@ mod tests {
         assert_eq!(RangeSpec::All.resolve(&age).unwrap(), (0, 99));
         assert_eq!(RangeSpec::Eq(45.into()).resolve(&age).unwrap(), (45, 45));
         assert_eq!(
-            RangeSpec::Between(27.into(), 45.into()).resolve(&age).unwrap(),
+            RangeSpec::Between(27.into(), 45.into())
+                .resolve(&age)
+                .unwrap(),
             (27, 45)
         );
-        assert!(RangeSpec::Between(45.into(), 27.into()).resolve(&age).is_err());
+        assert!(RangeSpec::Between(45.into(), 27.into())
+            .resolve(&age)
+            .is_err());
     }
 
     #[test]
@@ -373,7 +410,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EncodeError::ArityMismatch { expected: 2, got: 3 };
+        let e = EncodeError::ArityMismatch {
+            expected: 2,
+            got: 3,
+        };
         assert_eq!(e.to_string(), "expected 2 coordinates, got 3");
     }
 }

@@ -49,7 +49,9 @@ pub enum DynamicDimension {
 impl DynamicDimension {
     /// An unbounded integer dimension.
     pub fn int(name: &str) -> Self {
-        DynamicDimension::Int { name: name.to_string() }
+        DynamicDimension::Int {
+            name: name.to_string(),
+        }
     }
 
     /// An unbounded bucketed dimension.
@@ -59,7 +61,10 @@ impl DynamicDimension {
     /// Panics if `width == 0`.
     pub fn bucketed(name: &str, width: i64) -> Self {
         assert!(width > 0, "bucket width must be positive for '{name}'");
-        DynamicDimension::Bucketed { name: name.to_string(), width }
+        DynamicDimension::Bucketed {
+            name: name.to_string(),
+            width,
+        }
     }
 
     /// A categorical dimension that learns labels as records arrive.
@@ -96,7 +101,9 @@ impl DynamicDimension {
                 index.insert((*s).to_string(), i);
                 Ok(i)
             }
-            _ => Err(EncodeError::TypeMismatch { dimension: self.name().to_string() }),
+            _ => Err(EncodeError::TypeMismatch {
+                dimension: self.name().to_string(),
+            }),
         }
     }
 
@@ -115,7 +122,9 @@ impl DynamicDimension {
                     dimension: name.clone(),
                     label: (*s).to_string(),
                 }),
-            _ => Err(EncodeError::TypeMismatch { dimension: self.name().to_string() }),
+            _ => Err(EncodeError::TypeMismatch {
+                dimension: self.name().to_string(),
+            }),
         }
     }
 }
@@ -143,7 +152,10 @@ impl<G: AbelianGroup> DynamicDataCube<G> {
     pub fn new(dims: Vec<DynamicDimension>, config: DdcConfig) -> Self {
         assert!(!dims.is_empty(), "a data cube needs at least one dimension");
         let d = dims.len();
-        Self { dims, cube: GrowableCube::new(d, config) }
+        Self {
+            dims,
+            cube: GrowableCube::new(d, config),
+        }
     }
 
     /// Dimensions in coordinate order.
@@ -259,7 +271,10 @@ mod tests {
     #[test]
     fn categorical_labels_are_learned() {
         let mut cube: DynamicDataCube<i64> = DynamicDataCube::new(
-            vec![DynamicDimension::categorical("station"), DynamicDimension::bucketed("t", 60)],
+            vec![
+                DynamicDimension::categorical("station"),
+                DynamicDimension::bucketed("t", 60),
+            ],
             DdcConfig::dynamic(),
         );
         cube.add(&["alpha".into(), 30.into()], 10).unwrap();
@@ -267,7 +282,8 @@ mod tests {
         cube.add(&["alpha".into(), 61.into()], 5).unwrap();
         // Querying a known label works; unknown labels are an error.
         assert_eq!(
-            cube.range_sum(&[DynamicRange::Eq("alpha".into()), DynamicRange::All]).unwrap(),
+            cube.range_sum(&[DynamicRange::Eq("alpha".into()), DynamicRange::All])
+                .unwrap(),
             15
         );
         assert!(cube
@@ -294,7 +310,8 @@ mod tests {
         cube.add(&[(-10).into()], 3).unwrap(); // also bucket -1
         cube.add(&[(-11).into()], 1).unwrap(); // bucket -2
         assert_eq!(
-            cube.range_sum(&[DynamicRange::Between((-10).into(), (-1).into())]).unwrap(),
+            cube.range_sum(&[DynamicRange::Between((-10).into(), (-1).into())])
+                .unwrap(),
             10
         );
         assert_eq!(cube.total(), 11);

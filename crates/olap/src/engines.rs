@@ -2,7 +2,7 @@
 
 use ddc_array::{AbelianGroup, RangeSumEngine, Shape};
 use ddc_baselines::{MultiFenwick, NaiveEngine, PrefixSumEngine, RelativePrefixEngine};
-use ddc_core::{DdcConfig, DdcEngine};
+use ddc_core::{DdcConfig, DdcEngine, ShardConfig, ShardedCube};
 
 /// Which range-sum method backs a cube — the five rows of the paper's
 /// comparison (§2, Table 1).
@@ -26,6 +26,13 @@ pub enum EngineKind {
     /// no sparsity, no insertion (the novelty-band comparator; not part
     /// of the paper's Table 1 and therefore not in [`EngineKind::ALL`]).
     FenwickNd,
+    /// A Dynamic Data Cube sharded along dimension 0 with per-shard
+    /// write batching — the concurrent deployment of §1 (not a paper
+    /// method, so not in [`EngineKind::ALL`]).
+    Sharded {
+        /// Shard count (clamped to the dimension-0 extent at build time).
+        shards: usize,
+    },
 }
 
 impl EngineKind {
@@ -44,16 +51,15 @@ impl EngineKind {
             EngineKind::Naive => Box::new(NaiveEngine::zeroed(shape)),
             EngineKind::PrefixSum => Box::new(PrefixSumEngine::zeroed(shape)),
             EngineKind::RelativePrefix => Box::new(RelativePrefixEngine::zeroed(shape)),
-            EngineKind::BasicDdc => {
-                Box::new(DdcEngine::with_config(shape, DdcConfig::basic()))
-            }
-            EngineKind::DynamicDdc => {
-                Box::new(DdcEngine::with_config(shape, DdcConfig::dynamic()))
-            }
-            EngineKind::CustomDdc(config) => {
-                Box::new(DdcEngine::with_config(shape, *config))
-            }
+            EngineKind::BasicDdc => Box::new(DdcEngine::with_config(shape, DdcConfig::basic())),
+            EngineKind::DynamicDdc => Box::new(DdcEngine::with_config(shape, DdcConfig::dynamic())),
+            EngineKind::CustomDdc(config) => Box::new(DdcEngine::with_config(shape, *config)),
             EngineKind::FenwickNd => Box::new(MultiFenwick::zeroed(shape)),
+            EngineKind::Sharded { shards } => Box::new(ShardedCube::new(
+                shape,
+                DdcConfig::dynamic(),
+                ShardConfig::with_shards(*shards),
+            )),
         }
     }
 
@@ -67,6 +73,7 @@ impl EngineKind {
             EngineKind::DynamicDdc => "dynamic-ddc",
             EngineKind::CustomDdc(_) => "custom-ddc",
             EngineKind::FenwickNd => "fenwick-nd",
+            EngineKind::Sharded { .. } => "sharded-ddc",
         }
     }
 }
@@ -79,12 +86,18 @@ mod tests {
     #[test]
     fn every_kind_builds_and_agrees() {
         let shape = Shape::new(&[8, 8]);
-        let updates = [([1usize, 2usize], 5i64), ([0, 0], 3), ([7, 7], -2), ([4, 3], 9)];
-        let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> =
-            EngineKind::ALL.iter().map(|k| k.build(shape.clone())).collect();
-        engines.push(
-            EngineKind::CustomDdc(DdcConfig::sparse().with_elision(1)).build(shape.clone()),
-        );
+        let updates = [
+            ([1usize, 2usize], 5i64),
+            ([0, 0], 3),
+            ([7, 7], -2),
+            ([4, 3], 9),
+        ];
+        let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> = EngineKind::ALL
+            .iter()
+            .map(|k| k.build(shape.clone()))
+            .collect();
+        engines
+            .push(EngineKind::CustomDdc(DdcConfig::sparse().with_elision(1)).build(shape.clone()));
         for e in engines.iter_mut() {
             for (p, v) in updates {
                 e.apply_delta(&p, v);

@@ -31,7 +31,12 @@ pub struct QueryPlan {
 
 impl std::fmt::Display for QueryPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "region          : {:?}..{:?}", self.region.lo(), self.region.hi())?;
+        writeln!(
+            f,
+            "region          : {:?}..{:?}",
+            self.region.lo(),
+            self.region.hi()
+        )?;
         writeln!(f, "prefix terms    : {}", self.prefix_terms)?;
         writeln!(f, "naive scan cells: {}", self.naive_cells)?;
         writeln!(f, "predicted query cost (values read):")?;
@@ -78,14 +83,20 @@ impl<G: AbelianGroup> DataCube<G> {
             ("naive", region.cells() as f64),
             ("prefix-sum", t),
             ("relative-prefix", t * 2f64.powi(d as i32)),
-            ("basic-ddc", t * n.log2().max(1.0) * (2f64.powi(d as i32) - 1.0)),
+            (
+                "basic-ddc",
+                t * n.log2().max(1.0) * (2f64.powi(d as i32) - 1.0),
+            ),
             ("dynamic-ddc", t * logd),
         ];
         let predicted_update = vec![
             ("naive", 1.0),
             ("prefix-sum", table1::prefix_sum_update(n, d)),
             ("relative-prefix", table1::relative_prefix_update(n, d)),
-            ("basic-ddc", ddc_costmodel::complexity::basic_update_cost(n.max(2.0), d.max(2))),
+            (
+                "basic-ddc",
+                ddc_costmodel::complexity::basic_update_cost(n.max(2.0), d.max(2)),
+            ),
             ("dynamic-ddc", table1::ddc_update(n, d)),
         ];
         Ok(QueryPlan {

@@ -34,8 +34,14 @@ impl Level {
     ///
     /// Panics on malformed boundaries or label-count mismatch.
     pub fn from_starts(name: &str, size: usize, starts: &[usize], labels: &[&str]) -> Self {
-        assert!(!starts.is_empty(), "level '{name}' needs at least one bucket");
-        assert_eq!(starts[0], 0, "first bucket of '{name}' must start at index 0");
+        assert!(
+            !starts.is_empty(),
+            "level '{name}' needs at least one bucket"
+        );
+        assert_eq!(
+            starts[0], 0,
+            "first bucket of '{name}' must start at index 0"
+        );
         assert!(
             starts.windows(2).all(|w| w[0] < w[1]),
             "bucket starts of '{name}' must increase strictly"
@@ -44,7 +50,11 @@ impl Level {
             *starts.last().expect("non-empty") < size,
             "last bucket of '{name}' starts beyond the dimension"
         );
-        assert_eq!(starts.len(), labels.len(), "one label per bucket in '{name}'");
+        assert_eq!(
+            starts.len(),
+            labels.len(),
+            "one label per bucket in '{name}'"
+        );
         Self {
             name: name.to_string(),
             starts: starts.to_vec(),
@@ -57,8 +67,9 @@ impl Level {
     pub fn fixed_width(name: &str, size: usize, width: usize) -> Self {
         assert!(width >= 1);
         let starts: Vec<usize> = (0..size).step_by(width).collect();
-        let labels: Vec<String> =
-            (0..starts.len()).map(|b| format!("{name}{}", b + 1)).collect();
+        let labels: Vec<String> = (0..starts.len())
+            .map(|b| format!("{name}{}", b + 1))
+            .collect();
         let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
         Self::from_starts(name, size, &starts, &refs)
     }
@@ -92,9 +103,17 @@ impl Level {
 
     /// The base-index interval `[lo, hi]` of bucket `b`.
     pub fn interval(&self, b: usize) -> (usize, usize) {
-        assert!(b < self.buckets(), "bucket {b} beyond level '{}'", self.name);
+        assert!(
+            b < self.buckets(),
+            "bucket {b} beyond level '{}'",
+            self.name
+        );
         let lo = self.starts[b];
-        let hi = if b + 1 < self.starts.len() { self.starts[b + 1] - 1 } else { self.size - 1 };
+        let hi = if b + 1 < self.starts.len() {
+            self.starts[b + 1] - 1
+        } else {
+            self.size - 1
+        };
         (lo, hi)
     }
 
@@ -266,9 +285,14 @@ mod tests {
 
         let q = c.rollup_level(0, &quarters, &[RangeSpec::All]).unwrap();
         assert_eq!(q[0].value.a, 900); // 90 days
-        let q2_months = c.drill_down(0, &quarters, 1, &months, &[RangeSpec::All]).unwrap();
+        let q2_months = c
+            .drill_down(0, &quarters, 1, &months, &[RangeSpec::All])
+            .unwrap();
         assert_eq!(
-            q2_months.iter().map(|r| r.label.as_str()).collect::<Vec<_>>(),
+            q2_months
+                .iter()
+                .map(|r| r.label.as_str())
+                .collect::<Vec<_>>(),
             vec!["apr", "may", "jun"]
         );
         let q2_total: i64 = q2_months.iter().map(|r| r.value.a).sum();

@@ -40,7 +40,10 @@ pub struct IngestOptions {
 
 impl Default for IngestOptions {
     fn default() -> Self {
-        Self { delimiter: ',', has_header: true }
+        Self {
+            delimiter: ',',
+            has_header: true,
+        }
     }
 }
 
@@ -83,7 +86,9 @@ pub fn split_record(line: &str, delimiter: char) -> Result<Vec<String>, String> 
 /// Parses one measure column as `i64` (plain integers only; fractional
 /// measures should use a `DataCube<f64>` and [`load_records_with`]).
 fn parse_i64(s: &str) -> Result<i64, String> {
-    s.trim().parse::<i64>().map_err(|_| format!("bad measure '{s}'"))
+    s.trim()
+        .parse::<i64>()
+        .map_err(|_| format!("bad measure '{s}'"))
 }
 
 impl<G: AbelianGroup> DataCube<G> {
@@ -119,14 +124,12 @@ impl<G: AbelianGroup> DataCube<G> {
             for (field, dim) in fields[..want - 1].iter().zip(self.dimensions()) {
                 let v = match dim.encoder() {
                     Encoder::Categorical { .. } => DimValue::Str(field.trim()),
-                    _ => DimValue::Int(field.trim().parse::<i64>().map_err(|_| {
-                        IngestError {
-                            line,
-                            message: format!(
-                                "bad numeric value '{field}' for dimension '{}'",
-                                dim.name()
-                            ),
-                        }
+                    _ => DimValue::Int(field.trim().parse::<i64>().map_err(|_| IngestError {
+                        line,
+                        message: format!(
+                            "bad numeric value '{field}' for dimension '{}'",
+                            dim.name()
+                        ),
                     })?),
                 };
                 coords.push(v);
@@ -182,7 +185,11 @@ mod tests {
         let n = load_records(&mut c, data, &IngestOptions::default()).unwrap();
         assert_eq!(n, 4);
         assert_eq!(c.sum(&[RangeSpec::All, RangeSpec::All]).unwrap(), 250);
-        assert_eq!(c.count(&[RangeSpec::Eq("north".into()), RangeSpec::All]).unwrap(), 2);
+        assert_eq!(
+            c.count(&[RangeSpec::Eq("north".into()), RangeSpec::All])
+                .unwrap(),
+            2
+        );
     }
 
     #[test]
@@ -197,7 +204,10 @@ mod tests {
         );
         let mut c = cube();
         let data = "north|3|10\nsouth|4|20\n";
-        let opts = IngestOptions { delimiter: '|', has_header: false };
+        let opts = IngestOptions {
+            delimiter: '|',
+            has_header: false,
+        };
         assert_eq!(load_records(&mut c, data, &opts).unwrap(), 2);
         assert_eq!(c.sum(&[RangeSpec::All, RangeSpec::All]).unwrap(), 30);
     }
@@ -205,8 +215,12 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let mut c = cube();
-        let e = load_records(&mut c, "region,day,sales\nnorth,1\n", &IngestOptions::default())
-            .unwrap_err();
+        let e = load_records(
+            &mut c,
+            "region,day,sales\nnorth,1\n",
+            &IngestOptions::default(),
+        )
+        .unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("expected 3 fields"));
 
@@ -250,11 +264,9 @@ mod tests {
             .engine(EngineKind::DynamicDdc)
             .build();
         let n = c
-            .load_records_with(
-                "x,temp\n3,1.5\n4,2.25\n",
-                &IngestOptions::default(),
-                |s| s.trim().parse::<f64>().map_err(|e| e.to_string()),
-            )
+            .load_records_with("x,temp\n3,1.5\n4,2.25\n", &IngestOptions::default(), |s| {
+                s.trim().parse::<f64>().map_err(|e| e.to_string())
+            })
             .unwrap();
         assert_eq!(n, 2);
         assert_eq!(c.range_sum(&[RangeSpec::All]).unwrap(), 3.75);

@@ -21,10 +21,10 @@ mod sql;
 
 pub use cube::{CubeBuilder, DataCube, SumCountCube};
 pub use dimension::{DimValue, Dimension, EncodeError, Encoder, RangeSpec};
+pub use dynamic_cube::{DynamicDataCube, DynamicDimension, DynamicRange};
 pub use engines::EngineKind;
 pub use explain::QueryPlan;
 pub use hierarchy::{Hierarchy, Level};
 pub use ingest::{load_records, split_record, IngestError, IngestOptions};
-pub use dynamic_cube::{DynamicDataCube, DynamicDimension, DynamicRange};
 pub use rollup::GroupRow;
 pub use sql::{parse_query, SqlAggregate, SqlQuery, SqlResult};

@@ -118,7 +118,6 @@ impl DataCube<Pair<i64, i64>> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,7 +133,8 @@ mod tests {
             .build();
         // north: day d gets one sale of 10·d; south: day d gets one of 5.
         for day in 1..=10i64 {
-            c.add_observation(&["north".into(), day.into()], 10 * day).unwrap();
+            c.add_observation(&["north".into(), day.into()], 10 * day)
+                .unwrap();
             c.add_observation(&["south".into(), day.into()], 5).unwrap();
         }
         c
@@ -155,7 +155,13 @@ mod tests {
     fn group_by_respects_filter_on_other_axes() {
         let c = cube();
         let rows = c
-            .group_by(1, &[RangeSpec::Eq("north".into()), RangeSpec::Between(3.into(), 5.into())])
+            .group_by(
+                1,
+                &[
+                    RangeSpec::Eq("north".into()),
+                    RangeSpec::Between(3.into(), 5.into()),
+                ],
+            )
             .unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].label, "3");

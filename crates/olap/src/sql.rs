@@ -188,8 +188,7 @@ pub fn parse_query(text: &str) -> Result<SqlQuery, String> {
                     }
                     i += 1;
                     let b = next(&mut i, &tokens).ok_or("expected second bound")?;
-                    predicates
-                        .push((dim, Pred::Between(parse_value(&a), parse_value(&b))));
+                    predicates.push((dim, Pred::Between(parse_value(&a), parse_value(&b))));
                 }
                 Some(t) if t.eq_ignore_ascii_case("in") => {
                     i += 1;
@@ -210,9 +209,7 @@ pub fn parse_query(text: &str) -> Result<SqlQuery, String> {
                                 i += 1;
                                 break;
                             }
-                            other => {
-                                return Err(format!("expected ',' or ')', got {other:?}"))
-                            }
+                            other => return Err(format!("expected ',' or ')', got {other:?}")),
                         }
                     }
                     predicates.push((dim, Pred::In(values)));
@@ -234,14 +231,17 @@ pub fn parse_query(text: &str) -> Result<SqlQuery, String> {
             return Err("expected BY after GROUP".to_string());
         }
         i += 1;
-        group_by =
-            Some(next(&mut i, &tokens).ok_or("expected dimension after GROUP BY")?);
+        group_by = Some(next(&mut i, &tokens).ok_or("expected dimension after GROUP BY")?);
     }
 
     if i != tokens.len() {
         return Err(format!("trailing tokens: {:?}", &tokens[i..]));
     }
-    Ok(SqlQuery { agg, predicates, group_by })
+    Ok(SqlQuery {
+        agg,
+        predicates,
+        group_by,
+    })
 }
 
 impl DataCube<Pair<i64, i64>> {
@@ -308,8 +308,7 @@ impl DataCube<Pair<i64, i64>> {
                 let rows: Vec<GroupRow<Pair<i64, i64>>> =
                     self.group_by(axis, specs).map_err(|e| e.to_string())?;
                 if merged.is_empty() {
-                    merged =
-                        rows.into_iter().map(|r| (r.label, r.value)).collect();
+                    merged = rows.into_iter().map(|r| (r.label, r.value)).collect();
                 } else {
                     for (slot, row) in merged.iter_mut().zip(rows) {
                         debug_assert_eq!(slot.0, row.label);
@@ -350,10 +349,14 @@ mod tests {
             .dimension(Dimension::categorical("region", &["north", "south"]))
             .engine(EngineKind::DynamicDdc)
             .build();
-        c.add_observation(&[30.into(), 341.into(), "north".into()], 100).unwrap();
-        c.add_observation(&[45.into(), 350.into(), "south".into()], 250).unwrap();
-        c.add_observation(&[27.into(), 365.into(), "north".into()], 130).unwrap();
-        c.add_observation(&[60.into(), 100.into(), "south".into()], 999).unwrap();
+        c.add_observation(&[30.into(), 341.into(), "north".into()], 100)
+            .unwrap();
+        c.add_observation(&[45.into(), 350.into(), "south".into()], 250)
+            .unwrap();
+        c.add_observation(&[27.into(), 365.into(), "north".into()], 130)
+            .unwrap();
+        c.add_observation(&[60.into(), 100.into(), "south".into()], 999)
+            .unwrap();
         c
     }
 
@@ -425,36 +428,51 @@ mod tests {
     fn parse_errors() {
         let c = cube();
         assert!(c.query("FETCH SUM").unwrap_err().contains("SELECT"));
-        assert!(c.query("SELECT MEDIAN").unwrap_err().contains("SUM/COUNT/AVG"));
-        assert!(c.query("SELECT SUM WHERE").unwrap_err().contains("dimension"));
+        assert!(c
+            .query("SELECT MEDIAN")
+            .unwrap_err()
+            .contains("SUM/COUNT/AVG"));
+        assert!(c
+            .query("SELECT SUM WHERE")
+            .unwrap_err()
+            .contains("dimension"));
         assert!(c
             .query("SELECT SUM WHERE day BETWEEN 1")
             .unwrap_err()
             .contains("AND"));
         assert!(c.query("SELECT SUM GROUP day").unwrap_err().contains("BY"));
-        assert!(c.query("SELECT SUM WHERE planet = mars").unwrap_err().contains("planet"));
-        assert!(c.query("SELECT SUM extra").unwrap_err().contains("trailing"));
-        assert!(c.query("SELECT SUM WHERE day = 'oops").unwrap_err().contains("unterminated"));
+        assert!(c
+            .query("SELECT SUM WHERE planet = mars")
+            .unwrap_err()
+            .contains("planet"));
+        assert!(c
+            .query("SELECT SUM extra")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(c
+            .query("SELECT SUM WHERE day = 'oops")
+            .unwrap_err()
+            .contains("unterminated"));
     }
 
     #[test]
     fn in_lists_union_disjoint_rectangles() {
         let c = cube();
         assert_eq!(
-            c.query("SELECT SUM WHERE customer_age IN (30, 45)").unwrap(),
+            c.query("SELECT SUM WHERE customer_age IN (30, 45)")
+                .unwrap(),
             SqlResult::Scalar(350)
         );
         // Duplicates do not double count.
         assert_eq!(
-            c.query("SELECT COUNT WHERE customer_age IN (30, 30, 45)").unwrap(),
+            c.query("SELECT COUNT WHERE customer_age IN (30, 30, 45)")
+                .unwrap(),
             SqlResult::Scalar(2)
         );
         // IN composes with other predicates and GROUP BY.
         assert_eq!(
-            c.query(
-                "SELECT SUM WHERE customer_age IN (27, 45) AND region = 'north'"
-            )
-            .unwrap(),
+            c.query("SELECT SUM WHERE customer_age IN (27, 45) AND region = 'north'")
+                .unwrap(),
             SqlResult::Scalar(130)
         );
         assert_eq!(
@@ -467,7 +485,8 @@ mod tests {
         );
         // Empty IN list selects nothing.
         assert_eq!(
-            c.query("SELECT SUM WHERE region IN (north) AND day = 100").unwrap(),
+            c.query("SELECT SUM WHERE region IN (north) AND day = 100")
+                .unwrap(),
             SqlResult::Scalar(0)
         );
         // Syntax errors.

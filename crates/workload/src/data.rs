@@ -6,28 +6,22 @@
 //! *sparse, unbounded* data (star catalogs growing in every direction).
 //! This module produces all three deterministically from a seed.
 
+use crate::rng::DdcRng;
 use ddc_array::{NdArray, Shape};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic RNG for reproducible experiments.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> DdcRng {
+    DdcRng::seed_from_u64(seed)
 }
 
 /// A dense cube with every cell drawn uniformly from `lo..=hi`.
-pub fn uniform_array(shape: &Shape, lo: i64, hi: i64, rng: &mut StdRng) -> NdArray<i64> {
+pub fn uniform_array(shape: &Shape, lo: i64, hi: i64, rng: &mut DdcRng) -> NdArray<i64> {
     NdArray::from_fn(shape.clone(), |_| rng.gen_range(lo..=hi))
 }
 
 /// A cube where each cell is populated with probability `density` (drawn
 /// from `1..=max_value`), zero otherwise — the §5 sparse regime.
-pub fn sparse_array(
-    shape: &Shape,
-    density: f64,
-    max_value: i64,
-    rng: &mut StdRng,
-) -> NdArray<i64> {
+pub fn sparse_array(shape: &Shape, density: f64, max_value: i64, rng: &mut DdcRng) -> NdArray<i64> {
     assert!((0.0..=1.0).contains(&density));
     NdArray::from_fn(shape.clone(), |_| {
         if rng.gen_bool(density) {
@@ -53,7 +47,7 @@ pub fn random_clusters(
     n_clusters: usize,
     extent: i64,
     spread: f64,
-    rng: &mut StdRng,
+    rng: &mut DdcRng,
 ) -> Vec<Cluster> {
     (0..n_clusters)
         .map(|_| Cluster {
@@ -70,7 +64,7 @@ pub fn clustered_points(
     clusters: &[Cluster],
     n_points: usize,
     max_value: i64,
-    rng: &mut StdRng,
+    rng: &mut DdcRng,
 ) -> Vec<(Vec<i64>, i64)> {
     assert!(!clusters.is_empty());
     (0..n_points)
@@ -88,7 +82,7 @@ pub fn clustered_points(
 
 /// Standard normal sample scaled by `sigma` (Box–Muller; avoids external
 /// distribution crates).
-fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
+fn gaussian(rng: &mut DdcRng, sigma: f64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -105,7 +99,7 @@ pub fn append_series(
     n_points: usize,
     extent: i64,
     max_value: i64,
-    rng: &mut StdRng,
+    rng: &mut DdcRng,
 ) -> Vec<(Vec<i64>, i64)> {
     assert!(d >= 1);
     (0..n_points)
@@ -130,7 +124,7 @@ pub fn emerging_sources(
     initial: usize,
     every: usize,
     spread: f64,
-    rng: &mut StdRng,
+    rng: &mut DdcRng,
 ) -> Vec<(Vec<i64>, i64)> {
     assert!(initial >= 1 && every >= 1);
     let mut clusters = random_clusters(d, initial, 100, spread, rng);
@@ -158,7 +152,7 @@ pub fn emerging_sources(
 
 /// Zipf-distributed index in `0..n` with exponent `theta` — hot-spot
 /// update targets (a small set of cells receives most updates).
-pub fn zipf_index(n: usize, theta: f64, rng: &mut StdRng) -> usize {
+pub fn zipf_index(n: usize, theta: f64, rng: &mut DdcRng) -> usize {
     debug_assert!(n > 0);
     // Inverse-CDF by rejection-free approximation (Gray et al. 1994 style
     // would precompute; n here is small enough for direct power draw).
@@ -175,11 +169,10 @@ pub struct UpdateStream {
 }
 
 /// Uniformly random updates over `shape`.
-pub fn uniform_updates(shape: &Shape, count: usize, rng: &mut StdRng) -> UpdateStream {
+pub fn uniform_updates(shape: &Shape, count: usize, rng: &mut DdcRng) -> UpdateStream {
     let updates = (0..count)
         .map(|_| {
-            let p: Vec<usize> =
-                shape.dims().iter().map(|&n| rng.gen_range(0..n)).collect();
+            let p: Vec<usize> = shape.dims().iter().map(|&n| rng.gen_range(0..n)).collect();
             (p, rng.gen_range(-100..=100))
         })
         .collect();
@@ -188,12 +181,7 @@ pub fn uniform_updates(shape: &Shape, count: usize, rng: &mut StdRng) -> UpdateS
 
 /// Zipf-skewed updates: coordinates concentrate near the origin, the
 /// worst-case corner for the prefix-sum cascade (Figure 5).
-pub fn skewed_updates(
-    shape: &Shape,
-    count: usize,
-    theta: f64,
-    rng: &mut StdRng,
-) -> UpdateStream {
+pub fn skewed_updates(shape: &Shape, count: usize, theta: f64, rng: &mut DdcRng) -> UpdateStream {
     let updates = (0..count)
         .map(|_| {
             let p: Vec<usize> = shape
@@ -270,8 +258,16 @@ mod tests {
         assert_eq!(pts.len(), 400);
         // Later points reach strictly farther from the origin than the
         // initial clusters can.
-        let early_max = pts[..100].iter().map(|(p, _)| p[0].abs().max(p[1].abs())).max().unwrap();
-        let late_max = pts[300..].iter().map(|(p, _)| p[0].abs().max(p[1].abs())).max().unwrap();
+        let early_max = pts[..100]
+            .iter()
+            .map(|(p, _)| p[0].abs().max(p[1].abs()))
+            .max()
+            .unwrap();
+        let late_max = pts[300..]
+            .iter()
+            .map(|(p, _)| p[0].abs().max(p[1].abs()))
+            .max()
+            .unwrap();
         assert!(late_max > early_max, "{late_max} !> {early_max}");
     }
 

@@ -9,6 +9,7 @@
 
 mod data;
 mod queries;
+mod rng;
 mod trace;
 
 pub use data::{
@@ -16,4 +17,5 @@ pub use data::{
     sparse_array, uniform_array, uniform_updates, zipf_index, Cluster, UpdateStream,
 };
 pub use queries::{prefix_regions, uniform_regions, window_regions};
+pub use rng::{DdcRng, SampleRange};
 pub use trace::{ReplayResult, Trace, TraceOp};

@@ -1,11 +1,10 @@
 //! Range-query workload generators.
 
+use crate::rng::DdcRng;
 use ddc_array::{Region, Shape};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Uniformly random hyper-rectangles within `shape`.
-pub fn uniform_regions(shape: &Shape, count: usize, rng: &mut StdRng) -> Vec<Region> {
+pub fn uniform_regions(shape: &Shape, count: usize, rng: &mut DdcRng) -> Vec<Region> {
     (0..count)
         .map(|_| {
             let mut lo = Vec::with_capacity(shape.ndim());
@@ -23,12 +22,7 @@ pub fn uniform_regions(shape: &Shape, count: usize, rng: &mut StdRng) -> Vec<Reg
 
 /// Fixed-size sliding windows (`extent` cells per dimension) at random
 /// anchors — the "sales between ages 27 and 45 over 25 days" query shape.
-pub fn window_regions(
-    shape: &Shape,
-    extent: usize,
-    count: usize,
-    rng: &mut StdRng,
-) -> Vec<Region> {
+pub fn window_regions(shape: &Shape, extent: usize, count: usize, rng: &mut DdcRng) -> Vec<Region> {
     assert!(shape.dims().iter().all(|&n| n >= extent && extent >= 1));
     (0..count)
         .map(|_| {
@@ -45,7 +39,7 @@ pub fn window_regions(
 
 /// Random prefix regions (anchored at the origin) — the primitive every
 /// engine answers natively.
-pub fn prefix_regions(shape: &Shape, count: usize, rng: &mut StdRng) -> Vec<Region> {
+pub fn prefix_regions(shape: &Shape, count: usize, rng: &mut DdcRng) -> Vec<Region> {
     (0..count)
         .map(|_| {
             let hi: Vec<usize> = shape.dims().iter().map(|&n| rng.gen_range(0..n)).collect();

@@ -1,0 +1,179 @@
+//! A small deterministic pseudo-random generator.
+//!
+//! The workspace is hermetic (no external crates), so instead of `rand`
+//! we ship a seeded xorshift-family generator. It is emphatically *not*
+//! cryptographic; it exists to make experiments and property tests
+//! reproducible from a single `u64` seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic PRNG: splitmix64-seeded xorshift64*.
+///
+/// The splitmix64 finalizer turns any seed (including 0) into a
+/// well-mixed non-zero state, and xorshift64* provides a cheap stream
+/// with good equidistribution for workload-generation purposes.
+#[derive(Clone, Debug)]
+pub struct DdcRng {
+    state: u64,
+}
+
+impl DdcRng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 finalizer; maps 0 somewhere useful and decorrelates
+        // consecutive seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: z | 1 } // xorshift state must be non-zero
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a range; see [`SampleRange`] for supported types.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Uniform `u64` in `[0, span)` by Lemire's widening multiply.
+    /// The slight modulo bias is ≤ span/2^64 — irrelevant for workloads.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// Ranges [`DdcRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from `self`.
+    fn sample(self, rng: &mut DdcRng) -> T;
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut DdcRng) -> usize {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample(self, rng: &mut DdcRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + rng.below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut DdcRng) -> i64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample(self, rng: &mut DdcRng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(rng.below(span.wrapping_add(1).max(1)) as i64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut DdcRng) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = DdcRng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DdcRng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = DdcRng::seed_from_u64(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = DdcRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = r.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let v = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_whole_range() {
+        let mut r = DdcRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = DdcRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2600..3400).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = DdcRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -12,9 +12,8 @@
 //! Q 0 0 5 5         # range sum over [0..=5] × [0..=5]
 //! ```
 
+use crate::rng::DdcRng;
 use ddc_array::{RangeSumEngine, Region, Shape};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// One traced operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,7 +58,7 @@ pub struct ReplayResult {
 impl Trace {
     /// Generates a mixed workload: `ops` operations, a `update_fraction`
     /// of which are uniform point updates, the rest uniform range queries.
-    pub fn generate(shape: &Shape, ops: usize, update_fraction: f64, rng: &mut StdRng) -> Self {
+    pub fn generate(shape: &Shape, ops: usize, update_fraction: f64, rng: &mut DdcRng) -> Self {
         assert!((0.0..=1.0).contains(&update_fraction));
         let dims = shape.dims().to_vec();
         let ops = (0..ops)
@@ -140,7 +139,10 @@ impl Trace {
                         return Err(format!("line {}: U wants {d} coords + delta", no + 1));
                     }
                     let point = nums[..d].iter().map(|&c| c as usize).collect();
-                    ops.push(TraceOp::Update { point, delta: nums[d] });
+                    ops.push(TraceOp::Update {
+                        point,
+                        delta: nums[d],
+                    });
                 }
                 "Q" => {
                     let d = dims.as_ref().ok_or("Q before shape")?.len();
@@ -157,7 +159,10 @@ impl Trace {
                 other => return Err(format!("line {}: unknown tag '{other}'", no + 1)),
             }
         }
-        Ok(Self { dims: dims.ok_or("missing shape line")?, ops })
+        Ok(Self {
+            dims: dims.ok_or("missing shape line")?,
+            ops,
+        })
     }
 
     /// The cube shape.
@@ -167,7 +172,11 @@ impl Trace {
 
     /// Replays against an engine, returning the query checksum.
     pub fn replay(&self, engine: &mut dyn RangeSumEngine<i64>) -> ReplayResult {
-        assert_eq!(engine.shape().dims(), &self.dims[..], "engine shape mismatch");
+        assert_eq!(
+            engine.shape().dims(),
+            &self.dims[..],
+            "engine shape mismatch"
+        );
         let mut checksum = 0i64;
         let mut updates = 0;
         let mut queries = 0;
@@ -178,13 +187,16 @@ impl Trace {
                     updates += 1;
                 }
                 TraceOp::Query { lo, hi } => {
-                    checksum =
-                        checksum.wrapping_add(engine.range_sum(&Region::new(lo, hi)));
+                    checksum = checksum.wrapping_add(engine.range_sum(&Region::new(lo, hi)));
                     queries += 1;
                 }
             }
         }
-        ReplayResult { checksum, updates, queries }
+        ReplayResult {
+            checksum,
+            updates,
+            queries,
+        }
     }
 }
 
@@ -203,12 +215,20 @@ mod tests {
 
     #[test]
     fn parse_errors_are_specific() {
-        assert!(Trace::parse("U 1 2 3").unwrap_err().contains("before shape"));
+        assert!(Trace::parse("U 1 2 3")
+            .unwrap_err()
+            .contains("before shape"));
         assert!(Trace::parse("shape 4\nU 1").unwrap_err().contains("wants"));
-        assert!(Trace::parse("shape 4\nQ 3 1").unwrap_err().contains("inverted"));
+        assert!(Trace::parse("shape 4\nQ 3 1")
+            .unwrap_err()
+            .contains("inverted"));
         assert!(Trace::parse("shape 0").unwrap_err().contains("bad shape"));
-        assert!(Trace::parse("shape 4\nX 1").unwrap_err().contains("unknown tag"));
-        assert!(Trace::parse("# only comments").unwrap_err().contains("missing shape"));
+        assert!(Trace::parse("shape 4\nX 1")
+            .unwrap_err()
+            .contains("unknown tag"));
+        assert!(Trace::parse("# only comments")
+            .unwrap_err()
+            .contains("missing shape"));
     }
 
     #[test]
@@ -217,7 +237,10 @@ mod tests {
         assert_eq!(t.ops.len(), 4);
         assert_eq!(
             t.ops[0],
-            TraceOp::Update { point: vec![1, 1], delta: 5 }
+            TraceOp::Update {
+                point: vec![1, 1],
+                delta: 5
+            }
         );
     }
 
@@ -255,6 +278,13 @@ mod tests {
             counter: ddc_array::OpCounter::new(),
         };
         let r = t.replay(&mut e);
-        assert_eq!(r, ReplayResult { checksum: 8, updates: 2, queries: 2 });
+        assert_eq!(
+            r,
+            ReplayResult {
+                checksum: 8,
+                updates: 2,
+                queries: 2
+            }
+        );
     }
 }

@@ -9,7 +9,6 @@
 
 use ddc_olap::{CubeBuilder, Dimension, EngineKind, RangeSpec, SumCountCube};
 use ddc_workload::rng;
-use rand::Rng;
 
 fn print_report(cube: &SumCountCube, title: &str) {
     println!("── {title} ──");
@@ -28,10 +27,17 @@ fn print_report(cube: &SumCountCube, title: &str) {
     }
     // 7-day rolling revenue for the last week of the quarter.
     let rolling = cube
-        .rolling_sum(1, 7, &[RangeSpec::All, RangeSpec::Between(84.into(), 90.into())])
+        .rolling_sum(
+            1,
+            7,
+            &[RangeSpec::All, RangeSpec::Between(84.into(), 90.into())],
+        )
         .unwrap();
     for row in &rolling {
-        println!("  7-day window ending day {:<3}     : {:>8}", row.label, row.value.a);
+        println!(
+            "  7-day window ending day {:<3}     : {:>8}",
+            row.label, row.value.a
+        );
     }
     println!();
 }
@@ -46,18 +52,22 @@ fn main() {
     let regions = ["amer", "emea", "apac"];
     let mut r = rng(2026);
     for _ in 0..5_000 {
-        let region = regions[r.gen_range(0..3)];
+        let region = regions[r.gen_range(0usize..3)];
         let day = r.gen_range(1..=90i64);
         let amount = r.gen_range(10..400i64);
-        cube.add_observation(&[region.into(), day.into()], amount).unwrap();
+        cube.add_observation(&[region.into(), day.into()], amount)
+            .unwrap();
     }
     print_report(&cube, "quarter to date");
 
     // A correction lands: a large EMEA order on day 88 was double-keyed.
-    cube.retract_observation(&[("emea").into(), 88.into()], 399).unwrap();
-    cube.add_observation(&[("emea").into(), 88.into()], 399).unwrap(); // and re-added
-    // …and a new bulk order arrives while the dashboard is open.
-    cube.add_observation(&[("apac").into(), 90.into()], 25_000).unwrap();
+    cube.retract_observation(&[("emea").into(), 88.into()], 399)
+        .unwrap();
+    cube.add_observation(&[("emea").into(), 88.into()], 399)
+        .unwrap(); // and re-added
+                   // …and a new bulk order arrives while the dashboard is open.
+    cube.add_observation(&[("apac").into(), 90.into()], 25_000)
+        .unwrap();
     print_report(&cube, "after live corrections");
 
     println!(

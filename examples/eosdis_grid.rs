@@ -26,13 +26,16 @@ fn main() {
         grid.add(pos, *units);
     }
 
-    println!("ingested {} readings around {} centers", readings.len(), centers.len());
+    println!(
+        "ingested {} readings around {} centers",
+        readings.len(),
+        centers.len()
+    );
     println!("populated cells : {}", grid.populated_cells());
-    println!("covered space   : {:.2e} cells", grid
-        .extent()
-        .iter()
-        .map(|&e| e as f64)
-        .product::<f64>());
+    println!(
+        "covered space   : {:.2e} cells",
+        grid.extent().iter().map(|&e| e as f64).product::<f64>()
+    );
     println!("heap            : {} KiB", grid.heap_bytes() / 1024);
 
     // Regional aggregates: any rectangle of the globe, O(log² n) each.

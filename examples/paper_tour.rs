@@ -28,23 +28,35 @@ fn main() {
     let q = Region::new(&[27, 40], &[45, 90]);
     naive.reset_ops();
     let answer = naive.range_sum(&q);
-    println!("naive scan answers {answer} by reading {} cells", naive.ops().reads);
+    println!(
+        "naive scan answers {answer} by reading {} cells",
+        naive.ops().reads
+    );
 
     let ps = PrefixSumEngine::from_array(&base);
     ps.reset_ops();
     assert_eq!(ps.range_sum(&q), answer);
-    println!("prefix sum [HAMS97] answers the same with {} reads (Figure 4)", ps.ops().reads);
+    println!(
+        "prefix sum [HAMS97] answers the same with {} reads (Figure 4)",
+        ps.ops().reads
+    );
 
     let mut ps = ps;
     ps.reset_ops();
     ps.apply_delta(&[0, 0], 1);
-    println!("…but updating A[0,0] rewrote {} cells of P (Figure 5)", ps.ops().writes);
+    println!(
+        "…but updating A[0,0] rewrote {} cells of P (Figure 5)",
+        ps.ops().writes
+    );
 
     let mut rps = RelativePrefixEngine::from_array(&base);
     rps.apply_delta(&[0, 0], -1); // keep the cubes identical
     rps.reset_ops();
     rps.apply_delta(&[0, 0], 1);
-    println!("relative prefix sum [GAES99] bounds that to {} cells", rps.ops().writes);
+    println!(
+        "relative prefix sum [GAES99] bounds that to {} cells",
+        rps.ops().writes
+    );
 
     section("§3  The Basic Dynamic Data Cube");
     let mut basic = DdcEngine::from_array_with(&base, DdcConfig::basic());

@@ -27,11 +27,14 @@ fn main() {
         (70, 100, 500),
     ];
     for (age, day, amount) in sales {
-        cube.add_observation(&[age.into(), day.into()], amount).unwrap();
+        cube.add_observation(&[age.into(), day.into()], amount)
+            .unwrap();
     }
 
     // "What were the total sales to 37-year-old customers on day 220?"
-    let cell = cube.sum(&[RangeSpec::Eq(37.into()), RangeSpec::Eq(220.into())]).unwrap();
+    let cell = cube
+        .sum(&[RangeSpec::Eq(37.into()), RangeSpec::Eq(220.into())])
+        .unwrap();
     println!("sales to 37-year-olds on day 220 : {cell}");
     assert_eq!(cell, 200);
 
@@ -42,8 +45,14 @@ fn main() {
         RangeSpec::Between(27.into(), 45.into()),
         RangeSpec::Between(341.into(), 365.into()),
     ];
-    println!("sum   27–45yo, Dec 7–31          : {}", cube.sum(&window).unwrap());
-    println!("count 27–45yo, Dec 7–31          : {}", cube.count(&window).unwrap());
+    println!(
+        "sum   27–45yo, Dec 7–31          : {}",
+        cube.sum(&window).unwrap()
+    );
+    println!(
+        "count 27–45yo, Dec 7–31          : {}",
+        cube.count(&window).unwrap()
+    );
     println!(
         "avg   27–45yo, Dec 7–31          : {:?}",
         cube.average(&window).unwrap()
@@ -51,8 +60,12 @@ fn main() {
 
     // Updates are cheap (O(log² n), §4): retract a mis-keyed sale and
     // re-query instantly.
-    cube.retract_observation(&[26.into(), 350.into()], 999).unwrap();
-    println!("total after retraction           : {}", cube.sum(&[RangeSpec::All, RangeSpec::All]).unwrap());
+    cube.retract_observation(&[26.into(), 350.into()], 999)
+        .unwrap();
+    println!(
+        "total after retraction           : {}",
+        cube.sum(&[RangeSpec::All, RangeSpec::All]).unwrap()
+    );
 
     println!(
         "\nengine: {} | heap: {} KiB",

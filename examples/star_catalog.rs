@@ -41,7 +41,8 @@ fn main() {
     println!("\nstars with x ≥ 0                : {hemisphere}");
     let core = sky.range_sum(&[-100, -100, -100], &[100, 100, 100]);
     println!("stars within ±100 of the origin : {core}");
-    println!("densest storage fact: {} populated sectors in a {:.2e}-cell space",
+    println!(
+        "densest storage fact: {} populated sectors in a {:.2e}-cell space",
         sky.populated_cells(),
         sky.extent().iter().map(|&e| e as f64).product::<f64>()
     );

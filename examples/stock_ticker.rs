@@ -11,7 +11,6 @@
 use ddc_core::DdcConfig;
 use ddc_olap::{DynamicDataCube, DynamicDimension, DynamicRange};
 use ddc_workload::rng;
-use rand::Rng;
 use std::time::Instant;
 
 fn main() {
@@ -35,7 +34,8 @@ fn main() {
         let t = i as i64 / 8; // ≈8 trades per second of tape
         let ticks: i64 = r.gen_range(-12..=12);
         let volume = r.gen_range(1..=500i64);
-        cube.add(&[symbol.into(), t.into(), ticks.into()], volume).unwrap();
+        cube.add(&[symbol.into(), t.into(), ticks.into()], volume)
+            .unwrap();
     }
     let ingest = start.elapsed();
     println!(

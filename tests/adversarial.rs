@@ -53,7 +53,13 @@ fn corner_hammering() {
     // engine family.
     stress(Shape::cube(3, 16), DdcConfig::dynamic(), |i, s| {
         (0..3)
-            .map(|axis| if (i >> axis) & 1 == 1 { s.dim(axis) - 1 } else { 0 })
+            .map(|axis| {
+                if (i >> axis) & 1 == 1 {
+                    s.dim(axis) - 1
+                } else {
+                    0
+                }
+            })
             .collect()
     });
 }

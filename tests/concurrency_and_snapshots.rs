@@ -23,10 +23,18 @@ fn parallel_queries_share_one_cube() {
     let results: Vec<Vec<i64>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..8)
             .map(|_| {
-                s.spawn(|| queries.iter().map(|q| engine.range_sum(q)).collect::<Vec<i64>>())
+                s.spawn(|| {
+                    queries
+                        .iter()
+                        .map(|q| engine.range_sum(q))
+                        .collect::<Vec<i64>>()
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     });
     for r in &results {
         assert_eq!(r, &expected);
@@ -52,8 +60,13 @@ fn engine_snapshot_roundtrip() {
 #[test]
 fn growable_snapshot_roundtrip_preserves_logical_coords() {
     let mut cube = GrowableCube::<i64>::new(2, DdcConfig::sparse());
-    let points: [([i64; 2], i64); 5] =
-        [([0, 0], 1), ([-40, 3], 7), ([99, -250], -4), ([-1, -1], 9), ([500, 500], 2)];
+    let points: [([i64; 2], i64); 5] = [
+        ([0, 0], 1),
+        ([-40, 3], 7),
+        ([99, -250], -4),
+        ([-1, -1], 9),
+        ([500, 500], 2),
+    ];
     for (p, v) in points {
         cube.add(&p, v);
     }

@@ -5,16 +5,16 @@
 use ddc_array::{NdArray, RangeSumEngine, Region, Shape};
 use ddc_core::{BaseStore, DdcConfig};
 use ddc_olap::EngineKind;
-use proptest::prelude::*;
+use ddc_tests::{for_cases, DdcRng};
 
 /// A random cube shape with at most ~4k cells to keep PS updates fast.
-fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
-    prop_oneof![
-        proptest::collection::vec(1usize..=48, 1),
-        proptest::collection::vec(1usize..=16, 2),
-        proptest::collection::vec(1usize..=8, 3),
-        proptest::collection::vec(1usize..=5, 4),
-    ]
+fn gen_shape(rng: &mut DdcRng) -> Vec<usize> {
+    match rng.gen_range(0usize..4) {
+        0 => vec![rng.gen_range(1usize..=48)],
+        1 => (0..2).map(|_| rng.gen_range(1usize..=16)).collect(),
+        2 => (0..3).map(|_| rng.gen_range(1usize..=8)).collect(),
+        _ => (0..4).map(|_| rng.gen_range(1usize..=5)).collect(),
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -25,14 +25,20 @@ enum Op {
     Query(Vec<f64>, Vec<f64>),
 }
 
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    let coord = proptest::collection::vec(0.0f64..1.0, 1..=4);
-    let op = prop_oneof![
-        (coord.clone(), -1000i64..1000).prop_map(|(c, v)| Op::Update(c, v)),
-        (coord.clone(), -1000i64..1000).prop_map(|(c, v)| Op::Set(c, v)),
-        (coord.clone(), coord).prop_map(|(a, b)| Op::Query(a, b)),
-    ];
-    proptest::collection::vec(op, 1..24)
+fn gen_coord(rng: &mut DdcRng) -> Vec<f64> {
+    let len = rng.gen_range(1usize..=4);
+    (0..len).map(|_| rng.next_f64()).collect()
+}
+
+fn gen_ops(rng: &mut DdcRng) -> Vec<Op> {
+    let count = rng.gen_range(1usize..24);
+    (0..count)
+        .map(|_| match rng.gen_range(0usize..3) {
+            0 => Op::Update(gen_coord(rng), rng.gen_range(-1000i64..1000)),
+            1 => Op::Set(gen_coord(rng), rng.gen_range(-1000i64..1000)),
+            _ => Op::Query(gen_coord(rng), gen_coord(rng)),
+        })
+        .collect()
 }
 
 fn scale(frac: &[f64], dims: &[usize]) -> Vec<usize> {
@@ -52,17 +58,14 @@ fn all_kinds() -> Vec<EngineKind> {
     v.push(EngineKind::CustomDdc(
         DdcConfig::dynamic().with_base(BaseStore::Fenwick),
     ));
-    v.push(EngineKind::CustomDdc(
-        DdcConfig::basic().with_elision(1),
-    ));
+    v.push(EngineKind::CustomDdc(DdcConfig::basic().with_elision(1)));
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_engines_match_ground_truth(dims in shape_strategy(), ops in ops_strategy()) {
+for_cases! {
+    fn all_engines_match_ground_truth(rng, cases = 48) {
+        let dims = gen_shape(rng);
+        let ops = gen_ops(rng);
         let shape = Shape::new(&dims);
         let mut truth = NdArray::<i64>::zeroed(shape.clone());
         let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> =
@@ -79,11 +82,11 @@ proptest! {
                 }
                 Op::Set(c, v) => {
                     let p = scale(c, &dims);
+                    let expect_old = truth.get(&p);
                     truth.set(&p, *v);
                     for e in engines.iter_mut() {
-                        let old = e.set(&p, *v);
                         // All engines must agree on the previous value too.
-                        prop_assert_eq!(old + *v - *v, old);
+                        assert_eq!(e.set(&p, *v), expect_old, "{} old value", e.name());
                     }
                 }
                 Op::Query(a, b) => {
@@ -96,7 +99,7 @@ proptest! {
                     let q = Region::new(&lo, &hi);
                     let expect = truth.region_sum(&q);
                     for e in engines.iter() {
-                        prop_assert_eq!(
+                        assert_eq!(
                             e.range_sum(&q), expect,
                             "{} on {:?}", e.name(), q
                         );
@@ -109,14 +112,15 @@ proptest! {
         let corner: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
         let expect = truth.prefix_sum(&corner);
         for e in engines.iter() {
-            prop_assert_eq!(e.prefix_sum(&corner), expect, "{}", e.name());
+            assert_eq!(e.prefix_sum(&corner), expect, "{}", e.name());
             let p = scale(&[0.5, 0.5, 0.5, 0.5], &dims);
-            prop_assert_eq!(e.cell(&p), truth.get(&p), "{} cell", e.name());
+            assert_eq!(e.cell(&p), truth.get(&p), "{} cell", e.name());
         }
     }
 
-    #[test]
-    fn from_array_equals_incremental(dims in shape_strategy(), seed in 0u64..1000) {
+    fn from_array_equals_incremental(rng, cases = 48) {
+        let dims = gen_shape(rng);
+        let seed = rng.next_u64();
         let shape = Shape::new(&dims);
         let base = ddc_workload::uniform_array(&shape, -20, 20, &mut ddc_workload::rng(seed));
         let built = ddc_core::DdcEngine::from_array(&base);
@@ -128,7 +132,7 @@ proptest! {
             }
         }
         let corner: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
-        prop_assert_eq!(built.prefix_sum(&corner), incremental.prefix_sum(&corner));
+        assert_eq!(built.prefix_sum(&corner), incremental.prefix_sum(&corner));
         built.check_invariants();
         incremental.check_invariants();
     }

@@ -3,37 +3,36 @@
 //! decomposition identity on arbitrary regions.
 
 use ddc_array::{AbelianGroup, NdArray, Pair, Region, Shape};
-use proptest::prelude::*;
+use ddc_tests::for_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn i64_group_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
-        prop_assert_eq!(a.add(b), b.add(a));
-        prop_assert_eq!(a.add(b.add(c)), a.add(b).add(c));
-        prop_assert_eq!(a.add(i64::ZERO), a);
-        prop_assert_eq!(a.add(b).sub(b), a);
-        prop_assert_eq!(a.add(a.neg()), 0);
+for_cases! {
+    fn i64_group_laws(rng, cases = 128) {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
+        let c = rng.next_u64() as i64;
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.add(b.add(c)), a.add(b).add(c));
+        assert_eq!(a.add(i64::ZERO), a);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.add(a.neg()), 0);
     }
 
-    #[test]
-    fn pair_group_laws(a in any::<(i32, i32)>(), b in any::<(i32, i32)>()) {
-        let x = Pair::new(a.0 as i64, a.1 as i64);
-        let y = Pair::new(b.0 as i64, b.1 as i64);
-        prop_assert_eq!(x.add(y), y.add(x));
-        prop_assert_eq!(x.add(y).sub(y), x);
-        prop_assert_eq!(x.add(Pair::ZERO), x);
+    fn pair_group_laws(rng, cases = 128) {
+        let x = Pair::new(rng.next_u64() as i32 as i64, rng.next_u64() as i32 as i64);
+        let y = Pair::new(rng.next_u64() as i32 as i64, rng.next_u64() as i32 as i64);
+        assert_eq!(x.add(y), y.add(x));
+        assert_eq!(x.add(y).sub(y), x);
+        assert_eq!(x.add(Pair::ZERO), x);
     }
 
     /// Figure 4: for any region R and any array A,
     /// Sum(R) = Σ ± prefix-sums of the decomposition corners.
-    #[test]
-    fn prefix_decomposition_identity(
-        dims in proptest::collection::vec(1usize..8, 1..4),
-        seed in 0u64..500,
-        fracs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 4),
-    ) {
+    fn prefix_decomposition_identity(rng, cases = 128) {
+        let d = rng.gen_range(1usize..4);
+        let dims: Vec<usize> = (0..d).map(|_| rng.gen_range(1usize..8)).collect();
+        let seed = rng.next_u64();
+        let fracs: Vec<(f64, f64)> = (0..4).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+
         let shape = Shape::new(&dims);
         let a = ddc_workload::uniform_array(&shape, -50, 50, &mut ddc_workload::rng(seed));
         let lo: Vec<usize> = dims.iter().enumerate()
@@ -50,27 +49,24 @@ proptest! {
             let p = a.prefix_sum(&term.corner);
             via_prefix = if term.sign > 0 { via_prefix + p } else { via_prefix - p };
         }
-        prop_assert_eq!(direct, via_prefix);
+        assert_eq!(direct, via_prefix);
     }
 
     /// Decomposition terms are unique corners with correct sign parity.
-    #[test]
-    fn decomposition_structure(
-        lo in proptest::collection::vec(0usize..6, 1..4),
-        extent in proptest::collection::vec(1usize..5, 1..4),
-    ) {
-        let d = lo.len().min(extent.len());
-        let lo = &lo[..d];
-        let hi: Vec<usize> = lo.iter().zip(&extent[..d]).map(|(&l, &e)| l + e).collect();
-        let region = Region::new(lo, &hi);
+    fn decomposition_structure(rng, cases = 128) {
+        let d = rng.gen_range(1usize..4);
+        let lo: Vec<usize> = (0..d).map(|_| rng.gen_range(0usize..6)).collect();
+        let extent: Vec<usize> = (0..d).map(|_| rng.gen_range(1usize..5)).collect();
+        let hi: Vec<usize> = lo.iter().zip(&extent).map(|(&l, &e)| l + e).collect();
+        let region = Region::new(&lo, &hi);
         let terms = region.prefix_decomposition();
-        prop_assert!(terms.len() <= 1 << d);
-        prop_assert!(!terms.is_empty());
+        assert!(terms.len() <= 1 << d);
+        assert!(!terms.is_empty());
         // Corners are pairwise distinct.
         let mut corners: Vec<&Vec<usize>> = terms.iter().map(|t| &t.corner).collect();
         corners.sort();
         corners.dedup();
-        prop_assert_eq!(corners.len(), terms.len());
+        assert_eq!(corners.len(), terms.len());
         // Signs sum to the inclusion–exclusion invariant: exactly one net
         // positive region (the query region itself) for an indicator test
         // array of all-ones restricted to the region's upper corner.
@@ -82,15 +78,17 @@ proptest! {
             let p = ones.prefix_sum(&t.corner);
             total = if t.sign > 0 { total + p } else { total - p };
         }
-        prop_assert_eq!(total, 1);
+        assert_eq!(total, 1);
     }
 
-    #[test]
-    fn linearize_roundtrip(dims in proptest::collection::vec(1usize..9, 1..5), frac in 0.0f64..1.0) {
+    fn linearize_roundtrip(rng, cases = 128) {
+        let d = rng.gen_range(1usize..5);
+        let dims: Vec<usize> = (0..d).map(|_| rng.gen_range(1usize..9)).collect();
+        let frac = rng.next_f64();
         let shape = Shape::new(&dims);
         let idx = ((frac * shape.cells() as f64) as usize).min(shape.cells() - 1);
         let p = shape.delinearize(idx);
-        prop_assert_eq!(shape.linear(&p), idx);
-        prop_assert!(shape.contains(&p));
+        assert_eq!(shape.linear(&p), idx);
+        assert!(shape.contains(&p));
     }
 }

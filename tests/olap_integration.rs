@@ -4,7 +4,6 @@
 
 use ddc_olap::{CubeBuilder, DataCube, Dimension, EngineKind, RangeSpec, SumCountCube};
 use ddc_workload::rng;
-use rand::Rng;
 
 fn build_cube(kind: EngineKind) -> SumCountCube {
     CubeBuilder::new()
@@ -38,14 +37,18 @@ fn every_engine_answers_the_same_analytics() {
             RangeSpec::Between(27.into(), 45.into()),
             RangeSpec::Between((24 * 3_600).into(), (48 * 3_600 - 1).into()),
         ],
-        [RangeSpec::Eq(37.into()), RangeSpec::Between(0.into(), 3_599.into())],
+        [
+            RangeSpec::Eq(37.into()),
+            RangeSpec::Between(0.into(), 3_599.into()),
+        ],
     ];
 
     let mut answers: Vec<Vec<(i64, i64)>> = Vec::new();
     for kind in EngineKind::ALL {
         let mut cube = build_cube(kind);
         for (age, t, amount) in &sales {
-            cube.add_observation(&[(*age).into(), (*t).into()], *amount).unwrap();
+            cube.add_observation(&[(*age).into(), (*t).into()], *amount)
+                .unwrap();
         }
         let per_engine: Vec<(i64, i64)> = questions
             .iter()
@@ -66,15 +69,19 @@ fn average_consistency_under_retraction() {
     let mut cube = build_cube(EngineKind::DynamicDdc);
     let sales = workload();
     for (age, t, amount) in &sales {
-        cube.add_observation(&[(*age).into(), (*t).into()], *amount).unwrap();
+        cube.add_observation(&[(*age).into(), (*t).into()], *amount)
+            .unwrap();
     }
     // Retract every other sale; averages must match a recomputed cube.
     let mut fresh = build_cube(EngineKind::DynamicDdc);
     for (i, (age, t, amount)) in sales.iter().enumerate() {
         if i % 2 == 0 {
-            cube.retract_observation(&[(*age).into(), (*t).into()], *amount).unwrap();
+            cube.retract_observation(&[(*age).into(), (*t).into()], *amount)
+                .unwrap();
         } else {
-            fresh.add_observation(&[(*age).into(), (*t).into()], *amount).unwrap();
+            fresh
+                .add_observation(&[(*age).into(), (*t).into()], *amount)
+                .unwrap();
         }
     }
     let q = [RangeSpec::Between(30.into(), 60.into()), RangeSpec::All];
@@ -100,11 +107,12 @@ fn three_dimensional_cube_with_categorical_dimension() {
     let products = ["widget", "gadget", "gizmo", "doodad"];
     let mut eu_gadget_total = 0i64;
     for _ in 0..300 {
-        let region = regions[r.gen_range(0..3)];
-        let product = products[r.gen_range(0..4)];
+        let region = regions[r.gen_range(0usize..3)];
+        let product = products[r.gen_range(0usize..4)];
         let week = r.gen_range(1..=52i64);
         let revenue = r.gen_range(10..1_000i64);
-        cube.add(&[region.into(), product.into(), week.into()], revenue).unwrap();
+        cube.add(&[region.into(), product.into(), week.into()], revenue)
+            .unwrap();
         if region == "eu" && product == "gadget" {
             eu_gadget_total += revenue;
         }

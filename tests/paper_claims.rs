@@ -8,7 +8,10 @@ use ddc_costmodel::{complexity, table1, table2};
 /// 100 elements; yet the full data cube is [10^16] cells."
 #[test]
 fn intro_cube_size() {
-    assert_eq!(table1::nearest_power_of_ten(table1::full_cube_size(1e2, 8)), 16);
+    assert_eq!(
+        table1::nearest_power_of_ten(table1::full_cube_size(1e2, 8)),
+        16
+    );
 }
 
 /// §1: "the prefix sum method requires on the order of [10^9] times more

@@ -2,17 +2,18 @@
 
 use ddc_array::{RangeSumEngine, Shape};
 use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
-use proptest::prelude::*;
+use ddc_tests::for_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn engine_snapshots_roundtrip(
-        dims in proptest::collection::vec(1usize..12, 1..=3),
-        cells in proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..1.0, 3), -1000i64..1000), 0..25),
-    ) {
+for_cases! {
+    fn engine_snapshots_roundtrip(rng, cases = 32) {
+        let d = rng.gen_range(1usize..=3);
+        let dims: Vec<usize> = (0..d).map(|_| rng.gen_range(1usize..12)).collect();
+        let cells: Vec<(Vec<f64>, i64)> = (0..rng.gen_range(0usize..25))
+            .map(|_| {
+                let frac: Vec<f64> = (0..3).map(|_| rng.next_f64()).collect();
+                (frac, rng.gen_range(-1000i64..1000))
+            })
+            .collect();
         let shape = Shape::new(&dims);
         let mut e = DdcEngine::<i64>::dynamic(shape.clone());
         for (frac, v) in &cells {
@@ -24,18 +25,20 @@ proptest! {
         e.save(&mut buf).unwrap();
         let restored = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::sparse()).unwrap();
         for p in shape.iter_points() {
-            prop_assert_eq!(restored.cell(&p), e.cell(&p));
+            assert_eq!(restored.cell(&p), e.cell(&p));
         }
         // Snapshot size is header + entries only.
         let entries = e.entries().len();
-        prop_assert!(buf.len() <= 17 + dims.len() * 8 + entries * (dims.len() + 1) * 8 + 8);
+        assert!(buf.len() <= 17 + dims.len() * 8 + entries * (dims.len() + 1) * 8 + 8);
     }
 
-    #[test]
-    fn growable_snapshots_roundtrip(
-        points in proptest::collection::vec(
-            (proptest::collection::vec(-500i64..500, 2), -100i64..100), 0..20),
-    ) {
+    fn growable_snapshots_roundtrip(rng, cases = 32) {
+        let points: Vec<(Vec<i64>, i64)> = (0..rng.gen_range(0usize..20))
+            .map(|_| {
+                let p: Vec<i64> = (0..2).map(|_| rng.gen_range(-500i64..500)).collect();
+                (p, rng.gen_range(-100i64..100))
+            })
+            .collect();
         let mut cube = GrowableCube::<i64>::new(2, DdcConfig::sparse());
         for (p, v) in &points {
             cube.add(p, *v);
@@ -44,17 +47,15 @@ proptest! {
         cube.save(&mut buf).unwrap();
         let restored =
             GrowableCube::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap();
-        prop_assert_eq!(restored.total(), cube.total());
-        prop_assert_eq!(restored.populated_cells(), cube.populated_cells());
+        assert_eq!(restored.total(), cube.total());
+        assert_eq!(restored.populated_cells(), cube.populated_cells());
         for (p, _) in &points {
-            prop_assert_eq!(restored.cell(p), cube.cell(p), "{:?}", p);
+            assert_eq!(restored.cell(p), cube.cell(p), "{:?}", p);
         }
     }
 
-    #[test]
-    fn truncated_snapshots_error_not_panic(
-        cut in 0usize..64,
-    ) {
+    fn truncated_snapshots_error_not_panic(rng, cases = 32) {
+        let cut = rng.gen_range(0usize..64);
         let mut e = DdcEngine::<i64>::dynamic(Shape::new(&[4, 4]));
         e.apply_delta(&[1, 2], 7);
         e.apply_delta(&[3, 3], -2);
@@ -62,7 +63,7 @@ proptest! {
         e.save(&mut buf).unwrap();
         if cut < buf.len() {
             let r = DdcEngine::<i64>::load(&mut &buf[..cut], DdcConfig::dynamic());
-            prop_assert!(r.is_err(), "truncation at {} accepted", cut);
+            assert!(r.is_err(), "truncation at {} accepted", cut);
         }
     }
 }
@@ -74,7 +75,6 @@ proptest! {
 fn float_cube_engines_agree_within_epsilon() {
     use ddc_baselines::NaiveEngine;
     use ddc_workload::{rng, uniform_regions};
-    use rand::Rng;
 
     let shape = Shape::cube(2, 32);
     let mut r = rng(91);

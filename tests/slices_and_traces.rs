@@ -1,11 +1,12 @@
 //! Integration: slice views and query traces over the real engines, and
-//! trace replay as a cross-engine equivalence oracle under proptest.
+//! trace replay as a cross-engine equivalence oracle under the seeded
+//! property harness.
 
 use ddc_array::{NdArray, RangeSumEngine, Region, Shape, SliceView};
 use ddc_core::{DdcConfig, DdcEngine};
 use ddc_olap::EngineKind;
+use ddc_tests::for_cases;
 use ddc_workload::{rng, uniform_array, Trace, TraceOp};
-use proptest::prelude::*;
 
 #[test]
 fn slices_over_the_ddc_match_manual_plane_sums() {
@@ -43,8 +44,11 @@ fn slices_over_the_ddc_match_manual_plane_sums() {
 fn trace_of_every_query_sums_to_the_prefix() {
     let shape = Shape::new(&[16, 16]);
     let a = uniform_array(&shape, -20, 20, &mut rng(32));
-    for config in [DdcConfig::dynamic(), DdcConfig::sparse(), DdcConfig::dynamic().with_elision(2)]
-    {
+    for config in [
+        DdcConfig::dynamic(),
+        DdcConfig::sparse(),
+        DdcConfig::dynamic().with_elision(2),
+    ] {
         let e = DdcEngine::from_array_with(&a, config);
         for p in shape.iter_points() {
             let steps = e.tree().trace_prefix(&p);
@@ -68,18 +72,14 @@ fn trace_visits_at_most_constant_boxes_per_level() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
+for_cases! {
     /// Any generated trace replayed through every engine yields one
     /// checksum — the replay harness as an equivalence oracle.
-    #[test]
-    fn traces_replay_identically_across_engines(
-        seed in 0u64..10_000,
-        n in 4usize..20,
-        ops in 1usize..60,
-        update_fraction in 0.0f64..1.0,
-    ) {
+    fn traces_replay_identically_across_engines(rng_, cases = 24) {
+        let seed = rng_.next_u64();
+        let n = rng_.gen_range(4usize..20);
+        let ops = rng_.gen_range(1usize..60);
+        let update_fraction = rng_.next_f64();
         let shape = Shape::cube(2, n);
         let trace = Trace::generate(&shape, ops, update_fraction, &mut rng(seed));
         let mut checksums = Vec::new();
@@ -90,29 +90,27 @@ proptest! {
         // …including the non-paper comparator.
         let mut bit = EngineKind::FenwickNd.build::<i64>(shape.clone());
         checksums.push(trace.replay(bit.as_mut()).checksum);
-        prop_assert!(checksums.windows(2).all(|w| w[0] == w[1]), "{checksums:?}");
+        assert!(checksums.windows(2).all(|w| w[0] == w[1]), "{checksums:?}");
     }
 
     /// Round-tripping a trace through its text format replays the same.
-    #[test]
-    fn trace_text_roundtrip_preserves_replay(seed in 0u64..10_000) {
+    fn trace_text_roundtrip_preserves_replay(rng_, cases = 24) {
+        let seed = rng_.next_u64();
         let shape = Shape::cube(2, 12);
         let trace = Trace::generate(&shape, 40, 0.5, &mut rng(seed));
         let reparsed = Trace::parse(&trace.to_text()).expect("own output parses");
         let mut a = EngineKind::DynamicDdc.build::<i64>(shape.clone());
         let mut b = EngineKind::DynamicDdc.build::<i64>(shape.clone());
-        prop_assert_eq!(trace.replay(a.as_mut()), reparsed.replay(b.as_mut()));
+        assert_eq!(trace.replay(a.as_mut()), reparsed.replay(b.as_mut()));
     }
 
     /// Slicing commutes with updating: update-then-slice equals
     /// slice-of-updated for arbitrary cells.
-    #[test]
-    fn slice_reflects_updates(
-        axis in 0usize..3,
-        index in 0usize..6,
-        cell in proptest::collection::vec(0usize..6, 3),
-        delta in -100i64..100,
-    ) {
+    fn slice_reflects_updates(rng_, cases = 24) {
+        let axis = rng_.gen_range(0usize..3);
+        let index = rng_.gen_range(0usize..6);
+        let cell: Vec<usize> = (0..3).map(|_| rng_.gen_range(0usize..6)).collect();
+        let delta = rng_.gen_range(-100i64..100);
         let shape = Shape::cube(3, 6);
         let mut e = DdcEngine::<i64>::dynamic(shape.clone());
         e.apply_delta(&cell, delta);
@@ -124,22 +122,22 @@ proptest! {
             .map(|(_, &c)| c)
             .collect();
         let expected = if cell[axis] == index { delta } else { 0 };
-        prop_assert_eq!(v.cell(&rest), expected);
+        assert_eq!(v.cell(&rest), expected);
         let full = Region::full(v.shape());
-        prop_assert_eq!(v.range_sum(&full), expected);
+        assert_eq!(v.range_sum(&full), expected);
     }
 
     /// TraceOp structural sanity for generated traces.
-    #[test]
-    fn generated_traces_are_well_formed(seed in 0u64..10_000) {
+    fn generated_traces_are_well_formed(rng_, cases = 24) {
+        let seed = rng_.next_u64();
         let shape = Shape::new(&[7, 13]);
         let t = Trace::generate(&shape, 50, 0.3, &mut rng(seed));
         for op in &t.ops {
             match op {
-                TraceOp::Update { point, .. } => prop_assert!(shape.contains(point)),
+                TraceOp::Update { point, .. } => assert!(shape.contains(point)),
                 TraceOp::Query { lo, hi } => {
-                    prop_assert!(shape.contains(lo) && shape.contains(hi));
-                    prop_assert!(lo.iter().zip(hi).all(|(l, h)| l <= h));
+                    assert!(shape.contains(lo) && shape.contains(hi));
+                    assert!(lo.iter().zip(hi).all(|(l, h)| l <= h));
                 }
             }
         }

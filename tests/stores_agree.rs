@@ -3,7 +3,7 @@
 //! under arbitrary update sequences, fanouts, and insertions.
 
 use ddc_btree::{BcTree, CumulativeStore, Fenwick, SparseSegTree};
-use proptest::prelude::*;
+use ddc_tests::{for_cases, DdcRng};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,21 +13,27 @@ enum Op {
     Range(usize, usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    let op = prop_oneof![
-        (0usize..64, -500i64..500).prop_map(|(i, v)| Op::Add(i, v)),
-        (0usize..64, -500i64..500).prop_map(|(i, v)| Op::Set(i, v)),
-        (0usize..64).prop_map(Op::Prefix),
-        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
-    ];
-    proptest::collection::vec(op, 1..60)
+fn gen_ops(rng: &mut DdcRng) -> Vec<Op> {
+    let count = rng.gen_range(1usize..60);
+    (0..count)
+        .map(|_| match rng.gen_range(0usize..4) {
+            0 => Op::Add(rng.gen_range(0usize..64), rng.gen_range(-500i64..500)),
+            1 => Op::Set(rng.gen_range(0usize..64), rng.gen_range(-500i64..500)),
+            2 => Op::Prefix(rng.gen_range(0usize..64)),
+            _ => {
+                let a = rng.gen_range(0usize..64);
+                let b = rng.gen_range(0usize..64);
+                Op::Range(a.min(b), a.max(b))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn stores_match_vec_reference(len in 1usize..64, fanout in 3usize..12, ops in ops()) {
+for_cases! {
+    fn stores_match_vec_reference(rng, cases = 64) {
+        let len = rng.gen_range(1usize..64);
+        let fanout = rng.gen_range(3usize..12);
+        let ops = gen_ops(rng);
         let mut reference = vec![0i64; len];
         let mut stores: Vec<Box<dyn CumulativeStore<i64>>> = vec![
             Box::new(BcTree::zeroed(fanout, len)),
@@ -54,7 +60,7 @@ proptest! {
                     let i = i % len;
                     let expect: i64 = reference[..=i].iter().sum();
                     for s in stores.iter() {
-                        prop_assert_eq!(s.prefix(i), expect, "{}", s.name());
+                        assert_eq!(s.prefix(i), expect, "{}", s.name());
                     }
                 }
                 Op::Range(a, b) => {
@@ -62,23 +68,26 @@ proptest! {
                     let (a, b) = (a.min(b), a.max(b));
                     let expect: i64 = reference[a..=b].iter().sum();
                     for s in stores.iter() {
-                        prop_assert_eq!(s.range(a, b), expect, "{}", s.name());
+                        assert_eq!(s.range(a, b), expect, "{}", s.name());
                     }
                 }
             }
         }
         // Terminal: totals and every value agree.
         for s in stores.iter() {
-            prop_assert_eq!(s.total(), reference.iter().sum::<i64>(), "{}", s.name());
+            assert_eq!(s.total(), reference.iter().sum::<i64>(), "{}", s.name());
             for (i, &v) in reference.iter().enumerate() {
-                prop_assert_eq!(s.value(i), v, "{} value({})", s.name(), i);
+                assert_eq!(s.value(i), v, "{} value({})", s.name(), i);
             }
         }
     }
 
-    #[test]
-    fn bc_insertion_matches_vec(fanout in 3usize..8,
-                                inserts in proptest::collection::vec((0usize..100, -100i64..100), 1..80)) {
+    fn bc_insertion_matches_vec(rng, cases = 64) {
+        let fanout = rng.gen_range(3usize..8);
+        let count = rng.gen_range(1usize..80);
+        let inserts: Vec<(usize, i64)> = (0..count)
+            .map(|_| (rng.gen_range(0usize..100), rng.gen_range(-100i64..100)))
+            .collect();
         let mut reference: Vec<i64> = Vec::new();
         let mut tree = BcTree::<i64>::new(fanout);
         for (pos, v) in &inserts {
@@ -86,19 +95,20 @@ proptest! {
             reference.insert(pos, *v);
             tree.insert(pos, *v);
         }
-        prop_assert_eq!(tree.len(), reference.len());
+        assert_eq!(tree.len(), reference.len());
         let mut acc = 0i64;
         for (i, &v) in reference.iter().enumerate() {
             acc += v;
-            prop_assert_eq!(tree.prefix(i), acc, "prefix({})", i);
+            assert_eq!(tree.prefix(i), acc, "prefix({})", i);
         }
     }
 
-    #[test]
-    fn bc_insert_remove_matches_vec(
-        fanout in 3usize..8,
-        ops in proptest::collection::vec((any::<bool>(), 0usize..100, -100i64..100), 1..120),
-    ) {
+    fn bc_insert_remove_matches_vec(rng, cases = 64) {
+        let fanout = rng.gen_range(3usize..8);
+        let count = rng.gen_range(1usize..120);
+        let ops: Vec<(bool, usize, i64)> = (0..count)
+            .map(|_| (rng.gen_bool(0.5), rng.gen_range(0usize..100), rng.gen_range(-100i64..100)))
+            .collect();
         let mut reference: Vec<i64> = Vec::new();
         let mut tree = BcTree::<i64>::new(fanout);
         for (is_insert, pos, v) in &ops {
@@ -108,37 +118,39 @@ proptest! {
                 tree.insert(pos, *v);
             } else {
                 let pos = pos % reference.len();
-                prop_assert_eq!(tree.remove(pos), reference.remove(pos));
+                assert_eq!(tree.remove(pos), reference.remove(pos));
             }
         }
-        prop_assert_eq!(tree.len(), reference.len());
+        assert_eq!(tree.len(), reference.len());
         let mut acc = 0i64;
         for (i, &v) in reference.iter().enumerate() {
             acc += v;
-            prop_assert_eq!(tree.prefix(i), acc, "prefix({})", i);
-            prop_assert_eq!(tree.value(i), v, "value({})", i);
+            assert_eq!(tree.prefix(i), acc, "prefix({})", i);
+            assert_eq!(tree.value(i), v, "value({})", i);
         }
     }
 
-    #[test]
-    fn fenwick_push_matches_from_values(values in proptest::collection::vec(-100i64..100, 1..120)) {
+    fn fenwick_push_matches_from_values(rng, cases = 64) {
+        let count = rng.gen_range(1usize..120);
+        let values: Vec<i64> = (0..count).map(|_| rng.gen_range(-100i64..100)).collect();
         let bulk = Fenwick::from_values(&values);
         let mut grown = Fenwick::<i64>::zeroed(0);
         for &v in &values {
             grown.push(v);
         }
         for i in 0..values.len() {
-            prop_assert_eq!(bulk.prefix(i), grown.prefix(i), "prefix({})", i);
+            assert_eq!(bulk.prefix(i), grown.prefix(i), "prefix({})", i);
         }
     }
 
-    #[test]
-    fn sparse_seg_memory_tracks_population(indices in proptest::collection::vec(0usize..10_000, 1..20)) {
+    fn sparse_seg_memory_tracks_population(rng, cases = 64) {
+        let count = rng.gen_range(1usize..20);
+        let indices: Vec<usize> = (0..count).map(|_| rng.gen_range(0usize..10_000)).collect();
         let mut t = SparseSegTree::<i64>::zeroed(10_000);
         for &i in &indices {
             t.add(i, 1);
         }
         // Path length is ⌈log2 10000⌉ + 1 = 15 nodes max per insert.
-        prop_assert!(t.node_count() <= indices.len() * 15);
+        assert!(t.node_count() <= indices.len() * 15);
     }
 }

@@ -29,5 +29,5 @@ pub use engine::RangeSumEngine;
 pub use group::{AbelianGroup, Checked, Pair};
 pub use region::{PrefixTerm, Region, RegionPointIter};
 pub use shadow::ShadowEngine;
-pub use shape::{PointIter, Shape};
+pub use shape::{PointIter, Shape, ShapeError};
 pub use slice::SliceView;

@@ -8,6 +8,38 @@
 
 use std::fmt;
 
+/// Why a dimension list cannot form a [`Shape`].
+///
+/// Returned by [`Shape::try_new`], the checked constructor used wherever
+/// the dimension list comes from untrusted input (snapshot headers, trace
+/// files, shell commands).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The dimension list was empty.
+    NoDimensions,
+    /// A dimension had size zero (the offending axis).
+    EmptyDimension(usize),
+    /// The total cell count `n_1 · … · n_d` overflows `usize`.
+    CellOverflow,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoDimensions => write!(f, "a data cube needs at least one dimension"),
+            Self::EmptyDimension(axis) => {
+                write!(
+                    f,
+                    "dimension {axis} is empty (every dimension must be non-empty)"
+                )
+            }
+            Self::CellOverflow => write!(f, "total cell count overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 /// The extent of a `d`-dimensional array: one size per dimension.
 ///
 /// Row-major order: the *last* dimension is contiguous in memory.
@@ -45,18 +77,28 @@ impl Shape {
     /// count overflows `usize` — all programming errors for the structures
     /// built here.
     pub fn new(dims: &[usize]) -> Self {
-        assert!(!dims.is_empty(), "a data cube needs at least one dimension");
-        assert!(
-            dims.iter().all(|&n| n > 0),
-            "every dimension must be non-empty, got {dims:?}"
-        );
+        match Self::try_new(dims) {
+            Ok(shape) => shape,
+            Err(e) => panic!("invalid shape {dims:?}: {e}"),
+        }
+    }
+
+    /// Checked variant of [`Shape::new`]: rejects empty dimension lists,
+    /// zero-sized dimensions, and cell counts that overflow `usize`
+    /// instead of panicking. Use this wherever the dimension list comes
+    /// from outside the program (snapshot files, traces, user commands).
+    pub fn try_new(dims: &[usize]) -> Result<Self, ShapeError> {
+        if dims.is_empty() {
+            return Err(ShapeError::NoDimensions);
+        }
+        if let Some(axis) = dims.iter().position(|&n| n == 0) {
+            return Err(ShapeError::EmptyDimension(axis));
+        }
         let mut cells: usize = 1;
         for &n in dims {
-            cells = cells
-                .checked_mul(n)
-                .unwrap_or_else(|| panic!("cell count overflow for shape {dims:?}"));
+            cells = cells.checked_mul(n).ok_or(ShapeError::CellOverflow)?;
         }
-        Self { dims: dims.into() }
+        Ok(Self { dims: dims.into() })
     }
 
     /// A `d`-dimensional hyper-cube shape with side `n` — the paper's cost
@@ -296,6 +338,27 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_dim_rejected() {
         Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_dimension_lists() {
+        assert_eq!(Shape::try_new(&[]), Err(ShapeError::NoDimensions));
+        assert_eq!(
+            Shape::try_new(&[4, 0, 2]),
+            Err(ShapeError::EmptyDimension(1))
+        );
+        // Product overflows usize: 2^40 · 2^40 > 2^64.
+        let huge = 1usize << 40;
+        assert_eq!(Shape::try_new(&[huge, huge]), Err(ShapeError::CellOverflow));
+        // usize::MAX alone is a valid (if impractical) cell count.
+        assert!(Shape::try_new(&[usize::MAX]).is_ok());
+        assert_eq!(Shape::try_new(&[3, 5]).unwrap().cells(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn new_panics_on_cell_overflow() {
+        Shape::new(&[usize::MAX, 2]);
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Uniform drivers over every engine in the workspace.
+//!
+//! A [`CheckEngine`] speaks the trace's language — signed logical
+//! coordinates, growth in any direction, save/load round-trips, flush
+//! barriers — and each adapter translates that onto one engine's real
+//! API. Fixed-shape engines (the Table-1 baselines) have no growth
+//! story, so their adapter *rebuilds* on [`CheckEngine::grow`] by
+//! copying cells into a larger instance; the growable engines grow
+//! organically and treat it as a no-op.
+
+use ddc_array::{RangeSumEngine, Region, Shape};
+use ddc_baselines::{
+    GrowablePrefixSum, MultiFenwick, NaiveEngine, PrefixSumEngine, RelativePrefixEngine,
+};
+use ddc_core::{DdcConfig, DdcEngine, GrowableCube, ShardConfig, ShardedCube, SharedCube};
+use ddc_workload::BoxState;
+
+/// One engine under differential test, addressed in trace coordinates.
+pub trait CheckEngine {
+    /// Display name, including any config variant.
+    fn name(&self) -> &str;
+
+    /// Adds `delta` at the signed logical `point`.
+    fn add(&mut self, point: &[i64], delta: i64);
+
+    /// Sets the cell, returning the previous value (compared).
+    fn set(&mut self, point: &[i64], value: i64) -> i64;
+
+    /// Reads one cell (compared).
+    fn cell(&self, point: &[i64]) -> i64;
+
+    /// Range sum over the closed logical box (compared).
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64;
+
+    /// The covered box grew; `new_box` is the box *after* growth.
+    fn grow(&mut self, new_box: &BoxState);
+
+    /// Save/load round-trip for engines that persist. Non-persistent
+    /// engines return `Ok(())` untouched.
+    fn save_load(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Group-commit barrier for engines with write queues.
+    fn flush(&mut self) {}
+}
+
+fn phys(point: &[i64], origin: &[i64]) -> Vec<usize> {
+    point
+        .iter()
+        .zip(origin)
+        .map(|(&c, &o)| (c - o) as usize)
+        .collect()
+}
+
+/// Adapter for fixed-shape [`RangeSumEngine`]s: keeps the current box
+/// origin for coordinate translation and rebuilds (copying every
+/// populated cell) when the box grows.
+pub struct FixedAdapter<E: RangeSumEngine<i64>> {
+    label: String,
+    engine: E,
+    origin: Vec<i64>,
+    build: Box<dyn Fn(Shape) -> E + Send>,
+}
+
+impl<E: RangeSumEngine<i64>> FixedAdapter<E> {
+    /// Wraps a fresh engine covering `init`, built by `build`.
+    pub fn new(
+        label: impl Into<String>,
+        init: &BoxState,
+        build: impl Fn(Shape) -> E + Send + 'static,
+    ) -> Self {
+        let engine = build(Shape::new(&init.dims));
+        Self {
+            label: label.into(),
+            engine,
+            origin: init.origin.clone(),
+            build: Box::new(build),
+        }
+    }
+}
+
+impl<E: RangeSumEngine<i64>> CheckEngine for FixedAdapter<E> {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.engine.apply_delta(&phys(point, &self.origin), delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        self.engine.set(&phys(point, &self.origin), value)
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.engine.cell(&phys(point, &self.origin))
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        self.engine.range_sum(&Region::new(
+            &phys(lo, &self.origin),
+            &phys(hi, &self.origin),
+        ))
+    }
+
+    fn grow(&mut self, new_box: &BoxState) {
+        let mut next = (self.build)(Shape::new(&new_box.dims));
+        for p in self.engine.shape().iter_points() {
+            let v = self.engine.cell(&p);
+            if v != 0 {
+                // Physical-in-old → logical → physical-in-new.
+                let shifted: Vec<usize> = p
+                    .iter()
+                    .zip(self.origin.iter().zip(&new_box.origin))
+                    .map(|(&c, (&old_o, &new_o))| (c as i64 + old_o - new_o) as usize)
+                    .collect();
+                next.apply_delta(&shifted, v);
+            }
+        }
+        self.engine = next;
+        self.origin = new_box.origin.clone();
+    }
+}
+
+/// Adapter for the DDC engine proper, with a real save/load round-trip
+/// through an in-memory buffer on [`CheckEngine::save_load`].
+pub struct DdcAdapter {
+    label: String,
+    engine: DdcEngine<i64>,
+    origin: Vec<i64>,
+    config: DdcConfig,
+}
+
+impl DdcAdapter {
+    /// Fresh DDC cube over `init` under `config`.
+    pub fn new(label: impl Into<String>, init: &BoxState, config: DdcConfig) -> Self {
+        Self {
+            label: label.into(),
+            engine: DdcEngine::with_config(Shape::new(&init.dims), config),
+            origin: init.origin.clone(),
+            config,
+        }
+    }
+}
+
+impl CheckEngine for DdcAdapter {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.engine.apply_delta(&phys(point, &self.origin), delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        self.engine.set(&phys(point, &self.origin), value)
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.engine.cell(&phys(point, &self.origin))
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        self.engine.range_sum(&Region::new(
+            &phys(lo, &self.origin),
+            &phys(hi, &self.origin),
+        ))
+    }
+
+    fn grow(&mut self, new_box: &BoxState) {
+        let mut next = DdcEngine::with_config(Shape::new(&new_box.dims), self.config);
+        for (p, v) in self.engine.entries() {
+            let shifted: Vec<usize> = p
+                .iter()
+                .zip(self.origin.iter().zip(&new_box.origin))
+                .map(|(&c, (&old_o, &new_o))| (c as i64 + old_o - new_o) as usize)
+                .collect();
+            next.apply_delta(&shifted, v);
+        }
+        self.engine = next;
+        self.origin = new_box.origin.clone();
+    }
+
+    fn save_load(&mut self) -> Result<(), String> {
+        let mut buf = Vec::new();
+        self.engine
+            .save(&mut buf)
+            .map_err(|e| format!("save: {e}"))?;
+        self.engine =
+            DdcEngine::load(&mut buf.as_slice(), self.config).map_err(|e| format!("load: {e}"))?;
+        Ok(())
+    }
+}
+
+/// Adapter for the lock-guarded [`SharedCube`].
+pub struct SharedAdapter {
+    cube: SharedCube<i64>,
+    origin: Vec<i64>,
+    config: DdcConfig,
+}
+
+impl SharedAdapter {
+    /// Fresh shared cube over `init` under `config`.
+    pub fn new(init: &BoxState, config: DdcConfig) -> Self {
+        Self {
+            cube: SharedCube::new(Shape::new(&init.dims), config),
+            origin: init.origin.clone(),
+            config,
+        }
+    }
+}
+
+impl CheckEngine for SharedAdapter {
+    fn name(&self) -> &str {
+        "shared-cube"
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.cube.apply_delta(&phys(point, &self.origin), delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        let p = phys(point, &self.origin);
+        self.cube.with_write(|e| e.set(&p, value))
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.cube.cell(&phys(point, &self.origin))
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        self.cube.range_sum(&Region::new(
+            &phys(lo, &self.origin),
+            &phys(hi, &self.origin),
+        ))
+    }
+
+    fn grow(&mut self, new_box: &BoxState) {
+        let shifted: Vec<(Vec<usize>, i64)> = self
+            .cube
+            .entries()
+            .into_iter()
+            .map(|(p, v)| {
+                let q: Vec<usize> = p
+                    .iter()
+                    .zip(self.origin.iter().zip(&new_box.origin))
+                    .map(|(&c, (&old_o, &new_o))| (c as i64 + old_o - new_o) as usize)
+                    .collect();
+                (q, v)
+            })
+            .collect();
+        self.cube = SharedCube::new(Shape::new(&new_box.dims), self.config);
+        self.cube.apply_batch(&shifted);
+        self.origin = new_box.origin.clone();
+    }
+
+    fn save_load(&mut self) -> Result<(), String> {
+        let config = self.config;
+        let loaded = self.cube.with_read(|e| {
+            let mut buf = Vec::new();
+            e.save(&mut buf).map_err(|x| format!("save: {x}"))?;
+            DdcEngine::load(&mut buf.as_slice(), config).map_err(|x| format!("load: {x}"))
+        })?;
+        self.cube = SharedCube::from_engine(loaded);
+        Ok(())
+    }
+}
+
+/// Adapter for the write-batching [`ShardedCube`]; queries read through
+/// the queues, so no flush is needed for correctness — only the
+/// explicit [`CheckEngine::flush`] barrier drains them.
+pub struct ShardedAdapter {
+    label: String,
+    cube: ShardedCube<i64>,
+    origin: Vec<i64>,
+    config: DdcConfig,
+    shard_config: ShardConfig,
+}
+
+impl ShardedAdapter {
+    /// Fresh sharded cube over `init`.
+    pub fn new(
+        label: impl Into<String>,
+        init: &BoxState,
+        config: DdcConfig,
+        shard_config: ShardConfig,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            cube: ShardedCube::new(Shape::new(&init.dims), config, shard_config),
+            origin: init.origin.clone(),
+            config,
+            shard_config,
+        }
+    }
+}
+
+impl CheckEngine for ShardedAdapter {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.cube.update(&phys(point, &self.origin), delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        let p = phys(point, &self.origin);
+        let old = self.cube.cell_value(&p);
+        self.cube.update(&p, value - old);
+        old
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.cube.cell_value(&phys(point, &self.origin))
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        self.cube.query(&Region::new(
+            &phys(lo, &self.origin),
+            &phys(hi, &self.origin),
+        ))
+    }
+
+    fn grow(&mut self, new_box: &BoxState) {
+        self.cube.flush();
+        let shifted: Vec<(Vec<usize>, i64)> = self
+            .cube
+            .entries()
+            .into_iter()
+            .map(|(p, v)| {
+                let q: Vec<usize> = p
+                    .iter()
+                    .zip(self.origin.iter().zip(&new_box.origin))
+                    .map(|(&c, (&old_o, &new_o))| (c as i64 + old_o - new_o) as usize)
+                    .collect();
+                (q, v)
+            })
+            .collect();
+        self.cube = ShardedCube::new(Shape::new(&new_box.dims), self.config, self.shard_config);
+        self.cube.update_batch(&shifted);
+        self.origin = new_box.origin.clone();
+    }
+
+    fn flush(&mut self) {
+        self.cube.flush();
+    }
+}
+
+/// Adapter for the natively growable DDC cube — signed coordinates pass
+/// straight through and [`CheckEngine::grow`] is organic (a no-op).
+pub struct GrowableAdapter {
+    cube: GrowableCube<i64>,
+    config: DdcConfig,
+}
+
+impl GrowableAdapter {
+    /// Fresh growable cube; `init` only fixes dimensionality, the cube
+    /// covers points as they arrive.
+    pub fn new(init: &BoxState, config: DdcConfig) -> Self {
+        Self {
+            cube: GrowableCube::with_origin(&init.origin, config),
+            config,
+        }
+    }
+}
+
+impl CheckEngine for GrowableAdapter {
+    fn name(&self) -> &str {
+        "growable-ddc"
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.cube.add(point, delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        self.cube.set(point, value)
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.cube.cell(point)
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        self.cube.range_sum(lo, hi)
+    }
+
+    fn grow(&mut self, _new_box: &BoxState) {}
+
+    fn save_load(&mut self) -> Result<(), String> {
+        let mut buf = Vec::new();
+        self.cube.save(&mut buf).map_err(|e| format!("save: {e}"))?;
+        self.cube = GrowableCube::load(&mut buf.as_slice(), self.config)
+            .map_err(|e| format!("load: {e}"))?;
+        Ok(())
+    }
+}
+
+/// Adapter for the dense growable prefix-sum baseline (no point reads in
+/// its API — cells derive from degenerate range sums).
+pub struct GrowableDenseAdapter {
+    cube: GrowablePrefixSum<i64>,
+}
+
+impl GrowableDenseAdapter {
+    /// Fresh growable prefix array anchored at `init`'s origin.
+    pub fn new(init: &BoxState) -> Self {
+        Self {
+            cube: GrowablePrefixSum::new(&init.origin),
+        }
+    }
+}
+
+impl CheckEngine for GrowableDenseAdapter {
+    fn name(&self) -> &str {
+        "growable-dense"
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.cube.add(point, delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        let old = self.cell(point);
+        self.cube.add(point, value - old);
+        old
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.cube.range_sum(point, point)
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        self.cube.range_sum(lo, hi)
+    }
+
+    fn grow(&mut self, _new_box: &BoxState) {}
+}
+
+/// Every engine in the workspace, wrapped and ready to replay a trace
+/// whose initial covered box is `init`.
+pub fn engine_roster(init: &BoxState) -> Vec<Box<dyn CheckEngine>> {
+    vec![
+        Box::new(FixedAdapter::new("naive", init, NaiveEngine::<i64>::zeroed)),
+        Box::new(FixedAdapter::new(
+            "prefix-sum",
+            init,
+            PrefixSumEngine::<i64>::zeroed,
+        )),
+        Box::new(FixedAdapter::new(
+            "relative-prefix",
+            init,
+            RelativePrefixEngine::<i64>::zeroed,
+        )),
+        Box::new(FixedAdapter::new(
+            "multi-fenwick",
+            init,
+            MultiFenwick::<i64>::zeroed,
+        )),
+        Box::new(DdcAdapter::new("ddc-basic", init, DdcConfig::basic())),
+        Box::new(DdcAdapter::new("ddc-dynamic", init, DdcConfig::dynamic())),
+        Box::new(SharedAdapter::new(init, DdcConfig::dynamic())),
+        Box::new(ShardedAdapter::new(
+            "sharded(2×4)",
+            init,
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards: 2,
+                batch_capacity: 4,
+                parallel_queries: false,
+            },
+        )),
+        Box::new(GrowableAdapter::new(init, DdcConfig::dynamic())),
+        Box::new(GrowableDenseAdapter::new(init)),
+    ]
+}

@@ -1,0 +1,65 @@
+//! A deliberately wrong engine, used to prove the harness catches bugs.
+//!
+//! The harness's own acceptance test is circular without a known-bad
+//! subject: [`OffByOneEngine`] answers range sums with `hi[0]` treated
+//! as *exclusive* whenever the query spans more than one cell along
+//! axis 0 — the classic fence-post error — and is otherwise perfect.
+//! The fuzzer must catch it and shrink the repro to a handful of ops.
+
+use ddc_workload::BoxState;
+
+use crate::adapters::{engine_roster, CheckEngine};
+use crate::oracle::Oracle;
+
+/// A perfect cube with an off-by-one range query along axis 0.
+pub struct OffByOneEngine {
+    state: Oracle,
+}
+
+impl OffByOneEngine {
+    /// Fresh buggy engine of `init`'s dimensionality.
+    pub fn new(init: &BoxState) -> Self {
+        Self {
+            state: Oracle::new(init.ndim()),
+        }
+    }
+}
+
+impl CheckEngine for OffByOneEngine {
+    fn name(&self) -> &str {
+        "off-by-one (intentional)"
+    }
+
+    fn add(&mut self, point: &[i64], delta: i64) {
+        self.state.add(point, delta);
+    }
+
+    fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        self.state.set(point, value)
+    }
+
+    fn cell(&self, point: &[i64]) -> i64 {
+        self.state.cell(point)
+    }
+
+    fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        if hi[0] > lo[0] {
+            // The injected bug: drop the last slab along axis 0.
+            let mut h = hi.to_vec();
+            h[0] -= 1;
+            self.state.range_sum(lo, &h)
+        } else {
+            self.state.range_sum(lo, hi)
+        }
+    }
+
+    fn grow(&mut self, _new_box: &BoxState) {}
+}
+
+/// The full roster plus the buggy engine — a divergence is guaranteed
+/// as soon as a trace exercises a multi-cell query along axis 0.
+pub fn roster_with_bug(init: &BoxState) -> Vec<Box<dyn CheckEngine>> {
+    let mut engines = engine_roster(init);
+    engines.push(Box::new(OffByOneEngine::new(init)));
+    engines
+}

@@ -1,0 +1,42 @@
+//! # ddc-check
+//!
+//! Differential fuzzing and fault-injection harness for the Dynamic
+//! Data Cube workspace. Every engine — the Table-1 baselines, the DDC
+//! proper in each configuration, the lock-guarded and sharded
+//! concurrent cubes, and both growable cubes — is driven through the
+//! same randomized [`ddc_workload::CheckTrace`] op streams (updates,
+//! sets, range queries, cell reads, growth in any direction, save/load
+//! round-trips, flush barriers) and compared answer-by-answer against a
+//! sparse hash-map oracle.
+//!
+//! On divergence the trace is **shrunk** (delta debugging over ops,
+//! then coordinate/value minimization) to a replayable text repro.
+//!
+//! The crate also hosts the persistence fault injectors
+//! ([`FailingWriter`], [`FailingReader`], [`fault_sweep`]) and the
+//! bounded interleaving scheduler for the sharded cube
+//! ([`check_interleavings`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod adapters;
+mod buggy;
+mod fault;
+mod interleave;
+mod oracle;
+mod runner;
+
+pub use adapters::{
+    engine_roster, CheckEngine, DdcAdapter, FixedAdapter, GrowableAdapter, GrowableDenseAdapter,
+    ShardedAdapter, SharedAdapter,
+};
+pub use buggy::{roster_with_bug, OffByOneEngine};
+pub use fault::{
+    fault_sweep, fault_sweep_growable, FailingReader, FailingWriter, FaultSweepReport,
+};
+pub use interleave::{check_interleavings, InterleaveReport, Update};
+pub use oracle::Oracle;
+pub use runner::{
+    fuzz, fuzz_with, run_trace, run_trace_on, Divergence, FuzzFailure, FuzzOutcome, RunStats,
+};

@@ -1,0 +1,96 @@
+//! The reference model every engine is compared against: a sparse map
+//! from signed logical coordinates to values, with O(population) range
+//! sums. Too slow to ship, too simple to be wrong.
+
+use std::collections::HashMap;
+
+/// Ground-truth cube: a hash map of populated cells.
+#[derive(Clone, Debug, Default)]
+pub struct Oracle {
+    d: usize,
+    cells: HashMap<Vec<i64>, i64>,
+}
+
+impl Oracle {
+    /// An empty oracle of `d` dimensions.
+    pub fn new(d: usize) -> Self {
+        Self {
+            d,
+            cells: HashMap::new(),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.d
+    }
+
+    /// Adds `delta` at `point`, dropping the cell if it returns to zero.
+    pub fn add(&mut self, point: &[i64], delta: i64) {
+        debug_assert_eq!(point.len(), self.d);
+        let v = self.cells.entry(point.to_vec()).or_insert(0);
+        *v += delta;
+        if *v == 0 {
+            self.cells.remove(point);
+        }
+    }
+
+    /// Sets the cell to `value`, returning the previous value.
+    pub fn set(&mut self, point: &[i64], value: i64) -> i64 {
+        let old = self.cell(point);
+        self.add(point, value - old);
+        old
+    }
+
+    /// Reads one cell.
+    pub fn cell(&self, point: &[i64]) -> i64 {
+        debug_assert_eq!(point.len(), self.d);
+        self.cells.get(point).copied().unwrap_or(0)
+    }
+
+    /// Range sum over the closed box `[lo, hi]` by scanning the
+    /// population — O(populated cells), independent of box volume.
+    pub fn range_sum(&self, lo: &[i64], hi: &[i64]) -> i64 {
+        debug_assert_eq!(lo.len(), self.d);
+        debug_assert_eq!(hi.len(), self.d);
+        self.cells
+            .iter()
+            .filter(|(p, _)| {
+                p.iter()
+                    .zip(lo.iter().zip(hi))
+                    .all(|(&c, (&l, &h))| c >= l && c <= h)
+            })
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Sum of every populated cell.
+    pub fn total(&self) -> i64 {
+        self.cells.values().sum()
+    }
+
+    /// Populated cells in unspecified order.
+    pub fn entries(&self) -> Vec<(Vec<i64>, i64)> {
+        self.cells.iter().map(|(p, &v)| (p.clone(), v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_query_agree_with_hand_math() {
+        let mut o = Oracle::new(2);
+        o.add(&[0, 0], 5);
+        o.add(&[2, -1], 3);
+        assert_eq!(o.set(&[0, 0], 7), 5);
+        assert_eq!(o.cell(&[0, 0]), 7);
+        assert_eq!(o.range_sum(&[-1, -1], &[2, 0]), 10);
+        assert_eq!(o.range_sum(&[1, 0], &[3, 3]), 0);
+        assert_eq!(o.total(), 10);
+        // Cells cancelling back to zero leave the population.
+        o.add(&[2, -1], -3);
+        assert_eq!(o.entries().len(), 1);
+    }
+}

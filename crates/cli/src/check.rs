@@ -1,0 +1,140 @@
+//! `ddc check` — the differential fuzzing harness on the command line.
+//!
+//! ```text
+//! ddc check run [--seed N] [--cases N] [--ops N] [--out FILE]
+//! ddc check replay FILE
+//! ddc check faults [--seed N]
+//! ```
+//!
+//! `run` fuzzes every engine against the oracle; on divergence the
+//! shrunk repro is written to `--out` (default `ddc-divergence.trace`)
+//! and the command fails. `replay` re-executes a repro file — the
+//! round-trip that makes a shrunk trace an actionable bug report.
+//! `faults` sweeps an injected I/O fault across every byte offset of a
+//! randomized snapshot.
+
+use ddc_check::{fault_sweep, fault_sweep_growable, fuzz, run_trace};
+use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
+use ddc_workload::{CheckTrace, CheckTraceConfig, DdcRng};
+
+fn parse_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?;
+            return v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|e| format!("{name}: {e}"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_out(args: &[String]) -> Result<String, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--out" {
+            return args
+                .get(i + 1)
+                .cloned()
+                .ok_or_else(|| "--out needs a path".to_string());
+        }
+    }
+    Ok("ddc-divergence.trace".to_string())
+}
+
+/// Executes `ddc check <args>`, returning the report text or an error
+/// (which the caller turns into a non-zero exit).
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let rest = &args[1..];
+            let seed = parse_flag(rest, "--seed")?.unwrap_or(0xDDC);
+            let cases = parse_flag(rest, "--cases")?.unwrap_or(25) as usize;
+            let ops = parse_flag(rest, "--ops")?.unwrap_or(200) as usize;
+            let out_path = parse_out(rest)?;
+            let outcome = fuzz(
+                seed,
+                cases,
+                CheckTraceConfig {
+                    ops,
+                    max_cells: 2048,
+                },
+            );
+            match outcome.failure {
+                None => Ok(format!(
+                    "ok: {} cases, {} ops, {} answers compared, 0 divergences (seed {seed})",
+                    outcome.cases, outcome.ops_run, outcome.comparisons
+                )),
+                Some(f) => {
+                    std::fs::write(&out_path, f.shrunk.to_text())
+                        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+                    Err(format!(
+                        "divergence in case {} (seed {}): {}\n\
+                         shrunk to {} ops -> {out_path}\n\
+                         replay with: ddc check replay {out_path}",
+                        f.case,
+                        f.seed,
+                        f.divergence,
+                        f.shrunk.ops.len()
+                    ))
+                }
+            }
+        }
+        Some("replay") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| "usage: ddc check replay FILE".to_string())?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let trace = CheckTrace::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            replay_text(path, &trace)
+        }
+        Some("faults") => {
+            let seed = parse_flag(&args[1..], "--seed")?.unwrap_or(0xFA17);
+            let mut rng = DdcRng::seed_from_u64(seed);
+            let mut fixed = DdcEngine::<i64>::dynamic(ddc_array::Shape::new(&[5, 4]));
+            let mut growable = GrowableCube::<i64>::new(2, DdcConfig::dynamic());
+            for _ in 0..12 {
+                let p = [rng.gen_range(0usize..5), rng.gen_range(0usize..4)];
+                let v = rng.gen_range(-50i64..=50);
+                use ddc_array::RangeSumEngine;
+                fixed.apply_delta(&p, v);
+                growable.add(&[p[0] as i64 - 2, p[1] as i64 - 2], v);
+            }
+            let a = fault_sweep(&fixed, DdcConfig::dynamic());
+            let b = fault_sweep_growable(&growable, DdcConfig::dynamic());
+            if a.is_clean() && b.is_clean() {
+                Ok(format!(
+                    "ok: fault sweep clean over {} + {} byte offsets (seed {seed})",
+                    a.offsets, b.offsets
+                ))
+            } else {
+                Err(format!(
+                    "fault sweep found problems: fixed {{panics: {:?}, accepted: {:?}, \
+                     roundtrip_ok: {}}}, growable {{panics: {:?}, accepted: {:?}, \
+                     roundtrip_ok: {}}}",
+                    a.panicked,
+                    a.silently_accepted,
+                    a.roundtrip_ok,
+                    b.panicked,
+                    b.silently_accepted,
+                    b.roundtrip_ok
+                ))
+            }
+        }
+        _ => Err("usage: ddc check run|replay|faults …".to_string()),
+    }
+}
+
+/// Replays a parsed trace, reporting stats or the divergence.
+pub fn replay_text(label: &str, trace: &CheckTrace) -> Result<String, String> {
+    match run_trace(trace) {
+        Ok(stats) => Ok(format!(
+            "ok: {label}: {} ops replayed, {} answers compared, 0 divergences",
+            stats.ops, stats.comparisons
+        )),
+        Err(d) => Err(format!("{label}: {d}")),
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod check;
 pub mod command;
 mod session;
 

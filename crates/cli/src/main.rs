@@ -11,6 +11,21 @@ use ddc_cli::{Output, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `ddc check …` is the differential-fuzzing harness, not a script.
+    if args.first().map(String::as_str) == Some("check") {
+        match ddc_cli::check::run(&args[1..]) {
+            Ok(report) => {
+                println!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("ddc check: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let mut session = Session::new();
 
     if !args.is_empty() {

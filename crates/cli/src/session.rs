@@ -84,6 +84,25 @@ impl Session {
                     return Err(format!("cube '{name}' already exists"));
                 }
                 let kind = engine_kind(&engine)?;
+                // Validate the cell count before the builder allocates:
+                // user-typed domains like x:int:0:9223372036854775807 must
+                // produce an error, not a panic or an absurd allocation.
+                let mut sizes = Vec::with_capacity(dims.len());
+                for d in &dims {
+                    match d {
+                        DimSpec::Int { name, lo, hi } => {
+                            let width = hi
+                                .checked_sub(*lo)
+                                .and_then(|w| w.checked_add(1))
+                                .and_then(|w| usize::try_from(w).ok())
+                                .ok_or_else(|| format!("domain of '{name}' is too large"))?;
+                            sizes.push(width);
+                        }
+                        DimSpec::Cat { labels, .. } => sizes.push(labels.len()),
+                    }
+                }
+                ddc_array::Shape::try_new(&sizes)
+                    .map_err(|e| format!("invalid dimensions: {e}"))?;
                 let mut builder = CubeBuilder::new().engine(kind);
                 for d in &dims {
                     builder = builder.dimension(match d {

@@ -159,13 +159,22 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
         let d = read_header(input, 0)?;
         let mut dims = Vec::with_capacity(d);
         for _ in 0..d {
-            dims.push(read_u64(input)? as usize);
+            let n = read_u64(input)?;
+            dims.push(
+                usize::try_from(n).map_err(|_| bad("dimension extent exceeds address space"))?,
+            );
         }
-        if dims.contains(&0) {
-            return Err(bad("zero-sized dimension"));
+        // try_new re-checks emptiness and rejects cell-count overflow, so a
+        // corrupt header can't panic the allocator downstream.
+        let shape = Shape::try_new(&dims)
+            .map_err(|e| bad(&format!("implausible shape in snapshot header: {e}")))?;
+        let count =
+            usize::try_from(read_u64(input)?).map_err(|_| bad("implausible entry count"))?;
+        // Entries are distinct populated cells; more entries than cells
+        // means the header lies, so fail before looping over the payload.
+        if count > shape.cells() {
+            return Err(bad("entry count exceeds cube capacity"));
         }
-        let shape = Shape::new(&dims);
-        let count = read_u64(input)? as usize;
         let mut engine = Self::with_config(shape.clone(), config);
         let mut p = vec![0usize; d];
         for _ in 0..count {
@@ -295,6 +304,60 @@ mod tests {
         // Truncated stream.
         let cut = &buf[..buf.len().saturating_sub(1).min(10)];
         assert!(DdcEngine::<i64>::load(&mut &cut[..], DdcConfig::dynamic()).is_err());
+    }
+
+    /// Builds a fixed-kind header: magic, kind 0, d, dims, entry count.
+    fn fixed_header(dims: &[u64], count: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &n in dims {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn rejects_malformed_headers_without_allocating() {
+        // Absurd dimensionality: d = 2^31.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        let err = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap_err();
+        assert!(err.to_string().contains("dimensionality"), "{err}");
+
+        // Shape whose cell count overflows usize must not reach Shape::new.
+        let buf = fixed_header(&[1 << 40, 1 << 40], 0);
+        let err = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap_err();
+        assert!(err.to_string().contains("implausible shape"), "{err}");
+
+        // Zero-sized dimension.
+        let buf = fixed_header(&[4, 0], 0);
+        let err = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap_err();
+        assert!(err.to_string().contains("implausible shape"), "{err}");
+
+        // Entry count larger than the cube has cells.
+        let buf = fixed_header(&[2, 2], 5);
+        let err = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap_err();
+        assert!(err.to_string().contains("entry count"), "{err}");
+    }
+
+    #[test]
+    fn truncation_at_every_offset_errors_cleanly() {
+        let mut e = DdcEngine::<i64>::dynamic(Shape::new(&[3, 3]));
+        e.apply_delta(&[0, 1], 7);
+        e.apply_delta(&[2, 2], -4);
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let r = DdcEngine::<i64>::load(&mut &buf[..cut], DdcConfig::dynamic());
+            assert!(r.is_err(), "truncation at byte {cut} was accepted");
+        }
+        // And the untruncated stream still loads.
+        assert!(DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).is_ok());
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl Trace {
                     if nums.is_empty() || nums.iter().any(|&n| n <= 0) {
                         return Err(format!("line {}: bad shape", no + 1));
                     }
-                    dims = Some(nums.iter().map(|&n| n as usize).collect());
+                    let parsed: Vec<usize> = nums.iter().map(|&n| n as usize).collect();
+                    Shape::try_new(&parsed)
+                        .map_err(|e| format!("line {}: bad shape: {e}", no + 1))?;
+                    dims = Some(parsed);
                 }
                 "U" => {
                     let d = dims.as_ref().ok_or("U before shape")?.len();

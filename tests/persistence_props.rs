@@ -110,3 +110,58 @@ fn pair_snapshot_components_survive() {
     assert_eq!(restored.cell(&[2, 2]), Pair::new(150, 2));
     assert_eq!(restored.cell(&[5, 0]), Pair::new(-10, 1));
 }
+
+/// A snapshot taken mid-life — after the cube has grown low on one axis
+/// and high on another (§5 growth in any direction) — restores every
+/// cell, including the ones in grown territory, and keeps answering
+/// range sums that straddle the original and grown regions.
+#[test]
+fn snapshot_after_two_direction_growth_restores_exactly() {
+    let mut cube = GrowableCube::<i64>::new(2, DdcConfig::dynamic());
+    // Seed the initial neighborhood.
+    cube.add(&[0, 0], 10);
+    cube.add(&[2, 3], -4);
+    // Grow low on axis 0 and high on axis 1 by addressing cells there.
+    cube.add(&[-7, 1], 5);
+    cube.add(&[1, 50], 8);
+
+    let mut buf = Vec::new();
+    cube.save(&mut buf).unwrap();
+    let restored = GrowableCube::<i64>::load(&mut buf.as_slice(), DdcConfig::sparse()).unwrap();
+
+    for (p, v) in cube.entries() {
+        assert_eq!(restored.cell(&p), v, "{p:?}");
+    }
+    assert_eq!(restored.total(), 19);
+    // Straddling queries: original box only, grown-low only, and the
+    // whole covered region.
+    assert_eq!(restored.range_sum(&[0, 0], &[2, 3]), 6);
+    assert_eq!(restored.range_sum(&[-7, 0], &[-1, 10]), 5);
+    assert_eq!(restored.range_sum(&[-7, 0], &[2, 50]), 19);
+}
+
+/// Malformed headers surface as descriptive errors, not panics or blind
+/// allocations: overflowing shapes, lying entry counts, and oversized
+/// extents are all rejected before any payload is trusted.
+#[test]
+fn malformed_headers_are_rejected_descriptively() {
+    let header = |dims: &[u64], count: u64| -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DDC1");
+        buf.push(0);
+        buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &n in dims {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf
+    };
+    // Cell-count overflow must not reach an allocator.
+    let buf = header(&[1 << 40, 1 << 40], 0);
+    let e = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap_err();
+    assert!(e.to_string().contains("implausible shape"), "{e}");
+    // Entry count beyond the cube's capacity.
+    let buf = header(&[3, 3], 10);
+    let e = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap_err();
+    assert!(e.to_string().contains("entry count"), "{e}");
+}

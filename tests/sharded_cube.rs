@@ -180,3 +180,80 @@ fn batched_updates_match_single_updates() {
         assert_eq!(batched.query_prefix(&p), plain.prefix_sum(&p), "{p:?}");
     }
 }
+
+/// Queue semantics (read-through and explicit drain): an enqueued update
+/// is visible to point reads and range queries *immediately* — before
+/// any group commit — and an explicit `flush` moves it from the queue to
+/// the underlying engine without changing any observable value.
+#[test]
+fn queued_updates_read_through_and_flush_is_observably_silent() {
+    let shape = Shape::new(&[8, 8]);
+    let cube = ShardedCube::<i64>::new(
+        shape.clone(),
+        DdcConfig::dynamic(),
+        // A batch capacity far above the update count: nothing will
+        // group-commit on its own, so every read below goes through a
+        // non-empty queue.
+        ShardConfig {
+            shards: 2,
+            batch_capacity: 1_000_000,
+            parallel_queries: false,
+        },
+    );
+
+    cube.update(&[1, 2], 5);
+    cube.update(&[7, 0], -3);
+    cube.update(&[1, 2], 4);
+
+    // Visible immediately after enqueue, before any flush.
+    assert_eq!(cube.cell_value(&[1, 2]), 9);
+    assert_eq!(cube.cell_value(&[7, 0]), -3);
+    assert_eq!(cube.query(&Region::full(&shape)), 6);
+    let applied_before: u64 = cube.metrics().iter().map(|m| m.ops_applied).sum();
+    assert_eq!(applied_before, 0, "nothing should have committed yet");
+
+    // Explicit flush drains the queues into the engine…
+    cube.flush();
+    let applied_after: u64 = cube.metrics().iter().map(|m| m.ops_applied).sum();
+    assert_eq!(applied_after, 3, "flush must apply every queued delta once");
+
+    // …without changing what any observer sees.
+    assert_eq!(cube.cell_value(&[1, 2]), 9);
+    assert_eq!(cube.cell_value(&[7, 0]), -3);
+    assert_eq!(cube.query(&Region::full(&shape)), 6);
+
+    // A second flush of empty queues is a no-op, not a double apply.
+    cube.flush();
+    let applied_again: u64 = cube.metrics().iter().map(|m| m.ops_applied).sum();
+    assert_eq!(applied_again, 3);
+    assert_eq!(cube.query(&Region::full(&shape)), 6);
+}
+
+/// Crossing `batch_capacity` triggers the group commit automatically:
+/// the queue drains without an explicit flush, and values still read
+/// identically before and after the threshold.
+#[test]
+fn batch_capacity_threshold_group_commits_automatically() {
+    let cube = ShardedCube::<i64>::new(
+        Shape::new(&[4, 4]),
+        DdcConfig::dynamic(),
+        ShardConfig {
+            shards: 1,
+            batch_capacity: 4,
+            parallel_queries: false,
+        },
+    );
+    // Three updates sit in the queue (below capacity)…
+    for i in 0..3 {
+        cube.update(&[i, i], 1);
+    }
+    assert_eq!(cube.metrics()[0].ops_applied, 0);
+    assert_eq!(cube.metrics()[0].ops_enqueued, 3);
+    // …the fourth crosses the threshold and commits the batch.
+    cube.update(&[3, 3], 1);
+    assert_eq!(cube.metrics()[0].ops_applied, 4);
+    assert!(cube.metrics()[0].batches_flushed >= 1);
+    for i in 0..4 {
+        assert_eq!(cube.cell_value(&[i, i]), 1);
+    }
+}

@@ -21,13 +21,18 @@
 //!
 //! ```text
 //! cargo run --release -p ddc-bench --bin shard_scaling
+//! cargo run --release -p ddc-bench --bin shard_scaling -- --wal
 //! ```
+//!
+//! `--wal` runs the durability-cost sweep instead: the same hot-skewed
+//! feed applied closed-loop to a growable cube with and without the
+//! write-ahead log, quantifying what crash safety charges per record.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use ddc_array::{Region, Shape};
-use ddc_core::{DdcConfig, ShardConfig, ShardedCube, SharedCube};
+use ddc_core::{DdcConfig, DurableCube, GrowableCube, ShardConfig, ShardedCube, SharedCube};
 use ddc_workload::{rng, uniform_updates, DdcRng};
 
 const N: usize = 1024;
@@ -189,7 +194,61 @@ fn print_row(label: &str, rate: u64, score: &Score) {
     );
 }
 
+/// WAL-on vs WAL-off update throughput: the same 200k-record hot feed
+/// applied to a growable cube, once in memory only and once with every
+/// record appended and flushed to a log file *before* the apply (the
+/// acknowledgement protocol). Flush hands the bytes to the OS — no
+/// fsync; the torn-tail contract is exactly what recovery tolerates,
+/// and sync policy is a deployment decision layered above the format.
+fn wal_bench() {
+    const WN: usize = 256;
+    const OPS: usize = 200_000;
+    let shape = Shape::cube(2, WN);
+    let feed: Vec<(Vec<i64>, i64)> = hot_feed(&shape, OPS, &mut rng(9))
+        .into_iter()
+        .map(|(p, v)| (p.iter().map(|&c| c as i64).collect(), v))
+        .collect();
+
+    let start = Instant::now();
+    let mut plain = GrowableCube::<i64>::new(2, DdcConfig::dynamic());
+    for (p, delta) in &feed {
+        plain.add(p, *delta);
+    }
+    let off = start.elapsed();
+    std::hint::black_box(plain.total());
+
+    let path = std::env::temp_dir().join("ddc_shard_scaling_wal.bin");
+    let file = std::fs::File::create(&path).expect("create wal file");
+    let mut durable =
+        DurableCube::<i64, std::fs::File>::new(2, DdcConfig::dynamic(), file).expect("wal header");
+    let start = Instant::now();
+    for (p, delta) in &feed {
+        durable.add(p, *delta).expect("acked append");
+    }
+    let on = start.elapsed();
+    let (bytes, records) = durable.wal_stats();
+    std::hint::black_box(durable.cube().total());
+    assert_eq!(plain.total(), durable.cube().total());
+    std::fs::remove_file(&path).ok();
+
+    let off_rate = OPS as f64 / off.as_secs_f64();
+    let on_rate = OPS as f64 / on.as_secs_f64();
+    println!(
+        "{OPS} hot-skewed point updates over a {WN}×{WN} dynamic growable cube:\n\
+         wal-off (memory only)   {off_rate:>10.0} updates/s\n\
+         wal-on  (log + flush)   {on_rate:>10.0} updates/s\n\
+         durability cost: {:.2}× slowdown; log {bytes} bytes / {records} records \
+         ({:.1} bytes/record, flushed per ack, no fsync)",
+        off_rate / on_rate,
+        bytes as f64 / records.max(1) as f64,
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--wal") {
+        wal_bench();
+        return;
+    }
     let shape = Shape::cube(2, N);
     let regions = slice_regions(16, 256, &mut rng(5));
     let feed = hot_feed(&shape, 1 << 16, &mut rng(6));

@@ -146,7 +146,7 @@ pub fn fault_sweep(engine: &DdcEngine<i64>, config: DdcConfig) -> FaultSweepRepo
             let mut w = FailingWriter::new(cut);
             match engine.save(&mut w) {
                 Err(_) => Ok(()),
-                Ok(()) => Err("save ignored write fault".to_string()),
+                Ok(_) => Err("save ignored write fault".to_string()),
             }
         });
     }
@@ -193,7 +193,7 @@ pub fn fault_sweep_growable(cube: &GrowableCube<i64>, config: DdcConfig) -> Faul
             let mut w = FailingWriter::new(cut);
             match cube.save(&mut w) {
                 Err(_) => Ok(()),
-                Ok(()) => Err("save ignored write fault".to_string()),
+                Ok(_) => Err("save ignored write fault".to_string()),
             }
         });
     }

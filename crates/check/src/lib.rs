@@ -22,16 +22,18 @@
 
 mod adapters;
 mod buggy;
+mod crash;
 mod fault;
 mod interleave;
 mod oracle;
 mod runner;
 
 pub use adapters::{
-    engine_roster, CheckEngine, DdcAdapter, FixedAdapter, GrowableAdapter, GrowableDenseAdapter,
-    ShardedAdapter, SharedAdapter,
+    engine_roster, CheckEngine, DdcAdapter, DurableAdapter, FixedAdapter, GrowableAdapter,
+    GrowableDenseAdapter, ShardedAdapter, SharedAdapter,
 };
 pub use buggy::{roster_with_bug, OffByOneEngine};
+pub use crash::{corruption_divergence, crash_sweep, CrashSweepReport};
 pub use fault::{
     fault_sweep, fault_sweep_growable, FailingReader, FailingWriter, FaultSweepReport,
 };

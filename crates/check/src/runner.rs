@@ -145,6 +145,20 @@ pub fn run_trace_on(
                     e.flush();
                 }
             }
+            CheckOp::Crash => {
+                for e in engines.iter_mut() {
+                    if let Err(msg) = e.crash() {
+                        return Err(Box::new(Divergence {
+                            engine: e.name().to_string(),
+                            op_index: i,
+                            op: op.clone(),
+                            expected: 0,
+                            actual: 0,
+                            what: format!("crash-recovery: {msg}"),
+                        }));
+                    }
+                }
+            }
         }
     }
 

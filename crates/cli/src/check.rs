@@ -4,6 +4,7 @@
 //! ddc check run [--seed N] [--cases N] [--ops N] [--out FILE]
 //! ddc check replay FILE
 //! ddc check faults [--seed N]
+//! ddc check crash [--seed N] [--cases N] [--ops N] [--out FILE]
 //! ```
 //!
 //! `run` fuzzes every engine against the oracle; on divergence the
@@ -11,9 +12,12 @@
 //! and the command fails. `replay` re-executes a repro file — the
 //! round-trip that makes a shrunk trace an actionable bug report.
 //! `faults` sweeps an injected I/O fault across every byte offset of a
-//! randomized snapshot.
+//! randomized snapshot. `crash` simulates a process kill at every byte
+//! offset of a trace's write-ahead log and verifies recovery restores
+//! exactly the acknowledged prefix (shrinking any violation to a
+//! replayable trace).
 
-use ddc_check::{fault_sweep, fault_sweep_growable, fuzz, run_trace};
+use ddc_check::{crash_sweep, fault_sweep, fault_sweep_growable, fuzz, run_trace};
 use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
 use ddc_workload::{CheckTrace, CheckTraceConfig, DdcRng};
 
@@ -124,7 +128,51 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 ))
             }
         }
-        _ => Err("usage: ddc check run|replay|faults …".to_string()),
+        Some("crash") => {
+            let rest = &args[1..];
+            let seed = parse_flag(rest, "--seed")?.unwrap_or(0xC4A5);
+            let cases = parse_flag(rest, "--cases")?.unwrap_or(12) as usize;
+            let ops = parse_flag(rest, "--ops")?.unwrap_or(120) as usize;
+            let out_path = parse_out(rest)?;
+            let fails = |t: &CheckTrace| crash_sweep(t).map_or(true, |r| !r.is_clean());
+            let mut offsets = 0usize;
+            let mut recoveries = 0usize;
+            for case in 0..cases {
+                let case_seed = seed ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let mut rng = DdcRng::seed_from_u64(case_seed);
+                let trace = CheckTrace::generate(
+                    1 + case % 3,
+                    CheckTraceConfig {
+                        ops,
+                        max_cells: 1024,
+                    },
+                    &mut rng,
+                );
+                let report = crash_sweep(&trace).map_err(|e| format!("case {case}: {e}"))?;
+                if !report.is_clean() {
+                    let shrunk = ddc_workload::shrink_trace(&trace, fails);
+                    std::fs::write(&out_path, shrunk.to_text())
+                        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+                    return Err(format!(
+                        "crash-recovery violation in case {case} (seed {case_seed}): {}\n\
+                         shrunk to {} ops -> {out_path}",
+                        report
+                            .failures
+                            .first()
+                            .cloned()
+                            .unwrap_or_else(|| "corruption probe not caught".to_string()),
+                        shrunk.ops.len()
+                    ));
+                }
+                offsets += report.offsets;
+                recoveries += report.recoveries;
+            }
+            Ok(format!(
+                "ok: {cases} cases, {offsets} kill offsets, {recoveries} recoveries, \
+                 0 violations (seed {seed})"
+            ))
+        }
+        _ => Err("usage: ddc check run|replay|faults|crash …".to_string()),
     }
 }
 

@@ -12,16 +12,25 @@ use ddc_cli::{Output, Session};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `ddc check …` is the differential-fuzzing harness, not a script.
-    if args.first().map(String::as_str) == Some("check") {
-        match ddc_cli::check::run(&args[1..]) {
-            Ok(report) => {
-                println!("{report}");
-                return;
-            }
-            Err(e) => {
-                eprintln!("ddc check: {e}");
-                std::process::exit(1);
+    // `ddc check …` is the differential-fuzzing harness and
+    // `ddc wal …` the log-recovery tooling — subcommands, not scripts.
+    for (name, runner) in [
+        (
+            "check",
+            ddc_cli::check::run as fn(&[String]) -> Result<String, String>,
+        ),
+        ("wal", ddc_cli::wal::run),
+    ] {
+        if args.first().map(String::as_str) == Some(name) {
+            match runner(&args[1..]) {
+                Ok(report) => {
+                    println!("{report}");
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("ddc {name}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -1,0 +1,149 @@
+//! `ddc wal` — operator tooling for write-ahead logs.
+//!
+//! ```text
+//! ddc wal recover --wal FILE [--snapshot FILE] [--dims D] [--out FILE]
+//! ddc wal truncate-check --wal FILE [--fix]
+//! ```
+//!
+//! `recover` rebuilds a cube from the last good snapshot plus the log,
+//! truncating a torn tail instead of failing, and optionally writes the
+//! recovered state as a fresh snapshot (`--out`). `truncate-check`
+//! inspects a log for a torn or corrupt tail; with `--fix` it truncates
+//! the file to the last whole record, which is exactly what recovery
+//! would ignore anyway.
+
+use ddc_core::wal::{self, WAL_HEADER_BYTES};
+use ddc_core::{DdcConfig, GrowableCube, WalConfig};
+
+fn parse_path(args: &[String], name: &str) -> Result<Option<String>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{name} needs a path"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_dims(args: &[String]) -> Result<Option<usize>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--dims" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--dims needs a value".to_string())?;
+            return v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|e| format!("--dims: {e}"));
+        }
+    }
+    Ok(None)
+}
+
+/// Executes `ddc wal <args>`, returning the report text or an error
+/// (which the caller turns into a non-zero exit).
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("recover") => recover(&args[1..]),
+        Some("truncate-check") => truncate_check(&args[1..]),
+        _ => Err("usage: ddc wal recover|truncate-check …".to_string()),
+    }
+}
+
+fn recover(args: &[String]) -> Result<String, String> {
+    let wal_path =
+        parse_path(args, "--wal")?.ok_or_else(|| "recover requires --wal FILE".to_string())?;
+    let snap_path = parse_path(args, "--snapshot")?;
+    let out_path = parse_path(args, "--out")?;
+    let log = std::fs::read(&wal_path).map_err(|e| format!("cannot read {wal_path}: {e}"))?;
+    let snapshot = match &snap_path {
+        Some(p) => Some(std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?),
+        None => None,
+    };
+
+    // Dimensionality comes from --dims, or from the snapshot when one
+    // is supplied (recovery re-checks the two agree).
+    let d = match (parse_dims(args)?, &snapshot) {
+        (Some(d), _) => d,
+        (None, Some(bytes)) => {
+            GrowableCube::<i64>::load(&mut bytes.as_slice(), DdcConfig::dynamic())
+                .map_err(|e| format!("{}: {e}", snap_path.as_deref().unwrap_or("snapshot")))?
+                .ndim()
+        }
+        (None, None) => return Err("recover needs --dims D (no snapshot to infer it from)".into()),
+    };
+
+    let (cube, report) = wal::recover::<i64>(
+        d,
+        snapshot.as_deref(),
+        &log,
+        DdcConfig::dynamic(),
+        WalConfig::default(),
+    )
+    .map_err(|e| format!("recover: {e}"))?;
+
+    let mut text = format!(
+        "recovered {d}-dimensional cube: snapshot={}, {} records replayed, \
+         {} valid log bytes, {} populated cells, total {}",
+        if report.snapshot_loaded { "yes" } else { "no" },
+        report.replayed,
+        report.valid_bytes,
+        cube.entries().len(),
+        cube.total(),
+    );
+    match &report.truncated {
+        Some(why) => text.push_str(&format!("\ntorn tail ignored: {why}")),
+        None => text.push_str("\nlog was clean"),
+    }
+    if let Some(out) = out_path {
+        let mut f = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let bytes = cube
+            .save(&mut f)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        text.push_str(&format!("\nsnapshot written: {out} ({bytes} bytes)"));
+    }
+    Ok(text)
+}
+
+fn truncate_check(args: &[String]) -> Result<String, String> {
+    let wal_path = parse_path(args, "--wal")?
+        .ok_or_else(|| "truncate-check requires --wal FILE".to_string())?;
+    let fix = args.iter().any(|a| a == "--fix");
+    let log = std::fs::read(&wal_path).map_err(|e| format!("cannot read {wal_path}: {e}"))?;
+
+    let replay =
+        wal::read_wal::<i64>(&log, WalConfig::default()).map_err(|e| format!("{wal_path}: {e}"))?;
+    if replay.is_clean() {
+        return Ok(format!(
+            "ok: {wal_path}: {} records, {} bytes, no torn tail",
+            replay.ops.len(),
+            replay.valid_bytes
+        ));
+    }
+    let why = replay.truncated.as_deref().unwrap_or("torn tail");
+    let garbage = log.len() as u64 - replay.valid_bytes;
+    if fix {
+        // A log truncated below its header would stop being a log;
+        // valid_bytes never falls under the header for a parsable file.
+        debug_assert!(replay.valid_bytes >= WAL_HEADER_BYTES as u64);
+        let mut keep = log;
+        keep.truncate(replay.valid_bytes as usize);
+        std::fs::write(&wal_path, &keep).map_err(|e| format!("cannot rewrite {wal_path}: {e}"))?;
+        Ok(format!(
+            "fixed: {wal_path}: truncated to {} records / {} bytes ({garbage} damaged bytes \
+             dropped: {why})",
+            replay.ops.len(),
+            replay.valid_bytes
+        ))
+    } else {
+        Err(format!(
+            "torn tail: {wal_path}: {} whole records / {} valid bytes, then: {why} \
+             ({garbage} bytes would be dropped; rerun with --fix to truncate)",
+            replay.ops.len(),
+            replay.valid_bytes
+        ))
+    }
+}

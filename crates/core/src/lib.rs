@@ -25,11 +25,13 @@ mod persist;
 mod secondary;
 mod shard;
 mod tree;
+pub mod wal;
 
 pub use concurrent::SharedCube;
-pub use config::{BaseStore, DdcConfig, Mode};
+pub use config::{BaseStore, DdcConfig, Mode, WalConfig};
 pub use engine::DdcEngine;
 pub use growth::GrowableCube;
 pub use persist::ValueCodec;
-pub use shard::{MetricsSnapshot, ShardConfig, ShardedCube};
+pub use shard::{MetricsSnapshot, ShardConfig, ShardedCube, TryUpdateError};
 pub use tree::{Contribution, DdcTree, LevelStats, TraceStep, TreeStats};
+pub use wal::{DurableCube, RecoveryReport, WalOp, WalReplay, WalWriter};

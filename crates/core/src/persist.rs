@@ -114,6 +114,31 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Counts logical bytes as they pass through to the sink, so `save` can
+/// report the exact snapshot size for fsync/verify bookkeeping.
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> CountingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, written: 0 }
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 fn read_header(input: &mut impl Read, expect_kind: u8) -> io::Result<usize> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
@@ -133,24 +158,28 @@ fn read_header(input: &mut impl Read, expect_kind: u8) -> io::Result<usize> {
 }
 
 impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
-    /// Writes a sparse snapshot of the cube.
-    pub fn save(&self, out: &mut impl Write) -> io::Result<()> {
-        out.write_all(MAGIC)?;
-        out.write_all(&[0u8])?;
+    /// Writes a sparse snapshot of the cube through a buffered writer,
+    /// flushing before return. Returns the snapshot size in bytes so
+    /// callers can fsync/verify the exact durable extent.
+    pub fn save(&self, out: &mut impl Write) -> io::Result<u64> {
+        let mut w = CountingWriter::new(io::BufWriter::new(&mut *out));
+        w.write_all(MAGIC)?;
+        w.write_all(&[0u8])?;
         let d = self.shape().ndim();
-        write_u32(out, d as u32)?;
+        write_u32(&mut w, d as u32)?;
         for &n in self.shape().dims() {
-            write_u64(out, n as u64)?;
+            write_u64(&mut w, n as u64)?;
         }
         let entries = self.entries();
-        write_u64(out, entries.len() as u64)?;
+        write_u64(&mut w, entries.len() as u64)?;
         for (p, v) in &entries {
             for &c in p {
-                write_u64(out, c as u64)?;
+                write_u64(&mut w, c as u64)?;
             }
-            v.encode(out)?;
+            v.encode(&mut w)?;
         }
-        Ok(())
+        w.flush()?;
+        Ok(w.written)
     }
 
     /// Reads a snapshot written by [`DdcEngine::save`], rebuilding under
@@ -160,9 +189,15 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
         let mut dims = Vec::with_capacity(d);
         for _ in 0..d {
             let n = read_u64(input)?;
-            dims.push(
-                usize::try_from(n).map_err(|_| bad("dimension extent exceeds address space"))?,
-            );
+            let n =
+                usize::try_from(n).map_err(|_| bad("dimension extent exceeds address space"))?;
+            // The engine rounds each extent up to a power of two; an extent
+            // with no representable next power of two would panic the
+            // constructor, so reject it as a corrupt header here.
+            if n.checked_next_power_of_two().is_none() {
+                return Err(bad("dimension extent exceeds address space"));
+            }
+            dims.push(n);
         }
         // try_new re-checks emptiness and rejects cell-count overflow, so a
         // corrupt header can't panic the allocator downstream.
@@ -194,24 +229,28 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
 }
 
 impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
-    /// Writes a sparse snapshot with signed logical coordinates.
-    pub fn save(&self, out: &mut impl Write) -> io::Result<()> {
-        out.write_all(MAGIC)?;
-        out.write_all(&[1u8])?;
+    /// Writes a sparse snapshot with signed logical coordinates through a
+    /// buffered writer, flushing before return. Returns the snapshot size
+    /// in bytes.
+    pub fn save(&self, out: &mut impl Write) -> io::Result<u64> {
+        let mut w = CountingWriter::new(io::BufWriter::new(&mut *out));
+        w.write_all(MAGIC)?;
+        w.write_all(&[1u8])?;
         let d = self.ndim();
-        write_u32(out, d as u32)?;
+        write_u32(&mut w, d as u32)?;
         for &o in self.origin() {
-            write_i64(out, o)?;
+            write_i64(&mut w, o)?;
         }
         let entries = self.entries();
-        write_u64(out, entries.len() as u64)?;
+        write_u64(&mut w, entries.len() as u64)?;
         for (p, v) in &entries {
             for &c in p {
-                write_i64(out, c)?;
+                write_i64(&mut w, c)?;
             }
-            v.encode(out)?;
+            v.encode(&mut w)?;
         }
-        Ok(())
+        w.flush()?;
+        Ok(w.written)
     }
 
     /// Reads a snapshot written by [`GrowableCube::save`].
@@ -221,7 +260,8 @@ impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
         for _ in 0..d {
             origin.push(read_i64(input)?);
         }
-        let count = read_u64(input)? as usize;
+        let count =
+            usize::try_from(read_u64(input)?).map_err(|_| bad("implausible entry count"))?;
         let mut cube = Self::with_origin(&origin, config);
         let mut p = vec![0i64; d];
         for _ in 0..count {
@@ -290,6 +330,35 @@ mod tests {
         e.save(&mut buf).unwrap();
         // Header + one entry, not a megacell dump.
         assert!(buf.len() < 100, "snapshot is {} bytes", buf.len());
+    }
+
+    #[test]
+    fn save_truncate_load_roundtrip() {
+        // save → truncate → load: bytes-written is exact, every truncation
+        // errors, and only the full image loads.
+        let mut e = DdcEngine::<i64>::dynamic(Shape::new(&[6, 5]));
+        e.apply_delta(&[1, 2], 11);
+        e.apply_delta(&[5, 4], -3);
+        let mut buf = Vec::new();
+        let written = e.save(&mut buf).unwrap();
+        assert_eq!(written as usize, buf.len());
+        assert!(DdcEngine::<i64>::load(&mut &buf[..buf.len() - 1], DdcConfig::dynamic()).is_err());
+        let restored = DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).unwrap();
+        assert_eq!(restored.cell(&[1, 2]), 11);
+
+        let mut cube = GrowableCube::<i64>::new(3, DdcConfig::sparse());
+        cube.add(&[-1, 0, 7], 21);
+        let mut buf = Vec::new();
+        let written = cube.save(&mut buf).unwrap();
+        assert_eq!(written as usize, buf.len());
+        for cut in 0..buf.len() {
+            assert!(
+                GrowableCube::<i64>::load(&mut &buf[..cut], DdcConfig::sparse()).is_err(),
+                "truncation at byte {cut} was accepted"
+            );
+        }
+        let restored = GrowableCube::<i64>::load(&mut buf.as_slice(), DdcConfig::sparse()).unwrap();
+        assert_eq!(restored.cell(&[-1, 0, 7]), 21);
     }
 
     #[test]

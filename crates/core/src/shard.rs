@@ -27,11 +27,36 @@
 //! only group commits do. Across shards there is no global snapshot —
 //! concurrent multi-shard queries may observe one shard before and
 //! another after a concurrent update, the usual trade of sharded stores.
+//!
+//! ## Supervision & backpressure
+//!
+//! Shards are built to *survive*, not to assume success:
+//!
+//! * Write queues are **bounded** ([`ShardConfig::queue_capacity`]).
+//!   When a queue is full and a commit cannot make room, [`try_update`]
+//!   rejects with [`TryUpdateError::QueueFull`] instead of growing
+//!   without bound — overload sheds load, it does not OOM.
+//! * Every group commit runs under `catch_unwind`. A panicking commit
+//!   (an engine bug, or the test-only fault hook) **quarantines** the
+//!   shard: its deltas stay queued, reads still see them through the
+//!   read-through path, and retries are paced by an exponential backoff
+//!   of skipped flush triggers. A commit that succeeds ends the
+//!   quarantine and counts a restart; [`ShardConfig::max_restarts`]
+//!   consecutive panics fail the shard permanently
+//!   ([`TryUpdateError::ShardFailed`]).
+//! * Lock poisoning never panics a public entry point: the queue mutex
+//!   cannot be poisoned by a supervised commit (the panic is caught
+//!   inside the lock scope), and a poisoned engine lock is recovered —
+//!   the shard is already quarantined at that point, and *exact* repair
+//!   of a half-applied batch is the write-ahead log's job
+//!   ([`crate::wal`]), not the lock's.
+//!
+//! [`try_update`]: ShardedCube::try_update
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock};
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use ddc_array::{AbelianGroup, OpCounter, OpSnapshot, RangeSumEngine, Region, Shape};
 
@@ -52,6 +77,14 @@ pub struct ShardConfig {
     /// (large `d`, cold caches); for microsecond queries the spawn cost
     /// dominates, so this defaults to off.
     pub parallel_queries: bool,
+    /// Hard bound on a shard's write queue. A healthy shard commits
+    /// inline before ever hitting it; a quarantined or failed shard
+    /// rejects once full ([`TryUpdateError::QueueFull`]) instead of
+    /// growing without bound.
+    pub queue_capacity: usize,
+    /// Consecutive panicking commits a shard survives (quarantined,
+    /// retried with backoff) before it is failed permanently.
+    pub max_restarts: u32,
 }
 
 impl Default for ShardConfig {
@@ -60,6 +93,8 @@ impl Default for ShardConfig {
             shards: 4,
             batch_capacity: 128,
             parallel_queries: false,
+            queue_capacity: 4096,
+            max_restarts: 5,
         }
     }
 }
@@ -73,6 +108,40 @@ impl ShardConfig {
         }
     }
 }
+
+/// Why a bounded-queue update was not accepted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TryUpdateError {
+    /// The owning shard's queue is at capacity and a commit could not
+    /// make room (the shard is quarantined or mid-backoff).
+    QueueFull {
+        /// Index of the rejecting shard.
+        shard: usize,
+        /// The queue bound in effect.
+        capacity: usize,
+    },
+    /// The owning shard exhausted its restart budget and no longer
+    /// accepts writes.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for TryUpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryUpdateError::QueueFull { shard, capacity } => {
+                write!(f, "shard {shard} write queue full ({capacity} deltas)")
+            }
+            TryUpdateError::ShardFailed { shard } => {
+                write!(f, "shard {shard} failed (restart budget exhausted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryUpdateError {}
 
 /// Point-in-time metrics for one shard (the S3 relaxed-atomic op
 /// counters, extended per shard).
@@ -95,6 +164,16 @@ pub struct MetricsSnapshot {
     /// Estimated nanoseconds the exclusive engine lock was held for
     /// flushes — the contention budget readers compete against.
     pub lock_hold_nanos: u64,
+    /// High-water mark of the write queue depth.
+    pub queue_depth_max: u64,
+    /// Update attempts rejected by backpressure or a failed shard.
+    pub ops_rejected: u64,
+    /// Commits that panicked and were contained by the supervisor.
+    pub worker_panics: u64,
+    /// Successful commits that ended a quarantine.
+    pub worker_restarts: u64,
+    /// Entries replayed into this shard by crash recovery.
+    pub records_replayed: u64,
 }
 
 #[derive(Debug, Default)]
@@ -104,6 +183,31 @@ struct ShardMetrics {
     batches_flushed: AtomicU64,
     queries: AtomicU64,
     lock_hold_nanos: AtomicU64,
+    queue_depth_max: AtomicU64,
+    ops_rejected: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    records_replayed: AtomicU64,
+}
+
+/// Supervisor state of one shard, kept under the queue lock so health
+/// transitions serialize with enqueues and commits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Health {
+    /// Commits are attempted normally.
+    Healthy,
+    /// The last `consecutive` commits panicked; the next `backoff` flush
+    /// triggers are skipped before retrying.
+    Quarantined { consecutive: u32, backoff: u32 },
+    /// Restart budget exhausted: the shard accepts no more writes.
+    Failed,
+}
+
+#[derive(Debug)]
+struct ShardQueue<G: AbelianGroup> {
+    /// Pending deltas in *local* coordinates.
+    deltas: Vec<(Vec<usize>, G)>,
+    health: Health,
 }
 
 #[derive(Debug)]
@@ -112,17 +216,41 @@ struct Shard<G: AbelianGroup> {
     rows_lo: usize,
     rows_hi: usize,
     engine: RwLock<DdcEngine<G>>,
-    /// Pending deltas in *local* coordinates. Lock order: `queue` before
-    /// `engine` — flushes hold the queue while applying so a concurrent
-    /// reader that drains the queue cannot miss deltas enqueued behind it.
-    queue: Mutex<Vec<(Vec<usize>, G)>>,
+    /// Queue + supervisor state. Lock order: `queue` before `engine` —
+    /// commits hold the queue while applying so a concurrent reader that
+    /// drains the queue cannot miss deltas enqueued behind it.
+    queue: Mutex<ShardQueue<G>>,
     /// Fast-path mirror of the queue length so readers skip the mutex
     /// when nothing is pending.
     pending: AtomicUsize,
+    /// Test-only fault hook: this many upcoming commits panic before
+    /// touching the engine.
+    fail_flushes: AtomicU64,
     metrics: ShardMetrics,
     /// Engine-counter totals already absorbed into the facade counter.
     seen_reads: AtomicU64,
     seen_writes: AtomicU64,
+}
+
+/// Locks a shard's queue, recovering from poisoning. A supervised commit
+/// catches its panic *inside* the lock scope, so the mutex is only ever
+/// poisoned by a panic in trivially transactional code (push/drain);
+/// recovering is sound and keeps poisoning off the public API.
+fn lock_queue<G: AbelianGroup>(shard: &Shard<G>) -> MutexGuard<'_, ShardQueue<G>> {
+    shard.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks a shard's engine, recovering from poisoning. A poisoned
+/// engine means a commit panicked mid-apply; the shard is quarantined by
+/// then, and exact repair belongs to WAL recovery, not to refusing reads.
+fn read_engine<G: AbelianGroup>(shard: &Shard<G>) -> RwLockReadGuard<'_, DdcEngine<G>> {
+    shard.engine.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks a shard's engine, recovering from poisoning (see
+/// [`read_engine`]).
+fn write_engine<G: AbelianGroup>(shard: &Shard<G>) -> RwLockWriteGuard<'_, DdcEngine<G>> {
+    shard.engine.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A concurrent cube sharded along dimension 0 with per-shard write
@@ -167,8 +295,12 @@ impl<G: AbelianGroup> ShardedCube<G> {
                     rows_lo,
                     rows_hi,
                     engine: RwLock::new(DdcEngine::with_config(Shape::new(&dims), config)),
-                    queue: Mutex::new(Vec::new()),
+                    queue: Mutex::new(ShardQueue {
+                        deltas: Vec::new(),
+                        health: Health::Healthy,
+                    }),
                     pending: AtomicUsize::new(0),
+                    fail_flushes: AtomicU64::new(0),
                     metrics: ShardMetrics::default(),
                     seen_reads: AtomicU64::new(0),
                     seen_writes: AtomicU64::new(0),
@@ -183,6 +315,29 @@ impl<G: AbelianGroup> ShardedCube<G> {
         }
     }
 
+    /// Rebuilds a sharded cube from recovered entries (e.g. WAL recovery
+    /// output rebased to physical coordinates), attributing each replayed
+    /// record to its owning shard's `records_replayed` metric.
+    pub fn from_recovered(
+        shape: Shape,
+        config: DdcConfig,
+        shard_config: ShardConfig,
+        entries: &[(Vec<usize>, G)],
+    ) -> Self {
+        let cube = Self::new(shape, config, shard_config);
+        for (point, value) in entries {
+            cube.shape.check_point(point);
+            let idx = cube.owner_index(point[0]);
+            cube.shards[idx]
+                .metrics
+                .records_replayed
+                .fetch_add(1, Ordering::Relaxed);
+            cube.update(point, *value);
+        }
+        cube.flush();
+        cube
+    }
+
     /// Number of shards actually in use (after clamping).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -193,8 +348,8 @@ impl<G: AbelianGroup> ShardedCube<G> {
         self.shard_config
     }
 
-    /// The shard owning dimension-0 row `row`.
-    fn owner(&self, row: usize) -> &Shard<G> {
+    /// Index of the shard owning dimension-0 row `row`.
+    fn owner_index(&self, row: usize) -> usize {
         debug_assert!(row < self.shape.dim(0), "row {row} out of bounds");
         // Slab cuts are i·n0/S, so the inverse is (row·S)/n0 — possibly
         // one off under integer division; fix up locally.
@@ -207,110 +362,246 @@ impl<G: AbelianGroup> ShardedCube<G> {
         while row >= self.shards[i].rows_hi {
             i += 1;
         }
-        &self.shards[i]
+        i
+    }
+
+    /// The shard owning dimension-0 row `row`.
+    fn owner(&self, row: usize) -> &Shard<G> {
+        &self.shards[self.owner_index(row)]
     }
 
     /// Adds `delta` at `point`: routed to the owning shard's queue, with
     /// a group commit once the queue reaches `batch_capacity`.
+    ///
+    /// This is the infallible facade over [`ShardedCube::try_update`]: a
+    /// rejected delta (full queue on a quarantined shard, or a failed
+    /// shard) is *shed* after being counted in `ops_rejected`. Callers
+    /// that must not lose writes use `try_update` /
+    /// [`ShardedCube::update_timeout`] and handle the error.
     pub fn update(&self, point: &[usize], delta: G) {
-        self.shape.check_point(point);
-        let shard = self.owner(point[0]);
-        let mut local = point.to_vec();
-        local[0] -= shard.rows_lo;
-        let mut queue = shard.queue.lock().expect("queue poisoned");
-        queue.push((local, delta));
-        shard.metrics.ops_enqueued.fetch_add(1, Ordering::Relaxed);
-        if queue.len() >= self.shard_config.batch_capacity.max(1) {
-            Self::flush_queue(shard, queue);
-        } else {
-            shard.pending.store(queue.len(), Ordering::Release);
-        }
+        let _ = self.try_update(point, delta);
     }
 
-    /// Applies a batch of updates, locking each touched shard's queue
-    /// once.
-    pub fn update_batch(&self, updates: &[(Vec<usize>, G)]) {
-        let mut by_shard: HashMap<usize, Vec<(Vec<usize>, G)>> = HashMap::new();
-        for (point, delta) in updates {
-            self.shape.check_point(point);
-            let shard = self.owner(point[0]);
-            let idx = shard.rows_lo; // unique per shard; used as key
-            let mut local = point.clone();
-            local[0] -= shard.rows_lo;
-            by_shard.entry(idx).or_default().push((local, *delta));
-        }
-        for shard in &self.shards {
-            if let Some(mut batch) = by_shard.remove(&shard.rows_lo) {
-                let mut queue = shard.queue.lock().expect("queue poisoned");
-                shard
-                    .metrics
-                    .ops_enqueued
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                queue.append(&mut batch);
-                if queue.len() >= self.shard_config.batch_capacity.max(1) {
-                    Self::flush_queue(shard, queue);
-                } else {
-                    shard.pending.store(queue.len(), Ordering::Release);
+    /// Adds `delta` at `point` if the owning shard can accept it,
+    /// rejecting with [`TryUpdateError`] under overload or failure. A
+    /// healthy shard never rejects — it commits inline to make room.
+    pub fn try_update(&self, point: &[usize], delta: G) -> Result<(), TryUpdateError> {
+        self.shape.check_point(point);
+        let idx = self.owner_index(point[0]);
+        let shard = &self.shards[idx];
+        let mut local = point.to_vec();
+        local[0] -= shard.rows_lo;
+        let mut queue = lock_queue(shard);
+        let outcome = self.enqueue_locked(idx, shard, &mut queue, local, delta);
+        shard.pending.store(queue.deltas.len(), Ordering::Release);
+        outcome
+    }
+
+    /// Retries [`ShardedCube::try_update`] until `timeout` elapses,
+    /// yielding between attempts while the queue is full. A failed shard
+    /// rejects immediately — waiting cannot help it.
+    pub fn update_timeout(
+        &self,
+        point: &[usize],
+        delta: G,
+        timeout: Duration,
+    ) -> Result<(), TryUpdateError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_update(point, delta) {
+                Err(TryUpdateError::QueueFull { .. }) if Instant::now() < deadline => {
+                    std::thread::yield_now();
                 }
+                other => return other,
             }
         }
     }
 
-    /// Group commit: coalesce the queued deltas per cell and apply them
-    /// under one exclusive engine acquisition. Called with the queue
-    /// lock held so no concurrent enqueue can slip between drain and
-    /// apply.
-    fn flush_queue(shard: &Shard<G>, mut queue: MutexGuard<'_, Vec<(Vec<usize>, G)>>) {
-        if queue.is_empty() {
-            return;
+    /// One enqueue under the queue lock: backpressure check, push,
+    /// trigger. Shared by the single and batched update paths.
+    fn enqueue_locked(
+        &self,
+        idx: usize,
+        shard: &Shard<G>,
+        queue: &mut ShardQueue<G>,
+        local: Vec<usize>,
+        delta: G,
+    ) -> Result<(), TryUpdateError> {
+        if queue.health == Health::Failed {
+            shard.metrics.ops_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(TryUpdateError::ShardFailed { shard: idx });
         }
-        let raw = queue.len();
-        let mut coalesced: HashMap<Vec<usize>, G> = HashMap::with_capacity(raw);
-        for (point, delta) in queue.drain(..) {
-            let slot = coalesced.entry(point).or_insert(G::ZERO);
-            *slot = slot.add(delta);
+        let capacity = self.shard_config.queue_capacity.max(1);
+        if queue.deltas.len() >= capacity {
+            // Full: the only way to make room is to land the batch now.
+            self.attempt_commit(shard, queue);
+            if queue.deltas.len() >= capacity {
+                shard.metrics.ops_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(match queue.health {
+                    Health::Failed => TryUpdateError::ShardFailed { shard: idx },
+                    _ => TryUpdateError::QueueFull {
+                        shard: idx,
+                        capacity,
+                    },
+                });
+            }
+        }
+        queue.deltas.push((local, delta));
+        shard.metrics.ops_enqueued.fetch_add(1, Ordering::Relaxed);
+        shard
+            .metrics
+            .queue_depth_max
+            .fetch_max(queue.deltas.len() as u64, Ordering::Relaxed);
+        if queue.deltas.len() >= self.shard_config.batch_capacity.max(1) {
+            self.attempt_commit(shard, queue);
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of updates, locking each touched shard's queue
+    /// once. Rejected deltas are shed and counted, like
+    /// [`ShardedCube::update`].
+    pub fn update_batch(&self, updates: &[(Vec<usize>, G)]) {
+        let mut by_shard: HashMap<usize, Vec<(Vec<usize>, G)>> = HashMap::new();
+        for (point, delta) in updates {
+            self.shape.check_point(point);
+            let idx = self.owner_index(point[0]);
+            let mut local = point.clone();
+            local[0] -= self.shards[idx].rows_lo;
+            by_shard.entry(idx).or_default().push((local, *delta));
+        }
+        for (idx, batch) in by_shard {
+            let shard = &self.shards[idx];
+            let mut queue = lock_queue(shard);
+            for (local, delta) in batch {
+                let _ = self.enqueue_locked(idx, shard, &mut queue, local, delta);
+            }
+            shard.pending.store(queue.deltas.len(), Ordering::Release);
+        }
+    }
+
+    /// Flush trigger that respects the supervisor: failed shards are
+    /// skipped, quarantined shards burn down their backoff before the
+    /// commit is retried.
+    fn attempt_commit(&self, shard: &Shard<G>, queue: &mut ShardQueue<G>) -> bool {
+        match queue.health {
+            Health::Failed => false,
+            Health::Quarantined {
+                consecutive,
+                backoff,
+            } if backoff > 0 => {
+                queue.health = Health::Quarantined {
+                    consecutive,
+                    backoff: backoff - 1,
+                };
+                false
+            }
+            _ => self.commit(shard, queue),
+        }
+    }
+
+    /// Supervised group commit: coalesce the queued deltas per cell and
+    /// apply them under one exclusive engine acquisition, the whole apply
+    /// wrapped in `catch_unwind`. Called with the queue lock held so no
+    /// concurrent enqueue can slip between coalesce and apply.
+    ///
+    /// The queue is drained only *after* a successful apply — a panicking
+    /// commit (fault hook, or an engine bug before it mutates state)
+    /// leaves every delta queued for the retry. A panic *mid-apply* can
+    /// leave the engine half-updated; the shard is quarantined either
+    /// way, and exact repair is WAL recovery's job.
+    fn commit(&self, shard: &Shard<G>, queue: &mut ShardQueue<G>) -> bool {
+        if queue.deltas.is_empty() {
+            shard.pending.store(0, Ordering::Release);
+            return true;
+        }
+        let mut coalesced: HashMap<&[usize], G> = HashMap::with_capacity(queue.deltas.len());
+        for (point, delta) in &queue.deltas {
+            let slot = coalesced.entry(point.as_slice()).or_insert(G::ZERO);
+            *slot = slot.add(*delta);
         }
         let batch: Vec<(Vec<usize>, G)> = coalesced
             .into_iter()
             .filter(|(_, d)| !d.is_zero())
+            .map(|(p, d)| (p.to_vec(), d))
             .collect();
         let held = Instant::now();
-        if !batch.is_empty() {
-            let mut engine = shard.engine.write().expect("engine poisoned");
-            engine.apply_batch(&batch);
-        }
-        // Cleared only after the apply: a reader that saw `pending == 0`
-        // on its fast path must find every drained delta already in the
-        // engine.
-        shard.pending.store(0, Ordering::Release);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if shard.fail_flushes.load(Ordering::SeqCst) > 0 {
+                shard.fail_flushes.fetch_sub(1, Ordering::SeqCst);
+                panic!("injected flush failure");
+            }
+            if !batch.is_empty() {
+                write_engine(shard).apply_batch(&batch);
+            }
+        }));
         shard
             .metrics
             .lock_hold_nanos
             .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        shard
-            .metrics
-            .ops_applied
-            .fetch_add(raw as u64, Ordering::Relaxed);
-        shard
-            .metrics
-            .batches_flushed
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Drains a shard's queue if anything is pending (reader-side
-    /// visibility barrier).
-    fn flush_shard(&self, shard: &Shard<G>) {
-        if shard.pending.load(Ordering::Acquire) > 0 {
-            Self::flush_queue(shard, shard.queue.lock().expect("queue poisoned"));
+        match outcome {
+            Ok(()) => {
+                let raw = queue.deltas.len() as u64;
+                queue.deltas.clear();
+                // Cleared only after the apply: a reader that saw
+                // `pending == 0` on its fast path must find every drained
+                // delta already in the engine.
+                shard.pending.store(0, Ordering::Release);
+                shard.metrics.ops_applied.fetch_add(raw, Ordering::Relaxed);
+                shard
+                    .metrics
+                    .batches_flushed
+                    .fetch_add(1, Ordering::Relaxed);
+                if matches!(queue.health, Health::Quarantined { .. }) {
+                    shard
+                        .metrics
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                queue.health = Health::Healthy;
+                true
+            }
+            Err(_) => {
+                shard.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let consecutive = match queue.health {
+                    Health::Quarantined { consecutive, .. } => consecutive + 1,
+                    _ => 1,
+                };
+                queue.health = if consecutive > self.shard_config.max_restarts {
+                    Health::Failed
+                } else {
+                    Health::Quarantined {
+                        consecutive,
+                        backoff: 1u32 << (consecutive - 1).min(6),
+                    }
+                };
+                false
+            }
         }
     }
 
-    /// Forces a group commit on every shard (e.g. before `entries`, or
-    /// to bound queue staleness from a maintenance thread).
+    /// Forces a group commit on every live shard (e.g. before `entries`,
+    /// or to bound queue staleness from a maintenance thread). Bypasses
+    /// quarantine backoff — an explicit flush *is* the retry — and skips
+    /// failed shards, so it always terminates and never deadlocks; a
+    /// failed shard's queued deltas stay shed (degraded mode, visible in
+    /// the metrics).
     pub fn flush(&self) {
         for shard in &self.shards {
-            self.flush_shard(shard);
+            let mut queue = lock_queue(shard);
+            if queue.health != Health::Failed {
+                self.commit(shard, &mut queue);
+            }
         }
+    }
+
+    /// Arms the fault hook: the next `n` group commits on shard `shard`
+    /// panic before touching the engine. Test-only — exists so the
+    /// supervisor's quarantine/restart path is exercisable from
+    /// integration tests without an engine bug to trigger it.
+    #[doc(hidden)]
+    pub fn fail_next_flushes(&self, shard: usize, n: u64) {
+        self.shards[shard].fail_flushes.store(n, Ordering::SeqCst);
     }
 
     /// Sum of queued deltas whose local point is dominated by `corner`
@@ -330,20 +621,21 @@ impl<G: AbelianGroup> ShardedCube<G> {
     /// still-unapplied deltas. The queue mutex is held only until the
     /// engine read lock is acquired — the same queue→engine order a
     /// group commit uses — so a concurrent flush can neither apply a
-    /// delta we already counted nor sneak one past us.
+    /// delta we already counted nor sneak one past us. Quarantined
+    /// shards stay fully readable: their deltas are simply all queued.
     fn read_through(
         shard: &Shard<G>,
         queued: impl FnOnce(&[(Vec<usize>, G)]) -> G,
         read: impl FnOnce(&DdcEngine<G>) -> G,
     ) -> G {
         if shard.pending.load(Ordering::Acquire) > 0 {
-            let queue = shard.queue.lock().expect("queue poisoned");
-            let pending = queued(&queue);
-            let engine = shard.engine.read().expect("engine poisoned");
+            let queue = lock_queue(shard);
+            let pending = queued(&queue.deltas);
+            let engine = read_engine(shard);
             drop(queue);
             read(&engine).add(pending)
         } else {
-            read(&shard.engine.read().expect("engine poisoned"))
+            read(&read_engine(shard))
         }
     }
 
@@ -430,7 +722,12 @@ impl<G: AbelianGroup> ShardedCube<G> {
                     .collect();
                 handles
                     .into_iter()
-                    .filter_map(|h| h.join().expect("shard reader panicked"))
+                    .zip(&self.shards)
+                    // A panicked reader thread is not fatal: redo that
+                    // shard's read on the caller thread (reads are pure).
+                    .filter_map(|(h, shard)| {
+                        h.join().unwrap_or_else(|_| self.shard_prefix(shard, point))
+                    })
                     .fold(G::ZERO, |acc, p| acc.add(p))
             })
         } else {
@@ -459,7 +756,8 @@ impl<G: AbelianGroup> ShardedCube<G> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard reader panicked"))
+                    .zip(&self.shards)
+                    .map(|(h, shard)| h.join().unwrap_or_else(|_| self.shard_terms(shard, &terms)))
                     .fold(G::ZERO, |acc, p| acc.add(p))
             })
         } else {
@@ -494,7 +792,7 @@ impl<G: AbelianGroup> ShardedCube<G> {
         self.flush();
         let mut out = Vec::new();
         for shard in &self.shards {
-            let engine = shard.engine.read().expect("engine poisoned");
+            let engine = read_engine(shard);
             for (mut p, v) in engine.entries() {
                 p[0] += shard.rows_lo;
                 out.push((p, v));
@@ -517,6 +815,11 @@ impl<G: AbelianGroup> ShardedCube<G> {
                 batches_flushed: shard.metrics.batches_flushed.load(Ordering::Relaxed),
                 queries: shard.metrics.queries.load(Ordering::Relaxed),
                 lock_hold_nanos: shard.metrics.lock_hold_nanos.load(Ordering::Relaxed),
+                queue_depth_max: shard.metrics.queue_depth_max.load(Ordering::Relaxed),
+                ops_rejected: shard.metrics.ops_rejected.load(Ordering::Relaxed),
+                worker_panics: shard.metrics.worker_panics.load(Ordering::Relaxed),
+                worker_restarts: shard.metrics.worker_restarts.load(Ordering::Relaxed),
+                records_replayed: shard.metrics.records_replayed.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -525,7 +828,7 @@ impl<G: AbelianGroup> ShardedCube<G> {
     /// tracking what was already absorbed so deltas are counted once.
     fn sync_counter(&self) {
         for shard in &self.shards {
-            let snap = shard.engine.read().expect("engine poisoned").ops();
+            let snap = read_engine(shard).ops();
             let prev_r = shard.seen_reads.swap(snap.reads, Ordering::Relaxed);
             let prev_w = shard.seen_writes.swap(snap.writes, Ordering::Relaxed);
             self.counter.read(snap.reads.saturating_sub(prev_r));
@@ -574,7 +877,7 @@ impl<G: AbelianGroup> RangeSumEngine<G> for ShardedCube<G> {
 
     fn reset_ops(&self) {
         for shard in &self.shards {
-            shard.engine.read().expect("engine poisoned").reset_ops();
+            read_engine(shard).reset_ops();
             shard.seen_reads.store(0, Ordering::Relaxed);
             shard.seen_writes.store(0, Ordering::Relaxed);
         }
@@ -585,8 +888,8 @@ impl<G: AbelianGroup> RangeSumEngine<G> for ShardedCube<G> {
         self.shards
             .iter()
             .map(|shard| {
-                shard.engine.read().expect("engine poisoned").heap_bytes()
-                    + shard.queue.lock().expect("queue poisoned").capacity()
+                read_engine(shard).heap_bytes()
+                    + lock_queue(shard).deltas.capacity()
                         * (std::mem::size_of::<(Vec<usize>, G)>()
                             + self.shape.ndim() * std::mem::size_of::<usize>())
             })
@@ -594,11 +897,13 @@ impl<G: AbelianGroup> RangeSumEngine<G> for ShardedCube<G> {
     }
 
     fn metrics_text(&self) -> Option<String> {
-        let mut out =
-            String::from("shard  rows          enqueued   applied  batches   queries  lock-held\n");
+        let mut out = String::from(
+            "shard  rows          enqueued   applied  batches   queries  rejected  depth^  \
+             panics  restarts  replayed  lock-held\n",
+        );
         for m in self.metrics() {
             out.push_str(&format!(
-                "{:>5}  [{:>4},{:>4})  {:>8}  {:>8}  {:>7}  {:>8}  {:>7.3}ms\n",
+                "{:>5}  [{:>4},{:>4})  {:>8}  {:>8}  {:>7}  {:>8}  {:>8}  {:>6}  {:>6}  {:>8}  {:>8}  {:>7.3}ms\n",
                 m.shard,
                 m.rows_lo,
                 m.rows_hi,
@@ -606,6 +911,11 @@ impl<G: AbelianGroup> RangeSumEngine<G> for ShardedCube<G> {
                 m.ops_applied,
                 m.batches_flushed,
                 m.queries,
+                m.ops_rejected,
+                m.queue_depth_max,
+                m.worker_panics,
+                m.worker_restarts,
+                m.records_replayed,
                 m.lock_hold_nanos as f64 / 1e6,
             ));
         }
@@ -625,7 +935,7 @@ mod tests {
             ShardConfig {
                 shards,
                 batch_capacity: batch,
-                parallel_queries: false,
+                ..ShardConfig::default()
             },
         )
     }
@@ -691,6 +1001,7 @@ mod tests {
         let m = c.metrics();
         assert_eq!(m[0].ops_applied, 4);
         assert_eq!(m[0].batches_flushed, 1);
+        assert_eq!(m[0].queue_depth_max, 4);
         // Queries read through the queues without forcing extra commits.
         assert_eq!(c.query_prefix(&[31, 15]), 4);
         let m = c.metrics();
@@ -699,7 +1010,7 @@ mod tests {
 
     #[test]
     fn queries_see_queued_writes_immediately() {
-        let c = cube(4, 1_000_000); // capacity never reached
+        let c = cube(4, 1_000_000); // batch capacity never reached
         c.update(&[10, 10], 7);
         assert_eq!(c.query_prefix(&[31, 15]), 7);
         c.update(&[10, 10], -7);
@@ -719,6 +1030,141 @@ mod tests {
     }
 
     #[test]
+    fn healthy_shard_never_rejects_at_queue_capacity() {
+        // batch_capacity > queue_capacity: the queue bound, not the batch
+        // trigger, forces the commit — and it succeeds, so no rejection.
+        let c = ShardedCube::<i64>::new(
+            Shape::new(&[32, 16]),
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards: 1,
+                batch_capacity: 1_000_000,
+                queue_capacity: 8,
+                ..ShardConfig::default()
+            },
+        );
+        for i in 0..100 {
+            c.try_update(&[i % 32, 0], 1).unwrap();
+        }
+        let m = c.metrics();
+        assert_eq!(m[0].ops_rejected, 0);
+        assert!(m[0].queue_depth_max <= 8);
+        assert_eq!(c.query_prefix(&[31, 15]), 100);
+    }
+
+    #[test]
+    fn quarantined_shard_rejects_when_full_then_recovers() {
+        let c = ShardedCube::<i64>::new(
+            Shape::new(&[8, 4]),
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards: 1,
+                batch_capacity: 2,
+                queue_capacity: 4,
+                max_restarts: 10,
+                ..ShardConfig::default()
+            },
+        );
+        c.fail_next_flushes(0, 2);
+        // Each pair of updates triggers a commit; the first two commits
+        // panic, quarantining the shard with its deltas intact.
+        for i in 0..4 {
+            c.try_update(&[i, 0], 1).unwrap();
+        }
+        let m = c.metrics();
+        assert!(m[0].worker_panics >= 1, "{m:?}");
+        // Queue is at capacity and the shard is backing off: reject.
+        let err = c.try_update(&[4, 0], 1).unwrap_err();
+        assert!(matches!(
+            err,
+            TryUpdateError::QueueFull {
+                shard: 0,
+                capacity: 4
+            }
+        ));
+        assert_eq!(c.metrics()[0].ops_rejected, 1);
+        // Reads still see every queued delta.
+        assert_eq!(c.query_prefix(&[7, 3]), 4);
+        // Explicit flush bypasses backoff; the hook is exhausted, so the
+        // commit lands and ends the quarantine.
+        c.flush();
+        let m = c.metrics();
+        assert_eq!(m[0].worker_restarts, 1, "{m:?}");
+        assert_eq!(m[0].ops_applied, 4);
+        c.try_update(&[4, 0], 1).unwrap();
+        assert_eq!(c.query_prefix(&[7, 3]), 5);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_fails_the_shard() {
+        let c = ShardedCube::<i64>::new(
+            Shape::new(&[8, 4]),
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards: 2,
+                batch_capacity: 1,
+                queue_capacity: 2,
+                max_restarts: 0,
+                ..ShardConfig::default()
+            },
+        );
+        c.fail_next_flushes(0, 1);
+        c.update(&[0, 0], 1); // commit panics; budget 0 → Failed
+        let err = c.try_update(&[1, 0], 1).unwrap_err();
+        assert_eq!(err, TryUpdateError::ShardFailed { shard: 0 });
+        assert!(err.to_string().contains("shard 0"));
+        // The sibling shard is unaffected, and flush() skips the corpse
+        // instead of deadlocking.
+        c.try_update(&[7, 0], 3).unwrap();
+        c.flush();
+        assert_eq!(c.metrics()[1].ops_applied, 1);
+    }
+
+    #[test]
+    fn update_timeout_rejects_after_deadline() {
+        let c = ShardedCube::<i64>::new(
+            Shape::new(&[8, 4]),
+            DdcConfig::dynamic(),
+            ShardConfig {
+                shards: 1,
+                batch_capacity: 1,
+                queue_capacity: 1,
+                // The retry loop burns backoff fast; a huge budget keeps
+                // the shard quarantined (not failed) for the whole wait.
+                max_restarts: 1_000_000,
+                ..ShardConfig::default()
+            },
+        );
+        // Enough hook budget that the shard stays quarantined throughout.
+        c.fail_next_flushes(0, 1_000);
+        c.update(&[0, 0], 1); // panics, stays queued; queue now full
+        let err = c
+            .update_timeout(&[1, 0], 1, Duration::from_millis(5))
+            .unwrap_err();
+        assert!(matches!(err, TryUpdateError::QueueFull { .. }));
+        c.fail_next_flushes(0, 0);
+        c.update_timeout(&[1, 0], 1, Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(c.query_prefix(&[7, 3]), 2);
+    }
+
+    #[test]
+    fn from_recovered_counts_replayed_records() {
+        let entries = vec![(vec![1usize, 1], 5i64), (vec![30, 2], 7), (vec![2, 3], -1)];
+        let c = ShardedCube::from_recovered(
+            Shape::new(&[32, 16]),
+            DdcConfig::dynamic(),
+            ShardConfig::with_shards(2),
+            &entries,
+        );
+        let m = c.metrics();
+        assert_eq!(m.iter().map(|s| s.records_replayed).sum::<u64>(), 3);
+        assert_eq!(m[0].records_replayed, 2);
+        assert_eq!(m[1].records_replayed, 1);
+        assert_eq!(c.query_prefix(&[31, 15]), 11);
+    }
+
+    #[test]
     fn parallel_queries_agree_with_sequential() {
         let seq = cube(4, 4);
         let par = ShardedCube::<i64>::new(
@@ -728,6 +1174,7 @@ mod tests {
                 shards: 4,
                 batch_capacity: 4,
                 parallel_queries: true,
+                ..ShardConfig::default()
             },
         );
         for i in 0..32 {
@@ -767,6 +1214,7 @@ mod tests {
         let text = RangeSumEngine::metrics_text(&c).expect("sharded cube reports metrics");
         assert_eq!(text.lines().count(), 1 + 3, "{text}");
         assert!(text.contains("enqueued"), "{text}");
+        assert!(text.contains("restarts"), "{text}");
     }
 
     #[test]

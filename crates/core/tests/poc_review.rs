@@ -7,7 +7,7 @@ fn huge_single_dim_header_should_error_not_panic() {
     buf.push(0);
     buf.extend_from_slice(&1u32.to_le_bytes());
     buf.extend_from_slice(&u64::MAX.to_le_bytes()); // one dim = usize::MAX
-    buf.extend_from_slice(&0u64.to_le_bytes());     // zero entries
+    buf.extend_from_slice(&0u64.to_le_bytes()); // zero entries
     let r = std::panic::catch_unwind(|| {
         DdcEngine::<i64>::load(&mut buf.as_slice(), DdcConfig::dynamic()).map(|_| ())
     });

@@ -72,6 +72,11 @@ pub enum CheckOp {
     SaveLoad,
     /// Flush barrier: engines with write queues must group-commit.
     Flush,
+    /// Simulated process kill for engines with a durability story: drop
+    /// all volatile state and recover from snapshot + WAL. Acknowledged
+    /// ops must survive; a recovery error or post-crash divergence is a
+    /// failure. Engines without durability treat it as a no-op.
+    Crash,
 }
 
 /// The covered logical box at some point of a trace: low corner plus
@@ -222,7 +227,9 @@ impl CheckTrace {
             }
             // 4% persistence round-trips.
             86..=89 => CheckOp::SaveLoad,
-            // 10% flush barriers.
+            // 3% simulated kills + recovery.
+            90..=92 => CheckOp::Crash,
+            // 7% flush barriers.
             _ => CheckOp::Flush,
         }
     }
@@ -275,7 +282,7 @@ impl CheckTrace {
                     Shape::try_new(&dims).map_err(|e| format!("op {i}: growth overflow: {e}"))?;
                     state.grow(*axis, *amount, *low);
                 }
-                CheckOp::SaveLoad | CheckOp::Flush => {}
+                CheckOp::SaveLoad | CheckOp::Flush | CheckOp::Crash => {}
             }
         }
         Ok(())
@@ -343,6 +350,7 @@ impl CheckTrace {
                 }
                 CheckOp::SaveLoad => out.push_str("R\n"),
                 CheckOp::Flush => out.push_str("F\n"),
+                CheckOp::Crash => out.push_str("K\n"),
             }
         }
         out
@@ -460,6 +468,12 @@ impl CheckTrace {
                         return Err(format!("line {}: F takes no arguments", no + 1));
                     }
                     ops.push(CheckOp::Flush);
+                }
+                "K" => {
+                    if !nums.is_empty() {
+                        return Err(format!("line {}: K takes no arguments", no + 1));
+                    }
+                    ops.push(CheckOp::Crash);
                 }
                 other => return Err(format!("line {}: unknown tag '{other}'", no + 1)),
             }

@@ -157,7 +157,7 @@ for_cases! {
                 let report = check_interleavings(
                     &shape,
                     DdcConfig::dynamic(),
-                    ShardConfig { shards, batch_capacity, parallel_queries: false },
+                    ShardConfig { shards, batch_capacity, ..ShardConfig::default() },
                     &a,
                     &b,
                     128,

@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use ddc_array::{RangeSumEngine, Region, ShadowEngine, Shape};
-use ddc_core::{DdcConfig, DdcEngine, ShardConfig, ShardedCube};
+use ddc_core::{DdcConfig, DdcEngine, ShardConfig, ShardedCube, TryUpdateError};
 use ddc_tests::for_cases;
 use ddc_workload::Trace;
 
@@ -27,7 +27,7 @@ for_cases! {
         let sharded = ShardedCube::<i64>::new(
             shape.clone(),
             DdcConfig::dynamic(),
-            ShardConfig { shards, batch_capacity: batch, parallel_queries: false },
+            ShardConfig { shards, batch_capacity: batch, ..ShardConfig::default() },
         );
         let plain = DdcEngine::<i64>::dynamic(shape.clone());
         let mut lockstep = ShadowEngine::new(sharded, plain);
@@ -45,7 +45,7 @@ for_cases! {
         let sharded = ShardedCube::<i64>::new(
             shape.clone(),
             DdcConfig::dynamic(),
-            ShardConfig { shards: 4, batch_capacity: 16, parallel_queries: true },
+            ShardConfig { shards: 4, batch_capacity: 16, parallel_queries: true, ..ShardConfig::default() },
         );
         let mut lockstep = ShadowEngine::new(sharded, DdcEngine::<i64>::dynamic(shape));
         let _ = trace.replay(&mut lockstep);
@@ -82,7 +82,7 @@ fn stress_readers_and_writers_preserve_every_update() {
         ShardConfig {
             shards: 4,
             batch_capacity: 64,
-            parallel_queries: false,
+            ..ShardConfig::default()
         },
     );
     let done = AtomicBool::new(false);
@@ -197,7 +197,7 @@ fn queued_updates_read_through_and_flush_is_observably_silent() {
         ShardConfig {
             shards: 2,
             batch_capacity: 1_000_000,
-            parallel_queries: false,
+            ..ShardConfig::default()
         },
     );
 
@@ -240,7 +240,7 @@ fn batch_capacity_threshold_group_commits_automatically() {
         ShardConfig {
             shards: 1,
             batch_capacity: 4,
-            parallel_queries: false,
+            ..ShardConfig::default()
         },
     );
     // Three updates sit in the queue (below capacity)…
@@ -256,4 +256,108 @@ fn batch_capacity_threshold_group_commits_automatically() {
     for i in 0..4 {
         assert_eq!(cube.cell_value(&[i, i]), 1);
     }
+}
+
+/// Backpressure (robustness satellite): a shard whose commits keep
+/// panicking cannot drain, so a paced feed of thousands of updates must
+/// hit the queue bound and *reject* — the queue never grows past its
+/// capacity (no unbounded buffering, no OOM) — while the sibling shard
+/// keeps accepting. Once the fault clears, `flush()` drains the survivor
+/// deterministically and the accepted updates are all accounted for.
+#[test]
+fn slow_shard_under_paced_feed_rejects_instead_of_buffering_unboundedly() {
+    const FEED: usize = 5_000;
+    const CAPACITY: usize = 32;
+    let cube = ShardedCube::<i64>::new(
+        Shape::new(&[16, 8]),
+        DdcConfig::dynamic(),
+        ShardConfig {
+            shards: 2,
+            batch_capacity: 8,
+            queue_capacity: CAPACITY,
+            max_restarts: u32::MAX, // quarantined forever, never failed
+            ..ShardConfig::default()
+        },
+    );
+    // Shard 0 (rows 0..8) panics on every commit for the whole feed.
+    cube.fail_next_flushes(0, u64::MAX);
+
+    let mut accepted_slow = 0u64;
+    let mut rejected_slow = 0u64;
+    for i in 0..FEED {
+        // Paced feed alternating between the wedged shard and a healthy one.
+        match cube.try_update(&[i % 8, i % 8], 1) {
+            Ok(()) => accepted_slow += 1,
+            Err(TryUpdateError::QueueFull { shard, capacity }) => {
+                assert_eq!((shard, capacity), (0, CAPACITY));
+                rejected_slow += 1;
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+        cube.try_update(&[8 + i % 8, i % 8], 1).unwrap();
+    }
+
+    let m = cube.metrics();
+    // The wedged shard held at most `CAPACITY` deltas at any moment and
+    // shed the overflow instead of buffering it.
+    assert!(m[0].queue_depth_max <= CAPACITY as u64, "{m:?}");
+    assert_eq!(accepted_slow + rejected_slow, FEED as u64);
+    assert!(rejected_slow > 0, "feed never hit the bound: {m:?}");
+    assert_eq!(m[0].ops_rejected, rejected_slow);
+    assert!(m[0].worker_panics > 0);
+    // The healthy shard was untouched by its sibling's quarantine.
+    assert_eq!(m[1].ops_rejected, 0);
+    assert_eq!(
+        cube.query_prefix(&[15, 7]) - cube.query_prefix(&[7, 7]),
+        FEED as i64
+    );
+
+    // Fault clears → an explicit flush drains both shards completely and
+    // deterministically: applied == accepted, queues empty.
+    cube.fail_next_flushes(0, 0);
+    cube.flush();
+    let m = cube.metrics();
+    assert_eq!(m[0].ops_applied, accepted_slow);
+    assert_eq!(m[1].ops_applied, FEED as u64);
+    assert_eq!(m[0].worker_restarts, 1);
+    assert_eq!(cube.query_prefix(&[7, 7]), accepted_slow as i64);
+}
+
+/// Acceptance criterion: a deliberately panicking shard worker (armed
+/// via the test-only hook) is quarantined, `flush()` does not deadlock
+/// on it, and after the fault clears the worker restarts — visibly, in
+/// `MetricsSnapshot::worker_restarts` — with no update lost.
+#[test]
+fn panicking_worker_is_quarantined_then_restarted_without_deadlocking_flush() {
+    let cube = ShardedCube::<i64>::new(
+        Shape::new(&[8, 8]),
+        DdcConfig::dynamic(),
+        ShardConfig {
+            shards: 2,
+            batch_capacity: 1_000_000, // only explicit flushes commit
+            ..ShardConfig::default()
+        },
+    );
+    for i in 0..8 {
+        cube.update(&[i, 0], 1);
+    }
+    cube.fail_next_flushes(0, 2);
+
+    // Two flushes hit the armed hook: each panic is contained, the call
+    // returns (no deadlock), and the deltas stay queued and readable.
+    cube.flush();
+    cube.flush();
+    let m = cube.metrics();
+    assert_eq!(m[0].worker_panics, 2, "{m:?}");
+    assert_eq!(m[0].worker_restarts, 0);
+    assert_eq!(m[0].ops_applied, 0);
+    assert_eq!(cube.query_prefix(&[7, 7]), 8, "quarantined deltas readable");
+
+    // Hook exhausted: the next flush lands, ending the quarantine.
+    cube.flush();
+    let m = cube.metrics();
+    assert_eq!(m[0].worker_restarts, 1, "{m:?}");
+    assert_eq!(m[0].ops_applied + m[1].ops_applied, 8);
+    assert_eq!(cube.query_prefix(&[7, 7]), 8);
+    assert_eq!(cube.entries().len(), 8);
 }

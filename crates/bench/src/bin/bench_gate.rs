@@ -1,0 +1,59 @@
+//! CI perf-smoke gate: compare a fresh `BENCH_<name>.json` against the
+//! committed baseline in `bench/baselines/`.
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin bench_gate -- BASELINE CURRENT [--tolerance X]
+//! ```
+//!
+//! Deterministic `count` metrics must match the baseline exactly;
+//! machine-dependent `throughput` metrics must stay above
+//! `baseline / tolerance` (default 3× — generous on purpose: the gate
+//! exists to catch order-of-magnitude regressions and schema drift, not
+//! to flake on shared CI runners). Latency and info metrics are printed
+//! but never gated. Any metric present on one side only, or a
+//! schema-version/bench-name mismatch, fails the gate.
+
+use ddc_bench::json::{gate, BenchReport};
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--tolerance"))
+        .map(|(_, a)| a)
+        .collect();
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err("usage: bench_gate BASELINE CURRENT [--tolerance X]".to_string());
+    };
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        None => 3.0,
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--tolerance needs a value")?
+            .parse::<f64>()
+            .map_err(|e| format!("--tolerance: {e}"))?,
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let detail = gate(&baseline, &current, tolerance)?;
+    Ok(format!(
+        "{detail}\nperf-smoke ok: {} metrics vs {baseline_path} (tolerance {tolerance}x)",
+        baseline.metrics.len()
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Measures what the observability layer charges the engine hot paths
+//! (the EXPERIMENTS.md "instrumentation overhead" entry, target <5%).
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin obs_overhead
+//! ```
+//!
+//! Three variants of the same seeded update/query stream:
+//!
+//! * `raw tree` — [`DdcTree`] directly, no instrumentation in the path;
+//! * `timing off` — [`DdcEngine`] with [`obs::set_timing_enabled`] off,
+//!   so each op pays one relaxed atomic load and a branch;
+//! * `timing on` — the default: two `Instant::now()` calls plus a
+//!   histogram record per op.
+//!
+//! Each variant runs [`PASSES`] times and keeps its best pass (noise only
+//! ever adds time).
+
+use std::time::Instant;
+
+use ddc_array::{RangeSumEngine, Shape};
+use ddc_core::{obs, DdcConfig, DdcEngine, DdcTree};
+use ddc_workload::DdcRng;
+
+const SIDE: usize = 64;
+const OPS: usize = 200_000;
+const PASSES: usize = 3;
+
+fn stream() -> Vec<([usize; 2], i64)> {
+    let mut rng = DdcRng::seed_from_u64(0x0B5);
+    (0..OPS)
+        .map(|_| {
+            (
+                [rng.gen_range(0..SIDE), rng.gen_range(0..SIDE)],
+                rng.gen_range(-100i64..=100),
+            )
+        })
+        .collect()
+}
+
+/// Best-of-[`PASSES`] nanoseconds per op for `run` over a fresh state.
+fn best_ns_per_op(mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_nanos() as f64 / OPS as f64);
+    }
+    best
+}
+
+fn main() {
+    let ops = stream();
+
+    let raw = best_ns_per_op(|| {
+        let mut tree = DdcTree::<i64>::new(2, SIDE, DdcConfig::dynamic());
+        for (p, delta) in &ops {
+            tree.apply_delta(p, *delta);
+        }
+        std::hint::black_box(tree.prefix_sum(&[SIDE - 1, SIDE - 1]));
+    });
+
+    obs::set_timing_enabled(false);
+    let off = best_ns_per_op(|| {
+        let mut engine = DdcEngine::<i64>::dynamic(Shape::cube(2, SIDE));
+        for (p, delta) in &ops {
+            engine.apply_delta(p, *delta);
+        }
+        std::hint::black_box(engine.prefix_sum(&[SIDE - 1, SIDE - 1]));
+    });
+
+    obs::set_timing_enabled(true);
+    let on = best_ns_per_op(|| {
+        let mut engine = DdcEngine::<i64>::dynamic(Shape::cube(2, SIDE));
+        for (p, delta) in &ops {
+            engine.apply_delta(p, *delta);
+        }
+        std::hint::black_box(engine.prefix_sum(&[SIDE - 1, SIDE - 1]));
+    });
+
+    let pct = |num: f64, den: f64| (num / den - 1.0) * 100.0;
+    println!(
+        "{OPS} point updates over a {SIDE}x{SIDE} dynamic cube, best of {PASSES} passes:\n\
+         raw tree (uninstrumented)   {raw:>8.1} ns/op\n\
+         engine, timing off          {off:>8.1} ns/op  ({:+.2}% vs raw)\n\
+         engine, timing on (default) {on:>8.1} ns/op  ({:+.2}% vs timing off, {:+.2}% vs raw)",
+        pct(off, raw),
+        pct(on, off),
+        pct(on, raw),
+    );
+}

@@ -5,12 +5,24 @@
 //!
 //! ```text
 //! cargo run --release -p ddc-bench --bin update_cost
+//! cargo run --release -p ddc-bench --bin update_cost -- --json
 //! ```
+//!
+//! `--json` additionally writes `BENCH_update_cost.json` (schema in
+//! `ddc_bench::json`) — op counts are seeded and deterministic, so the
+//! CI perf-smoke gate compares them exactly against the committed
+//! baseline.
 
+use std::time::Instant;
+
+use ddc_bench::json::{BenchReport, MetricKind};
 use ddc_bench::{measure_engine, measure_worst_case_update, print_row};
 use ddc_olap::EngineKind;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let start = Instant::now();
+    let mut report = BenchReport::new("update_cost");
     for (d, sizes) in [(2usize, vec![16usize, 32, 64, 128]), (3, vec![8, 16, 32])] {
         println!("\n== d = {d}: mean values touched per update (uniform updates) ==\n");
         let widths = [6usize, 12, 12, 12, 12, 12];
@@ -30,6 +42,11 @@ fn main() {
             for kind in EngineKind::ALL {
                 let m = measure_engine(kind, d, n, 64, 0);
                 cells.push(format!("{:.1}", m.update_touched));
+                report.push(
+                    format!("update_touched.d{d}.n{n}.{}", kind.label()),
+                    MetricKind::Count,
+                    m.update_touched,
+                );
             }
             print_row(&cells, &widths);
         }
@@ -49,7 +66,13 @@ fn main() {
         for &n in &sizes {
             let mut cells = vec![format!("{n}")];
             for kind in EngineKind::ALL {
-                cells.push(format!("{}", measure_worst_case_update(kind, d, n)));
+                let worst = measure_worst_case_update(kind, d, n);
+                cells.push(format!("{worst}"));
+                report.push(
+                    format!("worst_case_update.d{d}.n{n}.{}", kind.label()),
+                    MetricKind::Count,
+                    worst as f64,
+                );
             }
             print_row(&cells, &widths);
         }
@@ -58,4 +81,21 @@ fn main() {
         "\nExpected shape (paper Table 1): naive O(1) < DDC polylog < Basic \
          O(n^(d-1))\n≈ RPS O(n^(d/2)) [d=2] < PS O(n^d); gaps widen with n."
     );
+    if json {
+        report.push(
+            "wall_time_s",
+            MetricKind::Info,
+            start.elapsed().as_secs_f64(),
+        );
+        report.push_obs_latencies(&[
+            "engine.update.basic_ddc",
+            "engine.update.dynamic_ddc",
+            "engine.prefix_sum.basic_ddc",
+            "engine.prefix_sum.dynamic_ddc",
+        ]);
+        let path = report
+            .write(std::path::Path::new("."))
+            .expect("write BENCH_update_cost.json");
+        println!("\nwrote {}", path.display());
+    }
 }

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod json;
 pub mod timer;
 
 use ddc_array::{RangeSumEngine, Region, Shape};

@@ -4,6 +4,7 @@
 
 use std::fmt;
 
+use ddc_core::obs;
 use ddc_workload::{shrink_trace, BoxState, CheckOp, CheckTrace, CheckTraceConfig, DdcRng};
 
 use crate::adapters::{engine_roster, CheckEngine};
@@ -203,6 +204,9 @@ pub struct FuzzFailure {
     pub original: CheckTrace,
     /// Minimized reproduction.
     pub shrunk: CheckTrace,
+    /// Rendered observability spans from replaying the shrunk trace with
+    /// tracing forced on — the timing context of the failing ops.
+    pub trace_dump: String,
 }
 
 /// Summary of a fuzz run.
@@ -254,10 +258,18 @@ pub fn fuzz_with(
                 let fails =
                     |t: &CheckTrace| run_trace_on(t, roster(&BoxState::initial(t))).is_err();
                 let shrunk = shrink_trace(&trace, fails);
+                // TraceDump hook: the confirming replay of the shrunk
+                // repro runs with span tracing forced on, so the failure
+                // carries the observability context of exactly the ops
+                // that diverge (no `DDC_TRACE` needed).
+                let was_tracing = obs::set_trace_enabled(true);
+                obs::clear_trace();
                 let shrunk_divergence = run_trace_on(&shrunk, roster(&BoxState::initial(&shrunk)))
                     .err()
                     .map(|b| *b)
                     .unwrap_or(*divergence);
+                let trace_dump = obs::trace_dump();
+                obs::set_trace_enabled(was_tracing);
                 outcome.ops_run += shrunk.ops.len();
                 outcome.failure = Some(FuzzFailure {
                     case,
@@ -265,6 +277,7 @@ pub fn fuzz_with(
                     divergence: shrunk_divergence,
                     original: trace,
                     shrunk,
+                    trace_dump,
                 });
                 return outcome;
             }

@@ -21,7 +21,7 @@ use ddc_check::{crash_sweep, fault_sweep, fault_sweep_growable, fuzz, run_trace}
 use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
 use ddc_workload::{CheckTrace, CheckTraceConfig, DdcRng};
 
-fn parse_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+pub(crate) fn parse_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     for (i, a) in args.iter().enumerate() {
         if a == name {
             let v = args
@@ -77,11 +77,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     Err(format!(
                         "divergence in case {} (seed {}): {}\n\
                          shrunk to {} ops -> {out_path}\n\
-                         replay with: ddc check replay {out_path}",
+                         replay with: ddc check replay {out_path}\n\
+                         spans from the shrunk replay (tracing forced on):\n{}",
                         f.case,
                         f.seed,
                         f.divergence,
-                        f.shrunk.ops.len()
+                        f.shrunk.ops.len(),
+                        f.trace_dump
                     ))
                 }
             }

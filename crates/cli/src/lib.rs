@@ -10,6 +10,7 @@
 pub mod check;
 pub mod command;
 mod session;
+pub mod stats;
 pub mod wal;
 
 pub use command::{Aggregate, Command, DimSpec, ParseError, RangeToken};

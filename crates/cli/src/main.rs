@@ -12,14 +12,16 @@ use ddc_cli::{Output, Session};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `ddc check …` is the differential-fuzzing harness and
-    // `ddc wal …` the log-recovery tooling — subcommands, not scripts.
+    // `ddc check …` is the differential-fuzzing harness, `ddc wal …` the
+    // log-recovery tooling, and `ddc stats` the metrics dump —
+    // subcommands, not scripts.
     for (name, runner) in [
         (
             "check",
             ddc_cli::check::run as fn(&[String]) -> Result<String, String>,
         ),
         ("wal", ddc_cli::wal::run),
+        ("stats", ddc_cli::stats::run),
     ] {
         if args.first().map(String::as_str) == Some(name) {
             match runner(&args[1..]) {

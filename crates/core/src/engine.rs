@@ -5,10 +5,45 @@
 //! covers the next power-of-two hyper-cube (the paper's §3.1 assumption),
 //! and the lazy materialization of §5 makes the padding free.
 
+use std::sync::{Arc, OnceLock};
+
 use ddc_array::{AbelianGroup, NdArray, OpCounter, RangeSumEngine, Shape};
 
 use crate::config::{DdcConfig, Mode};
+use crate::obs;
 use crate::tree::DdcTree;
+
+/// Per-mode latency histograms, resolved once and cached so the hot
+/// paths never touch the registry lock.
+struct EngineObs {
+    update_ns: Arc<obs::Histogram>,
+    update_name: &'static str,
+    prefix_ns: Arc<obs::Histogram>,
+    prefix_name: &'static str,
+}
+
+fn engine_obs(mode: Mode) -> &'static EngineObs {
+    static BASIC: OnceLock<EngineObs> = OnceLock::new();
+    static DYNAMIC: OnceLock<EngineObs> = OnceLock::new();
+    let (cell, update_name, prefix_name) = match mode {
+        Mode::Basic => (
+            &BASIC,
+            "engine.update.basic_ddc",
+            "engine.prefix_sum.basic_ddc",
+        ),
+        Mode::Dynamic => (
+            &DYNAMIC,
+            "engine.update.dynamic_ddc",
+            "engine.prefix_sum.dynamic_ddc",
+        ),
+    };
+    cell.get_or_init(|| EngineObs {
+        update_ns: obs::histogram(update_name),
+        update_name,
+        prefix_ns: obs::histogram(prefix_name),
+        prefix_name,
+    })
+}
 
 /// The paper's data-cube structure (Basic §3 or Dynamic §4, per config).
 ///
@@ -160,12 +195,19 @@ impl<G: AbelianGroup> RangeSumEngine<G> for DdcEngine<G> {
 
     fn prefix_sum(&self, point: &[usize]) -> G {
         self.shape.check_point(point);
-        self.tree.prefix_sum(point)
+        let site = engine_obs(self.tree.config().mode);
+        let t = obs::timer();
+        let v = self.tree.prefix_sum(point);
+        t.observe(site.prefix_name, &site.prefix_ns);
+        v
     }
 
     fn apply_delta(&mut self, point: &[usize], delta: G) {
         self.shape.check_point(point);
+        let site = engine_obs(self.tree.config().mode);
+        let t = obs::timer();
         self.tree.apply_delta(point, delta);
+        t.observe(site.update_name, &site.update_ns);
     }
 
     fn cell(&self, point: &[usize]) -> G {

@@ -15,10 +15,26 @@
 //! sum methods, which would materialize every cell of the enlarged
 //! bounding box.
 
+use std::sync::{Arc, OnceLock};
+
 use ddc_array::{AbelianGroup, CoordMap, GrowthDirection, OpCounter, Region};
 
 use crate::config::DdcConfig;
+use crate::obs;
 use crate::tree::DdcTree;
+
+struct GrowthObs {
+    grow_ns: Arc<obs::Histogram>,
+    doublings: Arc<obs::Counter>,
+}
+
+fn growth_obs() -> &'static GrowthObs {
+    static OBS: OnceLock<GrowthObs> = OnceLock::new();
+    OBS.get_or_init(|| GrowthObs {
+        grow_ns: obs::histogram("growth.grow"),
+        doublings: obs::counter("growth.doublings"),
+    })
+}
 
 /// A data cube over signed logical coordinates that grows on demand.
 ///
@@ -82,8 +98,15 @@ impl<G: AbelianGroup> GrowableCube<G> {
 
     /// Grows until `logical` is covered, then returns its internal index.
     fn cover(&mut self, logical: &[i64]) -> Vec<usize> {
+        // The common case — already covered — pays no timing overhead.
+        if let Some(internal) = self.map.to_internal(logical) {
+            return internal;
+        }
+        let site = growth_obs();
+        let span = obs::timer();
         loop {
             if let Some(internal) = self.map.to_internal(logical) {
+                span.observe("growth.grow", &site.grow_ns);
                 return internal;
             }
             // One doubling step: dimensions that need to reach below the
@@ -94,6 +117,7 @@ impl<G: AbelianGroup> GrowableCube<G> {
                 .map(|n| matches!(n, Some(GrowthDirection::Low)))
                 .collect();
             self.tree.grow(&low);
+            site.doublings.inc();
             for (axis, &l) in low.iter().enumerate() {
                 self.map.grow(
                     axis,

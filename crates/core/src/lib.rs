@@ -12,6 +12,8 @@
 //!   (fixed logical shape; Basic §3 or Dynamic §4 per [`DdcConfig`]).
 //! * [`GrowableCube`] — signed logical coordinates with on-demand growth.
 //! * [`DdcTree`] — the underlying primary tree, exposed for experiments.
+//! * [`obs`] — the zero-dependency observability layer (metrics
+//!   registry, latency histograms, tracing) every hot path reports into.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,6 +23,7 @@ mod config;
 mod engine;
 mod flat_face;
 mod growth;
+pub mod obs;
 mod persist;
 mod secondary;
 mod shard;

@@ -1,0 +1,755 @@
+//! Zero-dependency observability: metrics registry, latency histograms,
+//! and a lightweight tracing facade.
+//!
+//! The ROADMAP's north star is a serving system, and a serving system is
+//! blind without per-operation telemetry. This module is the workspace's
+//! single substrate for it — in-repo, offline-build-safe, `std`-only:
+//!
+//! * **[`Counter`] / [`Gauge`]** — relaxed-atomic scalars.
+//! * **[`Histogram`]** — log-bucketed (one bucket per power of two, 64
+//!   buckets, saturating at the top), recording into relaxed atomics so
+//!   the hot path never takes a lock. Quantiles (p50/p90/p99/max) are
+//!   estimated by geometric interpolation inside the owning bucket —
+//!   exactly the trade Pibiri & Venturini's prefix-sum study motivates:
+//!   constant factors dominate engine choice, so per-op latency must be
+//!   *measured*, cheaply, everywhere.
+//! * **[`Registry`]** — a process-global name → metric map. Lookups take
+//!   a `RwLock` read; hot call sites cache the returned `Arc` in a
+//!   `OnceLock` so steady-state cost is one pointer load.
+//! * **Spans** — [`timer`] / [`Timer::observe`] wrap a region, feed its
+//!   latency into a histogram, and (when tracing is on) push a
+//!   [`TraceEvent`] onto a bounded ring buffer that [`trace_dump`]
+//!   renders — the `TraceDump` hook `ddc-check` attaches to failing
+//!   shrunken traces.
+//!
+//! ## Cost model
+//!
+//! Counters are always on (one relaxed `fetch_add`, low single-digit
+//! nanoseconds). *Timing* is gated on a global flag read with one relaxed
+//! atomic load: when disabled, the instrumented hot paths skip both
+//! `Instant::now()` calls, so the overhead vs. uninstrumented code is a
+//! branch — measured at well under the 5% budget by the `obs_overhead`
+//! bench (see EXPERIMENTS.md). Timing defaults **on** (the histograms are
+//! what `ddc stats` and the bench JSON exist for) and is disabled either
+//! with `DDC_OBS=off` in the environment or [`set_timing_enabled`].
+//!
+//! Tracing (the event ring) defaults **off** and is enabled with
+//! `DDC_TRACE=1` or [`set_trace_enabled`].
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
+
+/// Number of logarithmic buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Capacity of the trace ring buffer (older events are dropped).
+pub const TRACE_RING_CAPACITY: usize = 512;
+
+// ---------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing event count (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+/// Bucket index for a recorded value: 0 holds exactly `0`, bucket `b ≥ 1`
+/// holds `[2^(b-1), 2^b)`, and the last bucket saturates upward.
+fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `b` (the saturated
+/// top bucket reports `u64::MAX` as its upper edge).
+fn bucket_bounds(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else if b == HISTOGRAM_BUCKETS - 1 {
+        (1u64 << (b - 1), u64::MAX)
+    } else {
+        (1u64 << (b - 1), (1u64 << b) - 1)
+    }
+}
+
+/// A lock-free log-bucketed latency histogram.
+///
+/// Values are arbitrary `u64`s; by convention the instrumented paths
+/// record **nanoseconds**. Recording is wait-free (three relaxed atomic
+/// RMWs); reading takes a consistent-enough snapshot bucket by bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy suitable for quantile estimation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Estimated quantile (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts (see [`Histogram`] for the bucket layout).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by locating the bucket
+    /// holding the target rank and interpolating linearly inside it.
+    /// Returns 0 for an empty histogram; the estimate never exceeds the
+    /// recorded maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                let hi = hi.min(self.max.max(lo));
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// A process-global name → metric map.
+///
+/// Names are `&'static str` by design: every instrumentation site is a
+/// fixed code location, and static names make the registry allocation-
+/// and hash-free on the lookup path. Dotted lowercase names
+/// (`wal.append`) are the convention; [`render_prometheus`] sanitizes
+/// them for exposition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
+    name: &'static str,
+) -> Arc<T> {
+    if let Some(m) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
+        return Arc::clone(m);
+    }
+    let mut w = map.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(w.entry(name).or_default())
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&n, c)| (n, c.get()))
+            .collect()
+    }
+
+    /// Snapshot of every gauge, sorted by name.
+    pub fn gauges(&self) -> Vec<(&'static str, i64)> {
+        self.gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&n, g)| (n, g.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&n, h)| (n, h.snapshot()))
+            .collect()
+    }
+}
+
+/// The process-global registry every instrumented path reports into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Shorthand for `registry().counter(name)`.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Shorthand for `registry().gauge(name)`.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Shorthand for `registry().histogram(name)`.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+// ---------------------------------------------------------------------
+// Timing + tracing toggles
+// ---------------------------------------------------------------------
+
+/// `0` = follow the environment default, `1` = forced off, `2` = forced
+/// on. One atomic so the hot-path check stays a single load.
+static TIMING: AtomicU64 = AtomicU64::new(0);
+static TRACING: AtomicU64 = AtomicU64::new(0);
+
+fn env_default(var: &str, default_on: bool) -> bool {
+    match std::env::var(var) {
+        Ok(v) => !matches!(v.as_str(), "0" | "off" | "false" | "no" | ""),
+        Err(_) => default_on,
+    }
+}
+
+fn flag_state(flag: &AtomicU64, env: &'static str, default_on: bool) -> bool {
+    match flag.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            // Resolve the environment once and latch the answer.
+            let on = env_default(env, default_on);
+            flag.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Whether span timing (and thus latency histograms) is active. Defaults
+/// on; `DDC_OBS=off` (or `0`/`false`/`no`) in the environment disables
+/// it, [`set_timing_enabled`] overrides either way.
+pub fn timing_enabled() -> bool {
+    flag_state(&TIMING, "DDC_OBS", true)
+}
+
+/// Forces timing on or off, returning the previous effective state.
+pub fn set_timing_enabled(on: bool) -> bool {
+    let prev = timing_enabled();
+    TIMING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    prev
+}
+
+/// Whether the trace ring records events. Defaults off; `DDC_TRACE=1`
+/// enables it, [`set_trace_enabled`] overrides either way.
+pub fn trace_enabled() -> bool {
+    flag_state(&TRACING, "DDC_TRACE", false)
+}
+
+/// Forces tracing on or off, returning the previous effective state.
+pub fn set_trace_enabled(on: bool) -> bool {
+    let prev = trace_enabled();
+    TRACING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    prev
+}
+
+// ---------------------------------------------------------------------
+// Spans and the trace ring
+// ---------------------------------------------------------------------
+
+/// One completed span captured by the trace ring.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Instrumentation-site name (a histogram name).
+    pub name: &'static str,
+    /// Span start, microseconds since the first observed event.
+    pub start_us: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn trace_ring() -> &'static Mutex<VecDeque<TraceEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<TraceEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(TRACE_RING_CAPACITY)))
+}
+
+fn push_trace(name: &'static str, started: Instant, dur_ns: u64) {
+    let start_us = started
+        .saturating_duration_since(epoch())
+        .as_micros()
+        .min(u128::from(u64::MAX)) as u64;
+    let mut ring = trace_ring().lock().unwrap_or_else(PoisonError::into_inner);
+    if ring.len() >= TRACE_RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(TraceEvent {
+        name,
+        start_us,
+        dur_ns,
+    });
+}
+
+/// Drains and returns the trace ring's events, oldest first.
+pub fn take_trace() -> Vec<TraceEvent> {
+    trace_ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+        .collect()
+}
+
+/// Empties the trace ring.
+pub fn clear_trace() {
+    trace_ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Renders the trace ring as an aligned text table (without draining
+/// it): one line per event, oldest first. Empty string when no events
+/// were captured.
+pub fn trace_dump() -> String {
+    let ring = trace_ring().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out = String::new();
+    for e in ring.iter() {
+        out.push_str(&format!(
+            "{:>12.3}ms  {:<28} {:>10}ns\n",
+            e.start_us as f64 / 1000.0,
+            e.name,
+            e.dur_ns
+        ));
+    }
+    out.pop();
+    out
+}
+
+/// An in-flight span: holds the start instant when timing or tracing is
+/// active, and nothing (two no-op branches) otherwise.
+#[derive(Debug)]
+#[must_use = "a Timer only measures when observe() is called"]
+pub struct Timer {
+    start: Option<Instant>,
+}
+
+/// Starts a span. When both timing and tracing are disabled this is a
+/// single relaxed atomic load and no clock read.
+pub fn timer() -> Timer {
+    Timer {
+        start: if timing_enabled() || trace_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+impl Timer {
+    /// Ends the span: records its duration into `hist` and, when tracing
+    /// is on, pushes a [`TraceEvent`] named `name` onto the ring.
+    pub fn observe(self, name: &'static str, hist: &Histogram) {
+        if let Some(started) = self.start {
+            let dur_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            hist.record(dur_ns);
+            if trace_enabled() {
+                push_trace(name, started, dur_ns);
+            }
+        }
+    }
+
+    /// Elapsed nanoseconds so far (`None` when the span is disabled).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start
+            .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+/// Maps a dotted metric name to a Prometheus-safe identifier:
+/// `wal.append` → `ddc_wal_append`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ddc_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Formats an `f64` for JSON (finite guaranteed by clamping).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders every registered metric in Prometheus exposition style:
+/// counters and gauges as single samples, histograms as
+/// `_count`/`_sum_ns` plus `quantile`-labelled samples and `_max_ns`.
+pub fn render_prometheus() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {v}\n"));
+    }
+    for (name, v) in reg.gauges() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {v}\n"));
+    }
+    for (name, h) in reg.histograms() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} summary\n"));
+        out.push_str(&format!("{p}_count {}\n", h.count));
+        out.push_str(&format!("{p}_sum_ns {}\n", h.sum));
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            out.push_str(&format!(
+                "{p}_ns{{quantile=\"{label}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!("{p}_max_ns {}\n", h.max));
+    }
+    out.pop();
+    out
+}
+
+/// Renders every registered metric as a JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+/// {count, sum_ns, mean_ns, p50_ns, p90_ns, p99_ns, max_ns}}}`.
+/// Metric names are static identifiers, so no string escaping is needed.
+pub fn render_json() -> String {
+    let reg = registry();
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters = reg.counters();
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out.push_str(&format!("{sep}\n    \"{name}\": {v}"));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    let gauges = reg.gauges();
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out.push_str(&format!("{sep}\n    \"{name}\": {v}"));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let hists = reg.histograms();
+    for (i, (name, h)) in hists.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out.push_str(&format!(
+            "{sep}\n    \"{name}\": {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            h.count,
+            h.sum,
+            json_num(h.mean()),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max
+        ));
+    }
+    out.push_str("\n  }\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that mutate the global timing/tracing flags or the shared
+    /// trace ring must not interleave under the parallel test runner.
+    fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_index(lo), b);
+            assert_eq!(bucket_index(hi), b);
+            assert_eq!(bucket_index(hi + 1), b + 1);
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::default();
+        // 100 observations spread evenly through bucket 7 ([64, 127]).
+        for i in 0..100u64 {
+            h.record(64 + (i * 63) / 99);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((80..=110).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.0) >= 64);
+        assert_eq!(h.quantile(1.0), 127);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 127);
+    }
+
+    #[test]
+    fn quantile_orders_across_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(10); // bucket 4
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((8..=15).contains(&p50), "p50 = {p50}");
+        assert!(p99 > 8_000, "p99 = {p99}");
+        assert!(p99 <= 10_000, "p99 = {p99} must not exceed max");
+    }
+
+    #[test]
+    fn saturation_at_the_top_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(snap.max, u64::MAX);
+        // Estimates come from the saturated top bucket, not beyond it.
+        assert!(h.quantile(0.99) >= 1u64 << 62);
+        assert!(h.quantile(0.5) >= 1u64 << 62);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_the_same_metric_for_a_name() {
+        let a = registry().counter("obs.test.same");
+        let b = registry().counter("obs.test.same");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let g = gauge("obs.test.gauge");
+        g.set(-5);
+        g.add(2);
+        assert_eq!(gauge("obs.test.gauge").get(), -3);
+    }
+
+    #[test]
+    fn renderers_include_registered_metrics() {
+        counter("obs.test.render").add(7);
+        histogram("obs.test.render_hist").record(1000);
+        let prom = render_prometheus();
+        assert!(prom.contains("ddc_obs_test_render 7"), "{prom}");
+        assert!(prom.contains("ddc_obs_test_render_hist_count 1"), "{prom}");
+        assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+        let json = render_json();
+        assert!(json.contains("\"obs.test.render\": 7"), "{json}");
+        assert!(json.contains("\"p99_ns\""), "{json}");
+    }
+
+    #[test]
+    fn timer_records_into_histogram_and_ring() {
+        let _guard = global_state_lock();
+        let h = Histogram::default();
+        clear_trace();
+        let prev_t = set_timing_enabled(true);
+        let prev_r = set_trace_enabled(true);
+        let t = timer();
+        std::hint::black_box(0u64);
+        t.observe("obs.test.span", &h);
+        set_trace_enabled(prev_r);
+        set_timing_enabled(prev_t);
+        assert_eq!(h.count(), 1);
+        let dump = trace_dump();
+        assert!(dump.contains("obs.test.span"), "{dump}");
+    }
+
+    #[test]
+    fn disabled_timer_is_inert() {
+        let _guard = global_state_lock();
+        let h = Histogram::default();
+        let prev_t = set_timing_enabled(false);
+        let prev_r = set_trace_enabled(false);
+        let t = timer();
+        assert!(t.elapsed_ns().is_none());
+        t.observe("obs.test.disabled", &h);
+        set_timing_enabled(prev_t);
+        set_trace_enabled(prev_r);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let _guard = global_state_lock();
+        let prev = set_trace_enabled(true);
+        for _ in 0..TRACE_RING_CAPACITY + 10 {
+            push_trace("obs.test.bound", Instant::now(), 1);
+        }
+        set_trace_enabled(prev);
+        let events = take_trace();
+        assert!(events.len() <= TRACE_RING_CAPACITY);
+    }
+}

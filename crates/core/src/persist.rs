@@ -15,14 +15,33 @@
 //! stock groups (`i64`, `f64`, pairs).
 
 use std::io::{self, Read, Write};
+use std::sync::{Arc, OnceLock};
 
 use ddc_array::{AbelianGroup, Pair, RangeSumEngine, Shape};
 
 use crate::config::DdcConfig;
 use crate::engine::DdcEngine;
 use crate::growth::GrowableCube;
+use crate::obs;
 
 const MAGIC: &[u8; 4] = b"DDC1";
+
+/// Snapshot-path observability handles (save/load latency and volume),
+/// cached off the registry lock.
+struct PersistObs {
+    save_ns: Arc<obs::Histogram>,
+    load_ns: Arc<obs::Histogram>,
+    save_bytes: Arc<obs::Counter>,
+}
+
+fn persist_obs() -> &'static PersistObs {
+    static OBS: OnceLock<PersistObs> = OnceLock::new();
+    OBS.get_or_init(|| PersistObs {
+        save_ns: obs::histogram("persist.save"),
+        load_ns: obs::histogram("persist.load"),
+        save_bytes: obs::counter("persist.save.bytes"),
+    })
+}
 
 /// Fixed-width binary encoding of a measure value.
 pub trait ValueCodec: Sized {
@@ -162,6 +181,8 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
     /// flushing before return. Returns the snapshot size in bytes so
     /// callers can fsync/verify the exact durable extent.
     pub fn save(&self, out: &mut impl Write) -> io::Result<u64> {
+        let site = persist_obs();
+        let span = obs::timer();
         let mut w = CountingWriter::new(io::BufWriter::new(&mut *out));
         w.write_all(MAGIC)?;
         w.write_all(&[0u8])?;
@@ -179,12 +200,16 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
             v.encode(&mut w)?;
         }
         w.flush()?;
+        site.save_bytes.add(w.written);
+        span.observe("persist.save", &site.save_ns);
         Ok(w.written)
     }
 
     /// Reads a snapshot written by [`DdcEngine::save`], rebuilding under
     /// `config` (snapshots are structure-agnostic).
     pub fn load(input: &mut impl Read, config: DdcConfig) -> io::Result<Self> {
+        let site = persist_obs();
+        let span = obs::timer();
         let d = read_header(input, 0)?;
         let mut dims = Vec::with_capacity(d);
         for _ in 0..d {
@@ -224,6 +249,7 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
                 engine.apply_delta(&p, v);
             }
         }
+        span.observe("persist.load", &site.load_ns);
         Ok(engine)
     }
 }
@@ -233,6 +259,8 @@ impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
     /// buffered writer, flushing before return. Returns the snapshot size
     /// in bytes.
     pub fn save(&self, out: &mut impl Write) -> io::Result<u64> {
+        let site = persist_obs();
+        let span = obs::timer();
         let mut w = CountingWriter::new(io::BufWriter::new(&mut *out));
         w.write_all(MAGIC)?;
         w.write_all(&[1u8])?;
@@ -250,11 +278,15 @@ impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
             v.encode(&mut w)?;
         }
         w.flush()?;
+        site.save_bytes.add(w.written);
+        span.observe("persist.save", &site.save_ns);
         Ok(w.written)
     }
 
     /// Reads a snapshot written by [`GrowableCube::save`].
     pub fn load(input: &mut impl Read, config: DdcConfig) -> io::Result<Self> {
+        let site = persist_obs();
+        let span = obs::timer();
         let d = read_header(input, 1)?;
         let mut origin = Vec::with_capacity(d);
         for _ in 0..d {
@@ -273,6 +305,7 @@ impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
                 cube.add(&p, v);
             }
         }
+        span.observe("persist.load", &site.load_ns);
         Ok(cube)
     }
 }

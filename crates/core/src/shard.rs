@@ -58,10 +58,28 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
+use std::sync::{Arc, OnceLock};
+
 use ddc_array::{AbelianGroup, OpCounter, OpSnapshot, RangeSumEngine, Region, Shape};
 
 use crate::config::DdcConfig;
 use crate::engine::DdcEngine;
+use crate::obs;
+
+/// Cube-wide observability handles (queue-wait vs. commit latency — the
+/// two halves of a sharded write's life), cached off the registry lock.
+struct ShardObs {
+    queue_wait_ns: Arc<obs::Histogram>,
+    commit_ns: Arc<obs::Histogram>,
+}
+
+fn shard_obs() -> &'static ShardObs {
+    static OBS: OnceLock<ShardObs> = OnceLock::new();
+    OBS.get_or_init(|| ShardObs {
+        queue_wait_ns: obs::histogram("shard.queue_wait"),
+        commit_ns: obs::histogram("shard.commit"),
+    })
+}
 
 /// Tuning knobs for a [`ShardedCube`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -391,7 +409,9 @@ impl<G: AbelianGroup> ShardedCube<G> {
         let shard = &self.shards[idx];
         let mut local = point.to_vec();
         local[0] -= shard.rows_lo;
+        let wait = obs::timer();
         let mut queue = lock_queue(shard);
+        wait.observe("shard.queue_wait", &shard_obs().queue_wait_ns);
         let outcome = self.enqueue_locked(idx, shard, &mut queue, local, delta);
         shard.pending.store(queue.deltas.len(), Ordering::Release);
         outcome
@@ -472,7 +492,9 @@ impl<G: AbelianGroup> ShardedCube<G> {
         }
         for (idx, batch) in by_shard {
             let shard = &self.shards[idx];
+            let wait = obs::timer();
             let mut queue = lock_queue(shard);
+            wait.observe("shard.queue_wait", &shard_obs().queue_wait_ns);
             for (local, delta) in batch {
                 let _ = self.enqueue_locked(idx, shard, &mut queue, local, delta);
             }
@@ -515,6 +537,7 @@ impl<G: AbelianGroup> ShardedCube<G> {
             shard.pending.store(0, Ordering::Release);
             return true;
         }
+        let span = obs::timer();
         let mut coalesced: HashMap<&[usize], G> = HashMap::with_capacity(queue.deltas.len());
         for (point, delta) in &queue.deltas {
             let slot = coalesced.entry(point.as_slice()).or_insert(G::ZERO);
@@ -539,6 +562,7 @@ impl<G: AbelianGroup> ShardedCube<G> {
             .metrics
             .lock_hold_nanos
             .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        span.observe("shard.commit", &shard_obs().commit_ns);
         match outcome {
             Ok(()) => {
                 let raw = queue.deltas.len() as u64;

@@ -36,12 +36,39 @@
 //! hermetic.
 
 use std::io::{self, Write};
+use std::sync::{Arc, OnceLock};
 
 use ddc_array::AbelianGroup;
 
 use crate::config::{DdcConfig, WalConfig};
 use crate::growth::GrowableCube;
+use crate::obs;
 use crate::persist::ValueCodec;
+
+/// Durability-path observability handles: append latency (the full
+/// log-and-flush), the flush/sync portion alone, and recovery replay.
+struct WalObs {
+    append_ns: Arc<obs::Histogram>,
+    fsync_ns: Arc<obs::Histogram>,
+    recover_ns: Arc<obs::Histogram>,
+    append_records: Arc<obs::Counter>,
+    append_bytes: Arc<obs::Counter>,
+    recover_records: Arc<obs::Counter>,
+    recover_runs: Arc<obs::Counter>,
+}
+
+fn wal_obs() -> &'static WalObs {
+    static OBS: OnceLock<WalObs> = OnceLock::new();
+    OBS.get_or_init(|| WalObs {
+        append_ns: obs::histogram("wal.append"),
+        fsync_ns: obs::histogram("wal.fsync"),
+        recover_ns: obs::histogram("wal.recover"),
+        append_records: obs::counter("wal.append.records"),
+        append_bytes: obs::counter("wal.append.bytes"),
+        recover_records: obs::counter("wal.recover.records"),
+        recover_runs: obs::counter("wal.recover.runs"),
+    })
+}
 
 /// Log header: magic plus a format version byte.
 pub const WAL_MAGIC: &[u8; 4] = b"DDCW";
@@ -257,14 +284,22 @@ impl<W: Write> WalWriter<W> {
     /// Appends one record and flushes. Returns the total log size in
     /// bytes after the append — the durable high-water mark.
     pub fn append<G: AbelianGroup + ValueCodec>(&mut self, op: &WalOp<G>) -> io::Result<u64> {
+        let site = wal_obs();
+        let span = obs::timer();
         let mut payload = Vec::with_capacity(32);
         op.encode_payload(&mut payload);
         self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.out.write_all(&crc32(&payload).to_le_bytes())?;
         self.out.write_all(&payload)?;
+        let sync = obs::timer();
         self.out.flush()?;
+        sync.observe("wal.fsync", &site.fsync_ns);
         self.bytes += (WAL_FRAME_BYTES + payload.len()) as u64;
         self.records += 1;
+        site.append_records.inc();
+        site.append_bytes
+            .add((WAL_FRAME_BYTES + payload.len()) as u64);
+        span.observe("wal.append", &site.append_ns);
         Ok(self.bytes)
     }
 
@@ -423,6 +458,8 @@ pub fn recover<G: AbelianGroup + ValueCodec>(
     config: DdcConfig,
     wal_config: WalConfig,
 ) -> io::Result<(GrowableCube<G>, RecoveryReport)> {
+    let site = wal_obs();
+    let span = obs::timer();
     let (mut cube, snapshot_loaded) = match snapshot {
         Some(bytes) => {
             let cube = GrowableCube::<G>::load(&mut { bytes }, config)?;
@@ -447,6 +484,9 @@ pub fn recover<G: AbelianGroup + ValueCodec>(
         })?;
         replayed += 1;
     }
+    site.recover_runs.inc();
+    site.recover_records.add(replayed as u64);
+    span.observe("wal.recover", &site.recover_ns);
     Ok((
         cube,
         RecoveryReport {

@@ -59,6 +59,13 @@ fn injected_off_by_one_is_caught_shrunk_and_replayable() {
     );
     let failure = outcome.failure.expect("buggy engine must be caught");
     assert_eq!(failure.divergence.engine, "off-by-one (intentional)");
+    // The TraceDump hook replayed the shrunk repro with tracing forced
+    // on: the failure carries engine spans from the observability layer.
+    assert!(
+        failure.trace_dump.contains("engine."),
+        "trace dump missing engine spans:\n{}",
+        failure.trace_dump
+    );
     assert!(
         failure.shrunk.ops.len() <= 10,
         "repro did not shrink: {} ops\n{}",

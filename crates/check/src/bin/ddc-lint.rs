@@ -1,0 +1,75 @@
+//! `ddc-lint` — repo-invariant lint suite over the workspace source.
+//!
+//! ```text
+//! ddc-lint                      # lint crates/*/src from the cwd
+//! ddc-lint --root /path/repo    # explicit repo root
+//! ddc-lint --allow lint-allow.txt
+//! ```
+//!
+//! Exits 1 on any finding not waived by the allowlist; stale allowlist
+//! entries are reported but do not fail the run.
+
+use std::path::PathBuf;
+
+use ddc_check::lint;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--allow" if i + 1 < args.len() => {
+                allow_path = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "ddc-lint: unknown argument `{other}` (expected --root DIR, --allow FILE)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("ddc-lint: cannot read {}: {e}", allow_path.display());
+            std::process::exit(2);
+        }
+    };
+
+    match lint::run_lints(&root, &allowlist) {
+        Ok((blocking, waived, stale, allow)) => {
+            for f in &blocking {
+                println!("{f}");
+            }
+            for i in &stale {
+                let a = &allow[*i];
+                eprintln!(
+                    "ddc-lint: stale allowlist entry (matched nothing): {} {} {}",
+                    a.rule, a.path, a.needle
+                );
+            }
+            eprintln!(
+                "ddc-lint: {} blocking, {} waived, {} stale allowlist entries",
+                blocking.len(),
+                waived.len(),
+                stale.len()
+            );
+            std::process::exit(if blocking.is_empty() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("ddc-lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -25,6 +25,7 @@ mod buggy;
 mod crash;
 mod fault;
 mod interleave;
+pub mod lint;
 mod oracle;
 mod runner;
 

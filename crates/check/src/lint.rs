@@ -1,0 +1,573 @@
+//! Repo-invariant lint suite (`ddc-lint`).
+//!
+//! Token-level lints over the workspace's own source, with a tiny
+//! hand-rolled lexer (no syn, no proc-macro machinery) that masks
+//! comments, string/char literals, and `#[cfg(test)]` regions so rules
+//! fire only on live non-test code:
+//!
+//! * **`no-unwrap`** — no `.unwrap()` / `.expect(` in non-test
+//!   `crates/core` code. Poison-tolerant or typed errors instead; the
+//!   few justified panics live in `lint-allow.txt` with a rationale.
+//! * **`no-bare-std-sync`** — inside `crates/core`, all sync primitives
+//!   come from the `crate::sync` facade (so the model checker can
+//!   intercept them); only `sync.rs` itself may name `std::sync`.
+//! * **`named-ordering`** — every atomic `.load(` / `.store(` /
+//!   `.fetch_*(` / `.swap(` / `.compare_exchange*(` call names an
+//!   explicit `Ordering::…` in its argument list. (`crates/model` is
+//!   exempt: the facade internals forward an `Ordering` parameter by
+//!   design.)
+//!
+//! Findings can be waived via an allowlist file (`lint-allow.txt` at
+//! the repo root): `rule path needle` per line, where `needle` must be
+//! a substring of the offending source line — entries survive line
+//! drift but die with the code they excuse. `#` starts a comment.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `no-unwrap`).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Masking lexer
+// ---------------------------------------------------------------------------
+
+/// Replace the *contents* of comments and string/char literals with
+/// spaces, preserving byte-for-byte line structure, so downstream
+/// substring rules never fire inside them.
+pub fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Emit one source byte as-is (newlines always survive masking).
+    // Everything inside a literal/comment becomes b' '.
+    fn push_masked(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                push_masked(&mut out, bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    push_masked(&mut out, bytes[i]);
+                    push_masked(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    push_masked(&mut out, bytes[i]);
+                    push_masked(&mut out, bytes[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    push_masked(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and byte-raw) string: r"…", r#"…"#, br##"…"##, …
+        if b == b'r' || (b == b'b' && bytes.get(i + 1) == Some(&b'r')) {
+            let start = if b == b'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            while bytes.get(start + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if bytes.get(start + hashes) == Some(&b'"') {
+                // Only a raw string if `r` is not part of an identifier.
+                let prev_ident =
+                    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                if !prev_ident {
+                    let mut j = start + hashes + 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat(b'#').take(hashes))
+                        .collect();
+                    while j < bytes.len() && !bytes[j..].starts_with(&closer) {
+                        j += 1;
+                    }
+                    j = (j + closer.len()).min(bytes.len());
+                    for &c in &bytes[i..j] {
+                        push_masked(&mut out, c);
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Normal (and byte) string.
+        if b == b'"' || (b == b'b' && bytes.get(i + 1) == Some(&b'"')) {
+            let mut j = if b == b'b' { i + 2 } else { i + 1 };
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            for &c in &bytes[i..j.min(bytes.len())] {
+                push_masked(&mut out, c);
+            }
+            i = j.min(bytes.len());
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote right after one char/escape) is a lifetime.
+        if b == b'\'' {
+            let lit_end = if bytes.get(i + 1) == Some(&b'\\') {
+                let mut j = i + 2;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                (j < bytes.len()).then_some(j + 1)
+            } else {
+                // Skip one UTF-8 scalar, then require a closing quote.
+                let rest = &src[i + 1..];
+                rest.chars().next().and_then(|c| {
+                    let j = i + 1 + c.len_utf8();
+                    (c != '\'' && bytes.get(j) == Some(&b'\'')).then_some(j + 1)
+                })
+            };
+            if let Some(end) = lit_end {
+                for &c in &bytes[i..end] {
+                    push_masked(&mut out, c);
+                }
+                i = end;
+                continue;
+            }
+        }
+        out.push(b);
+        i += 1;
+    }
+    String::from_utf8(out).unwrap_or_else(|_| src.to_string())
+}
+
+/// Per-line flags marking `#[cfg(test)]` items (the attribute through
+/// the end of the brace-balanced item it gates).
+pub fn test_regions(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut in_test = vec![false; lines.len()];
+    let mut offsets = Vec::with_capacity(lines.len());
+    let mut off = 0;
+    for l in &lines {
+        offsets.push(off);
+        off += l.len() + 1;
+    }
+    let line_of = |byte: usize| match offsets.binary_search(&byte) {
+        Ok(l) => l,
+        Err(l) => l.saturating_sub(1),
+    };
+
+    let bytes = masked.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let at = search + pos;
+        // Walk to the item's opening brace, then to its balanced close.
+        let mut j = at;
+        while j < bytes.len() && bytes[j] != b'{' {
+            // A `;` before any `{` means a braceless item (e.g.
+            // `#[cfg(test)] mod tests;`) — only that line is gated.
+            if bytes[j] == b';' {
+                break;
+            }
+            j += 1;
+        }
+        let end = if j < bytes.len() && bytes[j] == b'{' {
+            let mut depth = 0usize;
+            let mut k = j;
+            loop {
+                if k >= bytes.len() {
+                    break k;
+                }
+                match bytes[k] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        } else {
+            j
+        };
+        let (from, to) = (line_of(at), line_of(end.min(bytes.len() - 1)));
+        for flag in in_test.iter_mut().take(to + 1).skip(from) {
+            *flag = true;
+        }
+        search = at + "#[cfg(test)]".len();
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+const ATOMIC_CALLS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_update(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".swap(",
+];
+
+/// Scan forward from the call's `(` and collect the argument text up
+/// to the matching `)`, spanning lines if needed.
+fn call_args(lines: &[&str], line_idx: usize, open_col: usize) -> String {
+    let mut depth = 0usize;
+    let mut args = String::new();
+    for (li, line) in lines.iter().enumerate().skip(line_idx) {
+        let start = if li == line_idx { open_col } else { 0 };
+        for (ci, c) in line.char_indices().skip(start) {
+            let _ = ci;
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        continue;
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return args;
+                    }
+                }
+                _ => {}
+            }
+            args.push(c);
+        }
+        args.push('\n');
+        if args.len() > 4096 {
+            break; // unbalanced or absurd; give up quietly
+        }
+    }
+    args
+}
+
+/// Lint one file. `rel_path` uses forward slashes relative to the repo
+/// root; `raw` is the file contents.
+pub fn lint_file(rel_path: &str, raw: &str) -> Vec<Finding> {
+    let masked = mask_source(raw);
+    let in_test = test_regions(&masked);
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let mut findings = Vec::new();
+
+    let mut push = |rule: &'static str, line: usize| {
+        findings.push(Finding {
+            rule,
+            path: rel_path.to_string(),
+            line: line + 1,
+            excerpt: raw_lines.get(line).map_or("", |l| l.trim()).to_string(),
+        });
+    };
+
+    let in_core = rel_path.starts_with("crates/core/src");
+    let is_facade = rel_path == "crates/core/src/sync.rs";
+    let in_model = rel_path.starts_with("crates/model/");
+    // Model-checker scenarios are assertion code: panicking is their
+    // failure-reporting channel, same as #[cfg(test)] regions.
+    let is_scenarios = rel_path == "crates/core/src/models.rs";
+
+    for (li, line) in masked_lines.iter().enumerate() {
+        if in_test.get(li).copied().unwrap_or(false) {
+            continue;
+        }
+
+        // no-unwrap: core library code must not panic via unwrap/expect.
+        if in_core && !is_scenarios && (line.contains(".unwrap()") || line.contains(".expect(")) {
+            push("no-unwrap", li);
+        }
+
+        // no-bare-std-sync: inside crates/core only sync.rs (the
+        // facade itself) may name std::sync.
+        if in_core && !is_facade && line.contains("std::sync") {
+            push("no-bare-std-sync", li);
+        }
+
+        // named-ordering: atomic calls must spell out Ordering::…
+        // (facade internals in crates/model forward a parameter).
+        if !in_model {
+            for needle in ATOMIC_CALLS {
+                let mut from = 0;
+                while let Some(pos) = line[from..].find(needle) {
+                    let at = from + pos;
+                    let open = at + needle.len() - 1;
+                    let args = call_args(&masked_lines, li, open);
+                    if !args.contains("Ordering::") {
+                        push("named-ordering", li);
+                    }
+                    from = at + needle.len();
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk + allowlist
+// ---------------------------------------------------------------------------
+
+/// Recursively collect `crates/*/src/**/*.rs` under `root`, returned as
+/// sorted repo-relative forward-slash paths.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for e in entries {
+            let p = e.path();
+            if p.is_dir() {
+                walk(&p, out)?;
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+        Ok(())
+    }
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut out = Vec::new();
+    for c in crate_dirs {
+        let src = c.join("src");
+        if src.is_dir() {
+            walk(&src, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// One allowlist entry: `rule path needle` (needle = substring of the
+/// offending line; everything after the second space).
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the entry waives.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Substring the offending line must contain.
+    pub needle: String,
+}
+
+/// Parse an allowlist file's contents; `#` comments and blanks skipped.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(needle)) if !needle.trim().is_empty() => {
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    needle: needle.trim().to_string(),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `rule path needle`, got `{line}`",
+                    no + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Split findings into (blocking, waived) and report which allowlist
+/// entries never matched anything (stale).
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    allow: &[AllowEntry],
+) -> (Vec<Finding>, Vec<Finding>, Vec<usize>) {
+    let mut used = vec![false; allow.len()];
+    let mut blocking = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        let hit = allow
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.rule == f.rule && a.path == f.path && f.excerpt.contains(&a.needle));
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                waived.push(f);
+            }
+            None => blocking.push(f),
+        }
+    }
+    let stale = used
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| !**u)
+        .map(|(i, _)| i)
+        .collect();
+    (blocking, waived, stale)
+}
+
+/// What a full lint run produces: `(blocking, waived,
+/// stale_allow_indices, entries)`.
+pub type LintOutcome = (Vec<Finding>, Vec<Finding>, Vec<usize>, Vec<AllowEntry>);
+
+/// Run the full suite from a repo root.
+pub fn run_lints(root: &Path, allowlist: &str) -> Result<LintOutcome, String> {
+    let allow = parse_allowlist(allowlist)?;
+    let files = workspace_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut findings = Vec::new();
+    for f in &files {
+        let raw = std::fs::read_to_string(f).map_err(|e| format!("reading {f:?}: {e}"))?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&rel, &raw));
+    }
+    let (blocking, waived, stale) = apply_allowlist(findings, &allow);
+    Ok((blocking, waived, stale, allow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_strings_chars_and_lifetimes() {
+        let src = r##"let s = "x.unwrap()"; // .unwrap()
+let r = r#".expect("hi")"#; /* std::sync */
+let c = '"'; let lt: &'static str = s;
+let real = v.unwrap();"##;
+        let m = mask_source(src);
+        assert!(!m.contains("x.unwrap"), "string not masked: {m}");
+        assert!(!m.contains(".expect"), "raw string/comment not masked: {m}");
+        assert!(!m.contains("std::sync"), "block comment not masked: {m}");
+        assert!(m.contains("&'static str"), "lifetime mangled: {m}");
+        assert!(m.contains("v.unwrap()"), "real code lost: {m}");
+        assert_eq!(
+            m.lines().count(),
+            src.lines().count(),
+            "line structure changed"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let src = "a /* x /* y */ z.unwrap() */ b";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"), "{m}");
+        assert!(m.starts_with('a') && m.ends_with('b'), "{m}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src =
+            "fn live() { v.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn std_sync_flagged_outside_facade_only() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(lint_file("crates/core/src/shard.rs", src).len(), 1);
+        assert!(lint_file("crates/core/src/sync.rs", src).is_empty());
+        assert!(lint_file("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_calls_need_explicit_ordering() {
+        let bad = "let v = x.load(order);\n";
+        let good = "let v = x.load(Ordering::Acquire);\n";
+        let multiline = "x.fetch_add(1,\n    Ordering::Relaxed);\n";
+        assert_eq!(lint_file("crates/core/src/a.rs", bad).len(), 1);
+        assert!(lint_file("crates/core/src/a.rs", good).is_empty());
+        assert!(lint_file("crates/core/src/a.rs", multiline).is_empty());
+        // Facade internals forward a parameter — exempt.
+        assert!(lint_file("crates/model/src/sync.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn allowlist_waives_and_reports_stale() {
+        let findings = vec![Finding {
+            rule: "no-unwrap",
+            path: "crates/core/src/a.rs".into(),
+            line: 3,
+            excerpt: "h.join().expect(\"builder thread panicked\")".into(),
+        }];
+        let allow = parse_allowlist(
+            "# comment\n\
+             no-unwrap crates/core/src/a.rs builder thread panicked\n\
+             no-unwrap crates/core/src/gone.rs stale entry\n",
+        )
+        .expect("parses");
+        let (blocking, waived, stale) = apply_allowlist(findings, &allow);
+        assert!(blocking.is_empty());
+        assert_eq!(waived.len(), 1);
+        assert_eq!(stale, vec![1]);
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(parse_allowlist("no-unwrap missing-needle\n").is_err());
+    }
+}

@@ -9,6 +9,8 @@
 
 pub mod check;
 pub mod command;
+#[cfg(feature = "model")]
+pub mod model;
 mod session;
 pub mod stats;
 pub mod wal;

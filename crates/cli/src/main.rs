@@ -12,6 +12,30 @@ use ddc_cli::{Output, Session};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    // `ddc model …` is the concurrency model checker; only binaries
+    // built with `--features model` carry it.
+    if args.first().map(String::as_str) == Some("model") {
+        #[cfg(feature = "model")]
+        match ddc_cli::model::run(&args[1..]) {
+            Ok(report) => {
+                println!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("ddc model: {e}");
+                std::process::exit(1);
+            }
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            eprintln!(
+                "ddc model: built without the `model` feature; rebuild with \
+                 `cargo build -p ddc-cli --features model`"
+            );
+            std::process::exit(1);
+        }
+    }
+
     // `ddc check …` is the differential-fuzzing harness, `ddc wal …` the
     // log-recovery tooling, and `ddc stats` the metrics dump —
     // subcommands, not scripts.

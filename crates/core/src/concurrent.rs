@@ -13,7 +13,7 @@
 //! the write lock in the microsecond range (see the
 //! `shared_cube_throughput` test).
 
-use std::sync::{Arc, RwLock};
+use crate::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ddc_array::{AbelianGroup, Region, Shape};
 
@@ -51,63 +51,63 @@ impl<G: AbelianGroup> SharedCube<G> {
         }
     }
 
+    /// Poison-tolerant read lock: a panicked writer left the engine in
+    /// a state `catch_unwind` already saw; readers may still query it
+    /// (the shard layer's quarantine pattern — see `core::shard`).
+    fn read_lock(&self) -> RwLockReadGuard<'_, DdcEngine<G>> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Poison-tolerant write lock (same rationale as [`Self::read_lock`]).
+    fn write_lock(&self) -> RwLockWriteGuard<'_, DdcEngine<G>> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Range sum under the shared (read) lock.
     pub fn range_sum(&self, region: &Region) -> G {
-        self.inner
-            .read()
-            .expect("cube lock poisoned")
-            .range_sum(region)
+        self.read_lock().range_sum(region)
     }
 
     /// Prefix sum under the shared (read) lock.
     pub fn prefix_sum(&self, point: &[usize]) -> G {
-        self.inner
-            .read()
-            .expect("cube lock poisoned")
-            .prefix_sum(point)
+        self.read_lock().prefix_sum(point)
     }
 
     /// One cell under the shared (read) lock.
     pub fn cell(&self, point: &[usize]) -> G {
-        self.inner.read().expect("cube lock poisoned").cell(point)
+        self.read_lock().cell(point)
     }
 
     /// Applies one delta under the exclusive (write) lock.
     pub fn apply_delta(&self, point: &[usize], delta: G) {
-        self.inner
-            .write()
-            .expect("cube lock poisoned")
-            .apply_delta(point, delta);
+        self.write_lock().apply_delta(point, delta);
     }
 
     /// Applies a batch under one exclusive lock acquisition.
     pub fn apply_batch(&self, updates: &[(Vec<usize>, G)]) {
-        self.inner
-            .write()
-            .expect("cube lock poisoned")
-            .apply_batch(updates);
+        self.write_lock().apply_batch(updates);
     }
 
     /// Snapshot of populated cells (read lock held for the walk).
     pub fn entries(&self) -> Vec<(Vec<usize>, G)> {
-        self.inner.read().expect("cube lock poisoned").entries()
+        self.read_lock().entries()
     }
 
     /// Heap bytes of the underlying structure.
     pub fn heap_bytes(&self) -> usize {
-        self.inner.read().expect("cube lock poisoned").heap_bytes()
+        self.read_lock().heap_bytes()
     }
 
     /// Runs `f` with the engine under the read lock (compound queries
     /// against one consistent version).
     pub fn with_read<R>(&self, f: impl FnOnce(&DdcEngine<G>) -> R) -> R {
-        f(&self.inner.read().expect("cube lock poisoned"))
+        f(&self.read_lock())
     }
 
     /// Runs `f` with the engine under the write lock (compound updates
     /// applied atomically with respect to readers).
     pub fn with_write<R>(&self, f: impl FnOnce(&mut DdcEngine<G>) -> R) -> R {
-        f(&mut self.inner.write().expect("cube lock poisoned"))
+        f(&mut self.write_lock())
     }
 }
 

@@ -5,7 +5,7 @@
 //! covers the next power-of-two hyper-cube (the paper's §3.1 assumption),
 //! and the lazy materialization of §5 makes the padding free.
 
-use std::sync::{Arc, OnceLock};
+use crate::sync::{Arc, OnceLock};
 
 use ddc_array::{AbelianGroup, NdArray, OpCounter, RangeSumEngine, Shape};
 

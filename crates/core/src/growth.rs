@@ -15,7 +15,7 @@
 //! sum methods, which would materialize every cell of the enlarged
 //! bounding box.
 
-use std::sync::{Arc, OnceLock};
+use crate::sync::{Arc, OnceLock};
 
 use ddc_array::{AbelianGroup, CoordMap, GrowthDirection, OpCounter, Region};
 

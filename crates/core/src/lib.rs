@@ -23,10 +23,13 @@ mod config;
 mod engine;
 mod flat_face;
 mod growth;
+#[cfg(feature = "ddc_model")]
+pub mod models;
 pub mod obs;
 mod persist;
 mod secondary;
 mod shard;
+pub mod sync;
 mod tree;
 pub mod wal;
 
@@ -37,4 +40,4 @@ pub use growth::GrowableCube;
 pub use persist::ValueCodec;
 pub use shard::{MetricsSnapshot, ShardConfig, ShardedCube, TryUpdateError};
 pub use tree::{Contribution, DdcTree, LevelStats, TraceStep, TreeStats};
-pub use wal::{DurableCube, RecoveryReport, WalOp, WalReplay, WalWriter};
+pub use wal::{DurableCube, RecoveryReport, SharedDurableCube, WalOp, WalReplay, WalWriter};

@@ -1,0 +1,281 @@
+//! Model-checker scenarios for the concurrency-critical core
+//! (`feature = "ddc_model"` only).
+//!
+//! Each function explores one scenario under [`ddc_model::Checker`] and
+//! returns its [`Report`]. The green scenarios drive the *real*
+//! `core::shard` / `core::wal` code through the `core::sync` facade;
+//! the two `buggy_*` fixtures are deliberately broken and exist to
+//! prove the checker finds real schedule bugs (they are asserted to
+//! FAIL by `tests/model_checker.rs` and the `ddc model` CLI).
+//!
+//! Scenario design notes:
+//!
+//! * Shapes and thread counts are tiny on purpose — bounded DFS pays
+//!   for every extra schedule point.
+//! * `parallel_queries` stays off: fork-join reads use
+//!   `std::thread::scope`, which the model deliberately does not track.
+//! * Assertions read through synchronized paths (locks, `Acquire`). The
+//!   weak-memory model has no happens-before recovery, so a `Relaxed`
+//!   load may legally observe stale values even after a join — exactly
+//!   why metrics atomics are untracked (see `core::sync::untracked`).
+//! * Scenario state is created *inside* the checked closure, so every
+//!   object registers with the scheduler and every iteration starts
+//!   from the same model state.
+
+use ddc_array::{Region, Shape};
+use ddc_model::sync::atomic::{AtomicU64, Ordering};
+use ddc_model::sync::{thread, Condvar, Mutex};
+use ddc_model::{Checker, CheckerConfig, Report};
+
+use crate::config::DdcConfig;
+use crate::shard::{ShardConfig, ShardedCube};
+use crate::sync::Arc;
+use crate::wal::SharedDurableCube;
+
+fn shard_config() -> ShardConfig {
+    ShardConfig {
+        shards: 2,
+        batch_capacity: 2,
+        parallel_queries: false,
+        queue_capacity: 4,
+        max_restarts: 1,
+    }
+}
+
+/// Linearizability of concurrent `try_update`s against the sequential
+/// oracle: three writers race a reader; after all join and a final
+/// flush, the cube total must equal exactly the acknowledged deltas —
+/// nothing lost, nothing applied twice — and every in-flight read must
+/// see a consistent cut (`0..=6` for six `+1` deltas).
+pub fn shard_concurrent_updates(cfg: CheckerConfig) -> Report {
+    Checker::new(cfg).check(|| {
+        let shape = Shape::cube(1, 4);
+        let full = Region::full(&shape);
+        let cube = Arc::new(ShardedCube::<i64>::new(
+            shape,
+            DdcConfig::dynamic(),
+            shard_config(),
+        ));
+        let writers: Vec<_> = [[0usize, 2], [1, 3], [2, 1]]
+            .into_iter()
+            .map(|points| {
+                let c = cube.clone();
+                thread::spawn(move || {
+                    points
+                        .into_iter()
+                        .map(|p| i64::from(c.try_update(&[p], 1).is_ok()))
+                        .sum::<i64>()
+                })
+            })
+            .collect();
+        // Read-through while the writers are in flight: any consistent
+        // cut of six +1 deltas.
+        let seen = cube.query(&full);
+        assert!(
+            (0..=6).contains(&seen),
+            "inconsistent read-through cut: {seen}"
+        );
+        let acked: i64 = writers.into_iter().map(|w| w.join().expect("writer")).sum();
+        cube.flush();
+        let total = cube.query(&full);
+        assert_eq!(total, acked, "acked {acked} deltas but cube totals {total}");
+    })
+}
+
+/// Queue drain never strands an acknowledged delta: a writer enqueues
+/// while a drainer races `flush()`; the final flush must surface every
+/// ack in the engine, with reads through the queue staying monotone.
+pub fn shard_queue_drain(cfg: CheckerConfig) -> Report {
+    Checker::new(cfg).check(|| {
+        let shape = Shape::cube(1, 4);
+        let full = Region::full(&shape);
+        let cube = Arc::new(ShardedCube::<i64>::new(
+            shape,
+            DdcConfig::dynamic(),
+            // batch_capacity above the enqueue count: commits happen
+            // only through the racing flush() and the final drain.
+            ShardConfig {
+                batch_capacity: 8,
+                ..shard_config()
+            },
+        ));
+        let c1 = cube.clone();
+        let writer = thread::spawn(move || {
+            let mut acked = 0i64;
+            for p in [0usize, 3, 0, 1] {
+                acked += i64::from(c1.try_update(&[p], 1).is_ok());
+            }
+            acked
+        });
+        let drainers: Vec<_> = (0..2)
+            .map(|_| {
+                let c = cube.clone();
+                thread::spawn(move || c.flush())
+            })
+            .collect();
+        // Reads through the live queue must never go backwards.
+        let first = cube.query(&full);
+        let second = cube.query(&full);
+        assert!(
+            second >= first,
+            "read-through went backwards: {first} -> {second}"
+        );
+        let acked = writer.join().expect("writer");
+        for d in drainers {
+            d.join().expect("drainer");
+        }
+        cube.flush();
+        assert_eq!(cube.query(&full), acked, "drain lost an acked delta");
+    })
+}
+
+/// Log-then-apply: a durability acknowledgement may never be returned
+/// before the WAL record is appended. Every `Ok` from `add` is
+/// immediately cross-checked against the log's record count, and the
+/// final cube/log state must match the sequential oracle.
+pub fn wal_ack_after_append(cfg: CheckerConfig) -> Report {
+    Checker::new(cfg).check(|| {
+        let cube = SharedDurableCube::<i64, Vec<u8>>::new(1, DdcConfig::sparse(), Vec::new())
+            .expect("create shared durable cube");
+        // Each appender cross-checks the log length right after every
+        // ack: an ack with no matching record is the bug this hunts.
+        let appender = |points: [[i64; 1]; 2]| {
+            let c = cube.clone();
+            thread::spawn(move || {
+                let mut acks = 0u64;
+                for p in points {
+                    if c.add(&p, 1).is_ok() {
+                        acks += 1;
+                        let (_, records) = c.wal_stats();
+                        assert!(
+                            records >= acks,
+                            "durability ack before WAL append: {records} records < {acks} acks"
+                        );
+                    }
+                }
+                acks
+            })
+        };
+        let t1 = appender([[0], [1]]);
+        let t2 = appender([[2], [3]]);
+        let mut acks = 0u64;
+        if cube.add(&[4], 1).is_ok() {
+            acks += 1;
+            let (_, records) = cube.wal_stats();
+            assert!(
+                records >= acks,
+                "durability ack before WAL append: {records} records < {acks} acks"
+            );
+        }
+        let acks = acks + t1.join().expect("appender 1") + t2.join().expect("appender 2");
+        let (_, records) = cube.wal_stats();
+        assert_eq!(records, acks, "log records diverge from acks");
+        assert_eq!(cube.total(), acks as i64, "cube diverges from acked deltas");
+    })
+}
+
+/// Known-buggy fixture #1: two threads increment a counter with a
+/// load/store pair instead of an RMW. The checker must find the lost
+/// update (this fixture is asserted to FAIL).
+pub fn buggy_counter(cfg: CheckerConfig) -> Report {
+    Checker::new(cfg).check(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().expect("incrementer");
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    })
+}
+
+/// Known-buggy fixture #2: unbuffered handoff that checks emptiness
+/// *outside* the lock it waits on, so the producer's notify can land
+/// between check and wait — a lost wakeup the checker must report as a
+/// deadlock (this fixture is asserted to FAIL).
+pub fn buggy_handoff(cfg: CheckerConfig) -> Report {
+    Checker::new(cfg).check(|| {
+        let slot: Arc<(Mutex<Option<u64>>, Condvar)> = Arc::new((Mutex::new(None), Condvar::new()));
+        let s2 = slot.clone();
+        let producer = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock().expect("slot lock") = Some(7);
+            cv.notify_one();
+        });
+        let (m, cv) = &*slot;
+        let empty = m.lock().expect("slot lock").is_none();
+        if empty {
+            let guard = m.lock().expect("slot lock");
+            let guard = cv.wait(guard).expect("slot lock");
+            assert_eq!(*guard, Some(7));
+        }
+        producer.join().expect("producer");
+    })
+}
+
+/// Every scenario with its name, in a stable order: the green ported
+/// models first, then the two must-fail fixtures.
+pub fn all_green(cfg: CheckerConfig) -> Vec<(&'static str, Report)> {
+    vec![
+        (
+            "shard_concurrent_updates",
+            shard_concurrent_updates(cfg.clone()),
+        ),
+        ("shard_queue_drain", shard_queue_drain(cfg.clone())),
+        ("wal_ack_after_append", wal_ack_after_append(cfg)),
+    ]
+}
+
+/// The two seeded-buggy fixtures (expected to fail).
+pub fn all_buggy(cfg: CheckerConfig) -> Vec<(&'static str, Report)> {
+    vec![
+        ("buggy_counter", buggy_counter(cfg.clone())),
+        ("buggy_handoff", buggy_handoff(cfg)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small budget for unit-level smoke runs; the full-budget sweep
+    /// lives in `tests/model_checker.rs` and the `ddc model` CLI.
+    fn smoke_cfg() -> CheckerConfig {
+        CheckerConfig {
+            max_iterations: 2_000,
+            ..CheckerConfig::default()
+        }
+    }
+
+    #[test]
+    fn green_scenarios_pass_smoke() {
+        for (name, report) in all_green(smoke_cfg()) {
+            assert!(
+                report.passed(),
+                "{name} failed:\n{}",
+                report
+                    .failure
+                    .as_ref()
+                    .map(ToString::to_string)
+                    .unwrap_or_default()
+            );
+            assert!(report.iterations > 0, "{name} explored nothing");
+        }
+    }
+
+    #[test]
+    fn buggy_fixtures_are_detected() {
+        for (name, report) in all_buggy(smoke_cfg()) {
+            let failure = report.failure.as_ref();
+            assert!(failure.is_some(), "{name} was not detected");
+            let failure = failure.expect("checked above");
+            assert!(
+                !failure.trace.is_empty(),
+                "{name} failure has no replayable trace"
+            );
+        }
+    }
+}

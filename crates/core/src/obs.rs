@@ -38,9 +38,16 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
+
+// Observability state is deliberately *untracked* by the model checker
+// (`crate::sync::untracked`): metric atomics and the registry's
+// internal locks never influence control flow, and keeping them out of
+// the model both shrinks the interleaving space and keeps schedule
+// points stable across iterations regardless of `OnceLock`
+// initialization order.
+use crate::sync::untracked::{AtomicI64, AtomicU64, Mutex, Ordering, RwLock};
+use crate::sync::{Arc, OnceLock, PoisonError};
 
 /// Number of logarithmic buckets in a [`Histogram`].
 pub const HISTOGRAM_BUCKETS: usize = 64;

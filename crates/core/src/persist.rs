@@ -14,8 +14,8 @@
 //! Measure values serialize through [`ValueCodec`], implemented for the
 //! stock groups (`i64`, `f64`, pairs).
 
+use crate::sync::{Arc, OnceLock};
 use std::io::{self, Read, Write};
-use std::sync::{Arc, OnceLock};
 
 use ddc_array::{AbelianGroup, Pair, RangeSumEngine, Shape};
 

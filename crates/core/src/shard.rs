@@ -54,11 +54,12 @@
 //! [`try_update`]: ShardedCube::try_update
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
-use std::sync::{Arc, OnceLock};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 use ddc_array::{AbelianGroup, OpCounter, OpSnapshot, RangeSumEngine, Region, Shape};
 
@@ -194,18 +195,21 @@ pub struct MetricsSnapshot {
     pub records_replayed: u64,
 }
 
+/// Per-shard counters. *Untracked* atomics on purpose: metrics never
+/// gate control flow, and some hold wall-clock values that would
+/// otherwise pollute the model checker's state fingerprints.
 #[derive(Debug, Default)]
 struct ShardMetrics {
-    ops_enqueued: AtomicU64,
-    ops_applied: AtomicU64,
-    batches_flushed: AtomicU64,
-    queries: AtomicU64,
-    lock_hold_nanos: AtomicU64,
-    queue_depth_max: AtomicU64,
-    ops_rejected: AtomicU64,
-    worker_panics: AtomicU64,
-    worker_restarts: AtomicU64,
-    records_replayed: AtomicU64,
+    ops_enqueued: crate::sync::untracked::AtomicU64,
+    ops_applied: crate::sync::untracked::AtomicU64,
+    batches_flushed: crate::sync::untracked::AtomicU64,
+    queries: crate::sync::untracked::AtomicU64,
+    lock_hold_nanos: crate::sync::untracked::AtomicU64,
+    queue_depth_max: crate::sync::untracked::AtomicU64,
+    ops_rejected: crate::sync::untracked::AtomicU64,
+    worker_panics: crate::sync::untracked::AtomicU64,
+    worker_restarts: crate::sync::untracked::AtomicU64,
+    records_replayed: crate::sync::untracked::AtomicU64,
 }
 
 /// Supervisor state of one shard, kept under the queue lock so health
@@ -245,9 +249,10 @@ struct Shard<G: AbelianGroup> {
     /// touching the engine.
     fail_flushes: AtomicU64,
     metrics: ShardMetrics,
-    /// Engine-counter totals already absorbed into the facade counter.
-    seen_reads: AtomicU64,
-    seen_writes: AtomicU64,
+    /// Engine-counter totals already absorbed into the facade counter
+    /// (bookkeeping for `sync_counter`; untracked like the metrics).
+    seen_reads: crate::sync::untracked::AtomicU64,
+    seen_writes: crate::sync::untracked::AtomicU64,
 }
 
 /// Locks a shard's queue, recovering from poisoning. A supervised commit
@@ -320,8 +325,8 @@ impl<G: AbelianGroup> ShardedCube<G> {
                     pending: AtomicUsize::new(0),
                     fail_flushes: AtomicU64::new(0),
                     metrics: ShardMetrics::default(),
-                    seen_reads: AtomicU64::new(0),
-                    seen_writes: AtomicU64::new(0),
+                    seen_reads: crate::sync::untracked::AtomicU64::new(0),
+                    seen_writes: crate::sync::untracked::AtomicU64::new(0),
                 }
             })
             .collect();

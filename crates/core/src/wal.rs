@@ -36,7 +36,8 @@
 //! hermetic.
 
 use std::io::{self, Write};
-use std::sync::{Arc, OnceLock};
+
+use crate::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use ddc_array::AbelianGroup;
 
@@ -154,15 +155,18 @@ const TAG_SET: u8 = 2;
 const TAG_GROW: u8 = 3;
 
 impl<G: AbelianGroup + ValueCodec> WalOp<G> {
-    /// Encodes the record payload (everything after the frame).
-    fn encode_payload(&self, out: &mut Vec<u8>) {
+    /// Encodes the record payload (everything after the frame). The
+    /// `io::Result` comes from [`ValueCodec::encode`]; writes into a
+    /// `Vec<u8>` cannot themselves fail, but a codec is free to reject
+    /// a value, and that must surface as an append error, not a panic.
+    fn encode_payload(&self, out: &mut Vec<u8>) -> io::Result<()> {
         let point_payload = |out: &mut Vec<u8>, tag: u8, point: &[i64], v: &G| {
             out.push(tag);
             out.extend_from_slice(&(point.len() as u32).to_le_bytes());
             for &c in point {
                 out.extend_from_slice(&c.to_le_bytes());
             }
-            v.encode(out).expect("Vec<u8> writes are infallible");
+            v.encode(out)
         };
         match self {
             WalOp::Update { point, delta } => point_payload(out, TAG_UPDATE, point, delta),
@@ -172,6 +176,7 @@ impl<G: AbelianGroup + ValueCodec> WalOp<G> {
                 out.extend_from_slice(&(*axis as u32).to_le_bytes());
                 out.extend_from_slice(&(*amount as u64).to_le_bytes());
                 out.push(u8::from(*low));
+                Ok(())
             }
         }
     }
@@ -287,7 +292,7 @@ impl<W: Write> WalWriter<W> {
         let site = wal_obs();
         let span = obs::timer();
         let mut payload = Vec::with_capacity(32);
-        op.encode_payload(&mut payload);
+        op.encode_payload(&mut payload)?;
         self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.out.write_all(&crc32(&payload).to_le_bytes())?;
         self.out.write_all(&payload)?;
@@ -400,8 +405,13 @@ pub fn read_wal<G: AbelianGroup + ValueCodec>(
             replay.truncated = Some(format!("torn frame at byte {offset}"));
             break;
         }
-        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        // `rest` is at least WAL_FRAME_BYTES long (checked above), so
+        // both frame fields are present; decode without panicking paths.
+        let mut b4 = [0u8; 4];
+        b4.copy_from_slice(&rest[..4]);
+        let len = u32::from_le_bytes(b4) as usize;
+        b4.copy_from_slice(&rest[4..8]);
+        let crc = u32::from_le_bytes(b4);
         if len as u64 > config.max_record_bytes {
             replay.truncated = Some(format!(
                 "implausible record length {len} at byte {offset} (corrupt frame)"
@@ -636,6 +646,83 @@ impl<G: AbelianGroup + ValueCodec, W: Write> DurableCube<G, W> {
     /// Consumes the cube, returning the log writer.
     pub fn into_wal(self) -> WalWriter<W> {
         self.wal
+    }
+}
+
+/// A [`DurableCube`] shared between threads: one facade mutex holds the
+/// log-then-apply pair, so "acknowledged" (a call returning `Ok`) means
+/// the WAL record was appended *and* the in-memory cube reflects it as
+/// one atomic step with respect to every other thread.
+///
+/// This is the structure the `ddc-model` durability scenarios
+/// ([`crate::models`]) check: no schedule may return an ack before the
+/// record count in the log has grown, and concurrent `add`s must be
+/// linearizable against the sequential oracle.
+#[derive(Debug)]
+pub struct SharedDurableCube<G: AbelianGroup + ValueCodec, W: Write> {
+    inner: Arc<Mutex<DurableCube<G, W>>>,
+}
+
+impl<G: AbelianGroup + ValueCodec, W: Write> Clone for SharedDurableCube<G, W> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<G: AbelianGroup + ValueCodec, W: Write> SharedDurableCube<G, W> {
+    /// An empty shared durable cube logging to `sink`.
+    pub fn new(d: usize, config: DdcConfig, sink: W) -> io::Result<Self> {
+        Ok(Self::from_cube(DurableCube::new(d, config, sink)?))
+    }
+
+    /// Wraps an existing durable cube.
+    pub fn from_cube(cube: DurableCube<G, W>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(cube)),
+        }
+    }
+
+    /// Poison-tolerant lock: a panicked appender left state that the
+    /// log-then-apply discipline already bounds (an appended-but-not-
+    /// applied record is exactly what recovery replays), so later
+    /// threads may keep going — the shard-lock pattern from
+    /// [`crate::shard`].
+    fn lock(&self) -> MutexGuard<'_, DurableCube<G, W>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Logs, then applies, a point delta under the lock. `Ok` is the
+    /// durability acknowledgement.
+    pub fn add(&self, point: &[i64], delta: G) -> io::Result<()> {
+        self.lock().add(point, delta)
+    }
+
+    /// Logs, then applies, a cell set; returns the previous value.
+    pub fn set(&self, point: &[i64], value: G) -> io::Result<G> {
+        self.lock().set(point, value)
+    }
+
+    /// One cell of the in-memory cube.
+    pub fn cell(&self, point: &[i64]) -> G {
+        self.lock().cube().cell(point)
+    }
+
+    /// Sum of every populated cell.
+    pub fn total(&self) -> G {
+        self.lock().cube().total()
+    }
+
+    /// Log statistics: `(bytes, records)` acknowledged so far.
+    pub fn wal_stats(&self) -> (u64, u64) {
+        self.lock().wal_stats()
+    }
+
+    /// Runs `f` with the durable cube under the lock (compound
+    /// inspection against one consistent log/cube version).
+    pub fn with_cube<R>(&self, f: impl FnOnce(&DurableCube<G, W>) -> R) -> R {
+        f(&self.lock())
     }
 }
 

@@ -2,45 +2,60 @@
 //! committed baseline in `bench/baselines/`.
 //!
 //! ```text
-//! cargo run --release -p ddc-bench --bin bench_gate -- BASELINE CURRENT [--tolerance X]
+//! cargo run --release -p ddc-bench --bin bench_gate -- BASELINE CURRENT \
+//!     [--tolerance X] [--latency-tolerance Y]
 //! ```
 //!
 //! Deterministic `count` metrics must match the baseline exactly;
 //! machine-dependent `throughput` metrics must stay above
 //! `baseline / tolerance` (default 3× — generous on purpose: the gate
 //! exists to catch order-of-magnitude regressions and schema drift, not
-//! to flake on shared CI runners). Latency and info metrics are printed
-//! but never gated. Any metric present on one side only, or a
-//! schema-version/bench-name mismatch, fails the gate.
+//! to flake on shared CI runners). `latency_ns` metrics are printed but
+//! not gated unless `--latency-tolerance Y` is given, in which case each
+//! must stay below `baseline × Y` (the serve-latency p99 gate). Any
+//! metric present on one side only, or a schema-version/bench-name
+//! mismatch, fails the gate.
 
-use ddc_bench::json::{gate, BenchReport};
+use ddc_bench::json::{gate_with_latency, BenchReport};
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+fn flag_value(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or(format!("{name} needs a value"))?
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
 fn run(args: &[String]) -> Result<String, String> {
+    let value_flags = ["--tolerance", "--latency-tolerance"];
     let positional: Vec<&String> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--tolerance"))
+        .filter(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !value_flags.contains(&args[*i - 1].as_str()))
+        })
         .map(|(_, a)| a)
         .collect();
     let [baseline_path, current_path] = positional.as_slice() else {
-        return Err("usage: bench_gate BASELINE CURRENT [--tolerance X]".to_string());
+        return Err(
+            "usage: bench_gate BASELINE CURRENT [--tolerance X] [--latency-tolerance Y]"
+                .to_string(),
+        );
     };
-    let tolerance = match args.iter().position(|a| a == "--tolerance") {
-        None => 3.0,
-        Some(i) => args
-            .get(i + 1)
-            .ok_or("--tolerance needs a value")?
-            .parse::<f64>()
-            .map_err(|e| format!("--tolerance: {e}"))?,
-    };
+    let tolerance = flag_value(args, "--tolerance")?.unwrap_or(3.0);
+    let latency_tolerance = flag_value(args, "--latency-tolerance")?;
     let baseline = load(baseline_path)?;
     let current = load(current_path)?;
-    let detail = gate(&baseline, &current, tolerance)?;
+    let detail = gate_with_latency(&baseline, &current, tolerance, latency_tolerance)?;
     Ok(format!(
         "{detail}\nperf-smoke ok: {} metrics vs {baseline_path} (tolerance {tolerance}x)",
         baseline.metrics.len()

@@ -444,6 +444,21 @@ pub fn gate(
     current: &BenchReport,
     tolerance: f64,
 ) -> Result<String, String> {
+    gate_with_latency(baseline, current, tolerance, None)
+}
+
+/// [`gate`] with an optional latency ceiling: when `latency_tolerance`
+/// is `Some(t)`, a `LatencyNs` metric fails if it exceeds
+/// `baseline × t` (latencies stay informational when `None`, and a
+/// zero baseline — an unexercised histogram — is never gated). This is
+/// how serve-latency p99 regressions fail perf-smoke without making
+/// noisy tail quantiles an exact-match liability.
+pub fn gate_with_latency(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+    latency_tolerance: Option<f64>,
+) -> Result<String, String> {
     let mut failures = Vec::new();
     let mut lines = Vec::new();
     if baseline.bench != current.bench {
@@ -501,7 +516,29 @@ pub fn gate(
                     ));
                 }
             }
-            MetricKind::LatencyNs | MetricKind::Info => {
+            MetricKind::LatencyNs => match latency_tolerance {
+                Some(t) if base.value > 0.0 => {
+                    let ceiling = base.value * t;
+                    if cur.value > ceiling {
+                        failures.push(format!(
+                            "latency ceiling: {} = {:.0}ns > {:.0}ns (baseline {:.0}ns × {t})",
+                            base.name, cur.value, ceiling, base.value
+                        ));
+                    } else {
+                        lines.push(format!(
+                            "ok    {} = {:.0}ns (ceiling {:.0}ns)",
+                            base.name, cur.value, ceiling
+                        ));
+                    }
+                }
+                _ => {
+                    lines.push(format!(
+                        "info  {} = {} (baseline {})",
+                        base.name, cur.value, base.value
+                    ));
+                }
+            },
+            MetricKind::Info => {
                 lines.push(format!(
                     "info  {} = {} (baseline {})",
                     base.name, cur.value, base.value
@@ -577,6 +614,22 @@ mod tests {
         assert!(gate(&base, &cur, 3.0).is_ok());
         let slow = report(&[("q", MetricKind::Throughput, 90_000.0)]);
         assert!(gate(&base, &slow, 3.0).unwrap_err().contains("floor"));
+    }
+
+    #[test]
+    fn latency_ceiling_gates_only_when_enabled() {
+        let base = report(&[("p99", MetricKind::LatencyNs, 1_000.0)]);
+        let slow = report(&[("p99", MetricKind::LatencyNs, 50_000.0)]);
+        // Informational by default.
+        assert!(gate(&base, &slow, 3.0).is_ok());
+        // Gated with an explicit ceiling.
+        let err = gate_with_latency(&base, &slow, 3.0, Some(10.0)).unwrap_err();
+        assert!(err.contains("latency ceiling"), "{err}");
+        let ok = report(&[("p99", MetricKind::LatencyNs, 9_000.0)]);
+        assert!(gate_with_latency(&base, &ok, 3.0, Some(10.0)).is_ok());
+        // A zero baseline (unexercised histogram) is never gated.
+        let zero = report(&[("p99", MetricKind::LatencyNs, 0.0)]);
+        assert!(gate_with_latency(&zero, &slow, 3.0, Some(10.0)).is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod interleave;
 pub mod lint;
 mod oracle;
 mod runner;
+mod serve_fuzz;
 
 pub use adapters::{
     engine_roster, CheckEngine, DdcAdapter, DurableAdapter, FixedAdapter, GrowableAdapter,
@@ -42,4 +43,8 @@ pub use interleave::{check_interleavings, InterleaveReport, Update};
 pub use oracle::Oracle;
 pub use runner::{
     fuzz, fuzz_with, run_trace, run_trace_on, Divergence, FuzzFailure, FuzzOutcome, RunStats,
+};
+pub use serve_fuzz::{
+    find_parser_quirk, fuzz_parser_config, fuzz_serve_parser, ParserQuirk, ServeFuzzFailure,
+    ServeFuzzReport, ServeOp,
 };

@@ -6,11 +6,14 @@
 //! fire only on live non-test code:
 //!
 //! * **`no-unwrap`** — no `.unwrap()` / `.expect(` in non-test
-//!   `crates/core` code. Poison-tolerant or typed errors instead; the
-//!   few justified panics live in `lint-allow.txt` with a rationale.
-//! * **`no-bare-std-sync`** — inside `crates/core`, all sync primitives
-//!   come from the `crate::sync` facade (so the model checker can
-//!   intercept them); only `sync.rs` itself may name `std::sync`.
+//!   `crates/core` or `crates/serve` code (the serving layer handles
+//!   untrusted network input — a panic there is a remote DoS).
+//!   Poison-tolerant or typed errors instead; the few justified panics
+//!   live in `lint-allow.txt` with a rationale.
+//! * **`no-bare-std-sync`** — inside `crates/core` and `crates/serve`,
+//!   all sync primitives come from the `core::sync` facade (so the
+//!   model checker can intercept them); only core's `sync.rs` itself
+//!   may name `std::sync`.
 //! * **`named-ordering`** — every atomic `.load(` / `.store(` /
 //!   `.fetch_*(` / `.swap(` / `.compare_exchange*(` call names an
 //!   explicit `Ordering::…` in its argument list. (`crates/model` is
@@ -311,7 +314,10 @@ pub fn lint_file(rel_path: &str, raw: &str) -> Vec<Finding> {
         });
     };
 
-    let in_core = rel_path.starts_with("crates/core/src");
+    // The serving layer parses untrusted network bytes: it carries the
+    // same no-panic and facade-only-sync obligations as core.
+    let in_core =
+        rel_path.starts_with("crates/core/src") || rel_path.starts_with("crates/serve/src");
     let is_facade = rel_path == "crates/core/src/sync.rs";
     let in_model = rel_path.starts_with("crates/model/");
     // Model-checker scenarios are assertion code: panicking is their

@@ -1,0 +1,537 @@
+//! Request-mutation fuzzer for the serve wire parser.
+//!
+//! The serving layer's [`RequestParser`] promises three things that are
+//! easy to break and hard to unit-test exhaustively: it parses the same
+//! byte stream to the same frames *no matter how the bytes are split
+//! across reads*; it rejects malformed input with a typed error instead
+//! of desynchronizing; and an abruptly disconnected peer leaves it
+//! waiting, never wedged or wrong. This module checks all three the
+//! same way `runner::fuzz` checks the range-sum engines — generate a
+//! seeded op stream, run it through the subject, and compare against an
+//! oracle constructed alongside the stream.
+//!
+//! A [`ServeOp`] is one message on the wire: a valid line-protocol
+//! command, a valid HTTP/1.1 request (randomized header casing, bodies
+//! salted with `\r` and `\n`), or a terminal mutation (malformed start
+//! line, oversized head, too many headers, bad or conflicting
+//! `Content-Length`, chunked transfer-encoding, non-UTF-8 line). Valid
+//! ops carry their expected [`Frame`]; mutations carry the status the
+//! parser must answer before closing. The serialized stream is then fed
+//! twice — once whole, once under a random chunk-split plan (sometimes
+//! byte-at-a-time) — and both runs must agree with the oracle exactly.
+//! A truncated replay models the abrupt disconnect: it must yield a
+//! prefix of the expected frames and no spurious error.
+//!
+//! The same harness doubles as the seeded-bug detector, mirroring
+//! [`crate::buggy`]: [`find_parser_quirk`] runs the identical traffic
+//! through a [`ParserQuirk`] fixture and reports the first iteration
+//! whose frames diverge from the real parser. A fuzzer that cannot find
+//! `CaseSensitiveContentLength` or `DropSplitCarriageReturn` is not
+//! exercising header casing or split boundaries, so the test suite
+//! requires both to be found.
+
+pub use ddc_serve::http::ParserQuirk;
+
+use ddc_serve::{Frame, HttpRequest, ParseError, ParserConfig, RequestParser};
+use ddc_workload::DdcRng;
+
+/// Bounds used by the fuzzer: small enough that oversized-input
+/// mutations cost bytes, not megabytes, while leaving room for every
+/// valid op the generator emits.
+pub fn fuzz_parser_config() -> ParserConfig {
+    ParserConfig {
+        max_head_bytes: 256,
+        max_headers: 8,
+        max_body_bytes: 512,
+    }
+}
+
+/// One generated message plus what the parser must do with it.
+#[derive(Clone, Debug)]
+pub enum ServeOp {
+    /// A well-formed message: the wire bytes and the exact frame they
+    /// must produce.
+    Valid {
+        /// Serialized bytes as they would arrive from the socket.
+        wire: Vec<u8>,
+        /// The frame the parser must yield for them.
+        expect: Frame,
+    },
+    /// A mutation the parser must reject. Terminal: the parser poisons
+    /// itself, so nothing can follow on the stream.
+    Mutation {
+        /// Serialized malformed bytes.
+        wire: Vec<u8>,
+        /// Status [`ParseError::status`] must map the rejection to.
+        status: u16,
+    },
+}
+
+impl ServeOp {
+    fn wire(&self) -> &[u8] {
+        match self {
+            ServeOp::Valid { wire, .. } | ServeOp::Mutation { wire, .. } => wire,
+        }
+    }
+}
+
+/// What a clean fuzz run covered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeFuzzReport {
+    /// Iterations (independent op streams) executed.
+    pub iterations: u64,
+    /// Frames compared against the oracle across all runs.
+    pub frames: u64,
+    /// Mutations whose rejection status was verified.
+    pub mutations: u64,
+    /// Truncated (abrupt-disconnect) replays executed.
+    pub truncations: u64,
+    /// Chunks fed across all split-plan replays.
+    pub chunks: u64,
+}
+
+/// A divergence between the parser and the oracle — a real parser bug.
+#[derive(Clone, Debug)]
+pub struct ServeFuzzFailure {
+    /// Iteration (seed offset) that failed.
+    pub iteration: u64,
+    /// Base seed of the failing run, for replay.
+    pub seed: u64,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// The full wire bytes of the failing stream.
+    pub wire: Vec<u8>,
+}
+
+impl std::fmt::Display for ServeFuzzFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serve parser divergence at iteration {} (seed {:#x}, {} wire bytes): {}",
+            self.iteration,
+            self.seed,
+            self.wire.len(),
+            self.detail
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+fn line_terminator(rng: &mut DdcRng) -> &'static str {
+    if rng.gen_bool(0.3) {
+        "\r\n"
+    } else {
+        "\n"
+    }
+}
+
+/// A valid line-protocol command and its expected frame.
+fn gen_line_op(rng: &mut DdcRng) -> ServeOp {
+    let text = match rng.gen_range(0..5usize) {
+        0 => "ping".to_string(),
+        1 => format!(
+            "u {},{} {}",
+            rng.gen_range(0..64usize),
+            rng.gen_range(0..64usize),
+            rng.gen_range(-100i64..=100)
+        ),
+        2 => {
+            let (x, y) = (rng.gen_range(0..32usize), rng.gen_range(0..32usize));
+            format!(
+                "q {x},{y} {},{}",
+                x + rng.gen_range(0..8usize),
+                y + rng.gen_range(0..8usize)
+            )
+        }
+        3 => format!(
+            "p {},{}",
+            rng.gen_range(0..64usize),
+            rng.gen_range(0..64usize)
+        ),
+        _ => format!("t tenant-{}", rng.gen_range(0..9usize)),
+    };
+    let mut wire = text.clone().into_bytes();
+    wire.extend_from_slice(line_terminator(rng).as_bytes());
+    ServeOp::Valid {
+        wire,
+        expect: Frame::Line(text),
+    }
+}
+
+/// `Content-Length` in a randomized spelling; canonical ~1 in 4.
+fn content_length_spelling(rng: &mut DdcRng) -> &'static str {
+    match rng.gen_range(0..4usize) {
+        0 => "Content-Length",
+        1 => "content-length",
+        2 => "CONTENT-LENGTH",
+        _ => "CoNtEnT-lEnGtH",
+    }
+}
+
+/// Body bytes salted with the characters that break naive parsers:
+/// `\r` at chunk boundaries and `\n` mid-body.
+fn gen_body(rng: &mut DdcRng) -> Vec<u8> {
+    let len = rng.gen_range(1..48usize);
+    (0..len)
+        .map(|_| match rng.gen_range(0..8usize) {
+            0 => b'\r',
+            1 => b'\n',
+            2 => b',',
+            3 => b' ',
+            _ => b'a' + rng.gen_range(0..26usize) as u8,
+        })
+        .collect()
+}
+
+/// A valid HTTP/1.1 request and its expected frame.
+fn gen_http_op(rng: &mut DdcRng) -> ServeOp {
+    let method = ["GET", "POST", "PUT", "HEAD"][rng.gen_range(0..4usize)].to_string();
+    let target = [
+        "/ingest",
+        "/metrics",
+        "/healthz",
+        "/query?lo=0,0&hi=3,3",
+        "/prefix?at=5,5",
+    ][rng.gen_range(0..5usize)]
+    .to_string();
+    let mut headers: Vec<(String, String)> = Vec::new();
+    if rng.gen_bool(0.5) {
+        headers.push(("Host".to_string(), "fuzz.local".to_string()));
+    }
+    if rng.gen_bool(0.3) {
+        headers.push((
+            "X-Ddc-Tenant".to_string(),
+            format!("t{}", rng.gen_range(0..9usize)),
+        ));
+    }
+    let body = if rng.gen_bool(0.6) {
+        gen_body(rng)
+    } else {
+        Vec::new()
+    };
+    if !body.is_empty() || rng.gen_bool(0.2) {
+        headers.push((
+            content_length_spelling(rng).to_string(),
+            body.len().to_string(),
+        ));
+    }
+    let mut wire = Vec::new();
+    let eol = line_terminator(rng);
+    wire.extend_from_slice(format!("{method} {target} HTTP/1.1{eol}").as_bytes());
+    for (name, value) in &headers {
+        wire.extend_from_slice(format!("{name}: {value}{eol}").as_bytes());
+    }
+    wire.extend_from_slice(eol.as_bytes());
+    wire.extend_from_slice(&body);
+    ServeOp::Valid {
+        wire,
+        expect: Frame::Http(HttpRequest {
+            method,
+            target,
+            minor_version: 1,
+            headers,
+            body,
+        }),
+    }
+}
+
+/// A terminal mutation: malformed bytes plus the status the parser must
+/// answer before closing.
+fn gen_mutation(rng: &mut DdcRng, config: &ParserConfig) -> ServeOp {
+    let (wire, status): (Vec<u8>, u16) = match rng.gen_range(0..8usize) {
+        // Start line with the wrong token count or version.
+        0 => (b"GET /only-two-parts\r\n\r\n".to_vec(), 400),
+        1 => (b"GET /x HTTP/2.0\r\n\r\n".to_vec(), 400),
+        // A header without the `name: value` shape.
+        2 => (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec(), 400),
+        // Content-Length that is not a number, or that disagrees.
+        3 => (
+            b"POST / HTTP/1.1\r\nContent-Length: twelve\r\n\r\n".to_vec(),
+            400,
+        ),
+        4 => (
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\ncontent-length: 4\r\n\r\n".to_vec(),
+            400,
+        ),
+        // Oversized head: one unterminated line past the cap.
+        5 => (vec![b'A'; config.max_head_bytes + 64], 431),
+        // More headers than the cap allows.
+        6 => {
+            let mut w = b"GET / HTTP/1.1\r\n".to_vec();
+            for i in 0..=config.max_headers {
+                w.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+            }
+            w.extend_from_slice(b"\r\n");
+            (w, 431)
+        }
+        // A transfer-encoding the server does not implement.
+        _ => (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            501,
+        ),
+    };
+    // A ninth shape rides on a coin flip so the distribution still
+    // visits it: declared body beyond the cap (413), or a line-protocol
+    // command that is not UTF-8 (400).
+    if rng.gen_bool(0.2) {
+        return if rng.gen_bool(0.5) {
+            ServeOp::Mutation {
+                wire: format!(
+                    "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    config.max_body_bytes + 1
+                )
+                .into_bytes(),
+                status: 413,
+            }
+        } else {
+            ServeOp::Mutation {
+                wire: b"u 1,1 \xff\xfe\n".to_vec(),
+                status: 400,
+            }
+        };
+    }
+    ServeOp::Mutation { wire, status }
+}
+
+/// One seeded stream: a handful of valid messages, optionally capped by
+/// a terminal mutation.
+fn gen_ops(rng: &mut DdcRng, config: &ParserConfig) -> Vec<ServeOp> {
+    let n = rng.gen_range(1..7usize);
+    let mut ops: Vec<ServeOp> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                gen_line_op(rng)
+            } else {
+                gen_http_op(rng)
+            }
+        })
+        .collect();
+    if rng.gen_bool(0.35) {
+        ops.push(gen_mutation(rng, config));
+    }
+    ops
+}
+
+/// Random cut points over `len` bytes. Every ~6th plan is
+/// byte-at-a-time, the densest split a socket can produce.
+fn gen_chunk_plan(rng: &mut DdcRng, len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if rng.gen_bool(0.16) {
+        return (1..len).collect();
+    }
+    (1..len).filter(|_| rng.gen_bool(0.25)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Everything one parser run produced: frames until the first error (if
+/// any) and that error's status.
+#[derive(Debug, PartialEq, Eq)]
+struct RunResult {
+    frames: Vec<Frame>,
+    error: Option<ParseError>,
+}
+
+fn drain(parser: &mut RequestParser, into: &mut RunResult) {
+    if into.error.is_some() {
+        return;
+    }
+    loop {
+        match parser.poll() {
+            Ok(Some(f)) => into.frames.push(f),
+            Ok(None) => return,
+            Err(e) => {
+                into.error = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+/// Feeds `wire` split at `cuts` (byte offsets, ascending), draining
+/// frames between chunks exactly as the server's read loop does.
+fn run_chunked(parser: &mut RequestParser, wire: &[u8], cuts: &[usize]) -> RunResult {
+    let mut result = RunResult {
+        frames: Vec::new(),
+        error: None,
+    };
+    let mut prev = 0usize;
+    for &cut in cuts.iter().chain(std::iter::once(&wire.len())) {
+        parser.feed(&wire[prev..cut]);
+        prev = cut;
+        drain(parser, &mut result);
+    }
+    result
+}
+
+fn expected_of(ops: &[ServeOp]) -> (Vec<Frame>, Option<u16>) {
+    let mut frames = Vec::new();
+    let mut status = None;
+    for op in ops {
+        match op {
+            ServeOp::Valid { expect, .. } => frames.push(expect.clone()),
+            ServeOp::Mutation { status: s, .. } => status = Some(*s),
+        }
+    }
+    (frames, status)
+}
+
+fn wire_of(ops: &[ServeOp]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for op in ops {
+        wire.extend_from_slice(op.wire());
+    }
+    wire
+}
+
+/// Fuzzes the real parser: `iterations` seeded op streams, each fed
+/// whole and under a random split plan, compared frame-by-frame against
+/// the generation-time oracle, then replayed truncated to model an
+/// abrupt disconnect. Any disagreement is a parser bug and comes back
+/// as a replayable [`ServeFuzzFailure`].
+pub fn fuzz_serve_parser(seed: u64, iterations: u64) -> Result<ServeFuzzReport, ServeFuzzFailure> {
+    let config = fuzz_parser_config();
+    let mut report = ServeFuzzReport::default();
+    for iteration in 0..iterations {
+        let mut rng = DdcRng::seed_from_u64(seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let ops = gen_ops(&mut rng, &config);
+        let wire = wire_of(&ops);
+        let (want_frames, want_status) = expected_of(&ops);
+        let fail = |detail: String| ServeFuzzFailure {
+            iteration,
+            seed,
+            detail,
+            wire: wire.clone(),
+        };
+
+        // Whole-stream run against the construction oracle.
+        let mut parser = RequestParser::new(config);
+        let whole = run_chunked(&mut parser, &wire, &[]);
+        if whole.frames != want_frames {
+            return Err(fail(format!(
+                "whole-stream frames {:?} != expected {:?}",
+                whole.frames, want_frames
+            )));
+        }
+        match (&whole.error, want_status) {
+            (None, None) => {}
+            (Some(e), Some(s)) if e.status() == s => {}
+            (got, want) => {
+                return Err(fail(format!(
+                    "whole-stream error {got:?} but expected status {want:?}"
+                )))
+            }
+        }
+
+        // Split-plan run must agree byte-for-byte with the whole run.
+        let cuts = gen_chunk_plan(&mut rng, wire.len());
+        let mut parser = RequestParser::new(config);
+        let split = run_chunked(&mut parser, &wire, &cuts);
+        if split != whole {
+            return Err(fail(format!(
+                "split plan ({} chunks) diverged: {split:?} != {whole:?}",
+                cuts.len() + 1
+            )));
+        }
+        report.chunks += cuts.len() as u64 + 1;
+
+        // Abrupt disconnect: cut the stream anywhere. The parser must
+        // end up with a prefix of the expected frames, and may only
+        // error if the full stream would have errored the same way.
+        if !wire.is_empty() {
+            let keep = rng.gen_range(0..wire.len());
+            let mut parser = RequestParser::new(config);
+            let cut = run_chunked(&mut parser, &wire[..keep], &[]);
+            if cut.frames.len() > want_frames.len()
+                || cut.frames[..] != want_frames[..cut.frames.len()]
+            {
+                return Err(fail(format!(
+                    "truncation at {keep} produced non-prefix frames {:?}",
+                    cut.frames
+                )));
+            }
+            if let Some(e) = &cut.error {
+                if want_status != Some(e.status()) {
+                    return Err(fail(format!(
+                        "truncation at {keep} invented error {e:?} (expected status {want_status:?})"
+                    )));
+                }
+            }
+            report.truncations += 1;
+        }
+
+        report.iterations += 1;
+        report.frames += want_frames.len() as u64 * 2;
+        report.mutations += u64::from(want_status.is_some());
+    }
+    Ok(report)
+}
+
+/// Runs the fuzzer's traffic through a seeded buggy parser
+/// ([`ParserQuirk`]) alongside the real one and returns the first
+/// iteration whose results diverge — the serve-layer analogue of
+/// [`crate::roster_with_bug`]: a fixture the suite must FIND. `None`
+/// means the fuzzer failed to expose the bug within `max_iterations`,
+/// which the tests treat as a coverage regression.
+pub fn find_parser_quirk(quirk: ParserQuirk, seed: u64, max_iterations: u64) -> Option<u64> {
+    let config = fuzz_parser_config();
+    for iteration in 0..max_iterations {
+        let mut rng = DdcRng::seed_from_u64(seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let ops = gen_ops(&mut rng, &config);
+        let wire = wire_of(&ops);
+        let cuts = gen_chunk_plan(&mut rng, wire.len());
+        let mut real = RequestParser::new(config);
+        let mut buggy = RequestParser::new_with_quirk(config, quirk);
+        let a = run_chunked(&mut real, &wire, &cuts);
+        let b = run_chunked(&mut buggy, &wire, &cuts);
+        // A buggy parser can also diverge by *waiting* — fewer frames
+        // with bytes still buffered — which the result compare catches
+        // as a frame-list mismatch on the same traffic.
+        if a != b {
+            return Some(iteration);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FUZZ_SEED: u64 = 0xF022;
+
+    #[test]
+    fn fuzzer_is_clean_on_the_real_parser() {
+        let report = fuzz_serve_parser(FUZZ_SEED, 400).expect("real parser must not diverge");
+        assert_eq!(report.iterations, 400);
+        assert!(report.frames > 500, "frames compared: {}", report.frames);
+        assert!(report.mutations > 50, "mutations hit: {}", report.mutations);
+        assert!(report.chunks > report.iterations);
+    }
+
+    #[test]
+    fn seeded_case_sensitive_content_length_bug_is_found() {
+        let found = find_parser_quirk(ParserQuirk::CaseSensitiveContentLength, FUZZ_SEED, 200);
+        assert!(found.is_some(), "fuzzer must expose the casing bug");
+    }
+
+    #[test]
+    fn seeded_split_carriage_return_bug_is_found() {
+        let found = find_parser_quirk(ParserQuirk::DropSplitCarriageReturn, FUZZ_SEED, 400);
+        assert!(found.is_some(), "fuzzer must expose the split-CR bug");
+    }
+
+    #[test]
+    fn quirk_search_reports_miss_when_traffic_cannot_trigger_it() {
+        // Zero iterations cannot find anything — the miss path.
+        let found = find_parser_quirk(ParserQuirk::DropSplitCarriageReturn, 1, 0);
+        assert!(found.is_none());
+    }
+}

@@ -5,6 +5,7 @@
 //! ddc check replay FILE
 //! ddc check faults [--seed N]
 //! ddc check crash [--seed N] [--cases N] [--ops N] [--out FILE]
+//! ddc check serve [--seed N] [--iters N]
 //! ```
 //!
 //! `run` fuzzes every engine against the oracle; on divergence the
@@ -15,7 +16,9 @@
 //! randomized snapshot. `crash` simulates a process kill at every byte
 //! offset of a trace's write-ahead log and verifies recovery restores
 //! exactly the acknowledged prefix (shrinking any violation to a
-//! replayable trace).
+//! replayable trace). `serve` fuzzes the network wire parser with
+//! mutated/split/truncated requests and verifies both seeded parser
+//! bugs are found.
 
 use ddc_check::{crash_sweep, fault_sweep, fault_sweep_growable, fuzz, run_trace};
 use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
@@ -174,7 +177,47 @@ pub fn run(args: &[String]) -> Result<String, String> {
                  0 violations (seed {seed})"
             ))
         }
-        _ => Err("usage: ddc check run|replay|faults|crash …".to_string()),
+        Some("serve") => {
+            let rest = &args[1..];
+            let seed = parse_flag(rest, "--seed")?.unwrap_or(0xF022);
+            let iters = parse_flag(rest, "--iters")?.unwrap_or(400);
+            let report = ddc_check::fuzz_serve_parser(seed, iters).map_err(|f| f.to_string())?;
+            // The harness must also FIND both seeded parser bugs — a
+            // fuzzer that misses them is not covering header casing or
+            // split boundaries, which is itself a regression.
+            let mut found = Vec::new();
+            for (name, quirk) in [
+                (
+                    "case-sensitive-content-length",
+                    ddc_check::ParserQuirk::CaseSensitiveContentLength,
+                ),
+                (
+                    "drop-split-carriage-return",
+                    ddc_check::ParserQuirk::DropSplitCarriageReturn,
+                ),
+            ] {
+                match ddc_check::find_parser_quirk(quirk, seed, iters) {
+                    Some(i) => found.push(format!("{name} at iteration {i}")),
+                    None => {
+                        return Err(format!(
+                            "seeded parser bug NOT found: {name} survived {iters} iterations \
+                             (seed {seed}) — fuzzer coverage regressed"
+                        ))
+                    }
+                }
+            }
+            Ok(format!(
+                "ok: {} iterations, {} frames, {} mutations, {} truncations, {} chunks \
+                 (seed {seed}); seeded bugs found: {}",
+                report.iterations,
+                report.frames,
+                report.mutations,
+                report.truncations,
+                report.chunks,
+                found.join(", ")
+            ))
+        }
+        _ => Err("usage: ddc check run|replay|faults|crash|serve …".to_string()),
     }
 }
 

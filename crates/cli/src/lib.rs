@@ -11,6 +11,7 @@ pub mod check;
 pub mod command;
 #[cfg(feature = "model")]
 pub mod model;
+pub mod serve;
 mod session;
 pub mod stats;
 pub mod wal;

@@ -36,9 +36,10 @@ fn main() {
         }
     }
 
-    // `ddc check …` is the differential-fuzzing harness, `ddc wal …` the
-    // log-recovery tooling, and `ddc stats` the metrics dump —
-    // subcommands, not scripts.
+    // `ddc check …` is the differential-fuzzing harness, `ddc wal …`
+    // the log-recovery tooling, `ddc stats` the metrics dump, and
+    // `ddc serve` / `ddc loadgen` the network front end — subcommands,
+    // not scripts.
     for (name, runner) in [
         (
             "check",
@@ -46,6 +47,8 @@ fn main() {
         ),
         ("wal", ddc_cli::wal::run),
         ("stats", ddc_cli::stats::run),
+        ("serve", ddc_cli::serve::run),
+        ("loadgen", ddc_cli::serve::run_loadgen),
     ] {
         if args.first().map(String::as_str) == Some(name) {
             match runner(&args[1..]) {

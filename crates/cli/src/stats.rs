@@ -37,7 +37,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let mut out = if json {
         obs::render_json()
     } else {
-        obs::render_prometheus()
+        obs::prometheus_text()
     };
     if obs::trace_enabled() && !json {
         out.push('\n');

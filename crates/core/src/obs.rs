@@ -254,7 +254,7 @@ impl HistogramSnapshot {
 /// Names are `&'static str` by design: every instrumentation site is a
 /// fixed code location, and static names make the registry allocation-
 /// and hash-free on the lookup path. Dotted lowercase names
-/// (`wal.append`) are the convention; [`render_prometheus`] sanitizes
+/// (`wal.append`) are the convention; [`prometheus_text`] sanitizes
 /// them for exposition.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -538,11 +538,21 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders every registered metric in Prometheus exposition style:
+/// Renders every metric registered in the process-global registry in
+/// Prometheus exposition style. This is the one formatter shared by
+/// every exposition surface (`ddc stats --prometheus` and the serving
+/// layer's `GET /metrics`), so scrapes agree byte-for-byte no matter
+/// which door they come in through.
+pub fn prometheus_text() -> String {
+    prometheus_text_for(registry())
+}
+
+/// Renders every metric in `reg` in Prometheus exposition style:
 /// counters and gauges as single samples, histograms as
 /// `_count`/`_sum_ns` plus `quantile`-labelled samples and `_max_ns`.
-pub fn render_prometheus() -> String {
-    let reg = registry();
+/// Output ordering is stable (metrics sort by name within each kind)
+/// and names are sanitized by [`prom_name`]'s rules.
+pub fn prometheus_text_for(reg: &Registry) -> String {
     let mut out = String::new();
     for (name, v) in reg.counters() {
         let p = prom_name(name);
@@ -567,6 +577,13 @@ pub fn render_prometheus() -> String {
     }
     out.pop();
     out
+}
+
+/// Former name of [`prometheus_text`], kept callable while downstream
+/// tooling migrates.
+#[deprecated(note = "renamed to prometheus_text")]
+pub fn render_prometheus() -> String {
+    prometheus_text()
 }
 
 /// Renders every registered metric as a JSON object:
@@ -708,13 +725,42 @@ mod tests {
     fn renderers_include_registered_metrics() {
         counter("obs.test.render").add(7);
         histogram("obs.test.render_hist").record(1000);
-        let prom = render_prometheus();
+        let prom = prometheus_text();
         assert!(prom.contains("ddc_obs_test_render 7"), "{prom}");
         assert!(prom.contains("ddc_obs_test_render_hist_count 1"), "{prom}");
         assert!(prom.contains("quantile=\"0.99\""), "{prom}");
         let json = render_json();
         assert!(json.contains("\"obs.test.render\": 7"), "{json}");
         assert!(json.contains("\"p99_ns\""), "{json}");
+    }
+
+    #[test]
+    fn prometheus_text_is_byte_exact_with_stable_ordering_and_escaping() {
+        // A private registry keeps the expectation independent of
+        // whatever the rest of the test binary registered globally.
+        let reg = Registry::default();
+        reg.counter("serve.requests").add(3);
+        reg.counter("a.weird-name").inc(); // '.' and '-' both escape to '_'
+        reg.gauge("queue.depth").set(-2);
+        let h = reg.histogram("rt");
+        h.record(0);
+        h.record(1);
+        assert_eq!(
+            prometheus_text_for(&reg),
+            "# TYPE ddc_a_weird_name counter\n\
+             ddc_a_weird_name 1\n\
+             # TYPE ddc_serve_requests counter\n\
+             ddc_serve_requests 3\n\
+             # TYPE ddc_queue_depth gauge\n\
+             ddc_queue_depth -2\n\
+             # TYPE ddc_rt summary\n\
+             ddc_rt_count 2\n\
+             ddc_rt_sum_ns 1\n\
+             ddc_rt_ns{quantile=\"0.5\"} 0\n\
+             ddc_rt_ns{quantile=\"0.9\"} 1\n\
+             ddc_rt_ns{quantile=\"0.99\"} 1\n\
+             ddc_rt_max_ns 1"
+        );
     }
 
     #[test]

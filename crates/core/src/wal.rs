@@ -714,6 +714,23 @@ impl<G: AbelianGroup + ValueCodec, W: Write> SharedDurableCube<G, W> {
         self.lock().cube().total()
     }
 
+    /// Dimensionality of the cube.
+    pub fn ndim(&self) -> usize {
+        self.lock().cube().ndim()
+    }
+
+    /// Range sum over the closed logical box `[lo, hi]` — the serving
+    /// read path for durable backends. Parts outside the covered box
+    /// contribute zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or inverted bounds (callers validate
+    /// untrusted input first).
+    pub fn range_sum(&self, lo: &[i64], hi: &[i64]) -> G {
+        self.lock().cube().range_sum(lo, hi)
+    }
+
     /// Log statistics: `(bytes, records)` acknowledged so far.
     pub fn wal_stats(&self) -> (u64, u64) {
         self.lock().wal_stats()

@@ -1,0 +1,37 @@
+//! # ddc-serve
+//!
+//! Zero-dependency network serving layer for the Dynamic Data Cube:
+//! `std::net` TCP, an in-repo incremental HTTP/1.1 + line-protocol
+//! parser, a worker pool on the `core::sync` facade, per-tenant
+//! admission control, and a load generator for the serve-latency
+//! bench. This is ROADMAP item #1 — the paper's range-sum engines
+//! behind a wire so "millions of users" stops being hypothetical.
+//!
+//! Layering (each module only reaches down):
+//!
+//! * [`http`] — bytes → [`http::Frame`]s (incremental, allocation-
+//!   bounded, pipelining-safe) and response serialization.
+//! * [`protocol`] — frames → typed [`protocol::ServeRequest`]s; the
+//!   protocol grammar lives here.
+//! * [`backend`] — requests → engine calls with untrusted-input
+//!   validation and typed backpressure ([`backend::BackendError`]).
+//! * [`admission`] — per-tenant token-bucket rate policy.
+//! * [`server`] — acceptor + worker pool tying the above to sockets.
+//! * [`loadgen`] — pipelined mixed-traffic client emitting the
+//!   `BENCH_serve_latency.json` perf-smoke report.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod admission;
+pub mod backend;
+pub mod http;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use backend::{BackendError, DurableBackend, IngestOutcome, ServeBackend, ShardedBackend};
+pub use http::{Frame, HttpRequest, ParseError, ParserConfig, RequestParser};
+pub use protocol::{RequestError, ServeRequest};
+pub use server::{Server, ServerConfig};

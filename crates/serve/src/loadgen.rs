@@ -1,0 +1,298 @@
+//! `ddc loadgen` — pipelined mixed update/query traffic against a
+//! `ddc serve` endpoint, reporting throughput and batch-RTT quantiles
+//! as a schema-v1 [`BenchReport`] (`BENCH_serve_latency.json`).
+//!
+//! Each client thread owns one connection and drives seeded traffic in
+//! pipelined batches: write `batch` line-protocol commands, then read
+//! exactly `batch` response lines, timing the round trip. Batch RTTs
+//! land in one shared log-bucketed histogram; throughput is total
+//! requests over wall time. With no `--addr` an in-process server is
+//! started on an ephemeral port, so the bench is self-contained.
+
+use crate::backend::ShardedBackend;
+use crate::server::{Server, ServerConfig};
+use ddc_array::Shape;
+use ddc_bench::json::{BenchReport, MetricKind};
+use ddc_core::obs::Histogram;
+use ddc_core::sync::Arc;
+use ddc_core::{DdcConfig, ShardConfig, ShardedCube};
+use ddc_workload::DdcRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target `host:port`; `None` starts an in-process server.
+    pub addr: Option<String>,
+    /// Client threads (one connection each).
+    pub threads: usize,
+    /// Requests sent per thread.
+    pub requests: u64,
+    /// Requests pipelined per write.
+    pub batch: usize,
+    /// Percent of requests that are updates (the rest split between
+    /// prefix and range queries).
+    pub update_pct: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Side of the square in-process cube (ignored with `--addr`).
+    pub side: usize,
+    /// Shards of the in-process cube (ignored with `--addr`).
+    pub shards: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            threads: 4,
+            requests: 50_000,
+            batch: 64,
+            update_pct: 50,
+            seed: 0x10AD,
+            side: 256,
+            shards: 4,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Clone, Debug)]
+pub struct LoadgenSummary {
+    /// Requests acknowledged with a success line.
+    pub ok: u64,
+    /// Requests answered `busy` (backpressure).
+    pub busy: u64,
+    /// Requests answered `err`.
+    pub errors: u64,
+    /// Total requests sent.
+    pub total: u64,
+    /// Sustained mixed requests per second.
+    pub req_per_s: f64,
+    /// Batch round-trip p50, nanoseconds.
+    pub rtt_p50_ns: u64,
+    /// Batch round-trip p99, nanoseconds.
+    pub rtt_p99_ns: u64,
+    /// Batch round-trip max, nanoseconds.
+    pub rtt_max_ns: u64,
+}
+
+impl LoadgenSummary {
+    /// The perf-smoke report (`BENCH_serve_latency.json` payload).
+    pub fn report(&self, config: &LoadgenConfig) -> BenchReport {
+        let mut r = BenchReport::new("serve_latency");
+        r.push(
+            "serve.mixed.req_per_s",
+            MetricKind::Throughput,
+            self.req_per_s,
+        );
+        r.push(
+            "serve.batch_rtt.p50_ns",
+            MetricKind::LatencyNs,
+            self.rtt_p50_ns as f64,
+        );
+        r.push(
+            "serve.batch_rtt.p99_ns",
+            MetricKind::LatencyNs,
+            self.rtt_p99_ns as f64,
+        );
+        r.push(
+            "serve.batch_rtt.max_ns",
+            MetricKind::LatencyNs,
+            self.rtt_max_ns as f64,
+        );
+        r.push("serve.requests.total", MetricKind::Count, self.total as f64);
+        r.push("serve.requests.ok", MetricKind::Info, self.ok as f64);
+        r.push("serve.requests.busy", MetricKind::Info, self.busy as f64);
+        r.push("serve.requests.err", MetricKind::Info, self.errors as f64);
+        r.push("config.threads", MetricKind::Count, config.threads as f64);
+        r.push("config.batch", MetricKind::Count, config.batch as f64);
+        r.push(
+            "config.update_pct",
+            MetricKind::Count,
+            config.update_pct as f64,
+        );
+        r
+    }
+}
+
+/// One thread's seeded pipelined session. Returns `(ok, busy, err)`.
+fn drive(
+    addr: &str,
+    config: &LoadgenConfig,
+    thread: usize,
+    side: usize,
+    rtt: &Histogram,
+) -> Result<(u64, u64, u64), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("loadgen connect {addr}: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("loadgen nodelay: {e}"))?;
+    let mut rng = DdcRng::seed_from_u64(config.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9));
+    let mut wire = String::with_capacity(config.batch * 24);
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let (mut ok, mut busy, mut errors) = (0u64, 0u64, 0u64);
+    let mut sent = 0u64;
+    // `true` while the next unread byte starts a response line.
+    let mut at_line_start = true;
+    while sent < config.requests {
+        let n = (config.batch as u64).min(config.requests - sent) as usize;
+        wire.clear();
+        for _ in 0..n {
+            let x = rng.gen_range(0..side);
+            let y = rng.gen_range(0..side);
+            if rng.gen_range(0..100usize) < config.update_pct as usize {
+                let delta = rng.gen_range(-100i64..=100);
+                wire.push_str(&format!("u {x},{y} {delta}\n"));
+            } else if rng.gen_range(0..2usize) == 0 {
+                wire.push_str(&format!("p {x},{y}\n"));
+            } else {
+                let x2 = rng.gen_range(x..side);
+                let y2 = rng.gen_range(y..side);
+                wire.push_str(&format!("q {x},{y} {x2},{y2}\n"));
+            }
+        }
+        let start = Instant::now();
+        stream
+            .write_all(wire.as_bytes())
+            .map_err(|e| format!("loadgen write: {e}"))?;
+        // Read exactly n response lines, classifying by first byte
+        // (`busy …` / `err …` / anything else = success).
+        let mut lines = 0usize;
+        while lines < n {
+            let got = stream
+                .read(&mut read_buf)
+                .map_err(|e| format!("loadgen read: {e}"))?;
+            if got == 0 {
+                return Err("loadgen: server closed mid-batch".to_string());
+            }
+            for &b in &read_buf[..got] {
+                if at_line_start {
+                    match b {
+                        b'b' => busy += 1,
+                        b'e' => errors += 1,
+                        _ => ok += 1,
+                    }
+                    at_line_start = false;
+                }
+                if b == b'\n' {
+                    lines += 1;
+                    at_line_start = true;
+                }
+            }
+        }
+        rtt.record(start.elapsed().as_nanos() as u64);
+        sent += n as u64;
+    }
+    Ok((ok, busy, errors))
+}
+
+/// Runs the load generator, returning the measured summary.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
+    let local = match &config.addr {
+        Some(_) => None,
+        None => {
+            let cube = ShardedCube::<i64>::new(
+                Shape::new(&[config.side, config.side]),
+                DdcConfig::default(),
+                ShardConfig::with_shards(config.shards),
+            );
+            let server = Server::start(
+                Arc::new(ShardedBackend::new(cube)),
+                ServerConfig {
+                    workers: config.threads.max(2),
+                    max_connections: config.threads + 8,
+                    ..ServerConfig::default()
+                },
+            )
+            .map_err(|e| format!("loadgen: in-process server: {e}"))?;
+            Some(server)
+        }
+    };
+    let addr = match (&config.addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!("local server constructed above"),
+    };
+    // Probe the target first so a bad --addr fails fast and clean.
+    TcpStream::connect(&addr).map_err(|e| format!("loadgen: cannot reach {addr}: {e}"))?;
+
+    let rtt = Arc::new(Histogram::default());
+    let started = Instant::now();
+    let workers: Vec<_> = (0..config.threads.max(1))
+        .map(|t| {
+            let addr = addr.clone();
+            let config = config.clone();
+            let rtt = Arc::clone(&rtt);
+            // Remote cubes are sized by the operator; stay in the
+            // in-process default unless told otherwise.
+            let side = config.side;
+            std::thread::spawn(move || drive(&addr, &config, t, side, &rtt))
+        })
+        .collect();
+    let (mut ok, mut busy, mut errors) = (0u64, 0u64, 0u64);
+    let mut failure = None;
+    for w in workers {
+        match w.join() {
+            Ok(Ok((o, b, e))) => {
+                ok += o;
+                busy += b;
+                errors += e;
+            }
+            Ok(Err(e)) => failure = Some(e),
+            Err(_) => failure = Some("loadgen: worker panicked".to_string()),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if let Some(server) = local {
+        server.shutdown();
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let total = config.requests * config.threads.max(1) as u64;
+    let snap = rtt.snapshot();
+    Ok(LoadgenSummary {
+        ok,
+        busy,
+        errors,
+        total,
+        req_per_s: total as f64 / elapsed.max(1e-9),
+        rtt_p50_ns: snap.quantile(0.5),
+        rtt_p99_ns: snap.quantile(0.99),
+        rtt_max_ns: snap.max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_against_in_process_server_is_clean() {
+        let config = LoadgenConfig {
+            threads: 2,
+            requests: 400,
+            batch: 16,
+            side: 32,
+            shards: 2,
+            ..LoadgenConfig::default()
+        };
+        let summary = run(&config).expect("loadgen runs");
+        assert_eq!(summary.total, 800);
+        assert_eq!(summary.ok, 800, "no errors on a healthy server");
+        assert_eq!(summary.busy + summary.errors, 0);
+        assert!(summary.req_per_s > 0.0);
+        let report = summary.report(&config);
+        assert_eq!(report.bench, "serve_latency");
+        let text = report.to_json();
+        let parsed = ddc_bench::json::BenchReport::parse(&text).expect("schema v1");
+        assert!(parsed
+            .metrics
+            .iter()
+            .any(|m| m.name == "serve.mixed.req_per_s"));
+    }
+}

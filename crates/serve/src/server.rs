@@ -1,0 +1,511 @@
+//! The TCP front end: acceptor + worker pool over [`crate::backend`].
+//!
+//! Architecture (DESIGN §S42):
+//!
+//! * One acceptor thread owns the listening socket. Accepted
+//!   connections are pushed onto a bounded hand-off queue guarded by a
+//!   `Mutex`/`Condvar` pair from the `core::sync` facade; when the
+//!   total of queued + in-flight connections reaches
+//!   [`ServerConfig::max_connections`] the acceptor answers `503` and
+//!   closes instead of queueing (load shedding at the door).
+//! * [`ServerConfig::workers`] worker threads pop connections and run
+//!   them to completion: read → feed [`RequestParser`] → execute each
+//!   frame against the backend → batch all responses from one read
+//!   into one write (pipelining never pays per-request syscalls).
+//! * Reads carry a short timeout so idle connections observe shutdown
+//!   promptly; a fatal [`ParseError`] answers with its mapped status
+//!   and closes (after a framing error the stream cannot be trusted).
+//!
+//! Backpressure surfaces, in order of checking: connection limit
+//! (503), per-tenant admission ([`Admission`], 429), and engine
+//! rejection ([`BackendError::Busy`], 429) from the shard write
+//! queues. An update is acknowledged (`ok` / 200) only after the
+//! backend accepted it — acked writes are never lost.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::backend::{BackendError, ServeBackend};
+use crate::http::{write_http_response, Frame, ParserConfig, RequestParser};
+use crate::protocol::{self, ServeRequest};
+use ddc_core::obs;
+use ddc_core::sync::atomic::{AtomicUsize, Ordering};
+use ddc_core::sync::thread::{spawn, JoinHandle};
+use ddc_core::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing connections.
+    pub workers: usize,
+    /// Queued + in-flight connections accepted before shedding with
+    /// 503.
+    pub max_connections: usize,
+    /// Wire-parser bounds.
+    pub parser: ParserConfig,
+    /// Per-tenant rate policy.
+    pub admission: AdmissionConfig,
+    /// Socket read timeout; bounds how long an idle connection takes
+    /// to notice shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_connections: 256,
+            parser: ParserConfig::default(),
+            admission: AdmissionConfig::default(),
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Shared state between the acceptor and the workers.
+struct Shared {
+    backend: Arc<dyn ServeBackend>,
+    config: ServerConfig,
+    admission: Admission,
+    /// Hand-off queue of accepted connections.
+    queue: Mutex<VecDeque<TcpStream>>,
+    /// Signals workers that the queue or the shutdown flag changed.
+    wake: Condvar,
+    /// Queued + in-flight connections (the 503 limit).
+    open: AtomicUsize,
+    /// 1 once shutdown began.
+    stopping: AtomicUsize,
+    /// Monotonic epoch for admission timestamps.
+    epoch: Instant,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire) != 0
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A running server. Dropping without [`Server::shutdown`] leaks the
+/// threads for the process lifetime — tests and the CLI always shut
+/// down explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the pool, and starts accepting.
+    pub fn start(backend: Arc<dyn ServeBackend>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backend,
+            admission: Admission::new(config.admission),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            open: AtomicUsize::new(0),
+            stopping: AtomicUsize::new(0),
+            epoch: Instant::now(),
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains workers, and joins every thread.
+    /// In-flight connections are closed at their next read timeout.
+    pub fn shutdown(self) {
+        self.shared.stopping.store(1, Ordering::Release);
+        self.shared.wake.notify_all();
+        // Unblock the acceptor with one last connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+        self.shared.wake.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> ddc_core::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let accepted = obs::counter("serve.conn.accepted");
+    let shed = obs::counter("serve.conn.shed");
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if shared.stopping() {
+            break;
+        }
+        if shared.open.load(Ordering::Acquire) >= shared.config.max_connections {
+            shed.inc();
+            let mut out = Vec::new();
+            write_http_response(&mut out, 503, "connection limit reached\n");
+            let mut stream = stream;
+            let _ = stream.write_all(&out);
+            continue;
+        }
+        accepted.inc();
+        shared.open.fetch_add(1, Ordering::AcqRel);
+        lock(&shared.queue).push_back(stream);
+        shared.wake.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if shared.stopping() {
+                    return;
+                }
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        handle_connection(stream, shared);
+        shared.open.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-connection session state: the tenant bound by the `t` command.
+struct Session {
+    tenant: String,
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut parser = RequestParser::new(shared.config.parser);
+    let mut session = Session {
+        tenant: "default".to_string(),
+    };
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut out: Vec<u8> = Vec::with_capacity(4 * 1024);
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stopping() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        parser.feed(&buf[..n]);
+        out.clear();
+        loop {
+            match parser.poll() {
+                Ok(Some(frame)) => respond(&frame, shared, &mut session, &mut out),
+                Ok(None) => break,
+                Err(e) => {
+                    // Fatal framing error: answer and close.
+                    obs::counter("serve.parse_errors").inc();
+                    write_http_response(&mut out, e.status(), &format!("{e}\n"));
+                    let _ = stream.write_all(&out);
+                    return;
+                }
+            }
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
+        }
+        if shared.stopping() {
+            return;
+        }
+    }
+}
+
+/// Executes one frame, appending the wire response to `out`.
+fn respond(frame: &Frame, shared: &Arc<Shared>, session: &mut Session, out: &mut Vec<u8>) {
+    obs::counter("serve.requests").inc();
+    let request = match protocol::decode(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            obs::counter("serve.bad_requests").inc();
+            return reply(frame, out, e.status(), &e.detail());
+        }
+    };
+    // Session commands and cheap probes bypass admission.
+    match &request {
+        ServeRequest::Tenant(name) => {
+            session.tenant = name.clone();
+            return reply(frame, out, 200, "ok");
+        }
+        ServeRequest::Ping => return reply(frame, out, 200, "pong"),
+        ServeRequest::Health => return reply(frame, out, 200, "ok"),
+        ServeRequest::Metrics => {
+            let mut text = obs::prometheus_text();
+            text.push('\n');
+            return reply(frame, out, 200, &text);
+        }
+        _ => {}
+    }
+    let tenant = match frame {
+        Frame::Http(req) => req.header("x-ddc-tenant").unwrap_or(&session.tenant),
+        Frame::Line(_) => &session.tenant,
+    };
+    if !shared.admission.admit(tenant, shared.now_ns()) {
+        obs::counter("serve.rejected.admission").inc();
+        return reply(frame, out, 429, &format!("rate-limited tenant {tenant:?}"));
+    }
+    let backend = &shared.backend;
+    let result = match &request {
+        ServeRequest::Update { point, delta } => {
+            backend.update(point, *delta).map(|()| "ok".to_string())
+        }
+        ServeRequest::Ingest(updates) => {
+            let outcome = backend.ingest(updates);
+            match outcome.error {
+                None => Ok(format!("applied {}", outcome.applied)),
+                Some(e) => {
+                    if matches!(e, BackendError::Busy(_)) {
+                        obs::counter("serve.rejected.backpressure").inc();
+                    }
+                    return reply(
+                        frame,
+                        out,
+                        e.status(),
+                        &format!(
+                            "applied {} of {}: {}",
+                            outcome.applied,
+                            updates.len(),
+                            e.detail()
+                        ),
+                    );
+                }
+            }
+        }
+        ServeRequest::Query { lo, hi } => backend.query(lo, hi).map(|v| v.to_string()),
+        ServeRequest::Prefix(point) => backend.prefix(point).map(|v| v.to_string()),
+        // Handled above.
+        ServeRequest::Tenant(_)
+        | ServeRequest::Ping
+        | ServeRequest::Health
+        | ServeRequest::Metrics => Ok(String::new()),
+    };
+    match result {
+        Ok(body) => reply(frame, out, 200, &body),
+        Err(e) => {
+            if matches!(e, BackendError::Busy(_)) {
+                obs::counter("serve.rejected.backpressure").inc();
+            }
+            reply(frame, out, e.status(), e.detail())
+        }
+    }
+}
+
+/// Serializes a response in the syntax the request arrived in. Line
+/// responses are one line: `ok` / value / `pong`, `busy <detail>` for
+/// 429, `err <detail>` otherwise.
+fn reply(frame: &Frame, out: &mut Vec<u8>, status: u16, body: &str) {
+    match frame {
+        Frame::Http(_) => {
+            let mut body = body.to_string();
+            if !body.ends_with('\n') {
+                body.push('\n');
+            }
+            write_http_response(out, status, &body);
+        }
+        Frame::Line(_) => {
+            match status {
+                200 => out.extend_from_slice(body.as_bytes()),
+                429 => {
+                    out.extend_from_slice(b"busy ");
+                    out.extend_from_slice(body.as_bytes());
+                }
+                _ => {
+                    out.extend_from_slice(b"err ");
+                    out.extend_from_slice(body.as_bytes());
+                }
+            }
+            out.push(b'\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ShardedBackend;
+    use ddc_array::Shape;
+    use ddc_core::{DdcConfig, ShardConfig, ShardedCube};
+    use std::io::BufRead as _;
+
+    fn start_default() -> Server {
+        let cube = ShardedCube::<i64>::new(
+            Shape::new(&[64, 64]),
+            DdcConfig::default(),
+            ShardConfig::with_shards(2),
+        );
+        Server::start(Arc::new(ShardedBackend::new(cube)), ServerConfig::default())
+            .expect("bind ephemeral")
+    }
+
+    fn send(addr: SocketAddr, wire: &[u8], lines: usize) -> Vec<String> {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(wire).expect("write");
+        let mut r = std::io::BufReader::new(s);
+        (0..lines)
+            .map(|_| {
+                let mut line = String::new();
+                r.read_line(&mut line).expect("read line");
+                line.trim_end().to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_protocol_round_trips_over_tcp() {
+        let server = start_default();
+        let addr = server.local_addr();
+        let replies = send(addr, b"ping\nu 1,2 5\nu 1,3 7\np 1,2\nq 0,0 63,63\n", 5);
+        assert_eq!(replies, ["pong", "ok", "ok", "5", "12"]);
+        let errs = send(addr, b"q 9,9 1,1\nzap\n", 2);
+        assert!(errs[0].starts_with("err "), "{errs:?}");
+        assert!(errs[1].starts_with("err "), "{errs:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_round_trip_and_metrics() {
+        let server = start_default();
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(
+            b"POST /ingest HTTP/1.1\r\nContent-Length: 12\r\n\r\n1,1 4\n2,2 6\nGET /query?lo=0,0&hi=63,63 HTTP/1.1\r\n\r\n",
+        )
+        .expect("write");
+        let mut r = std::io::BufReader::new(s);
+        let mut read_response = || {
+            let mut status = String::new();
+            r.read_line(&mut status).expect("status");
+            let mut len = 0usize;
+            loop {
+                let mut line = String::new();
+                r.read_line(&mut line).expect("header");
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().expect("length");
+                }
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body).expect("body");
+            (
+                status.trim_end().to_string(),
+                String::from_utf8(body).expect("utf8"),
+            )
+        };
+        let (s1, b1) = read_response();
+        assert_eq!(s1, "HTTP/1.1 200 OK");
+        assert_eq!(b1, "applied 2\n");
+        let (s2, b2) = read_response();
+        assert_eq!(s2, "HTTP/1.1 200 OK");
+        assert_eq!(b2, "10\n");
+        drop(r);
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n")
+            .expect("write");
+        // Half-close so the server sees EOF and hangs up after replying.
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut text = String::new();
+        let _ = s.read_to_string(&mut text);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("ddc_serve_requests"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_answers_429() {
+        let cube = ShardedCube::<i64>::new(
+            Shape::new(&[8, 8]),
+            DdcConfig::default(),
+            ShardConfig::with_shards(1),
+        );
+        let server = Server::start(
+            Arc::new(ShardedBackend::new(cube)),
+            ServerConfig {
+                admission: AdmissionConfig {
+                    rate_per_sec: 1,
+                    burst: 2,
+                    max_tenants: 8,
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let wire = b"t heavy\nu 1,1 1\nu 1,1 1\nu 1,1 1\nu 1,1 1\nu 1,1 1\n";
+        let replies = send(addr, wire, 6);
+        assert_eq!(replies[0], "ok", "tenant bind is uncharged");
+        let ok = replies[1..].iter().filter(|r| *r == "ok").count();
+        let busy = replies[1..]
+            .iter()
+            .filter(|r| r.starts_with("busy "))
+            .count();
+        assert_eq!(ok, 3, "{replies:?}");
+        assert_eq!(busy, 2, "{replies:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_http_closes_with_mapped_status() {
+        let server = start_default();
+        let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+        s.write_all(b"GET /broken\r\n\r\n").expect("write");
+        let mut text = String::new();
+        let _ = s.read_to_string(&mut text);
+        assert!(text.starts_with("HTTP/1.1 400 Bad Request"), "{text}");
+        server.shutdown();
+    }
+}

@@ -167,7 +167,7 @@ fn instrumented_hot_paths_report_nonzero() {
     assert!(obs::counter("persist.save.bytes").get() > 0);
 
     // Both renderers include the instrumented families.
-    let prom = obs::render_prometheus();
+    let prom = obs::prometheus_text();
     assert!(prom.contains("ddc_engine_update_dynamic_ddc_count"));
     assert!(prom.contains("ddc_shard_queue_wait_ns{quantile=\"0.99\"}"));
     assert!(prom.contains("ddc_wal_append_records"));

@@ -10,11 +10,13 @@
 //! machine-dependent `throughput` metrics must stay above
 //! `baseline / tolerance` (default 3× — generous on purpose: the gate
 //! exists to catch order-of-magnitude regressions and schema drift, not
-//! to flake on shared CI runners). `latency_ns` metrics are printed but
-//! not gated unless `--latency-tolerance Y` is given, in which case each
-//! must stay below `baseline × Y` (the serve-latency p99 gate). Any
-//! metric present on one side only, or a schema-version/bench-name
-//! mismatch, fails the gate.
+//! to flake on shared CI runners). `latency_ns` metrics carrying a
+//! per-metric `tol` (schema v2) are gated against `baseline × tol`;
+//! the rest are printed but not gated unless `--latency-tolerance Y` is
+//! given, in which case each must stay below `baseline × Y` (the
+//! serve-latency p99 gate). A `throughput` metric's own `tol` overrides
+//! the global divisor. Any metric present on one side only, a `tol`
+//! mismatch, or a schema-version/bench-name mismatch, fails the gate.
 
 use ddc_bench::json::{gate_with_latency, BenchReport};
 

@@ -1,0 +1,198 @@
+//! Per-operation core latency: p50/p99 wall-clock nanoseconds for point
+//! updates and prefix-sum queries on the d=2 hot path, across engines
+//! (experiment L1 in DESIGN.md §43).
+//!
+//! ```text
+//! cargo run --release -p ddc-bench --bin latency_core
+//! cargo run --release -p ddc-bench --bin latency_core -- --json
+//! ```
+//!
+//! Each op is timed individually with `Instant`; quantiles come from the
+//! sorted sample. `--json` writes `BENCH_latency_core.json` (schema v2):
+//! latency metrics carry per-metric `tol` ceilings so the CI perf-smoke
+//! gate catches order-of-magnitude regressions on the hot path without
+//! flaking on shared-runner jitter, and the seeded stored-values-touched
+//! counts ride along as exact-match `count` metrics — machine-independent
+//! evidence of the algorithmic shape.
+
+use std::time::Instant;
+
+use ddc_array::{RangeSumEngine, Shape};
+use ddc_bench::json::{BenchReport, MetricKind};
+use ddc_bench::print_row;
+use ddc_core::{BaseStore, DdcConfig};
+use ddc_olap::EngineKind;
+use ddc_workload::rng;
+
+/// Side of the d=2 cube under test.
+const SIDE: usize = 256;
+/// Updates applied before measurement starts (structure warm-up).
+const POPULATE: usize = 40_000;
+/// Timed operations per op-kind per engine.
+const OPS: usize = 30_000;
+
+/// Latency ceilings (schema-v2 per-metric `tol`). p50 of 30k samples is
+/// stable; p99 breathes more on shared runners.
+const P50_TOL: f64 = 6.0;
+const P99_TOL: f64 = 10.0;
+
+struct Quantiles {
+    p50: u64,
+    p99: u64,
+}
+
+fn quantiles(mut samples: Vec<u64>) -> Quantiles {
+    samples.sort_unstable();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    Quantiles {
+        p50: at(0.50),
+        p99: at(0.99),
+    }
+}
+
+struct EngineRow {
+    label: &'static str,
+    update: Quantiles,
+    prefix: Quantiles,
+    touched_per_update: f64,
+    reads_per_prefix: f64,
+}
+
+fn measure(label: &'static str, kind: EngineKind) -> EngineRow {
+    let shape = Shape::cube(2, SIDE);
+    let mut r = rng(0xDDC_1A7E);
+    let mut engine: Box<dyn RangeSumEngine<i64>> = kind.build(shape);
+
+    let point = |r: &mut ddc_workload::DdcRng| vec![r.gen_range(0..SIDE), r.gen_range(0..SIDE)];
+
+    for _ in 0..POPULATE {
+        let p = point(&mut r);
+        engine.apply_delta(&p, r.gen_range(-50i64..50));
+    }
+
+    // Pre-draw the op streams so RNG time is not billed to the engine.
+    let updates: Vec<(Vec<usize>, i64)> = (0..OPS)
+        .map(|_| (point(&mut r), r.gen_range(-50i64..50)))
+        .collect();
+    let queries: Vec<Vec<usize>> = (0..OPS).map(|_| point(&mut r)).collect();
+
+    engine.reset_ops();
+    let mut update_ns = Vec::with_capacity(OPS);
+    for (p, delta) in &updates {
+        let t = Instant::now();
+        engine.apply_delta(p, *delta);
+        update_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let touched_per_update = engine.ops().touched() as f64 / OPS as f64;
+
+    engine.reset_ops();
+    let mut prefix_ns = Vec::with_capacity(OPS);
+    let mut sink = 0i64;
+    for p in &queries {
+        let t = Instant::now();
+        let v = engine.prefix_sum(p);
+        prefix_ns.push(t.elapsed().as_nanos() as u64);
+        sink = sink.wrapping_add(v);
+    }
+    std::hint::black_box(sink);
+    let reads_per_prefix = engine.ops().reads as f64 / OPS as f64;
+
+    EngineRow {
+        label,
+        update: quantiles(update_ns),
+        prefix: quantiles(prefix_ns),
+        touched_per_update,
+        reads_per_prefix,
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let start = Instant::now();
+    let engines: Vec<(&'static str, EngineKind)> = vec![
+        ("dyn-ddc", EngineKind::DynamicDdc),
+        (
+            "ddc-bc",
+            EngineKind::CustomDdc(DdcConfig::dynamic().with_base(BaseStore::Bc { fanout: 16 })),
+        ),
+        (
+            "ddc-fenwick",
+            EngineKind::CustomDdc(DdcConfig::dynamic().with_base(BaseStore::Fenwick)),
+        ),
+        ("fenwick-nd", EngineKind::FenwickNd),
+    ];
+
+    println!(
+        "== d=2, side {SIDE}: per-op latency over {OPS} timed ops \
+         ({POPULATE} warm-up updates) ==\n"
+    );
+    let widths = [12usize, 10, 10, 10, 10, 12, 12];
+    print_row(
+        &[
+            "engine".into(),
+            "upd p50".into(),
+            "upd p99".into(),
+            "pfx p50".into(),
+            "pfx p99".into(),
+            "touched/upd".into(),
+            "reads/pfx".into(),
+        ],
+        &widths,
+    );
+
+    let mut report = BenchReport::new("latency_core");
+    for (label, kind) in engines {
+        let row = measure(label, kind);
+        print_row(
+            &[
+                row.label.into(),
+                format!("{}ns", row.update.p50),
+                format!("{}ns", row.update.p99),
+                format!("{}ns", row.prefix.p50),
+                format!("{}ns", row.prefix.p99),
+                format!("{:.1}", row.touched_per_update),
+                format!("{:.1}", row.reads_per_prefix),
+            ],
+            &widths,
+        );
+        for (op, q) in [("update", &row.update), ("prefix", &row.prefix)] {
+            report.push_gated(
+                format!("{op}.d2.{}.p50_ns", row.label),
+                MetricKind::LatencyNs,
+                q.p50 as f64,
+                P50_TOL,
+            );
+            report.push_gated(
+                format!("{op}.d2.{}.p99_ns", row.label),
+                MetricKind::LatencyNs,
+                q.p99 as f64,
+                P99_TOL,
+            );
+        }
+        report.push(
+            format!("touched_per_update.d2.{}", row.label),
+            MetricKind::Count,
+            row.touched_per_update,
+        );
+        report.push(
+            format!("reads_per_prefix.d2.{}", row.label),
+            MetricKind::Count,
+            row.reads_per_prefix,
+        );
+    }
+    report.push("config.side", MetricKind::Count, SIDE as f64);
+    report.push("config.ops", MetricKind::Count, OPS as f64);
+    report.push("config.populate", MetricKind::Count, POPULATE as f64);
+    report.push(
+        "wall_time_s",
+        MetricKind::Info,
+        start.elapsed().as_secs_f64(),
+    );
+
+    if json {
+        let path = report
+            .write(std::path::Path::new("."))
+            .expect("write BENCH_latency_core.json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -11,7 +11,11 @@ use std::fmt::Write as _;
 /// Version stamped into every report; the gate refuses to compare
 /// mismatched versions (schema drift must be an explicit failure, not a
 /// silently ignored metric).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds the optional per-metric `tol` field: a tolerance carried by
+/// the metric itself, so latency ceilings and throughput floors can be
+/// tuned per quantile instead of one loose flag for the whole report.
+pub const SCHEMA_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------
 // JSON values
@@ -262,7 +266,9 @@ pub enum MetricKind {
     Count,
     /// Machine-dependent rate: must stay above `baseline / tolerance`.
     Throughput,
-    /// Latency quantile in nanoseconds: informational, never gated.
+    /// Latency quantile in nanoseconds: gated against `baseline × tol`
+    /// when the metric carries a `tol` (or the gate is given a global
+    /// `--latency-tolerance`); informational otherwise.
     LatencyNs,
     /// Anything else worth recording: informational, never gated.
     Info,
@@ -298,6 +304,13 @@ pub struct Metric {
     pub kind: MetricKind,
     /// The measured value.
     pub value: f64,
+    /// Per-metric gate tolerance (schema v2). For `LatencyNs` the gate
+    /// enforces `current ≤ baseline × tol` even without a global
+    /// latency tolerance; for `Throughput` it overrides the global
+    /// floor divisor. `Count` and `Info` metrics ignore it. The
+    /// tolerance lives in the metric (and therefore in the committed
+    /// baseline) so every gated bound is reviewable in the diff.
+    pub tol: Option<f64>,
 }
 
 /// The `BENCH_<name>.json` payload a `--json` bench run writes.
@@ -324,6 +337,18 @@ impl BenchReport {
             name: name.into(),
             kind,
             value,
+            tol: None,
+        });
+    }
+
+    /// Appends one measurement carrying its own gate tolerance
+    /// (schema v2; see [`Metric::tol`]).
+    pub fn push_gated(&mut self, name: impl Into<String>, kind: MetricKind, value: f64, tol: f64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            kind,
+            value,
+            tol: Some(tol),
         });
     }
 
@@ -368,11 +393,15 @@ impl BenchReport {
         );
         out.push_str("  \"metrics\": [\n");
         for (i, m) in self.metrics.iter().enumerate() {
-            let row = Json::Obj(vec![
+            let mut fields = vec![
                 ("name".to_string(), Json::Str(m.name.clone())),
                 ("kind".to_string(), Json::Str(m.kind.as_str().to_string())),
                 ("value".to_string(), Json::Num(m.value)),
-            ]);
+            ];
+            if let Some(t) = m.tol {
+                fields.push(("tol".to_string(), Json::Num(t)));
+            }
+            let row = Json::Obj(fields);
             let sep = if i + 1 == self.metrics.len() { "" } else { "," };
             let _ = writeln!(out, "    {}{sep}", row.render());
         }
@@ -417,7 +446,22 @@ impl BenchReport {
                 .get("value")
                 .and_then(Json::as_num)
                 .ok_or("metric missing value")?;
-            metrics.push(Metric { name, kind, value });
+            let tol = match row.get("tol") {
+                None => None,
+                Some(j) => {
+                    let t = j.as_num().ok_or(format!("{name}: tol must be a number"))?;
+                    if !t.is_finite() || t < 1.0 {
+                        return Err(format!("{name}: tol {t} must be finite and ≥ 1"));
+                    }
+                    Some(t)
+                }
+            };
+            metrics.push(Metric {
+                name,
+                kind,
+                value,
+                tol,
+            });
         }
         Ok(Self { bench, metrics })
     }
@@ -447,12 +491,16 @@ pub fn gate(
     gate_with_latency(baseline, current, tolerance, None)
 }
 
-/// [`gate`] with an optional latency ceiling: when `latency_tolerance`
-/// is `Some(t)`, a `LatencyNs` metric fails if it exceeds
-/// `baseline × t` (latencies stay informational when `None`, and a
-/// zero baseline — an unexercised histogram — is never gated). This is
-/// how serve-latency p99 regressions fail perf-smoke without making
-/// noisy tail quantiles an exact-match liability.
+/// [`gate`] with an optional latency ceiling: a `LatencyNs` metric
+/// whose baseline carries a per-metric `tol` fails if it exceeds
+/// `baseline × tol`; otherwise, when `latency_tolerance` is `Some(t)`,
+/// it fails above `baseline × t` (latencies stay informational when
+/// neither is present, and a zero baseline — an unexercised histogram —
+/// is never gated). A `Throughput` baseline with a `tol` uses it in
+/// place of the global `tolerance` divisor. This is how latency-quantile
+/// regressions fail perf-smoke without making noisy tails an
+/// exact-match liability, and how each bound stays reviewable in the
+/// committed baseline.
 pub fn gate_with_latency(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -490,6 +538,14 @@ pub fn gate_with_latency(
             ));
             continue;
         }
+        if cur.tol != base.tol {
+            failures.push(format!(
+                "schema drift: {} tol {:?} vs baseline {:?} (the bench binary sets tol; \
+                 re-generate bench/baselines)",
+                base.name, cur.tol, base.tol
+            ));
+            continue;
+        }
         match base.kind {
             MetricKind::Count => {
                 let eps = 1e-6 * base.value.abs().max(1.0);
@@ -503,7 +559,7 @@ pub fn gate_with_latency(
                 }
             }
             MetricKind::Throughput => {
-                let floor = base.value / tolerance;
+                let floor = base.value / base.tol.unwrap_or(tolerance);
                 if cur.value < floor {
                     failures.push(format!(
                         "throughput floor: {} = {:.0} < {:.0} (baseline {:.0} / {tolerance}x)",
@@ -516,7 +572,7 @@ pub fn gate_with_latency(
                     ));
                 }
             }
-            MetricKind::LatencyNs => match latency_tolerance {
+            MetricKind::LatencyNs => match base.tol.or(latency_tolerance) {
                 Some(t) if base.value > 0.0 => {
                     let ceiling = base.value * t;
                     if cur.value > ceiling {
@@ -630,6 +686,78 @@ mod tests {
         // A zero baseline (unexercised histogram) is never gated.
         let zero = report(&[("p99", MetricKind::LatencyNs, 0.0)]);
         assert!(gate_with_latency(&zero, &slow, 3.0, Some(10.0)).is_ok());
+    }
+
+    #[test]
+    fn tol_roundtrips_through_json() {
+        let mut r = BenchReport::new("lat");
+        r.push_gated("prefix.d2.p50_ns", MetricKind::LatencyNs, 180.0, 5.0);
+        r.push_gated("prefix.d2.p99_ns", MetricKind::LatencyNs, 420.0, 8.0);
+        r.push("reads", MetricKind::Count, 37.0);
+        let back = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(back.metrics[0].tol, Some(5.0));
+        assert_eq!(back.metrics[1].tol, Some(8.0));
+        assert_eq!(back.metrics[2].tol, None);
+        assert_eq!(back.metrics[0].kind, MetricKind::LatencyNs);
+        assert_eq!(back.metrics[0].value, 180.0);
+    }
+
+    #[test]
+    fn parse_rejects_v1_reports_and_bad_tol() {
+        // A v1 report (no tol fields, old version stamp) must be an
+        // explicit failure, not a silently tolerated baseline.
+        let v1 = "{\"schema_version\": 1, \"bench\": \"t\", \"metrics\": [\
+                  {\"name\":\"a\",\"kind\":\"count\",\"value\":1}]}";
+        assert!(BenchReport::parse(v1)
+            .unwrap_err()
+            .contains("schema_version"));
+        // tol must be a finite number ≥ 1 (a sub-unity tolerance would
+        // gate tighter than the baseline itself — always a typo).
+        let bad = "{\"schema_version\": 2, \"bench\": \"t\", \"metrics\": [\
+                   {\"name\":\"a\",\"kind\":\"latency_ns\",\"value\":10,\"tol\":0.5}]}";
+        assert!(BenchReport::parse(bad).unwrap_err().contains("tol"));
+        let nan = "{\"schema_version\": 2, \"bench\": \"t\", \"metrics\": [\
+                   {\"name\":\"a\",\"kind\":\"latency_ns\",\"value\":10,\"tol\":\"x\"}]}";
+        assert!(BenchReport::parse(nan).unwrap_err().contains("tol"));
+    }
+
+    #[test]
+    fn per_metric_tol_gates_latency_without_global_flag() {
+        let mut base = BenchReport::new("t");
+        base.push_gated("p99", MetricKind::LatencyNs, 1_000.0, 5.0);
+        let mut ok = BenchReport::new("t");
+        ok.push_gated("p99", MetricKind::LatencyNs, 4_900.0, 5.0);
+        assert!(gate(&base, &ok, 3.0).is_ok());
+        // 6µs > 1µs × 5: out-of-tolerance p99 regression fails even
+        // though no --latency-tolerance was passed.
+        let mut slow = BenchReport::new("t");
+        slow.push_gated("p99", MetricKind::LatencyNs, 6_000.0, 5.0);
+        let err = gate(&base, &slow, 3.0).unwrap_err();
+        assert!(err.contains("latency ceiling"), "{err}");
+    }
+
+    #[test]
+    fn per_metric_tol_overrides_global_throughput_divisor() {
+        let mut base = BenchReport::new("t");
+        base.push_gated("rate", MetricKind::Throughput, 100.0, 1.5);
+        let mut cur = BenchReport::new("t");
+        // Within the loose global 3x but below the metric's own 1.5x
+        // floor: must fail.
+        cur.push_gated("rate", MetricKind::Throughput, 50.0, 1.5);
+        assert!(gate(&base, &cur, 3.0).unwrap_err().contains("floor"));
+        let mut fine = BenchReport::new("t");
+        fine.push_gated("rate", MetricKind::Throughput, 70.0, 1.5);
+        assert!(gate(&base, &fine, 3.0).is_ok());
+    }
+
+    #[test]
+    fn tol_drift_is_schema_drift() {
+        let mut base = BenchReport::new("t");
+        base.push_gated("p99", MetricKind::LatencyNs, 1_000.0, 5.0);
+        let mut cur = BenchReport::new("t");
+        cur.push("p99", MetricKind::LatencyNs, 1_000.0);
+        let err = gate(&base, &cur, 3.0).unwrap_err();
+        assert!(err.contains("schema drift"), "{err}");
     }
 
     #[test]

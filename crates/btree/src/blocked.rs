@@ -1,0 +1,256 @@
+//! Implicit blocked cumulative store — the B^c tree flattened into two
+//! arrays (Pibiri–Venturini's truncated-tree layout).
+//!
+//! The paper's B^c tree (§4.1) groups values into fanout-sized blocks
+//! with cumulative counts above them; this store keeps exactly that
+//! shape but drops the pointers. Raw values live in dense leaf blocks of
+//! [`DEFAULT_BLOCK`] slots; one implicit Fenwick-layout array over the
+//! per-block totals replaces the interior nodes. A prefix sum reads
+//! `O(log(k / B))` summary slots — the descent loop clears one bit per
+//! step (`i &= i - 1`), no compare-and-branch — then sums at most `B`
+//! raw slots from one contiguous block (the truncated tail). Updates
+//! touch one raw slot plus the summary path.
+//!
+//! Compared to the pointer-based [`crate::BcTree`] this loses positional
+//! insertion (growth requires a rebuild, like [`crate::Fenwick`]) and
+//! wins the constant factor: every access is an index walk over two flat
+//! arrays.
+
+use crate::store::CumulativeStore;
+use ddc_array::{AbelianGroup, OpCounter};
+
+/// Raw slots per dense leaf block (power of two; the truncated tail
+/// sums at most this many raw values per query).
+pub const DEFAULT_BLOCK: usize = 16;
+
+/// An implicit blocked B^c layout over group values, 0-based external
+/// indices.
+///
+/// # Examples
+///
+/// ```
+/// use ddc_btree::{BlockedBc, CumulativeStore};
+///
+/// let mut b = BlockedBc::from_values(&[3i64, 1, 4, 1, 5]);
+/// assert_eq!(b.prefix(2), 8);
+/// b.add(1, 10);
+/// assert_eq!(b.range(1, 3), 16);
+/// assert_eq!(b.total(), 24);
+/// ```
+#[derive(Debug)]
+pub struct BlockedBc<G: AbelianGroup> {
+    /// Raw values, zero-padded to a whole number of blocks.
+    raw: Vec<G>,
+    /// 1-based implicit Fenwick layout over per-block totals;
+    /// `summary[0]` is unused padding.
+    summary: Vec<G>,
+    len: usize,
+    counter: OpCounter,
+}
+
+impl<G: AbelianGroup> Clone for BlockedBc<G> {
+    fn clone(&self) -> Self {
+        Self {
+            raw: self.raw.clone(),
+            summary: self.summary.clone(),
+            len: self.len,
+            counter: OpCounter::new(),
+        }
+    }
+}
+
+impl<G: AbelianGroup> BlockedBc<G> {
+    /// A store of `len` zero values.
+    pub fn zeroed(len: usize) -> Self {
+        let blocks = len.div_ceil(DEFAULT_BLOCK);
+        Self {
+            raw: vec![G::ZERO; blocks * DEFAULT_BLOCK],
+            summary: vec![G::ZERO; blocks + 1],
+            len,
+            counter: OpCounter::new(),
+        }
+    }
+
+    /// Builds from raw values in `O(k)`: one copy plus the Fenwick
+    /// parent-propagation pass over the block totals.
+    pub fn from_values(values: &[G]) -> Self {
+        let len = values.len();
+        let blocks = len.div_ceil(DEFAULT_BLOCK);
+        let mut raw = vec![G::ZERO; blocks * DEFAULT_BLOCK];
+        raw[..len].copy_from_slice(values);
+        let mut summary = vec![G::ZERO; blocks + 1];
+        for b in 0..blocks {
+            let base = b * DEFAULT_BLOCK;
+            let sum = raw[base..base + DEFAULT_BLOCK]
+                .iter()
+                .fold(G::ZERO, |acc, &v| acc.add(v));
+            let pos = b + 1;
+            summary[pos] = summary[pos].add(sum);
+            let parent = pos + (pos & pos.wrapping_neg());
+            if parent <= blocks {
+                let t = summary[pos];
+                summary[parent] = summary[parent].add(t);
+            }
+        }
+        Self {
+            raw,
+            summary,
+            len,
+            counter: OpCounter::new(),
+        }
+    }
+}
+
+impl<G: AbelianGroup> CumulativeStore<G> for BlockedBc<G> {
+    fn name(&self) -> &'static str {
+        "blocked-bc"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn prefix(&self, index: usize) -> G {
+        assert!(
+            index < self.len,
+            "prefix index {index} beyond length {}",
+            self.len
+        );
+        let block = index / DEFAULT_BLOCK;
+        // Whole blocks before the target: implicit Fenwick prefix.
+        let mut acc = G::ZERO;
+        let mut i = block;
+        let mut summary_reads = 0;
+        while i > 0 {
+            acc = acc.add(self.summary[i]);
+            summary_reads += 1;
+            i &= i - 1;
+        }
+        // Truncated tail: contiguous raw slots of the target's block.
+        let base = block * DEFAULT_BLOCK;
+        for &v in &self.raw[base..=index] {
+            acc = acc.add(v);
+        }
+        self.counter.read(summary_reads + (index - base + 1) as u64);
+        acc
+    }
+
+    fn value(&self, index: usize) -> G {
+        assert!(index < self.len, "index {index} beyond length {}", self.len);
+        self.counter.read(1);
+        self.raw[index]
+    }
+
+    fn add(&mut self, index: usize, delta: G) {
+        assert!(index < self.len, "index {index} beyond length {}", self.len);
+        if delta.is_zero() {
+            return;
+        }
+        self.raw[index] = self.raw[index].add(delta);
+        let mut writes = 1;
+        let blocks = self.summary.len() - 1;
+        // Queries Fenwick-walk the blocks *before* the target and then
+        // scan the target block raw, so no prefix ever reads a summary
+        // position ≥ `blocks`; stopping the update path there skips the
+        // dead root entry (and all summary work for single-block stores).
+        let mut i = index / DEFAULT_BLOCK + 1;
+        while i < blocks {
+            self.summary[i] = self.summary[i].add(delta);
+            writes += 1;
+            i += i & i.wrapping_neg();
+        }
+        self.counter.write(writes);
+    }
+
+    fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.raw.capacity() + self.summary.capacity()) * std::mem::size_of::<G>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_scan() {
+        let values: Vec<i64> = (0..300).map(|i| (i * 31 % 97) - 48).collect();
+        let b = BlockedBc::from_values(&values);
+        let mut acc = 0;
+        for (i, &v) in values.iter().enumerate() {
+            acc += v;
+            assert_eq!(b.prefix(i), acc, "prefix({i})");
+            assert_eq!(b.value(i), v, "value({i})");
+        }
+    }
+
+    #[test]
+    fn updates_match_scan() {
+        let mut values = vec![0i64; 50];
+        let mut b = BlockedBc::<i64>::zeroed(50);
+        for step in 0..300 {
+            let idx = (step * 7) % 50;
+            let delta = (step as i64 % 11) - 5;
+            values[idx] += delta;
+            b.add(idx, delta);
+        }
+        for i in 0..50 {
+            let expect: i64 = values[..=i].iter().sum();
+            assert_eq!(b.prefix(i), expect);
+        }
+    }
+
+    #[test]
+    fn lengths_straddling_block_boundaries() {
+        for len in [
+            1,
+            DEFAULT_BLOCK - 1,
+            DEFAULT_BLOCK,
+            DEFAULT_BLOCK + 1,
+            3 * DEFAULT_BLOCK + 5,
+        ] {
+            let values: Vec<i64> = (0..len as i64).map(|i| i * 3 - 7).collect();
+            let b = BlockedBc::from_values(&values);
+            assert_eq!(b.len(), len);
+            let mut acc = 0;
+            for (i, &v) in values.iter().enumerate() {
+                acc += v;
+                assert_eq!(b.prefix(i), acc, "len {len} prefix({i})");
+            }
+            assert_eq!(b.total(), acc, "len {len} total");
+        }
+    }
+
+    #[test]
+    fn set_and_range() {
+        let mut b = BlockedBc::from_values(&[10i64, 20, 30]);
+        assert_eq!(b.set(1, 25), 20);
+        assert_eq!(b.range(0, 2), 65);
+        assert_eq!(b.range(1, 1), 25);
+    }
+
+    #[test]
+    fn query_cost_is_summary_path_plus_one_block() {
+        let b = BlockedBc::<i64>::zeroed(1 << 20);
+        b.reset_ops();
+        let _ = b.prefix((1 << 20) - 1);
+        // ≤ log2(2^20 / B) summary reads + B raw reads.
+        let bound = (20 - DEFAULT_BLOCK.trailing_zeros() as u64) + DEFAULT_BLOCK as u64;
+        assert!(b.ops().reads <= bound, "read {} values", b.ops().reads);
+    }
+
+    #[test]
+    fn matches_the_pointer_based_bc_tree() {
+        use crate::BcTree;
+        let values: Vec<i64> = (0..200).map(|i| (i * 13 % 53) - 26).collect();
+        let blocked = BlockedBc::from_values(&values);
+        let pointered = BcTree::from_values(4, &values);
+        for i in 0..values.len() {
+            assert_eq!(blocked.prefix(i), pointered.prefix(i), "prefix({i})");
+        }
+    }
+}

@@ -315,9 +315,13 @@ pub fn lint_file(rel_path: &str, raw: &str) -> Vec<Finding> {
     };
 
     // The serving layer parses untrusted network bytes: it carries the
-    // same no-panic and facade-only-sync obligations as core.
-    let in_core =
-        rel_path.starts_with("crates/core/src") || rel_path.starts_with("crates/serve/src");
+    // same no-panic and facade-only-sync obligations as core. The
+    // blocked base store is on every hot path of the arena tree, so it
+    // is enrolled with zero waivers; the pointer-based bc_tree keeps
+    // its contract panics from before the rule existed.
+    let in_core = rel_path.starts_with("crates/core/src")
+        || rel_path.starts_with("crates/serve/src")
+        || rel_path == "crates/btree/src/blocked.rs";
     let is_facade = rel_path == "crates/core/src/sync.rs";
     let in_model = rel_path.starts_with("crates/model/");
     // Model-checker scenarios are assertion code: panicking is their

@@ -1,7 +1,5 @@
 //! Construction-time configuration of a Dynamic Data Cube.
 
-use ddc_btree::DEFAULT_FANOUT;
-
 /// How overlay row-sum groups are stored (paper §3 vs §4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Mode {
@@ -22,6 +20,11 @@ pub enum Mode {
 /// base case of §4.2).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum BaseStore {
+    /// The B^c tree's implicit blocked layout (the default): dense leaf
+    /// blocks of raw values under a flat Fenwick-layout summary array —
+    /// same asymptotics as [`BaseStore::Bc`], branchless index
+    /// arithmetic instead of pointer descent.
+    Blocked,
     /// The paper's Cumulative B-Tree (§4.1) with the given fanout `f`.
     Bc {
         /// Maximum children per interior node / values per leaf.
@@ -56,16 +59,16 @@ impl Default for DdcConfig {
     fn default() -> Self {
         Self {
             mode: Mode::Dynamic,
-            base: BaseStore::Bc {
-                fanout: DEFAULT_FANOUT,
-            },
+            base: BaseStore::Blocked,
             elide_levels: 0,
         }
     }
 }
 
 impl DdcConfig {
-    /// The paper's §4 structure with defaults (B^c base, no elision).
+    /// The paper's §4 structure with defaults (blocked B^c base, no
+    /// elision). [`BaseStore::Bc`] keeps the pointer-based original for
+    /// comparison runs.
     pub fn dynamic() -> Self {
         Self::default()
     }
@@ -135,6 +138,7 @@ impl Default for WalConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ddc_btree::DEFAULT_FANOUT;
 
     #[test]
     fn wal_defaults_verify() {
@@ -147,14 +151,20 @@ mod tests {
     fn defaults_are_the_paper_structure() {
         let c = DdcConfig::default();
         assert_eq!(c.mode, Mode::Dynamic);
+        // The paper's B^c base case, in its implicit blocked layout.
+        assert_eq!(c.base, BaseStore::Blocked);
+        assert_eq!(c.elide_levels, 0);
+        assert_eq!(c.leaf_block_side(), 2);
+        // The pointer-based original stays selectable.
+        let bc = DdcConfig::dynamic().with_base(BaseStore::Bc {
+            fanout: DEFAULT_FANOUT,
+        });
         assert_eq!(
-            c.base,
+            bc.base,
             BaseStore::Bc {
                 fanout: DEFAULT_FANOUT
             }
         );
-        assert_eq!(c.elide_levels, 0);
-        assert_eq!(c.leaf_block_side(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   memory, which is how empty regions of a sparse cube stay free (§5).
 
 use ddc_array::{AbelianGroup, OpCounter};
-use ddc_btree::{BcTree, CumulativeStore, Fenwick, SparseSegTree};
+use ddc_btree::{BcTree, BlockedBc, CumulativeStore, Fenwick, SparseSegTree};
 
 use crate::config::{BaseStore, DdcConfig, Mode};
 use crate::flat_face::FlatFace;
@@ -27,7 +27,11 @@ pub(crate) enum Secondary<G: AbelianGroup> {
     Empty,
     /// Basic mode (§3): cumulative values stored directly.
     Flat(FlatFace<G>),
-    /// Dynamic mode base case (§4.1): one-dimensional group in a B^c tree.
+    /// Dynamic mode base case, default layout: the B^c tree flattened
+    /// into implicit blocked arrays (branchless hot path).
+    Blocked(BlockedBc<G>),
+    /// Dynamic mode base case (§4.1): one-dimensional group in the
+    /// pointer-based B^c tree.
     Bc(BcTree<G>),
     /// One-dimensional group in a Fenwick tree (ablation).
     Fen(Fenwick<G>),
@@ -48,6 +52,7 @@ impl<G: AbelianGroup> Secondary<G> {
             Mode::Dynamic => {
                 if face_dims == 1 {
                     match config.base {
+                        BaseStore::Blocked => Secondary::Blocked(BlockedBc::zeroed(k)),
                         BaseStore::Bc { fanout } => Secondary::Bc(BcTree::zeroed(fanout, k)),
                         BaseStore::Fenwick => Secondary::Fen(Fenwick::zeroed(k)),
                         BaseStore::SparseSeg => Secondary::Seg(SparseSegTree::zeroed(k)),
@@ -75,6 +80,9 @@ impl<G: AbelianGroup> Secondary<G> {
             Mode::Dynamic => {
                 if raw.shape().ndim() == 1 {
                     match config.base {
+                        BaseStore::Blocked => {
+                            Secondary::Blocked(BlockedBc::from_values(raw.as_slice()))
+                        }
                         BaseStore::Bc { fanout } => {
                             Secondary::Bc(BcTree::from_values(fanout, raw.as_slice()))
                         }
@@ -96,6 +104,7 @@ impl<G: AbelianGroup> Secondary<G> {
         match self {
             Secondary::Empty => G::ZERO,
             Secondary::Flat(f) => f.prefix(idx, counter),
+            Secondary::Blocked(t) => absorb_read(t, idx[0], counter),
             Secondary::Bc(t) => absorb_read(t, idx[0], counter),
             Secondary::Fen(t) => absorb_read(t, idx[0], counter),
             Secondary::Seg(t) => absorb_read(t, idx[0], counter),
@@ -124,6 +133,7 @@ impl<G: AbelianGroup> Secondary<G> {
         match self {
             Secondary::Empty => unreachable!("materialized above"),
             Secondary::Flat(f) => f.add(idx, delta, counter),
+            Secondary::Blocked(t) => absorb_write(t, idx[0], delta, counter),
             Secondary::Bc(t) => absorb_write(t, idx[0], delta, counter),
             Secondary::Fen(t) => absorb_write(t, idx[0], delta, counter),
             Secondary::Seg(t) => absorb_write(t, idx[0], delta, counter),
@@ -140,6 +150,7 @@ impl<G: AbelianGroup> Secondary<G> {
         match self {
             Secondary::Empty => 0,
             Secondary::Flat(f) => f.heap_bytes(),
+            Secondary::Blocked(t) => t.heap_bytes(),
             Secondary::Bc(t) => t.heap_bytes(),
             Secondary::Fen(t) => t.heap_bytes(),
             Secondary::Seg(t) => t.heap_bytes(),
@@ -186,6 +197,7 @@ mod tests {
     #[test]
     fn one_dimensional_base_stores_agree() {
         for base in [
+            BaseStore::Blocked,
             BaseStore::Bc { fanout: 3 },
             BaseStore::Fenwick,
             BaseStore::SparseSeg,

@@ -1,4 +1,5 @@
-//! The primary tree of the Dynamic Data Cube (§3.2, §4.2).
+//! The primary tree of the Dynamic Data Cube (§3.2, §4.2), stored in
+//! flat arenas.
 //!
 //! A [`DdcTree`] recursively bisects the (power-of-two) data space. Each
 //! node holds `2^d` **overlay boxes** of side `k` (half the node's side);
@@ -16,6 +17,26 @@
 //! Updates ([`DdcTree::apply_delta`]) implement Figure 12 bottom-up with
 //! the difference value: one box per level absorbs the delta into its
 //! subtotal and its `d` row-sum groups.
+//!
+//! ## Arena layout (DESIGN §43)
+//!
+//! Nodes are not heap objects: the tree is four parallel `Vec`s indexed
+//! by a packed u32 [`ChildRef`]. Node `n` owns the `2^d` consecutive
+//! slots `[n·2^d, (n+1)·2^d)` of `children` (packed child references)
+//! and `boxes` (inline overlay boxes); dense leaf blocks live in the
+//! separate `leaves` arena. Descent is an index walk over contiguous
+//! memory — no pointer chasing — and box classification is branchless:
+//! the boxes contributing to a prefix query at a node are exactly the
+//! submasks of the "high-half" bitmask of the target coordinates, so
+//! the query enumerates submasks and mask-selects the cross coordinates
+//! instead of testing per-dimension statuses.
+//!
+//! [`DdcTree::prune`] returns dead slots to per-arena free lists;
+//! allocation pops a free slot before growing the arena, and when free
+//! slots outnumber live ones the whole tree is compacted into fresh
+//! exactly-sized arenas, releasing the memory. [`DdcTree::check_arena`]
+//! audits this bookkeeping (reachability ∪ free lists = all slots, with
+//! no overlap and no dangling or duplicated references).
 //!
 //! Additional paper features carried by this type:
 //!
@@ -35,7 +56,48 @@ use ddc_array::{AbelianGroup, NdArray, OpCounter, OpSnapshot, Region, Shape};
 use crate::config::DdcConfig;
 use crate::secondary::Secondary;
 
-/// One overlay box: subtotal plus `d` row-sum groups (§3.1).
+/// Tag bit distinguishing leaf-arena from node-arena references.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// Packed reference to a child: empty, a node-arena id, or a
+/// leaf-arena id (tagged with [`LEAF_BIT`]). `u32::MAX` is the empty
+/// sentinel — it has the leaf bit set, so emptiness must be checked
+/// before the leaf tag.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct ChildRef(u32);
+
+impl ChildRef {
+    const EMPTY: ChildRef = ChildRef(u32::MAX);
+
+    fn node(ix: u32) -> Self {
+        assert!(ix < LEAF_BIT, "node arena overflow");
+        ChildRef(ix)
+    }
+
+    fn leaf(ix: u32) -> Self {
+        assert!(ix < LEAF_BIT - 1, "leaf arena overflow");
+        ChildRef(ix | LEAF_BIT)
+    }
+
+    #[inline]
+    fn is_empty(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    #[inline]
+    fn is_leaf(self) -> bool {
+        !self.is_empty() && self.0 & LEAF_BIT != 0
+    }
+
+    /// Arena index, valid for non-empty references only.
+    #[inline]
+    fn index(self) -> usize {
+        (self.0 & !LEAF_BIT) as usize
+    }
+}
+
+/// One overlay box: subtotal plus `d` row-sum groups (§3.1). Stored
+/// inline in the node arena, parallel to the child slot it covers.
 #[derive(Debug)]
 pub(crate) struct OverlayBox<G: AbelianGroup> {
     /// Sum of every cell of `A` covered by the box.
@@ -55,9 +117,10 @@ impl<G: AbelianGroup> OverlayBox<G> {
         }
     }
 
-    fn heap_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.faces.len() * std::mem::size_of::<Secondary<G>>()
+    /// Heap bytes owned *behind* the box (the arena slot itself is
+    /// billed by capacity in [`DdcTree::heap_bytes`]).
+    fn inner_heap_bytes(&self) -> usize {
+        self.faces.len() * std::mem::size_of::<Secondary<G>>()
             + self.faces.iter().map(Secondary::heap_bytes).sum::<usize>()
     }
 }
@@ -88,67 +151,6 @@ impl<G: AbelianGroup> LeafBlock<G> {
     fn total(&self) -> G {
         self.cells.total()
     }
-}
-
-/// A child slot of an overlay box.
-#[derive(Debug, Default)]
-pub(crate) enum Child<G: AbelianGroup> {
-    /// Empty region — no storage (§5 sparsity).
-    #[default]
-    Empty,
-    /// Interior subtree (box side > leaf-block side).
-    Node(Box<Node<G>>),
-    /// Dense raw cells (box side == leaf-block side).
-    Leaf(LeafBlock<G>),
-}
-
-/// An interior tree node: `2^d` overlay boxes and their children.
-#[derive(Debug)]
-pub(crate) struct Node<G: AbelianGroup> {
-    boxes: Box<[Option<OverlayBox<G>>]>,
-    children: Box<[Child<G>]>,
-}
-
-impl<G: AbelianGroup> Node<G> {
-    fn new(d: usize) -> Self {
-        let n = 1usize << d;
-        let boxes: Vec<Option<OverlayBox<G>>> = (0..n).map(|_| None).collect();
-        let children: Vec<Child<G>> = (0..n).map(|_| Child::Empty).collect();
-        Self {
-            boxes: boxes.into_boxed_slice(),
-            children: children.into_boxed_slice(),
-        }
-    }
-
-    fn heap_bytes(&self) -> usize {
-        let mut bytes = std::mem::size_of::<Self>()
-            + self.boxes.len()
-                * (std::mem::size_of::<Option<OverlayBox<G>>>() + std::mem::size_of::<Child<G>>());
-        for b in self.boxes.iter().flatten() {
-            bytes += b.heap_bytes();
-        }
-        for c in self.children.iter() {
-            match c {
-                Child::Empty => {}
-                Child::Node(n) => bytes += n.heap_bytes(),
-                Child::Leaf(l) => {
-                    bytes += std::mem::size_of::<LeafBlock<G>>() + l.cells.heap_bytes();
-                }
-            }
-        }
-        bytes
-    }
-}
-
-/// Per-dimension relation of the target prefix cell to an overlay box.
-/// (A third case — the cell *preceding* the box — short-circuits the whole
-/// box before any status is recorded.)
-#[derive(Copy, Clone, PartialEq, Eq)]
-enum DimStatus {
-    /// Target coordinate falls inside the box's extent.
-    Partial,
-    /// Target region spans the box's whole extent in this dimension.
-    Full,
 }
 
 /// How one overlay box contributed to a traced query (Figure 11's
@@ -206,6 +208,14 @@ pub struct TreeStats {
     pub depth: usize,
     /// Per-level breakdown, index = level.
     pub per_level: Vec<LevelStats>,
+    /// Node-arena slots (live + free-listed).
+    pub node_slots: usize,
+    /// Node-arena slots on the free list.
+    pub free_node_slots: usize,
+    /// Leaf-arena slots (live + free-listed).
+    pub leaf_slots: usize,
+    /// Leaf-arena slots on the free list.
+    pub free_leaf_slots: usize,
 }
 
 /// One level's slice of [`TreeStats`].
@@ -228,7 +238,19 @@ pub struct DdcTree<G: AbelianGroup> {
     d: usize,
     side: usize,
     config: DdcConfig,
-    root: Child<G>,
+    root: ChildRef,
+    /// Node arena: node `n` owns slots `[n·2^d, (n+1)·2^d)`.
+    children: Vec<ChildRef>,
+    /// Overlay boxes, parallel to `children` slot for slot.
+    boxes: Vec<Option<OverlayBox<G>>>,
+    /// Leaf-block arena, indexed by [`ChildRef::leaf`] ids.
+    leaves: Vec<Option<LeafBlock<G>>>,
+    /// Free node ids awaiting reuse (slots cleared).
+    node_free: Vec<u32>,
+    /// Free leaf ids awaiting reuse (slots vacated).
+    leaf_free: Vec<u32>,
+    /// Reused coordinate buffer for the update path.
+    scratch: Vec<usize>,
     counter: OpCounter,
 }
 
@@ -245,9 +267,80 @@ impl<G: AbelianGroup> DdcTree<G> {
             d,
             side,
             config,
-            root: Child::Empty,
+            root: ChildRef::EMPTY,
+            children: Vec::new(),
+            boxes: Vec::new(),
+            leaves: Vec::new(),
+            node_free: Vec::new(),
+            leaf_free: Vec::new(),
+            scratch: Vec::new(),
             counter: OpCounter::new(),
         }
+    }
+
+    /// Box slots per node.
+    #[inline]
+    fn stride(&self) -> usize {
+        1 << self.d
+    }
+
+    /// Allocates a node id, preferring the free list; fresh slots are
+    /// already cleared (children empty, boxes vacant).
+    fn alloc_node(&mut self) -> u32 {
+        if let Some(id) = self.node_free.pop() {
+            return id;
+        }
+        let stride = self.stride();
+        let id = (self.children.len() / stride) as u32;
+        assert!(id < LEAF_BIT, "node arena overflow");
+        self.children
+            .resize(self.children.len() + stride, ChildRef::EMPTY);
+        self.boxes.resize_with(self.boxes.len() + stride, || None);
+        id
+    }
+
+    /// Stores a leaf block, preferring a free slot.
+    fn alloc_leaf(&mut self, block: LeafBlock<G>) -> u32 {
+        if let Some(id) = self.leaf_free.pop() {
+            self.leaves[id as usize] = Some(block);
+            return id;
+        }
+        let id = self.leaves.len() as u32;
+        assert!(id < LEAF_BIT - 1, "leaf arena overflow");
+        self.leaves.push(Some(block));
+        id
+    }
+
+    /// Clears one node's slots (dropping its boxes) and free-lists it.
+    fn free_node(&mut self, id: u32) {
+        let base = (id as usize) << self.d;
+        for s in 0..self.stride() {
+            self.children[base + s] = ChildRef::EMPTY;
+            self.boxes[base + s] = None;
+        }
+        self.node_free.push(id);
+    }
+
+    /// Vacates one leaf slot and free-lists it.
+    fn free_leaf(&mut self, id: u32) {
+        self.leaves[id as usize] = None;
+        self.leaf_free.push(id);
+    }
+
+    /// Returns a whole subtree's slots to the free lists.
+    fn free_subtree(&mut self, c: ChildRef) {
+        if c.is_empty() {
+            return;
+        }
+        if c.is_leaf() {
+            self.free_leaf(c.index() as u32);
+            return;
+        }
+        let base = c.index() << self.d;
+        for s in 0..self.stride() {
+            self.free_subtree(self.children[base + s]);
+        }
+        self.free_node(c.index() as u32);
     }
 
     /// Bulk-builds a tree over `a` (padded with zeros up to `side`) in one
@@ -265,33 +358,27 @@ impl<G: AbelianGroup> DdcTree<G> {
             a.shape()
         );
         let mut tree = Self::new(d, side, config);
-        let leaf_side = tree.leaf_side();
         let lo = vec![0usize; d];
-        tree.root = Self::build_child(a, side, &lo, leaf_side, &config, d);
+        tree.root = tree.build_child(a, side, &lo);
         tree
     }
 
-    /// Builds the subtree covering `[lo, lo + side)`; `Child::Empty` when
-    /// the region holds no non-zero cells.
-    fn build_child(
-        a: &NdArray<G>,
-        side: usize,
-        lo: &[usize],
-        leaf_side: usize,
-        config: &DdcConfig,
-        d: usize,
-    ) -> Child<G> {
-        // Intersection of the covered region with the array's extent.
-        let mut hi = Vec::with_capacity(d);
+    /// Builds the subtree covering `[lo, lo + side)` into the arenas;
+    /// `EMPTY` when the region holds no non-zero cells.
+    fn build_child(&mut self, a: &NdArray<G>, side: usize, lo: &[usize]) -> ChildRef {
+        let d = self.d;
         for (&l, &n) in lo.iter().zip(a.shape().dims()) {
             if l >= n {
-                return Child::Empty; // fully in the zero padding
+                return ChildRef::EMPTY; // fully in the zero padding
             }
-            hi.push((l + side - 1).min(n - 1));
         }
-        let region = Region::new(lo, &hi);
-
-        if side <= leaf_side {
+        if side <= self.leaf_side() {
+            // Intersection of the covered region with the array's extent.
+            let mut hi = Vec::with_capacity(d);
+            for (&l, &n) in lo.iter().zip(a.shape().dims()) {
+                hi.push((l + side - 1).min(n - 1));
+            }
+            let region = Region::new(lo, &hi);
             let mut block = LeafBlock::zeroed(d, side);
             let mut any = false;
             let mut buf = vec![0usize; d];
@@ -308,45 +395,46 @@ impl<G: AbelianGroup> DdcTree<G> {
                 }
             }
             return if any {
-                Child::Leaf(block)
+                ChildRef::leaf(self.alloc_leaf(block))
             } else {
-                Child::Empty
+                ChildRef::EMPTY
             };
         }
 
         let k = side / 2;
-        let mut node = Node::<G>::new(d);
+        let id = self.alloc_node();
         let mut any_box = false;
         let mut box_lo = vec![0usize; d];
-        for bi in 0..(1usize << d) {
+        for bi in 0..self.stride() {
             for i in 0..d {
                 box_lo[i] = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
             }
-            if let Some((obox, child)) = Self::build_box(a, k, &box_lo, leaf_side, config, d) {
+            if let Some(obox) = Self::scan_box(a, k, &box_lo, d, &self.config) {
                 any_box = true;
-                node.boxes[bi] = Some(obox);
-                node.children[bi] = child;
+                let child = self.build_child(a, k, &box_lo);
+                let base = (id as usize) << d;
+                self.boxes[base + bi] = Some(obox);
+                self.children[base + bi] = child;
             }
         }
         if any_box {
-            Child::Node(Box::new(node))
+            ChildRef::node(id)
         } else {
-            Child::Empty
+            self.free_node(id);
+            ChildRef::EMPTY
         }
     }
 
-    /// Builds one overlay box (subtotal + row-sum groups) and its child
-    /// subtree over region `[box_lo, box_lo + k)`; `None` when the region
-    /// holds no non-zero cells. One scan accumulates the subtotal and all
-    /// `d` raw row-sum groups.
-    fn build_box(
+    /// Scans region `[box_lo, box_lo + k)` of `a`, accumulating one
+    /// overlay box (subtotal + row-sum groups); `None` when the region
+    /// holds no non-zero cells.
+    fn scan_box(
         a: &NdArray<G>,
         k: usize,
         box_lo: &[usize],
-        leaf_side: usize,
-        config: &DdcConfig,
         d: usize,
-    ) -> Option<(OverlayBox<G>, Child<G>)> {
+        config: &DdcConfig,
+    ) -> Option<OverlayBox<G>> {
         let mut hi = Vec::with_capacity(d);
         for (&l, &n) in box_lo.iter().zip(a.shape().dims()) {
             if l >= n {
@@ -392,18 +480,19 @@ impl<G: AbelianGroup> DdcTree<G> {
             .iter()
             .map(|raw| Secondary::build_from_raw(raw, config))
             .collect();
-        let obox = OverlayBox {
+        Some(OverlayBox {
             subtotal,
             faces: faces.into_boxed_slice(),
-        };
-        let child = Self::build_child(a, k, box_lo, leaf_side, config, d);
-        Some((obox, child))
+        })
     }
 
     /// Like [`DdcTree::from_array_sized`], but builds the `2^d` root
-    /// subtrees on separate threads. The subtrees are disjoint, so this
-    /// is a straightforward fork-join; speedup approaches the number of
-    /// *populated* root quadrants.
+    /// subtrees on separate threads. Each thread builds a standalone
+    /// fragment tree (arena indices are fragment-local); the main thread
+    /// grafts the fragments onto the final arenas with an index remap.
+    /// The subtrees are disjoint, so this is a straightforward
+    /// fork-join; speedup approaches the number of *populated* root
+    /// quadrants.
     pub fn from_array_parallel(a: &NdArray<G>, side: usize, config: DdcConfig) -> Self {
         let d = a.shape().ndim();
         assert!(side.is_power_of_two());
@@ -413,14 +502,13 @@ impl<G: AbelianGroup> DdcTree<G> {
             a.shape()
         );
         let mut tree = Self::new(d, side, config);
-        let leaf_side = tree.leaf_side();
-        if side <= leaf_side {
+        if side <= tree.leaf_side() {
             let lo = vec![0usize; d];
-            tree.root = Self::build_child(a, side, &lo, leaf_side, &config, d);
+            tree.root = tree.build_child(a, side, &lo);
             return tree;
         }
         let k = side / 2;
-        let results: Vec<Option<(OverlayBox<G>, Child<G>)>> = std::thread::scope(|scope| {
+        let results: Vec<Option<(OverlayBox<G>, DdcTree<G>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..(1usize << d))
                 .map(|bi| {
                     let config = &config;
@@ -428,7 +516,10 @@ impl<G: AbelianGroup> DdcTree<G> {
                         let box_lo: Vec<usize> = (0..d)
                             .map(|i| if bi & (1 << i) != 0 { k } else { 0 })
                             .collect();
-                        Self::build_box(a, k, &box_lo, leaf_side, config, d)
+                        let obox = Self::scan_box(a, k, &box_lo, d, config)?;
+                        let mut frag = Self::new(d, k, *config);
+                        frag.root = frag.build_child(a, k, &box_lo);
+                        Some((obox, frag))
                     })
                 })
                 .collect();
@@ -437,19 +528,52 @@ impl<G: AbelianGroup> DdcTree<G> {
                 .map(|h| h.join().expect("builder thread panicked"))
                 .collect()
         });
-        let mut node = Node::<G>::new(d);
+        let id = tree.alloc_node();
+        let base = (id as usize) << d;
         let mut any = false;
         for (bi, r) in results.into_iter().enumerate() {
-            if let Some((obox, child)) = r {
+            if let Some((obox, frag)) = r {
                 any = true;
-                node.boxes[bi] = Some(obox);
-                node.children[bi] = child;
+                let child = tree.graft(frag);
+                tree.boxes[base + bi] = Some(obox);
+                tree.children[base + bi] = child;
             }
         }
         if any {
-            tree.root = Child::Node(Box::new(node));
+            tree.root = ChildRef::node(id);
+        } else {
+            tree.free_node(id);
         }
         tree
+    }
+
+    /// Appends a fragment tree's arenas onto ours, remapping every
+    /// reference by the arena offsets; returns the fragment's re-based
+    /// root. The fragment must share our dimensionality.
+    fn graft(&mut self, frag: DdcTree<G>) -> ChildRef {
+        debug_assert_eq!(frag.d, self.d);
+        let stride = self.stride();
+        let node_off = (self.children.len() / stride) as u32;
+        let leaf_off = self.leaves.len() as u32;
+        let remap = |c: ChildRef| -> ChildRef {
+            if c.is_empty() {
+                c
+            } else if c.is_leaf() {
+                ChildRef::leaf(c.index() as u32 + leaf_off)
+            } else {
+                ChildRef::node(c.index() as u32 + node_off)
+            }
+        };
+        let root = remap(frag.root);
+        self.children
+            .extend(frag.children.iter().map(|&c| remap(c)));
+        self.boxes.extend(frag.boxes);
+        self.leaves.extend(frag.leaves);
+        self.node_free
+            .extend(frag.node_free.iter().map(|&id| id + node_off));
+        self.leaf_free
+            .extend(frag.leaf_free.iter().map(|&id| id + leaf_off));
+        root
     }
 
     /// Dimensionality `d`.
@@ -483,88 +607,89 @@ impl<G: AbelianGroup> DdcTree<G> {
         self.config.leaf_block_side().min(self.side)
     }
 
-    /// `SUM(A[0,…,0] : A[x])` — Figure 10's `CalculateRegionSum`.
+    /// `SUM(A[0,…,0] : A[x])` — Figure 10's `CalculateRegionSum`, as an
+    /// iterative arena walk. At a node of half-side `k`, let `h` be the
+    /// bitmask of dimensions whose (node-local) target coordinate is in
+    /// the high half; the contributing boxes are exactly the submasks
+    /// `s ⊆ h` — the box covers the target region fully in the
+    /// dimensions `h \ s`, so it contributes its subtotal when
+    /// `h \ s` is every dimension, a row-sum value otherwise, and the
+    /// query descends into the `s = h` box. Cross coordinates are
+    /// mask-selected (full → `k−1`, cut → `x & (k−1)`) with no
+    /// per-dimension branching.
     pub fn prefix_sum(&self, x: &[usize]) -> G {
-        assert_eq!(x.len(), self.d);
-        debug_assert!(x.iter().all(|&c| c < self.side));
-        match &self.root {
-            Child::Empty => G::ZERO,
-            Child::Leaf(block) => block.prefix(x, &self.counter),
-            Child::Node(node) => {
-                let lo = vec![0usize; self.d];
-                self.query_node(node, self.side, &lo, x)
-            }
-        }
-    }
-
-    fn query_node(&self, node: &Node<G>, side: usize, lo: &[usize], x: &[usize]) -> G {
         let d = self.d;
-        let k = side / 2;
+        assert_eq!(x.len(), d);
+        debug_assert!(x.iter().all(|&c| c < self.side));
+        let all_mask = (1usize << d) - 1;
+        let mut buf = vec![0usize; 2 * d];
+        let (rel, cross) = buf.split_at_mut(d);
+        rel.copy_from_slice(x);
+        let mut cur = self.root;
+        let mut side = self.side;
         let mut acc = G::ZERO;
-        let mut box_lo = vec![0usize; d];
-        let mut status = vec![DimStatus::Partial; d];
-        let mut cross = vec![0usize; d.saturating_sub(1)];
-        'boxes: for bi in 0..(1usize << d) {
-            // Geometry and classification of box `bi`.
-            let mut all_full = true;
-            let mut all_partial = true;
-            for i in 0..d {
-                let bl = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
-                box_lo[i] = bl;
-                status[i] = if x[i] < bl {
-                    continue 'boxes; // Before: contributes nothing
-                } else if x[i] >= bl + k {
-                    all_partial = false;
-                    DimStatus::Full
-                } else {
-                    all_full = false;
-                    DimStatus::Partial
-                };
+        loop {
+            if cur.is_empty() {
+                return acc;
             }
-            if all_full {
-                // Target region includes the whole box: subtotal.
-                if let Some(b) = &node.boxes[bi] {
-                    self.counter.read(1);
-                    acc = acc.add(b.subtotal);
+            if cur.is_leaf() {
+                if let Some(block) = &self.leaves[cur.index()] {
+                    acc = acc.add(block.prefix(rel, &self.counter));
                 }
-            } else if all_partial {
-                // This is the box covering the target cell: descend.
-                acc = acc.add(self.query_child(&node.children[bi], k, &box_lo, x));
-            } else {
-                // Mixed full/partial: one row-sum group value. Pick any
-                // dimension the region fully spans as the group axis.
-                let Some(b) = &node.boxes[bi] else { continue };
-                let j = status
-                    .iter()
-                    .position(|&s| s == DimStatus::Full)
-                    .expect("mixed status implies a full dimension");
-                let mut w = 0;
-                for i in 0..d {
-                    if i == j {
-                        continue;
+                return acc;
+            }
+            let k = side >> 1;
+            let base = cur.index() << d;
+            let mut h_mask = 0usize;
+            for (i, r) in rel.iter().enumerate() {
+                h_mask |= usize::from(*r >= k) << i;
+            }
+            // Ascending submask enumeration of h_mask; the final
+            // submask (h_mask itself) is the descend box, handled
+            // after the loop so its subtotal never contributes.
+            let mut s = 0usize;
+            while s != h_mask {
+                if let Some(b) = &self.boxes[base + s] {
+                    let full = h_mask & !s;
+                    if full == all_mask {
+                        self.counter.read(1);
+                        acc = acc.add(b.subtotal);
+                    } else {
+                        let j = full.trailing_zeros() as usize;
+                        let mut w = 0;
+                        for (i, r) in rel.iter().enumerate() {
+                            if i == j {
+                                continue;
+                            }
+                            let f = ((full >> i) & 1).wrapping_neg();
+                            cross[w] = ((k - 1) & f) | (*r & (k - 1) & !f);
+                            w += 1;
+                        }
+                        acc = acc.add(b.faces[j].prefix(&cross[..w], &self.counter));
                     }
-                    cross[w] = match status[i] {
-                        DimStatus::Full => k - 1,
-                        DimStatus::Partial => x[i] - box_lo[i],
-                    };
-                    w += 1;
                 }
-                acc = acc.add(b.faces[j].prefix(&cross[..w], &self.counter));
+                s = s.wrapping_sub(h_mask) & h_mask;
             }
+            cur = self.children[base + h_mask];
+            for r in rel.iter_mut() {
+                *r &= k - 1;
+            }
+            side = k;
         }
-        acc
     }
 
     /// Like [`DdcTree::prefix_sum`], additionally recording which overlay
     /// box contributed what — the paper's Figure 11 walkthrough as data.
-    /// Returns the steps in visit order; the sum of their values is the
-    /// prefix sum.
+    /// Returns the steps in visit order (box index ascending, descent
+    /// last at each node); the sum of their values is the prefix sum.
     pub fn trace_prefix(&self, x: &[usize]) -> Vec<TraceStep<G>> {
         assert_eq!(x.len(), self.d);
         let mut steps = Vec::new();
-        match &self.root {
-            Child::Empty => {}
-            Child::Leaf(block) => {
+        if self.root.is_empty() {
+            return steps;
+        }
+        if self.root.is_leaf() {
+            if let Some(block) = &self.leaves[self.root.index()] {
                 let cells = Region::prefix(x).cells();
                 steps.push(TraceStep {
                     level: 0,
@@ -574,17 +699,16 @@ impl<G: AbelianGroup> DdcTree<G> {
                     value: block.prefix(x, &self.counter),
                 });
             }
-            Child::Node(node) => {
-                let lo = vec![0usize; self.d];
-                self.trace_node(node, self.side, &lo, x, 0, &mut steps);
-            }
+            return steps;
         }
+        let lo = vec![0usize; self.d];
+        self.trace_node(self.root.index(), self.side, &lo, x, 0, &mut steps);
         steps
     }
 
     fn trace_node(
         &self,
-        node: &Node<G>,
+        node_ix: usize,
         side: usize,
         lo: &[usize],
         x: &[usize],
@@ -593,36 +717,19 @@ impl<G: AbelianGroup> DdcTree<G> {
     ) {
         let d = self.d;
         let k = side / 2;
-        let mut box_lo = vec![0usize; d];
-        let mut status = vec![DimStatus::Partial; d];
-        let mut cross = vec![0usize; d.saturating_sub(1)];
-        'boxes: for bi in 0..(1usize << d) {
-            let mut all_full = true;
-            let mut all_partial = true;
-            for i in 0..d {
-                let bl = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
-                box_lo[i] = bl;
-                status[i] = if x[i] < bl {
-                    continue 'boxes;
-                } else if x[i] >= bl + k {
-                    all_partial = false;
-                    DimStatus::Full
-                } else {
-                    all_full = false;
-                    DimStatus::Partial
-                };
-            }
-            if all_full {
-                if let Some(b) = &node.boxes[bi] {
-                    steps.push(TraceStep {
-                        level,
-                        box_anchor: box_lo.clone(),
-                        box_side: k,
-                        kind: Contribution::Subtotal,
-                        value: b.subtotal,
-                    });
-                }
-            } else if all_partial {
+        let base = node_ix << d;
+        let all_mask = (1usize << d) - 1;
+        let mut h_mask = 0usize;
+        for i in 0..d {
+            h_mask |= usize::from(x[i] >= lo[i] + k) << i;
+        }
+        let mut s = 0usize;
+        loop {
+            let box_lo: Vec<usize> = (0..d)
+                .map(|i| lo[i] + if s & (1 << i) != 0 { k } else { 0 })
+                .collect();
+            if s == h_mask {
+                // The box covering the target cell: descend.
                 steps.push(TraceStep {
                     level,
                     box_anchor: box_lo.clone(),
@@ -630,67 +737,68 @@ impl<G: AbelianGroup> DdcTree<G> {
                     kind: Contribution::Descend,
                     value: G::ZERO,
                 });
-                match &node.children[bi] {
-                    Child::Empty => {}
-                    Child::Leaf(block) => {
+                let c = self.children[base + s];
+                if c.is_leaf() {
+                    if let Some(block) = &self.leaves[c.index()] {
                         let rel: Vec<usize> =
                             x.iter().zip(box_lo.iter()).map(|(&c, &l)| c - l).collect();
                         let cells = Region::prefix(&rel).cells();
                         steps.push(TraceStep {
                             level: level + 1,
-                            box_anchor: box_lo.clone(),
+                            box_anchor: box_lo,
                             box_side: k,
                             kind: Contribution::LeafCells { cells },
                             value: block.prefix(&rel, &self.counter),
                         });
                     }
-                    Child::Node(child) => {
-                        self.trace_node(child, k, &box_lo, x, level + 1, steps);
-                    }
+                } else if !c.is_empty() {
+                    self.trace_node(c.index(), k, &box_lo, x, level + 1, steps);
                 }
-            } else {
-                let Some(b) = &node.boxes[bi] else { continue };
-                let j = status
-                    .iter()
-                    .position(|&s| s == DimStatus::Full)
-                    .expect("mixed status implies a full dimension");
-                let mut w = 0;
-                for i in 0..d {
-                    if i == j {
-                        continue;
+                return;
+            }
+            if let Some(b) = &self.boxes[base + s] {
+                let full = h_mask & !s;
+                if full == all_mask {
+                    steps.push(TraceStep {
+                        level,
+                        box_anchor: box_lo,
+                        box_side: k,
+                        kind: Contribution::Subtotal,
+                        value: b.subtotal,
+                    });
+                } else {
+                    let j = full.trailing_zeros() as usize;
+                    let mut cross = Vec::with_capacity(d - 1);
+                    for i in 0..d {
+                        if i == j {
+                            continue;
+                        }
+                        cross.push(if (full >> i) & 1 != 0 {
+                            k - 1
+                        } else {
+                            x[i] - box_lo[i]
+                        });
                     }
-                    cross[w] = match status[i] {
-                        DimStatus::Full => k - 1,
-                        DimStatus::Partial => x[i] - box_lo[i],
-                    };
-                    w += 1;
+                    steps.push(TraceStep {
+                        level,
+                        box_anchor: box_lo,
+                        box_side: k,
+                        kind: Contribution::RowSum { axis: j },
+                        value: b.faces[j].prefix(&cross, &self.counter),
+                    });
                 }
-                steps.push(TraceStep {
-                    level,
-                    box_anchor: box_lo.clone(),
-                    box_side: k,
-                    kind: Contribution::RowSum { axis: j },
-                    value: b.faces[j].prefix(&cross[..w], &self.counter),
-                });
             }
-        }
-    }
-
-    fn query_child(&self, child: &Child<G>, side: usize, lo: &[usize], x: &[usize]) -> G {
-        match child {
-            Child::Empty => G::ZERO,
-            Child::Leaf(block) => {
-                let rel: Vec<usize> = x.iter().zip(lo.iter()).map(|(&c, &l)| c - l).collect();
-                block.prefix(&rel, &self.counter)
-            }
-            Child::Node(n) => self.query_node(n, side, lo, x),
+            s = s.wrapping_sub(h_mask) & h_mask;
         }
     }
 
     /// Adds `delta` to cell `x` — Figure 12's `UpdateCell`, expressed with
-    /// the difference value directly.
+    /// the difference value directly. Iterative: one box per level
+    /// absorbs the delta, then the walk descends to the leaf cell,
+    /// materializing arena slots on demand.
     pub fn apply_delta(&mut self, x: &[usize], delta: G) {
-        assert_eq!(x.len(), self.d);
+        let d = self.d;
+        assert_eq!(x.len(), d);
         assert!(
             x.iter().all(|&c| c < self.side),
             "{x:?} outside side {}",
@@ -702,151 +810,161 @@ impl<G: AbelianGroup> DdcTree<G> {
         let leaf_side = self.leaf_side();
         if self.side <= leaf_side {
             // Degenerate: the whole space is one leaf block.
-            if matches!(self.root, Child::Empty) {
-                self.root = Child::Leaf(LeafBlock::zeroed(self.d, self.side));
+            if self.root.is_empty() {
+                let block = LeafBlock::zeroed(d, self.side);
+                self.root = ChildRef::leaf(self.alloc_leaf(block));
             }
-            if let Child::Leaf(block) = &mut self.root {
+            let ix = self.root.index();
+            if let Some(block) = self.leaves[ix].as_mut() {
                 block.cells.add_assign(x, delta);
                 self.counter.write(1);
             }
             return;
         }
-        if matches!(self.root, Child::Empty) {
-            self.root = Child::Node(Box::new(Node::new(self.d)));
+        if self.root.is_empty() {
+            let id = self.alloc_node();
+            self.root = ChildRef::node(id);
         }
-        let Child::Node(root) = &mut self.root else {
-            unreachable!()
-        };
-        Self::update_node(
-            root,
-            self.d,
-            self.side,
-            leaf_side,
-            &vec![0usize; self.d],
-            x,
-            delta,
-            &self.config,
-            &self.counter,
-        );
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn update_node(
-        node: &mut Node<G>,
-        d: usize,
-        side: usize,
-        leaf_side: usize,
-        lo: &[usize],
-        x: &[usize],
-        delta: G,
-        config: &DdcConfig,
-        counter: &OpCounter,
-    ) {
-        let k = side / 2;
-        // Exactly one box covers the cell (§3.2): derive its index and
-        // anchor from the coordinate bits.
-        let mut bi = 0usize;
-        let mut box_lo = vec![0usize; d];
-        for i in 0..d {
-            let high = x[i] >= lo[i] + k;
-            if high {
-                bi |= 1 << i;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.resize(2 * d, 0);
+        let (rel, cross) = scratch.split_at_mut(d);
+        rel.copy_from_slice(x);
+        let mut cur = self.root.index();
+        let mut k = self.side >> 1;
+        loop {
+            let base = cur << d;
+            // Exactly one box covers the cell (§3.2): its index comes
+            // from the coordinate high bits; rel becomes box-local.
+            let mut bi = 0usize;
+            for (i, r) in rel.iter_mut().enumerate() {
+                bi |= usize::from(*r >= k) << i;
+                *r &= k - 1;
             }
-            box_lo[i] = lo[i] + if high { k } else { 0 };
-        }
-        let obox = node.boxes[bi].get_or_insert_with(|| OverlayBox::new(d));
-        obox.subtotal = obox.subtotal.add(delta);
-        counter.write(1);
-        // "for each set of row sum values (d sets): add difference" —
-        // group j is indexed by the box-local offsets of the other dims.
-        if d >= 2 {
-            let mut cross = vec![0usize; d - 1];
-            for j in 0..d {
-                let mut w = 0;
-                for i in 0..d {
-                    if i != j {
-                        cross[w] = x[i] - box_lo[i];
-                        w += 1;
+            let bix = base + bi;
+            if self.boxes[bix].is_none() {
+                self.boxes[bix] = Some(OverlayBox::new(d));
+            }
+            // Disjoint field borrows: boxes mutably, config/counter shared.
+            let config = &self.config;
+            let counter = &self.counter;
+            if let Some(obox) = self.boxes[bix].as_mut() {
+                obox.subtotal = obox.subtotal.add(delta);
+                counter.write(1);
+                // "for each set of row sum values (d sets): add
+                // difference" — group j is indexed by the box-local
+                // offsets of the other dims.
+                if d >= 2 {
+                    for j in 0..d {
+                        let mut w = 0;
+                        for (i, r) in rel.iter().enumerate() {
+                            if i != j {
+                                cross[w] = *r;
+                                w += 1;
+                            }
+                        }
+                        obox.faces[j].add(&cross[..w], delta, k, config, counter);
                     }
                 }
-                obox.faces[j].add(&cross, delta, k, config, counter);
             }
+            // Descend to the leaf holding the raw cell.
+            debug_assert!(k >= leaf_side, "box side {k} below leaf side {leaf_side}");
+            let child = self.children[bix];
+            if k == leaf_side {
+                let leaf_ix = if child.is_empty() {
+                    let id = self.alloc_leaf(LeafBlock::zeroed(d, k));
+                    self.children[bix] = ChildRef::leaf(id);
+                    id as usize
+                } else {
+                    child.index()
+                };
+                if let Some(block) = self.leaves[leaf_ix].as_mut() {
+                    block.cells.add_assign(rel, delta);
+                    self.counter.write(1);
+                }
+                break;
+            }
+            cur = if child.is_empty() {
+                let id = self.alloc_node();
+                self.children[bix] = ChildRef::node(id);
+                id as usize
+            } else {
+                child.index()
+            };
+            k >>= 1;
         }
-        // Descend to the leaf holding the raw cell.
-        debug_assert!(k >= leaf_side, "box side {k} below leaf side {leaf_side}");
-        if k == leaf_side {
-            if matches!(node.children[bi], Child::Empty) {
-                node.children[bi] = Child::Leaf(LeafBlock::zeroed(d, k));
-            }
-            if let Child::Leaf(block) = &mut node.children[bi] {
-                let rel: Vec<usize> = x.iter().zip(box_lo.iter()).map(|(&c, &l)| c - l).collect();
-                block.cells.add_assign(&rel, delta);
-                counter.write(1);
-            }
-        } else {
-            if matches!(node.children[bi], Child::Empty) {
-                node.children[bi] = Child::Node(Box::new(Node::new(d)));
-            }
-            if let Child::Node(child) = &mut node.children[bi] {
-                Self::update_node(child, d, k, leaf_side, &box_lo, x, delta, config, counter);
-            }
-        }
+        scratch.clear();
+        self.scratch = scratch;
     }
 
     /// Reads one raw cell by direct descent (`O(log n)`).
     pub fn cell(&self, x: &[usize]) -> G {
         assert_eq!(x.len(), self.d);
         assert!(x.iter().all(|&c| c < self.side));
-        let mut child = &self.root;
+        let mut cur = self.root;
         let mut side = self.side;
-        let mut lo = vec![0usize; self.d];
+        let mut rel = x.to_vec();
         loop {
-            match child {
-                Child::Empty => return G::ZERO,
-                Child::Leaf(block) => {
-                    let rel: Vec<usize> = x.iter().zip(lo.iter()).map(|(&c, &l)| c - l).collect();
-                    self.counter.read(1);
-                    return block.cells.get(&rel);
-                }
-                Child::Node(node) => {
-                    let k = side / 2;
-                    let mut bi = 0usize;
-                    for i in 0..self.d {
-                        if x[i] >= lo[i] + k {
-                            bi |= 1 << i;
-                            lo[i] += k;
-                        }
-                    }
-                    child = &node.children[bi];
-                    side = k;
+            if cur.is_empty() {
+                return G::ZERO;
+            }
+            if cur.is_leaf() {
+                self.counter.read(1);
+                return match &self.leaves[cur.index()] {
+                    Some(block) => block.cells.get(&rel),
+                    None => G::ZERO,
+                };
+            }
+            let k = side / 2;
+            let base = cur.index() << self.d;
+            let mut bi = 0usize;
+            for (i, r) in rel.iter_mut().enumerate() {
+                if *r >= k {
+                    bi |= 1 << i;
+                    *r -= k;
                 }
             }
+            cur = self.children[base + bi];
+            side = k;
         }
     }
 
     /// Sum of the whole space.
     pub fn total(&self) -> G {
-        match &self.root {
-            Child::Empty => G::ZERO,
-            Child::Leaf(block) => block.total(),
-            Child::Node(node) => node
-                .boxes
-                .iter()
-                .flatten()
-                .fold(G::ZERO, |acc, b| acc.add(b.subtotal)),
+        if self.root.is_empty() {
+            return G::ZERO;
         }
+        if self.root.is_leaf() {
+            return match &self.leaves[self.root.index()] {
+                Some(block) => block.total(),
+                None => G::ZERO,
+            };
+        }
+        let base = self.root.index() << self.d;
+        self.boxes[base..base + self.stride()]
+            .iter()
+            .flatten()
+            .fold(G::ZERO, |acc, b| acc.add(b.subtotal))
     }
 
     /// Invokes `f` for every non-zero raw cell with its coordinates.
     pub fn for_each_nonzero(&self, f: &mut impl FnMut(&[usize], G)) {
         let lo = vec![0usize; self.d];
-        Self::walk_nonzero(&self.root, self.side, &lo, f);
+        self.walk_nonzero(self.root, self.side, &lo, f);
     }
 
-    fn walk_nonzero(child: &Child<G>, side: usize, lo: &[usize], f: &mut impl FnMut(&[usize], G)) {
-        match child {
-            Child::Empty => {}
-            Child::Leaf(block) => {
+    fn walk_nonzero(
+        &self,
+        c: ChildRef,
+        side: usize,
+        lo: &[usize],
+        f: &mut impl FnMut(&[usize], G),
+    ) {
+        if c.is_empty() {
+            return;
+        }
+        if c.is_leaf() {
+            if let Some(block) = &self.leaves[c.index()] {
                 let mut abs = lo.to_vec();
                 for rel in block.cells.shape().iter_points() {
                     let v = block.cells.get(&rel);
@@ -858,17 +976,17 @@ impl<G: AbelianGroup> DdcTree<G> {
                     }
                 }
             }
-            Child::Node(node) => {
-                let d = lo.len();
-                let k = side / 2;
-                let mut box_lo = vec![0usize; d];
-                for bi in 0..(1usize << d) {
-                    for i in 0..d {
-                        box_lo[i] = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
-                    }
-                    Self::walk_nonzero(&node.children[bi], k, &box_lo, f);
-                }
+            return;
+        }
+        let d = self.d;
+        let k = side / 2;
+        let base = c.index() << d;
+        let mut box_lo = vec![0usize; d];
+        for bi in 0..self.stride() {
+            for i in 0..d {
+                box_lo[i] = lo[i] + if bi & (1 << i) != 0 { k } else { 0 };
             }
+            self.walk_nonzero(self.children[base + bi], k, &box_lo, f);
         }
     }
 
@@ -891,23 +1009,26 @@ impl<G: AbelianGroup> DdcTree<G> {
         assert_eq!(low.len(), self.d);
         let old_side = self.side;
         self.side = old_side.checked_mul(2).expect("side overflow");
-        let old_root = std::mem::take(&mut self.root);
-        if matches!(old_root, Child::Empty) {
+        let old_root = self.root;
+        self.root = ChildRef::EMPTY;
+        if old_root.is_empty() {
             return;
         }
+        let d = self.d;
         if self.side <= self.config.leaf_block_side() {
             // The grown space still fits in one dense leaf block: rebuild
             // it with the content shifted in the lowered dimensions.
-            let mut block = LeafBlock::zeroed(self.d, self.side);
+            let mut block = LeafBlock::zeroed(d, self.side);
             let shift: Vec<usize> = low.iter().map(|&l| if l { old_side } else { 0 }).collect();
-            let mut q = vec![0usize; self.d];
-            Self::walk_nonzero(&old_root, old_side, &vec![0usize; self.d], &mut |p, v| {
+            let mut q = vec![0usize; d];
+            self.walk_nonzero(old_root, old_side, &vec![0usize; d], &mut |p, v| {
                 for (qi, (&pi, &s)) in q.iter_mut().zip(p.iter().zip(shift.iter())) {
                     *qi = pi + s;
                 }
                 block.cells.add_assign(&q, v);
             });
-            self.root = Child::Leaf(block);
+            self.free_subtree(old_root);
+            self.root = ChildRef::leaf(self.alloc_leaf(block));
             return;
         }
         // The old region lands in the high half of every lowered dim.
@@ -917,127 +1038,215 @@ impl<G: AbelianGroup> DdcTree<G> {
                 bi |= 1 << i;
             }
         }
-        let mut node = Node::<G>::new(self.d);
-        let mut obox = OverlayBox::<G>::new(self.d);
+        let mut obox = OverlayBox::<G>::new(d);
         // Rebuild this box's values from the populated cells of the old
         // space (coordinates are already box-local).
-        let d = self.d;
         let k = old_side;
         let config = self.config;
-        let counter = &self.counter;
-        let mut cross = vec![0usize; d.saturating_sub(1)];
-        Self::walk_nonzero(&old_root, old_side, &vec![0usize; d], &mut |p, v| {
-            obox.subtotal = obox.subtotal.add(v);
-            counter.write(1);
-            if d >= 2 {
-                for j in 0..d {
-                    let mut w = 0;
-                    for (i, &c) in p.iter().enumerate() {
-                        if i != j {
-                            cross[w] = c;
-                            w += 1;
+        {
+            let counter = &self.counter;
+            let mut cross = vec![0usize; d.saturating_sub(1)];
+            self.walk_nonzero(old_root, old_side, &vec![0usize; d], &mut |p, v| {
+                obox.subtotal = obox.subtotal.add(v);
+                counter.write(1);
+                if d >= 2 {
+                    for j in 0..d {
+                        let mut w = 0;
+                        for (i, &c) in p.iter().enumerate() {
+                            if i != j {
+                                cross[w] = c;
+                                w += 1;
+                            }
                         }
+                        obox.faces[j].add(&cross[..w], v, k, &config, counter);
                     }
-                    obox.faces[j].add(&cross[..w], v, k, &config, counter);
                 }
-            }
-        });
-        node.boxes[bi] = Some(obox);
-        node.children[bi] = old_root;
-        self.root = Child::Node(Box::new(node));
+            });
+        }
+        let id = self.alloc_node();
+        let base = (id as usize) << d;
+        self.boxes[base + bi] = Some(obox);
+        self.children[base + bi] = old_root;
+        self.root = ChildRef::node(id);
     }
 
     /// Reclaims storage left behind by cancelling updates: all-zero leaf
-    /// blocks and subtrees whose every cell returned to zero are dropped
-    /// back to the unmaterialized state (with their overlay boxes and
-    /// secondary structures). Returns the number of heap bytes released.
+    /// blocks and subtrees whose every cell returned to zero go back to
+    /// the arena free lists (with their overlay boxes and secondary
+    /// structures), and when free slots outnumber live ones the arenas
+    /// are compacted into exactly-sized replacements, releasing the
+    /// memory. Returns the number of heap bytes released.
     ///
     /// Lazily materialized structures never free themselves on the update
     /// path (a cell may go through zero transiently); churn-heavy
     /// workloads call this at their own cadence.
     pub fn prune(&mut self) -> usize {
         let before = self.heap_bytes();
-        if !Self::prune_child(&mut self.root) {
-            self.root = Child::Empty;
+        let root = self.root;
+        if !self.prune_live(root) {
+            self.free_subtree(root);
+            self.root = ChildRef::EMPTY;
         }
+        self.maybe_compact();
         before.saturating_sub(self.heap_bytes())
     }
 
-    /// Returns whether the child still holds any non-zero content.
-    fn prune_child(child: &mut Child<G>) -> bool {
-        match child {
-            Child::Empty => false,
-            Child::Leaf(block) => block.cells.populated_cells() > 0,
-            Child::Node(node) => {
-                let mut any = false;
-                for bi in 0..node.children.len() {
-                    let live = Self::prune_child(&mut node.children[bi]);
-                    if !live {
-                        node.children[bi] = Child::Empty;
-                        // A box over an empty region contributes only
-                        // zeros; drop it with its secondary structures.
-                        if let Some(b) = &node.boxes[bi] {
-                            debug_assert!(b.subtotal.is_zero());
-                        }
-                        node.boxes[bi] = None;
-                    } else {
-                        any = true;
-                    }
+    /// Returns whether the child still holds any non-zero content; dead
+    /// descendants are freed and their slots cleared.
+    fn prune_live(&mut self, c: ChildRef) -> bool {
+        if c.is_empty() {
+            return false;
+        }
+        if c.is_leaf() {
+            return match &self.leaves[c.index()] {
+                Some(block) => block.cells.populated_cells() > 0,
+                None => false,
+            };
+        }
+        let base = c.index() << self.d;
+        let mut any = false;
+        for s in 0..self.stride() {
+            let child = self.children[base + s];
+            if self.prune_live(child) {
+                any = true;
+            } else {
+                self.free_subtree(child);
+                self.children[base + s] = ChildRef::EMPTY;
+                // A box over an empty region contributes only zeros;
+                // drop it with its secondary structures.
+                if let Some(b) = &self.boxes[base + s] {
+                    debug_assert!(b.subtotal.is_zero());
                 }
-                any
+                self.boxes[base + s] = None;
             }
         }
+        any
+    }
+
+    /// Compacts when free slots outnumber live ones in either arena.
+    fn maybe_compact(&mut self) {
+        let live_nodes = self.children.len() / self.stride() - self.node_free.len();
+        let live_leaves = self.leaves.len() - self.leaf_free.len();
+        if self.node_free.len() + self.leaf_free.len() > live_nodes + live_leaves {
+            self.compact();
+        }
+    }
+
+    /// Rewrites the arenas to hold exactly the reachable slots (pre-order
+    /// renumbering), dropping all free-list capacity.
+    fn compact(&mut self) {
+        let stride = self.stride();
+        let live_nodes = self.children.len() / stride - self.node_free.len();
+        let live_leaves = self.leaves.len() - self.leaf_free.len();
+        let mut children = Vec::with_capacity(live_nodes * stride);
+        let mut boxes = Vec::with_capacity(live_nodes * stride);
+        let mut leaves = Vec::with_capacity(live_leaves);
+        let root = self.root;
+        let new_root = self.move_child(root, &mut children, &mut boxes, &mut leaves);
+        self.children = children;
+        self.boxes = boxes;
+        self.leaves = leaves;
+        self.node_free = Vec::new();
+        self.leaf_free = Vec::new();
+        self.root = new_root;
+    }
+
+    /// Moves one subtree into the replacement arenas, reserving the
+    /// parent's slot block before recursing so ids are pre-order.
+    fn move_child(
+        &mut self,
+        c: ChildRef,
+        children: &mut Vec<ChildRef>,
+        boxes: &mut Vec<Option<OverlayBox<G>>>,
+        leaves: &mut Vec<Option<LeafBlock<G>>>,
+    ) -> ChildRef {
+        if c.is_empty() {
+            return ChildRef::EMPTY;
+        }
+        if c.is_leaf() {
+            let id = leaves.len() as u32;
+            leaves.push(self.leaves[c.index()].take());
+            return ChildRef::leaf(id);
+        }
+        let stride = self.stride();
+        let old_base = c.index() << self.d;
+        let id = (children.len() / stride) as u32;
+        let new_base = children.len();
+        children.resize(new_base + stride, ChildRef::EMPTY);
+        boxes.resize_with(new_base + stride, || None);
+        for s in 0..stride {
+            boxes[new_base + s] = self.boxes[old_base + s].take();
+            let moved = self.move_child(self.children[old_base + s], children, boxes, leaves);
+            children[new_base + s] = moved;
+        }
+        ChildRef::node(id)
     }
 
     /// Collects structural statistics by one traversal — the storage
     /// profile behind Table 2 and §4.4 ("most of the additional storage
-    /// … is found in the lowest levels of the tree").
+    /// … is found in the lowest levels of the tree") plus the arena
+    /// occupancy counters.
     pub fn stats(&self) -> TreeStats {
-        let mut stats = TreeStats::default();
-        Self::collect_stats(&self.root, self.side, 0, &mut stats);
+        let mut stats = TreeStats {
+            node_slots: self.children.len() / self.stride(),
+            free_node_slots: self.node_free.len(),
+            leaf_slots: self.leaves.len(),
+            free_leaf_slots: self.leaf_free.len(),
+            ..TreeStats::default()
+        };
+        self.collect_stats(self.root, self.side, 0, &mut stats);
         stats.total_bytes = self.heap_bytes();
         stats
     }
 
-    fn collect_stats(child: &Child<G>, side: usize, level: usize, stats: &mut TreeStats) {
+    fn collect_stats(&self, c: ChildRef, side: usize, level: usize, stats: &mut TreeStats) {
         while stats.per_level.len() <= level {
             stats.per_level.push(LevelStats::default());
         }
         stats.per_level[level].side = side;
-        match child {
-            Child::Empty => {}
-            Child::Leaf(block) => {
+        if c.is_empty() {
+            return;
+        }
+        if c.is_leaf() {
+            if let Some(block) = &self.leaves[c.index()] {
                 stats.leaf_blocks += 1;
                 stats.leaf_cells += block.cells.shape().cells();
                 stats.depth = stats.depth.max(level);
                 stats.per_level[level].leaf_blocks += 1;
             }
-            Child::Node(node) => {
-                stats.nodes += 1;
-                stats.depth = stats.depth.max(level);
-                stats.per_level[level].nodes += 1;
-                let k = side / 2;
-                for b in node.boxes.iter().flatten() {
-                    stats.boxes += 1;
-                    stats.per_level[level].boxes += 1;
-                    stats.secondary_bytes +=
-                        b.faces.iter().map(Secondary::heap_bytes).sum::<usize>();
-                }
-                for c in node.children.iter() {
-                    Self::collect_stats(c, k, level + 1, stats);
-                }
+            return;
+        }
+        stats.nodes += 1;
+        stats.depth = stats.depth.max(level);
+        stats.per_level[level].nodes += 1;
+        let k = side / 2;
+        let base = c.index() << self.d;
+        for s in 0..self.stride() {
+            if let Some(b) = &self.boxes[base + s] {
+                stats.boxes += 1;
+                stats.per_level[level].boxes += 1;
+                stats.secondary_bytes += b.faces.iter().map(Secondary::heap_bytes).sum::<usize>();
             }
+            self.collect_stats(self.children[base + s], k, level + 1, stats);
         }
     }
 
-    /// Approximate heap bytes held by the whole structure.
+    /// Approximate heap bytes held by the whole structure: arena
+    /// capacities plus the heap behind live boxes and leaf blocks.
     pub fn heap_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + match &self.root {
-                Child::Empty => 0,
-                Child::Leaf(block) => block.cells.heap_bytes(),
-                Child::Node(node) => node.heap_bytes(),
-            }
+        let mut bytes = std::mem::size_of::<Self>()
+            + self.children.capacity() * std::mem::size_of::<ChildRef>()
+            + self.boxes.capacity() * std::mem::size_of::<Option<OverlayBox<G>>>()
+            + self.leaves.capacity() * std::mem::size_of::<Option<LeafBlock<G>>>()
+            + (self.node_free.capacity() + self.leaf_free.capacity()) * std::mem::size_of::<u32>()
+            + self.scratch.capacity() * std::mem::size_of::<usize>();
+        for b in self.boxes.iter().flatten() {
+            bytes += b.inner_heap_bytes();
+        }
+        for block in self.leaves.iter().flatten() {
+            bytes += block.cells.heap_bytes();
+        }
+        bytes
     }
 
     /// Validates structural invariants, returning the tree total:
@@ -1048,58 +1257,151 @@ impl<G: AbelianGroup> DdcTree<G> {
     ///
     /// Panics on any violation (test/diagnostic use).
     pub fn check_invariants(&self) -> G {
-        Self::check_child(&self.root, self.d, self.side, &self.counter)
+        self.check_child(self.root, self.side)
     }
 
-    fn check_child(child: &Child<G>, d: usize, side: usize, counter: &OpCounter) -> G {
-        match child {
-            Child::Empty => G::ZERO,
-            Child::Leaf(block) => {
-                assert_eq!(
-                    block.cells.shape().dims(),
-                    &vec![side; d][..],
-                    "leaf block shape mismatch"
-                );
-                block.total()
-            }
-            Child::Node(node) => {
-                let k = side / 2;
-                let mut total = G::ZERO;
-                for bi in 0..(1usize << d) {
-                    let child_total = Self::check_child(&node.children[bi], d, k, counter);
-                    match &node.boxes[bi] {
-                        None => assert!(
-                            child_total.is_zero(),
-                            "missing box over non-empty child (sum {child_total:?})"
-                        ),
-                        Some(b) => {
-                            assert_eq!(
-                                b.subtotal, child_total,
-                                "subtotal does not match child content"
-                            );
-                            if d >= 2 {
-                                let full = vec![k - 1; d - 1];
-                                for (j, face) in b.faces.iter().enumerate() {
-                                    if matches!(face, Secondary::Empty) {
-                                        assert!(
-                                            b.subtotal.is_zero(),
-                                            "empty face under non-zero subtotal"
-                                        );
-                                        continue;
-                                    }
-                                    let fp = face.prefix(&full, counter);
-                                    assert_eq!(
-                                        fp, b.subtotal,
-                                        "face {j} full prefix disagrees with subtotal"
-                                    );
-                                }
+    fn check_child(&self, c: ChildRef, side: usize) -> G {
+        let d = self.d;
+        if c.is_empty() {
+            return G::ZERO;
+        }
+        if c.is_leaf() {
+            let Some(block) = &self.leaves[c.index()] else {
+                panic!("leaf ref {} points at a vacant slot", c.index());
+            };
+            assert_eq!(
+                block.cells.shape().dims(),
+                &vec![side; d][..],
+                "leaf block shape mismatch"
+            );
+            return block.total();
+        }
+        let k = side / 2;
+        let base = c.index() << d;
+        let mut total = G::ZERO;
+        for bi in 0..self.stride() {
+            let child_total = self.check_child(self.children[base + bi], k);
+            match &self.boxes[base + bi] {
+                None => assert!(
+                    child_total.is_zero(),
+                    "missing box over non-empty child (sum {child_total:?})"
+                ),
+                Some(b) => {
+                    assert_eq!(
+                        b.subtotal, child_total,
+                        "subtotal does not match child content"
+                    );
+                    if d >= 2 {
+                        let full = vec![k - 1; d - 1];
+                        for (j, face) in b.faces.iter().enumerate() {
+                            if matches!(face, Secondary::Empty) {
+                                assert!(b.subtotal.is_zero(), "empty face under non-zero subtotal");
+                                continue;
                             }
-                            total = total.add(b.subtotal);
+                            let fp = face.prefix(&full, &self.counter);
+                            assert_eq!(
+                                fp, b.subtotal,
+                                "face {j} full prefix disagrees with subtotal"
+                            );
                         }
                     }
+                    total = total.add(b.subtotal);
                 }
-                total
             }
+        }
+        total
+    }
+
+    /// Audits the arena bookkeeping: every reachable reference is in
+    /// bounds and occupied, no slot is reached twice, free-list entries
+    /// are valid, unique, cleared, and disjoint from the reachable set,
+    /// and every slot is either reachable or free (no leaks). Returns
+    /// `(reachable_nodes, reachable_leaves)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation (test/diagnostic use).
+    pub fn check_arena(&self) -> (usize, usize) {
+        let stride = self.stride();
+        assert_eq!(
+            self.children.len() % stride,
+            0,
+            "node arena length not a slot multiple"
+        );
+        assert_eq!(
+            self.children.len(),
+            self.boxes.len(),
+            "children/boxes arenas out of step"
+        );
+        let node_slots = self.children.len() / stride;
+        let mut node_seen = vec![false; node_slots];
+        let mut leaf_seen = vec![false; self.leaves.len()];
+        self.mark_reachable(self.root, &mut node_seen, &mut leaf_seen);
+        let mut node_freed = vec![false; node_slots];
+        for &id in &self.node_free {
+            let ix = id as usize;
+            assert!(ix < node_slots, "free node id {id} out of bounds");
+            assert!(!node_freed[ix], "node id {id} twice on the free list");
+            node_freed[ix] = true;
+            assert!(!node_seen[ix], "node id {id} both free and reachable");
+            let base = ix * stride;
+            for s in 0..stride {
+                assert!(
+                    self.children[base + s].is_empty(),
+                    "free node {id} still has a child"
+                );
+                assert!(
+                    self.boxes[base + s].is_none(),
+                    "free node {id} still holds a box"
+                );
+            }
+        }
+        let mut leaf_freed = vec![false; self.leaves.len()];
+        for &id in &self.leaf_free {
+            let ix = id as usize;
+            assert!(ix < self.leaves.len(), "free leaf id {id} out of bounds");
+            assert!(!leaf_freed[ix], "leaf id {id} twice on the free list");
+            leaf_freed[ix] = true;
+            assert!(!leaf_seen[ix], "leaf id {id} both free and reachable");
+            assert!(
+                self.leaves[ix].is_none(),
+                "free leaf slot {id} still holds a block"
+            );
+        }
+        for ix in 0..node_slots {
+            assert!(node_seen[ix] || node_freed[ix], "node slot {ix} leaked");
+        }
+        for ix in 0..self.leaves.len() {
+            assert!(leaf_seen[ix] || leaf_freed[ix], "leaf slot {ix} leaked");
+        }
+        (
+            node_seen.iter().filter(|&&v| v).count(),
+            leaf_seen.iter().filter(|&&v| v).count(),
+        )
+    }
+
+    fn mark_reachable(&self, c: ChildRef, node_seen: &mut [bool], leaf_seen: &mut [bool]) {
+        if c.is_empty() {
+            return;
+        }
+        if c.is_leaf() {
+            let ix = c.index();
+            assert!(ix < leaf_seen.len(), "dangling leaf ref {ix}");
+            assert!(!leaf_seen[ix], "leaf slot {ix} referenced twice");
+            assert!(
+                self.leaves[ix].is_some(),
+                "reachable leaf slot {ix} is vacant"
+            );
+            leaf_seen[ix] = true;
+            return;
+        }
+        let ix = c.index();
+        assert!(ix < node_seen.len(), "dangling node ref {ix}");
+        assert!(!node_seen[ix], "node slot {ix} referenced twice");
+        node_seen[ix] = true;
+        let base = ix << self.d;
+        for s in 0..self.stride() {
+            self.mark_reachable(self.children[base + s], node_seen, leaf_seen);
         }
     }
 }
@@ -1231,6 +1533,11 @@ mod tests {
         assert_eq!(s.depth, 3);
         assert_eq!(s.total_bytes, t.heap_bytes());
         assert!(s.secondary_bytes > 0 && s.secondary_bytes < s.total_bytes);
+        // Arena occupancy: no frees have happened, so every slot is live.
+        assert_eq!(s.node_slots, s.nodes);
+        assert_eq!(s.leaf_slots, s.leaf_blocks);
+        assert_eq!(s.free_node_slots, 0);
+        assert_eq!(s.free_leaf_slots, 0);
         let _ = a;
         // Sparse tree: statistics shrink to the populated paths.
         let mut sparse = DdcTree::<i64>::new(2, 16, DdcConfig::sparse());
@@ -1251,6 +1558,7 @@ mod tests {
             assert_eq!(par.prefix_sum(&p), seq.prefix_sum(&p), "{p:?}");
         }
         assert_eq!(par.check_invariants(), a.total());
+        par.check_arena();
         // Degenerate: tiny array below the leaf-block side.
         let tiny = NdArray::from_rows(&[vec![1i64, 2], vec![3, 4]]);
         let par_tiny = DdcTree::from_array_parallel(&tiny, 2, DdcConfig::dynamic());
@@ -1304,6 +1612,7 @@ mod tests {
     #[test]
     fn fenwick_and_seg_bases_match() {
         for base in [
+            BaseStore::Blocked,
             BaseStore::Fenwick,
             BaseStore::SparseSeg,
             BaseStore::Bc { fanout: 4 },
@@ -1453,5 +1762,101 @@ mod tests {
         let _ = t.prefix_sum(&[255, 255]);
         let r = t.ops().reads;
         assert!(r <= 8 * 3 * 20, "query read {r} values");
+    }
+
+    #[test]
+    fn arena_free_list_is_reused_after_prune() {
+        let mut t = DdcTree::<i64>::new(2, 64, DdcConfig::dynamic());
+        for i in 0..64usize {
+            t.apply_delta(&[i, i], 3);
+        }
+        t.check_arena();
+        // Materialize one off-diagonal path, then cancel it so prune
+        // frees part of the tree without compacting everything away.
+        t.apply_delta(&[0, 63], 5);
+        let slots_before = t.stats().node_slots;
+        t.apply_delta(&[0, 63], -5);
+        t.prune();
+        t.check_arena();
+        let s = t.stats();
+        assert_eq!(s.node_slots - s.free_node_slots, s.nodes);
+        assert_eq!(s.leaf_slots - s.free_leaf_slots, s.leaf_blocks);
+        // Repopulating pops free slots (or reuses the compacted arena)
+        // instead of growing past the original footprint.
+        t.apply_delta(&[0, 63], 5);
+        t.check_arena();
+        assert!(
+            t.stats().node_slots <= slots_before,
+            "arena grew past its pre-prune footprint"
+        );
+        assert_eq!(t.check_invariants(), 64 * 3 + 5);
+    }
+
+    #[test]
+    fn arena_stays_sound_through_grow_update_prune_cycles() {
+        let mut t = DdcTree::<i64>::new(2, 8, DdcConfig::dynamic());
+        let mut a = NdArray::<i64>::zeroed(Shape::cube(2, 32));
+        for (step, (p, v)) in dense_updates(8, 2).into_iter().enumerate() {
+            t.apply_delta(&p, v);
+            a.add_assign(&p, v);
+            if step % 17 == 0 {
+                t.prune();
+                t.check_arena();
+            }
+        }
+        t.grow(&[false, false]);
+        t.check_arena();
+        t.grow(&[true, true]);
+        t.check_arena();
+        // One high grow then one low grow shifts content by 16 (the
+        // side at the low grow) in both dims.
+        for p in [[0usize, 0], [31, 31], [16, 16], [23, 8]] {
+            let shifted = [p[0].wrapping_sub(16), p[1].wrapping_sub(16)];
+            let expect = if shifted[0] < 32 && shifted[1] < 32 {
+                a.get(&shifted)
+            } else {
+                0
+            };
+            assert_eq!(t.cell(&p), expect, "cell {p:?}");
+        }
+        assert_eq!(t.check_invariants(), a.total());
+        // Cancel everything: prune must return the tree to (near) empty
+        // with a fully consistent arena.
+        let mut cells = Vec::new();
+        t.for_each_nonzero(&mut |p, v| cells.push((p.to_vec(), v)));
+        for (p, v) in cells {
+            t.apply_delta(&p, -v);
+        }
+        t.prune();
+        t.check_arena();
+        assert_eq!(t.total(), 0);
+        let s = t.stats();
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.leaf_blocks, 0);
+    }
+
+    #[test]
+    fn compaction_triggers_when_free_slots_dominate() {
+        let mut t = DdcTree::<i64>::new(2, 128, DdcConfig::dynamic());
+        for i in 0..128usize {
+            t.apply_delta(&[i, i], 2);
+        }
+        // Keep one corner live; cancel the rest.
+        for i in 1..128usize {
+            t.apply_delta(&[i, i], -2);
+        }
+        t.prune();
+        t.check_arena();
+        let s = t.stats();
+        // Free slots may not outnumber live ones after a compaction.
+        assert!(
+            s.free_node_slots + s.free_leaf_slots
+                <= (s.node_slots - s.free_node_slots) + (s.leaf_slots - s.free_leaf_slots),
+            "compaction left {} free vs {} live slots",
+            s.free_node_slots + s.free_leaf_slots,
+            (s.node_slots - s.free_node_slots) + (s.leaf_slots - s.free_leaf_slots)
+        );
+        assert_eq!(t.cell(&[0, 0]), 2);
+        assert_eq!(t.check_invariants(), 2);
     }
 }

@@ -1,6 +1,6 @@
 //! `ddc loadgen` — pipelined mixed update/query traffic against a
 //! `ddc serve` endpoint, reporting throughput and batch-RTT quantiles
-//! as a schema-v1 [`BenchReport`] (`BENCH_serve_latency.json`).
+//! as a schema-v2 [`BenchReport`] (`BENCH_serve_latency.json`).
 //!
 //! Each client thread owns one connection and drives seeded traffic in
 //! pipelined batches: write `batch` line-protocol commands, then read
@@ -289,7 +289,7 @@ mod tests {
         let report = summary.report(&config);
         assert_eq!(report.bench, "serve_latency");
         let text = report.to_json();
-        let parsed = ddc_bench::json::BenchReport::parse(&text).expect("schema v1");
+        let parsed = ddc_bench::json::BenchReport::parse(&text).expect("schema v2");
         assert!(parsed
             .metrics
             .iter()

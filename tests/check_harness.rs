@@ -8,11 +8,11 @@
 use ddc_array::Shape;
 use ddc_check::{
     check_interleavings, fault_sweep, fault_sweep_growable, fuzz, fuzz_with, roster_with_bug,
-    run_trace,
+    run_trace, run_trace_on, CheckEngine, DdcAdapter,
 };
-use ddc_core::{DdcConfig, DdcEngine, GrowableCube, ShardConfig};
+use ddc_core::{BaseStore, DdcConfig, DdcEngine, GrowableCube, ShardConfig};
 use ddc_tests::for_cases;
-use ddc_workload::{CheckTrace, CheckTraceConfig};
+use ddc_workload::{BoxState, CheckTrace, CheckTraceConfig};
 
 /// The headline guarantee: with a fixed seed, ≥10,000 mixed operations
 /// (updates, sets, range queries, cell reads, growth in any direction,
@@ -98,6 +98,74 @@ fn injected_off_by_one_is_caught_shrunk_and_replayable() {
     assert!(report.contains("0 divergences"), "{report}");
     std::fs::remove_file(&path).ok();
     assert!(ddc_cli::check::run(&["replay".to_string(), path.display().to_string()]).is_err());
+}
+
+/// Committed seeded traces (satellite of the arena rewrite): three
+/// checked-in op streams — one per dimensionality — replay with zero
+/// divergences across the full roster, which now includes the explicit
+/// arena base-store variants (`ddc-bc16`, `ddc-fenwick`, `ddc-elide1`).
+/// The arena-only roster additionally reproduces its pinned replay
+/// checksums exactly, a determinism anchor for the flat-arena hot path:
+/// any change to descent order, box materialization, or free-list reuse
+/// that alters an answer shows up here as a checksum drift with the
+/// trace file as the ready-made repro.
+#[test]
+fn committed_traces_replay_clean_and_pin_arena_checksums() {
+    let arena_roster = |init: &BoxState| -> Vec<Box<dyn CheckEngine>> {
+        vec![
+            Box::new(DdcAdapter::new("ddc-dynamic", init, DdcConfig::dynamic())),
+            Box::new(DdcAdapter::new(
+                "ddc-bc16",
+                init,
+                DdcConfig::dynamic().with_base(BaseStore::Bc { fanout: 16 }),
+            )),
+            Box::new(DdcAdapter::new(
+                "ddc-fenwick",
+                init,
+                DdcConfig::dynamic().with_base(BaseStore::Fenwick),
+            )),
+            Box::new(DdcAdapter::new(
+                "ddc-elide1",
+                init,
+                DdcConfig::dynamic().with_elision(1),
+            )),
+        ]
+    };
+    // (file, ops, arena comparisons, arena checksum)
+    let pinned: [(&str, &str, usize, usize, i64); 3] = [
+        (
+            "seed_d1",
+            include_str!("traces/seed_d1.trace"),
+            120,
+            196,
+            2684,
+        ),
+        (
+            "seed_d2",
+            include_str!("traces/seed_d2.trace"),
+            160,
+            224,
+            -8132,
+        ),
+        (
+            "seed_d3",
+            include_str!("traces/seed_d3.trace"),
+            140,
+            216,
+            -3692,
+        ),
+    ];
+    for (name, text, ops, comparisons, checksum) in pinned {
+        let trace = CheckTrace::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(trace.ops.len(), ops, "{name} op count");
+        let full =
+            run_trace(&trace).unwrap_or_else(|d| panic!("{name} diverged on the full roster: {d}"));
+        assert_eq!(full.ops, ops, "{name} full-roster ops replayed");
+        let arena = run_trace_on(&trace, arena_roster(&BoxState::initial(&trace)))
+            .unwrap_or_else(|d| panic!("{name} diverged on the arena roster: {d}"));
+        assert_eq!(arena.comparisons, comparisons, "{name} arena comparisons");
+        assert_eq!(arena.checksum, checksum, "{name} arena replay checksum");
+    }
 }
 
 /// The CLI fuzz entry point reports a clean run (exercises flag

@@ -203,10 +203,11 @@ fn print_row(label: &str, rate: u64, score: &Score) {
 
 /// WAL-on vs WAL-off update throughput: the same 200k-record hot feed
 /// applied to a growable cube, once in memory only and once with every
-/// record appended and flushed to a log file *before* the apply (the
-/// acknowledgement protocol). Flush hands the bytes to the OS — no
-/// fsync; the torn-tail contract is exactly what recovery tolerates,
-/// and sync policy is a deployment decision layered above the format.
+/// record appended and synced to a log file *before* the apply (the
+/// acknowledgement protocol). Since the vfs seam, an acked append is a
+/// real `sync_data` barrier on `std::fs::File` — `Ok` means the bytes
+/// survive power loss, and the retry/degrade protocol above the format
+/// (S44) assumes the barrier is honest.
 fn wal_bench() {
     const WN: usize = 256;
     const OPS: usize = 200_000;
@@ -243,9 +244,9 @@ fn wal_bench() {
     println!(
         "{OPS} hot-skewed point updates over a {WN}×{WN} dynamic growable cube:\n\
          wal-off (memory only)   {off_rate:>10.0} updates/s\n\
-         wal-on  (log + flush)   {on_rate:>10.0} updates/s\n\
+         wal-on  (log + sync)    {on_rate:>10.0} updates/s\n\
          durability cost: {:.2}× slowdown; log {bytes} bytes / {records} records \
-         ({:.1} bytes/record, flushed per ack, no fsync)",
+         ({:.1} bytes/record, sync_data per ack)",
         off_rate / on_rate,
         bytes as f64 / records.max(1) as f64,
     );

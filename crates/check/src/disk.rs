@@ -1,0 +1,853 @@
+//! `ddc check disk` — disk-fault chaos sweep over the durable cube.
+//!
+//! A [`ddc_core::DurableCube`] is booted through a fault-injecting
+//! [`FaultVfs`] and driven through a seeded [`CheckTrace`] while the
+//! virtual disk throws EIO, ENOSPC, torn short writes, failed sync
+//! barriers, and read-back bit flips at it. The contract checked at
+//! every step (and at a final fault-free recovery):
+//!
+//! * **No acknowledged update is ever lost.** The sparse [`Oracle`]
+//!   tracks exactly the acked ops; every recovery must reproduce it.
+//! * **Every run ends in full health or clean degraded mode.** After
+//!   ENOSPC or retry exhaustion the cube must answer reads that still
+//!   match the oracle and reject writes with `ReadOnly` — it must
+//!   never panic and never silently diverge.
+//! * **The indeterminate window is exactly one op wide.** When an
+//!   append dies at the sync barrier *and* the torn-tail cleanup also
+//!   failed, that one unacked record may legitimately surface after
+//!   recovery; anything beyond it is a violation.
+//!
+//! Failing fault schedules are delta-debugged ([`shrink_fault_schedule`])
+//! to a minimal list of [`PlannedFault`]s that still reproduces. The
+//! sweep's regression teeth are the committed `tests/faults/*.sched`
+//! schedules: replayed with the retry protocol's tail truncation
+//! disabled (`RetryPolicy::truncate_on_retry`, the seeded bug) the
+//! harness must *re-find* a durability violation, and replayed with the
+//! production policy it must come back clean.
+
+use ddc_core::vfs::{FaultFile, MemFile};
+use ddc_core::wal::{self, IoError, RetryPolicy};
+use ddc_core::{DdcConfig, DurableCube, FaultProbs, FaultVfs, PlannedFault, WalConfig};
+use ddc_workload::{CheckOp, CheckTrace, CheckTraceConfig, DdcRng};
+
+use crate::oracle::Oracle;
+
+/// Log path inside the virtual namespace.
+const WAL_PATH: &str = "wal.log";
+/// Snapshot path inside the virtual namespace.
+const SNAP_PATH: &str = "snapshot.ddc";
+
+type DiskCube = DurableCube<i64, FaultFile<MemFile>>;
+
+fn sorted(mut entries: Vec<(Vec<i64>, i64)>) -> Vec<(Vec<i64>, i64)> {
+    entries.sort();
+    entries
+}
+
+/// The oracle state with one extra (indeterminate) op applied — the
+/// second legal answer inside the sync-barrier commit window.
+fn entries_with(oracle: &Oracle, op: &CheckOp) -> Vec<(Vec<i64>, i64)> {
+    let mut o = oracle.clone();
+    match op {
+        CheckOp::Update { point, delta } => o.add(point, *delta),
+        CheckOp::Set { point, value } => {
+            o.set(point, *value);
+        }
+        _ => {}
+    }
+    sorted(o.entries())
+}
+
+/// What one trace replay under faults observed.
+#[derive(Clone, Debug, Default)]
+pub struct DiskRunReport {
+    /// Contract violations, empty when the run upheld durability.
+    pub violations: Vec<String>,
+    /// Every fault that actually fired, in order — replayable via
+    /// [`ddc_core::FaultPlan::Explicit`].
+    pub faults: Vec<PlannedFault>,
+    /// Mutations acknowledged (and therefore owed durability).
+    pub acked: usize,
+    /// True when the run ended in degraded read-only mode.
+    pub degraded: bool,
+    /// Total file operations the virtual disk served.
+    pub ops: u64,
+}
+
+impl DiskRunReport {
+    /// No violation observed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Drives `trace` against a durable cube living on `vfs` under `policy`,
+/// checking the durability contract at every step. Panics anywhere in
+/// the stack are caught and reported as violations — a chaos run must
+/// end in health or clean degradation, never a crash.
+pub fn run_trace_under_faults(
+    trace: &CheckTrace,
+    vfs: &FaultVfs,
+    policy: RetryPolicy,
+) -> DiskRunReport {
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drive(trace, vfs, policy)));
+    match outcome {
+        Ok(report) => report,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            DiskRunReport {
+                violations: vec![format!("panic under disk faults: {msg}")],
+                faults: vfs.realized(),
+                ops: vfs.ops(),
+                ..Default::default()
+            }
+        }
+    }
+}
+
+fn boot(
+    vfs: &FaultVfs,
+    d: usize,
+    config: DdcConfig,
+    policy: &RetryPolicy,
+) -> std::io::Result<DiskCube> {
+    wal::recover_vfs::<i64, _>(
+        vfs,
+        WAL_PATH,
+        Some(SNAP_PATH),
+        d,
+        config,
+        WalConfig::default(),
+        policy.clone(),
+    )
+    .map(|(cube, _report)| cube)
+}
+
+fn drive(trace: &CheckTrace, vfs: &FaultVfs, policy: RetryPolicy) -> DiskRunReport {
+    let d = trace.dims.len();
+    let config = DdcConfig::dynamic();
+    let mut report = DiskRunReport::default();
+
+    // Fault-free boot: the namespace is empty, nothing can be owed yet.
+    vfs.arm(false);
+    let mut durable = match boot(vfs, d, config, &policy) {
+        Ok(cube) => cube,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("fault-free boot failed: {e}"));
+            return finish(report, vfs, false);
+        }
+    };
+    let mut oracle = Oracle::new(d);
+    // The one op whose durability the sync-barrier commit window left
+    // ambiguous; recovery may surface it or not, but nothing else.
+    let mut pending: Option<CheckOp> = None;
+    vfs.arm(true);
+
+    for (i, op) in trace.ops.iter().enumerate() {
+        match op {
+            CheckOp::Update { point, delta } => match durable.add(point, *delta) {
+                Ok(()) => {
+                    oracle.add(point, *delta);
+                    report.acked += 1;
+                }
+                Err(e) => note_failure(i, &e, &durable, op, &mut pending, &mut report),
+            },
+            CheckOp::Set { point, value } => match durable.set(point, *value) {
+                Ok(old) => {
+                    let want = oracle.set(point, *value);
+                    if old != want {
+                        report
+                            .violations
+                            .push(format!("op {i}: set returned {old}, oracle had {want}"));
+                    }
+                    report.acked += 1;
+                }
+                Err(e) => note_failure(i, &e, &durable, op, &mut pending, &mut report),
+            },
+            CheckOp::Query { lo, hi } => {
+                let got = durable.cube().range_sum(lo, hi);
+                let want = oracle.range_sum(lo, hi);
+                if got != want {
+                    report.violations.push(format!(
+                        "op {i}: range_sum diverged (got {got}, oracle {want}, degraded={})",
+                        durable.degraded().is_some()
+                    ));
+                }
+            }
+            CheckOp::Cell { point } => {
+                let got = durable.cube().cell(point);
+                let want = oracle.cell(point);
+                if got != want {
+                    report
+                        .violations
+                        .push(format!("op {i}: cell diverged (got {got}, oracle {want})"));
+                }
+            }
+            CheckOp::Grow { axis, amount, low } => {
+                // Bookkeeping record; entries are unaffected either way,
+                // so an indeterminate grow needs no pending tracking.
+                if let Err(e) = durable.log_grow(*axis, *amount, *low) {
+                    note_failure(i, &e, &durable, op, &mut pending, &mut report);
+                }
+            }
+            CheckOp::SaveLoad => match durable.checkpoint_vfs(vfs, SNAP_PATH, WAL_PATH) {
+                Ok(_) => {}
+                Err(IoError::Transient { .. }) => {
+                    // Pre-rename failure: old snapshot + full log intact.
+                    if durable.degraded().is_some() {
+                        report.violations.push(format!(
+                            "op {i}: transient checkpoint failure left the cube degraded"
+                        ));
+                    }
+                }
+                Err(e) => {
+                    if durable.degraded().is_none() {
+                        report.violations.push(format!(
+                            "op {i}: terminal checkpoint failure without degraded mode: {e}"
+                        ));
+                    }
+                }
+            },
+            CheckOp::Crash => {
+                match crash_recover(
+                    vfs,
+                    d,
+                    config,
+                    &policy,
+                    i,
+                    &oracle,
+                    &mut pending,
+                    &mut report,
+                ) {
+                    Some(recovered) => {
+                        // Resolve the commit window: if the pending op
+                        // surfaced, it is durable from here on.
+                        let got = sorted(recovered.cube().entries());
+                        if got != sorted(oracle.entries()) {
+                            if let Some(op) = pending.take() {
+                                match &op {
+                                    CheckOp::Update { point, delta } => oracle.add(point, *delta),
+                                    CheckOp::Set { point, value } => {
+                                        oracle.set(point, *value);
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                        pending = None;
+                        durable = recovered;
+                    }
+                    None => return finish(report, vfs, false),
+                }
+            }
+            CheckOp::Flush => {}
+        }
+    }
+
+    // Epilogue: with the disk healthy again, a pristine recovery must
+    // land exactly on the acked state (or acked + the pending op).
+    vfs.arm(false);
+    let degraded = durable.degraded().is_some();
+    drop(durable);
+    match boot(vfs, d, config, &RetryPolicy::instant()) {
+        Ok(recovered) => {
+            let got = sorted(recovered.cube().entries());
+            let want = sorted(oracle.entries());
+            let also_legal = pending.as_ref().map(|op| entries_with(&oracle, op));
+            if got != want && Some(&got) != also_legal.as_ref() {
+                report.violations.push(format!(
+                    "final recovery diverged from the acked oracle \
+                     ({} recovered cells vs {} acked; lost an acked op or \
+                     resurrected an unacked one)",
+                    got.len(),
+                    want.len()
+                ));
+            }
+        }
+        Err(e) => report
+            .violations
+            .push(format!("final fault-free recovery failed: {e}")),
+    }
+    finish(report, vfs, degraded)
+}
+
+fn finish(mut report: DiskRunReport, vfs: &FaultVfs, degraded: bool) -> DiskRunReport {
+    report.faults = vfs.realized();
+    report.ops = vfs.ops();
+    report.degraded = degraded;
+    report
+}
+
+/// Checks the typed-error contract for one failed mutation.
+fn note_failure(
+    i: usize,
+    e: &IoError,
+    durable: &DiskCube,
+    op: &CheckOp,
+    pending: &mut Option<CheckOp>,
+    report: &mut DiskRunReport,
+) {
+    match e {
+        IoError::Transient { .. } => {
+            if durable.degraded().is_some() {
+                report
+                    .violations
+                    .push(format!("op {i}: transient failure left the cube degraded"));
+            }
+        }
+        IoError::Exhausted { indeterminate, .. } => {
+            if durable.degraded().is_none() {
+                report
+                    .violations
+                    .push(format!("op {i}: retry exhaustion did not degrade the cube"));
+            }
+            if *indeterminate && matches!(op, CheckOp::Update { .. } | CheckOp::Set { .. }) {
+                if pending.is_some() {
+                    report.violations.push(format!(
+                        "op {i}: second indeterminate op without an intervening recovery"
+                    ));
+                }
+                *pending = Some(op.clone());
+            }
+        }
+        IoError::ReadOnly { .. } => {
+            if durable.degraded().is_none() {
+                report.violations.push(format!(
+                    "op {i}: ReadOnly answered by a cube not in degraded mode"
+                ));
+            }
+        }
+    }
+}
+
+/// Mid-trace kill: recover with faults still armed (errors there are
+/// legitimate transient boot failures), falling back to a disarmed
+/// recovery that *must* succeed. Returns `None` after reporting when
+/// even the fault-free path failed.
+#[allow(clippy::too_many_arguments)]
+fn crash_recover(
+    vfs: &FaultVfs,
+    d: usize,
+    config: DdcConfig,
+    policy: &RetryPolicy,
+    i: usize,
+    oracle: &Oracle,
+    pending: &mut Option<CheckOp>,
+    report: &mut DiskRunReport,
+) -> Option<DiskCube> {
+    let recovered = match boot(vfs, d, config, policy) {
+        Ok(cube) => cube,
+        Err(_) => {
+            vfs.arm(false);
+            let cube = match boot(vfs, d, config, policy) {
+                Ok(cube) => cube,
+                Err(e) => {
+                    report
+                        .violations
+                        .push(format!("op {i}: fault-free recovery failed: {e}"));
+                    return None;
+                }
+            };
+            vfs.arm(true);
+            cube
+        }
+    };
+    let got = sorted(recovered.cube().entries());
+    let want = sorted(oracle.entries());
+    let also_legal = pending.as_ref().map(|op| entries_with(oracle, op));
+    if got != want && Some(&got) != also_legal.as_ref() {
+        report.violations.push(format!(
+            "op {i}: mid-trace recovery diverged from the acked oracle"
+        ));
+    }
+    Some(recovered)
+}
+
+// ---------------------------------------------------------------------------
+// Seeded schedules: the committed, replayable unit
+// ---------------------------------------------------------------------------
+
+/// A replayable chaos run: everything needed to regenerate the trace
+/// and the fault stream. Serialized as the line-oriented text committed
+/// under `tests/faults/*.sched`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    /// Cube dimensionality of the generated trace.
+    pub dims: usize,
+    /// Seed for [`CheckTrace::generate`].
+    pub trace_seed: u64,
+    /// Ops in the generated trace.
+    pub trace_ops: usize,
+    /// Seed for the [`FaultVfs`] fault stream.
+    pub fault_seed: u64,
+    /// Per-kind fault probabilities.
+    pub probs: FaultProbs,
+}
+
+impl FaultSchedule {
+    /// The trace this schedule drives.
+    pub fn trace(&self) -> CheckTrace {
+        let mut rng = DdcRng::seed_from_u64(self.trace_seed);
+        CheckTrace::generate(
+            self.dims,
+            CheckTraceConfig {
+                ops: self.trace_ops,
+                max_cells: 512,
+            },
+            &mut rng,
+        )
+    }
+
+    /// A fresh fault-injecting namespace for one replay.
+    pub fn vfs(&self) -> FaultVfs {
+        FaultVfs::seeded_mem(self.fault_seed, self.probs)
+    }
+
+    /// Serializes to the committed text form.
+    pub fn to_text(&self) -> String {
+        let p = &self.probs;
+        format!(
+            "# ddc check disk fault schedule\n\
+             dims {}\n\
+             trace-seed {:#x}\n\
+             trace-ops {}\n\
+             fault-seed {:#x}\n\
+             p write_err {}\n\
+             p short_write {}\n\
+             p no_space {}\n\
+             p sync_fail {}\n\
+             p read_err {}\n\
+             p read_corrupt {}\n",
+            self.dims,
+            self.trace_seed,
+            self.trace_ops,
+            self.fault_seed,
+            p.write_err,
+            p.short_write,
+            p.no_space,
+            p.sync_fail,
+            p.read_err,
+            p.read_corrupt,
+        )
+    }
+
+    /// Parses the text form; unknown keys are rejected so a typo in a
+    /// committed schedule fails loudly instead of silently weakening it.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        fn int(tok: &str) -> Result<u64, String> {
+            let parsed = match tok.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => tok.parse(),
+            };
+            parsed.map_err(|e| format!("bad integer {tok:?}: {e}"))
+        }
+        let mut dims = None;
+        let mut trace_seed = None;
+        let mut trace_ops = None;
+        let mut fault_seed = None;
+        let mut probs = FaultProbs::none();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let key = tok.next().unwrap_or_default();
+            let err = |what: &str| format!("line {}: {what}: {line:?}", no + 1);
+            match key {
+                "dims" | "trace-seed" | "trace-ops" | "fault-seed" => {
+                    let v = int(tok.next().ok_or_else(|| err("missing value"))?)?;
+                    match key {
+                        "dims" => dims = Some(v as usize),
+                        "trace-seed" => trace_seed = Some(v),
+                        "trace-ops" => trace_ops = Some(v as usize),
+                        _ => fault_seed = Some(v),
+                    }
+                }
+                "p" => {
+                    let kind = tok.next().ok_or_else(|| err("missing fault kind"))?;
+                    let p: f64 = tok
+                        .next()
+                        .ok_or_else(|| err("missing probability"))?
+                        .parse()
+                        .map_err(|e| err(&format!("bad probability: {e}")))?;
+                    match kind {
+                        "write_err" => probs.write_err = p,
+                        "short_write" => probs.short_write = p,
+                        "no_space" => probs.no_space = p,
+                        "sync_fail" => probs.sync_fail = p,
+                        "read_err" => probs.read_err = p,
+                        "read_corrupt" => probs.read_corrupt = p,
+                        other => return Err(err(&format!("unknown fault kind {other:?}"))),
+                    }
+                }
+                other => return Err(err(&format!("unknown key {other:?}"))),
+            }
+            if tok.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        Ok(Self {
+            dims: dims.ok_or("missing dims")?,
+            trace_seed: trace_seed.ok_or("missing trace-seed")?,
+            trace_ops: trace_ops.ok_or("missing trace-ops")?,
+            fault_seed: fault_seed.ok_or("missing fault-seed")?,
+            probs,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+/// Delta-debugs a failing fault list to a (1-minimal) sublist that
+/// still violates the durability contract when replayed explicitly
+/// under `policy`. Dropping a fault shifts every later retry, so a
+/// candidate that merely breaks alignment stops failing and is kept —
+/// the classic ddmin fixpoint handles that automatically.
+pub fn shrink_fault_schedule(
+    trace: &CheckTrace,
+    faults: &[PlannedFault],
+    policy: &RetryPolicy,
+) -> Vec<PlannedFault> {
+    let fails = |subset: &[PlannedFault]| {
+        let vfs = FaultVfs::explicit_mem(subset.to_vec());
+        !run_trace_under_faults(trace, &vfs, policy.clone()).is_clean()
+    };
+    if !fails(faults) {
+        return faults.to_vec();
+    }
+    let mut current = faults.to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        let mut reduced = false;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                reduced = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !reduced {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    current
+}
+
+// ---------------------------------------------------------------------------
+// The sweep and the seeded-bug re-finder
+// ---------------------------------------------------------------------------
+
+/// Sweep sizes.
+#[derive(Clone, Debug)]
+pub struct DiskSweepConfig {
+    /// Base seed; trace and fault seeds derive from it per run.
+    pub seed: u64,
+    /// Seeded traces per (dimension, probability) grid point.
+    pub traces: usize,
+    /// Ops per trace.
+    pub trace_ops: usize,
+    /// Dimensionalities exercised.
+    pub dims: Vec<usize>,
+    /// Fault-probability grid (0.0 = control runs).
+    pub grid: Vec<f64>,
+}
+
+impl DiskSweepConfig {
+    /// CI-sized sweep (`ddc check disk --quick`).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            traces: 3,
+            trace_ops: 50,
+            dims: vec![1, 2],
+            grid: vec![0.0, 0.01, 0.06],
+        }
+    }
+
+    /// The full overnight grid.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            traces: 8,
+            trace_ops: 140,
+            dims: vec![1, 2, 3],
+            grid: vec![0.0, 0.002, 0.01, 0.03, 0.06, 0.15],
+        }
+    }
+}
+
+/// A sweep run's probabilities at grid point `p`: reads are weighted
+/// down (they only fire during recovery) and ENOSPC is rarer than the
+/// transient kinds so most runs exercise the retry path rather than
+/// degrading on first contact.
+fn probs_at(p: f64) -> FaultProbs {
+    FaultProbs {
+        write_err: p,
+        short_write: p,
+        no_space: p / 4.0,
+        sync_fail: p,
+        read_err: p / 2.0,
+        read_corrupt: p / 4.0,
+    }
+}
+
+/// One surviving contract violation, shrunk and replayable.
+#[derive(Clone, Debug)]
+pub struct DiskViolation {
+    /// The seeded schedule that produced it.
+    pub schedule: FaultSchedule,
+    /// First violation message.
+    pub detail: String,
+    /// Shrunk explicit fault list that still reproduces.
+    pub shrunk: Vec<PlannedFault>,
+}
+
+/// What a [`disk_sweep`] measured.
+#[derive(Clone, Debug, Default)]
+pub struct DiskSweepReport {
+    /// Trace replays performed.
+    pub runs: usize,
+    /// Faults injected across all runs.
+    pub faults_injected: usize,
+    /// Runs that ended in (clean) degraded mode.
+    pub degraded_runs: usize,
+    /// Mutations acknowledged across all runs.
+    pub acked: usize,
+    /// Violations found (empty on a healthy build).
+    pub violations: Vec<DiskViolation>,
+}
+
+impl DiskSweepReport {
+    /// No violation anywhere on the grid.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs seeded traces across the fault-probability grid under the
+/// production retry policy (with zero backoff — wall-clock sleeps only
+/// slow the sweep down). Any violation is shrunk before reporting.
+pub fn disk_sweep(config: &DiskSweepConfig) -> DiskSweepReport {
+    let policy = RetryPolicy::instant();
+    let mut report = DiskSweepReport::default();
+    let mut run_index = 0u64;
+    for &d in &config.dims {
+        for &p in &config.grid {
+            for t in 0..config.traces {
+                run_index += 1;
+                let schedule = FaultSchedule {
+                    dims: d,
+                    trace_seed: config
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(run_index),
+                    trace_ops: config.trace_ops,
+                    fault_seed: config.seed ^ (run_index << 20) ^ t as u64,
+                    probs: probs_at(p),
+                };
+                let trace = schedule.trace();
+                let vfs = schedule.vfs();
+                let run = run_trace_under_faults(&trace, &vfs, policy.clone());
+                report.runs += 1;
+                report.faults_injected += run.faults.len();
+                report.acked += run.acked;
+                if run.degraded {
+                    report.degraded_runs += 1;
+                }
+                if let Some(detail) = run.violations.first() {
+                    let shrunk = shrink_fault_schedule(&trace, &run.faults, &policy);
+                    report.violations.push(DiskViolation {
+                        schedule,
+                        detail: detail.clone(),
+                        shrunk,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// What replaying one committed schedule against the seeded bug found.
+#[derive(Clone, Debug)]
+pub struct RefindReport {
+    /// First violation the weakened policy produced.
+    pub violation: String,
+    /// Faults the weakened run injected.
+    pub faults: usize,
+    /// Shrunk fault list still reproducing under the weakened policy.
+    pub shrunk: Vec<PlannedFault>,
+}
+
+/// Replays a committed schedule twice: with
+/// `RetryPolicy::truncate_on_retry` disabled the harness must re-find a
+/// durability violation (the seeded bug), and with the production
+/// policy the same schedule must come back clean. `Err` means the
+/// harness lost its teeth — a CI failure.
+pub fn refind_seeded_bug(schedule: &FaultSchedule) -> Result<RefindReport, String> {
+    let trace = schedule.trace();
+    let weakened = RetryPolicy {
+        truncate_on_retry: false,
+        ..RetryPolicy::instant()
+    };
+    let vfs = schedule.vfs();
+    let weak_run = run_trace_under_faults(&trace, &vfs, weakened.clone());
+    let Some(violation) = weak_run.violations.first().cloned() else {
+        return Err(
+            "schedule no longer re-finds the seeded torn-tail bug under the weakened policy"
+                .to_string(),
+        );
+    };
+    let production = run_trace_under_faults(&trace, &schedule.vfs(), RetryPolicy::instant());
+    if let Some(v) = production.violations.first() {
+        return Err(format!(
+            "schedule violates durability under the PRODUCTION policy: {v}"
+        ));
+    }
+    Ok(RefindReport {
+        violation,
+        faults: weak_run.faults.len(),
+        shrunk: shrink_fault_schedule(&trace, &weak_run.faults, &weakened),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_clean_under_the_production_policy() {
+        let report = disk_sweep(&DiskSweepConfig::quick(0xD15C));
+        assert!(
+            report.is_clean(),
+            "{:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| &v.detail)
+                .collect::<Vec<_>>()
+        );
+        assert!(report.runs > 0);
+        assert!(
+            report.faults_injected > 0,
+            "grid injected no faults at all — the sweep is vacuous"
+        );
+    }
+
+    #[test]
+    fn explicit_replay_of_realized_faults_is_deterministic() {
+        let schedule = FaultSchedule {
+            dims: 2,
+            trace_seed: 0x51,
+            trace_ops: 50,
+            fault_seed: 0x52,
+            probs: probs_at(0.08),
+        };
+        let trace = schedule.trace();
+        let seeded = run_trace_under_faults(&trace, &schedule.vfs(), RetryPolicy::instant());
+        let replay_vfs = FaultVfs::explicit_mem(seeded.faults.clone());
+        let replay = run_trace_under_faults(&trace, &replay_vfs, RetryPolicy::instant());
+        assert_eq!(seeded.faults, replay.faults);
+        assert_eq!(seeded.violations, replay.violations);
+        assert_eq!(seeded.acked, replay.acked);
+    }
+
+    #[test]
+    fn schedule_text_round_trips() {
+        let schedule = FaultSchedule {
+            dims: 3,
+            trace_seed: 0xDEAD_BEEF,
+            trace_ops: 77,
+            fault_seed: 42,
+            probs: FaultProbs {
+                write_err: 0.01,
+                short_write: 0.25,
+                no_space: 0.0,
+                sync_fail: 0.125,
+                read_err: 0.0,
+                read_corrupt: 0.0625,
+            },
+        };
+        let parsed = FaultSchedule::parse(&schedule.to_text()).expect("round trip");
+        assert_eq!(parsed, schedule);
+        assert!(FaultSchedule::parse("dims 2\nbogus 4\n").is_err());
+        assert!(FaultSchedule::parse("p gremlins 0.5\n").is_err());
+        assert!(FaultSchedule::parse("dims 2\n").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn enospc_degrades_cleanly_and_loses_nothing() {
+        // A plan that throws ENOSPC at every write once armed: the very
+        // first logged op degrades the cube; queries must keep serving
+        // the (empty-prefix) acked state and recovery must be exact.
+        let schedule = FaultSchedule {
+            dims: 2,
+            trace_seed: 0x77,
+            trace_ops: 40,
+            fault_seed: 0x78,
+            probs: FaultProbs {
+                no_space: 1.0,
+                ..FaultProbs::none()
+            },
+        };
+        let trace = schedule.trace();
+        let run = run_trace_under_faults(&trace, &schedule.vfs(), RetryPolicy::instant());
+        assert!(run.is_clean(), "{:?}", run.violations);
+        assert!(!run.faults.is_empty());
+    }
+
+    #[test]
+    fn shrinker_reduces_a_failing_schedule_and_keeps_it_failing() {
+        // Find a weakened-policy failure, then shrink it.
+        let weakened = RetryPolicy {
+            truncate_on_retry: false,
+            ..RetryPolicy::instant()
+        };
+        let mut found = None;
+        for seed in 0..64u64 {
+            let schedule = FaultSchedule {
+                dims: 2,
+                trace_seed: seed.wrapping_mul(131) + 7,
+                trace_ops: 40,
+                fault_seed: seed,
+                probs: FaultProbs {
+                    short_write: 0.3,
+                    ..FaultProbs::none()
+                },
+            };
+            let trace = schedule.trace();
+            let run = run_trace_under_faults(&trace, &schedule.vfs(), weakened.clone());
+            if !run.is_clean() && run.faults.len() >= 2 {
+                found = Some((trace, run.faults));
+                break;
+            }
+        }
+        let (trace, faults) = found.expect("some seed exposes the weakened policy");
+        let shrunk = shrink_fault_schedule(&trace, &faults, &weakened);
+        assert!(!shrunk.is_empty());
+        assert!(shrunk.len() <= faults.len());
+        let vfs = FaultVfs::explicit_mem(shrunk.clone());
+        assert!(
+            !run_trace_under_faults(&trace, &vfs, weakened).is_clean(),
+            "shrunk schedule must still reproduce"
+        );
+    }
+}

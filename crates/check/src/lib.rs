@@ -23,6 +23,7 @@
 mod adapters;
 mod buggy;
 mod crash;
+mod disk;
 mod fault;
 mod interleave;
 pub mod lint;
@@ -36,6 +37,10 @@ pub use adapters::{
 };
 pub use buggy::{roster_with_bug, OffByOneEngine};
 pub use crash::{corruption_divergence, crash_sweep, CrashSweepReport};
+pub use disk::{
+    disk_sweep, refind_seeded_bug, run_trace_under_faults, shrink_fault_schedule, DiskRunReport,
+    DiskSweepConfig, DiskSweepReport, DiskViolation, FaultSchedule, RefindReport,
+};
 pub use fault::{
     fault_sweep, fault_sweep_growable, FailingReader, FailingWriter, FaultSweepReport,
 };

@@ -6,6 +6,7 @@
 //! ddc check faults [--seed N]
 //! ddc check crash [--seed N] [--cases N] [--ops N] [--out FILE]
 //! ddc check serve [--seed N] [--iters N]
+//! ddc check disk [--quick] [--seed N] [--schedules DIR]
 //! ```
 //!
 //! `run` fuzzes every engine against the oracle; on divergence the
@@ -18,9 +19,17 @@
 //! exactly the acknowledged prefix (shrinking any violation to a
 //! replayable trace). `serve` fuzzes the network wire parser with
 //! mutated/split/truncated requests and verifies both seeded parser
-//! bugs are found.
+//! bugs are found. `disk` runs the disk-fault chaos sweep: seeded
+//! traces against a fault-injecting VFS across a fault-probability
+//! grid (no acked update lost; every run ends healthy or cleanly
+//! degraded), then replays the committed `tests/faults/*.sched`
+//! schedules with the retry protocol's tail truncation disabled and
+//! verifies both seeded corruption classes are re-found.
 
-use ddc_check::{crash_sweep, fault_sweep, fault_sweep_growable, fuzz, run_trace};
+use ddc_check::{
+    crash_sweep, disk_sweep, fault_sweep, fault_sweep_growable, fuzz, refind_seeded_bug, run_trace,
+    DiskSweepConfig, FaultSchedule,
+};
 use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
 use ddc_workload::{CheckTrace, CheckTraceConfig, DdcRng};
 
@@ -217,8 +226,87 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 found.join(", ")
             ))
         }
-        _ => Err("usage: ddc check run|replay|faults|crash|serve …".to_string()),
+        Some("disk") => {
+            let rest = &args[1..];
+            let seed = parse_flag(rest, "--seed")?.unwrap_or(0xD15C);
+            let quick = rest.iter().any(|a| a == "--quick");
+            let schedules_dir =
+                parse_str(rest, "--schedules")?.unwrap_or_else(|| "tests/faults".to_string());
+            let config = if quick {
+                DiskSweepConfig::quick(seed)
+            } else {
+                DiskSweepConfig::full(seed)
+            };
+            let report = disk_sweep(&config);
+            if let Some(v) = report.violations.first() {
+                return Err(format!(
+                    "disk-fault violation (seed {seed}): {}\n\
+                     schedule:\n{}\
+                     shrunk to {} faults: {:?}",
+                    v.detail,
+                    v.schedule.to_text(),
+                    v.shrunk.len(),
+                    v.shrunk
+                ));
+            }
+            // Regression teeth: every committed schedule must re-find a
+            // violation when the tail-truncation protocol is disabled.
+            let mut entries: Vec<_> = std::fs::read_dir(&schedules_dir)
+                .map_err(|e| format!("cannot read schedule dir {schedules_dir}: {e}"))?
+                .filter_map(Result::ok)
+                .map(|d| d.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "sched"))
+                .collect();
+            entries.sort();
+            if entries.is_empty() {
+                return Err(format!("no .sched schedules in {schedules_dir}"));
+            }
+            let mut refound = Vec::new();
+            for path in &entries {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string());
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let schedule = FaultSchedule::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                let r = refind_seeded_bug(&schedule).map_err(|e| format!("{name}: {e}"))?;
+                refound.push(format!(
+                    "{name} ({} faults, shrunk to {}): {}",
+                    r.faults,
+                    r.shrunk.len(),
+                    r.violation
+                ));
+            }
+            Ok(format!(
+                "ok: disk sweep: {} runs, {} faults injected, {} acked ops, \
+                 {} degraded runs, 0 violations (seed {seed})\n\
+                 seeded bugs re-found: {}/{}\n  {}",
+                report.runs,
+                report.faults_injected,
+                report.acked,
+                report.degraded_runs,
+                refound.len(),
+                entries.len(),
+                refound.join("\n  ")
+            ))
+        }
+        _ => Err("usage: ddc check run|replay|faults|crash|serve|disk …".to_string()),
     }
+}
+
+/// Parses a `--flag value` string option.
+fn parse_str(args: &[String], name: &str) -> Result<Option<String>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{name} needs a value"));
+        }
+    }
+    Ok(None)
 }
 
 /// Replays a parsed trace, reporting stats or the divergence.

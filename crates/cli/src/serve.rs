@@ -4,6 +4,7 @@
 //! ```text
 //! ddc serve   [--addr HOST:PORT] [--side N] [--shards N] [--workers N]
 //!             [--max-conns N] [--rate N] [--burst N]
+//!             [--durable DIR [--dims D]]
 //! ddc loadgen [--addr HOST:PORT] [--threads N] [--requests N]
 //!             [--batch N] [--update-pct N] [--seed N] [--side N]
 //!             [--shards N] [--json FILE]
@@ -11,19 +12,28 @@
 //!
 //! `serve` binds a [`ShardedCube`] behind the zero-dependency TCP
 //! server and runs until killed; the listening address is printed on
-//! stdout so scripts (and the CI smoke job) can wait for it. `loadgen`
-//! drives pipelined mixed traffic — against `--addr`, or against an
-//! in-process server when omitted — and prints throughput and batch-RTT
-//! quantiles; `--json` additionally writes the schema-v1
+//! stdout so scripts (and the CI smoke job) can wait for it. With
+//! `--durable DIR` it instead serves a WAL-backed growable cube
+//! recovered from `DIR/snapshot.ddc` + `DIR/wal.log`: every acked
+//! update is fsynced to the log first, a disk fault degrades the
+//! backend to read-only (mutations 503, `/healthz` reports
+//! `degraded`) instead of crashing, and a restart replays the log.
+//! `loadgen` drives pipelined mixed traffic — against `--addr`, or
+//! against an in-process server when omitted — and prints throughput
+//! and batch-RTT quantiles; `--json` additionally writes the schema-v1
 //! `BENCH_serve_latency.json` report the perf gate compares against
 //! `bench/baselines/`.
 
 use crate::check::parse_flag;
 use ddc_array::Shape;
 use ddc_core::sync::Arc;
-use ddc_core::{DdcConfig, ShardConfig, ShardedCube};
+use ddc_core::vfs::StdVfs;
+use ddc_core::wal::{self, RetryPolicy};
+use ddc_core::{DdcConfig, ShardConfig, ShardedCube, SharedDurableCube, WalConfig};
 use ddc_serve::loadgen::{self, LoadgenConfig};
-use ddc_serve::{AdmissionConfig, ServeBackend, Server, ServerConfig, ShardedBackend};
+use ddc_serve::{
+    AdmissionConfig, DurableBackend, ServeBackend, Server, ServerConfig, ShardedBackend,
+};
 
 fn parse_str_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
     match args.iter().position(|a| a == name) {
@@ -49,13 +59,55 @@ pub fn run(args: &[String]) -> Result<String, String> {
     if side == 0 {
         return Err("--side must be at least 1".to_string());
     }
-    let cube = ShardedCube::<i64>::new(
-        Shape::new(&[side, side]),
-        DdcConfig::default(),
-        ShardConfig::with_shards(shards.max(1)),
-    );
+    let (backend, what): (Arc<dyn ServeBackend>, String) = match parse_str_flag(args, "--durable")?
+    {
+        Some(dir) => {
+            let dims = parse_flag(args, "--dims")?.unwrap_or(2) as usize;
+            if dims == 0 {
+                return Err("--dims must be at least 1".to_string());
+            }
+            std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let wal_path = format!("{dir}/wal.log");
+            let snap_path = format!("{dir}/snapshot.ddc");
+            let (cube, report) = wal::recover_vfs::<i64, _>(
+                &StdVfs,
+                &wal_path,
+                Some(&snap_path),
+                dims,
+                DdcConfig::dynamic(),
+                WalConfig::default(),
+                RetryPolicy::default(),
+            )
+            .map_err(|e| format!("cannot recover durable cube from {dir}: {e}"))?;
+            let what = format!(
+                "durable {dims}-dimensional cube from {dir} (snapshot={}, {} records \
+                     replayed{})",
+                if report.snapshot_loaded { "yes" } else { "no" },
+                report.replayed,
+                match &report.truncated {
+                    Some(why) => format!(", torn tail ignored: {why}"),
+                    None => String::new(),
+                }
+            );
+            (
+                Arc::new(DurableBackend::new(SharedDurableCube::from_cube(cube))),
+                what,
+            )
+        }
+        None => {
+            let cube = ShardedCube::<i64>::new(
+                Shape::new(&[side, side]),
+                DdcConfig::default(),
+                ShardConfig::with_shards(shards.max(1)),
+            );
+            (
+                Arc::new(ShardedBackend::new(cube)),
+                format!("{side}x{side} cube, {} shards", shards.max(1)),
+            )
+        }
+    };
     let server = Server::start(
-        Arc::new(ShardedBackend::new(cube)) as Arc<dyn ServeBackend>,
+        backend,
         ServerConfig {
             addr,
             workers: workers.max(1),
@@ -71,10 +123,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     .map_err(|e| format!("cannot start server: {e}"))?;
     // Scripts parse this line to learn the (possibly ephemeral) port.
     println!(
-        "ddc serve: listening on {} ({side}x{side} cube, {} shards, {workers} workers, \
-         rate {rate_per_sec}/s)",
+        "ddc serve: listening on {} ({what}, {workers} workers, rate {rate_per_sec}/s)",
         server.local_addr(),
-        shards.max(1)
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();

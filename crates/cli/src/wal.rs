@@ -1,19 +1,33 @@
 //! `ddc wal` — operator tooling for write-ahead logs.
 //!
 //! ```text
-//! ddc wal recover --wal FILE [--snapshot FILE] [--dims D] [--out FILE]
+//! ddc wal recover --wal FILE [--snapshot FILE] [--dims D] [--out FILE [--rotate]]
 //! ddc wal truncate-check --wal FILE [--fix]
 //! ```
 //!
 //! `recover` rebuilds a cube from the last good snapshot plus the log,
 //! truncating a torn tail instead of failing, and optionally writes the
-//! recovered state as a fresh snapshot (`--out`). `truncate-check`
-//! inspects a log for a torn or corrupt tail; with `--fix` it truncates
-//! the file to the last whole record, which is exactly what recovery
-//! would ignore anyway.
+//! recovered state as a fresh snapshot (`--out`). A snapshot that
+//! *includes* the log's records must not be paired with that same log
+//! again — recovery would apply every record twice — so `--out` warns
+//! unless `--rotate` also resets the log to a bare header (the
+//! checkpoint protocol, done after the snapshot is durably in place).
+//! `truncate-check` inspects a log for a torn or corrupt tail; with
+//! `--fix` it truncates the file to the last whole record, which is
+//! exactly what recovery would ignore anyway.
+//!
+//! All file IO goes through the [`ddc_core::vfs`] seam: reads use
+//! [`read_stable`] (two consecutive identical reads defeat a transient
+//! read-back bit flip) and snapshot writes are atomic
+//! (tmp + sync + rename), so a crash mid-`--out` or mid-`--fix` never
+//! leaves a half-written file where a good one stood.
 
+use ddc_core::vfs::{read_stable, StdVfs, Vfs};
 use ddc_core::wal::{self, WAL_HEADER_BYTES};
 use ddc_core::{DdcConfig, GrowableCube, WalConfig};
+
+/// Read attempts for [`read_stable`] on operator paths.
+const READ_ATTEMPTS: u32 = 4;
 
 fn parse_path(args: &[String], name: &str) -> Result<Option<String>, String> {
     for (i, a) in args.iter().enumerate() {
@@ -58,9 +72,13 @@ fn recover(args: &[String]) -> Result<String, String> {
         parse_path(args, "--wal")?.ok_or_else(|| "recover requires --wal FILE".to_string())?;
     let snap_path = parse_path(args, "--snapshot")?;
     let out_path = parse_path(args, "--out")?;
-    let log = std::fs::read(&wal_path).map_err(|e| format!("cannot read {wal_path}: {e}"))?;
+    let vfs = StdVfs;
+    let log = read_stable(&vfs, &wal_path, READ_ATTEMPTS)
+        .map_err(|e| format!("cannot read {wal_path}: {e}"))?;
     let snapshot = match &snap_path {
-        Some(p) => Some(std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?),
+        Some(p) => {
+            Some(read_stable(&vfs, p, READ_ATTEMPTS).map_err(|e| format!("cannot read {p}: {e}"))?)
+        }
         None => None,
     };
 
@@ -99,11 +117,32 @@ fn recover(args: &[String]) -> Result<String, String> {
         None => text.push_str("\nlog was clean"),
     }
     if let Some(out) = out_path {
-        let mut f = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let mut image = Vec::new();
         let bytes = cube
-            .save(&mut f)
+            .save(&mut image)
+            .map_err(|e| format!("cannot encode snapshot: {e}"))?;
+        vfs.write_atomic(&out, &image)
             .map_err(|e| format!("cannot write {out}: {e}"))?;
-        text.push_str(&format!("\nsnapshot written: {out} ({bytes} bytes)"));
+        text.push_str(&format!(
+            "\nsnapshot written: {out} ({bytes} bytes, atomic)"
+        ));
+        if args.iter().any(|a| a == "--rotate") {
+            // Checkpoint protocol: only after the snapshot is durably
+            // renamed into place may the log it covers be reset.
+            let mut header = [0u8; WAL_HEADER_BYTES];
+            header[..4].copy_from_slice(wal::WAL_MAGIC);
+            header[4] = wal::WAL_VERSION;
+            vfs.write_atomic(&wal_path, &header)
+                .map_err(|e| format!("cannot rotate {wal_path}: {e}"))?;
+            text.push_str(&format!("\nlog rotated: {wal_path} reset to a bare header"));
+        } else if report.replayed > 0 {
+            text.push_str(&format!(
+                "\nwarning: {wal_path} still holds the {} records baked into this snapshot; \
+                 pairing the two replays them twice — rerun with --rotate (or rotate the log \
+                 yourself) before serving from this snapshot + log",
+                report.replayed
+            ));
+        }
     }
     Ok(text)
 }
@@ -112,7 +151,9 @@ fn truncate_check(args: &[String]) -> Result<String, String> {
     let wal_path = parse_path(args, "--wal")?
         .ok_or_else(|| "truncate-check requires --wal FILE".to_string())?;
     let fix = args.iter().any(|a| a == "--fix");
-    let log = std::fs::read(&wal_path).map_err(|e| format!("cannot read {wal_path}: {e}"))?;
+    let vfs = StdVfs;
+    let log = read_stable(&vfs, &wal_path, READ_ATTEMPTS)
+        .map_err(|e| format!("cannot read {wal_path}: {e}"))?;
 
     let replay =
         wal::read_wal::<i64>(&log, WalConfig::default()).map_err(|e| format!("{wal_path}: {e}"))?;
@@ -131,7 +172,8 @@ fn truncate_check(args: &[String]) -> Result<String, String> {
         debug_assert!(replay.valid_bytes >= WAL_HEADER_BYTES as u64);
         let mut keep = log;
         keep.truncate(replay.valid_bytes as usize);
-        std::fs::write(&wal_path, &keep).map_err(|e| format!("cannot rewrite {wal_path}: {e}"))?;
+        vfs.write_atomic(&wal_path, &keep)
+            .map_err(|e| format!("cannot rewrite {wal_path}: {e}"))?;
         Ok(format!(
             "fixed: {wal_path}: truncated to {} records / {} bytes ({garbage} damaged bytes \
              dropped: {why})",

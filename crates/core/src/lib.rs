@@ -31,6 +31,7 @@ mod secondary;
 mod shard;
 pub mod sync;
 mod tree;
+pub mod vfs;
 pub mod wal;
 
 pub use concurrent::SharedCube;
@@ -40,4 +41,11 @@ pub use growth::GrowableCube;
 pub use persist::ValueCodec;
 pub use shard::{MetricsSnapshot, ShardConfig, ShardedCube, TryUpdateError};
 pub use tree::{Contribution, DdcTree, LevelStats, TraceStep, TreeStats};
-pub use wal::{DurableCube, RecoveryReport, SharedDurableCube, WalOp, WalReplay, WalWriter};
+pub use vfs::{
+    FaultKind, FaultPlan, FaultProbs, FaultVfs, MemVfs, OpenMode, PlannedFault, StdVfs, Vfs,
+    VfsFile,
+};
+pub use wal::{
+    DurableCube, IoError, RecoveryReport, RetryPolicy, SharedDurableCube, WalOp, WalReplay,
+    WalWriter,
+};

@@ -145,6 +145,11 @@ pub enum TryUpdateError {
         /// Index of the failed shard.
         shard: usize,
     },
+    /// The durable store is in degraded read-only mode after a disk
+    /// fault (ENOSPC or retry exhaustion — see
+    /// [`IoError`](crate::wal::IoError)); queries keep serving, but
+    /// mutations are rejected until an operator intervenes.
+    ReadOnly,
 }
 
 impl std::fmt::Display for TryUpdateError {
@@ -155,6 +160,12 @@ impl std::fmt::Display for TryUpdateError {
             }
             TryUpdateError::ShardFailed { shard } => {
                 write!(f, "shard {shard} failed (restart budget exhausted)")
+            }
+            TryUpdateError::ReadOnly => {
+                write!(
+                    f,
+                    "durable store is read-only (degraded after a disk fault)"
+                )
             }
         }
     }

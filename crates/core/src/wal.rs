@@ -34,8 +34,26 @@
 //! [`ValueCodec`](crate::ValueCodec) like snapshots do. The CRC32 (IEEE
 //! 802.3, reflected) is implemented in-repo so the workspace stays
 //! hermetic.
+//!
+//! ## Disk faults
+//!
+//! Every byte of durable IO flows through the [`crate::vfs`] seam, so
+//! the log survives *disk* death too, not just process death. The
+//! policy (DESIGN S44):
+//!
+//! * transient faults (EIO, short writes, failed sync) are retried with
+//!   bounded exponential backoff; before each retry the log is
+//!   truncated back to the acknowledged high-water mark so a torn
+//!   partial frame can never sit under a later acked record;
+//! * ENOSPC and retry exhaustion flip the [`DurableCube`] into
+//!   **degraded read-only mode** — queries keep serving, mutations
+//!   return [`IoError::ReadOnly`] — surfaced through the
+//!   `ddc_degraded_mode` gauge and `ddc serve`'s `/healthz`;
+//! * the `ddc check disk` chaos sweep drives seeded fault schedules
+//!   through this path and asserts no acked update is ever lost.
 
 use std::io::{self, Write};
+use std::time::Duration;
 
 use crate::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -45,9 +63,12 @@ use crate::config::{DdcConfig, WalConfig};
 use crate::growth::GrowableCube;
 use crate::obs;
 use crate::persist::ValueCodec;
+use crate::vfs::{is_no_space, read_stable, OpenMode, Vfs, VfsFile};
 
 /// Durability-path observability handles: append latency (the full
-/// log-and-flush), the flush/sync portion alone, and recovery replay.
+/// log-and-sync), the sync portion alone, recovery replay, and the
+/// disk-fault counters surfaced as `ddc_wal_io_faults` /
+/// `ddc_wal_io_retries` / `ddc_degraded_mode`.
 struct WalObs {
     append_ns: Arc<obs::Histogram>,
     fsync_ns: Arc<obs::Histogram>,
@@ -56,6 +77,9 @@ struct WalObs {
     append_bytes: Arc<obs::Counter>,
     recover_records: Arc<obs::Counter>,
     recover_runs: Arc<obs::Counter>,
+    io_faults: Arc<obs::Counter>,
+    io_retries: Arc<obs::Counter>,
+    degraded_mode: Arc<obs::Gauge>,
 }
 
 fn wal_obs() -> &'static WalObs {
@@ -68,7 +92,130 @@ fn wal_obs() -> &'static WalObs {
         append_bytes: obs::counter("wal.append.bytes"),
         recover_records: obs::counter("wal.recover.records"),
         recover_runs: obs::counter("wal.recover.runs"),
+        io_faults: obs::counter("wal.io.faults"),
+        io_retries: obs::counter("wal.io.retries"),
+        degraded_mode: obs::gauge("degraded.mode"),
     })
+}
+
+// ---------------------------------------------------------------------
+// Typed IO errors and the retry policy
+// ---------------------------------------------------------------------
+
+/// Typed durability-path error. The variant tells the caller what the
+/// failure means for the cube's state, not just what syscall failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// The operation failed but the cube is unchanged and healthy —
+    /// retrying the *call* later may succeed (e.g. a codec rejection,
+    /// or a checkpoint that failed before the snapshot rename).
+    Transient {
+        /// Human-readable cause.
+        detail: String,
+        /// IO retries burned before giving up on this call.
+        retries: u32,
+    },
+    /// The bounded retry budget was spent without a successful append.
+    /// The cube has entered degraded read-only mode.
+    Exhausted {
+        /// Human-readable cause (the last underlying IO error).
+        detail: String,
+        /// Retries attempted.
+        retries: u32,
+        /// True when the final failure was at the sync barrier *and*
+        /// the torn-tail cleanup also failed: the record's durability
+        /// is ambiguous (the classic commit window), so recovery may
+        /// legitimately replay this one unacknowledged operation.
+        indeterminate: bool,
+    },
+    /// The cube is in degraded read-only mode (ENOSPC or a previous
+    /// exhaustion); mutations are rejected without touching the log.
+    ReadOnly {
+        /// Why the cube degraded.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Transient { detail, retries } => {
+                write!(f, "transient IO failure ({retries} retries): {detail}")
+            }
+            IoError::Exhausted {
+                detail,
+                retries,
+                indeterminate,
+            } => write!(
+                f,
+                "IO retry budget exhausted after {retries} retries{}: {detail}",
+                if *indeterminate {
+                    " (durability of the last record is indeterminate)"
+                } else {
+                    ""
+                }
+            ),
+            IoError::ReadOnly { reason } => {
+                write!(f, "durable store is read-only (degraded): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Bounded-retry policy for transient disk faults on the append path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt before declaring exhaustion.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubled each subsequent retry.
+    pub base_delay: Duration,
+    /// Ceiling on the per-retry backoff.
+    pub max_delay: Duration,
+    /// Truncate the log back to the acknowledged high-water mark before
+    /// each retry (and after final failure), so a torn partial frame
+    /// never precedes a later acked record and a synced-but-unacked
+    /// frame is removed rather than duplicated.
+    ///
+    /// Production code never turns this off; `ddc check disk` replays
+    /// its committed fault schedules with it disabled and must
+    /// rediscover both resulting corruption classes.
+    #[doc(hidden)]
+    pub truncate_on_retry: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            truncate_on_retry: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Default budget with zero backoff — for harnesses and tests where
+    /// wall-clock sleeps only slow the sweep down.
+    pub fn instant() -> Self {
+        Self {
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based): `base · 2^(r-1)`,
+    /// capped at [`RetryPolicy::max_delay`].
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let mult = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_delay.saturating_mul(mult).min(self.max_delay)
+    }
 }
 
 /// Log header: magic plus a format version byte.
@@ -252,60 +399,179 @@ fn read_exactly(input: &mut &[u8], buf: &mut [u8]) -> Result<(), String> {
 // Writer
 // ---------------------------------------------------------------------
 
-/// Appends framed, checksummed records to a sink, flushing each one
-/// before reporting success — a record is **acknowledged** exactly when
-/// [`WalWriter::append`] returns `Ok`.
-#[derive(Debug)]
-pub struct WalWriter<W: Write> {
-    out: W,
-    bytes: u64,
-    records: u64,
+/// Where a failed append attempt died — before or after the bytes
+/// reached the file. Sync-stage failures leave a complete frame whose
+/// durability is ambiguous; write-stage failures leave nothing or a
+/// torn prefix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum FrameStage {
+    Write,
+    Sync,
 }
 
-impl<W: Write> WalWriter<W> {
-    /// Starts a fresh log on `out`: writes and flushes the header.
-    pub fn create(mut out: W) -> io::Result<Self> {
-        out.write_all(WAL_MAGIC)?;
-        out.write_all(&[WAL_VERSION])?;
-        out.flush()?;
+/// Appends framed, checksummed records to a [`VfsFile`], issuing the
+/// sync barrier on each one before reporting success — a record is
+/// **acknowledged** exactly when [`WalWriter::append`] (or
+/// [`WalWriter::append_with_retry`]) returns `Ok`.
+#[derive(Debug)]
+pub struct WalWriter<F: VfsFile> {
+    out: F,
+    bytes: u64,
+    records: u64,
+    io_faults: u64,
+    io_retries: u64,
+}
+
+impl<F: VfsFile> WalWriter<F> {
+    /// Starts a fresh log on `out`: writes and syncs the header.
+    pub fn create(mut out: F) -> io::Result<Self> {
+        let mut header = [0u8; WAL_HEADER_BYTES];
+        header[..4].copy_from_slice(WAL_MAGIC);
+        header[4] = WAL_VERSION;
+        out.write_all(&header)?;
+        out.sync()?;
         Ok(Self {
             out,
             bytes: WAL_HEADER_BYTES as u64,
             records: 0,
+            io_faults: 0,
+            io_retries: 0,
         })
     }
 
     /// Resumes appending to a log that already holds `bytes` valid bytes
     /// and `records` records (as reported by [`read_wal`]). The caller
     /// must have truncated the sink to exactly `bytes` first.
-    pub fn resume(out: W, bytes: u64, records: u64) -> Self {
+    pub fn resume(out: F, bytes: u64, records: u64) -> Self {
         Self {
             out,
             bytes,
             records,
+            io_faults: 0,
+            io_retries: 0,
         }
     }
 
-    /// Appends one record and flushes. Returns the total log size in
-    /// bytes after the append — the durable high-water mark.
-    pub fn append<G: AbelianGroup + ValueCodec>(&mut self, op: &WalOp<G>) -> io::Result<u64> {
-        let site = wal_obs();
-        let span = obs::timer();
+    /// Frames one record: `u32 len | u32 crc | payload` in a single
+    /// buffer, so the fault surface per append is one write plus one
+    /// sync.
+    fn encode_frame<G: AbelianGroup + ValueCodec>(op: &WalOp<G>) -> io::Result<Vec<u8>> {
         let mut payload = Vec::with_capacity(32);
         op.encode_payload(&mut payload)?;
-        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.out.write_all(&crc32(&payload).to_le_bytes())?;
-        self.out.write_all(&payload)?;
+        let mut frame = Vec::with_capacity(WAL_FRAME_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        Ok(frame)
+    }
+
+    /// One write+sync attempt; reports which stage failed.
+    fn append_frame_once(&mut self, frame: &[u8]) -> Result<(), (FrameStage, io::Error)> {
+        let site = wal_obs();
+        let span = obs::timer();
+        self.out
+            .write_all(frame)
+            .map_err(|e| (FrameStage::Write, e))?;
         let sync = obs::timer();
-        self.out.flush()?;
+        self.out.sync().map_err(|e| (FrameStage::Sync, e))?;
         sync.observe("wal.fsync", &site.fsync_ns);
-        self.bytes += (WAL_FRAME_BYTES + payload.len()) as u64;
+        span.observe("wal.append", &site.append_ns);
+        Ok(())
+    }
+
+    /// Advances the acknowledged high-water mark after a durable frame.
+    fn commit_frame(&mut self, frame_len: usize) {
+        let site = wal_obs();
+        self.bytes += frame_len as u64;
         self.records += 1;
         site.append_records.inc();
-        site.append_bytes
-            .add((WAL_FRAME_BYTES + payload.len()) as u64);
-        span.observe("wal.append", &site.append_ns);
+        site.append_bytes.add(frame_len as u64);
+    }
+
+    /// Restores the log tail to the acknowledged high-water mark after
+    /// a failed attempt (no-op under the hidden `truncate_on_retry`
+    /// fault hook).
+    fn restore_tail(&mut self, policy: &RetryPolicy) -> io::Result<()> {
+        if policy.truncate_on_retry {
+            self.out.truncate(self.bytes)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends one record and syncs — a single attempt with no retry.
+    /// Returns the total log size in bytes after the append — the
+    /// durable high-water mark. On error the file tail is *not*
+    /// restored; use [`WalWriter::append_with_retry`] on fallible
+    /// media.
+    pub fn append<G: AbelianGroup + ValueCodec>(&mut self, op: &WalOp<G>) -> io::Result<u64> {
+        let frame = Self::encode_frame(op)?;
+        self.append_frame_once(&frame).map_err(|(_, e)| e)?;
+        self.commit_frame(frame.len());
         Ok(self.bytes)
+    }
+
+    /// Appends one record with bounded retry + exponential backoff.
+    /// Before every retry (and after a final failure) the log is
+    /// truncated back to the acknowledged high-water mark, so a torn
+    /// partial frame can never precede a later acked record and a
+    /// synced-but-unacked frame is removed rather than duplicated.
+    ///
+    /// ENOSPC is never retried — it returns [`IoError::ReadOnly`]
+    /// immediately so the caller can degrade.
+    pub fn append_with_retry<G: AbelianGroup + ValueCodec>(
+        &mut self,
+        op: &WalOp<G>,
+        policy: &RetryPolicy,
+    ) -> Result<u64, IoError> {
+        let frame = Self::encode_frame(op).map_err(|e| IoError::Transient {
+            detail: format!("encode: {e}"),
+            retries: 0,
+        })?;
+        let site = wal_obs();
+        let mut retries = 0u32;
+        loop {
+            match self.append_frame_once(&frame) {
+                Ok(()) => {
+                    self.commit_frame(frame.len());
+                    return Ok(self.bytes);
+                }
+                Err((stage, e)) => {
+                    self.io_faults += 1;
+                    site.io_faults.inc();
+                    let torn = self.restore_tail(policy).is_err();
+                    if is_no_space(&e) {
+                        return Err(IoError::ReadOnly {
+                            reason: format!("out of disk space: {e}"),
+                        });
+                    }
+                    if torn {
+                        // The tail cleanup itself failed: appending over
+                        // a torn prefix would bury acked records behind
+                        // garbage, so stop here.
+                        return Err(IoError::Exhausted {
+                            detail: format!("cannot restore log tail after failed append: {e}"),
+                            retries,
+                            indeterminate: stage == FrameStage::Sync,
+                        });
+                    }
+                    if retries >= policy.max_retries {
+                        return Err(IoError::Exhausted {
+                            detail: e.to_string(),
+                            retries,
+                            indeterminate: false,
+                        });
+                    }
+                    retries += 1;
+                    self.io_retries += 1;
+                    site.io_retries.inc();
+                    let delay = policy.backoff(retries);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
     }
 
     /// Total bytes written (header plus every acknowledged record).
@@ -318,14 +584,26 @@ impl<W: Write> WalWriter<W> {
         self.records
     }
 
+    /// Failed IO attempts observed on this writer (also exported
+    /// globally as `ddc_wal_io_faults`).
+    pub fn io_faults(&self) -> u64 {
+        self.io_faults
+    }
+
+    /// Retries performed on this writer (also exported globally as
+    /// `ddc_wal_io_retries`).
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
     /// Shared view of the sink (e.g. a `Vec<u8>` used as an in-memory
     /// log by the crash harness).
-    pub fn get_ref(&self) -> &W {
+    pub fn get_ref(&self) -> &F {
         &self.out
     }
 
     /// Consumes the writer, returning the sink.
-    pub fn into_inner(self) -> W {
+    pub fn into_inner(self) -> F {
         self.out
     }
 }
@@ -565,53 +843,140 @@ fn apply_to_growable<G: AbelianGroup + ValueCodec>(
 /// assert_eq!(recovered.total(), 8);
 /// ```
 #[derive(Debug)]
-pub struct DurableCube<G: AbelianGroup + ValueCodec, W: Write> {
+pub struct DurableCube<G: AbelianGroup + ValueCodec, F: VfsFile> {
     cube: GrowableCube<G>,
-    wal: WalWriter<W>,
+    wal: WalWriter<F>,
+    policy: RetryPolicy,
+    degraded: Option<String>,
 }
 
-impl<G: AbelianGroup + ValueCodec, W: Write> DurableCube<G, W> {
+impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
     /// An empty durable cube logging to `sink` (starts a fresh log).
-    pub fn new(d: usize, config: DdcConfig, sink: W) -> io::Result<Self> {
-        Ok(Self {
-            cube: GrowableCube::new(d, config),
-            wal: WalWriter::create(sink)?,
-        })
+    pub fn new(d: usize, config: DdcConfig, sink: F) -> io::Result<Self> {
+        Ok(Self::from_parts(
+            GrowableCube::new(d, config),
+            WalWriter::create(sink)?,
+            RetryPolicy::default(),
+        ))
     }
 
     /// Wraps an already-recovered cube, starting a fresh log on `sink`
     /// (the caller checkpoints the recovered state separately).
-    pub fn from_recovered(cube: GrowableCube<G>, sink: W) -> io::Result<Self> {
-        Ok(Self {
+    pub fn from_recovered(cube: GrowableCube<G>, sink: F) -> io::Result<Self> {
+        Ok(Self::from_parts(
             cube,
-            wal: WalWriter::create(sink)?,
-        })
+            WalWriter::create(sink)?,
+            RetryPolicy::default(),
+        ))
+    }
+
+    fn from_parts(cube: GrowableCube<G>, wal: WalWriter<F>, policy: RetryPolicy) -> Self {
+        Self {
+            cube,
+            wal,
+            policy,
+            degraded: None,
+        }
+    }
+
+    /// Replaces the retry policy (builder-style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Why the cube is read-only, when it is. Queries keep serving in
+    /// degraded mode; mutations return [`IoError::ReadOnly`].
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Operator override: leave degraded mode (e.g. after freeing disk
+    /// space). The next mutation will attempt the log again.
+    pub fn clear_degraded(&mut self) {
+        if self.degraded.take().is_some() {
+            wal_obs().degraded_mode.set(0);
+        }
+    }
+
+    fn enter_degraded(&mut self, reason: String) {
+        if self.degraded.is_none() {
+            wal_obs().degraded_mode.set(1);
+            self.degraded = Some(reason);
+        }
+    }
+
+    fn guard_writable(&self) -> Result<(), IoError> {
+        match &self.degraded {
+            Some(reason) => Err(IoError::ReadOnly {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Classifies an append failure and flips into degraded mode when
+    /// the failure is terminal for the log.
+    fn note_failure(&mut self, e: IoError) -> IoError {
+        match &e {
+            IoError::ReadOnly { reason } => self.enter_degraded(reason.clone()),
+            IoError::Exhausted {
+                detail, retries, ..
+            } => self.enter_degraded(format!(
+                "append retry budget exhausted after {retries} retries: {detail}"
+            )),
+            IoError::Transient { .. } => {}
+        }
+        e
     }
 
     /// Logs, then applies, a point delta. `Err` means *not acknowledged*:
-    /// the in-memory cube was left untouched.
-    pub fn add(&mut self, point: &[i64], delta: G) -> io::Result<()> {
-        self.wal.append(&WalOp::Update {
+    /// the in-memory cube was left untouched (and, except for the
+    /// documented [`IoError::Exhausted`] indeterminate window, neither
+    /// was the durable log).
+    pub fn add(&mut self, point: &[i64], delta: G) -> Result<(), IoError> {
+        self.guard_writable()?;
+        let op = WalOp::Update {
             point: point.to_vec(),
             delta,
-        })?;
-        self.cube.add(point, delta);
-        Ok(())
+        };
+        match self.wal.append_with_retry(&op, &self.policy) {
+            Ok(_) => {
+                self.cube.add(point, delta);
+                Ok(())
+            }
+            Err(e) => Err(self.note_failure(e)),
+        }
     }
 
     /// Logs, then applies, a cell set; returns the previous value.
-    pub fn set(&mut self, point: &[i64], value: G) -> io::Result<G> {
-        self.wal.append(&WalOp::Set {
+    pub fn set(&mut self, point: &[i64], value: G) -> Result<G, IoError> {
+        self.guard_writable()?;
+        let op = WalOp::Set {
             point: point.to_vec(),
             value,
-        })?;
-        Ok(self.cube.set(point, value))
+        };
+        match self.wal.append_with_retry(&op, &self.policy) {
+            Ok(_) => Ok(self.cube.set(point, value)),
+            Err(e) => Err(self.note_failure(e)),
+        }
     }
 
     /// Logs a covered-box growth step (bookkeeping; see [`WalOp::Grow`]).
-    pub fn log_grow(&mut self, axis: usize, amount: usize, low: bool) -> io::Result<()> {
-        self.wal.append::<G>(&WalOp::Grow { axis, amount, low })?;
-        Ok(())
+    pub fn log_grow(&mut self, axis: usize, amount: usize, low: bool) -> Result<(), IoError> {
+        self.guard_writable()?;
+        match self
+            .wal
+            .append_with_retry::<G>(&WalOp::Grow { axis, amount, low }, &self.policy)
+        {
+            Ok(_) => Ok(()),
+            Err(e) => Err(self.note_failure(e)),
+        }
     }
 
     /// The wrapped cube (reads need no logging).
@@ -626,9 +991,71 @@ impl<G: AbelianGroup + ValueCodec, W: Write> DurableCube<G, W> {
         self.cube.save(out)
     }
 
+    /// Checkpoints through a [`Vfs`]: writes the snapshot atomically
+    /// (tmp + sync + rename), then retires the log by starting a fresh
+    /// one at `wal_path`. Ordering guarantees:
+    ///
+    /// 1. Any failure *before* the snapshot rename is
+    ///    [`IoError::Transient`] — the previous snapshot and the full
+    ///    log are untouched, recovery is unaffected, and the call may
+    ///    simply be retried later (ENOSPC degrades instead).
+    /// 2. Once the rename lands, the snapshot is the authoritative
+    ///    base. `open(Create)` truncates the old log before the new
+    ///    header is written, so a crash in between leaves an empty or
+    ///    torn-header log — a valid empty replay. If even the
+    ///    open/header write fails, the stale log is removed outright;
+    ///    when that also fails the cube degrades rather than risk
+    ///    double-applying the old log onto the new snapshot.
+    pub fn checkpoint_vfs<V: Vfs<File = F>>(
+        &mut self,
+        vfs: &V,
+        snapshot_path: &str,
+        wal_path: &str,
+    ) -> Result<u64, IoError> {
+        self.guard_writable()?;
+        let mut image = Vec::new();
+        self.cube.save(&mut image).map_err(|e| IoError::Transient {
+            detail: format!("snapshot encode: {e}"),
+            retries: 0,
+        })?;
+        if let Err(e) = vfs.write_atomic(snapshot_path, &image) {
+            wal_obs().io_faults.inc();
+            return Err(if is_no_space(&e) {
+                let reason = format!("out of disk space during checkpoint: {e}");
+                self.enter_degraded(reason.clone());
+                IoError::ReadOnly { reason }
+            } else {
+                IoError::Transient {
+                    detail: format!("snapshot write: {e}"),
+                    retries: 0,
+                }
+            });
+        }
+        match vfs
+            .open(wal_path, OpenMode::Create)
+            .and_then(WalWriter::create)
+        {
+            Ok(wal) => {
+                self.wal = wal;
+                Ok(image.len() as u64)
+            }
+            Err(e) => {
+                wal_obs().io_faults.inc();
+                let _ = vfs.remove(wal_path);
+                let reason = format!("log rotation failed after checkpoint: {e}");
+                self.enter_degraded(reason.clone());
+                Err(IoError::Exhausted {
+                    detail: reason,
+                    retries: 0,
+                    indeterminate: false,
+                })
+            }
+        }
+    }
+
     /// Replaces the log with a fresh one on `sink` — the post-checkpoint
     /// truncation. Returns the retired sink.
-    pub fn reset_wal(&mut self, sink: W) -> io::Result<W> {
+    pub fn reset_wal(&mut self, sink: F) -> io::Result<F> {
         let old = std::mem::replace(&mut self.wal, WalWriter::create(sink)?);
         Ok(old.into_inner())
     }
@@ -639,14 +1066,54 @@ impl<G: AbelianGroup + ValueCodec, W: Write> DurableCube<G, W> {
     }
 
     /// Borrow of the log writer (e.g. to peek at an in-memory sink).
-    pub fn wal(&self) -> &WalWriter<W> {
+    pub fn wal(&self) -> &WalWriter<F> {
         &self.wal
     }
 
     /// Consumes the cube, returning the log writer.
-    pub fn into_wal(self) -> WalWriter<W> {
+    pub fn into_wal(self) -> WalWriter<F> {
         self.wal
     }
+}
+
+/// Boots a durable cube through a [`Vfs`]: loads the snapshot (when
+/// `snapshot_path` names an existing file), replays the log with the
+/// usual torn-tail truncation, repairs the log file back to its valid
+/// prefix, and resumes appending to it. Reads go through
+/// [`read_stable`](crate::vfs::read_stable) so a transient read-back
+/// bit flip cannot corrupt recovery.
+pub fn recover_vfs<G: AbelianGroup + ValueCodec, V: Vfs>(
+    vfs: &V,
+    wal_path: &str,
+    snapshot_path: Option<&str>,
+    d: usize,
+    config: DdcConfig,
+    wal_config: WalConfig,
+    policy: RetryPolicy,
+) -> io::Result<(DurableCube<G, V::File>, RecoveryReport)> {
+    let attempts = policy.max_retries + 3;
+    let snapshot = match snapshot_path {
+        Some(p) if vfs.exists(p)? => Some(read_stable(vfs, p, attempts)?),
+        _ => None,
+    };
+    if !vfs.exists(wal_path)? {
+        let (cube, report) = recover(d, snapshot.as_deref(), &[], config, wal_config)?;
+        let wal = WalWriter::create(vfs.open(wal_path, OpenMode::Create)?)?;
+        return Ok((DurableCube::from_parts(cube, wal, policy), report));
+    }
+    let log = read_stable(vfs, wal_path, attempts)?;
+    let (cube, report) = recover(d, snapshot.as_deref(), &log, config, wal_config)?;
+    let wal = if report.valid_bytes < WAL_HEADER_BYTES as u64 {
+        // Torn header: rewrite the log from scratch.
+        WalWriter::create(vfs.open(wal_path, OpenMode::Create)?)?
+    } else {
+        let mut f = vfs.open(wal_path, OpenMode::Append)?;
+        if report.valid_bytes < log.len() as u64 {
+            f.truncate(report.valid_bytes)?;
+        }
+        WalWriter::resume(f, report.valid_bytes, report.replayed as u64)
+    };
+    Ok((DurableCube::from_parts(cube, wal, policy), report))
 }
 
 /// A [`DurableCube`] shared between threads: one facade mutex holds the
@@ -659,11 +1126,11 @@ impl<G: AbelianGroup + ValueCodec, W: Write> DurableCube<G, W> {
 /// record count in the log has grown, and concurrent `add`s must be
 /// linearizable against the sequential oracle.
 #[derive(Debug)]
-pub struct SharedDurableCube<G: AbelianGroup + ValueCodec, W: Write> {
-    inner: Arc<Mutex<DurableCube<G, W>>>,
+pub struct SharedDurableCube<G: AbelianGroup + ValueCodec, F: VfsFile> {
+    inner: Arc<Mutex<DurableCube<G, F>>>,
 }
 
-impl<G: AbelianGroup + ValueCodec, W: Write> Clone for SharedDurableCube<G, W> {
+impl<G: AbelianGroup + ValueCodec, F: VfsFile> Clone for SharedDurableCube<G, F> {
     fn clone(&self) -> Self {
         Self {
             inner: Arc::clone(&self.inner),
@@ -671,14 +1138,14 @@ impl<G: AbelianGroup + ValueCodec, W: Write> Clone for SharedDurableCube<G, W> {
     }
 }
 
-impl<G: AbelianGroup + ValueCodec, W: Write> SharedDurableCube<G, W> {
+impl<G: AbelianGroup + ValueCodec, F: VfsFile> SharedDurableCube<G, F> {
     /// An empty shared durable cube logging to `sink`.
-    pub fn new(d: usize, config: DdcConfig, sink: W) -> io::Result<Self> {
+    pub fn new(d: usize, config: DdcConfig, sink: F) -> io::Result<Self> {
         Ok(Self::from_cube(DurableCube::new(d, config, sink)?))
     }
 
     /// Wraps an existing durable cube.
-    pub fn from_cube(cube: DurableCube<G, W>) -> Self {
+    pub fn from_cube(cube: DurableCube<G, F>) -> Self {
         Self {
             inner: Arc::new(Mutex::new(cube)),
         }
@@ -689,19 +1156,25 @@ impl<G: AbelianGroup + ValueCodec, W: Write> SharedDurableCube<G, W> {
     /// applied record is exactly what recovery replays), so later
     /// threads may keep going — the shard-lock pattern from
     /// [`crate::shard`].
-    fn lock(&self) -> MutexGuard<'_, DurableCube<G, W>> {
+    fn lock(&self) -> MutexGuard<'_, DurableCube<G, F>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Logs, then applies, a point delta under the lock. `Ok` is the
     /// durability acknowledgement.
-    pub fn add(&self, point: &[i64], delta: G) -> io::Result<()> {
+    pub fn add(&self, point: &[i64], delta: G) -> Result<(), IoError> {
         self.lock().add(point, delta)
     }
 
     /// Logs, then applies, a cell set; returns the previous value.
-    pub fn set(&self, point: &[i64], value: G) -> io::Result<G> {
+    pub fn set(&self, point: &[i64], value: G) -> Result<G, IoError> {
         self.lock().set(point, value)
+    }
+
+    /// Why the cube is read-only, when it is (see
+    /// [`DurableCube::degraded`]).
+    pub fn degraded(&self) -> Option<String> {
+        self.lock().degraded().map(str::to_string)
     }
 
     /// One cell of the in-memory cube.
@@ -738,7 +1211,7 @@ impl<G: AbelianGroup + ValueCodec, W: Write> SharedDurableCube<G, W> {
 
     /// Runs `f` with the durable cube under the lock (compound
     /// inspection against one consistent log/cube version).
-    pub fn with_cube<R>(&self, f: impl FnOnce(&DurableCube<G, W>) -> R) -> R {
+    pub fn with_cube<R>(&self, f: impl FnOnce(&DurableCube<G, F>) -> R) -> R {
         f(&self.lock())
     }
 }
@@ -746,6 +1219,7 @@ impl<G: AbelianGroup + ValueCodec, W: Write> SharedDurableCube<G, W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultVfs, PlannedFault};
 
     fn sample_ops() -> Vec<WalOp<i64>> {
         vec![
@@ -960,5 +1434,182 @@ mod tests {
         assert_eq!(report.replayed, 1);
         assert_eq!(recovered.cell(&[5]), 1);
         assert_eq!(recovered.cell(&[-1]), 8);
+    }
+
+    const WAL: &str = "cube.wal";
+    const SNAP: &str = "cube.snap";
+
+    fn boot(vfs: &FaultVfs) -> DurableCube<i64, crate::vfs::FaultFile<crate::vfs::MemFile>> {
+        let (cube, _) = recover_vfs::<i64, _>(
+            vfs,
+            WAL,
+            Some(SNAP),
+            2,
+            DdcConfig::sparse(),
+            WalConfig::default(),
+            RetryPolicy::instant(),
+        )
+        .unwrap();
+        cube
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_and_acked() {
+        // Boot (disarmed) takes some ops; probe how many, then plant the
+        // fault exactly at the first armed append's write.
+        let probe = FaultVfs::explicit_mem(Vec::new());
+        let c = boot(&probe);
+        drop(c);
+        let boot_ops = probe.ops();
+        let vfs = FaultVfs::explicit_mem(vec![PlannedFault {
+            op: boot_ops,
+            kind: FaultKind::WriteErr,
+        }]);
+        let mut cube = boot(&vfs);
+        vfs.arm(true);
+        cube.add(&[1, 2], 7).unwrap();
+        assert_eq!(cube.wal().io_faults(), 1);
+        assert_eq!(cube.wal().io_retries(), 1);
+        assert!(cube.degraded().is_none());
+        vfs.arm(false);
+        drop(cube);
+        let recovered = boot(&vfs);
+        assert_eq!(recovered.cube().cell(&[1, 2]), 7);
+    }
+
+    #[test]
+    fn enospc_degrades_to_read_only_and_queries_keep_serving() {
+        let probe = FaultVfs::explicit_mem(Vec::new());
+        drop(boot(&probe));
+        let boot_ops = probe.ops();
+        let vfs = FaultVfs::explicit_mem(vec![PlannedFault {
+            op: boot_ops + 2, // second armed append's write (write+sync per append)
+            kind: FaultKind::NoSpace,
+        }]);
+        let mut cube = boot(&vfs);
+        vfs.arm(true);
+        cube.add(&[0, 0], 5).unwrap();
+        let err = cube.add(&[1, 1], 9).unwrap_err();
+        assert!(matches!(err, IoError::ReadOnly { .. }), "{err}");
+        assert!(cube.degraded().is_some());
+        // No retries for ENOSPC, queries still serve the acked prefix.
+        assert_eq!(cube.wal().io_retries(), 0);
+        assert_eq!(cube.cube().cell(&[0, 0]), 5);
+        // Further mutations are rejected without touching the log.
+        let ops_before = vfs.ops();
+        assert!(matches!(
+            cube.add(&[2, 2], 1),
+            Err(IoError::ReadOnly { .. })
+        ));
+        assert_eq!(vfs.ops(), ops_before);
+        // Recovery sees exactly the acked prefix.
+        vfs.arm(false);
+        drop(cube);
+        let recovered = boot(&vfs);
+        assert_eq!(recovered.cube().cell(&[0, 0]), 5);
+        assert_eq!(recovered.cube().cell(&[1, 1]), 0);
+        assert_eq!(recovered.cube().total(), 5);
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_and_preserves_acked_prefix() {
+        let probe = FaultVfs::explicit_mem(Vec::new());
+        drop(boot(&probe));
+        let boot_ops = probe.ops();
+        // Default budget is 4 retries => 5 write attempts; each failed
+        // attempt costs write + truncate? (truncate is not an op) — the
+        // armed append's write op indices advance by 1 per attempt.
+        let faults = (0..8)
+            .map(|i| PlannedFault {
+                op: boot_ops + i,
+                kind: FaultKind::WriteErr,
+            })
+            .collect();
+        let vfs = FaultVfs::explicit_mem(faults);
+        let mut cube = boot(&vfs);
+        vfs.arm(true);
+        let err = cube.add(&[3, 3], 2).unwrap_err();
+        assert!(
+            matches!(err, IoError::Exhausted { retries: 4, .. }),
+            "{err}"
+        );
+        assert!(cube.degraded().is_some());
+        assert_eq!(cube.wal().io_faults(), 5);
+        vfs.arm(false);
+        drop(cube);
+        let recovered = boot(&vfs);
+        assert_eq!(recovered.cube().total(), 0);
+    }
+
+    #[test]
+    fn sync_fault_with_truncate_on_retry_never_duplicates_records() {
+        let probe = FaultVfs::explicit_mem(Vec::new());
+        drop(boot(&probe));
+        let boot_ops = probe.ops();
+        // Fail the sync of the first armed append: the bytes landed, the
+        // retry must truncate them before rewriting, or recovery would
+        // see the update twice.
+        let vfs = FaultVfs::explicit_mem(vec![PlannedFault {
+            op: boot_ops + 1,
+            kind: FaultKind::SyncFail,
+        }]);
+        let mut cube = boot(&vfs);
+        vfs.arm(true);
+        cube.add(&[4, 4], 10).unwrap();
+        vfs.arm(false);
+        drop(cube);
+        let recovered = boot(&vfs);
+        assert_eq!(recovered.cube().cell(&[4, 4]), 10);
+        assert_eq!(recovered.cube().total(), 10, "no duplicated replay");
+    }
+
+    #[test]
+    fn checkpoint_vfs_rotates_log_and_recovers_from_snapshot() {
+        let vfs = FaultVfs::explicit_mem(Vec::new());
+        let mut cube = boot(&vfs);
+        cube.add(&[1, 1], 4).unwrap();
+        cube.add(&[2, 2], 6).unwrap();
+        let bytes = cube.checkpoint_vfs(&vfs, SNAP, WAL).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(cube.wal_stats().1, 0, "log rotated");
+        cube.add(&[1, 1], -4).unwrap();
+        drop(cube);
+        let recovered = boot(&vfs);
+        assert_eq!(recovered.cube().cell(&[1, 1]), 0);
+        assert_eq!(recovered.cube().cell(&[2, 2]), 6);
+    }
+
+    #[test]
+    fn degraded_cube_can_be_cleared_by_operator() {
+        let probe = FaultVfs::explicit_mem(Vec::new());
+        drop(boot(&probe));
+        let boot_ops = probe.ops();
+        let vfs = FaultVfs::explicit_mem(vec![PlannedFault {
+            op: boot_ops,
+            kind: FaultKind::NoSpace,
+        }]);
+        let mut cube = boot(&vfs);
+        vfs.arm(true);
+        assert!(cube.add(&[0, 0], 1).is_err());
+        assert!(cube.degraded().is_some());
+        cube.clear_degraded();
+        assert!(cube.degraded().is_none());
+        cube.add(&[0, 0], 1).unwrap();
+        assert_eq!(cube.cube().cell(&[0, 0]), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(8),
+            truncate_on_retry: true,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(2), Duration::from_millis(2));
+        assert_eq!(p.backoff(3), Duration::from_millis(4));
+        assert_eq!(p.backoff(4), Duration::from_millis(8));
+        assert_eq!(p.backoff(9), Duration::from_millis(8));
     }
 }

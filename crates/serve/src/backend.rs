@@ -8,8 +8,8 @@
 //! HTTP statuses (`Busy` → 429, `Failed` → 503).
 
 use ddc_array::{Region, Shape};
-use ddc_core::{ShardedCube, SharedDurableCube, TryUpdateError};
-use std::io::Write;
+use ddc_core::wal::IoError;
+use ddc_core::{ShardedCube, SharedDurableCube, TryUpdateError, VfsFile};
 
 /// Why a backend refused a request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,7 +23,12 @@ pub enum BackendError {
     /// Permanent refusal: a shard exhausted its restart budget. Maps
     /// to 503.
     Failed(String),
-    /// The durable log could not be appended. Maps to 500.
+    /// The durable store is in degraded read-only mode after a disk
+    /// fault; queries keep serving, mutations map to 503 until an
+    /// operator intervenes (`/healthz` reports `degraded`).
+    ReadOnly(String),
+    /// The durable log could not be appended (a transient, healthy
+    /// failure — not degraded). Maps to 500.
     Io(String),
 }
 
@@ -33,7 +38,7 @@ impl BackendError {
         match self {
             BackendError::OutOfBounds(_) => 400,
             BackendError::Busy(_) => 429,
-            BackendError::Failed(_) => 503,
+            BackendError::Failed(_) | BackendError::ReadOnly(_) => 503,
             BackendError::Io(_) => 500,
         }
     }
@@ -44,6 +49,7 @@ impl BackendError {
             BackendError::OutOfBounds(d)
             | BackendError::Busy(d)
             | BackendError::Failed(d)
+            | BackendError::ReadOnly(d)
             | BackendError::Io(d) => d,
         }
     }
@@ -54,8 +60,18 @@ impl From<TryUpdateError> for BackendError {
         match e {
             TryUpdateError::QueueFull { .. } => BackendError::Busy(e.to_string()),
             TryUpdateError::ShardFailed { .. } => BackendError::Failed(e.to_string()),
+            TryUpdateError::ReadOnly => BackendError::ReadOnly(e.to_string()),
         }
     }
+}
+
+/// What a backend reports on `/healthz`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// Fully serving.
+    Ok,
+    /// Serving reads only; mutations are rejected. The string says why.
+    Degraded(String),
 }
 
 /// Outcome of a batched ingest: how many leading updates were
@@ -90,6 +106,12 @@ pub trait ServeBackend: Send + Sync + 'static {
     /// Forces queued writes into the engine (used by tests and
     /// shutdown; serving reads are already read-through).
     fn flush(&self);
+
+    /// Liveness/served-capability report for `/healthz`. Default: a
+    /// backend with no degraded mode is always [`BackendHealth::Ok`].
+    fn health(&self) -> BackendHealth {
+        BackendHealth::Ok
+    }
 
     /// Applies a batch in order, stopping at the first rejection.
     fn ingest(&self, updates: &[(Vec<i64>, i64)]) -> IngestOutcome {
@@ -190,15 +212,16 @@ impl ServeBackend for ShardedBackend {
 }
 
 /// [`SharedDurableCube`] backend: growable signed coordinate space,
-/// WAL-acknowledged writes. `Busy` never occurs; a log append failure
-/// is `Io`.
-pub struct DurableBackend<W: Write + Send + 'static> {
-    cube: SharedDurableCube<i64, W>,
+/// WAL-acknowledged writes. `Busy` never occurs; a transient log
+/// failure is `Io`, while ENOSPC/retry-exhaustion degradation surfaces
+/// as `ReadOnly` (503) and flips `/healthz` to `degraded`.
+pub struct DurableBackend<F: VfsFile + 'static> {
+    cube: SharedDurableCube<i64, F>,
 }
 
-impl<W: Write + Send + 'static> DurableBackend<W> {
+impl<F: VfsFile + 'static> DurableBackend<F> {
     /// Serves `cube` (cheaply cloneable; callers keep a handle).
-    pub fn new(cube: SharedDurableCube<i64, W>) -> Self {
+    pub fn new(cube: SharedDurableCube<i64, F>) -> Self {
         Self { cube }
     }
 
@@ -214,16 +237,19 @@ impl<W: Write + Send + 'static> DurableBackend<W> {
     }
 }
 
-impl<W: Write + Send + 'static> ServeBackend for DurableBackend<W> {
+impl<F: VfsFile + 'static> ServeBackend for DurableBackend<F> {
     fn ndim(&self) -> usize {
         self.cube.ndim()
     }
 
     fn update(&self, point: &[i64], delta: i64) -> Result<(), BackendError> {
         self.check_rank(point)?;
-        self.cube
-            .add(point, delta)
-            .map_err(|e| BackendError::Io(e.to_string()))
+        self.cube.add(point, delta).map_err(|e| match e {
+            IoError::ReadOnly { .. } | IoError::Exhausted { .. } => {
+                BackendError::from(TryUpdateError::ReadOnly)
+            }
+            IoError::Transient { .. } => BackendError::Io(e.to_string()),
+        })
     }
 
     fn query(&self, lo: &[i64], hi: &[i64]) -> Result<i64, BackendError> {
@@ -252,6 +278,13 @@ impl<W: Write + Send + 'static> ServeBackend for DurableBackend<W> {
 
     fn flush(&self) {
         // Log-then-apply acknowledges synchronously; nothing queued.
+    }
+
+    fn health(&self) -> BackendHealth {
+        match self.cube.degraded() {
+            Some(reason) => BackendHealth::Degraded(reason),
+            None => BackendHealth::Ok,
+        }
     }
 }
 

@@ -31,7 +31,9 @@ pub mod protocol;
 pub mod server;
 
 pub use admission::{Admission, AdmissionConfig};
-pub use backend::{BackendError, DurableBackend, IngestOutcome, ServeBackend, ShardedBackend};
+pub use backend::{
+    BackendError, BackendHealth, DurableBackend, IngestOutcome, ServeBackend, ShardedBackend,
+};
 pub use http::{Frame, HttpRequest, ParseError, ParserConfig, RequestParser};
 pub use protocol::{RequestError, ServeRequest};
 pub use server::{Server, ServerConfig};

@@ -19,7 +19,33 @@ use ddc_core::{DdcConfig, ShardConfig, ShardedCube};
 use ddc_workload::DdcRng;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Connects with capped exponential backoff: 10 ms doubling to 250 ms
+/// between attempts, giving up after ~5 s. A server that is restarting
+/// (or still binding in a race with the load generator) answers
+/// `ECONNREFUSED` transiently; hammering it once and dying makes every
+/// orchestration script wrap us in its own retry loop instead.
+fn connect_with_retry(addr: &str, what: &str) -> Result<TcpStream, String> {
+    connect_with_budget(addr, what, Duration::from_secs(5))
+}
+
+fn connect_with_budget(addr: &str, what: &str, budget: Duration) -> Result<TcpStream, String> {
+    let start = Instant::now();
+    let mut delay = Duration::from_millis(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if start.elapsed() + delay > budget {
+                    return Err(format!("{what} {addr}: {e} (gave up after {budget:?})"));
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(250));
+            }
+        }
+    }
+}
 
 /// Load-generator knobs.
 #[derive(Clone, Debug)]
@@ -126,8 +152,7 @@ fn drive(
     side: usize,
     rtt: &Histogram,
 ) -> Result<(u64, u64, u64), String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("loadgen connect {addr}: {e}"))?;
+    let mut stream = connect_with_retry(addr, "loadgen connect")?;
     stream
         .set_nodelay(true)
         .map_err(|e| format!("loadgen nodelay: {e}"))?;
@@ -217,8 +242,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         (None, Some(server)) => server.local_addr().to_string(),
         (None, None) => unreachable!("local server constructed above"),
     };
-    // Probe the target first so a bad --addr fails fast and clean.
-    TcpStream::connect(&addr).map_err(|e| format!("loadgen: cannot reach {addr}: {e}"))?;
+    // Probe the target first so a bad --addr fails clean (after the
+    // retry budget — a just-restarted server gets time to bind).
+    connect_with_retry(&addr, "loadgen: cannot reach")?;
 
     let rtt = Arc::new(Histogram::default());
     let started = Instant::now();
@@ -270,6 +296,39 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn connect_retry_waits_for_a_late_binding_server() {
+        // Learn a free port, release it, and bring the listener up
+        // only after the client has already started retrying.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let addr = probe.local_addr().expect("addr").to_string();
+        drop(probe);
+        let rebind = addr.clone();
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let l = std::net::TcpListener::bind(&rebind).expect("rebind");
+            let _ = l.accept();
+        });
+        let started = Instant::now();
+        let s = connect_with_retry(&addr, "test").expect("retries until the server binds");
+        assert!(started.elapsed() >= Duration::from_millis(100));
+        drop(s);
+        listener.join().expect("listener thread");
+    }
+
+    #[test]
+    fn connect_retry_reports_the_last_error_after_the_budget() {
+        // A freshly released ephemeral port refuses connections; the
+        // budget expires and the error names the target.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let addr = probe.local_addr().expect("addr").to_string();
+        drop(probe);
+        let err =
+            connect_with_budget(&addr, "test", Duration::from_millis(200)).expect_err("no server");
+        assert!(err.contains(&addr), "{err}");
+        assert!(err.contains("gave up"), "{err}");
+    }
 
     #[test]
     fn small_run_against_in_process_server_is_clean() {

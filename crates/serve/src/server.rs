@@ -23,7 +23,7 @@
 //! backend accepted it — acked writes are never lost.
 
 use crate::admission::{Admission, AdmissionConfig};
-use crate::backend::{BackendError, ServeBackend};
+use crate::backend::{BackendError, BackendHealth, ServeBackend};
 use crate::http::{write_http_response, Frame, ParserConfig, RequestParser};
 use crate::protocol::{self, ServeRequest};
 use ddc_core::obs;
@@ -53,6 +53,9 @@ pub struct ServerConfig {
     /// Socket read timeout; bounds how long an idle connection takes
     /// to notice shutdown.
     pub read_timeout: Duration,
+    /// Close a connection that has sent no bytes for this long. `None`
+    /// disables the reaper (connections live until the peer hangs up).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +67,7 @@ impl Default for ServerConfig {
             parser: ParserConfig::default(),
             admission: AdmissionConfig::default(),
             read_timeout: Duration::from_millis(50),
+            idle_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -225,6 +229,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut buf = vec![0u8; 16 * 1024];
     let mut out: Vec<u8> = Vec::with_capacity(4 * 1024);
+    let mut last_activity = Instant::now();
     loop {
         let n = match stream.read(&mut buf) {
             Ok(0) => return,
@@ -233,11 +238,21 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 if shared.stopping() {
                     return;
                 }
+                // Idle reaper: a connection that has gone quiet past
+                // the deadline is closed so it stops pinning a worker
+                // and a slot under `max_connections`.
+                if let Some(idle) = shared.config.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        obs::counter("serve.conn.idle_reaped").inc();
+                        return;
+                    }
+                }
                 continue;
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => return,
         };
+        last_activity = Instant::now();
         parser.feed(&buf[..n]);
         out.clear();
         loop {
@@ -279,7 +294,15 @@ fn respond(frame: &Frame, shared: &Arc<Shared>, session: &mut Session, out: &mut
             return reply(frame, out, 200, "ok");
         }
         ServeRequest::Ping => return reply(frame, out, 200, "pong"),
-        ServeRequest::Health => return reply(frame, out, 200, "ok"),
+        // Healthy body stays exactly "ok" (smoke tests grep for it);
+        // a degraded durable backend keeps answering queries but
+        // advertises 503 so load balancers can drain writes.
+        ServeRequest::Health => match shared.backend.health() {
+            BackendHealth::Ok => return reply(frame, out, 200, "ok"),
+            BackendHealth::Degraded(reason) => {
+                return reply(frame, out, 503, &format!("degraded: {reason}"))
+            }
+        },
         ServeRequest::Metrics => {
             let mut text = obs::prometheus_text();
             text.push('\n');
@@ -495,6 +518,90 @@ mod tests {
             .count();
         assert_eq!(ok, 3, "{replies:?}");
         assert_eq!(busy, 2, "{replies:?}");
+        server.shutdown();
+    }
+
+    /// Backend stub pinned in degraded read-only mode, as a
+    /// [`crate::backend::DurableBackend`] is after an unrecoverable
+    /// disk fault.
+    struct DegradedStub;
+
+    impl ServeBackend for DegradedStub {
+        fn ndim(&self) -> usize {
+            2
+        }
+        fn update(&self, _point: &[i64], _delta: i64) -> Result<(), BackendError> {
+            Err(BackendError::ReadOnly("read-only".to_string()))
+        }
+        fn query(&self, _lo: &[i64], _hi: &[i64]) -> Result<i64, BackendError> {
+            Ok(42)
+        }
+        fn prefix(&self, _point: &[i64]) -> Result<i64, BackendError> {
+            Ok(42)
+        }
+        fn flush(&self) {}
+        fn health(&self) -> BackendHealth {
+            BackendHealth::Degraded("wal append exhausted retries".to_string())
+        }
+    }
+
+    #[test]
+    fn healthz_maps_degraded_backend_to_503_while_queries_serve() {
+        let server = Server::start(Arc::new(DegradedStub), ServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut text = String::new();
+        let _ = s.read_to_string(&mut text);
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(
+            text.contains("degraded: wal append exhausted retries"),
+            "{text}"
+        );
+
+        // Reads still serve (200), mutations answer 503.
+        let replies = send(addr, b"q 0,0 1,1\nu 1,1 5\n", 2);
+        assert_eq!(replies[0], "42");
+        assert!(replies[1].starts_with("err "), "{replies:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_after_the_deadline() {
+        let cube = ShardedCube::<i64>::new(
+            Shape::new(&[8, 8]),
+            DdcConfig::default(),
+            ShardConfig::with_shards(1),
+        );
+        let server = Server::start(
+            Arc::new(ShardedBackend::new(cube)),
+            ServerConfig {
+                read_timeout: Duration::from_millis(10),
+                idle_timeout: Some(Duration::from_millis(80)),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        // An active connection first, proving the reaper only fires on
+        // silence: each request resets the idle clock.
+        let replies = send(addr, b"ping\n", 1);
+        assert_eq!(replies, ["pong"]);
+        // Now connect and say nothing; the server must hang up on us.
+        let start = Instant::now();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut text = String::new();
+        s.read_to_string(&mut text).expect("server closed cleanly");
+        assert!(text.is_empty(), "{text:?}");
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(60),
+            "reaped too early: {waited:?}"
+        );
         server.shutdown();
     }
 

@@ -7,10 +7,31 @@
 //! `.trace`; and the operator CLI (`ddc wal recover` /
 //! `ddc wal truncate-check`) round-trips real files.
 
-use ddc_check::{corruption_divergence, crash_sweep};
-use ddc_core::{wal, DdcConfig, DurableCube, GrowableCube, WalConfig};
+use ddc_check::{corruption_divergence, crash_sweep, refind_seeded_bug, FaultSchedule};
+use ddc_core::wal::IoError;
+use ddc_core::{
+    wal, DdcConfig, DurableCube, FaultKind, FaultVfs, GrowableCube, PlannedFault, RetryPolicy,
+    WalConfig,
+};
 use ddc_tests::for_cases;
 use ddc_workload::{shrink_trace, CheckOp, CheckTrace, CheckTraceConfig, DdcRng};
+
+type FaultCube = DurableCube<i64, ddc_core::vfs::FaultFile<ddc_core::vfs::MemFile>>;
+
+/// Boots a durable cube on a fault-injecting in-memory namespace.
+fn boot_on(vfs: &FaultVfs) -> FaultCube {
+    wal::recover_vfs::<i64, _>(
+        vfs,
+        "wal.log",
+        Some("snapshot.ddc"),
+        2,
+        DdcConfig::dynamic(),
+        WalConfig::default(),
+        RetryPolicy::instant(),
+    )
+    .expect("boot")
+    .0
+}
 
 /// The headline sweep: 1000 mixed ops (updates, sets, growth records,
 /// checkpoints, mid-trace crashes) and a kill at every byte offset of
@@ -114,6 +135,110 @@ fn cli_check_crash_reports_clean() {
     assert!(report.contains("0 violations"), "{report}");
 }
 
+/// ENOSPC mid-append: the cube degrades to read-only instead of
+/// crashing, queries keep serving the acked prefix, and recovery after
+/// the fault restores exactly the acked ops.
+#[test]
+fn enospc_mid_append_degrades_and_preserves_the_acked_prefix() {
+    // Probe run (no faults, never armed) learns the op index at which
+    // the third add's frame write happens; the real run plants ENOSPC
+    // exactly there.
+    let probe = FaultVfs::explicit_mem(Vec::new());
+    let mut cube = boot_on(&probe);
+    cube.add(&[1, 2], 5).expect("acked");
+    cube.add(&[3, 4], 7).expect("acked");
+    let third_write = probe.ops();
+
+    let vfs = FaultVfs::explicit_mem(vec![PlannedFault {
+        op: third_write,
+        kind: FaultKind::NoSpace,
+    }]);
+    let mut cube = boot_on(&vfs);
+    vfs.arm(true);
+    cube.add(&[1, 2], 5).expect("acked");
+    cube.add(&[3, 4], 7).expect("acked");
+    let err = cube.add(&[5, 6], 9).expect_err("disk is full");
+    assert!(matches!(err, IoError::ReadOnly { .. }), "{err}");
+    assert!(cube.degraded().is_some());
+    // Degraded mode serves reads from the acked state…
+    assert_eq!(cube.cube().range_sum(&[0, 0], &[9, 9]), 12);
+    // …and rejects further mutations without touching the log.
+    let (bytes_before, records_before) = cube.wal_stats();
+    assert!(matches!(
+        cube.add(&[7, 7], 1),
+        Err(IoError::ReadOnly { .. })
+    ));
+    assert_eq!(cube.wal_stats(), (bytes_before, records_before));
+
+    // The kill: only the namespace survives. Recovery restores exactly
+    // the two acked ops — the rejected ones never existed.
+    drop(cube);
+    vfs.arm(false);
+    let recovered = boot_on(&vfs);
+    let mut entries = recovered.cube().entries();
+    entries.sort();
+    assert_eq!(entries, vec![(vec![1, 2], 5), (vec![3, 4], 7)]);
+}
+
+/// A sync barrier that fails through the whole retry budget, then a
+/// crash: the unacked op must NOT be resurrected by recovery (the
+/// production truncate-on-retry protocol removes the synced-but-unacked
+/// frame before every retry).
+#[test]
+fn failed_fsync_then_crash_never_resurrects_the_unacked_op() {
+    let probe = FaultVfs::explicit_mem(Vec::new());
+    let mut cube = boot_on(&probe);
+    cube.add(&[1, 1], 3).expect("acked");
+    let second_write = probe.ops();
+
+    // Every attempt is write (even op) then sync (odd op); fail the
+    // sync of all five attempts (1 try + 4 retries).
+    let faults = (0..5)
+        .map(|attempt| PlannedFault {
+            op: second_write + 2 * attempt + 1,
+            kind: FaultKind::SyncFail,
+        })
+        .collect();
+    let vfs = FaultVfs::explicit_mem(faults);
+    let mut cube = boot_on(&vfs);
+    vfs.arm(true);
+    cube.add(&[1, 1], 3).expect("acked");
+    let err = cube.add(&[2, 2], 8).expect_err("sync keeps failing");
+    match &err {
+        IoError::Exhausted { retries, .. } => assert_eq!(*retries, 4),
+        other => panic!("expected exhaustion, got {other}"),
+    }
+    assert!(cube.degraded().is_some());
+
+    drop(cube);
+    vfs.arm(false);
+    let recovered = boot_on(&vfs);
+    assert_eq!(
+        recovered.cube().entries(),
+        vec![(vec![1, 1], 3)],
+        "the never-acked op about [2,2] must not survive recovery"
+    );
+}
+
+/// The committed chaos schedules stay sharp: each must re-find its
+/// corruption class when the tail-truncation protocol is disabled, and
+/// stay clean under the production policy (the same check `ddc check
+/// disk` runs in CI, here hermetically via `include_str!`).
+#[test]
+fn committed_fault_schedules_refind_the_seeded_bug() {
+    for (name, text) in [
+        ("torn_append", include_str!("faults/torn_append.sched")),
+        (
+            "sync_ambiguity",
+            include_str!("faults/sync_ambiguity.sched"),
+        ),
+    ] {
+        let schedule = FaultSchedule::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = refind_seeded_bug(&schedule).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!report.shrunk.is_empty(), "{name}: empty shrunk schedule");
+    }
+}
+
 /// A file-backed [`DurableCube`] killed mid-stream — with a checkpoint,
 /// a log truncation, post-checkpoint writes, and a torn tail — is
 /// repaired and recovered through the operator CLI.
@@ -193,6 +318,9 @@ fn durable_file_cube_recovers_via_the_cli() {
     .unwrap();
     assert!(recovered.contains("2 records replayed"), "{recovered}");
     assert!(recovered.contains("snapshot written"), "{recovered}");
+    // The snapshot now bakes in the log's records; without --rotate the
+    // CLI must warn that pairing the two would double-apply.
+    assert!(recovered.contains("--rotate"), "{recovered}");
     let restored = GrowableCube::<i64>::load(
         &mut std::fs::read(&out_path).unwrap().as_slice(),
         DdcConfig::dynamic(),
@@ -202,6 +330,34 @@ fn durable_file_cube_recovers_via_the_cli() {
     assert_eq!(restored.cell(&[-3, 7]), 9);
     assert_eq!(restored.cell(&[4, 4]), -2);
     assert_eq!(restored.total(), 18);
+
+    // With --rotate the log is reset to a bare header, so snapshot +
+    // log recover to the same state instead of applying records twice.
+    let rotated = ddc_cli::wal::run(&args(&[
+        "recover",
+        "--wal",
+        &p(&wal_path),
+        "--snapshot",
+        &p(&snap_path),
+        "--out",
+        &p(&out_path),
+        "--rotate",
+    ]))
+    .unwrap();
+    assert!(rotated.contains("log rotated"), "{rotated}");
+    let log = std::fs::read(&wal_path).unwrap();
+    assert_eq!(log.len(), wal::WAL_HEADER_BYTES);
+    let snap_bytes = std::fs::read(&out_path).unwrap();
+    let (cube, report) = wal::recover::<i64>(
+        2,
+        Some(&snap_bytes),
+        &log,
+        DdcConfig::dynamic(),
+        WalConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.replayed, 0);
+    assert_eq!(cube.total(), 18);
 
     for path in [&wal_path, &snap_path, &out_path] {
         std::fs::remove_file(path).ok();

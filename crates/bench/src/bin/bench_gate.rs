@@ -18,7 +18,7 @@
 //! the global divisor. Any metric present on one side only, a `tol`
 //! mismatch, or a schema-version/bench-name mismatch, fails the gate.
 
-use ddc_bench::json::{gate_with_latency, BenchReport};
+use ddc_bench::json::{gate_with_latency, BenchReport, SCHEMA_VERSION};
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -57,9 +57,21 @@ fn run(args: &[String]) -> Result<String, String> {
     let latency_tolerance = flag_value(args, "--latency-tolerance")?;
     let baseline = load(baseline_path)?;
     let current = load(current_path)?;
-    let detail = gate_with_latency(&baseline, &current, tolerance, latency_tolerance)?;
+    // On failure, name the exact baseline file and schema version the
+    // comparison ran against — "regenerate which file?" should never
+    // require reading the CI step definition.
+    let detail =
+        gate_with_latency(&baseline, &current, tolerance, latency_tolerance).map_err(|e| {
+            format!(
+                "{e}\ncompared against baseline {baseline_path} \
+                 (bench {:?}, schema v{SCHEMA_VERSION}); \
+                 current run: {current_path}",
+                baseline.bench
+            )
+        })?;
     Ok(format!(
-        "{detail}\nperf-smoke ok: {} metrics vs {baseline_path} (tolerance {tolerance}x)",
+        "{detail}\nperf-smoke ok: {} metrics vs {baseline_path} (schema v{SCHEMA_VERSION}, \
+         tolerance {tolerance}x)",
         baseline.metrics.len()
     ))
 }

@@ -13,8 +13,8 @@ use ddc_baselines::{
     GrowablePrefixSum, MultiFenwick, NaiveEngine, PrefixSumEngine, RelativePrefixEngine,
 };
 use ddc_core::{
-    wal, BaseStore, DdcConfig, DdcEngine, DurableCube, GrowableCube, ShardConfig, ShardedCube,
-    SharedCube, WalConfig,
+    wal, BaseStore, DdcConfig, DdcEngine, DurableCube, GrowableCube, PagerConfig, ShardConfig,
+    ShardedCube, SharedCube, WalConfig,
 };
 use ddc_workload::BoxState;
 
@@ -146,11 +146,14 @@ pub struct DdcAdapter {
 }
 
 impl DdcAdapter {
-    /// Fresh DDC cube over `init` under `config`.
+    /// Fresh DDC cube over `init` under `config`. If `config` asks for
+    /// paged leaves, the leaf arena is converted before any op lands.
     pub fn new(label: impl Into<String>, init: &BoxState, config: DdcConfig) -> Self {
+        let mut engine = DdcEngine::with_config(Shape::new(&init.dims), config);
+        engine.enable_paging().expect("enable paged leaf arena");
         Self {
             label: label.into(),
-            engine: DdcEngine::with_config(Shape::new(&init.dims), config),
+            engine,
             origin: init.origin.clone(),
             config,
         }
@@ -183,6 +186,7 @@ impl CheckEngine for DdcAdapter {
 
     fn grow(&mut self, new_box: &BoxState) {
         let mut next = DdcEngine::with_config(Shape::new(&new_box.dims), self.config);
+        next.enable_paging().expect("enable paged leaf arena");
         for (p, v) in self.engine.entries() {
             let shifted: Vec<usize> = p
                 .iter()
@@ -364,6 +368,7 @@ impl CheckEngine for ShardedAdapter {
 /// Adapter for the natively growable DDC cube — signed coordinates pass
 /// straight through and [`CheckEngine::grow`] is organic (a no-op).
 pub struct GrowableAdapter {
+    label: String,
     cube: GrowableCube<i64>,
     config: DdcConfig,
 }
@@ -371,9 +376,12 @@ pub struct GrowableAdapter {
 impl GrowableAdapter {
     /// Fresh growable cube; `init` only fixes dimensionality, the cube
     /// covers points as they arrive.
-    pub fn new(init: &BoxState, config: DdcConfig) -> Self {
+    pub fn new(label: impl Into<String>, init: &BoxState, config: DdcConfig) -> Self {
+        let mut cube = GrowableCube::with_origin(&init.origin, config);
+        cube.enable_paging().expect("enable paged leaf arena");
         Self {
-            cube: GrowableCube::with_origin(&init.origin, config),
+            label: label.into(),
+            cube,
             config,
         }
     }
@@ -381,7 +389,7 @@ impl GrowableAdapter {
 
 impl CheckEngine for GrowableAdapter {
     fn name(&self) -> &str {
-        "growable-ddc"
+        &self.label
     }
 
     fn add(&mut self, point: &[i64], delta: i64) {
@@ -418,6 +426,7 @@ impl CheckEngine for GrowableAdapter {
 /// this adapter applied was acknowledged, recovery must reproduce the
 /// oracle's state exactly.
 pub struct DurableAdapter {
+    label: String,
     durable: DurableCube<i64, Vec<u8>>,
     snapshot: Option<Vec<u8>>,
     prev: BoxState,
@@ -426,8 +435,9 @@ pub struct DurableAdapter {
 
 impl DurableAdapter {
     /// Fresh durable cube over `init`, logging into memory.
-    pub fn new(init: &BoxState, config: DdcConfig) -> Self {
+    pub fn new(label: impl Into<String>, init: &BoxState, config: DdcConfig) -> Self {
         Self {
+            label: label.into(),
             durable: DurableCube::new(init.ndim(), config, Vec::new())
                 .expect("in-memory WAL create"),
             snapshot: None,
@@ -439,7 +449,7 @@ impl DurableAdapter {
 
 impl CheckEngine for DurableAdapter {
     fn name(&self) -> &str {
-        "durable-wal"
+        &self.label
     }
 
     fn add(&mut self, point: &[i64], delta: i64) {
@@ -606,6 +616,17 @@ pub fn engine_roster(init: &BoxState) -> Vec<Box<dyn CheckEngine>> {
             init,
             DdcConfig::dynamic().with_elision(1),
         )),
+        // Paged leaf arena over a deliberately tiny in-memory buffer
+        // pool: every trace churns through pin/unpin, clock eviction
+        // and record re-faulting, differentially checked against all
+        // the slab engines above.
+        Box::new(DdcAdapter::new(
+            "ddc-paged",
+            init,
+            DdcConfig::dynamic()
+                .with_elision(1)
+                .with_paged_leaves(PagerConfig::in_mem(4 * 1024).with_page_bytes(256)),
+        )),
         Box::new(SharedAdapter::new(init, DdcConfig::dynamic())),
         Box::new(ShardedAdapter::new(
             "sharded(2×4)",
@@ -617,8 +638,33 @@ pub fn engine_roster(init: &BoxState) -> Vec<Box<dyn CheckEngine>> {
                 ..ShardConfig::default()
             },
         )),
-        Box::new(GrowableAdapter::new(init, DdcConfig::dynamic())),
-        Box::new(DurableAdapter::new(init, DdcConfig::dynamic())),
+        Box::new(GrowableAdapter::new(
+            "growable-ddc",
+            init,
+            DdcConfig::dynamic(),
+        )),
+        Box::new(GrowableAdapter::new(
+            "growable-paged",
+            init,
+            DdcConfig::dynamic()
+                .with_elision(1)
+                .with_paged_leaves(PagerConfig::in_mem(4 * 1024).with_page_bytes(256)),
+        )),
+        Box::new(DurableAdapter::new(
+            "durable-wal",
+            init,
+            DdcConfig::dynamic(),
+        )),
+        // WAL + paged leaves together: dirty pages may only reach the
+        // spill file behind the log barrier, and recovery replays the
+        // log straight onto freshly-faulted pages.
+        Box::new(DurableAdapter::new(
+            "durable-paged",
+            init,
+            DdcConfig::dynamic()
+                .with_elision(1)
+                .with_paged_leaves(PagerConfig::in_mem(4 * 1024).with_page_bytes(256)),
+        )),
         Box::new(GrowableDenseAdapter::new(init)),
     ]
 }

@@ -194,7 +194,13 @@ fn corruptible_byte(wal_bytes: &[u8], ops: &[WalOp<i64>], ends: &[u64]) -> Optio
 /// that survived the cut. Also flips one payload byte and checks the
 /// checksum truncates the log cleanly at the damaged record.
 pub fn crash_sweep(trace: &CheckTrace) -> Result<CrashSweepReport, String> {
-    let config = DdcConfig::dynamic();
+    crash_sweep_with(trace, DdcConfig::dynamic())
+}
+
+/// [`crash_sweep`] under an explicit engine config — used to drive the
+/// sweep over the paged leaf backend, where recovery replays the log
+/// onto buffer-pool pages instead of slab memory.
+pub fn crash_sweep_with(trace: &CheckTrace, config: DdcConfig) -> Result<CrashSweepReport, String> {
     let run = replay_durable(trace, config)?;
     let d = trace.dims.len();
 

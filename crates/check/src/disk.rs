@@ -90,8 +90,20 @@ pub fn run_trace_under_faults(
     vfs: &FaultVfs,
     policy: RetryPolicy,
 ) -> DiskRunReport {
-    let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drive(trace, vfs, policy)));
+    run_trace_under_faults_with(trace, vfs, policy, DdcConfig::dynamic())
+}
+
+/// [`run_trace_under_faults`] under an explicit engine config — used to
+/// point the fault machinery at the paged leaf backend.
+pub fn run_trace_under_faults_with(
+    trace: &CheckTrace,
+    vfs: &FaultVfs,
+    policy: RetryPolicy,
+    config: DdcConfig,
+) -> DiskRunReport {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        drive(trace, vfs, policy, config)
+    }));
     match outcome {
         Ok(report) => report,
         Err(panic) => {
@@ -128,9 +140,13 @@ fn boot(
     .map(|(cube, _report)| cube)
 }
 
-fn drive(trace: &CheckTrace, vfs: &FaultVfs, policy: RetryPolicy) -> DiskRunReport {
+fn drive(
+    trace: &CheckTrace,
+    vfs: &FaultVfs,
+    policy: RetryPolicy,
+    config: DdcConfig,
+) -> DiskRunReport {
     let d = trace.dims.len();
-    let config = DdcConfig::dynamic();
     let mut report = DiskRunReport::default();
 
     // Fault-free boot: the namespace is empty, nothing can be owed yet.
@@ -518,9 +534,20 @@ pub fn shrink_fault_schedule(
     faults: &[PlannedFault],
     policy: &RetryPolicy,
 ) -> Vec<PlannedFault> {
+    shrink_fault_schedule_with(trace, faults, policy, DdcConfig::dynamic())
+}
+
+/// [`shrink_fault_schedule`] under an explicit engine config, so a
+/// paged-backend violation shrinks against the backend that found it.
+pub fn shrink_fault_schedule_with(
+    trace: &CheckTrace,
+    faults: &[PlannedFault],
+    policy: &RetryPolicy,
+    config: DdcConfig,
+) -> Vec<PlannedFault> {
     let fails = |subset: &[PlannedFault]| {
         let vfs = FaultVfs::explicit_mem(subset.to_vec());
-        !run_trace_under_faults(trace, &vfs, policy.clone()).is_clean()
+        !run_trace_under_faults_with(trace, &vfs, policy.clone(), config).is_clean()
     };
     if !fails(faults) {
         return faults.to_vec();
@@ -646,6 +673,12 @@ impl DiskSweepReport {
 /// production retry policy (with zero backoff — wall-clock sleeps only
 /// slow the sweep down). Any violation is shrunk before reporting.
 pub fn disk_sweep(config: &DiskSweepConfig) -> DiskSweepReport {
+    disk_sweep_with(config, DdcConfig::dynamic())
+}
+
+/// [`disk_sweep`] under an explicit engine config — `ddc check disk
+/// --paged` points the whole grid at the buffer-pool leaf backend.
+pub fn disk_sweep_with(config: &DiskSweepConfig, engine: DdcConfig) -> DiskSweepReport {
     let policy = RetryPolicy::instant();
     let mut report = DiskSweepReport::default();
     let mut run_index = 0u64;
@@ -665,7 +698,7 @@ pub fn disk_sweep(config: &DiskSweepConfig) -> DiskSweepReport {
                 };
                 let trace = schedule.trace();
                 let vfs = schedule.vfs();
-                let run = run_trace_under_faults(&trace, &vfs, policy.clone());
+                let run = run_trace_under_faults_with(&trace, &vfs, policy.clone(), engine);
                 report.runs += 1;
                 report.faults_injected += run.faults.len();
                 report.acked += run.acked;
@@ -673,7 +706,7 @@ pub fn disk_sweep(config: &DiskSweepConfig) -> DiskSweepReport {
                     report.degraded_runs += 1;
                 }
                 if let Some(detail) = run.violations.first() {
-                    let shrunk = shrink_fault_schedule(&trace, &run.faults, &policy);
+                    let shrunk = shrink_fault_schedule_with(&trace, &run.faults, &policy, engine);
                     report.violations.push(DiskViolation {
                         schedule,
                         detail: detail.clone(),

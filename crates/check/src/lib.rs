@@ -36,9 +36,10 @@ pub use adapters::{
     GrowableDenseAdapter, ShardedAdapter, SharedAdapter,
 };
 pub use buggy::{roster_with_bug, OffByOneEngine};
-pub use crash::{corruption_divergence, crash_sweep, CrashSweepReport};
+pub use crash::{corruption_divergence, crash_sweep, crash_sweep_with, CrashSweepReport};
 pub use disk::{
-    disk_sweep, refind_seeded_bug, run_trace_under_faults, shrink_fault_schedule, DiskRunReport,
+    disk_sweep, disk_sweep_with, refind_seeded_bug, run_trace_under_faults,
+    run_trace_under_faults_with, shrink_fault_schedule, shrink_fault_schedule_with, DiskRunReport,
     DiskSweepConfig, DiskSweepReport, DiskViolation, FaultSchedule, RefindReport,
 };
 pub use fault::{

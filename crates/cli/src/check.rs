@@ -4,9 +4,9 @@
 //! ddc check run [--seed N] [--cases N] [--ops N] [--out FILE]
 //! ddc check replay FILE
 //! ddc check faults [--seed N]
-//! ddc check crash [--seed N] [--cases N] [--ops N] [--out FILE]
+//! ddc check crash [--seed N] [--cases N] [--ops N] [--out FILE] [--paged]
 //! ddc check serve [--seed N] [--iters N]
-//! ddc check disk [--quick] [--seed N] [--schedules DIR]
+//! ddc check disk [--quick] [--seed N] [--schedules DIR] [--paged]
 //! ```
 //!
 //! `run` fuzzes every engine against the oracle; on divergence the
@@ -25,13 +25,25 @@
 //! degraded), then replays the committed `tests/faults/*.sched`
 //! schedules with the retry protocol's tail truncation disabled and
 //! verifies both seeded corruption classes are re-found.
+//!
+//! `--paged` (on `crash` and `disk`) runs the same sweep with the
+//! out-of-core leaf backend: a buffer pool under a deliberately tiny
+//! memory cap, so recovery replays the log onto evicting pages.
 
 use ddc_check::{
-    crash_sweep, disk_sweep, fault_sweep, fault_sweep_growable, fuzz, refind_seeded_bug, run_trace,
-    DiskSweepConfig, FaultSchedule,
+    crash_sweep_with, disk_sweep_with, fault_sweep, fault_sweep_growable, fuzz, refind_seeded_bug,
+    run_trace, DiskSweepConfig, FaultSchedule,
 };
-use ddc_core::{DdcConfig, DdcEngine, GrowableCube};
+use ddc_core::{DdcConfig, DdcEngine, GrowableCube, PagerConfig};
 use ddc_workload::{CheckTrace, CheckTraceConfig, DdcRng};
+
+/// Engine config for `--paged` sweeps: leaf blocks (elision 1) behind
+/// a buffer pool small enough that every nontrivial trace evicts.
+fn paged_engine_config() -> DdcConfig {
+    DdcConfig::dynamic()
+        .with_elision(1)
+        .with_paged_leaves(PagerConfig::in_mem(8 * 1024).with_page_bytes(256))
+}
 
 pub(crate) fn parse_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     for (i, a) in args.iter().enumerate() {
@@ -148,7 +160,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let cases = parse_flag(rest, "--cases")?.unwrap_or(12) as usize;
             let ops = parse_flag(rest, "--ops")?.unwrap_or(120) as usize;
             let out_path = parse_out(rest)?;
-            let fails = |t: &CheckTrace| crash_sweep(t).map_or(true, |r| !r.is_clean());
+            let paged = rest.iter().any(|a| a == "--paged");
+            let engine = if paged {
+                paged_engine_config()
+            } else {
+                DdcConfig::dynamic()
+            };
+            let fails =
+                |t: &CheckTrace| crash_sweep_with(t, engine).map_or(true, |r| !r.is_clean());
             let mut offsets = 0usize;
             let mut recoveries = 0usize;
             for case in 0..cases {
@@ -162,7 +181,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     },
                     &mut rng,
                 );
-                let report = crash_sweep(&trace).map_err(|e| format!("case {case}: {e}"))?;
+                let report =
+                    crash_sweep_with(&trace, engine).map_err(|e| format!("case {case}: {e}"))?;
                 if !report.is_clean() {
                     let shrunk = ddc_workload::shrink_trace(&trace, fails);
                     std::fs::write(&out_path, shrunk.to_text())
@@ -181,9 +201,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 offsets += report.offsets;
                 recoveries += report.recoveries;
             }
+            let backend = if paged { "paged" } else { "slab" };
             Ok(format!(
                 "ok: {cases} cases, {offsets} kill offsets, {recoveries} recoveries, \
-                 0 violations (seed {seed})"
+                 0 violations ({backend} backend, seed {seed})"
             ))
         }
         Some("serve") => {
@@ -230,6 +251,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let rest = &args[1..];
             let seed = parse_flag(rest, "--seed")?.unwrap_or(0xD15C);
             let quick = rest.iter().any(|a| a == "--quick");
+            let paged = rest.iter().any(|a| a == "--paged");
             let schedules_dir =
                 parse_str(rest, "--schedules")?.unwrap_or_else(|| "tests/faults".to_string());
             let config = if quick {
@@ -237,7 +259,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             } else {
                 DiskSweepConfig::full(seed)
             };
-            let report = disk_sweep(&config);
+            let engine = if paged {
+                paged_engine_config()
+            } else {
+                DdcConfig::dynamic()
+            };
+            let report = disk_sweep_with(&config, engine);
             if let Some(v) = report.violations.first() {
                 return Err(format!(
                     "disk-fault violation (seed {seed}): {}\n\
@@ -278,9 +305,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     r.violation
                 ));
             }
+            let backend = if paged { "paged" } else { "slab" };
             Ok(format!(
                 "ok: disk sweep: {} runs, {} faults injected, {} acked ops, \
-                 {} degraded runs, 0 violations (seed {seed})\n\
+                 {} degraded runs, 0 violations ({backend} backend, seed {seed})\n\
                  seeded bugs re-found: {}/{}\n  {}",
                 report.runs,
                 report.faults_injected,

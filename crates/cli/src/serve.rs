@@ -4,7 +4,7 @@
 //! ```text
 //! ddc serve   [--addr HOST:PORT] [--side N] [--shards N] [--workers N]
 //!             [--max-conns N] [--rate N] [--burst N]
-//!             [--durable DIR [--dims D]]
+//!             [--durable DIR [--dims D] [--mem-cap BYTES]]
 //! ddc loadgen [--addr HOST:PORT] [--threads N] [--requests N]
 //!             [--batch N] [--update-pct N] [--seed N] [--side N]
 //!             [--shards N] [--json FILE]
@@ -18,6 +18,10 @@
 //! update is fsynced to the log first, a disk fault degrades the
 //! backend to read-only (mutations 503, `/healthz` reports
 //! `degraded`) instead of crashing, and a restart replays the log.
+//! `--mem-cap BYTES` additionally pages the cube's leaf blocks
+//! through a bounded buffer pool that spills cold pages to disk, so
+//! the served cube can exceed RAM; the WAL barrier guarantees no
+//! dirty page reaches the spill file before its log record is synced.
 //! `loadgen` drives pipelined mixed traffic — against `--addr`, or
 //! against an in-process server when omitted — and prints throughput
 //! and batch-RTT quantiles; `--json` additionally writes the schema-v1
@@ -29,7 +33,7 @@ use ddc_array::Shape;
 use ddc_core::sync::Arc;
 use ddc_core::vfs::StdVfs;
 use ddc_core::wal::{self, RetryPolicy};
-use ddc_core::{DdcConfig, ShardConfig, ShardedCube, SharedDurableCube, WalConfig};
+use ddc_core::{DdcConfig, PagerConfig, ShardConfig, ShardedCube, SharedDurableCube, WalConfig};
 use ddc_serve::loadgen::{self, LoadgenConfig};
 use ddc_serve::{
     AdmissionConfig, DurableBackend, ServeBackend, Server, ServerConfig, ShardedBackend,
@@ -66,6 +70,20 @@ pub fn run(args: &[String]) -> Result<String, String> {
             if dims == 0 {
                 return Err("--dims must be at least 1".to_string());
             }
+            let mem_cap = parse_flag(args, "--mem-cap")?;
+            let config = match mem_cap {
+                Some(cap) => {
+                    if cap == 0 {
+                        return Err("--mem-cap must be at least 1 byte".to_string());
+                    }
+                    // Paged leaves need elision ≥ 1 so leaf blocks
+                    // exist; cold pages spill to an unlinked temp file.
+                    DdcConfig::dynamic()
+                        .with_elision(1)
+                        .with_paged_leaves(PagerConfig::disk(cap as usize))
+                }
+                None => DdcConfig::dynamic(),
+            };
             std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
             let wal_path = format!("{dir}/wal.log");
             let snap_path = format!("{dir}/snapshot.ddc");
@@ -74,18 +92,22 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 &wal_path,
                 Some(&snap_path),
                 dims,
-                DdcConfig::dynamic(),
+                config,
                 WalConfig::default(),
                 RetryPolicy::default(),
             )
             .map_err(|e| format!("cannot recover durable cube from {dir}: {e}"))?;
             let what = format!(
                 "durable {dims}-dimensional cube from {dir} (snapshot={}, {} records \
-                     replayed{})",
+                     replayed{}{})",
                 if report.snapshot_loaded { "yes" } else { "no" },
                 report.replayed,
                 match &report.truncated {
                     Some(why) => format!(", torn tail ignored: {why}"),
+                    None => String::new(),
+                },
+                match mem_cap {
+                    Some(cap) => format!(", paged leaves capped at {cap} bytes"),
                     None => String::new(),
                 }
             );

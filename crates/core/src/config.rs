@@ -39,6 +39,67 @@ pub enum BaseStore {
     SparseSeg,
 }
 
+/// Sizing of the paged leaf-block backend (see [`crate::pager`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PagerConfig {
+    /// Buffer-pool budget in bytes; the pool evicts down to this after
+    /// every access (pinned pages can transiently exceed it).
+    pub mem_cap_bytes: usize,
+    /// Page size in bytes (power of two; default 4 KiB).
+    pub page_bytes: usize,
+    /// Spill target: `true` writes evicted pages to an anonymous
+    /// temporary file on disk (bounded RSS); `false` keeps them in an
+    /// in-memory [`Vec<u8>`] file (deterministic tests, no fs access).
+    pub spill_to_disk: bool,
+}
+
+/// Default pager page size (4 KiB).
+pub const DEFAULT_PAGE_BYTES: usize = 4096;
+
+impl PagerConfig {
+    /// Disk-spilling pager with the given pool budget (default pages).
+    pub fn disk(mem_cap_bytes: usize) -> Self {
+        Self {
+            mem_cap_bytes,
+            page_bytes: DEFAULT_PAGE_BYTES,
+            spill_to_disk: true,
+        }
+    }
+
+    /// In-memory-spill pager (for tests and the differential harness):
+    /// the full pin/evict/write-back machinery runs, but the backing
+    /// "file" is a `Vec<u8>`, so construction cannot fail.
+    pub fn in_mem(mem_cap_bytes: usize) -> Self {
+        Self {
+            mem_cap_bytes,
+            page_bytes: DEFAULT_PAGE_BYTES,
+            spill_to_disk: false,
+        }
+    }
+
+    /// Overrides the page size (builder-style).
+    pub fn with_page_bytes(mut self, page_bytes: usize) -> Self {
+        self.page_bytes = page_bytes;
+        self
+    }
+}
+
+/// Which backend holds the leaf-block arena of a [`crate::DdcTree`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LeafBackend {
+    /// In-memory slab (`Vec<Option<LeafBlock>>` + free list) — the PR 7
+    /// arena, zero indirection, unbounded memory.
+    Mem,
+    /// Leaf blocks serialized onto fixed-size pages behind a buffer
+    /// pool with a configurable memory cap (ROADMAP #1). Requested via
+    /// config, *activated* by the `ValueCodec`-bounded constructors
+    /// ([`crate::GrowableCube`] persistence/recovery paths and the
+    /// explicit `enable_paging` hooks) — plain constructors without a
+    /// codec bound build [`LeafBackend::Mem`] and leave the request
+    /// pending.
+    Paged(PagerConfig),
+}
+
 /// Full configuration of a [`crate::DdcEngine`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DdcConfig {
@@ -53,6 +114,8 @@ pub struct DdcConfig {
     /// `2^{(h+1)·d}` leaf-cell additions per query for storage within `ε`
     /// of `|A|`.
     pub elide_levels: usize,
+    /// Backend for the leaf-block arena (in-memory slab or paged).
+    pub leaf_backend: LeafBackend,
 }
 
 impl Default for DdcConfig {
@@ -61,6 +124,7 @@ impl Default for DdcConfig {
             mode: Mode::Dynamic,
             base: BaseStore::Blocked,
             elide_levels: 0,
+            leaf_backend: LeafBackend::Mem,
         }
     }
 }
@@ -98,6 +162,13 @@ impl DdcConfig {
     /// Sets the base store.
     pub fn with_base(mut self, base: BaseStore) -> Self {
         self.base = base;
+        self
+    }
+
+    /// Requests the paged leaf-block backend (see [`LeafBackend::Paged`]
+    /// for when the request takes effect).
+    pub fn with_paged_leaves(mut self, pager: PagerConfig) -> Self {
+        self.leaf_backend = LeafBackend::Paged(pager);
         self
     }
 

@@ -138,6 +138,15 @@ impl<G: AbelianGroup> DdcEngine<G> {
         self.tree.config()
     }
 
+    /// Activates the paged leaf backend if the config requests it; see
+    /// [`DdcTree::enable_paging`]. No-op (`Ok(false)`) otherwise.
+    pub fn enable_paging(&mut self) -> std::io::Result<bool>
+    where
+        G: crate::ValueCodec,
+    {
+        self.tree.enable_paging()
+    }
+
     /// Access to the underlying primary tree (diagnostics, experiments).
     pub fn tree(&self) -> &DdcTree<G> {
         &self.tree

@@ -243,6 +243,32 @@ impl<G: AbelianGroup> GrowableCube<G> {
         std::mem::size_of::<Self>() + self.tree.heap_bytes()
     }
 
+    /// Activates the paged leaf backend if the config requests it; see
+    /// [`DdcTree::enable_paging`]. Growth re-roots the tree in place, so
+    /// a paged arena survives any number of doublings.
+    pub fn enable_paging(&mut self) -> std::io::Result<bool>
+    where
+        G: crate::ValueCodec,
+    {
+        self.tree.enable_paging()
+    }
+
+    /// True once the leaf arena is paged.
+    pub fn is_paged(&self) -> bool {
+        self.tree.is_paged()
+    }
+
+    /// Buffer-pool counters of the paged arena (`None` on the slab).
+    pub fn pool_stats(&self) -> Option<crate::pager::PoolStats> {
+        self.tree.pool_stats()
+    }
+
+    /// WAL barrier of the paged arena (`None` on the slab); see
+    /// [`DdcTree::pager_barrier`].
+    pub fn pager_barrier(&self) -> Option<crate::pager::WalBarrier> {
+        self.tree.pager_barrier()
+    }
+
     /// Operation counter of the underlying tree.
     pub fn counter(&self) -> &OpCounter {
         self.tree.counter()

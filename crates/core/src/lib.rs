@@ -26,20 +26,26 @@ mod growth;
 #[cfg(feature = "ddc_model")]
 pub mod models;
 pub mod obs;
+pub mod pager;
 mod persist;
 mod secondary;
 mod shard;
+pub mod store;
 pub mod sync;
 mod tree;
 pub mod vfs;
 pub mod wal;
 
 pub use concurrent::SharedCube;
-pub use config::{BaseStore, DdcConfig, Mode, WalConfig};
+pub use config::{
+    BaseStore, DdcConfig, LeafBackend, Mode, PagerConfig, WalConfig, DEFAULT_PAGE_BYTES,
+};
 pub use engine::DdcEngine;
 pub use growth::GrowableCube;
+pub use pager::{BufferPool, PoolStats, WalBarrier};
 pub use persist::ValueCodec;
 pub use shard::{MetricsSnapshot, ShardConfig, ShardedCube, TryUpdateError};
+pub use store::{MemStore, NodeStore, PagedStore, RecordCodec};
 pub use tree::{Contribution, DdcTree, LevelStats, TraceStep, TreeStats};
 pub use vfs::{
     FaultKind, FaultPlan, FaultProbs, FaultVfs, MemVfs, OpenMode, PlannedFault, StdVfs, Vfs,

@@ -1,0 +1,649 @@
+//! Fixed-size pages and a buffer pool over the [`crate::vfs`] seam —
+//! ROADMAP #1's out-of-core backing store.
+//!
+//! A [`BufferPool`] caches fixed-size pages (default 4 KiB) of one
+//! backing [`VfsFile`] under a configurable memory cap. Callers pin the
+//! page range they are about to touch, copy bytes in or out, and unpin;
+//! after every unpin the pool evicts back down to its cap with a clock
+//! (second-chance) sweep. Clean victims are dropped; dirty victims are
+//! written back first — but never ahead of the write-ahead log: a dirty
+//! page stamped with log sequence number `L` is not written to disk
+//! until the attached [`WalBarrier`] reports `durable() >= L`
+//! (the WAL-before-data rule, DESIGN S45). Pages whose write-back is
+//! barred behave like pinned pages: the pool over-commits transiently
+//! and counts a [`PoolStats::barrier_stalls`].
+//!
+//! The pool is deliberately single-owner (`&mut self` everywhere);
+//! concurrent access is serialized by the owning store (see
+//! `core::store`). Pages are *spill state*, not a recovery root: the
+//! file is rebuilt from snapshot + WAL on boot, so a torn page write
+//! can never corrupt recovery — the barrier exists so a future
+//! page-rooted checkpoint inherits an already-enforced invariant.
+
+use std::collections::HashMap;
+use std::io;
+
+use crate::sync::untracked::{AtomicU64, Ordering};
+use crate::sync::Arc;
+use crate::vfs::VfsFile;
+
+/// Shared WAL-progress watermark connecting a log writer to every
+/// buffer pool holding data pages for the same store.
+///
+/// Two monotone counters: `appended` (the LSN most recently handed to
+/// the log, used to stamp dirty pages) and `durable` (the LSN most
+/// recently synced). The pool refuses to write back any page whose
+/// stamp exceeds `durable`. Under the repo's log-then-apply discipline
+/// (sync per acknowledged op *before* the in-memory apply) the two
+/// counters advance together and write-back never stalls; the barrier
+/// still enforces the ordering mechanically so the invariant holds for
+/// any future wiring.
+#[derive(Clone, Debug, Default)]
+pub struct WalBarrier {
+    inner: Arc<BarrierInner>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierInner {
+    appended: AtomicU64,
+    durable: AtomicU64,
+}
+
+impl WalBarrier {
+    /// A fresh barrier with both watermarks at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the `appended` watermark to at least `lsn`.
+    pub fn record_append(&self, lsn: u64) {
+        self.inner.appended.fetch_max(lsn, Ordering::Release);
+    }
+
+    /// Raises the `durable` watermark to at least `lsn` (call only
+    /// after the log record for `lsn` is synced).
+    pub fn record_durable(&self, lsn: u64) {
+        self.inner.durable.fetch_max(lsn, Ordering::Release);
+    }
+
+    /// Raises both watermarks (append + sync acknowledged together).
+    pub fn advance(&self, lsn: u64) {
+        self.record_append(lsn);
+        self.record_durable(lsn);
+    }
+
+    /// The LSN most recently handed to the log.
+    pub fn appended(&self) -> u64 {
+        self.inner.appended.load(Ordering::Acquire)
+    }
+
+    /// The LSN most recently synced to the log.
+    pub fn durable(&self) -> u64 {
+        self.inner.durable.load(Ordering::Acquire)
+    }
+}
+
+/// Counter snapshot of one [`BufferPool`]'s activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pin requests satisfied by an already-resident page.
+    pub hits: u64,
+    /// Pin requests that faulted the page in from the file.
+    pub misses: u64,
+    /// Frames dropped by the clock sweep.
+    pub evictions: u64,
+    /// Dirty frames written to the file before eviction.
+    pub write_backs: u64,
+    /// Times a dirty victim was skipped because its LSN was ahead of
+    /// the WAL barrier's durable watermark.
+    pub barrier_stalls: u64,
+    /// Full clock rotations that found no evictable victim (the pool
+    /// stayed over its cap for that round).
+    pub stall_rounds: u64,
+    /// Pages currently resident.
+    pub resident_pages: usize,
+    /// Resident pages currently pinned.
+    pub pinned_pages: usize,
+    /// Resident pages currently dirty.
+    pub dirty_pages: usize,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+    /// Pool budget in pages.
+    pub cap_pages: usize,
+}
+
+impl PoolStats {
+    /// Bytes currently held by page frames.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_pages * self.page_bytes
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    buf: Box<[u8]>,
+    pins: u32,
+    referenced: bool,
+    dirty: bool,
+    /// LSN stamped at the last dirtying write (0 = no log dependency).
+    lsn: u64,
+}
+
+/// A clock-eviction buffer pool over one page file.
+pub struct BufferPool {
+    file: Box<dyn VfsFile + Send>,
+    page_bytes: usize,
+    cap_pages: usize,
+    frames: HashMap<u64, Frame>,
+    /// Resident page ids in clock order (`hand` indexes the next
+    /// candidate); membership mirrors `frames` exactly.
+    clock: Vec<u64>,
+    hand: usize,
+    /// Pages materialized in the file so far (reads beyond are zeros).
+    file_pages: u64,
+    barrier: Option<WalBarrier>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    write_backs: u64,
+    barrier_stalls: u64,
+    stall_rounds: u64,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("page_bytes", &self.page_bytes)
+            .field("cap_pages", &self.cap_pages)
+            .field("resident", &self.frames.len())
+            .field("evictions", &self.evictions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BufferPool {
+    /// A pool over `file` with `page_bytes`-sized pages and a budget of
+    /// `mem_cap_bytes` (rounded down to whole pages, minimum one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes < 64` (degenerate pages are always a
+    /// configuration bug).
+    pub fn new(file: Box<dyn VfsFile + Send>, page_bytes: usize, mem_cap_bytes: usize) -> Self {
+        assert!(page_bytes >= 64, "page size {page_bytes} too small");
+        Self {
+            file,
+            page_bytes,
+            cap_pages: (mem_cap_bytes / page_bytes).max(1),
+            frames: HashMap::new(),
+            clock: Vec::new(),
+            hand: 0,
+            file_pages: 0,
+            barrier: None,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            write_backs: 0,
+            barrier_stalls: 0,
+            stall_rounds: 0,
+        }
+    }
+
+    /// Attaches the WAL barrier gating dirty write-back.
+    pub fn set_barrier(&mut self, barrier: WalBarrier) {
+        self.barrier = Some(barrier);
+    }
+
+    /// The attached barrier, if any.
+    pub fn barrier(&self) -> Option<&WalBarrier> {
+        self.barrier.as_ref()
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            write_backs: self.write_backs,
+            barrier_stalls: self.barrier_stalls,
+            stall_rounds: self.stall_rounds,
+            resident_pages: self.frames.len(),
+            pinned_pages: self.frames.values().filter(|f| f.pins > 0).count(),
+            dirty_pages: self.frames.values().filter(|f| f.dirty).count(),
+            page_bytes: self.page_bytes,
+            cap_pages: self.cap_pages,
+        }
+    }
+
+    /// Pins `page`, faulting it in from the file if absent. Pinned
+    /// pages are never evicted; every successful pin must be paired
+    /// with an [`BufferPool::unpin`].
+    pub fn pin(&mut self, page: u64) -> io::Result<()> {
+        if let Some(frame) = self.frames.get_mut(&page) {
+            frame.pins += 1;
+            frame.referenced = true;
+            self.hits += 1;
+            return Ok(());
+        }
+        self.misses += 1;
+        let mut buf = vec![0u8; self.page_bytes].into_boxed_slice();
+        if page < self.file_pages {
+            let off = page * self.page_bytes as u64;
+            let mut filled = 0usize;
+            while filled < buf.len() {
+                let n = self.file.read_at(off + filled as u64, &mut buf[filled..])?;
+                if n == 0 {
+                    break; // rest of the page never materialized: zeros
+                }
+                filled += n;
+            }
+        }
+        self.frames.insert(
+            page,
+            Frame {
+                buf,
+                pins: 1,
+                referenced: true,
+                dirty: false,
+                lsn: 0,
+            },
+        );
+        self.clock.push(page);
+        Ok(())
+    }
+
+    /// Releases one pin of `page`, then evicts down to the cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not resident or not pinned — an unbalanced
+    /// unpin is a bookkeeping bug, never valid (pin counts cannot go
+    /// negative).
+    pub fn unpin(&mut self, page: u64) -> io::Result<()> {
+        let frame = self
+            .frames
+            .get_mut(&page)
+            .unwrap_or_else(|| panic!("unpin of non-resident page {page}"));
+        assert!(frame.pins > 0, "unpin of unpinned page {page}");
+        frame.pins -= 1;
+        self.evict_to_cap()
+    }
+
+    /// Copies the bytes of resident page `page` to `out`. The caller
+    /// must hold a pin (enforced).
+    pub fn read_page(&self, page: u64, out: &mut [u8]) {
+        let frame = match self.frames.get(&page) {
+            Some(f) => f,
+            None => panic!("read of non-resident page {page}"),
+        };
+        assert!(frame.pins > 0, "read of unpinned page {page}");
+        out.copy_from_slice(&frame.buf[..out.len()]);
+    }
+
+    /// Overwrites `data.len()` bytes at `offset` within resident page
+    /// `page`, marking it dirty and stamping the barrier's current
+    /// append watermark. The caller must hold a pin (enforced).
+    pub fn write_page(&mut self, page: u64, offset: usize, data: &[u8]) {
+        let lsn = self.barrier.as_ref().map_or(0, WalBarrier::appended);
+        let frame = match self.frames.get_mut(&page) {
+            Some(f) => f,
+            None => panic!("write to non-resident page {page}"),
+        };
+        assert!(frame.pins > 0, "write to unpinned page {page}");
+        frame.buf[offset..offset + data.len()].copy_from_slice(data);
+        frame.dirty = true;
+        frame.lsn = frame.lsn.max(lsn);
+    }
+
+    /// Reads `out.len()` bytes at byte `offset` of the file through the
+    /// page cache (pins the touched pages for the duration).
+    pub fn read_range(&mut self, offset: u64, out: &mut [u8]) -> io::Result<()> {
+        self.for_each_segment(offset, out.len(), |pool, page, in_page, start, len| {
+            let frame = match pool.frames.get(&page) {
+                Some(f) => f,
+                None => panic!("segment walk lost page {page}"),
+            };
+            out[start..start + len].copy_from_slice(&frame.buf[in_page..in_page + len]);
+            Ok(())
+        })
+    }
+
+    /// Writes `data` at byte `offset` of the file through the page
+    /// cache: frames are updated in memory and marked dirty; the bytes
+    /// reach the file only on eviction write-back or [`BufferPool::flush`].
+    pub fn write_range(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let lsn = self.barrier.as_ref().map_or(0, WalBarrier::appended);
+        self.for_each_segment(offset, data.len(), |pool, page, in_page, start, len| {
+            let frame = match pool.frames.get_mut(&page) {
+                Some(f) => f,
+                None => panic!("segment walk lost page {page}"),
+            };
+            frame.buf[in_page..in_page + len].copy_from_slice(&data[start..start + len]);
+            frame.dirty = true;
+            frame.lsn = frame.lsn.max(lsn);
+            Ok(())
+        })
+    }
+
+    /// Pins every page overlapping `[offset, offset + len)`, invokes
+    /// `f(pool, page, in_page_offset, buf_start, seg_len)` per page,
+    /// unpins, and evicts to the cap. Pinning the whole range up front
+    /// keeps earlier pages resident while later ones fault in.
+    fn for_each_segment(
+        &mut self,
+        offset: u64,
+        len: usize,
+        mut f: impl FnMut(&mut Self, u64, usize, usize, usize) -> io::Result<()>,
+    ) -> io::Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let pb = self.page_bytes as u64;
+        let first = offset / pb;
+        let last = (offset + len as u64 - 1) / pb;
+        let mut pinned = first;
+        let result = (|| -> io::Result<()> {
+            for page in first..=last {
+                self.pin(page)?;
+                pinned = page + 1;
+            }
+            let mut start = 0usize;
+            for page in first..=last {
+                let page_lo = page * pb;
+                let in_page = offset.max(page_lo) - page_lo;
+                let seg = ((page_lo + pb).min(offset + len as u64) - (page_lo + in_page)) as usize;
+                f(self, page, in_page as usize, start, seg)?;
+                start += seg;
+            }
+            Ok(())
+        })();
+        for page in first..pinned {
+            // Unpin exactly what was pinned, even on a faulted fast exit.
+            self.unpin(page)?;
+        }
+        result
+    }
+
+    /// Writes back every dirty page the WAL barrier permits; returns
+    /// the number of dirty pages still barred (their log records are
+    /// not yet durable).
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let durable = self.barrier.as_ref().map_or(u64::MAX, WalBarrier::durable);
+        let mut barred = 0usize;
+        let pages: Vec<u64> = self.clock.clone();
+        for page in pages {
+            let (dirty, lsn) = match self.frames.get(&page) {
+                Some(f) => (f.dirty, f.lsn),
+                None => continue,
+            };
+            if !dirty {
+                continue;
+            }
+            if lsn > durable {
+                barred += 1;
+                self.barrier_stalls += 1;
+                continue;
+            }
+            self.write_back(page)?;
+        }
+        if barred == 0 {
+            self.file.sync()?;
+        }
+        Ok(barred)
+    }
+
+    /// Clock (second-chance) sweep down to the cap. Pinned pages and
+    /// dirty pages barred by the WAL are skipped; if a full double
+    /// rotation finds no victim the pool stays over-committed and
+    /// counts a stall round.
+    fn evict_to_cap(&mut self) -> io::Result<()> {
+        let mut scanned = 0usize;
+        while self.frames.len() > self.cap_pages && !self.clock.is_empty() {
+            if scanned > 2 * self.clock.len() {
+                self.stall_rounds += 1;
+                return Ok(());
+            }
+            if self.hand >= self.clock.len() {
+                self.hand = 0;
+            }
+            let page = self.clock[self.hand];
+            let (pins, referenced, dirty, lsn) = match self.frames.get_mut(&page) {
+                Some(f) => (f.pins, f.referenced, f.dirty, f.lsn),
+                None => panic!("clock entry for non-resident page {page}"),
+            };
+            if pins > 0 {
+                self.hand = (self.hand + 1) % self.clock.len();
+                scanned += 1;
+                continue;
+            }
+            if referenced {
+                if let Some(f) = self.frames.get_mut(&page) {
+                    f.referenced = false;
+                }
+                self.hand = (self.hand + 1) % self.clock.len();
+                scanned += 1;
+                continue;
+            }
+            if dirty {
+                let durable = self.barrier.as_ref().map_or(u64::MAX, WalBarrier::durable);
+                if lsn > durable {
+                    // WAL-before-data: this page's log record is not
+                    // durable yet, so it must not reach the file.
+                    self.barrier_stalls += 1;
+                    self.hand = (self.hand + 1) % self.clock.len();
+                    scanned += 1;
+                    continue;
+                }
+                self.write_back(page)?;
+            }
+            self.frames.remove(&page);
+            self.clock.swap_remove(self.hand);
+            self.evictions += 1;
+            scanned = 0;
+        }
+        if self.hand >= self.clock.len() {
+            self.hand = 0;
+        }
+        Ok(())
+    }
+
+    /// Writes one resident page's bytes to the file and clears its
+    /// dirty bit.
+    fn write_back(&mut self, page: u64) -> io::Result<()> {
+        let off = page * self.page_bytes as u64;
+        let frame = match self.frames.get_mut(&page) {
+            Some(f) => f,
+            None => panic!("write-back of non-resident page {page}"),
+        };
+        self.file.write_at(off, &frame.buf)?;
+        frame.dirty = false;
+        self.write_backs += 1;
+        self.file_pages = self.file_pages.max(page + 1);
+        Ok(())
+    }
+
+    /// Heap bytes held by the pool (frames + bookkeeping).
+    pub fn heap_bytes(&self) -> usize {
+        self.frames.len() * self.page_bytes
+            + self.frames.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Frame>())
+            + self.clock.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Audits pool bookkeeping: the clock list mirrors the frame table
+    /// exactly (no duplicates, no strays), the hand is in range, every
+    /// pinned or barred page is resident, and the pool is within its
+    /// cap unless pins or barrier stalls legitimately hold it over.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation (test/diagnostic use).
+    pub fn audit(&self) {
+        assert_eq!(
+            self.clock.len(),
+            self.frames.len(),
+            "clock list and frame table out of step"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for &page in &self.clock {
+            assert!(seen.insert(page), "page {page} twice on the clock");
+            assert!(
+                self.frames.contains_key(&page),
+                "clock entry {page} has no frame"
+            );
+        }
+        assert!(
+            self.clock.is_empty() || self.hand < self.clock.len(),
+            "clock hand out of range"
+        );
+        let unevictable = self
+            .frames
+            .values()
+            .filter(|f| {
+                f.pins > 0
+                    || (f.dirty
+                        && f.lsn > self.barrier.as_ref().map_or(u64::MAX, WalBarrier::durable))
+            })
+            .count();
+        assert!(
+            self.frames.len() <= self.cap_pages.max(unevictable) + self.cap_pages,
+            "pool resident {} far over cap {} with only {} unevictable pages",
+            self.frames.len(),
+            self.cap_pages,
+            unevictable
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap_pages: usize) -> BufferPool {
+        BufferPool::new(Box::new(Vec::new()), 64, cap_pages * 64)
+    }
+
+    #[test]
+    fn roundtrip_through_eviction() {
+        let mut p = pool(2);
+        for i in 0u64..8 {
+            p.write_range(i * 64, &[i as u8 + 1; 64]).unwrap();
+        }
+        assert!(p.stats().evictions >= 6, "{:?}", p.stats());
+        for i in 0u64..8 {
+            let mut buf = [0u8; 64];
+            p.read_range(i * 64, &mut buf).unwrap();
+            assert_eq!(buf, [i as u8 + 1; 64], "page {i}");
+        }
+        p.audit();
+    }
+
+    #[test]
+    fn unaligned_ranges_span_pages() {
+        let mut p = pool(3);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        p.write_range(40, &data).unwrap();
+        let mut out = vec![0u8; 200];
+        p.read_range(40, &mut out).unwrap();
+        assert_eq!(out, data);
+        // The prefix before the write is still zeros.
+        let mut head = [9u8; 40];
+        p.read_range(0, &mut head).unwrap();
+        assert_eq!(head, [0u8; 40]);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut p = pool(2);
+        p.pin(0).unwrap();
+        p.write_page(0, 0, &[7u8; 64]);
+        // Flood the pool: page 0 is pinned and must stay resident.
+        for i in 1u64..10 {
+            p.write_range(i * 64, &[i as u8; 64]).unwrap();
+        }
+        assert!(p.stats().pinned_pages >= 1);
+        let mut buf = [0u8; 64];
+        p.read_page(0, &mut buf);
+        assert_eq!(buf, [7u8; 64]);
+        p.unpin(0).unwrap();
+        p.audit();
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of non-resident page")]
+    fn unbalanced_unpin_panics() {
+        let mut p = pool(2);
+        let _ = p.unpin(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of unpinned page")]
+    fn double_unpin_panics() {
+        let mut p = pool(2);
+        p.pin(0).unwrap();
+        let _ = p.unpin(0);
+        let _ = p.unpin(0);
+    }
+
+    #[test]
+    fn barrier_blocks_write_back_until_durable() {
+        let mut p = pool(1);
+        let barrier = WalBarrier::new();
+        p.set_barrier(barrier.clone());
+        barrier.record_append(5);
+        p.write_range(0, &[1u8; 64]).unwrap(); // dirty, lsn 5, durable 0
+        assert_eq!(p.flush().unwrap(), 1, "page must stay barred");
+        // Pressure cannot push the barred page out either.
+        p.write_range(64, &[2u8; 64]).unwrap();
+        assert!(p.stats().barrier_stalls > 0, "{:?}", p.stats());
+        let mut probe = Vec::new();
+        // The backing file must not contain page 0's bytes yet.
+        assert_eq!(p.file_pages, 0, "page reached disk before the WAL");
+        barrier.record_durable(5);
+        assert_eq!(p.flush().unwrap(), 0);
+        probe.resize(64, 0u8);
+        p.read_range(0, &mut probe).unwrap();
+        assert_eq!(probe, vec![1u8; 64]);
+        p.audit();
+    }
+
+    #[test]
+    fn second_chance_prefers_unreferenced() {
+        let mut p = pool(2);
+        p.write_range(0, &[1u8; 64]).unwrap();
+        p.write_range(64, &[2u8; 64]).unwrap();
+        // Force the distinguishing state: page 0 referenced, page 1 not.
+        // Under pressure the clock must grant page 0 its second chance
+        // and take page 1, regardless of hand position.
+        p.frames.get_mut(&0).unwrap().referenced = true;
+        p.frames.get_mut(&1).unwrap().referenced = false;
+        p.write_range(128, &[3u8; 64]).unwrap();
+        let s = p.stats();
+        assert_eq!(s.resident_pages, 2);
+        assert!(p.frames.contains_key(&0), "referenced page evicted early");
+        assert!(
+            !p.frames.contains_key(&1),
+            "unreferenced page must be the victim"
+        );
+    }
+
+    #[test]
+    fn stats_and_audit_after_churn() {
+        let mut p = pool(4);
+        for round in 0..50u64 {
+            for i in 0..10u64 {
+                p.write_range((i * 64) + (round % 3), &[round as u8; 32])
+                    .unwrap();
+            }
+        }
+        let s = p.stats();
+        assert!(s.evictions >= 100, "{s:?}");
+        assert_eq!(s.pinned_pages, 0);
+        p.audit();
+    }
+}

@@ -237,6 +237,9 @@ impl<G: AbelianGroup + ValueCodec> DdcEngine<G> {
             return Err(bad("entry count exceeds cube capacity"));
         }
         let mut engine = Self::with_config(shape.clone(), config);
+        // Paging activates before replay so the rebuilt leaves land on
+        // pages from the start (the bound is in scope here).
+        engine.enable_paging()?;
         let mut p = vec![0usize; d];
         for _ in 0..count {
             for c in p.iter_mut() {
@@ -296,6 +299,8 @@ impl<G: AbelianGroup + ValueCodec> GrowableCube<G> {
         let count =
             usize::try_from(read_u64(input)?).map_err(|_| bad("implausible entry count"))?;
         let mut cube = Self::with_origin(&origin, config);
+        // As in `DdcEngine::load`: page the leaves before replaying.
+        cube.enable_paging()?;
         let mut p = vec![0i64; d];
         for _ in 0..count {
             for c in p.iter_mut() {

@@ -1,0 +1,563 @@
+//! Arena backends for [`crate::DdcTree`]'s leaf blocks: the
+//! [`NodeStore`] contract, the PR 7 in-memory slab ([`MemStore`]), and
+//! the out-of-core [`PagedStore`] that serializes records onto the
+//! fixed-size pages of a [`crate::pager::BufferPool`].
+//!
+//! A store is a slab of `u32`-addressed slots holding records of one
+//! type. The tree never holds references into the store across
+//! operations — access is closure-scoped (`with` / `with_mut`), which
+//! is what lets the paged backend decode a record into a stack
+//! temporary, hand it to the closure, and re-encode it afterwards
+//! while holding page pins only for the copy.
+//!
+//! [`PagedStore`] maps slot `id` to the fixed byte extent
+//! `[id · record_cap, (id+1) · record_cap)` of the page file, so a
+//! record touches `⌈record_cap / page_bytes⌉ + 1` pages at most and
+//! small records share pages without alignment waste. Spill I/O errors
+//! are process-fatal by design: pages are scratch state below the
+//! snapshot + WAL pair, so crashing into recovery is the correct
+//! degraded behavior (DESIGN S45).
+
+use std::io;
+
+use crate::config::PagerConfig;
+use crate::pager::{BufferPool, PoolStats, WalBarrier};
+use crate::sync::untracked::{AtomicU64, Mutex, MutexGuard, Ordering};
+use crate::sync::PoisonError;
+use crate::vfs::VfsFile;
+
+/// The backend contract over the tree's leaf arena (ROADMAP #1's
+/// "NodeStore over the PR 7 arenas").
+///
+/// Slot ids are dense `u32`s handed out by `insert`, reused through an
+/// internal free list after `remove` — exactly the discipline the PR 7
+/// flat arenas established, so [`crate::DdcTree`] runs unchanged on
+/// either backend.
+pub trait NodeStore<T> {
+    /// Stores `item`, returning its slot id (free slots are reused).
+    fn insert(&mut self, item: T) -> u32;
+    /// Vacates slot `id` and free-lists it.
+    fn remove(&mut self, id: u32);
+    /// Removes and returns slot `id`'s record without free-listing it
+    /// (arena compaction).
+    fn take(&mut self, id: u32) -> Option<T>;
+    /// Total slots (live + free).
+    fn slots(&self) -> usize;
+    /// Slots on the free list.
+    fn free_len(&self) -> usize;
+    /// The free list's contents (diagnostics; order unspecified).
+    fn free_ids(&self) -> Vec<u32>;
+    /// True when slot `id` holds a record.
+    fn is_occupied(&self, id: u32) -> bool;
+    /// Invokes `f` with a shared view of slot `id` (`None` if vacant).
+    fn with<R>(&self, id: u32, f: impl FnOnce(Option<&T>) -> R) -> R;
+    /// Invokes `f` with a mutable view of slot `id` (`None` if vacant);
+    /// mutations are persisted when `f` returns.
+    fn with_mut<R>(&mut self, id: u32, f: impl FnOnce(Option<&mut T>) -> R) -> R;
+}
+
+// ---------------------------------------------------------------------
+// MemStore: the PR 7 slab, extracted
+// ---------------------------------------------------------------------
+
+/// In-memory slab arena: `Vec<Option<T>>` plus a free list.
+#[derive(Debug)]
+pub struct MemStore<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for MemStore<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MemStore<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Appends another slab's slots wholesale (graft fast path),
+    /// returning the id offset its records landed at. The donor's free
+    /// list is carried over, re-based.
+    pub fn absorb(&mut self, other: MemStore<T>) -> u32 {
+        let off = self.slots.len() as u32;
+        self.slots.extend(other.slots);
+        self.free.extend(other.free.iter().map(|&id| id + off));
+        off
+    }
+
+    /// Drains every slot in id order (paged conversion / compaction).
+    pub fn into_slots(self) -> (Vec<Option<T>>, Vec<u32>) {
+        (self.slots, self.free)
+    }
+
+    /// Heap bytes of the slab bookkeeping itself (slot vector + free
+    /// list), excluding record internals.
+    pub fn slab_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Iterates the occupied records (stats / serialization).
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (i as u32, t)))
+    }
+}
+
+impl<T> NodeStore<T> for MemStore<T> {
+    fn insert(&mut self, item: T) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(item);
+            return id;
+        }
+        let id = self.slots.len() as u32;
+        self.slots.push(Some(item));
+        id
+    }
+
+    fn remove(&mut self, id: u32) {
+        self.slots[id as usize] = None;
+        self.free.push(id);
+    }
+
+    fn take(&mut self, id: u32) -> Option<T> {
+        self.slots[id as usize].take()
+    }
+
+    fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    fn free_ids(&self) -> Vec<u32> {
+        self.free.clone()
+    }
+
+    fn is_occupied(&self, id: u32) -> bool {
+        self.slots
+            .get(id as usize)
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    fn with<R>(&self, id: u32, f: impl FnOnce(Option<&T>) -> R) -> R {
+        f(self.slots[id as usize].as_ref())
+    }
+
+    fn with_mut<R>(&mut self, id: u32, f: impl FnOnce(Option<&mut T>) -> R) -> R {
+        f(self.slots[id as usize].as_mut())
+    }
+}
+
+// ---------------------------------------------------------------------
+// PagedStore: records on pages behind the buffer pool
+// ---------------------------------------------------------------------
+
+/// Monomorphized encode/decode hooks for one record type, captured as
+/// plain `fn` pointers where the serialization bound is in scope so the
+/// store itself needs none (see `DdcTree::enable_paging`).
+pub struct RecordCodec<T> {
+    /// Serializes a record (appends to the buffer).
+    pub encode: fn(&T, &mut Vec<u8>),
+    /// Rebuilds a record from its bytes; `d` is the owning tree's
+    /// dimensionality.
+    pub decode: fn(usize, &[u8]) -> T,
+}
+
+impl<T> Copy for RecordCodec<T> {}
+impl<T> Clone for RecordCodec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> std::fmt::Debug for RecordCodec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecordCodec")
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum SlotState {
+    Free,
+    Occupied { len: u32 },
+}
+
+#[derive(Debug)]
+struct PagedInner {
+    pool: BufferPool,
+    slots: Vec<SlotState>,
+    free: Vec<u32>,
+    scratch: Vec<u8>,
+}
+
+/// Out-of-core arena: records serialized onto the fixed byte extent
+/// `[id · record_cap, (id+1) · record_cap)` of a page file behind a
+/// capped [`BufferPool`]. Interior mutability (one mutex around the
+/// pool) lets shared queries fault pages in through `&self`.
+#[derive(Debug)]
+pub struct PagedStore<T> {
+    inner: Mutex<PagedInner>,
+    codec: RecordCodec<T>,
+    record_cap: usize,
+    d: usize,
+}
+
+/// Names anonymous spill files uniquely within the process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn open_spill_file(spill_to_disk: bool) -> io::Result<Box<dyn VfsFile + Send>> {
+    if !spill_to_disk {
+        return Ok(Box::new(Vec::<u8>::new()));
+    }
+    let path = std::env::temp_dir().join(format!(
+        "ddc-pager-{}-{}.pages",
+        std::process::id(),
+        SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&path)?;
+    // Unlink immediately: the open handle keeps the file alive, the
+    // name disappears, and the OS reclaims the space on process exit
+    // even after a crash. Best-effort — on filesystems that refuse,
+    // the file simply remains until deleted.
+    let _ = std::fs::remove_file(&path);
+    Ok(Box::new(file))
+}
+
+/// Spill I/O failure is process-fatal: pages are scratch below the
+/// snapshot + WAL pair, so the honest recovery path is a restart.
+fn spill_ok<T>(r: io::Result<T>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("pager spill {what} failed (restart recovers from snapshot + WAL): {e}"),
+    }
+}
+
+impl<T> PagedStore<T> {
+    /// A paged store for records up to `record_cap` encoded bytes, from
+    /// a `d`-dimensional tree, spilling per `pager`.
+    pub fn new(
+        pager: PagerConfig,
+        d: usize,
+        record_cap: usize,
+        codec: RecordCodec<T>,
+    ) -> io::Result<Self> {
+        let file = open_spill_file(pager.spill_to_disk)?;
+        Ok(Self {
+            inner: Mutex::new(PagedInner {
+                pool: BufferPool::new(file, pager.page_bytes, pager.mem_cap_bytes),
+                slots: Vec::new(),
+                free: Vec::new(),
+                scratch: Vec::new(),
+            }),
+            codec,
+            record_cap,
+            d,
+        })
+    }
+
+    /// Converts a [`MemStore`] in place, preserving every slot id.
+    pub fn from_mem(
+        mem: MemStore<T>,
+        pager: PagerConfig,
+        d: usize,
+        record_cap: usize,
+        codec: RecordCodec<T>,
+    ) -> io::Result<Self> {
+        let store = Self::new(pager, d, record_cap, codec)?;
+        {
+            let (slots, free) = mem.into_slots();
+            let mut g = store.lock();
+            for (id, slot) in slots.into_iter().enumerate() {
+                g.slots.push(SlotState::Free);
+                if let Some(item) = slot {
+                    store_record(&mut g, id as u32, &item, record_cap, codec);
+                }
+            }
+            g.free = free;
+        }
+        Ok(store)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PagedInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn load_record(&self, g: &mut PagedInner, id: u32) -> Option<T> {
+        let len = match g.slots.get(id as usize) {
+            Some(SlotState::Occupied { len }) => *len as usize,
+            Some(SlotState::Free) => return None,
+            None => panic!("leaf slot {id} out of bounds"),
+        };
+        let off = id as u64 * self.record_cap as u64;
+        let mut scratch = std::mem::take(&mut g.scratch);
+        scratch.clear();
+        scratch.resize(len, 0);
+        spill_ok(g.pool.read_range(off, &mut scratch), "read");
+        let item = (self.codec.decode)(self.d, &scratch);
+        g.scratch = scratch;
+        Some(item)
+    }
+
+    /// Attaches (creating if needed) the WAL barrier gating dirty page
+    /// write-back, and returns a handle the log writer advances.
+    pub fn ensure_barrier(&self) -> WalBarrier {
+        let mut g = self.lock();
+        if let Some(b) = g.pool.barrier() {
+            return b.clone();
+        }
+        let barrier = WalBarrier::new();
+        g.pool.set_barrier(barrier.clone());
+        barrier
+    }
+
+    /// Buffer-pool counter snapshot.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.lock().pool.stats()
+    }
+
+    /// Resident heap bytes (pool frames + slot bookkeeping); spilled
+    /// page-file bytes are *not* memory and are excluded.
+    pub fn heap_bytes(&self) -> usize {
+        let g = self.lock();
+        g.pool.heap_bytes()
+            + g.slots.capacity() * std::mem::size_of::<SlotState>()
+            + g.free.capacity() * std::mem::size_of::<u32>()
+            + g.scratch.capacity()
+    }
+
+    /// Audits pool and slot bookkeeping (panics on violation).
+    pub fn audit(&self) {
+        let g = self.lock();
+        g.pool.audit();
+        for &id in &g.free {
+            assert!(
+                matches!(g.slots.get(id as usize), Some(SlotState::Free)),
+                "free-listed slot {id} not vacant"
+            );
+        }
+    }
+}
+
+fn store_record<T>(
+    g: &mut PagedInner,
+    id: u32,
+    item: &T,
+    record_cap: usize,
+    codec: RecordCodec<T>,
+) {
+    let mut scratch = std::mem::take(&mut g.scratch);
+    scratch.clear();
+    (codec.encode)(item, &mut scratch);
+    assert!(
+        scratch.len() <= record_cap,
+        "record {id} encodes to {} bytes, over the {record_cap}-byte slot",
+        scratch.len()
+    );
+    let off = id as u64 * record_cap as u64;
+    spill_ok(g.pool.write_range(off, &scratch), "write");
+    g.slots[id as usize] = SlotState::Occupied {
+        len: scratch.len() as u32,
+    };
+    g.scratch = scratch;
+}
+
+impl<T> NodeStore<T> for PagedStore<T> {
+    fn insert(&mut self, item: T) -> u32 {
+        let record_cap = self.record_cap;
+        let codec = self.codec;
+        let mut g = self.lock();
+        let id = match g.free.pop() {
+            Some(id) => id,
+            None => {
+                g.slots.push(SlotState::Free);
+                (g.slots.len() - 1) as u32
+            }
+        };
+        store_record(&mut g, id, &item, record_cap, codec);
+        id
+    }
+
+    fn remove(&mut self, id: u32) {
+        let mut g = self.lock();
+        match g.slots.get(id as usize) {
+            Some(SlotState::Occupied { .. }) => {}
+            Some(SlotState::Free) => panic!("double free of leaf slot {id}"),
+            None => panic!("free of out-of-bounds leaf slot {id}"),
+        }
+        g.slots[id as usize] = SlotState::Free;
+        g.free.push(id);
+    }
+
+    fn take(&mut self, id: u32) -> Option<T> {
+        let mut g = self.lock();
+        let item = self.load_record(&mut g, id)?;
+        g.slots[id as usize] = SlotState::Free;
+        Some(item)
+    }
+
+    fn slots(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    fn free_len(&self) -> usize {
+        self.lock().free.len()
+    }
+
+    fn free_ids(&self) -> Vec<u32> {
+        self.lock().free.clone()
+    }
+
+    fn is_occupied(&self, id: u32) -> bool {
+        matches!(
+            self.lock().slots.get(id as usize),
+            Some(SlotState::Occupied { .. })
+        )
+    }
+
+    fn with<R>(&self, id: u32, f: impl FnOnce(Option<&T>) -> R) -> R {
+        let item = {
+            let mut g = self.lock();
+            self.load_record(&mut g, id)
+        };
+        f(item.as_ref())
+    }
+
+    fn with_mut<R>(&mut self, id: u32, f: impl FnOnce(Option<&mut T>) -> R) -> R {
+        let mut item = {
+            let mut g = self.lock();
+            self.load_record(&mut g, id)
+        };
+        let r = f(item.as_mut());
+        if let Some(t) = &item {
+            let mut g = self.lock();
+            store_record(&mut g, id, t, self.record_cap, self.codec);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> RecordCodec<Vec<u8>> {
+        RecordCodec {
+            encode: |v, out| out.extend_from_slice(v),
+            decode: |_, bytes| bytes.to_vec(),
+        }
+    }
+
+    fn tiny_store(cap_bytes: usize) -> PagedStore<Vec<u8>> {
+        PagedStore::new(
+            PagerConfig::in_mem(cap_bytes).with_page_bytes(64),
+            1,
+            100,
+            codec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paged_insert_read_remove_reuse() {
+        let mut s = tiny_store(128);
+        let a = s.insert(vec![1, 2, 3]);
+        let b = s.insert(vec![9; 100]);
+        assert_eq!(s.slots(), 2);
+        s.with(a, |v| assert_eq!(v, Some(&vec![1, 2, 3])));
+        s.with(b, |v| assert_eq!(v, Some(&vec![9; 100])));
+        s.with_mut(a, |v| v.unwrap().push(4));
+        s.with(a, |v| assert_eq!(v, Some(&vec![1, 2, 3, 4])));
+        s.remove(a);
+        assert_eq!(s.free_len(), 1);
+        s.with(a, |v| assert!(v.is_none()));
+        let c = s.insert(vec![7]);
+        assert_eq!(c, a, "free slot must be reused");
+        s.audit();
+    }
+
+    #[test]
+    fn paged_matches_mem_under_churn_with_evictions() {
+        let mut paged = tiny_store(128); // 2 pages resident at most
+        let mut mem = MemStore::<Vec<u8>>::new();
+        let mut ids = Vec::new();
+        let mut rng = 0x12345678u64;
+        for i in 0..400u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let op = rng % 3;
+            if op == 0 || ids.is_empty() {
+                let rec = vec![(i % 251) as u8; 1 + (rng % 90) as usize];
+                let p = paged.insert(rec.clone());
+                let m = mem.insert(rec);
+                assert_eq!(p, m, "id streams must match");
+                ids.push(p);
+            } else if op == 1 {
+                let id = ids[(rng as usize / 7) % ids.len()];
+                paged.with_mut(id, |v| {
+                    if let Some(v) = v {
+                        v.push(i as u8);
+                    }
+                });
+                mem.with_mut(id, |v| {
+                    if let Some(v) = v {
+                        v.push(i as u8);
+                    }
+                });
+            } else {
+                let ix = (rng as usize / 11) % ids.len();
+                let id = ids.swap_remove(ix);
+                paged.remove(id);
+                mem.remove(id);
+            }
+        }
+        assert!(
+            paged.pool_stats().evictions > 50,
+            "{:?}",
+            paged.pool_stats()
+        );
+        for id in ids {
+            let expect = mem.with(id, |v| v.cloned());
+            paged.with(id, |v| assert_eq!(v.cloned(), expect, "slot {id}"));
+        }
+        paged.audit();
+    }
+
+    #[test]
+    fn from_mem_preserves_ids() {
+        let mut mem = MemStore::<Vec<u8>>::new();
+        let a = mem.insert(vec![1]);
+        let b = mem.insert(vec![2, 2]);
+        let c = mem.insert(vec![3; 30]);
+        mem.remove(b);
+        let paged = PagedStore::from_mem(
+            mem,
+            PagerConfig::in_mem(128).with_page_bytes(64),
+            1,
+            100,
+            codec(),
+        )
+        .unwrap();
+        paged.with(a, |v| assert_eq!(v, Some(&vec![1])));
+        assert!(!paged.is_occupied(b));
+        paged.with(c, |v| assert_eq!(v, Some(&vec![3; 30])));
+        assert_eq!(paged.free_ids(), vec![b]);
+    }
+}

@@ -53,8 +53,11 @@
 
 use ddc_array::{AbelianGroup, NdArray, OpCounter, OpSnapshot, Region, Shape};
 
-use crate::config::DdcConfig;
+use crate::config::{DdcConfig, LeafBackend};
+use crate::pager::{PoolStats, WalBarrier};
+use crate::persist::ValueCodec;
 use crate::secondary::Secondary;
+use crate::store::{MemStore, NodeStore, PagedStore, RecordCodec};
 
 /// Tag bit distinguishing leaf-arena from node-arena references.
 const LEAF_BIT: u32 = 1 << 31;
@@ -153,6 +156,113 @@ impl<G: AbelianGroup> LeafBlock<G> {
     }
 }
 
+impl<G: AbelianGroup + ValueCodec> LeafBlock<G> {
+    /// Upper bound on a block's encoded size for trees of the given
+    /// config: side header plus a full dense block of values. Every
+    /// block a tree allocates has side ≤ `leaf_block_side()` (smaller
+    /// only while the whole space is one degenerate leaf).
+    fn record_cap(d: usize, leaf_block_side: usize) -> usize {
+        4 + leaf_block_side.pow(d as u32) * G::WIDTH
+    }
+
+    /// Serializes as `side: u32 LE` + row-major cells ([`ValueCodec`]).
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let side = self.cells.shape().dims()[0] as u32;
+        out.extend_from_slice(&side.to_le_bytes());
+        for v in self.cells.as_slice() {
+            if let Err(e) = v.encode(out) {
+                panic!("leaf block encode failed: {e}");
+            }
+        }
+    }
+
+    fn decode_from(d: usize, bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= 4, "truncated leaf record");
+        let side = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let shape = Shape::cube(d, side);
+        let mut input = &bytes[4..];
+        let data: Vec<G> = (0..shape.cells())
+            .map(|_| match G::decode(&mut input) {
+                Ok(v) => v,
+                Err(e) => panic!("leaf block decode failed: {e}"),
+            })
+            .collect();
+        Self {
+            cells: NdArray::from_vec(shape, data),
+        }
+    }
+}
+
+/// The leaf-block arena behind a tree: the in-memory slab, or records
+/// paged through a capped buffer pool (ROADMAP #1). Both expose the
+/// same [`NodeStore`] contract, so every tree operation below is
+/// backend-agnostic.
+#[derive(Debug)]
+pub(crate) enum LeafArena<G: AbelianGroup> {
+    Mem(MemStore<LeafBlock<G>>),
+    // Boxed: the pool + slot directory are much bigger than the slab's
+    // two Vec headers, and Mem is the overwhelmingly common variant.
+    Paged(Box<PagedStore<LeafBlock<G>>>),
+}
+
+impl<G: AbelianGroup> LeafArena<G> {
+    fn insert(&mut self, block: LeafBlock<G>) -> u32 {
+        match self {
+            Self::Mem(m) => m.insert(block),
+            Self::Paged(p) => p.insert(block),
+        }
+    }
+
+    fn remove(&mut self, id: u32) {
+        match self {
+            Self::Mem(m) => m.remove(id),
+            Self::Paged(p) => p.remove(id),
+        }
+    }
+
+    fn slots(&self) -> usize {
+        match self {
+            Self::Mem(m) => m.slots(),
+            Self::Paged(p) => p.slots(),
+        }
+    }
+
+    fn free_len(&self) -> usize {
+        match self {
+            Self::Mem(m) => m.free_len(),
+            Self::Paged(p) => p.free_len(),
+        }
+    }
+
+    fn free_ids(&self) -> Vec<u32> {
+        match self {
+            Self::Mem(m) => m.free_ids(),
+            Self::Paged(p) => p.free_ids(),
+        }
+    }
+
+    fn is_occupied(&self, id: u32) -> bool {
+        match self {
+            Self::Mem(m) => m.is_occupied(id),
+            Self::Paged(p) => p.is_occupied(id),
+        }
+    }
+
+    fn with<R>(&self, id: u32, f: impl FnOnce(Option<&LeafBlock<G>>) -> R) -> R {
+        match self {
+            Self::Mem(m) => m.with(id, f),
+            Self::Paged(p) => p.with(id, f),
+        }
+    }
+
+    fn with_mut<R>(&mut self, id: u32, f: impl FnOnce(Option<&mut LeafBlock<G>>) -> R) -> R {
+        match self {
+            Self::Mem(m) => m.with_mut(id, f),
+            Self::Paged(p) => p.with_mut(id, f),
+        }
+    }
+}
+
 /// How one overlay box contributed to a traced query (Figure 11's
 /// per-box walkthrough, machine-readable).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -243,12 +353,11 @@ pub struct DdcTree<G: AbelianGroup> {
     children: Vec<ChildRef>,
     /// Overlay boxes, parallel to `children` slot for slot.
     boxes: Vec<Option<OverlayBox<G>>>,
-    /// Leaf-block arena, indexed by [`ChildRef::leaf`] ids.
-    leaves: Vec<Option<LeafBlock<G>>>,
+    /// Leaf-block arena, indexed by [`ChildRef::leaf`] ids — in-memory
+    /// slab by default, paged once `enable_paging` has run.
+    leaves: LeafArena<G>,
     /// Free node ids awaiting reuse (slots cleared).
     node_free: Vec<u32>,
-    /// Free leaf ids awaiting reuse (slots vacated).
-    leaf_free: Vec<u32>,
     /// Reused coordinate buffer for the update path.
     scratch: Vec<usize>,
     counter: OpCounter,
@@ -270,9 +379,8 @@ impl<G: AbelianGroup> DdcTree<G> {
             root: ChildRef::EMPTY,
             children: Vec::new(),
             boxes: Vec::new(),
-            leaves: Vec::new(),
+            leaves: LeafArena::Mem(MemStore::new()),
             node_free: Vec::new(),
-            leaf_free: Vec::new(),
             scratch: Vec::new(),
             counter: OpCounter::new(),
         }
@@ -301,13 +409,8 @@ impl<G: AbelianGroup> DdcTree<G> {
 
     /// Stores a leaf block, preferring a free slot.
     fn alloc_leaf(&mut self, block: LeafBlock<G>) -> u32 {
-        if let Some(id) = self.leaf_free.pop() {
-            self.leaves[id as usize] = Some(block);
-            return id;
-        }
-        let id = self.leaves.len() as u32;
+        let id = self.leaves.insert(block);
         assert!(id < LEAF_BIT - 1, "leaf arena overflow");
-        self.leaves.push(Some(block));
         id
     }
 
@@ -323,8 +426,7 @@ impl<G: AbelianGroup> DdcTree<G> {
 
     /// Vacates one leaf slot and free-lists it.
     fn free_leaf(&mut self, id: u32) {
-        self.leaves[id as usize] = None;
-        self.leaf_free.push(id);
+        self.leaves.remove(id);
     }
 
     /// Returns a whole subtree's slots to the free lists.
@@ -554,7 +656,7 @@ impl<G: AbelianGroup> DdcTree<G> {
         debug_assert_eq!(frag.d, self.d);
         let stride = self.stride();
         let node_off = (self.children.len() / stride) as u32;
-        let leaf_off = self.leaves.len() as u32;
+        let leaf_off = self.leaves.slots() as u32;
         let remap = |c: ChildRef| -> ChildRef {
             if c.is_empty() {
                 c
@@ -568,11 +670,17 @@ impl<G: AbelianGroup> DdcTree<G> {
         self.children
             .extend(frag.children.iter().map(|&c| remap(c)));
         self.boxes.extend(frag.boxes);
-        self.leaves.extend(frag.leaves);
+        // Fragments are freshly built, hence always on the slab; grafting
+        // targets freshly built trees too (paging is enabled only after
+        // construction), so the wholesale slab append is the only arm.
+        match (&mut self.leaves, frag.leaves) {
+            (LeafArena::Mem(dst), LeafArena::Mem(src)) => {
+                dst.absorb(src);
+            }
+            _ => panic!("graft requires slab leaf arenas on both sides"),
+        }
         self.node_free
             .extend(frag.node_free.iter().map(|&id| id + node_off));
-        self.leaf_free
-            .extend(frag.leaf_free.iter().map(|&id| id + leaf_off));
         root
     }
 
@@ -633,9 +741,11 @@ impl<G: AbelianGroup> DdcTree<G> {
                 return acc;
             }
             if cur.is_leaf() {
-                if let Some(block) = &self.leaves[cur.index()] {
-                    acc = acc.add(block.prefix(rel, &self.counter));
-                }
+                let counter = &self.counter;
+                acc = acc.add(self.leaves.with(cur.index() as u32, |b| match b {
+                    Some(block) => block.prefix(rel, counter),
+                    None => G::ZERO,
+                }));
                 return acc;
             }
             let k = side >> 1;
@@ -689,16 +799,18 @@ impl<G: AbelianGroup> DdcTree<G> {
             return steps;
         }
         if self.root.is_leaf() {
-            if let Some(block) = &self.leaves[self.root.index()] {
-                let cells = Region::prefix(x).cells();
-                steps.push(TraceStep {
-                    level: 0,
-                    box_anchor: vec![0; self.d],
-                    box_side: self.side,
-                    kind: Contribution::LeafCells { cells },
-                    value: block.prefix(x, &self.counter),
-                });
-            }
+            self.leaves.with(self.root.index() as u32, |b| {
+                if let Some(block) = b {
+                    let cells = Region::prefix(x).cells();
+                    steps.push(TraceStep {
+                        level: 0,
+                        box_anchor: vec![0; self.d],
+                        box_side: self.side,
+                        kind: Contribution::LeafCells { cells },
+                        value: block.prefix(x, &self.counter),
+                    });
+                }
+            });
             return steps;
         }
         let lo = vec![0usize; self.d];
@@ -739,18 +851,20 @@ impl<G: AbelianGroup> DdcTree<G> {
                 });
                 let c = self.children[base + s];
                 if c.is_leaf() {
-                    if let Some(block) = &self.leaves[c.index()] {
-                        let rel: Vec<usize> =
-                            x.iter().zip(box_lo.iter()).map(|(&c, &l)| c - l).collect();
-                        let cells = Region::prefix(&rel).cells();
-                        steps.push(TraceStep {
-                            level: level + 1,
-                            box_anchor: box_lo,
-                            box_side: k,
-                            kind: Contribution::LeafCells { cells },
-                            value: block.prefix(&rel, &self.counter),
-                        });
-                    }
+                    self.leaves.with(c.index() as u32, |b| {
+                        if let Some(block) = b {
+                            let rel: Vec<usize> =
+                                x.iter().zip(box_lo.iter()).map(|(&c, &l)| c - l).collect();
+                            let cells = Region::prefix(&rel).cells();
+                            steps.push(TraceStep {
+                                level: level + 1,
+                                box_anchor: box_lo,
+                                box_side: k,
+                                kind: Contribution::LeafCells { cells },
+                                value: block.prefix(&rel, &self.counter),
+                            });
+                        }
+                    });
                 } else if !c.is_empty() {
                     self.trace_node(c.index(), k, &box_lo, x, level + 1, steps);
                 }
@@ -814,11 +928,14 @@ impl<G: AbelianGroup> DdcTree<G> {
                 let block = LeafBlock::zeroed(d, self.side);
                 self.root = ChildRef::leaf(self.alloc_leaf(block));
             }
-            let ix = self.root.index();
-            if let Some(block) = self.leaves[ix].as_mut() {
-                block.cells.add_assign(x, delta);
-                self.counter.write(1);
-            }
+            let ix = self.root.index() as u32;
+            let counter = &self.counter;
+            self.leaves.with_mut(ix, |b| {
+                if let Some(block) = b {
+                    block.cells.add_assign(x, delta);
+                    counter.write(1);
+                }
+            });
             return;
         }
         if self.root.is_empty() {
@@ -874,14 +991,17 @@ impl<G: AbelianGroup> DdcTree<G> {
                 let leaf_ix = if child.is_empty() {
                     let id = self.alloc_leaf(LeafBlock::zeroed(d, k));
                     self.children[bix] = ChildRef::leaf(id);
-                    id as usize
+                    id
                 } else {
-                    child.index()
+                    child.index() as u32
                 };
-                if let Some(block) = self.leaves[leaf_ix].as_mut() {
-                    block.cells.add_assign(rel, delta);
-                    self.counter.write(1);
-                }
+                let counter = &self.counter;
+                self.leaves.with_mut(leaf_ix, |b| {
+                    if let Some(block) = b {
+                        block.cells.add_assign(rel, delta);
+                        counter.write(1);
+                    }
+                });
                 break;
             }
             cur = if child.is_empty() {
@@ -910,10 +1030,10 @@ impl<G: AbelianGroup> DdcTree<G> {
             }
             if cur.is_leaf() {
                 self.counter.read(1);
-                return match &self.leaves[cur.index()] {
+                return self.leaves.with(cur.index() as u32, |b| match b {
                     Some(block) => block.cells.get(&rel),
                     None => G::ZERO,
-                };
+                });
             }
             let k = side / 2;
             let base = cur.index() << self.d;
@@ -935,10 +1055,10 @@ impl<G: AbelianGroup> DdcTree<G> {
             return G::ZERO;
         }
         if self.root.is_leaf() {
-            return match &self.leaves[self.root.index()] {
+            return self.leaves.with(self.root.index() as u32, |b| match b {
                 Some(block) => block.total(),
                 None => G::ZERO,
-            };
+            });
         }
         let base = self.root.index() << self.d;
         self.boxes[base..base + self.stride()]
@@ -964,18 +1084,20 @@ impl<G: AbelianGroup> DdcTree<G> {
             return;
         }
         if c.is_leaf() {
-            if let Some(block) = &self.leaves[c.index()] {
-                let mut abs = lo.to_vec();
-                for rel in block.cells.shape().iter_points() {
-                    let v = block.cells.get(&rel);
-                    if !v.is_zero() {
-                        for (a, (&l, &r)) in abs.iter_mut().zip(lo.iter().zip(rel.iter())) {
-                            *a = l + r;
+            self.leaves.with(c.index() as u32, |b| {
+                if let Some(block) = b {
+                    let mut abs = lo.to_vec();
+                    for rel in block.cells.shape().iter_points() {
+                        let v = block.cells.get(&rel);
+                        if !v.is_zero() {
+                            for (a, (&l, &r)) in abs.iter_mut().zip(lo.iter().zip(rel.iter())) {
+                                *a = l + r;
+                            }
+                            f(&abs, v);
                         }
-                        f(&abs, v);
                     }
                 }
-            }
+            });
             return;
         }
         let d = self.d;
@@ -1098,10 +1220,10 @@ impl<G: AbelianGroup> DdcTree<G> {
             return false;
         }
         if c.is_leaf() {
-            return match &self.leaves[c.index()] {
+            return self.leaves.with(c.index() as u32, |b| match b {
                 Some(block) => block.cells.populated_cells() > 0,
                 None => false,
-            };
+            });
         }
         let base = c.index() << self.d;
         let mut any = false;
@@ -1124,49 +1246,71 @@ impl<G: AbelianGroup> DdcTree<G> {
     }
 
     /// Compacts when free slots outnumber live ones in either arena.
+    /// Paged leaf slots are excluded from the trigger: compaction cannot
+    /// renumber them (ids are stable on pages), so they must not be able
+    /// to force it either.
     fn maybe_compact(&mut self) {
         let live_nodes = self.children.len() / self.stride() - self.node_free.len();
-        let live_leaves = self.leaves.len() - self.leaf_free.len();
-        if self.node_free.len() + self.leaf_free.len() > live_nodes + live_leaves {
+        let leaf_free = match &self.leaves {
+            LeafArena::Mem(m) => m.free_len(),
+            LeafArena::Paged(_) => 0,
+        };
+        let live_leaves = self.leaves.slots() - self.leaves.free_len();
+        if self.node_free.len() + leaf_free > live_nodes + live_leaves {
             self.compact();
         }
     }
 
     /// Rewrites the arenas to hold exactly the reachable slots (pre-order
-    /// renumbering), dropping all free-list capacity.
+    /// renumbering), dropping all free-list capacity. A paged leaf arena
+    /// keeps its slot ids — its records live on pages, not in a `Vec`
+    /// whose capacity could be returned, so only the node arena (and a
+    /// slab leaf arena, when present) is rebuilt.
     fn compact(&mut self) {
         let stride = self.stride();
         let live_nodes = self.children.len() / stride - self.node_free.len();
-        let live_leaves = self.leaves.len() - self.leaf_free.len();
         let mut children = Vec::with_capacity(live_nodes * stride);
         let mut boxes = Vec::with_capacity(live_nodes * stride);
-        let mut leaves = Vec::with_capacity(live_leaves);
+        let mut leaves = match self.leaves {
+            LeafArena::Mem(_) => Some(MemStore::new()),
+            LeafArena::Paged(_) => None,
+        };
         let root = self.root;
         let new_root = self.move_child(root, &mut children, &mut boxes, &mut leaves);
         self.children = children;
         self.boxes = boxes;
-        self.leaves = leaves;
+        if let Some(store) = leaves {
+            self.leaves = LeafArena::Mem(store);
+        }
         self.node_free = Vec::new();
-        self.leaf_free = Vec::new();
         self.root = new_root;
     }
 
     /// Moves one subtree into the replacement arenas, reserving the
     /// parent's slot block before recursing so ids are pre-order.
+    /// `leaves` is `None` when the leaf arena is paged and keeps its ids.
     fn move_child(
         &mut self,
         c: ChildRef,
         children: &mut Vec<ChildRef>,
         boxes: &mut Vec<Option<OverlayBox<G>>>,
-        leaves: &mut Vec<Option<LeafBlock<G>>>,
+        leaves: &mut Option<MemStore<LeafBlock<G>>>,
     ) -> ChildRef {
         if c.is_empty() {
             return ChildRef::EMPTY;
         }
         if c.is_leaf() {
-            let id = leaves.len() as u32;
-            leaves.push(self.leaves[c.index()].take());
-            return ChildRef::leaf(id);
+            let Some(store) = leaves else {
+                return c; // paged arena: leaf ids are stable
+            };
+            let block = match &mut self.leaves {
+                LeafArena::Mem(m) => m.take(c.index() as u32),
+                LeafArena::Paged(_) => unreachable!("slab replacement built for slab arena"),
+            };
+            let Some(block) = block else {
+                panic!("reachable leaf slot {} is vacant", c.index());
+            };
+            return ChildRef::leaf(store.insert(block));
         }
         let stride = self.stride();
         let old_base = c.index() << self.d;
@@ -1190,8 +1334,8 @@ impl<G: AbelianGroup> DdcTree<G> {
         let mut stats = TreeStats {
             node_slots: self.children.len() / self.stride(),
             free_node_slots: self.node_free.len(),
-            leaf_slots: self.leaves.len(),
-            free_leaf_slots: self.leaf_free.len(),
+            leaf_slots: self.leaves.slots(),
+            free_leaf_slots: self.leaves.free_len(),
             ..TreeStats::default()
         };
         self.collect_stats(self.root, self.side, 0, &mut stats);
@@ -1208,12 +1352,14 @@ impl<G: AbelianGroup> DdcTree<G> {
             return;
         }
         if c.is_leaf() {
-            if let Some(block) = &self.leaves[c.index()] {
-                stats.leaf_blocks += 1;
-                stats.leaf_cells += block.cells.shape().cells();
-                stats.depth = stats.depth.max(level);
-                stats.per_level[level].leaf_blocks += 1;
-            }
+            self.leaves.with(c.index() as u32, |b| {
+                if let Some(block) = b {
+                    stats.leaf_blocks += 1;
+                    stats.leaf_cells += block.cells.shape().cells();
+                    stats.depth = stats.depth.max(level);
+                    stats.per_level[level].leaf_blocks += 1;
+                }
+            });
             return;
         }
         stats.nodes += 1;
@@ -1237,15 +1383,22 @@ impl<G: AbelianGroup> DdcTree<G> {
         let mut bytes = std::mem::size_of::<Self>()
             + self.children.capacity() * std::mem::size_of::<ChildRef>()
             + self.boxes.capacity() * std::mem::size_of::<Option<OverlayBox<G>>>()
-            + self.leaves.capacity() * std::mem::size_of::<Option<LeafBlock<G>>>()
-            + (self.node_free.capacity() + self.leaf_free.capacity()) * std::mem::size_of::<u32>()
+            + self.node_free.capacity() * std::mem::size_of::<u32>()
             + self.scratch.capacity() * std::mem::size_of::<usize>();
         for b in self.boxes.iter().flatten() {
             bytes += b.inner_heap_bytes();
         }
-        for block in self.leaves.iter().flatten() {
-            bytes += block.cells.heap_bytes();
-        }
+        bytes += match &self.leaves {
+            LeafArena::Mem(m) => {
+                m.slab_bytes()
+                    + m.iter_occupied()
+                        .map(|(_, block)| block.cells.heap_bytes())
+                        .sum::<usize>()
+            }
+            // Paged: only *resident* bytes count — spilled pages are the
+            // whole point of the backend.
+            LeafArena::Paged(p) => p.heap_bytes(),
+        };
         bytes
     }
 
@@ -1266,15 +1419,17 @@ impl<G: AbelianGroup> DdcTree<G> {
             return G::ZERO;
         }
         if c.is_leaf() {
-            let Some(block) = &self.leaves[c.index()] else {
-                panic!("leaf ref {} points at a vacant slot", c.index());
-            };
-            assert_eq!(
-                block.cells.shape().dims(),
-                &vec![side; d][..],
-                "leaf block shape mismatch"
-            );
-            return block.total();
+            return self.leaves.with(c.index() as u32, |b| {
+                let Some(block) = b else {
+                    panic!("leaf ref {} points at a vacant slot", c.index());
+                };
+                assert_eq!(
+                    block.cells.shape().dims(),
+                    &vec![side; d][..],
+                    "leaf block shape mismatch"
+                );
+                block.total()
+            });
         }
         let k = side / 2;
         let base = c.index() << d;
@@ -1335,7 +1490,7 @@ impl<G: AbelianGroup> DdcTree<G> {
         );
         let node_slots = self.children.len() / stride;
         let mut node_seen = vec![false; node_slots];
-        let mut leaf_seen = vec![false; self.leaves.len()];
+        let mut leaf_seen = vec![false; self.leaves.slots()];
         self.mark_reachable(self.root, &mut node_seen, &mut leaf_seen);
         let mut node_freed = vec![false; node_slots];
         for &id in &self.node_free {
@@ -1356,23 +1511,26 @@ impl<G: AbelianGroup> DdcTree<G> {
                 );
             }
         }
-        let mut leaf_freed = vec![false; self.leaves.len()];
-        for &id in &self.leaf_free {
+        let mut leaf_freed = vec![false; self.leaves.slots()];
+        for id in self.leaves.free_ids() {
             let ix = id as usize;
-            assert!(ix < self.leaves.len(), "free leaf id {id} out of bounds");
+            assert!(ix < self.leaves.slots(), "free leaf id {id} out of bounds");
             assert!(!leaf_freed[ix], "leaf id {id} twice on the free list");
             leaf_freed[ix] = true;
             assert!(!leaf_seen[ix], "leaf id {id} both free and reachable");
             assert!(
-                self.leaves[ix].is_none(),
+                !self.leaves.is_occupied(id),
                 "free leaf slot {id} still holds a block"
             );
         }
         for ix in 0..node_slots {
             assert!(node_seen[ix] || node_freed[ix], "node slot {ix} leaked");
         }
-        for ix in 0..self.leaves.len() {
+        for ix in 0..self.leaves.slots() {
             assert!(leaf_seen[ix] || leaf_freed[ix], "leaf slot {ix} leaked");
+        }
+        if let LeafArena::Paged(p) = &self.leaves {
+            p.audit();
         }
         (
             node_seen.iter().filter(|&&v| v).count(),
@@ -1389,7 +1547,7 @@ impl<G: AbelianGroup> DdcTree<G> {
             assert!(ix < leaf_seen.len(), "dangling leaf ref {ix}");
             assert!(!leaf_seen[ix], "leaf slot {ix} referenced twice");
             assert!(
-                self.leaves[ix].is_some(),
+                self.leaves.is_occupied(ix as u32),
                 "reachable leaf slot {ix} is vacant"
             );
             leaf_seen[ix] = true;
@@ -1403,6 +1561,64 @@ impl<G: AbelianGroup> DdcTree<G> {
         for s in 0..self.stride() {
             self.mark_reachable(self.children[base + s], node_seen, leaf_seen);
         }
+    }
+
+    /// True once `enable_paging` has moved the leaf arena onto pages.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.leaves, LeafArena::Paged(_))
+    }
+
+    /// Buffer-pool counters of the paged leaf arena (`None` on the slab).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        match &self.leaves {
+            LeafArena::Mem(_) => None,
+            LeafArena::Paged(p) => Some(p.pool_stats()),
+        }
+    }
+
+    /// The WAL barrier gating dirty-page write-back (`None` on the
+    /// slab). Created on first call; the log writer advances it after
+    /// each synced append so eviction never writes a page whose update
+    /// is not yet durable.
+    pub fn pager_barrier(&self) -> Option<WalBarrier> {
+        match &self.leaves {
+            LeafArena::Mem(_) => None,
+            LeafArena::Paged(p) => Some(p.ensure_barrier()),
+        }
+    }
+}
+
+impl<G: AbelianGroup + ValueCodec> DdcTree<G> {
+    /// Activates the paged leaf backend requested by
+    /// [`crate::LeafBackend::Paged`], converting the slab arena in place
+    /// (slot ids are preserved, so every [`ChildRef`] stays valid).
+    ///
+    /// Lives in a [`ValueCodec`]-bounded impl because the pager needs a
+    /// serialization for leaf blocks; the codec is captured as plain
+    /// `fn` pointers, so once enabled, every unbounded code path (grow,
+    /// prune, updates) keeps working. Returns whether the tree is paged
+    /// afterwards: `Ok(false)` means the config never asked for paging.
+    /// Idempotent.
+    pub fn enable_paging(&mut self) -> std::io::Result<bool> {
+        let LeafBackend::Paged(pager) = self.config.leaf_backend else {
+            return Ok(false);
+        };
+        if matches!(self.leaves, LeafArena::Paged(_)) {
+            return Ok(true);
+        }
+        let codec = RecordCodec::<LeafBlock<G>> {
+            encode: |block, out| block.encode_into(out),
+            decode: LeafBlock::<G>::decode_from,
+        };
+        let record_cap = LeafBlock::<G>::record_cap(self.d, self.config.leaf_block_side());
+        let slab = match std::mem::replace(&mut self.leaves, LeafArena::Mem(MemStore::new())) {
+            LeafArena::Mem(m) => m,
+            LeafArena::Paged(_) => unreachable!("checked above"),
+        };
+        self.leaves = LeafArena::Paged(Box::new(PagedStore::from_mem(
+            slab, pager, self.d, record_cap, codec,
+        )?));
+        Ok(true)
     }
 }
 
@@ -1858,5 +2074,58 @@ mod tests {
         );
         assert_eq!(t.cell(&[0, 0]), 2);
         assert_eq!(t.check_invariants(), 2);
+    }
+
+    #[test]
+    fn paged_tree_matches_slab_through_full_lifecycle() {
+        use crate::config::PagerConfig;
+        // Cap far below the leaf data so the walk below churns through
+        // real evictions, with a tiny page size to multiply traffic.
+        let pager = PagerConfig::in_mem(2048).with_page_bytes(128);
+        let config = DdcConfig::dynamic()
+            .with_elision(1)
+            .with_paged_leaves(pager);
+        let mut paged = DdcTree::<i64>::new(2, 32, config);
+        assert!(paged.enable_paging().unwrap());
+        assert!(paged.is_paged());
+        assert!(paged.enable_paging().unwrap(), "must be idempotent");
+        let mut slab = DdcTree::<i64>::new(2, 32, DdcConfig::dynamic().with_elision(1));
+        let mut a = NdArray::<i64>::zeroed(Shape::cube(2, 32));
+        for i in 0..600usize {
+            let p = [(i * 7) % 32, (i * 13) % 32];
+            let v = (i as i64 % 9) - 4;
+            paged.apply_delta(&p, v);
+            slab.apply_delta(&p, v);
+            a.add_assign(&p, v);
+        }
+        for p in [[0usize, 0], [31, 31], [15, 16], [7, 29]] {
+            assert_eq!(paged.prefix_sum(&p), a.prefix_sum(&p), "prefix {p:?}");
+            assert_eq!(paged.cell(&p), slab.cell(&p), "cell {p:?}");
+        }
+        assert_eq!(paged.check_invariants(), a.total());
+        paged.check_arena();
+        let stats = paged.pool_stats().expect("paged tree has pool stats");
+        assert!(
+            stats.evictions > 0,
+            "cap too generous to exercise eviction: {stats:?}"
+        );
+        // Growth re-roots in place, so the paged arena must survive it.
+        paged.grow(&[false, false]);
+        slab.grow(&[false, false]);
+        assert!(paged.is_paged(), "growth must not drop the paged arena");
+        paged.apply_delta(&[40, 40], 11);
+        slab.apply_delta(&[40, 40], 11);
+        assert_eq!(paged.total(), slab.total());
+        assert_eq!(paged.prefix_sum(&[63, 63]), slab.prefix_sum(&[63, 63]));
+        // Cancel and prune: free-listing + node compaction on pages.
+        let mut cells = Vec::new();
+        paged.for_each_nonzero(&mut |p, v| cells.push((p.to_vec(), v)));
+        for (p, v) in cells {
+            paged.apply_delta(&p, -v);
+        }
+        paged.prune();
+        paged.check_arena();
+        assert_eq!(paged.total(), 0);
+        assert_eq!(paged.stats().leaf_blocks, 0);
     }
 }

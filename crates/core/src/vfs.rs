@@ -90,6 +90,17 @@ pub trait VfsFile: Send {
     /// Read up to `buf.len()` bytes at `offset`; returns bytes read
     /// (short only at end-of-file).
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+    /// Write `buf` at `offset`, zero-extending the file if the write
+    /// lands past the current end. Positional writes exist for the page
+    /// file of [`crate::pager`]; append-only log sinks may not support
+    /// them, so the default refuses.
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let _ = (offset, buf);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "positional writes not supported by this file",
+        ))
+    }
     /// Read the entire file into memory.
     fn read_all(&mut self) -> io::Result<Vec<u8>> {
         let len = self.len()?;
@@ -209,6 +220,13 @@ impl VfsFile for std::fs::File {
         self.seek(SeekFrom::Start(offset))?;
         Read::read(self, buf)
     }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        // Seek-then-write (not `FileExt::write_at`) keeps this portable;
+        // a seek past EOF followed by a write is a sparse extension.
+        self.seek(SeekFrom::Start(offset))?;
+        Write::write_all(self, buf)
+    }
 }
 
 /// Infallible in-memory sink: keeps every existing
@@ -245,6 +263,19 @@ impl VfsFile for Vec<u8> {
         let n = buf.len().min(Vec::len(self) - start);
         buf[..n].copy_from_slice(&self[start..start + n]);
         Ok(n)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let start = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "offset out of range"))?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "write out of range"))?;
+        if Vec::len(self) < end {
+            self.resize(end, 0);
+        }
+        self[start..end].copy_from_slice(buf);
+        Ok(())
     }
 }
 
@@ -321,6 +352,10 @@ impl VfsFile for MemFile {
 
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         self.with(|bytes| VfsFile::read_at(bytes, offset, buf))?
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.with(|bytes| VfsFile::write_at(bytes, offset, buf))?
     }
 }
 
@@ -751,6 +786,22 @@ impl<F: VfsFile> VfsFile for FaultFile<F> {
                 Ok(n)
             }
             _ => self.inner.read_at(offset, buf),
+        }
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        // Positional writes draw from the same write-fault budget as
+        // appends; a short write leaves a torn page prefix behind.
+        match self.fault_for(OpClass::Write { len: buf.len() }) {
+            None => self.inner.write_at(offset, buf),
+            Some(FaultKind::WriteErr) => Err(eio("write failed")),
+            Some(FaultKind::ShortWrite { keep }) => {
+                let keep = (keep as usize).min(buf.len());
+                self.inner.write_at(offset, &buf[..keep])?;
+                Err(eio("short write"))
+            }
+            Some(FaultKind::NoSpace) => Err(io::Error::from_raw_os_error(ENOSPC)),
+            Some(_) => self.inner.write_at(offset, buf),
         }
     }
 }

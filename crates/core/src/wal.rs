@@ -62,6 +62,7 @@ use ddc_array::AbelianGroup;
 use crate::config::{DdcConfig, WalConfig};
 use crate::growth::GrowableCube;
 use crate::obs;
+use crate::pager::WalBarrier;
 use crate::persist::ValueCodec;
 use crate::vfs::{is_no_space, read_stable, OpenMode, Vfs, VfsFile};
 
@@ -761,6 +762,11 @@ pub fn recover<G: AbelianGroup + ValueCodec>(
         }
         None => (GrowableCube::new(d, config), false),
     };
+    // Paging (when configured) activates here, before the replay loop:
+    // recovery literally replays the WAL onto pages, so a cube too big
+    // for the memory cap can still be rebuilt. (The snapshot path above
+    // already paged inside `load`; this is idempotent.)
+    cube.enable_paging()?;
     let replay = read_wal::<G>(wal, wal_config)?;
     let mut replayed = 0usize;
     for op in &replay.ops {
@@ -848,13 +854,22 @@ pub struct DurableCube<G: AbelianGroup + ValueCodec, F: VfsFile> {
     wal: WalWriter<F>,
     policy: RetryPolicy,
     degraded: Option<String>,
+    /// Present when the cube's leaf arena is paged: the WAL-before-data
+    /// barrier, advanced after every synced append so dirty pages
+    /// stamped by the subsequent apply are immediately eligible for
+    /// write-back (their record is already durable).
+    barrier: Option<WalBarrier>,
+    /// Monotone op counter doubling as the log sequence number.
+    lsn: u64,
 }
 
 impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
     /// An empty durable cube logging to `sink` (starts a fresh log).
     pub fn new(d: usize, config: DdcConfig, sink: F) -> io::Result<Self> {
+        let mut cube = GrowableCube::new(d, config);
+        cube.enable_paging()?;
         Ok(Self::from_parts(
-            GrowableCube::new(d, config),
+            cube,
             WalWriter::create(sink)?,
             RetryPolicy::default(),
         ))
@@ -871,11 +886,27 @@ impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
     }
 
     fn from_parts(cube: GrowableCube<G>, wal: WalWriter<F>, policy: RetryPolicy) -> Self {
+        let barrier = cube.pager_barrier();
         Self {
             cube,
             wal,
             policy,
             degraded: None,
+            barrier,
+            lsn: 0,
+        }
+    }
+
+    /// Advances the WAL barrier after a synced append. The append path
+    /// syncs every record before acknowledging, so `appended` and
+    /// `durable` move together; the separation exists for (and is
+    /// exercised by) the pager's own tests, and keeps the no-dirty-page-
+    /// before-its-log-record invariant mechanically enforced rather than
+    /// assumed.
+    fn note_synced_append(&mut self) {
+        if let Some(b) = &self.barrier {
+            self.lsn += 1;
+            b.advance(self.lsn);
         }
     }
 
@@ -947,6 +978,7 @@ impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
         };
         match self.wal.append_with_retry(&op, &self.policy) {
             Ok(_) => {
+                self.note_synced_append();
                 self.cube.add(point, delta);
                 Ok(())
             }
@@ -962,7 +994,10 @@ impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
             value,
         };
         match self.wal.append_with_retry(&op, &self.policy) {
-            Ok(_) => Ok(self.cube.set(point, value)),
+            Ok(_) => {
+                self.note_synced_append();
+                Ok(self.cube.set(point, value))
+            }
             Err(e) => Err(self.note_failure(e)),
         }
     }
@@ -974,7 +1009,10 @@ impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
             .wal
             .append_with_retry::<G>(&WalOp::Grow { axis, amount, low }, &self.policy)
         {
-            Ok(_) => Ok(()),
+            Ok(_) => {
+                self.note_synced_append();
+                Ok(())
+            }
             Err(e) => Err(self.note_failure(e)),
         }
     }
@@ -982,6 +1020,12 @@ impl<G: AbelianGroup + ValueCodec, F: VfsFile> DurableCube<G, F> {
     /// The wrapped cube (reads need no logging).
     pub fn cube(&self) -> &GrowableCube<G> {
         &self.cube
+    }
+
+    /// Buffer-pool counters of the paged leaf arena (`None` on the
+    /// slab backend).
+    pub fn pool_stats(&self) -> Option<crate::pager::PoolStats> {
+        self.cube.pool_stats()
     }
 
     /// Writes a snapshot of the current state to `out`, returning the
@@ -1207,6 +1251,12 @@ impl<G: AbelianGroup + ValueCodec, F: VfsFile> SharedDurableCube<G, F> {
     /// Log statistics: `(bytes, records)` acknowledged so far.
     pub fn wal_stats(&self) -> (u64, u64) {
         self.lock().wal_stats()
+    }
+
+    /// Buffer-pool counters of the paged leaf arena (`None` on the
+    /// slab backend).
+    pub fn pool_stats(&self) -> Option<crate::pager::PoolStats> {
+        self.lock().pool_stats()
     }
 
     /// Runs `f` with the durable cube under the lock (compound

@@ -101,8 +101,23 @@ pub fn run_trace_under_faults_with(
     policy: RetryPolicy,
     config: DdcConfig,
 ) -> DiskRunReport {
+    // Route pager spill files into the same fault-injecting namespace
+    // as the WAL and snapshot: an eviction write-back or page fault-in
+    // must be able to fail like any other disk op. Each spill file
+    // gets a distinct name so concurrent pools never share extents.
+    let spill_vfs = vfs.clone();
+    let mut spill_seq = 0u64;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        drive(trace, vfs, policy, config)
+        ddc_core::store::with_spill_source(
+            move || {
+                spill_seq += 1;
+                use ddc_core::vfs::{OpenMode, Vfs, VfsFile};
+                spill_vfs
+                    .open(&format!("pager-{spill_seq}.spill"), OpenMode::Create)
+                    .map(|f| Box::new(f) as Box<dyn VfsFile + Send>)
+            },
+            || drive(trace, vfs, policy, config),
+        )
     }));
     match outcome {
         Ok(report) => report,
@@ -782,6 +797,52 @@ mod tests {
         assert!(
             report.faults_injected > 0,
             "grid injected no faults at all — the sweep is vacuous"
+        );
+    }
+
+    #[test]
+    fn paged_run_observes_spill_faults_and_stays_clean() {
+        use ddc_core::PagerConfig;
+        // Leaf blocks behind a buffer pool small enough that the trace
+        // evicts, with write faults likely enough that some land on
+        // spill write-backs; the bounded pager retry must absorb them.
+        // A two-page pool: every second leaf record forces an eviction
+        // write-back, so spill I/O happens on virtually every op.
+        let engine = DdcConfig::dynamic()
+            .with_elision(1)
+            .with_paged_leaves(PagerConfig::in_mem(512).with_page_bytes(256));
+        let mut spill_faulted = false;
+        for salt in 0..32u64 {
+            let schedule = FaultSchedule {
+                dims: 2,
+                trace_seed: 0x5B1F ^ salt,
+                trace_ops: 60,
+                fault_seed: 0xFA57 ^ (salt << 8),
+                probs: probs_at(0.05),
+            };
+            let vfs = schedule.vfs();
+            let run = run_trace_under_faults_with(
+                &schedule.trace(),
+                &vfs,
+                RetryPolicy::instant(),
+                engine,
+            );
+            assert!(
+                run.violations.is_empty(),
+                "paged run under spill faults violated the contract: {:?}",
+                run.violations
+            );
+            let paths = vfs.realized_paths();
+            assert_eq!(paths.len(), run.faults.len());
+            if paths.iter().any(|p| p.ends_with(".spill")) {
+                spill_faulted = true;
+                break;
+            }
+        }
+        assert!(
+            spill_faulted,
+            "no seeded fault ever landed on a pager spill file — the \
+             spill path is not routed through the fault harness"
         );
     }
 

@@ -1,0 +1,131 @@
+//! Allowlist v2 (`lint-allow.txt`): `rule path expires=<PR> needle`
+//! per line, where `needle` must be a substring of the offending
+//! source line and `expires=<PR>` bounds the waiver's lifetime by PR
+//! number (the count of entries in `CHANGES.md`). The contiguous `#`
+//! comment block above an entry is its rationale, echoed when the
+//! entry fails.
+//!
+//! A run fails on **stale** entries (waiving nothing — the code they
+//! excused is gone) and on **expired** entries (`current_pr >
+//! expires`) — waivers are leases, not grants.
+
+use super::Finding;
+
+/// One allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the entry waives.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Last PR number (CHANGES.md entry count) the waiver is valid for.
+    pub expires: u64,
+    /// Substring the offending line must contain.
+    pub needle: String,
+    /// The `#` comment block above the entry.
+    pub rationale: String,
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+}
+
+/// Parse an allowlist file's contents; `#` comments attach to the next
+/// entry as its rationale, blank lines reset the block.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    let mut rationale: Vec<String> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            rationale.clear();
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            rationale.push(comment.trim().to_string());
+            continue;
+        }
+        let mut parts = line.splitn(4, ' ');
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(exp), Some(needle)) if !needle.trim().is_empty() => {
+                let expires = exp
+                    .strip_prefix("expires=")
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .ok_or_else(|| {
+                        format!(
+                            "allowlist line {}: third field must be `expires=<PR>`, got `{exp}`",
+                            no + 1
+                        )
+                    })?;
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    expires,
+                    needle: needle.trim().to_string(),
+                    rationale: rationale.join(" "),
+                    line: no + 1,
+                });
+                rationale.clear();
+            }
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `rule path expires=<PR> needle`, got `{line}`",
+                    no + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Result of matching findings against the allowlist.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings no live entry waives.
+    pub blocking: Vec<Finding>,
+    /// Findings a live entry waives.
+    pub waived: Vec<Finding>,
+    /// Indices of live entries that matched nothing.
+    pub stale: Vec<usize>,
+    /// Indices of entries past their `expires` PR.
+    pub expired: Vec<usize>,
+}
+
+/// Split findings into blocking/waived under the entries still alive at
+/// `current_pr`; report stale and expired entry indices.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry], current_pr: u64) -> Applied {
+    let expired: Vec<usize> = allow
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| current_pr > a.expires)
+        .map(|(i, _)| i)
+        .collect();
+    let mut used = vec![false; allow.len()];
+    let mut blocking = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        let hit = allow.iter().enumerate().find(|(i, a)| {
+            !expired.contains(i)
+                && a.rule == f.rule
+                && a.path == f.path
+                && f.excerpt.contains(&a.needle)
+        });
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                waived.push(f);
+            }
+            None => blocking.push(f),
+        }
+    }
+    let stale = used
+        .iter()
+        .enumerate()
+        .filter(|(i, u)| !**u && !expired.contains(i))
+        .map(|(i, _)| i)
+        .collect();
+    Applied {
+        blocking,
+        waived,
+        stale,
+        expired,
+    }
+}

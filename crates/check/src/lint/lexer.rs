@@ -1,0 +1,461 @@
+//! Hand-rolled Rust lexer for the lint suite — no `syn`, no
+//! proc-macro machinery, no dependencies.
+//!
+//! Produces a flat token stream (identifiers, lifetimes, literals,
+//! single-char punctuation, delimiters) with 1-based line numbers.
+//! Comments — including doc comments, whose bodies often contain code —
+//! are skipped entirely, and every literal form Rust accepts in this
+//! workspace is recognized: raw strings `r#"…"#`, byte strings, byte
+//! chars, char literals vs lifetimes, nested block comments, numbers
+//! with suffixes and exponents.
+//!
+//! Compound operators are *not* fused: `>>` is two `>` tokens, `::` two
+//! `:` tokens. This sidesteps the classic `Vec<Vec<u8>>` ambiguity
+//! (the parser counts angle depth itself where it matters) and makes
+//! [`render`] trivially round-trippable: space-joining the token texts
+//! and re-lexing yields the identical stream, which the property tests
+//! assert over every source file in the workspace.
+
+/// Bracket family of a delimiter token.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// Lexical class of one token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Ordering`, `unwrap`, …).
+    Ident,
+    /// Lifetime, leading quote included (`'a`, `'static`).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, byte char,
+    /// or number. Text is the exact source spelling.
+    Literal,
+    /// One punctuation character (`.`, `:`, `>`, `?`, …).
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// One lexed token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this is an identifier with exactly `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into a flat token stream. Never fails: unrecognized bytes
+/// become single-char punctuation, unterminated literals run to EOF.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.bytes.len() {
+            let b = self.bytes[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                b'b' | b'r' if self.try_string_prefix() => {}
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => self.punct_or_delim(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..end].to_string(),
+            line,
+        });
+    }
+
+    fn bump_lines(&mut self, start: usize, end: usize) {
+        self.line += self.bytes[start..end]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.bytes.len() && self.bytes[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let mut depth = 0usize;
+        while self.i < self.bytes.len() {
+            if self.bytes[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.bytes[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+        self.bump_lines(start, self.i);
+    }
+
+    /// Handles `b"…"`, `b'…'`, `r"…"`, `r#"…"#`, `br##"…"##`. Returns
+    /// false (consuming nothing) when the `b`/`r` starts a plain
+    /// identifier instead.
+    fn try_string_prefix(&mut self) -> bool {
+        let start = self.i;
+        let mut j = self.i;
+        if self.bytes[j] == b'b' {
+            j += 1;
+            if self.bytes.get(j) == Some(&b'\'') {
+                // Byte char literal b'x' / b'\n'.
+                let line = self.line;
+                let mut k = j + 1;
+                if self.bytes.get(k) == Some(&b'\\') {
+                    k += 2;
+                } else {
+                    k += 1;
+                }
+                while k < self.bytes.len() && self.bytes[k] != b'\'' {
+                    k += 1;
+                }
+                k = (k + 1).min(self.bytes.len());
+                self.emit(TokKind::Literal, start, k, line);
+                self.bump_lines(start, k);
+                self.i = k;
+                return true;
+            }
+        }
+        let raw = self.bytes.get(j) == Some(&b'r');
+        if raw {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        if raw {
+            while self.bytes.get(j + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+        }
+        if self.bytes.get(j + hashes) != Some(&b'"') {
+            return false;
+        }
+        if raw {
+            // Raw (or byte-raw) string: scan for `"` + hashes closer.
+            let line = self.line;
+            let mut k = j + hashes + 1;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat(b'#').take(hashes))
+                .collect();
+            while k < self.bytes.len() && !self.bytes[k..].starts_with(&closer) {
+                k += 1;
+            }
+            k = (k + closer.len()).min(self.bytes.len());
+            self.emit(TokKind::Literal, start, k, line);
+            self.bump_lines(start, k);
+            self.i = k;
+        } else {
+            // b"…": delegate to the escaped-string scanner.
+            self.string(start);
+        }
+        true
+    }
+
+    /// Escaped string starting at `start` (whose quote is at `self.i`
+    /// or `start + 1` for byte strings).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        let mut j = if self.bytes[start] == b'"' {
+            start + 1
+        } else {
+            start + 2
+        };
+        while j < self.bytes.len() {
+            match self.bytes[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let j = j.min(self.bytes.len());
+        self.emit(TokKind::Literal, start, j, line);
+        self.bump_lines(start, j);
+        self.i = j;
+    }
+
+    /// `'x'` / `'\n'` are char literals; `'a` (no closing quote after
+    /// one scalar) is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        if self.peek(1) == Some(b'\\') {
+            // Skip the escaped byte first so `'\''` and `'\\'` close
+            // on the right quote.
+            let mut j = start + 3;
+            while j < self.bytes.len() && self.bytes[j] != b'\'' {
+                j += 1;
+            }
+            let j = (j + 1).min(self.bytes.len());
+            self.emit(TokKind::Literal, start, j, line);
+            self.i = j;
+            return;
+        }
+        let rest = &self.src[start + 1..];
+        if let Some(c) = rest.chars().next() {
+            let after = start + 1 + c.len_utf8();
+            if c != '\'' && self.bytes.get(after) == Some(&b'\'') {
+                self.emit(TokKind::Literal, start, after + 1, line);
+                self.bump_lines(start, after + 1);
+                self.i = after + 1;
+                return;
+            }
+        }
+        // Lifetime: quote plus an identifier.
+        let mut j = start + 1;
+        while j < self.bytes.len() && is_ident_cont(self.bytes[j]) {
+            j += 1;
+        }
+        if j == start + 1 {
+            // Bare quote (malformed source): punt as punctuation.
+            self.emit(TokKind::Punct, start, start + 1, line);
+            self.i = start + 1;
+            return;
+        }
+        self.emit(TokKind::Lifetime, start, j, line);
+        self.i = j;
+    }
+
+    /// Numbers: decimal/hex/octal/binary with `_` separators, type
+    /// suffixes, fractions (only when a digit follows the dot, so range
+    /// expressions like `0..10` keep their dots as punctuation), and
+    /// exponents.
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut j = start;
+        while j < self.bytes.len() && (is_ident_cont(self.bytes[j])) {
+            j += 1;
+        }
+        // Fraction: a dot followed by a digit (not `..`, not `.method()`).
+        if self.bytes.get(j) == Some(&b'.')
+            && self.bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+        {
+            j += 1;
+            while j < self.bytes.len() && is_ident_cont(self.bytes[j]) {
+                j += 1;
+            }
+        }
+        // Exponent sign: `1e-3` / `2.5E+7` leave `j` on the sign.
+        let radix_prefix = self.bytes[start] == b'0'
+            && matches!(self.bytes.get(start + 1), Some(b'x' | b'X' | b'b' | b'o'));
+        if j < self.bytes.len()
+            && (self.bytes[j] == b'+' || self.bytes[j] == b'-')
+            && (self.bytes[j - 1] == b'e' || self.bytes[j - 1] == b'E')
+            // hex literals never carry exponents (0xE - 1 is subtraction)
+            && !radix_prefix
+        {
+            j += 1;
+            while j < self.bytes.len() && is_ident_cont(self.bytes[j]) {
+                j += 1;
+            }
+        }
+        self.emit(TokKind::Literal, start, j, line);
+        self.i = j;
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut j = start;
+        while j < self.bytes.len() && is_ident_cont(self.bytes[j]) {
+            j += 1;
+        }
+        self.emit(TokKind::Ident, start, j, line);
+        self.i = j;
+    }
+
+    fn punct_or_delim(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let kind = match self.bytes[start] {
+            b'(' => TokKind::Open(Delim::Paren),
+            b')' => TokKind::Close(Delim::Paren),
+            b'[' => TokKind::Open(Delim::Bracket),
+            b']' => TokKind::Close(Delim::Bracket),
+            b'{' => TokKind::Open(Delim::Brace),
+            b'}' => TokKind::Close(Delim::Brace),
+            _ => TokKind::Punct,
+        };
+        // Multi-byte UTF-8 punctuation (e.g. in malformed sources) is
+        // consumed whole so we never split a scalar.
+        let len = self.src[start..].chars().next().map_or(1, char::len_utf8);
+        self.emit(kind, start, start + len, line);
+        self.i = start + len;
+    }
+}
+
+/// Render a token stream as space-joined source. Re-lexing the result
+/// yields the same stream (kinds and texts; line numbers collapse),
+/// which is the property the round-trip tests assert.
+pub fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_doc_comments_are_skipped() {
+        let toks = kinds(
+            "a /* x /* nested */ y */ b // trailing .unwrap()\n/// doc with code: x.lock()\nc",
+        );
+        let idents: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_literals() {
+        let toks = kinds(r####"let s = r#"has "quotes" and std::fs"#; let b = br##"x"##;"####);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2, "{toks:?}");
+        assert!(!toks.iter().any(|(_, t)| t == "fs"), "{toks:?}");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lits, vec!["'x'", "'\\''"]);
+    }
+
+    #[test]
+    fn shift_right_is_two_tokens_and_numbers_keep_range_dots() {
+        let toks = kinds("let v: Vec<Vec<u8>> = x >> 2; for i in 0..10 {}");
+        let closes = toks.iter().filter(|(_, t)| t == ">").count();
+        assert_eq!(closes, 4, "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "10"));
+    }
+
+    #[test]
+    fn float_and_suffix_literals() {
+        let toks = kinds("let a = 1.5e-3f64; let b = 0x1F_u32; let c = x.0;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "1.5e-3f64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "0x1F_u32"));
+        // Tuple access stays ident-dot-literal.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let src = r##"fn f<'a, T: Fn() -> R>(x: &'a [u8]) -> Vec<Vec<u8>> {
+            let s = r#"raw "str" here"#; let c = 'y'; let n = 0..=10;
+            x.load(Ordering::Acquire) >> 2
+        }"##;
+        let t1 = lex(src);
+        let t2 = lex(&render(&t1));
+        let strip = |v: &[Token]| -> Vec<(TokKind, String)> {
+            v.iter().map(|t| (t.kind.clone(), t.text.clone())).collect()
+        };
+        assert_eq!(strip(&t1), strip(&t2));
+    }
+}

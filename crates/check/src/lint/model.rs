@@ -1,0 +1,685 @@
+//! Per-file semantic model: functions (with their enclosing impl/trait
+//! owner, signature, return type, and body span), lock-carrying struct
+//! fields and statics, and `#[cfg(test)]` / `#[test]` gating — all
+//! derived structurally from the token stream, not from line-oriented
+//! text matching.
+//!
+//! The model is deliberately shallow: it resolves what a zero-dep
+//! analyzer can resolve reliably (names, field declarations, token
+//! spans) and leaves type inference alone. The rules document the
+//! false-negative bounds this implies (DESIGN S46).
+
+use super::lexer::{lex, Delim, TokKind, Token};
+use super::parse::{parse, BracketMap};
+
+/// One `fn` item (free function, inherent/trait method, or default
+/// trait method) with its token spans.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` self type or `trait` name, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the return type (after `->`, before the body or
+    /// any `where` clause); empty range when the function returns unit.
+    pub ret: (usize, usize),
+    /// Token range strictly inside the body braces.
+    pub body: (usize, usize),
+    /// True when gated by `#[test]` / `#[cfg(test)]` (directly or via
+    /// an enclosing item).
+    pub is_test: bool,
+}
+
+/// A struct field or static whose type names `Mutex` or `RwLock`
+/// (directly or through a same-file `type` alias).
+#[derive(Debug)]
+pub struct LockField {
+    /// Declaring struct's name, or `"static"` for statics.
+    pub owner: String,
+    /// Field (or static) name.
+    pub field: String,
+    /// `"Mutex"` or `"RwLock"`.
+    pub kind: &'static str,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileModel {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// The `crates/<name>` segment of the path (empty if not under
+    /// `crates/`).
+    pub crate_name: String,
+    /// Raw source lines, for finding excerpts.
+    pub raw_lines: Vec<String>,
+    /// The flat token stream.
+    pub toks: Vec<Token>,
+    /// Bracket-matching table over `toks`.
+    pub brackets: BracketMap,
+    /// Per-token test-gating flags.
+    pub in_test: Vec<bool>,
+    /// Every function item found.
+    pub fns: Vec<FnItem>,
+    /// Every lock-typed field or static found.
+    pub lock_fields: Vec<LockField>,
+}
+
+impl FileModel {
+    /// Build the model for one file. Fails only when the token stream
+    /// has mismatched delimiters (i.e. the lexer mis-tokenized — real
+    /// sources always parse).
+    pub fn build(path: &str, raw: &str) -> Result<Self, String> {
+        let toks = lex(raw);
+        parse(&toks).map_err(|e| format!("{path}: {e}"))?;
+        let brackets = BracketMap::build(&toks);
+        let mut b = Builder {
+            toks: &toks,
+            brackets: &brackets,
+            in_test: vec![false; toks.len()],
+            fns: Vec::new(),
+            raw_fields: Vec::new(),
+            aliases: Vec::new(),
+        };
+        b.walk(0, toks.len(), None, false);
+        let Builder {
+            in_test,
+            fns,
+            raw_fields,
+            aliases,
+            ..
+        } = b;
+        let lock_fields = resolve_lock_fields(raw_fields, &aliases);
+        Ok(Self {
+            path: path.to_string(),
+            crate_name: crate_of(path),
+            raw_lines: raw.lines().map(str::to_string).collect(),
+            toks,
+            brackets,
+            in_test,
+            fns,
+            lock_fields,
+        })
+    }
+
+    /// The trimmed raw source line at 1-based `line`.
+    pub fn excerpt(&self, line: u32) -> String {
+        self.raw_lines
+            .get(line as usize - 1)
+            .map_or("", |l| l.trim())
+            .to_string()
+    }
+}
+
+/// `crates/<name>/…` → `<name>`.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => String::new(),
+    }
+}
+
+struct RawField {
+    owner: String,
+    field: String,
+    type_idents: Vec<String>,
+    line: u32,
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    brackets: &'a BracketMap,
+    in_test: Vec<bool>,
+    fns: Vec<FnItem>,
+    raw_fields: Vec<RawField>,
+    /// `type X = …;` aliases: (name, idents of the aliased type).
+    aliases: Vec<(String, Vec<String>)>,
+}
+
+impl<'a> Builder<'a> {
+    /// Walk `[start, end)` at item level under `owner` / `in_test`
+    /// context. Expression groups are skipped wholesale; item keywords
+    /// (`mod`, `impl`, `trait`, `fn`, `struct`, `static`, `type`)
+    /// dispatch to structured handling.
+    fn walk(&mut self, start: usize, end: usize, owner: Option<&str>, test: bool) {
+        let mut i = start;
+        let mut pending_test = false;
+        while i < end {
+            let t = &self.toks[i];
+            // Attributes: `#[…]` and inner `#![…]`.
+            if t.is_punct('#') {
+                let open = if self.at_kind(i + 1, TokKind::Open(Delim::Bracket)) {
+                    i + 1
+                } else if self.toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && self.at_kind(i + 2, TokKind::Open(Delim::Bracket))
+                {
+                    i + 2
+                } else {
+                    i += 1;
+                    continue;
+                };
+                let close = self.brackets.matching(open);
+                if close == usize::MAX {
+                    i = open + 1;
+                    continue;
+                }
+                pending_test |= self.toks[open + 1..close]
+                    .iter()
+                    .any(|t| t.is_ident("test"));
+                i = close + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "mod" => {
+                        if let Some((body_open, after)) = self.item_body(i + 1) {
+                            let gated = test || pending_test;
+                            self.mark_test(i, after, gated);
+                            let close = self.brackets.matching(body_open);
+                            self.walk(body_open + 1, close, owner, gated);
+                            i = after;
+                            pending_test = false;
+                            continue;
+                        }
+                    }
+                    "impl" | "trait" => {
+                        if let Some((body_open, after)) = self.item_body(i + 1) {
+                            let gated = test || pending_test;
+                            self.mark_test(i, after, gated);
+                            let self_ty = if t.text == "trait" {
+                                self.toks[i + 1..body_open]
+                                    .iter()
+                                    .find(|t| t.kind == TokKind::Ident)
+                                    .map(|t| t.text.clone())
+                            } else {
+                                impl_self_type(&self.toks[i + 1..body_open])
+                            };
+                            let close = self.brackets.matching(body_open);
+                            self.walk(body_open + 1, close, self_ty.as_deref(), gated);
+                            i = after;
+                            pending_test = false;
+                            continue;
+                        }
+                    }
+                    "fn" => {
+                        if let Some(next) = self.toks.get(i + 1) {
+                            if next.kind == TokKind::Ident {
+                                i = self.fn_item(i, owner, test || pending_test);
+                                pending_test = false;
+                                continue;
+                            }
+                        }
+                    }
+                    "struct" => {
+                        if let Some(after) = self.struct_item(i, test || pending_test) {
+                            i = after;
+                            pending_test = false;
+                            continue;
+                        }
+                    }
+                    "static" | "const" => {
+                        i = self.static_item(i, t.text == "static");
+                        pending_test = false;
+                        continue;
+                    }
+                    "type" => {
+                        i = self.type_alias(i);
+                        pending_test = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Skip unrecognized groups wholesale so expression braces
+            // never masquerade as items.
+            if matches!(t.kind, TokKind::Open(_)) {
+                let close = self.brackets.matching(i);
+                i = if close == usize::MAX {
+                    i + 1
+                } else {
+                    close + 1
+                };
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    fn at_kind(&self, i: usize, kind: TokKind) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == kind)
+    }
+
+    fn mark_test(&mut self, from: usize, to: usize, gated: bool) {
+        if gated {
+            let to = to.min(self.in_test.len());
+            for f in &mut self.in_test[from..to] {
+                *f = true;
+            }
+        }
+    }
+
+    /// From `i`, scan at group level 0 for the item's body `{` or a
+    /// terminating `;`. Returns `(body_open_index, index_after_item)`
+    /// for braced items, `None` for braceless ones (after advancing is
+    /// left to the caller's default path).
+    fn item_body(&self, i: usize) -> Option<(usize, usize)> {
+        let mut j = i;
+        while j < self.toks.len() {
+            match self.toks[j].kind {
+                TokKind::Open(Delim::Brace) => {
+                    let close = self.brackets.matching(j);
+                    return Some((j, close + 1));
+                }
+                TokKind::Open(_) => {
+                    let close = self.brackets.matching(j);
+                    if close == usize::MAX {
+                        return None;
+                    }
+                    j = close + 1;
+                }
+                TokKind::Punct if self.toks[j].is_punct(';') => return None,
+                TokKind::Close(_) => return None,
+                _ => j += 1,
+            }
+        }
+        None
+    }
+
+    /// Record a `fn` item starting at token `i` (the `fn` keyword);
+    /// returns the index just past it.
+    fn fn_item(&mut self, i: usize, owner: Option<&str>, gated: bool) -> usize {
+        let name = self.toks[i + 1].text.clone();
+        let line = self.toks[i].line;
+        let mut ret = (0, 0);
+        let mut j = i + 2;
+        while j < self.toks.len() {
+            match self.toks[j].kind {
+                TokKind::Open(Delim::Brace) => {
+                    let close = self.brackets.matching(j);
+                    if ret != (0, 0) && ret.1 == 0 {
+                        ret.1 = j;
+                    }
+                    self.mark_test(i, close + 1, gated);
+                    self.fns.push(FnItem {
+                        name,
+                        owner: owner.map(str::to_string),
+                        line,
+                        ret,
+                        body: (j + 1, close),
+                        is_test: gated,
+                    });
+                    // Nested `fn` items at statement level are common
+                    // in this workspace (local helpers); find them.
+                    self.walk(j + 1, close, owner, gated);
+                    return close + 1;
+                }
+                TokKind::Open(_) => {
+                    let close = self.brackets.matching(j);
+                    if close == usize::MAX {
+                        return j + 1;
+                    }
+                    j = close + 1;
+                }
+                _ => {
+                    if self.toks[j].is_punct(';') {
+                        // Trait method declaration without a body.
+                        self.mark_test(i, j + 1, gated);
+                        return j + 1;
+                    }
+                    if self.toks[j].is_ident("where") && ret.1 == 0 && ret.0 != 0 {
+                        ret.1 = j;
+                    }
+                    if self.toks[j].is_punct('>')
+                        && j > 0
+                        && self.toks[j - 1].is_punct('-')
+                        && ret == (0, 0)
+                    {
+                        ret = (j + 1, 0);
+                    }
+                    j += 1;
+                }
+            }
+        }
+        self.toks.len()
+    }
+
+    /// Record a struct's lock-typed fields; returns the index past the
+    /// item, or `None` if this `struct` token isn't an item head.
+    fn struct_item(&mut self, i: usize, _gated: bool) -> Option<usize> {
+        let name = match self.toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return None,
+        };
+        let (body_open, after) = match self.item_body(i + 2) {
+            Some(v) => v,
+            // Tuple / unit struct: no named fields to inspect.
+            None => {
+                let mut j = i + 2;
+                while j < self.toks.len() && !self.toks[j].is_punct(';') {
+                    if let TokKind::Open(_) = self.toks[j].kind {
+                        let close = self.brackets.matching(j);
+                        if close == usize::MAX {
+                            return Some(j + 1);
+                        }
+                        j = close;
+                    }
+                    j += 1;
+                }
+                return Some(j + 1);
+            }
+        };
+        let close = self.brackets.matching(body_open);
+        // Split the field list on top-level commas.
+        let mut j = body_open + 1;
+        let mut field_start = j;
+        while j <= close {
+            let at_end = j == close;
+            if at_end || self.toks[j].is_punct(',') {
+                self.record_field(&name, field_start, j);
+                field_start = j + 1;
+                j += 1;
+                continue;
+            }
+            if let TokKind::Open(_) = self.toks[j].kind {
+                let c = self.brackets.matching(j);
+                j = if c == usize::MAX { j + 1 } else { c + 1 };
+                continue;
+            }
+            j += 1;
+        }
+        Some(after)
+    }
+
+    /// One `name: Type` field between token indices `[start, end)`.
+    fn record_field(&mut self, owner: &str, start: usize, end: usize) {
+        // First top-level ':' splits name from type; `pub(crate)`
+        // groups before it are skipped by the caller's group jumps,
+        // but a ':' can still hide inside them — so jump groups here
+        // too.
+        let mut j = start;
+        let mut colon = None;
+        while j < end {
+            if let TokKind::Open(_) = self.toks[j].kind {
+                let c = self.brackets.matching(j);
+                j = if c == usize::MAX { j + 1 } else { c + 1 };
+                continue;
+            }
+            if self.toks[j].is_punct(':') {
+                colon = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let colon = match colon {
+            Some(c) => c,
+            None => return,
+        };
+        let name = match self.toks[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident)
+        {
+            Some(t) if colon > start => t.text.clone(),
+            _ => return,
+        };
+        let type_idents: Vec<String> = self.toks[colon + 1..end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        self.raw_fields.push(RawField {
+            owner: owner.to_string(),
+            field: name,
+            type_idents,
+            line: self.toks[start.min(self.toks.len() - 1)].line,
+        });
+    }
+
+    /// `static NAME: Type = …;` — record lock-typed statics. `const`
+    /// items are skipped (no interior mutability) but still consumed so
+    /// their initializer groups never reach the item walker.
+    fn static_item(&mut self, i: usize, is_static: bool) -> usize {
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let name = match self.toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return i + 1,
+        };
+        let line = self.toks[i].line;
+        let mut type_idents = Vec::new();
+        let mut in_type = false;
+        while j < self.toks.len() && !self.toks[j].is_punct(';') {
+            if self.toks[j].is_punct(':') {
+                in_type = true;
+            } else if self.toks[j].is_punct('=') {
+                in_type = false;
+            } else if in_type && self.toks[j].kind == TokKind::Ident {
+                type_idents.push(self.toks[j].text.clone());
+            }
+            if let TokKind::Open(_) = self.toks[j].kind {
+                let c = self.brackets.matching(j);
+                j = if c == usize::MAX { j + 1 } else { c };
+            }
+            j += 1;
+        }
+        if is_static {
+            self.raw_fields.push(RawField {
+                owner: "static".to_string(),
+                field: name,
+                type_idents,
+                line,
+            });
+        }
+        j + 1
+    }
+
+    /// `type X = …;` — collect the alias for lock-field resolution.
+    fn type_alias(&mut self, i: usize) -> usize {
+        let name = match self.toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return i + 1,
+        };
+        let mut j = i + 2;
+        let mut idents = Vec::new();
+        let mut seen_eq = false;
+        while j < self.toks.len() && !self.toks[j].is_punct(';') {
+            if self.toks[j].is_punct('=') {
+                seen_eq = true;
+            } else if seen_eq && self.toks[j].kind == TokKind::Ident {
+                idents.push(self.toks[j].text.clone());
+            }
+            j += 1;
+        }
+        if seen_eq {
+            self.aliases.push((name, idents));
+        }
+        j + 1
+    }
+}
+
+fn resolve_lock_fields(raw: Vec<RawField>, aliases: &[(String, Vec<String>)]) -> Vec<LockField> {
+    let mentions_lock = |idents: &[String]| -> Option<&'static str> {
+        if idents.iter().any(|i| i == "Mutex") {
+            Some("Mutex")
+        } else if idents.iter().any(|i| i == "RwLock") {
+            Some("RwLock")
+        } else {
+            None
+        }
+    };
+    raw.into_iter()
+        .filter_map(|f| {
+            let direct = mentions_lock(&f.type_idents);
+            let via_alias = || {
+                f.type_idents.iter().find_map(|i| {
+                    aliases
+                        .iter()
+                        .find(|(name, _)| name == i)
+                        .and_then(|(_, idents)| mentions_lock(idents))
+                })
+            };
+            direct.or_else(via_alias).map(|kind| LockField {
+                owner: f.owner,
+                field: f.field,
+                kind,
+                line: f.line,
+            })
+        })
+        .collect()
+}
+
+/// Self type of an `impl` header (tokens between `impl` and the body
+/// brace): strips the generic parameter list, honors `for` (trait
+/// impls) while skipping `for<'a>` HRTBs, and returns the last path
+/// segment of the implemented-on type.
+fn impl_self_type(header: &[Token]) -> Option<String> {
+    let mut i = 0;
+    // Leading generics `<…>`: count angle depth over `<`/`>` puncts;
+    // a `>` directly preceded by `-` is the arrow of a closure bound.
+    if header.first().is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while i < header.len() {
+            if header[i].is_punct('<') {
+                depth += 1;
+            } else if header[i].is_punct('>') && !(i > 0 && header[i - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // A top-level `for` (not `for<'a>`) means trait impl: the self
+    // type follows it.
+    let mut depth = 0i32;
+    let mut ty_start = i;
+    let mut j = i;
+    while j < header.len() {
+        if header[j].is_punct('<') {
+            depth += 1;
+        } else if header[j].is_punct('>') && !(j > 0 && header[j - 1].is_punct('-')) {
+            depth -= 1;
+        } else if depth == 0
+            && header[j].is_ident("for")
+            && !header.get(j + 1).is_some_and(|t| t.is_punct('<'))
+        {
+            ty_start = j + 1;
+        } else if depth == 0 && header[j].is_ident("where") {
+            break;
+        }
+        j += 1;
+    }
+    // Last segment of the leading path: ident (:: ident)* — stop at
+    // `<` or anything else.
+    let mut last = None;
+    let mut k = ty_start;
+    while k < header.len() {
+        match header[k].kind {
+            TokKind::Ident if !matches!(header[k].text.as_str(), "dyn" | "mut" | "where") => {
+                last = Some(header[k].text.clone());
+                k += 1;
+            }
+            TokKind::Punct if header[k].is_punct(':') || header[k].is_punct('&') => k += 1,
+            TokKind::Lifetime => k += 1,
+            _ => break,
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/core/src/x.rs", src).expect("builds")
+    }
+
+    #[test]
+    fn finds_fns_with_owners_and_returns() {
+        let m = model(
+            "impl<T: Clone> Foo<T> {\n    fn get(&self) -> io::Result<u32> { self.x }\n}\n\
+             fn free() {}\n\
+             trait Bar { fn dflt(&self) -> bool { true } }\n",
+        );
+        let names: Vec<_> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("get", Some("Foo")), ("free", None), ("dflt", Some("Bar"))]
+        );
+        let get = &m.fns[0];
+        let ret: Vec<_> = m.toks[get.ret.0..get.ret.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ret, vec!["io", ":", ":", "Result", "<", "u32", ">"]);
+    }
+
+    #[test]
+    fn trait_impl_self_type_and_nested_fns() {
+        let m = model(
+            "impl<G: Group> NodeStore<G> for MemStore<G> {\n    fn insert(&mut self) {\n        fn helper() {}\n    }\n}\n",
+        );
+        let names: Vec<_> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("insert", Some("MemStore")), ("helper", Some("MemStore"))]
+        );
+    }
+
+    #[test]
+    fn cfg_test_gates_items_structurally() {
+        let m = model(
+            "fn live() { v.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\n",
+        );
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+        // Token-level flags match the item spans.
+        let unwraps: Vec<bool> = m
+            .toks
+            .iter()
+            .zip(&m.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &f)| f)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn lock_fields_direct_and_via_alias() {
+        let m = model(
+            "type Shared = Arc<Mutex<HashMap<String, Vec<u8>>>>;\n\
+             struct S {\n    queue: Mutex<Vec<u8>>,\n    engine: RwLock<E>,\n    files: Shared,\n    plain: u32,\n}\n\
+             static REGISTRY: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n",
+        );
+        let got: Vec<_> = m
+            .lock_fields
+            .iter()
+            .map(|l| (l.owner.as_str(), l.field.as_str(), l.kind))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("S", "queue", "Mutex"),
+                ("S", "engine", "RwLock"),
+                ("S", "files", "Mutex"),
+                ("static", "REGISTRY", "Mutex"),
+            ]
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! **lock-order** — lockdep-style static cycle detection over the
+//! `core::sync` `Mutex`/`RwLock` guards in `crates/core` +
+//! `crates/serve`.
+//!
+//! Lock identities are *field names* of lock-typed struct fields and
+//! statics (see [`FileModel::lock_fields`]). Per function, a scope walk
+//! tracks which guards are held: `let`-bound guards live to the end of
+//! their block (or an explicit `drop(g)`), un-bound acquisitions live
+//! to the end of their statement. Acquiring `B` while holding `A`
+//! records the edge `A → B`; a cycle in the global edge graph is a
+//! potential deadlock, reported with the full witness path.
+//!
+//! Call-graph propagation is one level deep: a call to a function whose
+//! body directly acquires locks contributes those acquisitions at the
+//! call site, and if the callee's return type names a `…Guard` the
+//! acquisition is held with the caller's binding (the
+//! `lock_queue`/`read_engine` helper pattern). Method-name resolution
+//! prefers same-file functions and falls back to a globally unique
+//! name; the bare acquisition names `lock`/`read`/`write` resolve
+//! same-file only — cross-file they are too ambiguous to chase.
+//!
+//! Known false-negative bounds (DESIGN S46): helpers that receive the
+//! lock as a *parameter* (`fn lock<T>(m: &Mutex<T>)`) are invisible;
+//! same-named fields on different structs share one lock identity
+//! (self-edges are therefore skipped); closure bodies are analyzed in
+//! their enclosing scope's context.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::super::lexer::{Delim, TokKind};
+use super::super::model::FileModel;
+use super::method_call;
+use crate::lint::Finding;
+
+/// Keywords that look like `ident (` but aren't calls.
+const NON_CALL_KEYWORDS: &[&str] = &["if", "while", "match", "for", "loop", "return", "in"];
+
+#[derive(Debug)]
+struct FnSummary {
+    file: usize,
+    name: String,
+    body: (usize, usize),
+    /// Direct lock acquisitions in the body, in token order.
+    acquires: Vec<String>,
+    /// Return type names a `…Guard` — callers keep holding what this
+    /// function acquired.
+    returns_guard: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    path: String,
+    line: u32,
+    via: Option<String>,
+}
+
+#[derive(Clone)]
+struct Held {
+    lock: String,
+    var: Option<String>,
+    temp: bool,
+}
+
+/// Build the whole-workspace lock-acquisition graph and report every
+/// strongly-connected component as a `lock-order` cycle with a witness.
+pub fn check(models: &[FileModel]) -> Vec<Finding> {
+    let in_scope: Vec<bool> = models
+        .iter()
+        .map(|m| m.path.starts_with("crates/core/src") || m.path.starts_with("crates/serve/src"))
+        .collect();
+
+    let mut lock_names: BTreeSet<String> = BTreeSet::new();
+    for (fi, m) in models.iter().enumerate() {
+        if in_scope[fi] {
+            lock_names.extend(m.lock_fields.iter().map(|l| l.field.clone()));
+        }
+    }
+    if lock_names.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 1: per-function direct-acquisition summaries (non-test only).
+    let mut fns: Vec<FnSummary> = Vec::new();
+    for (fi, m) in models.iter().enumerate() {
+        if !in_scope[fi] {
+            continue;
+        }
+        for f in &m.fns {
+            if f.is_test {
+                continue;
+            }
+            let mut acquires = Vec::new();
+            for i in f.body.0..f.body.1 {
+                if let Some(lock) = direct_acq(m, i, &lock_names) {
+                    acquires.push(lock.to_string());
+                }
+            }
+            let returns_guard = m.toks[f.ret.0..f.ret.1.min(m.toks.len())]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("Guard"));
+            fns.push(FnSummary {
+                file: fi,
+                name: f.name.clone(),
+                body: f.body,
+                acquires,
+                returns_guard,
+            });
+        }
+    }
+
+    // Pass 2: scope walk per function, recording edges.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for k in 0..fns.len() {
+        let s = &fns[k];
+        let m = &models[s.file];
+        let mut w = Walker {
+            m,
+            fi: s.file,
+            fns: &fns,
+            lock_names: &lock_names,
+            edges: &mut edges,
+        };
+        let mut held = Vec::new();
+        w.walk(s.body.0, s.body.1, &mut held);
+    }
+
+    // Pass 3: cycles in the edge graph → one finding per SCC.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().insert(to);
+        adj.entry(to).or_default();
+    }
+    let mut out = Vec::new();
+    for scc in tarjan(&adj) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let start = scc[0]; // lexicographically smallest: scc is sorted
+        let cycle = witness(&adj, &scc, start);
+        let mut detail = format!("lock-order cycle: {}", cycle.join(" -> "));
+        for w in cycle.windows(2) {
+            let e = &edges[&(w[0].to_string(), w[1].to_string())];
+            let via = e
+                .via
+                .as_ref()
+                .map(|v| format!(" (via {v})"))
+                .unwrap_or_default();
+            detail.push_str(&format!(
+                "\n    {} -> {} at {}:{}{}",
+                w[0], w[1], e.path, e.line, via
+            ));
+        }
+        let first = &edges[&(cycle[0].to_string(), cycle[1].to_string())];
+        let excerpt = models
+            .iter()
+            .find(|m| m.path == first.path)
+            .map(|m| m.excerpt(first.line))
+            .unwrap_or_default();
+        out.push(Finding {
+            rule: "lock-order",
+            path: first.path.clone(),
+            line: first.line as usize,
+            excerpt,
+            detail,
+        });
+    }
+    out
+}
+
+/// `.lock()` / `.read()` / `.write()` with empty args whose receiver
+/// ident is a known lock field/static: a direct acquisition.
+fn direct_acq<'m>(m: &'m FileModel, i: usize, lock_names: &BTreeSet<String>) -> Option<&'m str> {
+    let (name, open) = method_call(m, i)?;
+    if !matches!(name, "lock" | "read" | "write") || m.brackets.matching(open) != open + 1 {
+        return None;
+    }
+    if i == 0 {
+        return None;
+    }
+    let recv = &m.toks[i - 1];
+    (recv.kind == TokKind::Ident && lock_names.contains(&recv.text)).then_some(recv.text.as_str())
+}
+
+struct Walker<'a> {
+    m: &'a FileModel,
+    fi: usize,
+    fns: &'a [FnSummary],
+    lock_names: &'a BTreeSet<String>,
+    edges: &'a mut BTreeMap<(String, String), Edge>,
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, start: usize, end: usize, held: &mut Vec<Held>) {
+        let toks = &self.m.toks;
+        let mut i = start;
+        let mut paren_depth = 0usize;
+        let mut stmt_is_let = false;
+        let mut stmt_var: Option<String> = None;
+        let mut awaiting_let_name = false;
+        while i < end {
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Open(Delim::Brace) => {
+                    let close = self.m.brackets.matching(i);
+                    if close == usize::MAX || close > end {
+                        return;
+                    }
+                    // Block scope: bindings made inside die at `}`.
+                    let mut inner = held.clone();
+                    self.walk(i + 1, close, &mut inner);
+                    i = close + 1;
+                    continue;
+                }
+                TokKind::Open(_) => {
+                    paren_depth += 1;
+                    i += 1;
+                    continue;
+                }
+                TokKind::Close(_) => {
+                    paren_depth = paren_depth.saturating_sub(1);
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if t.is_ident("let") && paren_depth == 0 {
+                stmt_is_let = true;
+                stmt_var = None;
+                awaiting_let_name = true;
+                i += 1;
+                continue;
+            }
+            if awaiting_let_name && t.kind == TokKind::Ident && !t.is_ident("mut") {
+                stmt_var = Some(t.text.clone());
+                awaiting_let_name = false;
+            }
+            // Nested fn item: its body is summarized separately; do not
+            // leak this scope's held set into it.
+            if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                i = self.skip_item(i + 2, end);
+                continue;
+            }
+            // drop(g): explicit early release of a bound guard.
+            if t.is_ident("drop") {
+                if let Some(open) = toks
+                    .get(i + 1)
+                    .and_then(|t| (t.kind == TokKind::Open(Delim::Paren)).then_some(i + 1))
+                {
+                    let close = self.m.brackets.matching(open);
+                    if close == open + 2 && toks[open + 1].kind == TokKind::Ident {
+                        let v = &toks[open + 1].text;
+                        held.retain(|h| h.var.as_deref() != Some(v.as_str()));
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            // Method calls: direct acquisitions, then propagation.
+            if let Some((name, open)) = method_call(self.m, i) {
+                if let Some(lock) = direct_acq(self.m, i, self.lock_names) {
+                    let lock = lock.to_string();
+                    self.acquire(&lock, t.line, None, held, stmt_is_let, &stmt_var);
+                } else if let Some(s) = self.resolve(name, true) {
+                    self.propagate(s, t.line, held, stmt_is_let, &stmt_var);
+                }
+                i = open;
+                continue;
+            }
+            // Bare / path-qualified calls: `lock_queue(shard)`.
+            if t.kind == TokKind::Ident
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Open(Delim::Paren))
+                && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                && !(i > start && toks[i - 1].is_punct('.'))
+            {
+                let name = t.text.clone();
+                if let Some(s) = self.resolve(&name, false) {
+                    self.propagate(s, t.line, held, stmt_is_let, &stmt_var);
+                }
+            }
+            if t.is_punct(';') && paren_depth == 0 {
+                held.retain(|h| !h.temp);
+                stmt_is_let = false;
+                stmt_var = None;
+                awaiting_let_name = false;
+            }
+            i += 1;
+        }
+    }
+
+    /// Skip a nested item from just past `fn name` to past its body.
+    fn skip_item(&self, mut j: usize, end: usize) -> usize {
+        while j < end {
+            match self.m.toks[j].kind {
+                TokKind::Open(Delim::Brace) => {
+                    let close = self.m.brackets.matching(j);
+                    return if close == usize::MAX {
+                        j + 1
+                    } else {
+                        close + 1
+                    };
+                }
+                TokKind::Open(_) => {
+                    let close = self.m.brackets.matching(j);
+                    if close == usize::MAX {
+                        return j + 1;
+                    }
+                    j = close + 1;
+                }
+                _ => {
+                    if self.m.toks[j].is_punct(';') {
+                        return j + 1;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        end
+    }
+
+    fn acquire(
+        &mut self,
+        lock: &str,
+        line: u32,
+        via: Option<&str>,
+        held: &mut Vec<Held>,
+        stmt_is_let: bool,
+        stmt_var: &Option<String>,
+    ) {
+        for h in held.iter() {
+            if h.lock != lock {
+                self.edges
+                    .entry((h.lock.clone(), lock.to_string()))
+                    .or_insert_with(|| Edge {
+                        path: self.m.path.clone(),
+                        line,
+                        via: via.map(str::to_string),
+                    });
+            }
+        }
+        held.push(Held {
+            lock: lock.to_string(),
+            var: if stmt_is_let { stmt_var.clone() } else { None },
+            temp: !stmt_is_let,
+        });
+    }
+
+    fn propagate(
+        &mut self,
+        s: usize,
+        line: u32,
+        held: &mut Vec<Held>,
+        stmt_is_let: bool,
+        stmt_var: &Option<String>,
+    ) {
+        let (acquires, returns_guard, name) = {
+            let s = &self.fns[s];
+            (s.acquires.clone(), s.returns_guard, s.name.clone())
+        };
+        for lock in &acquires {
+            for h in held.iter() {
+                if &h.lock != lock {
+                    self.edges
+                        .entry((h.lock.clone(), lock.clone()))
+                        .or_insert_with(|| Edge {
+                            path: self.m.path.clone(),
+                            line,
+                            via: Some(name.clone()),
+                        });
+                }
+            }
+        }
+        if returns_guard {
+            for lock in &acquires {
+                held.push(Held {
+                    lock: lock.clone(),
+                    var: if stmt_is_let { stmt_var.clone() } else { None },
+                    temp: !stmt_is_let,
+                });
+            }
+        }
+    }
+
+    /// Resolve a callee name: same-file unique match first; globally
+    /// unique as fallback — except for the bare acquisition names
+    /// (`same_file_only`), which never resolve cross-file.
+    fn resolve(&self, name: &str, method: bool) -> Option<usize> {
+        let same_file_only = method && matches!(name, "lock" | "read" | "write" | "add" | "set");
+        let in_file: Vec<usize> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.file == self.fi && s.name == name)
+            .map(|(k, _)| k)
+            .collect();
+        if in_file.len() == 1 {
+            return Some(in_file[0]);
+        }
+        if !in_file.is_empty() || same_file_only {
+            return None;
+        }
+        let global: Vec<usize> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.name == name)
+            .map(|(k, _)| k)
+            .collect();
+        if global.len() == 1 {
+            Some(global[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Tarjan SCC over the lock graph; returns each component sorted, the
+/// component list ordered by smallest member.
+fn tarjan<'g>(adj: &BTreeMap<&'g str, BTreeSet<&'g str>>) -> Vec<Vec<&'g str>> {
+    struct State<'g> {
+        index: BTreeMap<&'g str, usize>,
+        low: BTreeMap<&'g str, usize>,
+        on_stack: BTreeSet<&'g str>,
+        stack: Vec<&'g str>,
+        next: usize,
+        out: Vec<Vec<&'g str>>,
+    }
+    fn strong<'g>(v: &'g str, adj: &BTreeMap<&'g str, BTreeSet<&'g str>>, st: &mut State<'g>) {
+        st.index.insert(v, st.next);
+        st.low.insert(v, st.next);
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack.insert(v);
+        if let Some(succs) = adj.get(v) {
+            for &w in succs {
+                if !st.index.contains_key(w) {
+                    strong(w, adj, st);
+                    let lw = st.low[w];
+                    let lv = st.low.get_mut(v).expect("visited");
+                    *lv = (*lv).min(lw);
+                } else if st.on_stack.contains(w) {
+                    let iw = st.index[w];
+                    let lv = st.low.get_mut(v).expect("visited");
+                    *lv = (*lv).min(iw);
+                }
+            }
+        }
+        if st.low[v] == st.index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = st.stack.pop() {
+                st.on_stack.remove(w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            st.out.push(comp);
+        }
+    }
+    let mut st = State {
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for &v in adj.keys() {
+        if !st.index.contains_key(v) {
+            strong(v, adj, &mut st);
+        }
+    }
+    st.out.sort_by(|a, b| a[0].cmp(b[0]));
+    st.out
+}
+
+/// Shortest cycle through `start` within one SCC, as
+/// `[start, …, start]` (BFS over in-component edges).
+fn witness<'g>(
+    adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+    scc: &[&'g str],
+    start: &'g str,
+) -> Vec<&'g str> {
+    let in_scc: BTreeSet<&str> = scc.iter().copied().collect();
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<&str> = std::collections::VecDeque::new();
+    for &n in adj.get(start).into_iter().flatten() {
+        if in_scc.contains(n) && !prev.contains_key(n) {
+            prev.insert(n, start);
+            queue.push_back(n);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if v == start {
+            break;
+        }
+        for &n in adj.get(v).into_iter().flatten() {
+            if in_scc.contains(n) && !prev.contains_key(n) {
+                prev.insert(n, v);
+                queue.push_back(n);
+            }
+        }
+    }
+    // Reconstruct start → … → start.
+    let mut path = vec![start];
+    let mut cur = start;
+    loop {
+        let p = prev.get(cur).copied().expect("cycle exists within SCC");
+        path.push(p);
+        if p == start {
+            break;
+        }
+        cur = p;
+    }
+    path.reverse();
+    path
+}

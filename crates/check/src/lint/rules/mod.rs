@@ -1,0 +1,80 @@
+//! The rule set. Per-file rules (`legacy`, `seam`, `pins`) take one
+//! [`FileModel`]; whole-workspace rules (`results`, `ordering`,
+//! `locks`) take all of them and correlate across files.
+
+use super::model::FileModel;
+use super::Finding;
+use crate::lint::lexer::{Delim, TokKind};
+
+pub mod legacy;
+pub mod locks;
+pub mod ordering;
+pub mod pins;
+pub mod results;
+pub mod seam;
+
+/// Every rule id the analyzer can emit, for `--rule` validation.
+pub const ALL_RULES: &[&str] = &[
+    "no-unwrap",
+    "no-bare-std-sync",
+    "named-ordering",
+    "seam-bypass",
+    "lock-order",
+    "pin-discipline",
+    "result-discard",
+    "ordering-pairs",
+];
+
+/// Run every rule over the models; findings sorted by (path, line,
+/// rule) for deterministic output.
+pub fn analyze(models: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in models {
+        out.extend(legacy::check(m));
+        out.extend(seam::check(m));
+        out.extend(pins::check(m));
+    }
+    out.extend(results::check(models));
+    out.extend(ordering::check(models));
+    out.extend(locks::check(models));
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}
+
+/// Build one finding anchored at `line` of `m`.
+pub(crate) fn mk(m: &FileModel, rule: &'static str, line: u32, detail: String) -> Finding {
+    Finding {
+        rule,
+        path: m.path.clone(),
+        line: line as usize,
+        excerpt: m.excerpt(line),
+        detail,
+    }
+}
+
+/// `.name(` method-call shape at dot index `i`: returns the method name
+/// and the index of its opening paren.
+pub(crate) fn method_call(m: &FileModel, i: usize) -> Option<(&str, usize)> {
+    if !m.toks[i].is_punct('.') {
+        return None;
+    }
+    let name = m.toks.get(i + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let open = i + 2;
+    (m.toks.get(open)?.kind == TokKind::Open(Delim::Paren)).then_some((name.text.as_str(), open))
+}
+
+/// True when the call's argument tokens `[open+1, close)` name an
+/// explicit `Ordering::X` (or anything path-qualified as `X` from the
+/// given set) — i.e. contain one of `idents`.
+pub(crate) fn args_contain(m: &FileModel, open: usize, idents: &[&str]) -> bool {
+    let close = m.brackets.matching(open);
+    if close == usize::MAX {
+        return false;
+    }
+    m.toks[open + 1..close]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && idents.contains(&t.text.as_str()))
+}

@@ -1,0 +1,122 @@
+//! **ordering-pairs** — a `Release` store that no `Acquire` (or
+//! `AcqRel`/`SeqCst`) load of the same field ever observes is either
+//! dead synchronization or, worse, a reader on the other side using
+//! `Relaxed` and silently missing the happens-before edge. Every
+//! `Ordering::Release` publication must have a paired acquire-side
+//! load of the same atomic field somewhere in the same crate.
+//!
+//! The "field" is the receiver identifier of the call (`self.durable
+//! .store(…)` → `durable`); call sites whose receiver is a computed
+//! expression are skipped, and `crates/model` is exempt (the facade
+//! forwards caller-chosen orderings by design) — DESIGN S46 records
+//! both bounds.
+
+use std::collections::BTreeSet;
+
+use super::super::lexer::TokKind;
+use super::super::model::FileModel;
+use super::{args_contain, method_call, mk};
+use crate::lint::Finding;
+
+/// Methods that publish with the ordering of their argument list.
+const STORE_METHODS: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Methods whose acquire-side ordering satisfies a pairing.
+const LOAD_METHODS: &[&str] = &[
+    "load",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ACQUIRE_SIDE: &[&str] = &["Acquire", "AcqRel", "SeqCst"];
+
+/// Flag every `Release` store whose (crate, field) has no acquire-side
+/// load anywhere in the same crate.
+pub fn check(models: &[FileModel]) -> Vec<Finding> {
+    // (crate, field) pairs with an acquire-side load anywhere
+    // (including tests: a test reader still proves the pairing exists).
+    let mut acquires: BTreeSet<(String, String)> = BTreeSet::new();
+    for m in models {
+        if m.path.starts_with("crates/model/") {
+            continue;
+        }
+        for i in 0..m.toks.len() {
+            let Some((name, open)) = method_call(m, i) else {
+                continue;
+            };
+            if LOAD_METHODS.contains(&name) && args_contain(m, open, ACQUIRE_SIDE) {
+                if let Some(field) = receiver_field(m, i) {
+                    acquires.insert((m.crate_name.clone(), field.to_string()));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for m in models {
+        if m.path.starts_with("crates/model/") {
+            continue;
+        }
+        for i in 0..m.toks.len() {
+            if m.in_test[i] {
+                continue;
+            }
+            let Some((name, open)) = method_call(m, i) else {
+                continue;
+            };
+            if !STORE_METHODS.contains(&name) || !args_contain(m, open, &["Release"]) {
+                continue;
+            }
+            let Some(field) = receiver_field(m, i) else {
+                continue;
+            };
+            if !acquires.contains(&(m.crate_name.clone(), field.to_string())) {
+                out.push(mk(
+                    m,
+                    "ordering-pairs",
+                    m.toks[i].line,
+                    format!(
+                        "`Release` store to `{field}` with no Acquire/AcqRel load of \
+                         the same field in crate `{}` — the publication is never \
+                         observed with acquire semantics",
+                        m.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The receiver identifier of a method call at dot index `i`
+/// (`self.appended.store(…)` → `appended`); `None` when the receiver
+/// is a computed expression.
+fn receiver_field(m: &FileModel, i: usize) -> Option<&str> {
+    if i == 0 {
+        return None;
+    }
+    let recv = &m.toks[i - 1];
+    (recv.kind == TokKind::Ident).then_some(recv.text.as_str())
+}

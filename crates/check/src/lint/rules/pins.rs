@@ -1,0 +1,264 @@
+//! **pin-discipline** — every `BufferPool::pin` must be matched by an
+//! `unpin` on all exits of the enclosing scope, or flow into the
+//! closure-scoped accessor pattern (`for_each_segment` pins inside an
+//! IIFE closure, then unpins unconditionally after it — the one shape
+//! where a `?` between pin and unpin is safe).
+//!
+//! Per non-test function, a linear scan classifies each `.pin(` /
+//! `.unpin(` call as closure-scoped or not, then checks three
+//! invariants: no `?`/`return` at function level while a non-closure
+//! pin is outstanding; no outstanding pins at end of body; every
+//! closure-scoped pin has an `unpin` later in the same function.
+//! Branch-sensitive balance (unpin on one arm only) is beyond this
+//! pass — DESIGN S46 records the bound.
+
+use super::super::lexer::{Delim, TokKind};
+use super::super::model::FileModel;
+use super::{method_call, mk};
+use crate::lint::Finding;
+
+/// Check pin/unpin balance for every non-test function in one file.
+pub fn check(m: &FileModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &m.fns {
+        if f.is_test {
+            continue;
+        }
+        check_fn(m, f.body, &mut out);
+    }
+    out
+}
+
+enum Event {
+    Pin { line: u32, in_closure: bool },
+    Unpin,
+    Exit { line: u32, what: &'static str },
+}
+
+fn check_fn(m: &FileModel, body: (usize, usize), out: &mut Vec<Finding>) {
+    let (start, end) = body;
+    if start >= end {
+        return;
+    }
+    let in_closure = closure_mask(m, start, end);
+
+    let mut events = Vec::new();
+    for i in start..end {
+        let t = &m.toks[i];
+        if let Some((name, _)) = method_call(m, i) {
+            match name {
+                "pin" => events.push(Event::Pin {
+                    line: t.line,
+                    in_closure: in_closure[i - start],
+                }),
+                "unpin" => events.push(Event::Unpin),
+                _ => {}
+            }
+        }
+        if !in_closure[i - start] {
+            if t.is_punct('?') {
+                let exit = Event::Exit {
+                    line: t.line,
+                    what: "`?`",
+                };
+                // `pool.pin(p)?` — if the pin fails nothing is pinned,
+                // and if it succeeds control continues, so the call's
+                // own `?` exits *before* its pin takes effect. Earlier
+                // outstanding pins still leak across it.
+                if own_pin_question(m, i) && matches!(events.last(), Some(Event::Pin { .. })) {
+                    events.insert(events.len() - 1, exit);
+                } else {
+                    events.push(exit);
+                }
+            } else if t.is_ident("return") {
+                events.push(Event::Exit {
+                    line: t.line,
+                    what: "`return`",
+                });
+            }
+        }
+    }
+    if !events.iter().any(|e| matches!(e, Event::Pin { .. })) {
+        return;
+    }
+
+    let mut balance = 0usize;
+    let mut first_open: Option<u32> = None;
+    let mut exit_reported = false;
+    let mut pending_closure: Vec<u32> = Vec::new();
+    for e in &events {
+        match e {
+            Event::Pin { line, in_closure } => {
+                if *in_closure {
+                    pending_closure.push(*line);
+                } else {
+                    balance += 1;
+                    first_open.get_or_insert(*line);
+                }
+            }
+            Event::Unpin => {
+                balance = balance.saturating_sub(1);
+                if balance == 0 {
+                    first_open = None;
+                }
+                pending_closure.clear();
+            }
+            Event::Exit { line, what } => {
+                if balance > 0 && !exit_reported {
+                    exit_reported = true;
+                    out.push(mk(
+                        m,
+                        "pin-discipline",
+                        *line,
+                        format!(
+                            "pin held across early exit ({what}) — unpin on all paths \
+                             or restructure into a closure-scoped accessor"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if balance > 0 {
+        if let Some(line) = first_open {
+            out.push(mk(
+                m,
+                "pin-discipline",
+                line,
+                format!("{balance} pin(s) without a matching unpin before scope exit"),
+            ));
+        }
+    }
+    for line in pending_closure {
+        out.push(mk(
+            m,
+            "pin-discipline",
+            line,
+            "closure-scoped pin with no unpin later in the enclosing function".to_string(),
+        ));
+    }
+}
+
+/// True when the `?` at token `i` immediately follows a `.pin(…)`
+/// call's closing paren — the exit happens before that pin is held.
+fn own_pin_question(m: &FileModel, i: usize) -> bool {
+    if i == 0 || m.toks[i - 1].kind != TokKind::Close(Delim::Paren) {
+        return false;
+    }
+    let open = m.brackets.matching(i - 1);
+    open != usize::MAX
+        && open >= 2
+        && m.toks[open - 1].is_ident("pin")
+        && m.toks[open - 2].is_punct('.')
+}
+
+/// Per-token flags over `[start, end)`: true inside a closure body.
+/// A `|` starts a closure when the preceding token cannot end an
+/// expression (so it can't be bitwise-or); the body is the brace group
+/// (or single expression) after the parameter list and optional
+/// `-> Type`.
+fn closure_mask(m: &FileModel, start: usize, end: usize) -> Vec<bool> {
+    let toks = &m.toks;
+    let mut mask = vec![false; end - start];
+    let mut i = start;
+    while i < end {
+        if toks[i].is_punct('|') && starts_closure(m, start, i) {
+            if let Some((bs, be)) = closure_body(m, i, end) {
+                for f in &mut mask[bs - start..be - start] {
+                    *f = true;
+                }
+                i = be;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn starts_closure(m: &FileModel, start: usize, i: usize) -> bool {
+    if i == start {
+        return true;
+    }
+    let p = &m.toks[i - 1];
+    match p.kind {
+        TokKind::Open(_) => true,
+        TokKind::Ident => matches!(p.text.as_str(), "move" | "return" | "else" | "in"),
+        TokKind::Punct => matches!(p.text.as_str(), "," | "=" | ";" | "(" | "&" | ":"),
+        _ => false,
+    }
+}
+
+/// Given the opening `|` of a closure, return the token range of its
+/// body.
+fn closure_body(m: &FileModel, bar: usize, end: usize) -> Option<(usize, usize)> {
+    let toks = &m.toks;
+    // Find the closing `|` of the parameter list.
+    let mut j = bar + 1;
+    let close_bar = loop {
+        if j >= end {
+            return None;
+        }
+        match toks[j].kind {
+            TokKind::Open(_) => {
+                let c = m.brackets.matching(j);
+                if c == usize::MAX || c >= end {
+                    return None;
+                }
+                j = c + 1;
+            }
+            TokKind::Punct if toks[j].is_punct('|') => break j,
+            TokKind::Punct if toks[j].is_punct(';') => return None,
+            TokKind::Close(_) => return None,
+            _ => j += 1,
+        }
+    };
+    // Optional `-> Type` before a braced body.
+    let mut k = close_bar + 1;
+    if k + 1 < end && toks[k].is_punct('-') && toks[k + 1].is_punct('>') {
+        k += 2;
+        loop {
+            if k >= end {
+                return None;
+            }
+            match toks[k].kind {
+                TokKind::Open(Delim::Brace) => break,
+                TokKind::Open(_) => {
+                    let c = m.brackets.matching(k);
+                    if c == usize::MAX || c >= end {
+                        return None;
+                    }
+                    k = c + 1;
+                }
+                TokKind::Punct if toks[k].is_punct(';') || toks[k].is_punct(',') => return None,
+                TokKind::Close(_) => return None,
+                _ => k += 1,
+            }
+        }
+    }
+    if k < end && toks[k].kind == TokKind::Open(Delim::Brace) {
+        let c = m.brackets.matching(k);
+        if c == usize::MAX || c >= end {
+            return None;
+        }
+        return Some((k + 1, c));
+    }
+    // Expression body: runs to the next `,` / `;` / closing delimiter
+    // at this nesting level.
+    let mut e = k;
+    while e < end {
+        match toks[e].kind {
+            TokKind::Open(_) => {
+                let c = m.brackets.matching(e);
+                if c == usize::MAX || c >= end {
+                    break;
+                }
+                e = c + 1;
+            }
+            TokKind::Close(_) => break,
+            TokKind::Punct if toks[e].is_punct(',') || toks[e].is_punct(';') => break,
+            _ => e += 1,
+        }
+    }
+    Some((k, e))
+}

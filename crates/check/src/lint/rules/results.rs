@@ -1,0 +1,156 @@
+//! **result-discard** — a `Result` carrying [`IoError`] or
+//! [`TryUpdateError`] that is dropped via `let _ = …;` or a bare
+//! expression statement is an error: those types encode durability
+//! loss and backpressure, and ignoring them silently un-acks writes.
+//!
+//! Resolution is by function *name*, cross-file: a name is "risky"
+//! only when **every** workspace function with that name declares a
+//! return type mentioning `IoError` / `TryUpdateError` — names with a
+//! clean overload anywhere (e.g. `add` on `AbelianGroup` vs
+//! `DurableCube`) are dropped entirely rather than risk false
+//! positives. That makes the rule under-approximate by construction
+//! (DESIGN S46).
+//!
+//! [`IoError`]: ../../../../core/wal/enum.IoError.html
+//! [`TryUpdateError`]: ../../../../core/shard/enum.TryUpdateError.html
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::super::lexer::{Delim, TokKind};
+use super::super::model::FileModel;
+use super::mk;
+use crate::lint::Finding;
+
+const RISKY_TYPES: &[&str] = &["IoError", "TryUpdateError"];
+
+/// Flag discarded `Result`s from functions that always return a risky
+/// error type (`IoError` / `TryUpdateError`).
+pub fn check(models: &[FileModel]) -> Vec<Finding> {
+    // Pass 1: which fn names *always* return a risky Result.
+    let mut risky: BTreeMap<&str, bool> = BTreeMap::new();
+    for m in models {
+        for f in &m.fns {
+            let mentions = m.toks[f.ret.0..f.ret.1.min(m.toks.len())]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && RISKY_TYPES.contains(&t.text.as_str()));
+            risky
+                .entry(f.name.as_str())
+                .and_modify(|all| *all &= mentions)
+                .or_insert(mentions);
+        }
+    }
+    let risky: BTreeSet<&str> = risky
+        .into_iter()
+        .filter_map(|(name, all)| all.then_some(name))
+        .collect();
+    if risky.is_empty() {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    for m in models {
+        check_file(m, &risky, &mut out);
+    }
+    out
+}
+
+fn check_file(m: &FileModel, risky: &BTreeSet<&str>, out: &mut Vec<Finding>) {
+    // A discard is a call whose `)` is directly followed by `;` and
+    // whose statement context is expression position or `let _ =`.
+    for c in 0..m.toks.len() {
+        if m.toks[c].kind != TokKind::Close(Delim::Paren)
+            || !m.toks.get(c + 1).is_some_and(|t| t.is_punct(';'))
+            || m.in_test[c]
+        {
+            continue;
+        }
+        let open = m.brackets.matching(c);
+        if open == usize::MAX || open == 0 {
+            continue;
+        }
+        let name_tok = &m.toks[open - 1];
+        if name_tok.kind != TokKind::Ident || !risky.contains(name_tok.text.as_str()) {
+            continue;
+        }
+        // Walk back over the receiver/path chain to the expression head.
+        let Some(before) = chain_start(m, open - 1) else {
+            continue;
+        };
+        let discarded = match before {
+            None => true, // call starts the surrounding block
+            Some(p) => {
+                let t = &m.toks[p];
+                // Expression-statement position…
+                t.is_punct(';')
+                    || t.kind == TokKind::Open(Delim::Brace)
+                    || t.kind == TokKind::Close(Delim::Brace)
+                    // …or `let _ = call(…);`
+                    || (t.is_punct('=')
+                        && p >= 2
+                        && m.toks[p - 1].is_ident("_")
+                        && m.toks[p - 2].is_ident("let"))
+            }
+        };
+        if discarded {
+            out.push(mk(
+                m,
+                "result-discard",
+                name_tok.line,
+                format!(
+                    "discarded Result from `{}` (carries {}) — handle, propagate with \
+                     `?`, or match on the error",
+                    name_tok.text,
+                    RISKY_TYPES.join("/")
+                ),
+            ));
+        }
+    }
+}
+
+/// From the callee name token, walk left across `recv.method`, path
+/// segments, and bracketed receivers to the head of the expression;
+/// returns the index of the token *before* the head (`None` = head is
+/// the first token).
+fn chain_start(m: &FileModel, name_idx: usize) -> Option<Option<usize>> {
+    let mut head = name_idx;
+    loop {
+        if head == 0 {
+            return Some(None);
+        }
+        let prev = &m.toks[head - 1];
+        if prev.is_punct('.') {
+            if head < 2 {
+                return None;
+            }
+            let recv = head - 2;
+            match m.toks[recv].kind {
+                TokKind::Ident | TokKind::Literal => head = recv,
+                TokKind::Close(_) => {
+                    let open = m.brackets.matching(recv);
+                    if open == usize::MAX {
+                        return None;
+                    }
+                    // `foo(…).bar(…)` — keep walking from `foo`.
+                    if open == 0 {
+                        return Some(None);
+                    }
+                    if m.toks[open - 1].kind == TokKind::Ident {
+                        head = open - 1;
+                    } else {
+                        // `(expr).call()` — treat the group as the head.
+                        return Some(Some(open - 1));
+                    }
+                }
+                _ => return None,
+            }
+        } else if prev.is_punct(':')
+            && head >= 3
+            && m.toks[head - 2].is_punct(':')
+            && m.toks[head - 3].kind == TokKind::Ident
+        {
+            head -= 3;
+        } else {
+            return Some(Some(head - 1));
+        }
+    }
+}

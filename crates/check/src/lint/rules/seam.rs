@@ -1,0 +1,59 @@
+//! **seam-bypass** — every durable byte must stay fault-injectable:
+//! `std::fs` / `std::net` may only be named by the `Vfs` seam itself,
+//! the socket-owning serving layer, and explicitly whitelisted
+//! operator/harness modules. Anything else is a path where `FaultVfs`
+//! can never inject faults.
+
+use super::super::model::FileModel;
+use super::mk;
+use crate::lint::Finding;
+
+/// Modules allowed to touch `std::fs` / `std::net` directly, with the
+/// rationale the finding message points at.
+const ALLOWED: &[(&str, &str)] = &[
+    ("crates/core/src/vfs.rs", "the seam itself"),
+    ("crates/serve/src", "owns the TCP sockets; no durable bytes"),
+    ("crates/cli/src", "operator tooling outside the engine"),
+    (
+        "crates/bench/src",
+        "bench harnesses write reports, not data",
+    ),
+    (
+        "crates/check/src",
+        "test harness reads sources / writes artifacts",
+    ),
+];
+
+/// Flag `std::fs` / `std::net` references outside the whitelisted
+/// modules — everything else must go through the `Vfs` seam.
+pub fn check(m: &FileModel) -> Vec<Finding> {
+    if ALLOWED.iter().any(|(p, _)| m.path.starts_with(p)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..m.toks.len() {
+        if m.in_test[i] {
+            continue;
+        }
+        let t = &m.toks[i];
+        if t.is_ident("std")
+            && m.toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && m.toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && m.toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("fs") || t.is_ident("net"))
+        {
+            let what = &m.toks[i + 3].text;
+            out.push(mk(
+                m,
+                "seam-bypass",
+                t.line,
+                format!(
+                    "`std::{what}` outside the Vfs seam — route through `core::vfs` \
+                     so FaultVfs can inject faults here"
+                ),
+            ));
+        }
+    }
+    out
+}

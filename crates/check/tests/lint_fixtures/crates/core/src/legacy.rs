@@ -1,0 +1,13 @@
+//! Seeded violations for the three v1 rules: a panicking unwrap, a
+//! bare `std::sync` reference outside the facade, and an atomic call
+//! with no named `Ordering`. Analyzer input only — never compiled.
+
+/// Core code must not panic via unwrap.
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap() //~ no-unwrap
+}
+
+/// Only `core/src/sync.rs` may name `std::sync`.
+pub fn bump(c: &std::sync::atomic::AtomicU64) -> u64 { //~ no-bare-std-sync
+    c.fetch_add(1) //~ named-ordering
+}

@@ -1,0 +1,65 @@
+//! Seeded lock-order cycles: two independent two-lock inversions, one
+//! over `Mutex` guards and one over `RwLock` guards, plus a consistent
+//! (clean) pair. Analyzer input only — never compiled.
+
+use crate::sync::{Mutex, RwLock};
+
+/// Two mutexes acquired in both orders — the classic AB/BA deadlock.
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); //~ lock-order
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}
+
+/// The same inversion through reader/writer guards.
+pub struct Registry {
+    gauges: RwLock<u32>,
+    names: RwLock<u32>,
+}
+
+impl Registry {
+    pub fn snapshot(&self) -> u32 {
+        let g = self.gauges.read();
+        let n = self.names.read(); //~ lock-order
+        *g + *n
+    }
+
+    pub fn rename(&self) {
+        let mut n = self.names.write();
+        let g = self.gauges.read();
+        *n += *g;
+    }
+}
+
+/// Consistent order everywhere: no finding.
+pub struct Clean {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Clean {
+    pub fn both(&self) -> u32 {
+        let f = self.first.lock();
+        let s = self.second.lock();
+        *f + *s
+    }
+
+    pub fn also_both(&self) -> u32 {
+        let f = self.first.lock();
+        let s = self.second.lock();
+        *f * *s
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded ordering-pairs violations: `Release` stores whose field has
+//! no acquire-side load anywhere in the crate, next to a properly
+//! paired field that must stay clean. Analyzer input only — never
+//! compiled.
+
+use crate::sync::{AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicU64,
+    seen: AtomicU64,
+    done: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release); //~ ordering-pairs
+    }
+
+    pub fn mark(&self) {
+        self.seen.store(1, Ordering::Release); //~ ordering-pairs
+    }
+
+    /// `done` is paired: the Release store below is matched by the
+    /// Acquire load in `is_done`, so it produces no finding.
+    pub fn finish(&self) {
+        self.done.store(1, Ordering::Release);
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire) == 1
+    }
+}

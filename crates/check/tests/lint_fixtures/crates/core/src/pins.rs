@@ -1,0 +1,46 @@
+//! Seeded pin-discipline violations: a leaked pin and a pin held
+//! across an early exit, next to the closure-scoped accessor shape
+//! that must stay clean. Analyzer input only — never compiled.
+
+use crate::pager::BufferPool;
+
+pub struct Arena {
+    pool: BufferPool,
+}
+
+impl Arena {
+    /// Pins a page and forgets to release it.
+    pub fn leak_pin(&mut self, page: u64) -> std::io::Result<u8> {
+        self.pool.pin(page)?; //~ pin-discipline
+        let mut buf = [0u8; 1];
+        self.pool.read_page(page, &mut buf);
+        Ok(buf[0])
+    }
+
+    /// Holds a pin across a `?` early exit: the error path leaks.
+    pub fn early_exit(&mut self, page: u64) -> std::io::Result<u8> {
+        self.pool.pin(page)?;
+        let mut buf = [0u8; 1];
+        self.fallible(page)?; //~ pin-discipline
+        self.pool.read_page(page, &mut buf);
+        self.pool.unpin(page)?;
+        Ok(buf[0])
+    }
+
+    /// The sanctioned shape: pin and unpin inside one closure-scoped
+    /// accessor, balanced on every path the closure can take.
+    pub fn balanced(&mut self, page: u64) -> std::io::Result<u8> {
+        let byte = (|| {
+            self.pool.pin(page)?;
+            let mut buf = [0u8; 1];
+            self.pool.read_page(page, &mut buf);
+            self.pool.unpin(page)?;
+            std::io::Result::Ok(buf[0])
+        })()?;
+        Ok(byte)
+    }
+
+    fn fallible(&self, _page: u64) -> std::io::Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded result-discard violations: `Result`s carrying `IoError`
+//! dropped on the floor, next to handled uses that must stay clean.
+//! Analyzer input only — never compiled.
+
+/// Stand-in for the WAL's I/O error type.
+pub struct IoError;
+
+/// Every `flush_page` in this corpus returns a risky `Result`.
+pub fn flush_page(_page: u64) -> Result<(), IoError> {
+    Ok(())
+}
+
+pub fn checkpoint() {
+    let _ = flush_page(1); //~ result-discard
+    flush_page(2); //~ result-discard
+}
+
+/// Handled call sites are clean.
+pub fn careful_checkpoint() -> Result<(), IoError> {
+    flush_page(1)?;
+    match flush_page(2) {
+        Ok(()) => Ok(()),
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded seam-bypass violations: durable bytes and sockets must go
+//! through `core::vfs` / `crates/serve`, never raw `std::fs` or
+//! `std::net`. This file is NOT compiled — it is analyzer input for
+//! `ddc-lint --fixtures`.
+
+/// Writes a sidecar file behind the Vfs seam's back.
+pub fn write_sidecar(bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write("sidecar.bin", bytes) //~ seam-bypass
+}
+
+/// Opens a raw socket outside the serving layer.
+pub fn probe_port() -> std::io::Result<u16> {
+    let l = std::net::TcpListener::bind("127.0.0.1:0")?; //~ seam-bypass
+    Ok(l.local_addr()?.port())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: harnesses may touch the real filesystem.
+    #[test]
+    fn scratch_file_is_fine() {
+        std::fs::write("/tmp/scratch", b"ok").unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! Round-trip property tests for the lint frontend: for every Rust
+//! source the analyzer will ever see (the whole workspace, the fixture
+//! corpus, and a set of adversarial snippets), `lex → render → lex`
+//! must reproduce the token stream and `parse → flatten` must be the
+//! identity. A frontend that drops or merges tokens silently weakens
+//! every rule built on it, so this is the foundation the semantic
+//! rules stand on.
+
+use std::path::PathBuf;
+
+use ddc_check::lint::lexer::{lex, render, Token};
+use ddc_check::lint::parse::{flatten, parse};
+
+fn repo_root() -> PathBuf {
+    // crates/check -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("repo root")
+        .to_path_buf()
+}
+
+/// (kind, text) pairs — line numbers legitimately change across a
+/// render, everything else must survive.
+fn shape(toks: &[Token]) -> Vec<(String, String)> {
+    toks.iter()
+        .map(|t| (format!("{:?}", t.kind), t.text.clone()))
+        .collect()
+}
+
+fn assert_round_trips(src: &str, what: &str) {
+    let toks = lex(src);
+    let rendered = render(&toks);
+    let again = lex(&rendered);
+    assert_eq!(
+        shape(&toks),
+        shape(&again),
+        "lex→render→lex changed the token stream of {what}"
+    );
+    let trees = parse(&toks).unwrap_or_else(|e| panic!("parse of {what} failed: {e}"));
+    let flat = flatten(&trees);
+    assert_eq!(toks, flat, "parse→flatten was not the identity for {what}");
+}
+
+#[test]
+fn every_workspace_source_round_trips() {
+    let root = repo_root();
+    let files = ddc_check::lint::workspace_sources(&root).expect("walk workspace");
+    assert!(
+        files.len() > 20,
+        "workspace walk found only {} sources — wrong root?",
+        files.len()
+    );
+    for f in files {
+        let src = std::fs::read_to_string(&f).expect("read source");
+        assert_round_trips(&src, &f.display().to_string());
+    }
+}
+
+#[test]
+fn adversarial_snippets_round_trip() {
+    let snippets: &[(&str, &str)] = &[
+        (
+            "raw strings with embedded quotes and hashes",
+            r####"const S: &str = r#"say "hi" \ not an escape"#; const T: &str = r##"nested "#" inside"##;"####,
+        ),
+        (
+            "nested generics closed by >>",
+            "fn f() -> Result<Vec<Box<dyn Iterator<Item = Option<u8>>>>, String> { todo!() }",
+        ),
+        (
+            "lifetimes vs char literals",
+            r"fn g<'a, 'b: 'a>(x: &'a str) -> char { let c = 'x'; let esc = '\''; let back = '\\'; c }",
+        ),
+        (
+            "doc comments containing code",
+            "/// ```rust\n/// let x = \"not real\"; // 'tricky\n/// ```\nfn documented() {}",
+        ),
+        (
+            "block comments with stars and nesting",
+            "/* outer /* inner */ still comment */ fn h() { /* trailing */ }",
+        ),
+        (
+            "numeric literals with suffixes, radix, exponents",
+            "const N: f64 = 0.5e-3; const H: u32 = 0xE_Fu32; const O: u8 = 0o77; const B: u8 = 0b1010; const F: f32 = 1_000.5f32;",
+        ),
+        (
+            "byte strings and byte chars",
+            r#"const B: &[u8] = b"bytes \"quoted\""; const C: u8 = b'q'; const E: u8 = b'\'';"#,
+        ),
+        (
+            "shift operators vs generic closes",
+            "fn s(x: u64) -> u64 { let v: Vec<Vec<u64>> = vec![]; (x >> 2) << 1 }",
+        ),
+        (
+            "labels vs lifetimes",
+            "fn l() { 'outer: loop { loop { break 'outer; } } }",
+        ),
+        (
+            "attr-heavy items with cfg_attr",
+            "#[cfg_attr(feature = \"x\", derive(Debug))]\n#[allow(dead_code)]\nstruct A { #[doc = \"field\"] f: u8 }",
+        ),
+    ];
+    for (what, src) in snippets {
+        assert_round_trips(src, what);
+    }
+}

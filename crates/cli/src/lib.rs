@@ -9,6 +9,7 @@
 
 pub mod check;
 pub mod command;
+pub mod lint;
 #[cfg(feature = "model")]
 pub mod model;
 pub mod serve;

@@ -36,15 +36,16 @@ fn main() {
         }
     }
 
-    // `ddc check …` is the differential-fuzzing harness, `ddc wal …`
-    // the log-recovery tooling, `ddc stats` the metrics dump, and
-    // `ddc serve` / `ddc loadgen` the network front end — subcommands,
-    // not scripts.
+    // `ddc check …` is the differential-fuzzing harness, `ddc lint`
+    // the repo-invariant analyzer, `ddc wal …` the log-recovery
+    // tooling, `ddc stats` the metrics dump, and `ddc serve` /
+    // `ddc loadgen` the network front end — subcommands, not scripts.
     for (name, runner) in [
         (
             "check",
             ddc_cli::check::run as fn(&[String]) -> Result<String, String>,
         ),
+        ("lint", ddc_cli::lint::run),
         ("wal", ddc_cli::wal::run),
         ("stats", ddc_cli::stats::run),
         ("serve", ddc_cli::serve::run),

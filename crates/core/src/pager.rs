@@ -100,6 +100,10 @@ pub struct PoolStats {
     /// Full clock rotations that found no evictable victim (the pool
     /// stayed over its cap for that round).
     pub stall_rounds: u64,
+    /// Transient spill I/O failures absorbed by the bounded retry in
+    /// fault-in / write-back (each unit is one retried attempt, not
+    /// one surviving operation).
+    pub io_retries: u64,
     /// Pages currently resident.
     pub resident_pages: usize,
     /// Resident pages currently pinned.
@@ -129,6 +133,11 @@ struct Frame {
     lsn: u64,
 }
 
+/// Transient spill I/O errors (e.g. injected EIO from a fault
+/// harness) are retried this many times before the error propagates
+/// and [`crate::store::PagedStore`]'s process-fatal policy applies.
+const IO_ATTEMPTS: usize = 8;
+
 /// A clock-eviction buffer pool over one page file.
 pub struct BufferPool {
     file: Box<dyn VfsFile + Send>,
@@ -148,6 +157,7 @@ pub struct BufferPool {
     write_backs: u64,
     barrier_stalls: u64,
     stall_rounds: u64,
+    io_retries: u64,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -186,6 +196,7 @@ impl BufferPool {
             write_backs: 0,
             barrier_stalls: 0,
             stall_rounds: 0,
+            io_retries: 0,
         }
     }
 
@@ -213,6 +224,7 @@ impl BufferPool {
             write_backs: self.write_backs,
             barrier_stalls: self.barrier_stalls,
             stall_rounds: self.stall_rounds,
+            io_retries: self.io_retries,
             resident_pages: self.frames.len(),
             pinned_pages: self.frames.values().filter(|f| f.pins > 0).count(),
             dirty_pages: self.frames.values().filter(|f| f.dirty).count(),
@@ -235,13 +247,27 @@ impl BufferPool {
         let mut buf = vec![0u8; self.page_bytes].into_boxed_slice();
         if page < self.file_pages {
             let off = page * self.page_bytes as u64;
-            let mut filled = 0usize;
-            while filled < buf.len() {
-                let n = self.file.read_at(off + filled as u64, &mut buf[filled..])?;
-                if n == 0 {
-                    break; // rest of the page never materialized: zeros
+            self.fill(off, &mut buf)?;
+            // Double-read defense: a transient read fault can hand
+            // back a corrupted copy while the stored bytes are fine.
+            // Re-read until two consecutive images agree; persistent
+            // disagreement means the medium itself is unstable, which
+            // is a spill error like any other.
+            let mut check = vec![0u8; self.page_bytes].into_boxed_slice();
+            let mut agreed = false;
+            for _ in 0..IO_ATTEMPTS {
+                self.fill(off, &mut check)?;
+                if check == buf {
+                    agreed = true;
+                    break;
                 }
-                filled += n;
+                self.io_retries += 1;
+                std::mem::swap(&mut buf, &mut check);
+            }
+            if !agreed {
+                return Err(io::Error::other(format!(
+                    "page {page} image unstable after {IO_ATTEMPTS} re-reads"
+                )));
             }
         }
         self.frames.insert(
@@ -453,15 +479,54 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Fills `buf` from file offset `off`, zero-extending past the
+    /// materialized extent and retrying transient read errors up to
+    /// [`IO_ATTEMPTS`] times.
+    fn fill(&mut self, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0usize;
+        let mut attempts = 0usize;
+        while filled < buf.len() {
+            match self.file.read_at(off + filled as u64, &mut buf[filled..]) {
+                Ok(0) => {
+                    // Rest of the page never materialized: zeros.
+                    buf[filled..].fill(0);
+                    break;
+                }
+                Ok(n) => filled += n,
+                Err(e) => {
+                    attempts += 1;
+                    if attempts >= IO_ATTEMPTS {
+                        return Err(e);
+                    }
+                    self.io_retries += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Writes one resident page's bytes to the file and clears its
-    /// dirty bit.
+    /// dirty bit, retrying transient write errors up to
+    /// [`IO_ATTEMPTS`] times.
     fn write_back(&mut self, page: u64) -> io::Result<()> {
         let off = page * self.page_bytes as u64;
         let frame = match self.frames.get_mut(&page) {
             Some(f) => f,
             None => panic!("write-back of non-resident page {page}"),
         };
-        self.file.write_at(off, &frame.buf)?;
+        let mut attempts = 0usize;
+        loop {
+            match self.file.write_at(off, &frame.buf) {
+                Ok(()) => break,
+                Err(e) => {
+                    attempts += 1;
+                    if attempts >= IO_ATTEMPTS {
+                        return Err(e);
+                    }
+                    self.io_retries += 1;
+                }
+            }
+        }
         frame.dirty = false;
         self.write_backs += 1;
         self.file_pages = self.file_pages.max(page + 1);

@@ -928,10 +928,14 @@ impl<G: AbelianGroup> RangeSumEngine<G> for ShardedCube<G> {
         self.shards
             .iter()
             .map(|shard| {
-                read_engine(shard).heap_bytes()
-                    + lock_queue(shard).deltas.capacity()
-                        * (std::mem::size_of::<(Vec<usize>, G)>()
-                            + self.shape.ndim() * std::mem::size_of::<usize>())
+                // Queue capacity is read (and its guard dropped) before
+                // the engine lock: holding engine while taking queue
+                // inverts the documented queue→engine order and can
+                // deadlock against a group commit.
+                let queued = lock_queue(shard).deltas.capacity()
+                    * (std::mem::size_of::<(Vec<usize>, G)>()
+                        + self.shape.ndim() * std::mem::size_of::<usize>());
+                read_engine(shard).heap_bytes() + queued
             })
             .sum()
     }

@@ -18,13 +18,14 @@
 //! snapshot + WAL pair, so crashing into recovery is the correct
 //! degraded behavior (DESIGN S45).
 
+use std::cell::RefCell;
 use std::io;
 
 use crate::config::PagerConfig;
 use crate::pager::{BufferPool, PoolStats, WalBarrier};
 use crate::sync::untracked::{AtomicU64, Mutex, MutexGuard, Ordering};
 use crate::sync::PoisonError;
-use crate::vfs::VfsFile;
+use crate::vfs::{OpenMode, StdVfs, Vfs, VfsFile};
 
 /// The backend contract over the tree's leaf arena (ROADMAP #1's
 /// "NodeStore over the PR 7 arenas").
@@ -218,25 +219,60 @@ pub struct PagedStore<T> {
 /// Names anonymous spill files uniquely within the process.
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// A thread-local factory for spill files, installed by
+/// [`with_spill_source`].
+type SpillSource = Box<dyn FnMut() -> io::Result<Box<dyn VfsFile + Send>>>;
+
+thread_local! {
+    static SPILL_SOURCE: RefCell<Option<SpillSource>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with every [`PagedStore`] created on this thread drawing
+/// its spill file from `source` instead of the default [`StdVfs`] temp
+/// file — the seam a fault-injection harness uses to put eviction
+/// write-backs and fault-ins behind a [`crate::vfs::FaultVfs`]. The
+/// override takes precedence over `spill_to_disk` (the harness decides
+/// where spill bytes live) and is restored on exit, including by
+/// panic.
+pub fn with_spill_source<R>(
+    source: impl FnMut() -> io::Result<Box<dyn VfsFile + Send>> + 'static,
+    f: impl FnOnce() -> R,
+) -> R {
+    struct Restore(Option<SpillSource>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SPILL_SOURCE.with(|s| *s.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = SPILL_SOURCE.with(|s| s.borrow_mut().replace(Box::new(source)));
+    let _restore = Restore(prev);
+    f()
+}
+
 fn open_spill_file(spill_to_disk: bool) -> io::Result<Box<dyn VfsFile + Send>> {
+    if let Some(file) = SPILL_SOURCE.with(|s| s.borrow_mut().as_mut().map(|src| src())) {
+        return file;
+    }
     if !spill_to_disk {
         return Ok(Box::new(Vec::<u8>::new()));
     }
-    let path = std::env::temp_dir().join(format!(
-        "ddc-pager-{}-{}.pages",
-        std::process::id(),
-        SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let file = std::fs::OpenOptions::new()
-        .read(true)
-        .write(true)
-        .create_new(true)
-        .open(&path)?;
+    let vfs = StdVfs;
+    let path = std::env::temp_dir()
+        .join(format!(
+            "ddc-pager-{}-{}.pages",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+        .to_string_lossy()
+        .into_owned();
+    let file = vfs.open(&path, OpenMode::Create)?;
     // Unlink immediately: the open handle keeps the file alive, the
     // name disappears, and the OS reclaims the space on process exit
     // even after a crash. Best-effort — on filesystems that refuse,
-    // the file simply remains until deleted.
-    let _ = std::fs::remove_file(&path);
+    // the file simply remains until deleted. Only the default path
+    // unlinks: an injected source owns its own namespace and may need
+    // the name to survive (e.g. MemVfs, where remove drops the bytes).
+    vfs.remove(&path).ok();
     Ok(Box::new(file))
 }
 

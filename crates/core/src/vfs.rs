@@ -523,6 +523,10 @@ struct FaultState {
     armed: bool,
     plan: PlanState,
     realized: Vec<PlannedFault>,
+    /// Path of the file each realized fault fired on, parallel to
+    /// `realized` (kept out of [`PlannedFault`] so explicit replay
+    /// schedules stay path-independent).
+    realized_paths: Vec<String>,
 }
 
 /// The three fault-eligible operation classes; used to pick which
@@ -537,7 +541,7 @@ impl FaultState {
     /// Advance the op counter and decide whether this op faults. The
     /// counter always advances — armed or not — so explicit replays see
     /// the same indices as the seeded recording run.
-    fn next_fault(&mut self, class: OpClass) -> Option<FaultKind> {
+    fn next_fault(&mut self, class: OpClass, path: &str) -> Option<FaultKind> {
         let op = self.ops;
         self.ops += 1;
         // Seeded plans consume one RNG draw per op regardless of arming
@@ -569,6 +573,7 @@ impl FaultState {
             return None;
         }
         self.realized.push(PlannedFault { op, kind });
+        self.realized_paths.push(path.to_string());
         Some(kind)
     }
 
@@ -685,6 +690,7 @@ impl<V: Vfs> FaultVfs<V> {
                 armed: false,
                 plan,
                 realized: Vec::new(),
+                realized_paths: Vec::new(),
             })),
         }
     }
@@ -711,6 +717,13 @@ impl<V: Vfs> FaultVfs<V> {
         self.lock().realized.clone()
     }
 
+    /// Path of the file each realized fault fired on, in the same
+    /// order as [`FaultVfs::realized`] — lets a harness assert that a
+    /// fault landed on a specific file (e.g. a pager spill).
+    pub fn realized_paths(&self) -> Vec<String> {
+        self.lock().realized_paths.clone()
+    }
+
     /// The wrapped namespace (e.g. to inspect surviving bytes).
     pub fn inner(&self) -> &V {
         &self.inner
@@ -721,6 +734,7 @@ impl<V: Vfs> FaultVfs<V> {
 /// state on every operation.
 pub struct FaultFile<F: VfsFile> {
     inner: F,
+    path: String,
     state: Arc<Mutex<FaultState>>,
 }
 
@@ -729,7 +743,7 @@ impl<F: VfsFile> FaultFile<F> {
         self.state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .next_fault(class)
+            .next_fault(class, &self.path)
     }
 }
 
@@ -813,6 +827,7 @@ impl<V: Vfs> Vfs for FaultVfs<V> {
         let inner = self.inner.open(path, mode)?;
         Ok(FaultFile {
             inner,
+            path: path.to_string(),
             state: Arc::clone(&self.state),
         })
     }
